@@ -1,0 +1,104 @@
+"""Shared infrastructure for the benchmark harness.
+
+Expensive artifacts (program builds, profiles, execution counts, variant
+gadget signatures) are memoized at module level so the Table-2 and
+Table-3 benches share one population per (workload, config).
+
+Environment knobs:
+
+- ``REPRO_POPULATION``  — variants per (workload, config) for the
+  security tables (paper: 25; default 25).
+- ``REPRO_PERF_SEEDS``  — randomized builds per configuration for the
+  Figure-4 sweep (paper: 5; default 5).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.config import PAPER_CONFIGS
+from repro.pipeline import ProgramBuild
+from repro.security.survivor import gadget_signatures
+from repro.workloads.registry import SPEC_ORDER, get_workload
+
+#: Config labels in the paper's column order (Table 2).
+CONFIG_ORDER = ("50%", "25-50%", "10-50%", "30%", "0-30%")
+
+POPULATION_SIZE = int(os.environ.get("REPRO_POPULATION", "25"))
+PERF_SEEDS = int(os.environ.get("REPRO_PERF_SEEDS", "5"))
+
+_BUILDS = {}
+_PROFILES = {}
+_COUNTS = {}
+_BASELINES = {}
+_BASELINE_SIGNATURES = {}
+_VARIANT_SIGNATURES = {}
+
+
+def build_for(name):
+    """Cached ProgramBuild for a named workload."""
+    if name not in _BUILDS:
+        workload = get_workload(name)
+        _BUILDS[name] = ProgramBuild(workload.source, workload.name)
+    return _BUILDS[name]
+
+
+def workload_for(name):
+    return get_workload(name)
+
+
+def train_profile(name):
+    """Cached training profile (train input set)."""
+    if name not in _PROFILES:
+        workload = get_workload(name)
+        _PROFILES[name] = build_for(name).profile(workload.train_input)
+    return _PROFILES[name]
+
+
+def ref_counts(name):
+    """Cached ref-input execution counts for the cost engine."""
+    if name not in _COUNTS:
+        workload = get_workload(name)
+        _COUNTS[name] = build_for(name).execution_counts(
+            workload.ref_input)
+    return _COUNTS[name]
+
+
+def baseline_binary(name):
+    if name not in _BASELINES:
+        _BASELINES[name] = build_for(name).link_baseline()
+    return _BASELINES[name]
+
+
+def baseline_signatures(name):
+    if name not in _BASELINE_SIGNATURES:
+        _BASELINE_SIGNATURES[name] = gadget_signatures(
+            baseline_binary(name).text)
+    return _BASELINE_SIGNATURES[name]
+
+
+def variant_signatures(name, config_label, seed):
+    """Gadget signature map of one diversified variant (memoized)."""
+    key = (name, config_label, seed)
+    if key not in _VARIANT_SIGNATURES:
+        config = PAPER_CONFIGS[config_label]
+        profile = (train_profile(name)
+                   if config.requires_profile else None)
+        variant = build_for(name).link_variant(config, seed, profile)
+        _VARIANT_SIGNATURES[key] = gadget_signatures(variant.text)
+    return _VARIANT_SIGNATURES[key]
+
+
+def variant_overhead(name, config_label, seed):
+    """Fractional slowdown of one variant on the ref input."""
+    build = build_for(name)
+    config = PAPER_CONFIGS[config_label]
+    profile = train_profile(name) if config.requires_profile else None
+    counts = ref_counts(name)
+    baseline_cycles = build.cycles(baseline_binary(name), counts)
+    variant = build.link_variant(config, seed, profile)
+    return build.cycles(variant, counts) / baseline_cycles - 1.0
+
+
+def spec_names():
+    return list(SPEC_ORDER)

@@ -1,0 +1,69 @@
+"""A2 — ablation: linear versus logarithmic probability functions.
+
+§3.1 argues the linear heuristic polarizes probabilities: because counts
+grow multiplicatively with loop nesting, almost every block lands at
+p_max and the "profile-guided" pass degenerates toward uniform p_max —
+spending its NOP budget as if there were no profile at all. The log
+model spreads probabilities through the interval, cutting overhead at
+equal ranges.
+
+This bench runs both models at the same [10%, 50%] range over the suite.
+"""
+
+from benchmarks._harness import (
+    PERF_SEEDS, baseline_binary, ref_counts, spec_names, train_profile,
+)
+from repro.core.config import DiversificationConfig
+from repro.core.probability import (
+    LinearProfileProbability, LogProfileProbability,
+)
+from repro.reporting import format_table, geometric_mean_overhead
+
+
+def run_ablation():
+    from benchmarks._harness import build_for
+
+    linear_config = DiversificationConfig(
+        probability_model=LinearProfileProbability(0.10, 0.50))
+    log_config = DiversificationConfig(
+        probability_model=LogProfileProbability(0.10, 0.50))
+
+    rows = []
+    for name in spec_names():
+        build = build_for(name)
+        counts = ref_counts(name)
+        base_cycles = build.cycles(baseline_binary(name), counts)
+        profile = train_profile(name)
+
+        def mean_overhead(config):
+            values = []
+            for seed in range(PERF_SEEDS):
+                variant = build.link_variant(config, seed, profile)
+                values.append(build.cycles(variant, counts)
+                              / base_cycles - 1)
+            return sum(values) / len(values)
+
+        rows.append((name, 100 * mean_overhead(linear_config),
+                     100 * mean_overhead(log_config)))
+    return rows
+
+
+def test_ablation_linear_vs_log(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ("Benchmark", "linear 10-50% overhead%", "log 10-50% overhead%"),
+        rows,
+        title="Ablation: probability function at range [10%, 50%] "
+              f"(mean of {PERF_SEEDS} variants)"))
+
+    linear = geometric_mean_overhead([row[1] / 100 for row in rows])
+    logarithmic = geometric_mean_overhead([row[2] / 100 for row in rows])
+    print(f"\ngeomean: linear {100 * linear:.2f}%  "
+          f"log {100 * logarithmic:.2f}%")
+
+    # The log model must beat the linear model overall (per-benchmark
+    # comparisons are noisy at small seed counts; the geomean is the
+    # paper's criterion).
+    assert logarithmic < linear

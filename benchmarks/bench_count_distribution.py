@@ -1,0 +1,66 @@
+"""E7 — §3.1: execution-count distributions and the linear-vs-log choice.
+
+The paper motivates the logarithmic probability function with profiling
+statistics: maximum block counts span orders of magnitude across
+benchmarks, medians sit far below maxima, and the linear heuristic
+therefore polarizes probabilities. This bench regenerates those
+statistics for our suite and evaluates both heuristics at the median of
+every benchmark (the paper's 473.astar worked example).
+"""
+
+from benchmarks._harness import spec_names, train_profile
+from repro.core.probability import (
+    LinearProfileProbability, LogProfileProbability,
+)
+from repro.reporting import format_table
+
+
+def run_statistics():
+    linear = LinearProfileProbability(0.10, 0.50)
+    logarithmic = LogProfileProbability(0.10, 0.50)
+    rows = []
+    for name in spec_names():
+        profile = train_profile(name)
+        maximum, median, _total = profile.summary()
+        rows.append((
+            name, maximum, median,
+            100 * linear.probability(median, maximum),
+            100 * logarithmic.probability(median, maximum),
+        ))
+    return rows
+
+
+def test_count_distribution_and_probability_models(benchmark):
+    rows = benchmark.pedantic(run_statistics, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ("Benchmark", "Max count", "Median", "linear p@median %",
+         "log p@median %"),
+        rows,
+        title="Execution-count statistics (train input) and pNOP at the "
+              "median block, range [10%, 50%]"))
+
+    maxima = [row[1] for row in rows]
+    # Maxima spread widely across the suite (the paper reports a
+    # 14M..4B span; ours is scaled down but still over an order of
+    # magnitude).
+    assert max(maxima) > 10 * min(maxima)
+
+    for name, maximum, median, linear_p, log_p in rows:
+        # Medians are far below maxima: hot loops dominate.
+        assert median < maximum
+        # The log model keeps the median inside the interval while the
+        # linear model pushes it toward p_max (cold) for the skewed
+        # benchmarks.
+        assert 10.0 - 1e-9 <= log_p <= 50.0 + 1e-9
+        assert log_p <= linear_p + 1e-9
+
+    # The paper's qualitative claim: on skewed benchmarks the linear
+    # model is within a hair of p_max at the median (useless), the log
+    # model is well inside the interval.
+    skewed = [row for row in rows if row[1] > 200 * max(row[2], 1)]
+    assert skewed, "suite must contain sharply skewed profiles"
+    for _name, _maximum, _median, linear_p, log_p in skewed:
+        assert linear_p > 49.0
+        assert log_p < 45.0

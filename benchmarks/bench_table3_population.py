@@ -1,0 +1,92 @@
+"""E5 — Table 3: gadgets surviving across the diversified population.
+
+An attacker content with compromising a *subset* of targets looks for
+gadgets shared by many diversified binaries (ignoring the original). For
+each benchmark and configuration this bench counts gadgets — identified
+by (offset, normalized bytes) — present in at least 2 (~10%), 5 (~20%)
+and ceil(N/2) of the N variants.
+
+Expected shape (paper §5.2):
+
+- ≥2-of-N counts can exceed the baseline gadget count (the same baseline
+  gadget is counted at several displaced offsets);
+- ≥half-of-N counts are essentially constant across benchmarks and
+  configurations: the floor of gadgets in the undiversified C library
+  objects the linker adds to every binary.
+"""
+
+import math
+
+from benchmarks._harness import (
+    CONFIG_ORDER, POPULATION_SIZE, baseline_signatures, spec_names,
+    variant_signatures,
+)
+from repro.reporting import format_table
+from repro.security.population import population_survival
+
+_THRESHOLDS = tuple(sorted({2, max(3, POPULATION_SIZE // 5),
+                            math.ceil(POPULATION_SIZE / 2)}))
+
+
+def run_table():
+    rows = {}
+    for name in spec_names():
+        per_config = {}
+        for label in CONFIG_ORDER:
+            signatures = [variant_signatures(name, label, seed)
+                          for seed in range(POPULATION_SIZE)]
+            per_config[label] = population_survival(
+                [], thresholds=_THRESHOLDS, signatures=signatures)
+        rows[name] = per_config
+    return rows
+
+
+def test_table3_population_survival(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+
+    display = []
+    ordered = sorted(spec_names(), key=lambda n: len(baseline_signatures(n)))
+    for name in ordered:
+        row = [name]
+        for threshold in _THRESHOLDS:
+            for label in CONFIG_ORDER:
+                row.append(rows[name][label][threshold])
+        display.append(tuple(row))
+
+    headers = ["Benchmark"]
+    for threshold in _THRESHOLDS:
+        for label in CONFIG_ORDER:
+            headers.append(f">={threshold}:{label}")
+    print()
+    print(format_table(
+        tuple(headers), display,
+        title=f"Table 3: gadgets surviving in >=k of {POPULATION_SIZE} "
+              f"variants (k = {_THRESHOLDS})"))
+
+    low = _THRESHOLDS[0]
+    half = _THRESHOLDS[-1]
+    for name in spec_names():
+        for label in CONFIG_ORDER:
+            counts = rows[name][label]
+            # Monotone in the threshold.
+            ordered = [counts[t] for t in _THRESHOLDS]
+            assert ordered == sorted(ordered, reverse=True), (name, label)
+
+    # The >=half column is the undiversified-runtime floor: non-zero and
+    # nearly constant across benchmarks and configurations.
+    half_counts = [rows[name][label][half]
+                   for name in spec_names() for label in CONFIG_ORDER]
+    assert min(half_counts) > 0
+    assert max(half_counts) < 4 * max(min(half_counts), 1)
+
+    # Displacement multiplicity: the same baseline gadget lands at
+    # different offsets in different variants and is counted once per
+    # offset, so the ≥2 column far exceeds the cross-population floor
+    # (in the paper, it even exceeds the baseline count).
+    for name in spec_names():
+        assert rows[name]["0-30%"][low] > 1.5 * rows[name]["0-30%"][half], \
+            name
+    exceeded = [name for name in spec_names()
+                if rows[name]["0-30%"][low] > len(baseline_signatures(name))]
+    print(f"benchmarks where >= {low}-of-{POPULATION_SIZE} exceeds the "
+          f"baseline gadget count: {exceeded or 'none at this scale'}")

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Composing diversifying transformations (paper §6).
+
+The paper's discussion section proposes stacking orthogonal
+transformations on top of profile-guided NOP insertion. This example
+builds one program four ways and compares, for each ladder step:
+
+- binary size (NOPs grow it; substitution and reordering do not),
+- estimated runtime overhead,
+- gadgets surviving at their original offsets (Survivor).
+
+Run:  python examples/composed_defenses.py
+"""
+
+from repro import DiversificationConfig, ProgramBuild
+from repro.core.probability import LogProfileProbability
+from repro.reporting import format_table
+from repro.security.gadgets import find_gadgets
+from repro.security.survivor import surviving_gadgets
+
+SOURCE = """
+int table[128];
+
+int mix(int a, int b) {
+  return ((a * 31) ^ b) & 16777215;
+}
+
+int main() {
+  int n = input();
+  int seed = input();
+  int x = seed;
+  int i;
+  for (i = 0; i < n; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    table[i & 127] = mix(x, table[(i + 7) & 127]);
+  }
+  int acc = 0;
+  for (i = 0; i < 128; i++) { acc = mix(acc, table[i]); }
+  print(acc);
+  return 0;
+}
+"""
+
+TRAIN = (200, 3)
+REF = (2000, 9)
+
+
+def config(**extras):
+    return DiversificationConfig(
+        probability_model=LogProfileProbability(0.0, 0.30), **extras)
+
+
+LADDER = (
+    ("NOP insertion only", config()),
+    ("+ encoding substitution", config(encoding_substitution=True)),
+    ("+ basic-block shifting", config(encoding_substitution=True,
+                                      basic_block_shifting=True)),
+    ("+ function reordering", config(encoding_substitution=True,
+                                     basic_block_shifting=True,
+                                     function_reordering=True)),
+)
+
+
+def main():
+    build = ProgramBuild(SOURCE, "composed")
+    baseline = build.link_baseline()
+    profile = build.profile(TRAIN)
+    counts = build.execution_counts(REF)
+    base_cycles = build.cycles(baseline, counts)
+    reference = build.run_reference(REF)
+    total_gadgets = len(find_gadgets(baseline.text))
+
+    rows = []
+    for label, cfg in LADDER:
+        sizes = []
+        overheads = []
+        survivors = []
+        for seed in range(5):
+            variant = build.link_variant(cfg, seed, profile)
+            check = build.simulate(variant, REF)
+            assert check.output == reference.output, label
+            sizes.append(len(variant.text))
+            overheads.append(build.cycles(variant, counts)
+                             / base_cycles - 1)
+            count, _offsets = surviving_gadgets(baseline.text,
+                                                variant.text)
+            survivors.append(count)
+        rows.append((label,
+                     sum(sizes) // len(sizes) - len(baseline.text),
+                     100 * sum(overheads) / len(overheads),
+                     sum(survivors) / len(survivors)))
+
+    print(f"baseline: {len(baseline.text)} bytes, {total_gadgets} "
+          "gadgets\n")
+    print(format_table(
+        ("transformations", "text growth (B)", "overhead %",
+         "mean survivors"),
+        rows,
+        title="Composing §6 transformations (5 seeds each; every "
+              "variant's output verified identical)"))
+    print("\nSubstitution and reordering add diversity with zero size "
+          "and negligible runtime cost — exactly why §6 calls the "
+          "techniques orthogonal.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Quickstart: compile, profile, diversify, run.
+
+Walks the whole pipeline on a small program:
+
+1. compile MinC source to an x86-32 binary and run it on the simulator,
+2. collect an edge profile on a training input,
+3. build two diversified variants — naive pNOP=50% and the paper's
+   profile-guided 0-30% — and check they behave identically,
+4. compare their estimated runtime overhead and surviving-gadget counts.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DiversificationConfig, ProgramBuild
+from repro.security.gadgets import gadget_count
+from repro.security.survivor import surviving_gadgets
+
+SOURCE = """
+int histogram[64];
+
+int classify(int value) {
+  if (value < 0) { return 0; }
+  if (value < 100) { return 1; }
+  if (value < 10000) { return 2; }
+  return 3;
+}
+
+int main() {
+  int n = input();
+  int seed = input();
+  int x = seed;
+  int i;
+  for (i = 0; i < n; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    int bucket = classify(x % 20000 - 100) * 16 + (x & 15);
+    histogram[bucket] = histogram[bucket] + 1;
+  }
+  int total = 0;
+  for (i = 0; i < 64; i++) { total += histogram[i] * i; }
+  print(total);
+  return 0;
+}
+"""
+
+TRAIN_INPUT = (500, 7)    # the paper's "train" input set
+REF_INPUT = (5000, 99)    # the paper's "ref" input set
+
+
+def main():
+    build = ProgramBuild(SOURCE, "quickstart")
+
+    # 1. Baseline: compile + link + simulate the real bytes.
+    baseline = build.link_baseline()
+    result = build.simulate(baseline, REF_INPUT)
+    print(f"baseline: text={len(baseline.text)} bytes, "
+          f"output={result.output}, "
+          f"instructions executed={result.instr_count}")
+
+    # 2. Training run -> edge profile (LLVM-style optimal edge counts).
+    profile = build.profile(TRAIN_INPUT)
+    maximum, median, _total = profile.summary()
+    print(f"profile : max block count={maximum}, median={median}")
+
+    # 3. Two diversified variants.
+    naive_config = DiversificationConfig.uniform(0.50)
+    guided_config = DiversificationConfig.profile_guided(0.0, 0.30)
+    naive = build.link_variant(naive_config, seed=1)
+    guided = build.link_variant(guided_config, seed=1, profile=profile)
+
+    for label, variant in (("pNOP=50%", naive), ("pNOP=0-30%", guided)):
+        check = build.simulate(variant, REF_INPUT)
+        assert check.output == result.output, "diversified output differs!"
+        print(f"{label:11s}: text={len(variant.text)} bytes "
+              f"(+{len(variant.text) - len(baseline.text)}), "
+              "output identical")
+
+    # 4. Cost and security of each variant.
+    counts = build.execution_counts(REF_INPUT)
+    base_cycles = build.cycles(baseline, counts)
+    total_gadgets = gadget_count(baseline.text)
+    print(f"\n{'config':11s} {'overhead':>9s} {'survivors':>10s} "
+          f"(of {total_gadgets} gadgets)")
+    for label, variant in (("pNOP=50%", naive), ("pNOP=0-30%", guided)):
+        overhead = build.cycles(variant, counts) / base_cycles - 1
+        survivors, _offsets = surviving_gadgets(baseline.text,
+                                                variant.text)
+        print(f"{label:11s} {100 * overhead:8.2f}% {survivors:10d}")
+
+    print("\nThe profile-guided variant keeps NOPs out of the hot loop: "
+          "nearly the same gadget destruction at a fraction of the cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of "Profile-guided Automated Software Diversity"
+(Homescu, Neisius, Larsen, Brunthaler, Franz; CGO 2013).
+
+The package implements the paper's full pipeline from scratch:
+
+- a C-like source language and optimizing compiler targeting x86-32
+  (:mod:`repro.minc`, :mod:`repro.ir`, :mod:`repro.opt`,
+  :mod:`repro.backend`, :mod:`repro.x86`),
+- LLVM-style optimal edge profiling (:mod:`repro.profiling`),
+- the profile-guided NOP-insertion diversifier — the paper's
+  contribution (:mod:`repro.core`),
+- an x86-32 machine simulator with a calibrated cycle model
+  (:mod:`repro.sim`),
+- gadget/Survivor/attack security analyses (:mod:`repro.security`),
+- the 19 SPEC-like workloads and the PHP case study
+  (:mod:`repro.workloads`).
+
+Quick start::
+
+    from repro import ProgramBuild, DiversificationConfig
+
+    build = ProgramBuild(source_text, "myprogram")
+    profile = build.profile(train_input)
+    config = DiversificationConfig.profile_guided(0.0, 0.30)
+    binary = build.link_variant(config, seed=1, profile=profile)
+    result = build.simulate(binary, ref_input)
+"""
+
+from repro.core.config import DiversificationConfig, PAPER_CONFIGS
+from repro.core.probability import (
+    LinearProfileProbability, LogProfileProbability, UniformProbability,
+)
+from repro.pipeline import ProgramBuild, build_ir, compile_and_link
+from repro.profiling.profile_data import ProfileData
+from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
+from repro.workloads.registry import SPEC_ORDER, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiversificationConfig", "PAPER_CONFIGS",
+    "LinearProfileProbability", "LogProfileProbability",
+    "UniformProbability",
+    "ProgramBuild", "build_ir", "compile_and_link",
+    "ProfileData", "CostModel", "DEFAULT_COST_MODEL",
+    "SPEC_ORDER", "get_workload",
+    "__version__",
+]

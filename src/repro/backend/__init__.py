@@ -1,0 +1,26 @@
+"""x86-32 backend: lowering, register allocation, emission, linking.
+
+Pipeline position (paper Figure 3): IR → **LR** (machine instructions with
+labels, one list per function) → *NOP insertion happens here* → layout /
+branch relaxation → linked binary image.
+
+- :mod:`repro.backend.objfile` — the LR containers (:class:`CodeItem`
+  lists per function, object units).
+- :mod:`repro.backend.regalloc` — liveness analysis and linear-scan
+  register allocation.
+- :mod:`repro.backend.lowering` — IR instruction selection.
+- :mod:`repro.backend.linker` — layout, branch relaxation, symbol
+  resolution, final image.
+"""
+
+from repro.backend.objfile import FunctionCode, LabelDef, ObjectUnit
+from repro.backend.lowering import lower_function, lower_module
+from repro.backend.linker import LinkedBinary, link
+from repro.backend.regalloc import Allocation, allocate_function
+
+__all__ = [
+    "FunctionCode", "LabelDef", "ObjectUnit",
+    "lower_function", "lower_module",
+    "LinkedBinary", "link",
+    "Allocation", "allocate_function",
+]

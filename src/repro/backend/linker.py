@@ -1,0 +1,278 @@
+"""Layout, branch relaxation, symbol resolution, final image.
+
+The linker receives :class:`~repro.backend.objfile.ObjectUnit` lists,
+lays the functions out in order at ``text_base``, chooses rel8/rel32
+encodings for jumps by monotone widening (start everything short, widen
+whatever does not reach, repeat to fixpoint), resolves data symbols, and
+produces a :class:`LinkedBinary` with the final byte image and an
+instruction record table for the analytic cost engine and the security
+ground truth.
+
+Because the NOP-insertion pass runs *before* the linker, every inserted
+NOP genuinely displaces the following code and every branch offset is
+recomputed around it — exactly the property the paper's Figure 2 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LinkError
+from repro.backend.objfile import LabelDef
+from repro.x86.encoder import encode, instruction_size
+from repro.x86.instructions import Instr, Label, Mem, Rel
+
+#: Default load address of the text section (the fixed Linux 32-bit
+#: executable base the paper mentions: 0x8048000).
+DEFAULT_TEXT_BASE = 0x08048000
+
+
+@dataclass
+class InstrRecord:
+    """One emitted instruction in the final image."""
+
+    address: int
+    size: int
+    mnemonic: str
+    block_id: object
+    is_inserted_nop: bool
+    instr: Instr
+
+
+@dataclass
+class LinkedBinary:
+    """A fully laid-out program image."""
+
+    text: bytes
+    text_base: int
+    entry: int
+    code_symbols: dict
+    data_symbols: dict
+    data_base: int
+    data_end: int
+    data_words: dict  # address -> initial 32-bit value
+    instr_records: list = field(default_factory=list)
+    function_ranges: dict = field(default_factory=dict)  # name -> (start, end)
+
+    @property
+    def text_end(self):
+        return self.text_base + len(self.text)
+
+    def records_in(self, function_name):
+        start, end = self.function_ranges[function_name]
+        return [r for r in self.instr_records if start <= r.address < end]
+
+    def __repr__(self):
+        return (f"LinkedBinary({len(self.text)} text bytes, "
+                f"{len(self.instr_records)} instrs, "
+                f"entry={self.entry:#x})")
+
+
+def _branch_sizes(instr, width):
+    """Encoded size of a relative branch at the given width."""
+    if instr.mnemonic == "call":
+        return 5
+    if instr.mnemonic == "jmp":
+        return 2 if width == 8 else 5
+    return 2 if width == 8 else 6  # Jcc
+
+
+def _fixed_size(instr):
+    """Size of a non-branch instruction (symbols count as disp32)."""
+    return instruction_size(instr)
+
+
+#: Memoized encodings for fully-resolved instructions. Identical
+#: (mnemonic, operands) pairs recur constantly across the population
+#: studies (every variant of a workload shares its cold code verbatim),
+#: so this cache makes relinking populations several times faster.
+_ENCODE_MEMO = {}
+_ENCODE_MEMO_LIMIT = 500_000
+
+
+def _encode_memoized(instr):
+    key = (instr.mnemonic, instr.operands, instr.alternate_encoding)
+    encoding = _ENCODE_MEMO.get(key)
+    if encoding is None:
+        encoding = encode(instr)
+        if len(_ENCODE_MEMO) < _ENCODE_MEMO_LIMIT:
+            _ENCODE_MEMO[key] = encoding
+    return encoding
+
+
+def link(units, text_base=DEFAULT_TEXT_BASE, data_alignment=16):
+    """Link object units into a :class:`LinkedBinary`.
+
+    ``units`` is an iterable of ObjectUnit; functions are laid out in unit
+    order then function order. The entry symbol ``_start`` must exist.
+    """
+    units = list(units)
+    # Flatten to (unit, function_code) preserving order; check duplicates.
+    functions = []
+    seen_names = set()
+    data_defs = {}
+    for unit in units:
+        for function_code in unit.functions:
+            if function_code.name in seen_names:
+                raise LinkError(f"duplicate function {function_code.name!r}")
+            seen_names.add(function_code.name)
+            functions.append(function_code)
+        for symbol, words in unit.data_symbols.items():
+            if symbol in data_defs:
+                raise LinkError(f"duplicate data symbol {symbol!r}")
+            data_defs[symbol] = list(words)
+
+    # Clone instructions so linking never mutates the caller's LR.
+    flat = []  # list of (kind, payload): ("label", name) | ("instr", Instr)
+    function_spans = []  # (function_code, first flat index, last flat index)
+    for function_code in functions:
+        span_start = len(flat)
+        for item in function_code.items:
+            if isinstance(item, LabelDef):
+                flat.append(("label", item.name))
+            else:
+                clone = Instr(item.mnemonic, *item.operands,
+                              block_id=item.block_id,
+                              is_inserted_nop=item.is_inserted_nop,
+                              alternate_encoding=item.alternate_encoding)
+                flat.append(("instr", clone))
+        function_spans.append((function_code, span_start, len(flat)))
+
+    # Collect label definitions (by flat index) and branch sites.
+    label_index = {}
+    for index, (kind, payload) in enumerate(flat):
+        if kind == "label":
+            if payload in label_index:
+                raise LinkError(f"duplicate label {payload!r}")
+            label_index[payload] = index
+
+    widths = {}  # flat index of branch -> 8 or 32
+    for index, (kind, payload) in enumerate(flat):
+        if kind != "instr" or not payload.is_relative_branch:
+            continue
+        target = payload.operands[0]
+        if not isinstance(target, Label):
+            raise LinkError(f"branch without label operand: {payload!r}")
+        if target.name not in label_index:
+            raise LinkError(f"undefined label {target.name!r}")
+        widths[index] = 32 if payload.mnemonic == "call" else 8
+
+    fixed_sizes = {}
+    for index, (kind, payload) in enumerate(flat):
+        if kind == "instr" and index not in widths:
+            fixed_sizes[index] = _fixed_size(payload)
+
+    # Iterative widening to fixpoint.
+    while True:
+        offsets = _layout(flat, widths, fixed_sizes)
+        changed = False
+        for index, width in widths.items():
+            if width == 32:
+                continue
+            instr = flat[index][1]
+            target_offset = offsets[label_index[instr.operands[0].name]]
+            end_of_instr = offsets[index] + _branch_sizes(instr, 8)
+            displacement = target_offset - end_of_instr
+            if not -128 <= displacement <= 127:
+                widths[index] = 32
+                changed = True
+        if not changed:
+            break
+
+    offsets = _layout(flat, widths, fixed_sizes)
+    text_size = offsets[len(flat)]
+
+    data_base = _align(text_base + text_size, data_alignment)
+    data_symbols = {}
+    data_words = {}
+    cursor = data_base
+    for symbol, words in data_defs.items():
+        data_symbols[symbol] = cursor
+        for word_index, value in enumerate(words):
+            if value:
+                data_words[cursor + 4 * word_index] = value
+        cursor += 4 * len(words)
+    data_end = cursor
+
+    code_symbols = {name: text_base + offsets[index]
+                    for name, index in label_index.items()}
+
+    # Final encode.
+    text = bytearray()
+    records = []
+    for index, (kind, payload) in enumerate(flat):
+        if kind == "label":
+            continue
+        address = text_base + offsets[index]
+        instr = payload
+        if index in widths:
+            width = widths[index]
+            size = _branch_sizes(instr, width)
+            target_address = code_symbols[instr.operands[0].name]
+            rel = Rel(target_address - (address + size), width)
+            instr.operands = (rel,)
+        else:
+            operands = []
+            for operand in instr.operands:
+                if isinstance(operand, Mem) and operand.symbol is not None:
+                    if operand.symbol not in data_symbols:
+                        raise LinkError(
+                            f"undefined data symbol {operand.symbol!r}")
+                    resolved = data_symbols[operand.symbol] + operand.disp
+                    operands.append(Mem(base=operand.base,
+                                        index=operand.index,
+                                        scale=operand.scale, disp=resolved))
+                else:
+                    operands.append(operand)
+            instr.operands = tuple(operands)
+        encoding = _encode_memoized(instr)
+        instr.encoding = encoding
+        instr.size = len(encoding)
+        expected = (_branch_sizes(instr, widths[index])
+                    if index in widths else fixed_sizes[index])
+        if len(encoding) != expected:
+            raise LinkError(f"size drift for {instr!r}: "
+                            f"{len(encoding)} != {expected}")
+        text.extend(encoding)
+        records.append(InstrRecord(address, len(encoding), instr.mnemonic,
+                                   instr.block_id, instr.is_inserted_nop,
+                                   instr))
+
+    if "_start" not in code_symbols:
+        raise LinkError("no _start entry point")
+
+    function_ranges = {}
+    for function_code, span_start, span_end in function_spans:
+        start_addr = text_base + offsets[span_start]
+        end_addr = text_base + offsets[span_end]
+        function_ranges[function_code.name] = (start_addr, end_addr)
+
+    return LinkedBinary(
+        text=bytes(text), text_base=text_base,
+        entry=code_symbols["_start"], code_symbols=code_symbols,
+        data_symbols=data_symbols, data_base=data_base, data_end=data_end,
+        data_words=data_words, instr_records=records,
+        function_ranges=function_ranges)
+
+
+def _layout(flat, widths, fixed_sizes):
+    """Offsets of each flat index (labels share the next instr's offset).
+
+    Returns a list of len(flat)+1 offsets; the last entry is total size.
+    """
+    offsets = [0] * (len(flat) + 1)
+    position = 0
+    for index, (kind, payload) in enumerate(flat):
+        offsets[index] = position
+        if kind == "instr":
+            if index in widths:
+                position += _branch_sizes(payload, widths[index])
+            else:
+                position += fixed_sizes[index]
+    offsets[len(flat)] = position
+    return offsets
+
+
+def _align(value, alignment):
+    remainder = value % alignment
+    return value if remainder == 0 else value + (alignment - remainder)

@@ -1,0 +1,378 @@
+"""Instruction selection: IR → x86-32 LR.
+
+Calling convention (cdecl-like):
+
+- arguments pushed right-to-left; the caller cleans the stack;
+- return value in EAX;
+- EBX/ESI/EDI are callee-saved (the allocatable set), EAX/ECX/EDX are
+  scratch;
+- standard EBP frames: ``[ebp+8+4i]`` holds parameter *i*, ``[ebp-...]``
+  the spill slots.
+
+Every emitted instruction is tagged with its source basic block via
+``Instr.block_id = (function_name, block_label)``; the NOP-insertion pass
+and the analytic cost engine key off this tag.
+
+Comparison-plus-branch pairs are fused into ``cmp``/``jcc`` when the
+comparison result has a single use (the branch); other comparisons
+materialize 0/1 via ``SETcc``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LoweringError
+from repro.backend.objfile import FunctionCode, LabelDef, ObjectUnit
+from repro.backend.regalloc import allocate_function
+from repro.ir.instructions import (
+    ALoad, AStore, Binary, Branch, Call, CondBranch, Copy, Input, Print,
+    Return, Unary, COMPARISON_OPS,
+)
+from repro.ir.values import Const
+from repro.x86.instructions import Imm, Instr, Label, Mem
+from repro.x86.registers import EAX, EBP, ECX, EDX, ESP, Register
+
+#: IR comparison op → condition-code suffix (signed comparisons).
+_CC_FOR_OP = {"lt": "l", "le": "le", "gt": "g", "ge": "ge",
+              "eq": "e", "ne": "ne"}
+
+#: Condition-code suffix → its negation.
+_CC_INVERSE = {"l": "ge", "le": "g", "g": "le", "ge": "l", "e": "ne",
+               "ne": "e", "b": "ae", "ae": "b", "be": "a", "a": "be",
+               "s": "ns", "ns": "s", "o": "no", "no": "o", "p": "np",
+               "np": "p"}
+
+#: Two-address ALU ops that map 1:1 to x86 mnemonics.
+_DIRECT_ALU = {"add": "add", "sub": "sub", "and": "and", "or": "or",
+               "xor": "xor"}
+
+PRINT_FUNCTION = "__print_int"
+READ_FUNCTION = "__read_int"
+
+
+class _FunctionLowerer:
+    def __init__(self, function, module):
+        self.function = function
+        self.module = module
+        self.allocation = allocate_function(function)
+        self.saved = self.allocation.used_callee_saved
+        self.items = []
+        self.block_id = None
+        self._label_counter = 0
+        self._use_counts, self._def_counts = self._count_refs()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _count_refs(self):
+        uses = {}
+        defs = {}
+        for block in self.function.blocks:
+            for instr in block.instrs:
+                for reg in instr.used_regs():
+                    uses[reg] = uses.get(reg, 0) + 1
+                for reg in instr.defs():
+                    defs[reg] = defs.get(reg, 0) + 1
+        return uses, defs
+
+    def _emit(self, mnemonic, *operands):
+        instr = Instr(mnemonic, *operands, block_id=self.block_id)
+        self.items.append(instr)
+        return instr
+
+    def _label(self, name):
+        self.items.append(LabelDef(name))
+
+    def _fresh_label(self):
+        self._label_counter += 1
+        return f"{self.function.name}.L{self._label_counter}"
+
+    def block_label(self, block_label):
+        return f"{self.function.name}.{block_label}"
+
+    # -- value locations --------------------------------------------------------
+
+    def _location(self, vreg):
+        """Physical register, or a Mem for a frame/parameter slot."""
+        assigned = self.allocation.assignment.get(vreg)
+        if isinstance(assigned, Register):
+            return assigned
+        if vreg in self.function.params and not isinstance(assigned, Register):
+            index = self.function.params.index(vreg)
+            return Mem(base=EBP, disp=8 + 4 * index)
+        if assigned is None:
+            raise LoweringError(f"no location for {vreg!r} "
+                                f"in {self.function.name!r}")
+        return Mem(base=EBP, disp=self._slot_disp(assigned))
+
+    def _slot_disp(self, slot):
+        return -4 * (len(self.saved) + slot + 1)
+
+    def _operand(self, value):
+        """Operand usable directly in a src position (Imm/Register/Mem)."""
+        if isinstance(value, Const):
+            return Imm(value.value)
+        return self._location(value)
+
+    def _read_into(self, scratch, value):
+        """Ensure ``value`` is in ``scratch``; emits at most one mov."""
+        operand = self._operand(value)
+        if operand is scratch:
+            return scratch
+        self._emit("mov", scratch, operand)
+        return scratch
+
+    def _write_from(self, register, dst):
+        """Move ``register`` into the destination vreg's location."""
+        location = self._location(dst)
+        if location is not register:
+            self._emit("mov", location, register)
+
+    # -- function structure ------------------------------------------------------
+
+    def lower(self):
+        entry = self.function.entry
+        self.block_id = (self.function.name, entry.label)
+        self._label(self.function.name)
+        self._emit("push", EBP)
+        self._emit("mov", EBP, ESP)
+        for register in self.saved:
+            self._emit("push", register)
+        if self.allocation.slot_count:
+            self._emit("sub", ESP, Imm(4 * self.allocation.slot_count))
+        for index, param in enumerate(self.function.params):
+            assigned = self.allocation.assignment.get(param)
+            if isinstance(assigned, Register):
+                self._emit("mov", assigned, Mem(base=EBP, disp=8 + 4 * index))
+
+        for position, block in enumerate(self.function.blocks):
+            self.block_id = (self.function.name, block.label)
+            self._label(self.block_label(block.label))
+            next_label = None
+            if position + 1 < len(self.function.blocks):
+                next_label = self.function.blocks[position + 1].label
+            self._lower_block(block, next_label)
+
+        code = FunctionCode(self.function.name, self.items)
+        return code
+
+    def _epilogue(self):
+        if self.allocation.slot_count:
+            self._emit("add", ESP, Imm(4 * self.allocation.slot_count))
+        for register in reversed(self.saved):
+            self._emit("pop", register)
+        self._emit("pop", EBP)
+        self._emit("ret")
+
+    # -- blocks -------------------------------------------------------------------
+
+    def _lower_block(self, block, next_label):
+        body = block.instrs[:-1]
+        terminator = block.instrs[-1]
+
+        fused_cc = None
+        if (isinstance(terminator, CondBranch) and body
+                and isinstance(body[-1], Binary)
+                and body[-1].op in COMPARISON_OPS
+                and body[-1].dst == terminator.cond
+                and self._use_counts.get(body[-1].dst, 0) == 1
+                and self._def_counts.get(body[-1].dst, 0) == 1):
+            comparison = body[-1]
+            body = body[:-1]
+            for instr in body:
+                self._lower_instr(instr)
+            self._emit_compare(comparison.lhs, comparison.rhs)
+            fused_cc = _CC_FOR_OP[comparison.op]
+        else:
+            for instr in body:
+                self._lower_instr(instr)
+
+        if isinstance(terminator, Return):
+            if terminator.value is not None:
+                self._read_into(EAX, terminator.value)
+            self._epilogue()
+        elif isinstance(terminator, Branch):
+            if terminator.target != next_label:
+                self._emit("jmp", Label(self.block_label(terminator.target)))
+        elif isinstance(terminator, CondBranch):
+            if fused_cc is None:
+                self._read_into(EAX, terminator.cond)
+                self._emit("test", EAX, EAX)
+                fused_cc = "ne"
+            self._emit_cond_jump(fused_cc, terminator.then_target,
+                                 terminator.else_target, next_label)
+        else:
+            raise LoweringError(f"bad terminator {terminator!r}")
+
+    def _emit_compare(self, lhs, rhs):
+        """cmp such that the flags read as (lhs ? rhs)."""
+        if isinstance(lhs, Const):
+            self._read_into(EAX, lhs)
+            self._emit("cmp", EAX, self._operand(rhs))
+            return
+        left = self._operand(lhs)
+        right = self._operand(rhs)
+        if isinstance(left, Mem) and isinstance(right, Mem):
+            self._read_into(EAX, lhs)
+            left = EAX
+        self._emit("cmp", left, right)
+
+    def _emit_cond_jump(self, cc, then_target, else_target, next_label):
+        then_label = Label(self.block_label(then_target))
+        else_label = Label(self.block_label(else_target))
+        if else_target == next_label:
+            self._emit("j" + cc, then_label)
+        elif then_target == next_label:
+            self._emit("j" + _CC_INVERSE[cc], else_label)
+        else:
+            self._emit("j" + cc, then_label)
+            # This jump executes only when the branch falls through, i.e.
+            # once per traversal of the (block -> else) edge — not once
+            # per block execution. Tag it with the edge so the analytic
+            # cost engine (and the NOP policy) charge it correctly.
+            function_name, block_label = self.block_id
+            jump = self._emit("jmp", else_label)
+            jump.block_id = ("edge", function_name, block_label,
+                             else_target)
+
+    # -- instructions ----------------------------------------------------------------
+
+    def _lower_instr(self, instr):
+        if isinstance(instr, Copy):
+            self._lower_copy(instr)
+        elif isinstance(instr, Binary):
+            self._lower_binary(instr)
+        elif isinstance(instr, Unary):
+            self._lower_unary(instr)
+        elif isinstance(instr, ALoad):
+            self._lower_aload(instr)
+        elif isinstance(instr, AStore):
+            self._lower_astore(instr)
+        elif isinstance(instr, Call):
+            self._lower_call(instr.dst, instr.callee, instr.args)
+        elif isinstance(instr, Print):
+            self._lower_call(None, PRINT_FUNCTION, [instr.value])
+        elif isinstance(instr, Input):
+            self._lower_call(instr.dst, READ_FUNCTION, [])
+        else:
+            raise LoweringError(f"cannot lower {instr!r}")
+
+    def _lower_copy(self, instr):
+        dst_loc = self._location(instr.dst)
+        src_op = self._operand(instr.src)
+        if dst_loc == src_op:
+            return
+        if isinstance(dst_loc, Mem) and isinstance(src_op, Mem):
+            self._emit("mov", EAX, src_op)
+            self._emit("mov", dst_loc, EAX)
+        else:
+            self._emit("mov", dst_loc, src_op)
+
+    def _lower_binary(self, instr):
+        op = instr.op
+        if op in _DIRECT_ALU:
+            self._read_into(EAX, instr.lhs)
+            self._emit(_DIRECT_ALU[op], EAX, self._operand(instr.rhs))
+            self._write_from(EAX, instr.dst)
+        elif op == "mul":
+            self._read_into(EAX, instr.lhs)
+            rhs = self._operand(instr.rhs)
+            if isinstance(rhs, Imm):
+                self._emit("imul", EAX, EAX, rhs)
+            else:
+                self._emit("imul", EAX, rhs)
+            self._write_from(EAX, instr.dst)
+        elif op in ("div", "mod"):
+            self._read_into(EAX, instr.lhs)
+            self._read_into(ECX, instr.rhs)
+            self._emit("cdq")
+            self._emit("idiv", ECX)
+            self._write_from(EAX if op == "div" else EDX, instr.dst)
+        elif op in ("shl", "shr"):
+            mnemonic = "shl" if op == "shl" else "sar"
+            self._read_into(EAX, instr.lhs)
+            rhs = self._operand(instr.rhs)
+            if isinstance(rhs, Imm):
+                self._emit(mnemonic, EAX, Imm(rhs.value & 31))
+            else:
+                self._read_into(ECX, instr.rhs)
+                self._emit(mnemonic, EAX, ECX)
+            self._write_from(EAX, instr.dst)
+        elif op in COMPARISON_OPS:
+            self._read_into(ECX, instr.lhs)
+            rhs = self._operand(instr.rhs)
+            if isinstance(rhs, Mem):
+                self._read_into(EDX, instr.rhs)
+                rhs = EDX
+            self._emit("mov", EAX, Imm(0))
+            self._emit("cmp", ECX, rhs)
+            self._emit("set" + _CC_FOR_OP[op], EAX)
+            self._write_from(EAX, instr.dst)
+        else:
+            raise LoweringError(f"cannot lower binary op {op!r}")
+
+    def _lower_unary(self, instr):
+        if instr.op == "neg":
+            self._read_into(EAX, instr.src)
+            self._emit("neg", EAX)
+        elif instr.op == "bnot":
+            self._read_into(EAX, instr.src)
+            self._emit("not", EAX)
+        elif instr.op == "not":
+            self._read_into(ECX, instr.src)
+            self._emit("mov", EAX, Imm(0))
+            self._emit("test", ECX, ECX)
+            self._emit("sete", EAX)
+        else:
+            raise LoweringError(f"cannot lower unary op {instr.op!r}")
+        self._write_from(EAX, instr.dst)
+
+    def _array_mem(self, array, index):
+        """Memory operand for array[index]; may clobber EAX."""
+        if isinstance(index, Const):
+            return Mem(symbol=array, disp=4 * index.value)
+        self._read_into(EAX, index)
+        return Mem(symbol=array, index=EAX, scale=4)
+
+    def _lower_aload(self, instr):
+        source = self._array_mem(instr.array, instr.index)
+        dst_loc = self._location(instr.dst)
+        if isinstance(dst_loc, Register):
+            self._emit("mov", dst_loc, source)
+        else:
+            self._emit("mov", EAX, source)
+            self._emit("mov", dst_loc, EAX)
+
+    def _lower_astore(self, instr):
+        destination = self._array_mem(instr.array, instr.index)
+        value = self._operand(instr.value)
+        if isinstance(value, Mem):
+            self._read_into(ECX, instr.value)
+            value = ECX
+        self._emit("mov", destination, value)
+
+    def _lower_call(self, dst, callee, args):
+        for arg in reversed(args):
+            self._emit("push", self._operand(arg))
+        self._emit("call", Label(callee))
+        if args:
+            self._emit("add", ESP, Imm(4 * len(args)))
+        if dst is not None:
+            self._write_from(EAX, dst)
+
+
+def lower_function(function, module):
+    """Lower one IR function to a :class:`FunctionCode`."""
+    return _FunctionLowerer(function, module).lower()
+
+
+def lower_module(module, unit_name=None):
+    """Lower a whole IR module to an :class:`ObjectUnit`.
+
+    Data symbols are the module's global arrays. Function order follows the
+    module's insertion order (deterministic).
+    """
+    unit = ObjectUnit(unit_name or module.name)
+    for function in module.functions.values():
+        unit.add_function(lower_function(function, module))
+    for array in module.globals.values():
+        unit.data_symbols[array.name] = array.initial_values()
+    return unit

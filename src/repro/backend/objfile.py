@@ -1,0 +1,80 @@
+"""Low-level representation (LR) containers.
+
+A lowered function is a flat list of *code items*: :class:`LabelDef`
+markers interleaved with :class:`~repro.x86.instructions.Instr`. Branch
+operands are :class:`~repro.x86.instructions.Label` until the linker
+resolves them. This list is exactly the representation the NOP-insertion
+pass rewrites — instructions can be inserted anywhere without disturbing
+label identity, and the linker recomputes every offset afterwards
+(displacement accumulation is therefore real).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.x86.instructions import Instr
+
+
+@dataclass
+class LabelDef:
+    """Defines a code label at this position."""
+
+    name: str
+
+    def __repr__(self):
+        return f"{self.name}:"
+
+
+@dataclass
+class FunctionCode:
+    """One lowered function.
+
+    ``diversifiable`` is False for pre-assembled runtime objects: the
+    paper's C library is distributed as object code that the diversifying
+    compiler never sees, which is why a constant floor of gadgets survives
+    across the whole population (paper §5.2, Table 3 discussion).
+    """
+
+    name: str
+    items: list = field(default_factory=list)
+    diversifiable: bool = True
+
+    def instructions(self):
+        """Just the instructions, in order."""
+        return [item for item in self.items if isinstance(item, Instr)]
+
+    def label(self, suffix=""):
+        """The function's entry label (or a local label name)."""
+        return f"{self.name}{suffix}"
+
+    def __repr__(self):
+        return (f"FunctionCode({self.name!r}, {len(self.items)} items, "
+                f"diversifiable={self.diversifiable})")
+
+
+@dataclass
+class ObjectUnit:
+    """A collection of lowered functions plus data-symbol definitions.
+
+    ``data_symbols`` maps a symbol name to a list of initial 32-bit word
+    values (the symbol's size is 4 × len(values)).
+    """
+
+    name: str
+    functions: list = field(default_factory=list)
+    data_symbols: dict = field(default_factory=dict)
+
+    def add_function(self, function_code):
+        self.functions.append(function_code)
+        return function_code
+
+    def function(self, name):
+        for function_code in self.functions:
+            if function_code.name == name:
+                return function_code
+        raise KeyError(name)
+
+    def __repr__(self):
+        return (f"ObjectUnit({self.name!r}, {len(self.functions)} functions, "
+                f"{len(self.data_symbols)} data symbols)")

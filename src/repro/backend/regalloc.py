@@ -1,0 +1,162 @@
+"""Liveness analysis and linear-scan register allocation.
+
+Allocatable registers are the callee-saved trio EBX/ESI/EDI; EAX, ECX and
+EDX are reserved as instruction-selection scratch (and for the return
+value, shift counts and division, respectively). Virtual registers that do
+not receive a physical register are assigned frame slots.
+
+The algorithm is classic Poletto–Sarkar linear scan over conservative
+whole-interval live ranges derived from a backward dataflow liveness
+analysis on the block-ordered instruction list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.x86.registers import EBX, EDI, ESI
+
+#: Registers handed out by the allocator, in preference order.
+ALLOCATABLE = (EBX, ESI, EDI)
+
+
+@dataclass
+class Allocation:
+    """The result of register allocation for one function.
+
+    ``assignment`` maps each virtual register to either a
+    :class:`~repro.x86.registers.Register` or an integer frame-slot index
+    (0-based; the frame layout turns it into an EBP offset).
+    """
+
+    assignment: dict
+    slot_count: int
+    used_callee_saved: tuple
+
+    def location(self, vreg):
+        return self.assignment[vreg]
+
+
+def block_liveness(function):
+    """Backward dataflow liveness; returns (live_in, live_out) per label."""
+    # use[b]: used before defined in b; def[b]: defined in b.
+    use_sets = {}
+    def_sets = {}
+    for block in function.blocks:
+        used = set()
+        defined = set()
+        for instr in block.instrs:
+            for reg in instr.used_regs():
+                if reg not in defined:
+                    used.add(reg)
+            defined.update(instr.defs())
+        use_sets[block.label] = used
+        def_sets[block.label] = defined
+
+    live_in = {block.label: set() for block in function.blocks}
+    live_out = {block.label: set() for block in function.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(function.blocks):
+            label = block.label
+            out = set()
+            for successor in block.successors():
+                out |= live_in[successor]
+            new_in = use_sets[label] | (out - def_sets[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def live_intervals(function):
+    """Conservative whole live intervals over linearized positions.
+
+    Returns ``{vreg: (start, end)}`` where positions number the
+    instructions of all blocks in layout order. Parameters start at
+    position -1 (live on entry).
+    """
+    live_in, live_out = block_liveness(function)
+    intervals = {}
+
+    def extend(vreg, position):
+        start, end = intervals.get(vreg, (position, position))
+        intervals[vreg] = (min(start, position), max(end, position))
+
+    position = 0
+    block_bounds = {}
+    for block in function.blocks:
+        start = position
+        position += len(block.instrs)
+        block_bounds[block.label] = (start, position - 1)
+
+    for block in function.blocks:
+        start, end = block_bounds[block.label]
+        # Anything live across the block covers the whole block.
+        for vreg in live_in[block.label]:
+            extend(vreg, start)
+        for vreg in live_out[block.label]:
+            extend(vreg, end)
+        position = start
+        for instr in block.instrs:
+            for vreg in instr.used_regs():
+                extend(vreg, position)
+            for vreg in instr.defs():
+                extend(vreg, position)
+            position += 1
+
+    for param in function.params:
+        if param in intervals:
+            start, end = intervals[param]
+            intervals[param] = (-1, end)
+        else:
+            intervals[param] = (-1, -1)
+    return intervals
+
+
+def allocate_function(function):
+    """Linear-scan allocation; returns an :class:`Allocation`."""
+    intervals = live_intervals(function)
+    order = sorted(intervals.items(), key=lambda kv: (kv[1][0], kv[1][1],
+                                                      kv[0].number))
+    free = list(ALLOCATABLE)
+    active = []  # (end, vreg, register), sorted by end
+    assignment = {}
+    slot_count = 0
+
+    def expire(position):
+        nonlocal active
+        keep = []
+        for end, vreg, register in active:
+            if end < position:
+                free.append(register)
+            else:
+                keep.append((end, vreg, register))
+        active = keep
+
+    for vreg, (start, end) in order:
+        expire(start)
+        if free:
+            register = free.pop(0)
+            assignment[vreg] = register
+            active.append((end, vreg, register))
+            active.sort(key=lambda entry: entry[0])
+        else:
+            # Spill the interval that ends last (it blocks the register
+            # longest); if that's the current one, the current spills.
+            furthest_end, furthest_vreg, register = active[-1]
+            if furthest_end > end:
+                assignment[vreg] = assignment[furthest_vreg]
+                assignment[furthest_vreg] = slot_count
+                slot_count += 1
+                active[-1] = (end, vreg, register)
+                active.sort(key=lambda entry: entry[0])
+            else:
+                assignment[vreg] = slot_count
+                slot_count += 1
+
+    used = tuple(reg for reg in ALLOCATABLE
+                 if any(loc is reg for loc in assignment.values()))
+    return Allocation(assignment, slot_count, used)

@@ -1,0 +1,169 @@
+"""``repro-diversify`` — command-line front end for the diversifying
+compiler.
+
+Subcommands::
+
+    compile   FILE              build + disassemble a MinC program
+    run       FILE [ints...]    compile, link and simulate
+    profile   FILE [ints...]    collect an edge profile, print a summary
+    diversify FILE              emit a diversified variant and its stats
+    scan      FILE              gadget-scan the linked binary
+    bench     NAME              run one SPEC-like workload end to end
+
+Examples::
+
+    repro-diversify run examples/programs/matrix.minc 8 8
+    repro-diversify diversify prog.minc --range 0.0 0.3 --seed 7 \\
+        --train 5 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import DiversificationConfig
+from repro.pipeline import ProgramBuild
+from repro.reporting import format_table
+from repro.security.gadgets import find_gadgets
+from repro.security.survivor import surviving_gadgets
+from repro.workloads.registry import get_workload
+from repro.x86.asmwriter import format_listing
+
+
+def _read_source(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def _build(path, name=None):
+    return ProgramBuild(_read_source(path), name or path)
+
+
+def _config_from_args(args):
+    if args.range is not None:
+        low, high = args.range
+        return DiversificationConfig.profile_guided(low, high)
+    return DiversificationConfig.uniform(args.p)
+
+
+def cmd_compile(args):
+    build = _build(args.file)
+    binary = build.link_baseline()
+    instrs = [record.instr for record in binary.instr_records]
+    print(format_listing(instrs, base_address=binary.text_base))
+    print(f"\n{len(binary.text)} text bytes, "
+          f"{len(binary.instr_records)} instructions")
+    return 0
+
+
+def cmd_run(args):
+    build = _build(args.file)
+    binary = build.link_baseline()
+    result = build.simulate(binary, args.inputs)
+    for value in result.output:
+        print(value)
+    print(f"[exit {result.exit_code}, {result.instr_count} instructions]",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args):
+    build = _build(args.file)
+    profile = build.profile(args.inputs)
+    maximum, median, total = profile.summary()
+    print(f"edges counted : {len(profile.edge_counts)}")
+    print(f"max block     : {maximum}")
+    print(f"median block  : {median}")
+    print(f"total         : {total}")
+    if args.output:
+        profile.save(args.output)
+        print(f"saved to {args.output}")
+    return 0
+
+
+def cmd_diversify(args):
+    build = _build(args.file)
+    config = _config_from_args(args)
+    profile = None
+    if config.requires_profile:
+        profile = build.profile(tuple(args.train or ()))
+    baseline = build.link_baseline()
+    variant = build.link_variant(config, args.seed, profile)
+    survivors, _offsets = surviving_gadgets(baseline.text, variant.text)
+    total = len(find_gadgets(baseline.text))
+    print(f"configuration : {config.describe()}")
+    print(f"baseline text : {len(baseline.text)} bytes, {total} gadgets")
+    print(f"variant text  : {len(variant.text)} bytes")
+    print(f"survivors     : {survivors} ({100*survivors/max(total,1):.2f}%)")
+    return 0
+
+
+def cmd_scan(args):
+    build = _build(args.file)
+    binary = build.link_baseline()
+    gadgets = find_gadgets(binary.text)
+    rows = [(f"+{offset:#x}", "; ".join(g.mnemonics()), g.size)
+            for offset, g in sorted(gadgets.items())[:args.limit]]
+    print(format_table(("offset", "gadget", "bytes"), rows,
+                       title=f"{len(gadgets)} gadgets"))
+    return 0
+
+
+def cmd_bench(args):
+    workload = get_workload(args.name)
+    build = ProgramBuild(workload.source, workload.name)
+    result = build.simulate(build.link_baseline(), workload.ref_input)
+    print(f"{workload.name}: output={result.output} "
+          f"instrs={result.instr_count}")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-diversify",
+        description="Profile-guided NOP-insertion diversifying compiler "
+                    "(CGO 2013 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile and disassemble")
+    p.add_argument("file")
+    p.set_defaults(handler=cmd_compile)
+
+    p = sub.add_parser("run", help="compile, link and simulate")
+    p.add_argument("file")
+    p.add_argument("inputs", nargs="*", type=int)
+    p.set_defaults(handler=cmd_run)
+
+    p = sub.add_parser("profile", help="collect an edge profile")
+    p.add_argument("file")
+    p.add_argument("inputs", nargs="*", type=int)
+    p.add_argument("--output", "-o", help="save profile JSON here")
+    p.set_defaults(handler=cmd_profile)
+
+    p = sub.add_parser("diversify", help="emit a diversified variant")
+    p.add_argument("file")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--p", type=float, default=0.5,
+                   help="uniform insertion probability")
+    p.add_argument("--range", nargs=2, type=float, metavar=("MIN", "MAX"),
+                   help="profile-guided probability range")
+    p.add_argument("--train", nargs="*", type=int,
+                   help="training input for profile-guided mode")
+    p.set_defaults(handler=cmd_diversify)
+
+    p = sub.add_parser("scan", help="gadget-scan the binary")
+    p.add_argument("file")
+    p.add_argument("--limit", type=int, default=40)
+    p.set_defaults(handler=cmd_scan)
+
+    p = sub.add_parser("bench", help="run one named workload")
+    p.add_argument("name")
+    p.set_defaults(handler=cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

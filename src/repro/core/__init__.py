@@ -1,0 +1,34 @@
+"""The paper's contribution: profile-guided NOP-insertion diversity.
+
+- :mod:`repro.core.probability` — the probability models: uniform pNOP,
+  and the paper's linear and logarithmic profile-guided functions (§3.1).
+- :mod:`repro.core.config` — :class:`DiversificationConfig`, the
+  compile-time knobs (probability model, candidate set, basic-block
+  shifting).
+- :mod:`repro.core.policies` — turns (config, profile) into a per-block
+  probability function.
+- :mod:`repro.core.nop_insertion` — Algorithm 1: the insertion pass over
+  the low-level representation.
+- :mod:`repro.core.bbshift` — basic-block shifting (§6 future work).
+- :mod:`repro.core.variants` — seeded variant and population generation.
+"""
+
+from repro.core.probability import (
+    LinearProfileProbability, LogProfileProbability, UniformProbability,
+)
+from repro.core.config import DiversificationConfig
+from repro.core.policies import block_probability_function
+from repro.core.nop_insertion import insert_nops, insert_nops_in_unit
+from repro.core.bbshift import shift_basic_blocks
+from repro.core.substitution import (
+    is_substitutable, substitute_encodings, substitute_unit,
+)
+from repro.core.variants import diversify_unit, variant_seeds
+
+__all__ = [
+    "LinearProfileProbability", "LogProfileProbability",
+    "UniformProbability", "DiversificationConfig",
+    "block_probability_function", "insert_nops", "insert_nops_in_unit",
+    "shift_basic_blocks", "diversify_unit", "variant_seeds",
+    "is_substitutable", "substitute_encodings", "substitute_unit",
+]

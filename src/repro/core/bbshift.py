@@ -1,0 +1,54 @@
+"""Basic-block shifting (paper §6, future work).
+
+NOP insertion adds little diversity at the very beginning of a binary:
+displacements accumulate, so the first instructions are displaced by at
+most a few bytes. The paper proposes inserting a *jumped-over* dummy
+block of random size at the start of each function — the jump costs one
+(well-predicted) instruction per call, while everything after the sled is
+displaced by the sled's full size.
+
+The sled is built from random NOP-table candidates so the Survivor
+normalization treats it like any other inserted padding.
+"""
+
+from __future__ import annotations
+
+from repro.backend.objfile import FunctionCode, LabelDef
+from repro.x86.instructions import Instr, Label
+
+
+def shift_basic_blocks(function_code, candidates, rng, max_shift_bytes=16):
+    """Insert a jumped-over NOP sled after the function's entry label."""
+    if not function_code.diversifiable or max_shift_bytes <= 0:
+        return function_code
+
+    sled_bytes = rng.randrange(max_shift_bytes + 1)
+    if sled_bytes == 0:
+        return function_code
+
+    skip_label = f"{function_code.name}.__shifted"
+    sled = []
+    remaining = sled_bytes
+    while remaining > 0:
+        usable = [c for c in candidates if c.size <= remaining]
+        if not usable:
+            break
+        candidate = usable[rng.randrange(len(usable))]
+        nop = candidate.to_instr()
+        nop.block_id = None  # never executed: the jump skips the sled
+        sled.append(nop)
+        remaining -= candidate.size
+
+    items = list(function_code.items)
+    # items[0] is the function's entry LabelDef; the sled goes right after
+    # it, behind a skip jump, so calls land on the jump and hop the sled.
+    entry_block = None
+    for item in items:
+        if isinstance(item, Instr):
+            entry_block = item.block_id
+            break
+    jump = Instr("jmp", Label(skip_label), block_id=entry_block)
+    insertion = [jump] + sled + [LabelDef(skip_label)]
+    new_items = items[:1] + insertion + items[1:]
+    return FunctionCode(function_code.name, new_items,
+                        diversifiable=function_code.diversifiable)

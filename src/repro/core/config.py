@@ -1,0 +1,84 @@
+"""Compile-time configuration of the diversifying pass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.probability import (
+    LogProfileProbability, UniformProbability,
+)
+from repro.x86.nops import DEFAULT_NOP_CANDIDATES, NOP_CANDIDATES
+
+
+@dataclass(frozen=True)
+class DiversificationConfig:
+    """All knobs of the diversifying compiler.
+
+    - ``probability_model`` — a :mod:`repro.core.probability` model.
+    - ``include_xchg_nops`` — enable the two bus-locking XCHG candidates
+      (off by default, as in the paper, because of their cost).
+    - ``basic_block_shifting`` — the §6 extension: a jumped-over NOP sled
+      of random size at each function entry, compensating for the low
+      accumulated displacement at the beginning of the binary.
+    - ``max_shift_bytes`` — upper bound for the per-function sled size.
+    - ``encoding_substitution`` — §6's equivalent-instruction
+      substitution at encoding granularity: randomly flip the ModRM
+      direction bit of reg,reg MOV/ALU instructions (byte-distinct,
+      semantics- and size-identical).
+    - ``function_reordering`` — §6's function reordering: permute the
+      layout order of the program's functions.
+    """
+
+    probability_model: object = field(
+        default_factory=lambda: UniformProbability(0.5))
+    include_xchg_nops: bool = False
+    basic_block_shifting: bool = False
+    max_shift_bytes: int = 16
+    encoding_substitution: bool = False
+    function_reordering: bool = False
+
+    @property
+    def nop_candidates(self):
+        if self.include_xchg_nops:
+            return NOP_CANDIDATES
+        return DEFAULT_NOP_CANDIDATES
+
+    @property
+    def requires_profile(self):
+        return self.probability_model.requires_profile
+
+    def describe(self):
+        text = self.probability_model.describe()
+        if self.include_xchg_nops:
+            text += " +xchg"
+        if self.basic_block_shifting:
+            text += " +bbshift"
+        if self.encoding_substitution:
+            text += " +subst"
+        if self.function_reordering:
+            text += " +reorder"
+        return text
+
+    # -- convenience constructors matching the paper's five configurations --
+
+    @classmethod
+    def uniform(cls, p, **kwargs):
+        """The naive pass at constant probability ``p``."""
+        return cls(probability_model=UniformProbability(p), **kwargs)
+
+    @classmethod
+    def profile_guided(cls, p_min, p_max, **kwargs):
+        """The paper's logarithmic profile-guided pass."""
+        return cls(probability_model=LogProfileProbability(p_min, p_max),
+                   **kwargs)
+
+
+#: The five configurations evaluated in the paper's Figure 4 and Tables
+#: 2-3, keyed by the paper's labels.
+PAPER_CONFIGS = {
+    "50%": DiversificationConfig.uniform(0.50),
+    "30%": DiversificationConfig.uniform(0.30),
+    "25-50%": DiversificationConfig.profile_guided(0.25, 0.50),
+    "10-50%": DiversificationConfig.profile_guided(0.10, 0.50),
+    "0-30%": DiversificationConfig.profile_guided(0.00, 0.30),
+}

@@ -1,0 +1,74 @@
+"""Algorithm 1: the probabilistic NOP-insertion pass.
+
+For every instruction of the low-level representation the pass makes two
+random decisions, exactly as the paper's pseudocode::
+
+    for i in IList:
+        roll = random(0.0, 1.0)
+        if roll < pNOP:
+            nopIndex = random(0, numNOPs)
+            insert(i, NOPTable[nopIndex])
+
+The profile-guided variant replaces the constant ``pNOP`` with the
+per-block policy from :mod:`repro.core.policies`. Inserted NOPs inherit
+the block id of the instruction they precede (they execute exactly as
+often), and are marked ``is_inserted_nop`` for the cost model and for
+analyses that want ground truth.
+
+The pass runs on label-bearing instruction lists *before* layout, so the
+linker recomputes every branch offset around the inserted bytes; the
+displacement accumulation of the paper's Figure 2 is therefore a real
+consequence of linking, not an emulation.
+"""
+
+from __future__ import annotations
+
+from repro.backend.objfile import FunctionCode, ObjectUnit
+from repro.x86.instructions import Instr
+
+
+def insert_nops(function_code, candidates, rng, probability_for_block):
+    """Diversify one function; returns a new :class:`FunctionCode`.
+
+    ``candidates`` is the NOP table (sequence of
+    :class:`~repro.x86.nops.NopCandidate`), ``rng`` a seeded
+    ``random.Random``, ``probability_for_block`` the per-block policy.
+    Non-diversifiable functions (runtime objects) pass through untouched.
+    """
+    if not function_code.diversifiable:
+        return function_code
+
+    candidate_count = len(candidates)
+    new_items = []
+    for item in function_code.items:
+        if isinstance(item, Instr):
+            p_nop = probability_for_block(item.block_id)
+            roll = rng.random()
+            if roll < p_nop:
+                nop_index = rng.randrange(candidate_count)
+                nop = candidates[nop_index].to_instr()
+                nop.block_id = item.block_id
+                new_items.append(nop)
+        new_items.append(item)
+    return FunctionCode(function_code.name, new_items,
+                        diversifiable=function_code.diversifiable)
+
+
+def insert_nops_in_unit(unit, candidates, rng, probability_for_block):
+    """Diversify every function of an object unit; returns a new unit."""
+    diversified = ObjectUnit(unit.name,
+                             data_symbols=dict(unit.data_symbols))
+    for function_code in unit.functions:
+        diversified.add_function(
+            insert_nops(function_code, candidates, rng,
+                        probability_for_block))
+    return diversified
+
+
+def count_inserted_nops(function_code_or_unit):
+    """How many instructions in the LR are diversifier-inserted NOPs."""
+    if isinstance(function_code_or_unit, ObjectUnit):
+        return sum(count_inserted_nops(fc)
+                   for fc in function_code_or_unit.functions)
+    return sum(1 for item in function_code_or_unit.items
+               if isinstance(item, Instr) and item.is_inserted_nop)

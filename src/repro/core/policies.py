@@ -1,0 +1,50 @@
+"""Per-block probability policies.
+
+``block_probability_function`` resolves a (config, profile) pair into a
+plain callable ``block_id → probability`` that the insertion pass invokes
+per instruction. Block ids are the ``(function, label)`` tags the lowerer
+attached, or ``("edge", function, source, target)`` for the trailing jump
+of a two-target conditional branch — the latter uses the *edge* count,
+which is the exact execution count of that jump.
+
+Blocks absent from the profile have count 0: never executed in training,
+hence maximally cold, hence diversified at ``p_max`` — the paper's core
+"diversify cold code freely" rule.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProfileError
+
+
+def block_probability_function(config, profile=None):
+    """Build the ``block_id → probability`` callable for one build."""
+    model = config.probability_model
+    if not model.requires_profile:
+        constant = model.probability(0, 0)
+
+        def uniform_policy(_block_id):
+            return constant
+
+        return uniform_policy
+
+    if profile is None:
+        raise ProfileError(
+            f"configuration {config.describe()!r} needs profile data; "
+            "run a training build first")
+
+    max_count = profile.max_block_count
+    block_counts = profile.block_counts
+    edge_counts = profile.edge_counts
+
+    def profile_policy(block_id):
+        if block_id is None:
+            count = 0
+        elif block_id[0] == "edge":
+            _tag, function, source, target = block_id
+            count = edge_counts.get((function, source, target), 0)
+        else:
+            count = block_counts.get(block_id, 0)
+        return model.probability(count, max_count)
+
+    return profile_policy

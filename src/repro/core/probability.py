@@ -1,0 +1,103 @@
+"""NOP-insertion probability models (paper §3 and §3.1).
+
+All probabilities are fractions in [0, 1]. Three models:
+
+- :class:`UniformProbability` — the naive pass: the same ``p`` everywhere
+  (the paper's pNOP = 50% / 30% configurations).
+- :class:`LinearProfileProbability` — the paper's first heuristic::
+
+      p(x) = p_max − (p_max − p_min) · x / x_max
+
+  which §3.1 shows polarizes probabilities because execution counts grow
+  multiplicatively with loop nesting.
+- :class:`LogProfileProbability` — the paper's fix::
+
+      p(x) = p_max − (p_max − p_min) · log(1 + x) / log(1 + x_max)
+
+  placing counts orders of magnitude below the maximum well inside the
+  probability interval (the 473.astar median example).
+
+``x`` is the executing block's profile count and ``x_max`` the maximum
+count in the program. A zero ``x_max`` (empty profile) degrades to
+``p_max`` everywhere — with no training data every block is "cold".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _check_fraction(name, value):
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class UniformProbability:
+    """Constant insertion probability, ignoring any profile."""
+
+    p: float
+
+    def __post_init__(self):
+        _check_fraction("p", self.p)
+
+    #: Uniform models do not need profile data.
+    requires_profile = False
+
+    def probability(self, count, max_count):
+        return self.p
+
+    def describe(self):
+        return f"pNOP={self.p:.0%}"
+
+
+@dataclass(frozen=True)
+class LinearProfileProbability:
+    """The paper's linear heuristic (shown inferior in §3.1)."""
+
+    p_min: float
+    p_max: float
+
+    def __post_init__(self):
+        _check_fraction("p_min", self.p_min)
+        _check_fraction("p_max", self.p_max)
+        if self.p_min > self.p_max:
+            raise ValueError("p_min must not exceed p_max")
+
+    requires_profile = True
+
+    def probability(self, count, max_count):
+        if max_count <= 0:
+            return self.p_max
+        fraction = min(count, max_count) / max_count
+        return self.p_max - (self.p_max - self.p_min) * fraction
+
+    def describe(self):
+        return f"pNOP={self.p_min:.0%}-{self.p_max:.0%} (linear)"
+
+
+@dataclass(frozen=True)
+class LogProfileProbability:
+    """The paper's logarithmic heuristic (the headline technique)."""
+
+    p_min: float
+    p_max: float
+
+    def __post_init__(self):
+        _check_fraction("p_min", self.p_min)
+        _check_fraction("p_max", self.p_max)
+        if self.p_min > self.p_max:
+            raise ValueError("p_min must not exceed p_max")
+
+    requires_profile = True
+
+    def probability(self, count, max_count):
+        if max_count <= 0:
+            return self.p_max
+        count = min(max(count, 0), max_count)
+        fraction = math.log1p(count) / math.log1p(max_count)
+        return self.p_max - (self.p_max - self.p_min) * fraction
+
+    def describe(self):
+        return f"pNOP={self.p_min:.0%}-{self.p_max:.0%}"

@@ -1,0 +1,72 @@
+"""Equivalent-encoding substitution (paper §6's "equivalent instruction
+substitution", at encoding granularity).
+
+x86's ModRM scheme gives every register-to-register MOV and ALU
+operation **two byte-distinct encodings** for the identical architectural
+operation: ``op r/m, r`` (direction bit 0) and ``op r, r/m`` (direction
+bit 1) — e.g. ``mov ebx, eax`` is both ``89 C3`` and ``8B D8``. Flipping
+the direction changes the emitted bytes (destroying byte-matched
+gadgets) with *zero* semantic or size difference — no displacement, no
+flags, no cycles. This is the compiler-side analogue of the in-place
+instruction-substitution technique of Pappas et al. (cited as [27] in
+the paper), and composes orthogonally with NOP insertion, exactly as §6
+suggests.
+
+The pass flips each substitutable instruction with probability 1/2.
+"""
+
+from __future__ import annotations
+
+from repro.backend.objfile import FunctionCode, ObjectUnit
+from repro.x86.instructions import Instr
+from repro.x86.nops import is_nop_candidate_instr
+from repro.x86.registers import Register
+
+#: Mnemonics with a ModRM direction bit for reg,reg forms.
+SUBSTITUTABLE_MNEMONICS = frozenset(
+    {"mov", "add", "or", "and", "sub", "xor", "cmp"})
+
+
+def is_substitutable(instr):
+    """True if the instruction has a byte-distinct equivalent encoding.
+
+    Table-1 NOP candidates are exempt: their exact encodings are part of
+    the Survivor normalization contract.
+    """
+    if instr.mnemonic not in SUBSTITUTABLE_MNEMONICS:
+        return False
+    if len(instr.operands) != 2:
+        return False
+    dst, src = instr.operands
+    if not (isinstance(dst, Register) and isinstance(src, Register)):
+        return False
+    return not is_nop_candidate_instr(instr)
+
+
+def substitute_encodings(function_code, rng, probability=0.5):
+    """Flip encoding directions through one function; returns a new
+    FunctionCode."""
+    if not function_code.diversifiable:
+        return function_code
+    new_items = []
+    for item in function_code.items:
+        if (isinstance(item, Instr) and is_substitutable(item)
+                and rng.random() < probability):
+            flipped = Instr(item.mnemonic, *item.operands,
+                            block_id=item.block_id,
+                            is_inserted_nop=item.is_inserted_nop,
+                            alternate_encoding=not item.alternate_encoding)
+            new_items.append(flipped)
+        else:
+            new_items.append(item)
+    return FunctionCode(function_code.name, new_items,
+                        diversifiable=function_code.diversifiable)
+
+
+def substitute_unit(unit, rng, probability=0.5):
+    """Apply encoding substitution to every function of a unit."""
+    result = ObjectUnit(unit.name, data_symbols=dict(unit.data_symbols))
+    for function_code in unit.functions:
+        result.add_function(substitute_encodings(function_code, rng,
+                                                 probability))
+    return result

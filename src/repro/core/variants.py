@@ -1,0 +1,54 @@
+"""Seeded variant generation.
+
+A diversified *variant* is fully determined by (object unit, config,
+profile, seed): the seed initializes one ``random.Random`` stream that
+drives both random decisions of Algorithm 1 (insert? which candidate?)
+and, when enabled, the basic-block-shift sled sizes. Populations are
+simply ranges of seeds, which is how the paper builds its 25 binaries per
+benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.bbshift import shift_basic_blocks
+from repro.core.nop_insertion import insert_nops
+from repro.core.policies import block_probability_function
+from repro.core.substitution import substitute_encodings
+from repro.backend.objfile import ObjectUnit
+
+
+def diversify_unit(unit, config, seed, profile=None):
+    """Produce one diversified variant of an object unit.
+
+    Transformation order: NOP insertion (Algorithm 1), then the optional
+    §6 extensions — basic-block shifting, equivalent-encoding
+    substitution, and function reordering. All draw from one seeded
+    stream, so (unit, config, profile, seed) fully determines the
+    variant.
+    """
+    rng = random.Random(seed)
+    policy = block_probability_function(config, profile)
+    candidates = config.nop_candidates
+    variant = ObjectUnit(unit.name, data_symbols=dict(unit.data_symbols))
+    for function_code in unit.functions:
+        diversified = insert_nops(function_code, candidates, rng, policy)
+        if config.basic_block_shifting:
+            diversified = shift_basic_blocks(
+                diversified, candidates, rng,
+                max_shift_bytes=config.max_shift_bytes)
+        if config.encoding_substitution:
+            diversified = substitute_encodings(diversified, rng)
+        variant.add_function(diversified)
+    if config.function_reordering:
+        reorderable = [fc for fc in variant.functions if fc.diversifiable]
+        fixed = [fc for fc in variant.functions if not fc.diversifiable]
+        rng.shuffle(reorderable)
+        variant.functions = fixed + reorderable
+    return variant
+
+
+def variant_seeds(population_size, base_seed=0):
+    """The seed range used for a population of diversified binaries."""
+    return range(base_seed, base_seed + population_size)

@@ -1,0 +1,55 @@
+"""Shared exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class MincSyntaxError(ReproError):
+    """Raised by the MinC lexer/parser on malformed source."""
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class MincSemanticError(ReproError):
+    """Raised by semantic analysis (undefined names, arity errors, ...)."""
+
+
+class IRError(ReproError):
+    """Raised when an IR module violates a structural invariant."""
+
+
+class LoweringError(ReproError):
+    """Raised when the backend cannot lower an IR construct."""
+
+
+class EncodingError(ReproError):
+    """Raised when an x86 instruction cannot be encoded."""
+
+
+class DecodingError(ReproError):
+    """Raised when bytes cannot be decoded as an x86 instruction."""
+
+
+class LinkError(ReproError):
+    """Raised by the linker (duplicate/undefined symbols, layout issues)."""
+
+
+class SimulatorError(ReproError):
+    """Raised by the x86 simulator on machine faults."""
+
+
+class ProfileError(ReproError):
+    """Raised on malformed or mismatched profile data."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a named workload does not exist or fails to build."""

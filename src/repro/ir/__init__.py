@@ -1,0 +1,36 @@
+"""Three-address intermediate representation.
+
+The IR sits between the MinC front end and the x86 backend, mirroring the
+role of LLVM IR in the paper's pipeline (Figure 3): the front end builds a
+control-flow graph of basic blocks per function, the optimizer rewrites it,
+the profiler instruments its edges, and the backend lowers it.
+
+Modules:
+
+- :mod:`repro.ir.values` — virtual registers and constants.
+- :mod:`repro.ir.instructions` — the instruction set.
+- :mod:`repro.ir.module` — ``Module`` / ``Function`` / ``Block`` containers.
+- :mod:`repro.ir.builder` — convenience construction API.
+- :mod:`repro.ir.verifier` — structural invariant checks.
+- :mod:`repro.ir.interp` — reference interpreter (also the profiling
+  execution engine).
+"""
+
+from repro.ir.values import Const, VirtualReg
+from repro.ir.instructions import (
+    ALoad, AStore, Binary, Branch, Call, CondBranch, Copy, Input, Print,
+    Return, Unary, BINARY_OPS, COMPARISON_OPS,
+)
+from repro.ir.module import Block, Function, GlobalArray, Module
+from repro.ir.builder import FunctionBuilder
+from repro.ir.verifier import verify_module
+from repro.ir.interp import ExecutionLimitExceeded, Interpreter, run_module
+
+__all__ = [
+    "Const", "VirtualReg",
+    "ALoad", "AStore", "Binary", "Branch", "Call", "CondBranch", "Copy",
+    "Input", "Print", "Return", "Unary", "BINARY_OPS", "COMPARISON_OPS",
+    "Block", "Function", "GlobalArray", "Module",
+    "FunctionBuilder", "verify_module",
+    "ExecutionLimitExceeded", "Interpreter", "run_module",
+]

@@ -1,0 +1,103 @@
+"""Convenience API for constructing IR functions.
+
+The builder keeps a current insertion block and offers one method per
+instruction kind; the front end and tests use it instead of poking
+instruction lists directly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    ALoad, AStore, Binary, Branch, Call, CondBranch, Copy, Input, Print,
+    Return, Unary,
+)
+from repro.ir.values import Const
+
+
+class FunctionBuilder:
+    """Builds one :class:`~repro.ir.module.Function` block by block."""
+
+    def __init__(self, function):
+        self.function = function
+        self.current = None
+
+    # -- block management --------------------------------------------------
+
+    def new_block(self, hint="bb"):
+        return self.function.new_block(hint)
+
+    def position_at(self, block):
+        """Make ``block`` the insertion point."""
+        self.current = block
+        return block
+
+    def start_block(self, hint="bb"):
+        """Create a block and position at it."""
+        return self.position_at(self.new_block(hint))
+
+    @property
+    def is_terminated(self):
+        """True if the current block already has a terminator."""
+        return self.current is not None and self.current.terminator is not None
+
+    def _emit(self, instr):
+        if self.current is None:
+            raise IRError("no insertion block set")
+        if self.current.terminator is not None:
+            raise IRError(f"emitting into terminated block "
+                          f"{self.current.label!r}")
+        self.current.instrs.append(instr)
+        return instr
+
+    # -- instructions -------------------------------------------------------
+
+    def const(self, value):
+        """Materialize a constant into a fresh register."""
+        dst = self.function.new_vreg()
+        self._emit(Copy(dst, Const(value)))
+        return dst
+
+    def copy(self, dst, src):
+        self._emit(Copy(dst, src))
+        return dst
+
+    def unary(self, op, src, dst=None):
+        dst = dst or self.function.new_vreg()
+        self._emit(Unary(op, dst, src))
+        return dst
+
+    def binary(self, op, lhs, rhs, dst=None):
+        dst = dst or self.function.new_vreg()
+        self._emit(Binary(op, dst, lhs, rhs))
+        return dst
+
+    def aload(self, array, index, dst=None):
+        dst = dst or self.function.new_vreg()
+        self._emit(ALoad(dst, array, index))
+        return dst
+
+    def astore(self, array, index, value):
+        self._emit(AStore(array, index, value))
+
+    def call(self, callee, args, want_result=True):
+        dst = self.function.new_vreg() if want_result else None
+        self._emit(Call(dst, callee, args))
+        return dst
+
+    def print_(self, value):
+        self._emit(Print(value))
+
+    def input_(self, dst=None):
+        dst = dst or self.function.new_vreg()
+        self._emit(Input(dst))
+        return dst
+
+    def branch(self, target_block):
+        self._emit(Branch(target_block.label))
+
+    def cond_branch(self, cond, then_block, else_block):
+        self._emit(CondBranch(cond, then_block.label, else_block.label))
+
+    def ret(self, value=None):
+        self._emit(Return(value))

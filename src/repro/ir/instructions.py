@@ -1,0 +1,304 @@
+"""The IR instruction set.
+
+Every instruction is a small mutable object with explicit operand slots.
+``defs()`` and ``uses()`` expose the registers an instruction writes/reads,
+which is all the optimizer and the backend's liveness analysis need.
+
+Terminators (:class:`Branch`, :class:`CondBranch`, :class:`Return`) appear
+only as the last instruction of a block; the verifier enforces this.
+"""
+
+from __future__ import annotations
+
+from repro.ir.values import VirtualReg
+
+#: Binary operators: arithmetic, bitwise, shifts and comparisons.
+#: Comparisons produce 0 or 1. ``div``/``mod`` are C-style truncating.
+BINARY_OPS = frozenset({
+    "add", "sub", "mul", "div", "mod",
+    "and", "or", "xor", "shl", "shr",
+    "lt", "le", "gt", "ge", "eq", "ne",
+})
+
+#: The subset of BINARY_OPS that are comparisons.
+COMPARISON_OPS = frozenset({"lt", "le", "gt", "ge", "eq", "ne"})
+
+#: Unary operators. ``not`` is logical (C ``!``), ``bnot`` bitwise (``~``).
+UNARY_OPS = frozenset({"neg", "not", "bnot"})
+
+
+class IRInstr:
+    """Base class; subclasses define ``defs``/``uses``/``__repr__``."""
+
+    is_terminator = False
+
+    def defs(self):
+        """Virtual registers written by this instruction."""
+        return ()
+
+    def uses(self):
+        """Values read by this instruction (registers and constants)."""
+        return ()
+
+    def used_regs(self):
+        """Virtual registers read by this instruction."""
+        return tuple(v for v in self.uses() if isinstance(v, VirtualReg))
+
+
+class Copy(IRInstr):
+    """``dst = src`` where src is a register or constant."""
+
+    def __init__(self, dst, src):
+        self.dst = dst
+        self.src = src
+
+    def defs(self):
+        return (self.dst,)
+
+    def uses(self):
+        return (self.src,)
+
+    def __repr__(self):
+        return f"{self.dst!r} = {self.src!r}"
+
+
+class Unary(IRInstr):
+    """``dst = op src``."""
+
+    def __init__(self, op, dst, src):
+        if op not in UNARY_OPS:
+            raise ValueError(f"unknown unary op {op!r}")
+        self.op = op
+        self.dst = dst
+        self.src = src
+
+    def defs(self):
+        return (self.dst,)
+
+    def uses(self):
+        return (self.src,)
+
+    def __repr__(self):
+        return f"{self.dst!r} = {self.op} {self.src!r}"
+
+
+class Binary(IRInstr):
+    """``dst = lhs op rhs``."""
+
+    def __init__(self, op, dst, lhs, rhs):
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {op!r}")
+        self.op = op
+        self.dst = dst
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def defs(self):
+        return (self.dst,)
+
+    def uses(self):
+        return (self.lhs, self.rhs)
+
+    def __repr__(self):
+        return f"{self.dst!r} = {self.op} {self.lhs!r}, {self.rhs!r}"
+
+
+class ALoad(IRInstr):
+    """``dst = array[index]`` — load from a global array."""
+
+    def __init__(self, dst, array, index):
+        self.dst = dst
+        self.array = array  # global array name (str)
+        self.index = index
+
+    def defs(self):
+        return (self.dst,)
+
+    def uses(self):
+        return (self.index,)
+
+    def __repr__(self):
+        return f"{self.dst!r} = {self.array}[{self.index!r}]"
+
+
+class AStore(IRInstr):
+    """``array[index] = value`` — store to a global array."""
+
+    def __init__(self, array, index, value):
+        self.array = array
+        self.index = index
+        self.value = value
+
+    def uses(self):
+        return (self.index, self.value)
+
+    def __repr__(self):
+        return f"{self.array}[{self.index!r}] = {self.value!r}"
+
+
+class Call(IRInstr):
+    """``dst = callee(args...)``; ``dst`` may be None for void calls."""
+
+    def __init__(self, dst, callee, args):
+        self.dst = dst
+        self.callee = callee  # function name (str)
+        self.args = list(args)
+
+    def defs(self):
+        return (self.dst,) if self.dst is not None else ()
+
+    def uses(self):
+        return tuple(self.args)
+
+    def __repr__(self):
+        args = ", ".join(repr(a) for a in self.args)
+        prefix = f"{self.dst!r} = " if self.dst is not None else ""
+        return f"{prefix}call {self.callee}({args})"
+
+
+class Print(IRInstr):
+    """Write one integer (and a newline) to program output."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def uses(self):
+        return (self.value,)
+
+    def __repr__(self):
+        return f"print {self.value!r}"
+
+
+class Input(IRInstr):
+    """``dst = input()`` — read the next integer from program input.
+
+    Reading past the end of the input vector yields 0, so programs are
+    total for any input.
+    """
+
+    def __init__(self, dst):
+        self.dst = dst
+
+    def defs(self):
+        return (self.dst,)
+
+    def __repr__(self):
+        return f"{self.dst!r} = input()"
+
+
+class Branch(IRInstr):
+    """Unconditional jump to ``target`` (a block label string)."""
+
+    is_terminator = True
+
+    def __init__(self, target):
+        self.target = target
+
+    def successors(self):
+        return (self.target,)
+
+    def __repr__(self):
+        return f"br {self.target}"
+
+
+class CondBranch(IRInstr):
+    """Jump to ``then_target`` if ``cond`` is nonzero, else ``else_target``."""
+
+    is_terminator = True
+
+    def __init__(self, cond, then_target, else_target):
+        self.cond = cond
+        self.then_target = then_target
+        self.else_target = else_target
+
+    def uses(self):
+        return (self.cond,)
+
+    def successors(self):
+        return (self.then_target, self.else_target)
+
+    def __repr__(self):
+        return f"cbr {self.cond!r}, {self.then_target}, {self.else_target}"
+
+
+class Return(IRInstr):
+    """Return from the function; ``value`` may be None for void."""
+
+    is_terminator = True
+
+    def __init__(self, value=None):
+        self.value = value
+
+    def uses(self):
+        return (self.value,) if self.value is not None else ()
+
+    def successors(self):
+        return ()
+
+    def __repr__(self):
+        return f"ret {self.value!r}" if self.value is not None else "ret"
+
+
+def evaluate_binary(op, lhs, rhs):
+    """Evaluate a binary op on signed 32-bit ints, with x86 semantics.
+
+    Division and modulo truncate toward zero (IDIV). Division by zero is
+    defined here to yield 0 (the simulator's IDIV raises a machine fault;
+    front-end code guards divisions, and the interpreter mirrors the guard
+    behaviour of the generated runtime helper, which returns 0).
+    """
+    from repro.ir.values import wrap32
+
+    if op == "add":
+        return wrap32(lhs + rhs)
+    if op == "sub":
+        return wrap32(lhs - rhs)
+    if op == "mul":
+        return wrap32(lhs * rhs)
+    if op == "div":
+        if rhs == 0:
+            return 0
+        quotient = abs(lhs) // abs(rhs)
+        return wrap32(-quotient if (lhs < 0) != (rhs < 0) else quotient)
+    if op == "mod":
+        if rhs == 0:
+            return 0
+        quotient = abs(lhs) // abs(rhs)
+        quotient = -quotient if (lhs < 0) != (rhs < 0) else quotient
+        return wrap32(lhs - quotient * rhs)
+    if op == "and":
+        return wrap32(lhs & rhs)
+    if op == "or":
+        return wrap32(lhs | rhs)
+    if op == "xor":
+        return wrap32(lhs ^ rhs)
+    if op == "shl":
+        return wrap32(lhs << (rhs & 31))
+    if op == "shr":
+        return wrap32(lhs >> (rhs & 31))  # arithmetic shift (SAR)
+    if op == "lt":
+        return int(lhs < rhs)
+    if op == "le":
+        return int(lhs <= rhs)
+    if op == "gt":
+        return int(lhs > rhs)
+    if op == "ge":
+        return int(lhs >= rhs)
+    if op == "eq":
+        return int(lhs == rhs)
+    if op == "ne":
+        return int(lhs != rhs)
+    raise ValueError(f"unknown binary op {op!r}")
+
+
+def evaluate_unary(op, value):
+    """Evaluate a unary op on a signed 32-bit int."""
+    from repro.ir.values import wrap32
+
+    if op == "neg":
+        return wrap32(-value)
+    if op == "not":
+        return int(value == 0)
+    if op == "bnot":
+        return wrap32(~value)
+    raise ValueError(f"unknown unary op {op!r}")

@@ -1,0 +1,190 @@
+"""Reference interpreter for the IR.
+
+The interpreter serves three purposes:
+
+1. **Reference semantics** — every compiled binary's output is checked
+   against the interpreter's output in tests (differential testing).
+2. **Profiling execution engine** — an ``edge_observer`` callback sees every
+   traversed CFG edge, which is how edge-profile ground truth is gathered
+   (the instrumented-binary path in :mod:`repro.profiling` is checked
+   against it).
+3. **Workload development** — fast feedback while writing MinC programs.
+
+Machine semantics are mirrored exactly: 32-bit wrapping arithmetic,
+truncating division, arithmetic right shift.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    ALoad, AStore, Binary, Branch, Call, CondBranch, Copy, Input, Print,
+    Return, Unary, evaluate_binary, evaluate_unary,
+)
+from repro.ir.values import Const, VirtualReg, wrap32
+
+
+class ExecutionLimitExceeded(IRError):
+    """The step budget was exhausted (runaway program guard)."""
+
+
+class ExecutionResult:
+    """Outcome of a program run: output vector, exit code, dynamic stats."""
+
+    def __init__(self, output, exit_code, steps):
+        self.output = output
+        self.exit_code = exit_code
+        self.steps = steps
+
+    def __repr__(self):
+        return (f"ExecutionResult(exit={self.exit_code}, "
+                f"steps={self.steps}, output={self.output[:8]}...)")
+
+
+class Interpreter:
+    """Executes an IR module from its ``main`` function."""
+
+    def __init__(self, module, input_values=(), max_steps=200_000_000,
+                 edge_observer=None):
+        self.module = module
+        self.input_values = list(input_values)
+        self.input_position = 0
+        self.max_steps = max_steps
+        self.edge_observer = edge_observer
+        self.output = []
+        self.steps = 0
+        self.globals = {
+            name: array.initial_values()
+            for name, array in module.globals.items()
+        }
+
+    # -- value access -------------------------------------------------------
+
+    def _read(self, frame, value):
+        if isinstance(value, Const):
+            return value.value
+        if isinstance(value, VirtualReg):
+            try:
+                return frame[value]
+            except KeyError:
+                # Uninitialized registers read as 0, matching the zeroed
+                # stack slots / registers of the generated code's frames.
+                return 0
+        raise IRError(f"cannot read operand {value!r}")
+
+    def _array(self, name):
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise IRError(f"unknown global array {name!r}") from None
+
+    def _check_index(self, name, array, index):
+        """Strict bounds check: compiled code has no runtime check, so any
+        out-of-bounds access is a bug in the program itself; the reference
+        interpreter refuses to paper over it."""
+        if not 0 <= index < len(array):
+            raise IRError(f"index {index} out of bounds for {name!r} "
+                          f"(size {len(array)})")
+        return index
+
+    def _next_input(self):
+        if self.input_position < len(self.input_values):
+            value = self.input_values[self.input_position]
+            self.input_position += 1
+            return wrap32(value)
+        return 0
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self):
+        """Run ``main`` with no arguments; returns an ExecutionResult."""
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 100_000))
+        try:
+            exit_code = self.call("main", [])
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return ExecutionResult(self.output, wrap32(exit_code or 0), self.steps)
+
+    def call(self, name, args):
+        """Invoke one function; returns its result (or None for void)."""
+        function = self.module.function(name)
+        if len(args) != len(function.params):
+            raise IRError(f"{name!r} called with {len(args)} args, "
+                          f"expected {len(function.params)}")
+        frame = dict(zip(function.params, (wrap32(a) for a in args)))
+        block = function.entry
+        self._observe(name, None, block.label)
+        while True:
+            for instr in block.instrs[:-1]:
+                self._step(function, frame, instr)
+            terminator = block.instrs[-1]
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {self.max_steps} steps in {name!r}")
+            if isinstance(terminator, Return):
+                if terminator.value is None:
+                    return None
+                return self._read(frame, terminator.value)
+            if isinstance(terminator, Branch):
+                target = terminator.target
+            elif isinstance(terminator, CondBranch):
+                if self._read(frame, terminator.cond) != 0:
+                    target = terminator.then_target
+                else:
+                    target = terminator.else_target
+            else:
+                raise IRError(f"bad terminator {terminator!r}")
+            self._observe(name, block.label, target)
+            block = function.block(target)
+
+    def _observe(self, function_name, source, target):
+        if self.edge_observer is not None:
+            self.edge_observer(function_name, source, target)
+
+    def _step(self, function, frame, instr):
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise ExecutionLimitExceeded(
+                f"exceeded {self.max_steps} steps in {function.name!r}")
+        if isinstance(instr, Copy):
+            frame[instr.dst] = self._read(frame, instr.src)
+        elif isinstance(instr, Binary):
+            frame[instr.dst] = evaluate_binary(
+                instr.op, self._read(frame, instr.lhs),
+                self._read(frame, instr.rhs))
+        elif isinstance(instr, Unary):
+            frame[instr.dst] = evaluate_unary(
+                instr.op, self._read(frame, instr.src))
+        elif isinstance(instr, ALoad):
+            array = self._array(instr.array)
+            index = self._check_index(instr.array, array,
+                                      self._read(frame, instr.index))
+            frame[instr.dst] = array[index]
+        elif isinstance(instr, AStore):
+            array = self._array(instr.array)
+            index = self._check_index(instr.array, array,
+                                      self._read(frame, instr.index))
+            array[index] = self._read(frame, instr.value)
+        elif isinstance(instr, Call):
+            result = self.call(instr.callee,
+                               [self._read(frame, a) for a in instr.args])
+            if instr.dst is not None:
+                frame[instr.dst] = wrap32(result or 0)
+        elif isinstance(instr, Print):
+            self.output.append(self._read(frame, instr.value))
+        elif isinstance(instr, Input):
+            frame[instr.dst] = self._next_input()
+        else:
+            raise IRError(f"cannot interpret {instr!r}")
+
+
+def run_module(module, input_values=(), max_steps=200_000_000,
+               edge_observer=None):
+    """Convenience wrapper: build an Interpreter and run ``main``."""
+    interp = Interpreter(module, input_values=input_values,
+                         max_steps=max_steps, edge_observer=edge_observer)
+    return interp.run()

@@ -1,0 +1,187 @@
+"""IR containers: Module, Function, Block, GlobalArray.
+
+A :class:`Module` owns global arrays and functions. A :class:`Function`
+owns an ordered list of :class:`Block`; the first block is the entry.
+Blocks are identified by string labels unique within their function; edges
+are ``(source_label, target_label)`` pairs, the unit the profiler counts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.values import VirtualReg
+
+
+class GlobalArray:
+    """A global array of 32-bit ints.
+
+    ``size`` is the element count; ``init`` optionally gives initial values
+    (shorter than ``size`` means the tail is zero-filled).
+    """
+
+    def __init__(self, name, size, init=None):
+        if size <= 0:
+            raise IRError(f"global array {name!r} must have positive size")
+        self.name = name
+        self.size = size
+        self.init = list(init) if init else []
+        if len(self.init) > size:
+            raise IRError(f"global array {name!r} initializer too long")
+
+    def initial_values(self):
+        """Full-length list of initial element values."""
+        return self.init + [0] * (self.size - len(self.init))
+
+    def __repr__(self):
+        return f"GlobalArray({self.name!r}, size={self.size})"
+
+
+class Block:
+    """A basic block: straight-line instructions ending in a terminator."""
+
+    def __init__(self, label):
+        self.label = label
+        self.instrs = []
+
+    @property
+    def terminator(self):
+        """The block's terminator, or None if the block is unterminated."""
+        if self.instrs and self.instrs[-1].is_terminator:
+            return self.instrs[-1]
+        return None
+
+    @property
+    def body(self):
+        """The non-terminator instructions."""
+        if self.terminator is not None:
+            return self.instrs[:-1]
+        return list(self.instrs)
+
+    def successors(self):
+        """Labels of successor blocks."""
+        terminator = self.terminator
+        if terminator is None:
+            raise IRError(f"block {self.label!r} has no terminator")
+        return terminator.successors()
+
+    def __repr__(self):
+        return f"Block({self.label!r}, {len(self.instrs)} instrs)"
+
+
+class Function:
+    """A function: parameters, blocks, and a virtual-register allocator."""
+
+    def __init__(self, name, param_count=0, returns_value=True):
+        self.name = name
+        self.returns_value = returns_value
+        self._next_vreg = 0
+        self._next_label = 0
+        self.blocks = []
+        self._blocks_by_label = {}
+        self.params = [self.new_vreg(f"arg{i}") for i in range(param_count)]
+
+    # -- construction -----------------------------------------------------
+
+    def new_vreg(self, name=None):
+        """Allocate a fresh virtual register."""
+        reg = VirtualReg(self._next_vreg, name)
+        self._next_vreg += 1
+        return reg
+
+    def new_block(self, hint="bb"):
+        """Create a new block with a unique label and append it."""
+        label = f"{hint}{self._next_label}"
+        self._next_label += 1
+        return self.add_block(Block(label))
+
+    def add_block(self, block):
+        if block.label in self._blocks_by_label:
+            raise IRError(f"duplicate block label {block.label!r} "
+                          f"in function {self.name!r}")
+        self.blocks.append(block)
+        self._blocks_by_label[block.label] = block
+        return block
+
+    # -- navigation -------------------------------------------------------
+
+    @property
+    def entry(self):
+        if not self.blocks:
+            raise IRError(f"function {self.name!r} has no blocks")
+        return self.blocks[0]
+
+    def block(self, label):
+        try:
+            return self._blocks_by_label[label]
+        except KeyError:
+            raise IRError(f"no block {label!r} in function {self.name!r}") from None
+
+    def edges(self):
+        """All CFG edges as (source_label, target_label) pairs."""
+        result = []
+        for block in self.blocks:
+            for successor in block.successors():
+                result.append((block.label, successor))
+        return result
+
+    def predecessors(self):
+        """Map from block label to the list of predecessor labels."""
+        preds = {block.label: [] for block in self.blocks}
+        for source, target in self.edges():
+            preds[target].append(source)
+        return preds
+
+    def remove_blocks(self, labels):
+        """Remove the given blocks (used by CFG simplification)."""
+        labels = set(labels)
+        self.blocks = [b for b in self.blocks if b.label not in labels]
+        for label in labels:
+            del self._blocks_by_label[label]
+
+    def __repr__(self):
+        return f"Function({self.name!r}, {len(self.blocks)} blocks)"
+
+
+class Module:
+    """A whole program: globals plus functions. Entry point is ``main``."""
+
+    def __init__(self, name="module"):
+        self.name = name
+        self.functions = {}
+        self.globals = {}
+
+    def add_function(self, function):
+        if function.name in self.functions:
+            raise IRError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+        return function
+
+    def add_global(self, array):
+        if array.name in self.globals:
+            raise IRError(f"duplicate global {array.name!r}")
+        self.globals[array.name] = array
+        return array
+
+    def function(self, name):
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"no function {name!r} in module") from None
+
+    def dump(self):
+        """Human-readable listing of the whole module."""
+        lines = []
+        for array in self.globals.values():
+            lines.append(f"global {array.name}[{array.size}]")
+        for function in self.functions.values():
+            params = ", ".join(repr(p) for p in function.params)
+            lines.append(f"func {function.name}({params}):")
+            for block in function.blocks:
+                lines.append(f"  {block.label}:")
+                for instr in block.instrs:
+                    lines.append(f"    {instr!r}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (f"Module({self.name!r}, {len(self.functions)} functions, "
+                f"{len(self.globals)} globals)")

@@ -1,0 +1,44 @@
+"""IR value kinds: virtual registers and integer constants.
+
+The IR is not SSA: a :class:`VirtualReg` may be assigned more than once
+(MinC variables map directly onto virtual registers). All values are 32-bit
+signed integers; arithmetic wraps, matching the x86 target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_U32_MASK = 0xFFFF_FFFF
+
+
+def wrap32(value):
+    """Wrap a Python int to signed 32-bit two's complement."""
+    value &= _U32_MASK
+    return value - 0x1_0000_0000 if value >= 0x8000_0000 else value
+
+
+@dataclass(frozen=True)
+class VirtualReg:
+    """A virtual register, unique per function by its number."""
+
+    number: int
+    name: str | None = None
+
+    def __repr__(self):
+        if self.name:
+            return f"%{self.name}.{self.number}"
+        return f"%t{self.number}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A 32-bit signed integer constant."""
+
+    value: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", wrap32(self.value))
+
+    def __repr__(self):
+        return str(self.value)

@@ -1,0 +1,77 @@
+"""Structural verification of IR modules.
+
+``verify_module`` raises :class:`~repro.errors.IRError` on the first
+violated invariant. The optimizer and the profiling instrumenter run it
+after rewriting, so regressions surface at the point of breakage rather
+than as miscompiles.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.instructions import Call, Return
+from repro.ir.values import Const, VirtualReg
+
+
+def verify_function(function, module=None):
+    """Check one function's structural invariants."""
+    if not function.blocks:
+        raise IRError(f"function {function.name!r} has no blocks")
+
+    labels = {block.label for block in function.blocks}
+    if len(labels) != len(function.blocks):
+        raise IRError(f"duplicate block labels in {function.name!r}")
+
+    for block in function.blocks:
+        if block.terminator is None:
+            raise IRError(f"block {block.label!r} in {function.name!r} "
+                          "lacks a terminator")
+        for instr in block.instrs[:-1]:
+            if instr.is_terminator:
+                raise IRError(f"terminator in the middle of block "
+                              f"{block.label!r} in {function.name!r}")
+        for target in block.successors():
+            if target not in labels:
+                raise IRError(f"branch to unknown block {target!r} "
+                              f"from {block.label!r} in {function.name!r}")
+        for instr in block.instrs:
+            for value in instr.uses():
+                if not isinstance(value, (VirtualReg, Const)):
+                    raise IRError(f"bad operand {value!r} in {instr!r} "
+                                  f"({function.name!r}:{block.label})")
+            if isinstance(instr, Return):
+                if function.returns_value and instr.value is None:
+                    raise IRError(f"{function.name!r} must return a value")
+            if module is not None and isinstance(instr, Call):
+                callee = module.functions.get(instr.callee)
+                if callee is None:
+                    raise IRError(f"call to unknown function "
+                                  f"{instr.callee!r} in {function.name!r}")
+                if len(instr.args) != len(callee.params):
+                    raise IRError(
+                        f"call to {instr.callee!r} with {len(instr.args)} "
+                        f"args, expected {len(callee.params)} "
+                        f"(in {function.name!r})")
+                if instr.dst is not None and not callee.returns_value:
+                    raise IRError(f"void call result used: {instr!r} "
+                                  f"in {function.name!r}")
+            if module is not None:
+                for array in _array_refs(instr):
+                    if array not in module.globals:
+                        raise IRError(
+                            f"reference to unknown global {array!r} in "
+                            f"{function.name!r}:{block.label}")
+
+
+def _array_refs(instr):
+    array = getattr(instr, "array", None)
+    return (array,) if array is not None else ()
+
+
+def verify_module(module):
+    """Check every function in the module; returns the module."""
+    if "main" not in module.functions:
+        raise IRError("module has no main function")
+    for function in module.functions.values():
+        verify_function(function, module)
+    return module

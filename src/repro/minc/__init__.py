@@ -1,0 +1,22 @@
+"""MinC: the small C-like source language the workloads are written in.
+
+MinC plays the role of C in the paper's pipeline. It is integer-only
+(32-bit wrapping arithmetic), with global scalars and arrays, functions,
+C-like expressions with short-circuit logicals, and ``print``/``input``
+intrinsics for I/O. The full grammar is documented in
+:mod:`repro.minc.parser`.
+
+The front end is the classic three stages:
+
+- :mod:`repro.minc.lexer` — source text → token stream,
+- :mod:`repro.minc.parser` — tokens → AST (:mod:`repro.minc.ast_nodes`),
+- :mod:`repro.minc.sema` — name/arity/category checking,
+- :mod:`repro.minc.irgen` — AST → :class:`repro.ir.Module`.
+"""
+
+from repro.minc.lexer import Token, tokenize
+from repro.minc.parser import parse
+from repro.minc.sema import analyze
+from repro.minc.irgen import compile_to_ir
+
+__all__ = ["Token", "tokenize", "parse", "analyze", "compile_to_ir"]

@@ -1,0 +1,153 @@
+"""AST node classes for MinC.
+
+Plain dataclasses; every node carries the source line it started on so
+semantic errors can point at the offending construct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass
+class IntLit(Node):
+    value: int = 0
+
+
+@dataclass
+class Name(Node):
+    ident: str = ""
+
+
+@dataclass
+class IndexExpr(Node):
+    """``array[index]`` — array must be a global array name."""
+    array: str = ""
+    index: Node = None
+
+
+@dataclass
+class CallExpr(Node):
+    callee: str = ""
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class InputExpr(Node):
+    """``input()`` — reads the next integer of the program input."""
+
+
+@dataclass
+class UnaryExpr(Node):
+    op: str = ""  # "-", "!", "~"
+    operand: Node = None
+
+
+@dataclass
+class BinaryExpr(Node):
+    op: str = ""  # C-style operator text, e.g. "+", "<=", "&&"
+    lhs: Node = None
+    rhs: Node = None
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass
+class VarDecl(Node):
+    """``int name = init;`` — local scalar declaration."""
+    name: str = ""
+    init: Node = None  # optional
+
+
+@dataclass
+class Assign(Node):
+    """``target op= value``; target is Name or IndexExpr; op is "=", "+=", ..."""
+    target: Node = None
+    op: str = "="
+    value: Node = None
+
+
+@dataclass
+class IncDec(Node):
+    """``target++;`` / ``target--;`` statement form."""
+    target: Node = None
+    op: str = "++"
+
+
+@dataclass
+class If(Node):
+    cond: Node = None
+    then_body: list = field(default_factory=list)
+    else_body: list = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    cond: Node = None
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class For(Node):
+    """``for (init; cond; step) body`` — init/step are statements or None."""
+    init: Node = None
+    cond: Node = None
+    step: Node = None
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class Return(Node):
+    value: Node = None  # optional
+
+
+@dataclass
+class PrintStmt(Node):
+    value: Node = None
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Node = None
+
+
+# -- declarations --------------------------------------------------------------
+
+@dataclass
+class GlobalDecl(Node):
+    """Global scalar (is_array=False, size=1) or array declaration."""
+    name: str = ""
+    is_array: bool = False
+    size: int = 1
+    init: list = field(default_factory=list)  # literal initializer values
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    params: list = field(default_factory=list)  # parameter names
+    returns_value: bool = True  # False for void
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    globals: list = field(default_factory=list)
+    functions: list = field(default_factory=list)

@@ -1,0 +1,282 @@
+"""IR generation: checked MinC AST → :class:`repro.ir.Module`.
+
+Name mapping:
+
+- parameters and local scalars → virtual registers,
+- global scalars → single-element global arrays (accessed at index 0),
+- global arrays → global arrays.
+
+Short-circuit ``&&``/``||`` compile to control flow; all other operators
+map 1:1 onto IR binary/unary ops. Every function gets an implicit
+``return 0`` (or bare ``return``) tail so all paths terminate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MincSemanticError
+from repro.ir import FunctionBuilder, Function, GlobalArray, Module
+from repro.ir.values import Const
+from repro.minc import ast_nodes as ast
+from repro.minc.parser import parse
+from repro.minc.sema import analyze
+
+_BINOP_MAP = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+    "<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne",
+}
+
+_COMPOUND_OPS = {
+    "+=": "add", "-=": "sub", "*=": "mul", "/=": "div", "%=": "mod",
+    "&=": "and", "|=": "or", "^=": "xor", "<<=": "shl", ">>=": "shr",
+}
+
+
+class _FunctionEmitter:
+    def __init__(self, func_ast, info, module):
+        self.func_ast = func_ast
+        self.info = info
+        self.module = module
+        self.function = Function(func_ast.name,
+                                 param_count=len(func_ast.params),
+                                 returns_value=func_ast.returns_value)
+        self.builder = FunctionBuilder(self.function)
+        #: local name -> virtual register
+        self.vars = dict(zip(func_ast.params, self.function.params))
+        #: stack of (continue_block, break_block) for nested loops
+        self.loop_stack = []
+
+    def emit(self):
+        entry = self.builder.start_block("entry")
+        assert entry is not None
+        self.emit_body(self.func_ast.body)
+        if not self.builder.is_terminated:
+            if self.func_ast.returns_value:
+                self.builder.ret(Const(0))
+            else:
+                self.builder.ret()
+        return self.function
+
+    # -- statements ------------------------------------------------------------
+
+    def emit_body(self, statements):
+        for statement in statements:
+            if self.builder.is_terminated:
+                # Unreachable code after return/break/continue: skip, but
+                # keep local declarations visible (C scoping is flat here).
+                if isinstance(statement, ast.VarDecl):
+                    self._declare_local(statement.name)
+                continue
+            self.emit_statement(statement)
+
+    def _declare_local(self, name):
+        if name not in self.vars:
+            self.vars[name] = self.function.new_vreg(name)
+        return self.vars[name]
+
+    def emit_statement(self, node):
+        if isinstance(node, ast.VarDecl):
+            reg = self._declare_local(node.name)
+            if node.init is not None:
+                value = self.emit_expr(node.init)
+                self.builder.copy(reg, value)
+            else:
+                self.builder.copy(reg, Const(0))
+        elif isinstance(node, ast.Assign):
+            self.emit_assign(node)
+        elif isinstance(node, ast.IncDec):
+            delta = 1 if node.op == "++" else -1
+            synthetic = ast.Assign(
+                target=node.target, op="+=",
+                value=ast.IntLit(value=delta, line=node.line),
+                line=node.line)
+            self.emit_assign(synthetic)
+        elif isinstance(node, ast.If):
+            self.emit_if(node)
+        elif isinstance(node, ast.While):
+            self.emit_while(node)
+        elif isinstance(node, ast.For):
+            self.emit_for(node)
+        elif isinstance(node, ast.Break):
+            self.builder.branch(self.loop_stack[-1][1])
+        elif isinstance(node, ast.Continue):
+            self.builder.branch(self.loop_stack[-1][0])
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.builder.ret(self.emit_expr(node.value))
+            else:
+                self.builder.ret()
+        elif isinstance(node, ast.PrintStmt):
+            self.builder.print_(self.emit_expr(node.value))
+        elif isinstance(node, ast.ExprStmt):
+            self.emit_expr(node.expr, allow_void=True)
+        else:
+            raise MincSemanticError(f"cannot emit {type(node).__name__}")
+
+    def emit_assign(self, node):
+        target = node.target
+        if node.op == "=":
+            value = self.emit_expr(node.value)
+        else:
+            op = _COMPOUND_OPS[node.op]
+            current = self.emit_expr(target)
+            rhs = self.emit_expr(node.value)
+            value = self.builder.binary(op, current, rhs)
+
+        if isinstance(target, ast.Name):
+            name = target.ident
+            if name in self.vars:
+                self.builder.copy(self.vars[name], value)
+            else:  # global scalar
+                self.builder.astore(name, Const(0), value)
+        else:  # IndexExpr
+            index = self.emit_expr(target.index)
+            self.builder.astore(target.array, index, value)
+
+    def emit_if(self, node):
+        cond = self.emit_expr(node.cond)
+        then_block = self.builder.new_block("then")
+        join_block = self.builder.new_block("join")
+        if node.else_body:
+            else_block = self.builder.new_block("else")
+        else:
+            else_block = join_block
+        self.builder.cond_branch(cond, then_block, else_block)
+
+        self.builder.position_at(then_block)
+        self.emit_body(node.then_body)
+        if not self.builder.is_terminated:
+            self.builder.branch(join_block)
+
+        if node.else_body:
+            self.builder.position_at(else_block)
+            self.emit_body(node.else_body)
+            if not self.builder.is_terminated:
+                self.builder.branch(join_block)
+
+        self.builder.position_at(join_block)
+
+    def emit_while(self, node):
+        head = self.builder.new_block("loop")
+        body = self.builder.new_block("body")
+        exit_block = self.builder.new_block("exit")
+        self.builder.branch(head)
+
+        self.builder.position_at(head)
+        cond = self.emit_expr(node.cond)
+        self.builder.cond_branch(cond, body, exit_block)
+
+        self.builder.position_at(body)
+        self.loop_stack.append((head, exit_block))
+        self.emit_body(node.body)
+        self.loop_stack.pop()
+        if not self.builder.is_terminated:
+            self.builder.branch(head)
+
+        self.builder.position_at(exit_block)
+
+    def emit_for(self, node):
+        if node.init is not None:
+            self.emit_statement(node.init)
+        head = self.builder.new_block("for")
+        body = self.builder.new_block("body")
+        step_block = self.builder.new_block("step")
+        exit_block = self.builder.new_block("exit")
+        self.builder.branch(head)
+
+        self.builder.position_at(head)
+        if node.cond is not None:
+            cond = self.emit_expr(node.cond)
+            self.builder.cond_branch(cond, body, exit_block)
+        else:
+            self.builder.branch(body)
+
+        self.builder.position_at(body)
+        self.loop_stack.append((step_block, exit_block))
+        self.emit_body(node.body)
+        self.loop_stack.pop()
+        if not self.builder.is_terminated:
+            self.builder.branch(step_block)
+
+        self.builder.position_at(step_block)
+        if node.step is not None:
+            self.emit_statement(node.step)
+        self.builder.branch(head)
+
+        self.builder.position_at(exit_block)
+
+    # -- expressions ------------------------------------------------------------
+
+    def emit_expr(self, node, allow_void=False):
+        if isinstance(node, ast.IntLit):
+            return Const(node.value)
+        if isinstance(node, ast.Name):
+            name = node.ident
+            if name in self.vars:
+                return self.vars[name]
+            return self.builder.aload(name, Const(0))  # global scalar
+        if isinstance(node, ast.IndexExpr):
+            index = self.emit_expr(node.index)
+            return self.builder.aload(node.array, index)
+        if isinstance(node, ast.InputExpr):
+            return self.builder.input_()
+        if isinstance(node, ast.CallExpr):
+            args = [self.emit_expr(a) for a in node.args]
+            finfo = self.info.functions[node.callee]
+            return self.builder.call(node.callee, args,
+                                     want_result=finfo.returns_value)
+        if isinstance(node, ast.UnaryExpr):
+            operand = self.emit_expr(node.operand)
+            op = {"-": "neg", "!": "not", "~": "bnot"}[node.op]
+            return self.builder.unary(op, operand)
+        if isinstance(node, ast.BinaryExpr):
+            if node.op in ("&&", "||"):
+                return self.emit_short_circuit(node)
+            lhs = self.emit_expr(node.lhs)
+            rhs = self.emit_expr(node.rhs)
+            return self.builder.binary(_BINOP_MAP[node.op], lhs, rhs)
+        raise MincSemanticError(f"cannot emit expression "
+                                f"{type(node).__name__}")
+
+    def emit_short_circuit(self, node):
+        """``a && b`` / ``a || b`` with control flow; result is 0/1."""
+        result = self.function.new_vreg("sc")
+        rhs_block = self.builder.new_block("sc_rhs")
+        short_block = self.builder.new_block("sc_short")
+        join_block = self.builder.new_block("sc_join")
+
+        lhs = self.emit_expr(node.lhs)
+        if node.op == "&&":
+            self.builder.cond_branch(lhs, rhs_block, short_block)
+            short_value = Const(0)
+        else:
+            self.builder.cond_branch(lhs, short_block, rhs_block)
+            short_value = Const(1)
+
+        self.builder.position_at(short_block)
+        self.builder.copy(result, short_value)
+        self.builder.branch(join_block)
+
+        self.builder.position_at(rhs_block)
+        rhs = self.emit_expr(node.rhs)
+        normalized = self.builder.binary("ne", rhs, Const(0))
+        self.builder.copy(result, normalized)
+        self.builder.branch(join_block)
+
+        self.builder.position_at(join_block)
+        return result
+
+
+def compile_to_ir(source, name="module"):
+    """Front-end driver: MinC source text → verified IR module."""
+    program = parse(source)
+    info = analyze(program)
+    module = Module(name)
+    for decl in program.globals:
+        init = decl.init if decl.init else None
+        size = decl.size if decl.is_array else 1
+        module.add_global(GlobalArray(decl.name, size, init))
+    for func_ast in program.functions:
+        module.add_function(_FunctionEmitter(func_ast, info, module).emit())
+    from repro.ir.verifier import verify_module
+    return verify_module(module)

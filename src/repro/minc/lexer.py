@@ -1,0 +1,125 @@
+"""Tokenizer for MinC source text."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MincSyntaxError
+
+KEYWORDS = frozenset({
+    "int", "void", "if", "else", "while", "for", "return",
+    "break", "continue", "print", "input",
+})
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+)
+
+_SINGLE_OPS = set("+-*/%<>=!&|^~(){}[],;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is "number", "ident", a keyword string, an operator string, or
+    "eof". ``value`` carries the integer value / identifier text.
+    """
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"Token({self.kind!r}, {self.value!r})"
+
+
+def tokenize(source):
+    """Tokenize MinC source; returns a list ending with an ``eof`` token."""
+    tokens = []
+    line = 1
+    column = 1
+    position = 0
+    length = len(source)
+
+    def error(message):
+        raise MincSyntaxError(message, line, column)
+
+    while position < length:
+        char = source[position]
+
+        if char == "\n":
+            position += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            position += 1
+            column += 1
+            continue
+        if source.startswith("//", position):
+            newline = source.find("\n", position)
+            position = length if newline < 0 else newline
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end < 0:
+                error("unterminated block comment")
+            skipped = source[position:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            position = end + 2
+            continue
+
+        if char.isdigit():
+            start = position
+            if source.startswith("0x", position) or source.startswith("0X", position):
+                position += 2
+                while position < length and source[position] in "0123456789abcdefABCDEF":
+                    position += 1
+                text = source[start:position]
+                if len(text) == 2:
+                    error("malformed hex literal")
+                value = int(text, 16)
+            else:
+                while position < length and source[position].isdigit():
+                    position += 1
+                text = source[start:position]
+                value = int(text)
+            tokens.append(Token("number", value, line, column))
+            column += position - start
+            continue
+
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (source[position].isalnum()
+                                         or source[position] == "_"):
+                position += 1
+            text = source[start:position]
+            kind = text if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += position - start
+            continue
+
+        matched = None
+        for op in _MULTI_OPS:
+            if source.startswith(op, position):
+                matched = op
+                break
+        if matched is None and char in _SINGLE_OPS:
+            matched = char
+        if matched is None:
+            error(f"unexpected character {char!r}")
+        tokens.append(Token(matched, matched, line, column))
+        position += len(matched)
+        column += len(matched)
+
+    tokens.append(Token("eof", None, line, column))
+    return tokens

@@ -1,0 +1,349 @@
+"""Recursive-descent parser for MinC.
+
+Grammar (EBNF; ``{}`` repetition, ``[]`` option)::
+
+    program     = { global | function } ;
+    global      = "int" IDENT [ "[" NUMBER "]" ]
+                  [ "=" ( expr-number | "{" number-list "}" ) ] ";" ;
+    function    = ( "int" | "void" ) IDENT "(" [ params ] ")" block ;
+    params      = "int" IDENT { "," "int" IDENT } ;
+    block       = "{" { statement } "}" ;
+    statement   = var-decl | assign-or-expr ";" | if | while | for
+                | "break" ";" | "continue" ";"
+                | "return" [ expr ] ";" | "print" "(" expr ")" ";"
+                | block ;
+    var-decl    = "int" IDENT [ "=" expr ] ";" ;
+    if          = "if" "(" expr ")" statement [ "else" statement ] ;
+    while       = "while" "(" expr ")" statement ;
+    for         = "for" "(" [ simple ] ";" [ expr ] ";" [ simple ] ")"
+                  statement ;
+    simple      = assignment | inc-dec | expr ;
+
+    expr        = logical-or ;  (with C precedence down to primary)
+    primary     = NUMBER | IDENT | IDENT "(" args ")" | IDENT "[" expr "]"
+                | "input" "(" ")" | "(" expr ")" | ("-"|"!"|"~") unary ;
+
+Global initializers must be integer literals (optionally negated).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MincSyntaxError
+from repro.minc import ast_nodes as ast
+from repro.minc.lexer import tokenize
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+
+#: Binary precedence levels, lowest binding first.
+_PRECEDENCE = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self):
+        return self.tokens[self.position]
+
+    def peek(self, offset=1):
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self):
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, kind):
+        return self.current.kind == kind
+
+    def accept(self, kind):
+        if self.check(kind):
+            return self.advance()
+        return None
+
+    def expect(self, kind):
+        if not self.check(kind):
+            raise MincSyntaxError(
+                f"expected {kind!r}, found {self.current.kind!r}",
+                self.current.line, self.current.column)
+        return self.advance()
+
+    # -- top level -------------------------------------------------------------
+
+    def parse_program(self):
+        program = ast.Program(line=1)
+        while not self.check("eof"):
+            if self.check("void"):
+                program.functions.append(self.parse_function())
+            elif self.check("int"):
+                # int NAME ( → function; otherwise global.
+                if self.peek(2).kind == "(":
+                    program.functions.append(self.parse_function())
+                else:
+                    program.globals.append(self.parse_global())
+            else:
+                raise MincSyntaxError(
+                    f"expected declaration, found {self.current.kind!r}",
+                    self.current.line, self.current.column)
+        return program
+
+    def parse_global(self):
+        line = self.expect("int").line
+        name = self.expect("ident").value
+        decl = ast.GlobalDecl(name=name, line=line)
+        if self.accept("["):
+            decl.is_array = True
+            decl.size = self._literal_int()
+            self.expect("]")
+            if decl.size <= 0:
+                raise MincSyntaxError(f"array {name!r} must have positive "
+                                      "size", line)
+        if self.accept("="):
+            if self.accept("{"):
+                if not decl.is_array:
+                    raise MincSyntaxError(
+                        f"brace initializer on scalar {name!r}", line)
+                values = [self._literal_int()]
+                while self.accept(","):
+                    values.append(self._literal_int())
+                self.expect("}")
+                decl.init = values
+            else:
+                decl.init = [self._literal_int()]
+        self.expect(";")
+        return decl
+
+    def _literal_int(self):
+        negative = bool(self.accept("-"))
+        token = self.expect("number")
+        return -token.value if negative else token.value
+
+    def parse_function(self):
+        returns_value = self.current.kind == "int"
+        line = self.advance().line  # int | void
+        name = self.expect("ident").value
+        self.expect("(")
+        params = []
+        if not self.check(")"):
+            while True:
+                self.expect("int")
+                params.append(self.expect("ident").value)
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_block()
+        return ast.FuncDecl(name=name, params=params,
+                            returns_value=returns_value, body=body, line=line)
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_block(self):
+        self.expect("{")
+        statements = []
+        while not self.check("}"):
+            statements.append(self.parse_statement())
+        self.expect("}")
+        return statements
+
+    def parse_statement(self):
+        token = self.current
+        if token.kind == "{":
+            # A bare block is a statement; flatten via a no-cond If? Keep a
+            # dedicated representation: reuse If(cond=1) would obscure
+            # intent, so blocks simply inline as a statement list carrier.
+            return ast.If(cond=ast.IntLit(value=1, line=token.line),
+                          then_body=self.parse_block(), else_body=[],
+                          line=token.line)
+        if token.kind == "int":
+            return self.parse_var_decl()
+        if token.kind == "if":
+            return self.parse_if()
+        if token.kind == "while":
+            return self.parse_while()
+        if token.kind == "for":
+            return self.parse_for()
+        if token.kind == "break":
+            self.advance()
+            self.expect(";")
+            return ast.Break(line=token.line)
+        if token.kind == "continue":
+            self.advance()
+            self.expect(";")
+            return ast.Continue(line=token.line)
+        if token.kind == "return":
+            self.advance()
+            value = None if self.check(";") else self.parse_expr()
+            self.expect(";")
+            return ast.Return(value=value, line=token.line)
+        if token.kind == "print":
+            self.advance()
+            self.expect("(")
+            value = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return ast.PrintStmt(value=value, line=token.line)
+        statement = self.parse_simple()
+        self.expect(";")
+        return statement
+
+    def parse_var_decl(self):
+        line = self.expect("int").line
+        name = self.expect("ident").value
+        init = None
+        if self.accept("="):
+            init = self.parse_expr()
+        self.expect(";")
+        return ast.VarDecl(name=name, init=init, line=line)
+
+    def parse_if(self):
+        line = self.expect("if").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_body = self._statement_as_list()
+        else_body = []
+        if self.accept("else"):
+            else_body = self._statement_as_list()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body,
+                      line=line)
+
+    def parse_while(self):
+        line = self.expect("while").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        return ast.While(cond=cond, body=self._statement_as_list(), line=line)
+
+    def parse_for(self):
+        line = self.expect("for").line
+        self.expect("(")
+        init = None if self.check(";") else self.parse_for_clause()
+        self.expect(";")
+        cond = None if self.check(";") else self.parse_expr()
+        self.expect(";")
+        step = None if self.check(")") else self.parse_simple()
+        self.expect(")")
+        return ast.For(init=init, cond=cond, step=step,
+                       body=self._statement_as_list(), line=line)
+
+    def parse_for_clause(self):
+        if self.check("int"):
+            line = self.expect("int").line
+            name = self.expect("ident").value
+            init = None
+            if self.accept("="):
+                init = self.parse_expr()
+            return ast.VarDecl(name=name, init=init, line=line)
+        return self.parse_simple()
+
+    def _statement_as_list(self):
+        """Parse one statement; blocks flatten to their statement list."""
+        if self.check("{"):
+            return self.parse_block()
+        return [self.parse_statement()]
+
+    def parse_simple(self):
+        """Assignment, increment/decrement, or bare expression."""
+        start = self.position
+        target = self.parse_unary()
+        token = self.current
+        if token.kind in _ASSIGN_OPS:
+            if not isinstance(target, (ast.Name, ast.IndexExpr)):
+                raise MincSyntaxError("invalid assignment target",
+                                      token.line, token.column)
+            self.advance()
+            value = self.parse_expr()
+            return ast.Assign(target=target, op=token.kind, value=value,
+                              line=token.line)
+        if token.kind in ("++", "--"):
+            if not isinstance(target, (ast.Name, ast.IndexExpr)):
+                raise MincSyntaxError("invalid increment target",
+                                      token.line, token.column)
+            self.advance()
+            return ast.IncDec(target=target, op=token.kind, line=token.line)
+        # Plain expression statement: reparse from the start so binary
+        # operators above unary precedence are included.
+        self.position = start
+        return ast.ExprStmt(expr=self.parse_expr(), line=token.line)
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self):
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level):
+        if level >= len(_PRECEDENCE):
+            return self.parse_unary()
+        lhs = self._parse_binary(level + 1)
+        while self.current.kind in _PRECEDENCE[level]:
+            op = self.advance()
+            rhs = self._parse_binary(level + 1)
+            lhs = ast.BinaryExpr(op=op.kind, lhs=lhs, rhs=rhs, line=op.line)
+        return lhs
+
+    def parse_unary(self):
+        token = self.current
+        if token.kind in ("-", "!", "~"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.UnaryExpr(op=token.kind, operand=operand,
+                                 line=token.line)
+        return self.parse_primary()
+
+    def parse_primary(self):
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return ast.IntLit(value=token.value, line=token.line)
+        if token.kind == "input":
+            self.advance()
+            self.expect("(")
+            self.expect(")")
+            return ast.InputExpr(line=token.line)
+        if token.kind == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("("):
+                args = []
+                if not self.check(")"):
+                    args.append(self.parse_expr())
+                    while self.accept(","):
+                        args.append(self.parse_expr())
+                self.expect(")")
+                return ast.CallExpr(callee=token.value, args=args,
+                                    line=token.line)
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                return ast.IndexExpr(array=token.value, index=index,
+                                     line=token.line)
+            return ast.Name(ident=token.value, line=token.line)
+        raise MincSyntaxError(f"unexpected token {token.kind!r}",
+                              token.line, token.column)
+
+
+def parse(source):
+    """Parse MinC source text into an :class:`~repro.minc.ast_nodes.Program`."""
+    return _Parser(tokenize(source)).parse_program()

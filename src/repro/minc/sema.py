@@ -1,0 +1,205 @@
+"""Semantic analysis for MinC.
+
+Checks performed before IR generation:
+
+- globals/functions have unique names; ``main`` exists and takes no
+  parameters;
+- every name resolves (locals and parameters shadow globals);
+- scalars are not indexed and arrays are not used as scalars;
+- calls target declared functions with matching arity; results of ``void``
+  calls are not used as values;
+- ``break``/``continue`` appear only inside loops;
+- local declarations do not redeclare a name in the same function.
+
+The analysis returns a :class:`ProgramInfo` the IR generator consumes, so
+name-category questions are answered exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MincSemanticError
+from repro.minc import ast_nodes as ast
+
+
+@dataclass
+class FunctionInfo:
+    name: str
+    params: list
+    returns_value: bool
+    locals: set = field(default_factory=set)
+
+
+@dataclass
+class ProgramInfo:
+    """Symbol information for a checked program."""
+    scalars: dict = field(default_factory=dict)   # name -> GlobalDecl
+    arrays: dict = field(default_factory=dict)    # name -> GlobalDecl
+    functions: dict = field(default_factory=dict)  # name -> FunctionInfo
+
+
+def analyze(program):
+    """Check ``program``; returns :class:`ProgramInfo` or raises."""
+    info = ProgramInfo()
+
+    for decl in program.globals:
+        if decl.name in info.scalars or decl.name in info.arrays:
+            raise MincSemanticError(
+                f"duplicate global {decl.name!r} (line {decl.line})")
+        if decl.is_array:
+            info.arrays[decl.name] = decl
+        else:
+            info.scalars[decl.name] = decl
+
+    for func in program.functions:
+        if func.name in info.functions:
+            raise MincSemanticError(
+                f"duplicate function {func.name!r} (line {func.line})")
+        if func.name in info.scalars or func.name in info.arrays:
+            raise MincSemanticError(
+                f"function {func.name!r} collides with a global "
+                f"(line {func.line})")
+        if len(set(func.params)) != len(func.params):
+            raise MincSemanticError(
+                f"duplicate parameter in {func.name!r} (line {func.line})")
+        info.functions[func.name] = FunctionInfo(
+            func.name, list(func.params), func.returns_value)
+
+    if "main" not in info.functions:
+        raise MincSemanticError("program has no main function")
+    if info.functions["main"].params:
+        raise MincSemanticError("main must take no parameters")
+
+    for func in program.functions:
+        _check_function(func, info)
+    return info
+
+
+class _FunctionChecker:
+    def __init__(self, func, info):
+        self.func = func
+        self.info = info
+        self.finfo = info.functions[func.name]
+        self.declared = set(func.params)
+        self.loop_depth = 0
+
+    def error(self, message, node):
+        raise MincSemanticError(
+            f"{message} (in {self.func.name!r}, line {node.line})")
+
+    # -- statements ------------------------------------------------------------
+
+    def check_body(self, statements):
+        for statement in statements:
+            self.check_statement(statement)
+
+    def check_statement(self, node):
+        if isinstance(node, ast.VarDecl):
+            if node.name in self.declared:
+                self.error(f"redeclaration of {node.name!r}", node)
+            if node.init is not None:
+                self.check_expr(node.init)
+            self.declared.add(node.name)
+            self.finfo.locals.add(node.name)
+        elif isinstance(node, ast.Assign):
+            self.check_target(node.target)
+            self.check_expr(node.value)
+        elif isinstance(node, ast.IncDec):
+            self.check_target(node.target)
+        elif isinstance(node, ast.If):
+            self.check_expr(node.cond)
+            self.check_body(node.then_body)
+            self.check_body(node.else_body)
+        elif isinstance(node, ast.While):
+            self.check_expr(node.cond)
+            self.loop_depth += 1
+            self.check_body(node.body)
+            self.loop_depth -= 1
+        elif isinstance(node, ast.For):
+            if node.init is not None:
+                self.check_statement(node.init)
+            if node.cond is not None:
+                self.check_expr(node.cond)
+            self.loop_depth += 1
+            self.check_body(node.body)
+            if node.step is not None:
+                self.check_statement(node.step)
+            self.loop_depth -= 1
+        elif isinstance(node, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                kind = "break" if isinstance(node, ast.Break) else "continue"
+                self.error(f"{kind} outside a loop", node)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                if not self.finfo.returns_value:
+                    self.error("void function returns a value", node)
+                self.check_expr(node.value)
+            elif self.finfo.returns_value:
+                self.error("non-void function returns nothing", node)
+        elif isinstance(node, ast.PrintStmt):
+            self.check_expr(node.value)
+        elif isinstance(node, ast.ExprStmt):
+            self.check_expr(node.expr, allow_void=True)
+        else:
+            self.error(f"unknown statement {type(node).__name__}", node)
+
+    def check_target(self, target):
+        if isinstance(target, ast.Name):
+            name = target.ident
+            if name in self.declared:
+                return
+            if name in self.info.scalars:
+                return
+            if name in self.info.arrays:
+                self.error(f"array {name!r} used as a scalar", target)
+            self.error(f"undefined variable {name!r}", target)
+        elif isinstance(target, ast.IndexExpr):
+            if target.array not in self.info.arrays:
+                self.error(f"undefined array {target.array!r}", target)
+            self.check_expr(target.index)
+        else:
+            self.error("invalid assignment target", target)
+
+    # -- expressions ------------------------------------------------------------
+
+    def check_expr(self, node, allow_void=False):
+        if isinstance(node, ast.IntLit):
+            return
+        if isinstance(node, ast.Name):
+            self.check_target(node)
+            return
+        if isinstance(node, ast.IndexExpr):
+            if node.array not in self.info.arrays:
+                self.error(f"undefined array {node.array!r}", node)
+            self.check_expr(node.index)
+            return
+        if isinstance(node, ast.InputExpr):
+            return
+        if isinstance(node, ast.CallExpr):
+            finfo = self.info.functions.get(node.callee)
+            if finfo is None:
+                self.error(f"call to undefined function {node.callee!r}",
+                           node)
+            if len(node.args) != len(finfo.params):
+                self.error(
+                    f"{node.callee!r} takes {len(finfo.params)} args, "
+                    f"got {len(node.args)}", node)
+            if not finfo.returns_value and not allow_void:
+                self.error(f"void function {node.callee!r} used as a value",
+                           node)
+            for arg in node.args:
+                self.check_expr(arg)
+            return
+        if isinstance(node, ast.UnaryExpr):
+            self.check_expr(node.operand)
+            return
+        if isinstance(node, ast.BinaryExpr):
+            self.check_expr(node.lhs)
+            self.check_expr(node.rhs)
+            return
+        self.error(f"unknown expression {type(node).__name__}", node)
+
+
+def _check_function(func, info):
+    _FunctionChecker(func, info).check_body(func.body)

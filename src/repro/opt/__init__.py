@@ -1,0 +1,22 @@
+"""IR optimization passes.
+
+The pipeline mirrors a classic -O2-ish middle end at small scale:
+
+- :mod:`repro.opt.constfold` — constant folding (incl. branch folding),
+- :mod:`repro.opt.copyprop` — block-local copy/constant propagation,
+- :mod:`repro.opt.dce` — dead code elimination,
+- :mod:`repro.opt.simplifycfg` — unreachable-block removal, jump
+  threading, block merging,
+- :mod:`repro.opt.strength` — strength reduction (mul/div/mod by
+  powers of two → shifts/masks).
+
+Passes preserve observable behaviour (output, exit code); the test suite
+checks this differentially on every workload. The pipeline is
+deterministic: the same module always optimizes to the same result, which
+the profile-guided build relies on (block labels must match between the
+training build and the final diversified build).
+"""
+
+from repro.opt.pipeline import OPT_PASSES, optimize_module
+
+__all__ = ["OPT_PASSES", "optimize_module"]

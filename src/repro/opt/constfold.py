@@ -1,0 +1,44 @@
+"""Constant folding.
+
+Folds :class:`Binary`/:class:`Unary` instructions whose operands are all
+constants into copies, and conditional branches on constants into
+unconditional branches. Runs to a local fixpoint in one sweep because
+copies feed :mod:`repro.opt.copyprop`, which re-exposes more constants on
+the next pipeline iteration.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    Binary, Branch, CondBranch, Copy, Unary, evaluate_binary, evaluate_unary,
+)
+from repro.ir.values import Const
+
+
+def fold_constants(function):
+    """Fold constant expressions in ``function``; returns change count."""
+    changed = 0
+    for block in function.blocks:
+        new_instrs = []
+        for instr in block.instrs:
+            if (isinstance(instr, Binary)
+                    and isinstance(instr.lhs, Const)
+                    and isinstance(instr.rhs, Const)):
+                value = evaluate_binary(instr.op, instr.lhs.value,
+                                        instr.rhs.value)
+                new_instrs.append(Copy(instr.dst, Const(value)))
+                changed += 1
+            elif isinstance(instr, Unary) and isinstance(instr.src, Const):
+                value = evaluate_unary(instr.op, instr.src.value)
+                new_instrs.append(Copy(instr.dst, Const(value)))
+                changed += 1
+            elif (isinstance(instr, CondBranch)
+                  and isinstance(instr.cond, Const)):
+                target = (instr.then_target if instr.cond.value != 0
+                          else instr.else_target)
+                new_instrs.append(Branch(target))
+                changed += 1
+            else:
+                new_instrs.append(instr)
+        block.instrs = new_instrs
+    return changed

@@ -1,0 +1,99 @@
+"""Block-local copy and constant propagation.
+
+Within one basic block, tracks the most recent ``dst = src`` copies and
+rewrites later uses of ``dst`` to ``src`` (a register or constant), until
+either register is redefined. Being block-local keeps the analysis trivially
+correct in our non-SSA IR; the pipeline loop plus DCE recovers most of what
+a global pass would.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    ALoad, AStore, Binary, Call, CondBranch, Copy, Print, Return, Unary,
+)
+from repro.ir.values import VirtualReg
+
+
+def _substitute(value, env):
+    if isinstance(value, VirtualReg):
+        return env.get(value, value)
+    return value
+
+
+def propagate_copies(function):
+    """Propagate copies within each block; returns change count."""
+    changed = 0
+    for block in function.blocks:
+        env = {}
+        for instr in block.instrs:
+            changed += _rewrite_uses(instr, env)
+            defs = instr.defs()
+            for defined in defs:
+                # Any mapping *to* the defined register is now stale.
+                stale = [k for k, v in env.items() if v == defined]
+                for key in stale:
+                    del env[key]
+                env.pop(defined, None)
+            if isinstance(instr, Copy) and instr.dst != instr.src:
+                env[instr.dst] = instr.src
+    return changed
+
+
+def _rewrite_uses(instr, env):
+    changed = 0
+    if isinstance(instr, Copy):
+        new = _substitute(instr.src, env)
+        if new != instr.src:
+            instr.src = new
+            changed += 1
+    elif isinstance(instr, Unary):
+        new = _substitute(instr.src, env)
+        if new != instr.src:
+            instr.src = new
+            changed += 1
+    elif isinstance(instr, Binary):
+        new_lhs = _substitute(instr.lhs, env)
+        new_rhs = _substitute(instr.rhs, env)
+        if new_lhs != instr.lhs:
+            instr.lhs = new_lhs
+            changed += 1
+        if new_rhs != instr.rhs:
+            instr.rhs = new_rhs
+            changed += 1
+    elif isinstance(instr, ALoad):
+        new = _substitute(instr.index, env)
+        if new != instr.index:
+            instr.index = new
+            changed += 1
+    elif isinstance(instr, AStore):
+        new_index = _substitute(instr.index, env)
+        new_value = _substitute(instr.value, env)
+        if new_index != instr.index:
+            instr.index = new_index
+            changed += 1
+        if new_value != instr.value:
+            instr.value = new_value
+            changed += 1
+    elif isinstance(instr, Call):
+        for position, arg in enumerate(instr.args):
+            new = _substitute(arg, env)
+            if new != arg:
+                instr.args[position] = new
+                changed += 1
+    elif isinstance(instr, Print):
+        new = _substitute(instr.value, env)
+        if new != instr.value:
+            instr.value = new
+            changed += 1
+    elif isinstance(instr, CondBranch):
+        new = _substitute(instr.cond, env)
+        if new != instr.cond:
+            instr.cond = new
+            changed += 1
+    elif isinstance(instr, Return) and instr.value is not None:
+        new = _substitute(instr.value, env)
+        if new != instr.value:
+            instr.value = new
+            changed += 1
+    return changed

@@ -1,0 +1,47 @@
+"""Dead code elimination.
+
+An instruction is removable when it has no side effects (pure arithmetic,
+copies, loads) and its destination register is not used anywhere in the
+function. The used-set is recomputed and the sweep repeated until a
+fixpoint, so chains of dead definitions disappear.
+
+Calls are conservatively kept (the callee may print or write globals) but a
+dead *result* is dropped by clearing ``dst``.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import ALoad, Binary, Call, Copy, Input, Unary
+
+_PURE = (Copy, Unary, Binary, ALoad)
+
+
+def eliminate_dead_code(function):
+    """Remove dead pure instructions; returns removal count."""
+    removed = 0
+    while True:
+        used = set()
+        for block in function.blocks:
+            for instr in block.instrs:
+                used.update(instr.used_regs())
+        changed = False
+        for block in function.blocks:
+            kept = []
+            for instr in block.instrs:
+                if isinstance(instr, _PURE) and instr.dst not in used:
+                    removed += 1
+                    changed = True
+                    continue
+                if (isinstance(instr, Call) and instr.dst is not None
+                        and instr.dst not in used):
+                    instr.dst = None
+                    removed += 1
+                    changed = True
+                if (isinstance(instr, Input) and instr.dst not in used):
+                    # Input consumes from the input stream: NOT removable
+                    # (it would change which values later inputs read).
+                    pass
+                kept.append(instr)
+            block.instrs = kept
+        if not changed:
+            return removed

@@ -1,0 +1,51 @@
+"""The optimization pipeline driver.
+
+``optimize_module`` runs the pass sequence over every function until a
+fixpoint (bounded by ``max_iterations`` as a safety net) and re-verifies
+the module. Determinism matters: the profile-guided build optimizes the
+module twice (training build and final build) and the resulting block
+labels must be identical.
+"""
+
+from __future__ import annotations
+
+from repro.ir.verifier import verify_module
+from repro.opt.constfold import fold_constants
+from repro.opt.copyprop import propagate_copies
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.simplifycfg import simplify_cfg
+from repro.opt.strength import reduce_strength
+
+#: The pass sequence, in execution order, as (name, function) pairs.
+OPT_PASSES = (
+    ("copyprop", propagate_copies),
+    ("constfold", fold_constants),
+    ("strength", reduce_strength),
+    ("dce", eliminate_dead_code),
+    ("simplifycfg", simplify_cfg),
+)
+
+
+def optimize_function(function, max_iterations=10):
+    """Optimize one function to a fixpoint; returns total change count."""
+    total = 0
+    for _ in range(max_iterations):
+        changed = 0
+        for _name, pass_fn in OPT_PASSES:
+            changed += pass_fn(function)
+        total += changed
+        if not changed:
+            break
+    return total
+
+
+def optimize_module(module, level=2):
+    """Optimize every function; ``level=0`` disables everything.
+
+    Returns the module (mutated in place) for chaining.
+    """
+    if level <= 0:
+        return module
+    for function in module.functions.values():
+        optimize_function(function)
+    return verify_module(module)

@@ -1,0 +1,103 @@
+"""CFG simplification: unreachable-block removal, jump threading, merging.
+
+Three transformations run to a fixpoint:
+
+1. **Unreachable removal** — blocks not reachable from the entry are
+   deleted.
+2. **Jump threading** — a block whose body is empty and whose terminator
+   is ``br X`` is bypassed: predecessors branch straight to ``X`` (the
+   entry block is never threaded away).
+3. **Block merging** — if ``A`` ends in ``br B`` and ``B`` has exactly one
+   predecessor, ``B``'s instructions are appended to ``A`` and ``B`` dies.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Branch, CondBranch
+
+
+def _retarget(function, old, new):
+    """Rewrite every branch to ``old`` to branch to ``new``."""
+    for block in function.blocks:
+        terminator = block.terminator
+        if isinstance(terminator, Branch):
+            if terminator.target == old:
+                terminator.target = new
+        elif isinstance(terminator, CondBranch):
+            if terminator.then_target == old:
+                terminator.then_target = new
+            if terminator.else_target == old:
+                terminator.else_target = new
+
+
+def _remove_unreachable(function):
+    reachable = set()
+    worklist = [function.entry.label]
+    while worklist:
+        label = worklist.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        worklist.extend(function.block(label).successors())
+    dead = [b.label for b in function.blocks if b.label not in reachable]
+    if dead:
+        function.remove_blocks(dead)
+    return len(dead)
+
+
+def _thread_jumps(function):
+    changed = 0
+    entry_label = function.entry.label
+    for block in list(function.blocks):
+        if block.label == entry_label:
+            continue
+        if len(block.instrs) != 1:
+            continue
+        terminator = block.terminator
+        if not isinstance(terminator, Branch):
+            continue
+        target = terminator.target
+        if target == block.label:  # self-loop, leave alone
+            continue
+        _retarget(function, block.label, target)
+        function.remove_blocks([block.label])
+        changed += 1
+    return changed
+
+
+def _merge_blocks(function):
+    changed = 0
+    merged = True
+    while merged:
+        merged = False
+        preds = function.predecessors()
+        for block in list(function.blocks):
+            terminator = block.terminator
+            if not isinstance(terminator, Branch):
+                continue
+            target_label = terminator.target
+            if target_label == block.label:
+                continue
+            if target_label == function.entry.label:
+                continue
+            if len(preds.get(target_label, ())) != 1:
+                continue
+            target = function.block(target_label)
+            block.instrs = block.instrs[:-1] + target.instrs
+            function.remove_blocks([target_label])
+            changed += 1
+            merged = True
+            break
+    return changed
+
+
+def simplify_cfg(function):
+    """Run all three transforms to a fixpoint; returns change count."""
+    total = 0
+    while True:
+        changed = (_remove_unreachable(function)
+                   + _thread_jumps(function)
+                   + _merge_blocks(function))
+        total += changed
+        if not changed:
+            return total

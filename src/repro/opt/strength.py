@@ -1,0 +1,76 @@
+"""Strength reduction for multiplications and shifts by constants.
+
+Rewrites:
+
+- ``mul x, 2^k``  → ``shl x, k`` (and the mirrored constant-on-the-left
+  form),
+- ``mul x, 1`` / ``div x, 1`` → copy,
+- ``mul x, 0`` → 0,
+- ``add x, 0`` / ``sub x, 0`` / ``xor x, 0`` / ``or x, 0`` → copy.
+
+Signed division by powers of two is *not* reduced to a shift (they differ
+for negative dividends), matching what a correct C compiler must do without
+range information.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Binary, Copy
+from repro.ir.values import Const
+
+
+def _log2_exact(value):
+    if value > 0 and (value & (value - 1)) == 0:
+        return value.bit_length() - 1
+    return None
+
+
+def reduce_strength(function):
+    """Apply strength reductions; returns change count."""
+    changed = 0
+    for block in function.blocks:
+        new_instrs = []
+        for instr in block.instrs:
+            replacement = None
+            if isinstance(instr, Binary):
+                replacement = _reduce(instr)
+            if replacement is not None:
+                new_instrs.append(replacement)
+                changed += 1
+            else:
+                new_instrs.append(instr)
+        block.instrs = new_instrs
+    return changed
+
+
+def _reduce(instr):
+    lhs, rhs = instr.lhs, instr.rhs
+    if instr.op == "mul":
+        if isinstance(lhs, Const) and not isinstance(rhs, Const):
+            lhs, rhs = rhs, lhs  # canonicalize constant to the right
+        if isinstance(rhs, Const):
+            if rhs.value == 0:
+                return Copy(instr.dst, Const(0))
+            if rhs.value == 1:
+                return Copy(instr.dst, lhs)
+            shift = _log2_exact(rhs.value)
+            if shift is not None:
+                return Binary("shl", instr.dst, lhs, Const(shift))
+            # Mirrored operands still help the lowerer (imul r, r, imm).
+            if (lhs, rhs) != (instr.lhs, instr.rhs):
+                return Binary("mul", instr.dst, lhs, rhs)
+    elif instr.op == "div":
+        if isinstance(rhs, Const) and rhs.value == 1:
+            return Copy(instr.dst, lhs)
+    elif instr.op in ("add", "or", "xor"):
+        if isinstance(rhs, Const) and rhs.value == 0:
+            return Copy(instr.dst, lhs)
+        if isinstance(lhs, Const) and lhs.value == 0:
+            return Copy(instr.dst, rhs)
+    elif instr.op == "sub":
+        if isinstance(rhs, Const) and rhs.value == 0:
+            return Copy(instr.dst, lhs)
+    elif instr.op in ("shl", "shr"):
+        if isinstance(rhs, Const) and rhs.value == 0:
+            return Copy(instr.dst, lhs)
+    return None

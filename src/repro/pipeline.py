@@ -1,0 +1,122 @@
+"""End-to-end driver: source → profile → diversified binaries.
+
+:class:`ProgramBuild` wraps one MinC program through the whole pipeline
+and caches the expensive stages:
+
+1. front end + optimizer (deterministic, so training and final builds see
+   identical CFGs),
+2. lowering to the LR object unit,
+3. profile collection on a training input,
+4. per-variant NOP insertion + linking,
+5. execution (reference interpreter or machine simulator) and analytic
+   cycle estimation.
+
+This is the module examples and benchmarks program against.
+"""
+
+from __future__ import annotations
+
+from repro.backend.linker import link
+from repro.backend.lowering import lower_module
+from repro.core.variants import diversify_unit
+from repro.minc.irgen import compile_to_ir
+from repro.opt.pipeline import optimize_module
+from repro.profiling.collect import collect_profile, collect_profile_multi
+from repro.runtime.lib import runtime_unit
+from repro.sim.analytic import block_counts_from_profile, estimate_cycles
+from repro.sim.costs import DEFAULT_COST_MODEL
+from repro.sim.machine import run_binary
+
+
+def build_ir(source, name="program", opt_level=2):
+    """Front end + optimizer; deterministic for a given source."""
+    module = compile_to_ir(source, name)
+    return optimize_module(module, level=opt_level)
+
+
+class ProgramBuild:
+    """One program moving through the compile/profile/diversify pipeline."""
+
+    def __init__(self, source, name="program", opt_level=2):
+        self.source = source
+        self.name = name
+        self.opt_level = opt_level
+        self.module = build_ir(source, name, opt_level)
+        self.unit = lower_module(self.module, name)
+        self._profiles = {}
+
+    # -- profiling -------------------------------------------------------------
+
+    def profile(self, input_values=(), key=None):
+        """Collect (and cache) a profile for one training input."""
+        cache_key = key if key is not None else tuple(input_values)
+        if cache_key not in self._profiles:
+            profile, _result = collect_profile(self.module, input_values)
+            self._profiles[cache_key] = profile
+        return self._profiles[cache_key]
+
+    def profile_multi(self, input_sets, key):
+        """Collect (and cache) a profile over several training inputs."""
+        if key not in self._profiles:
+            profile, _result = collect_profile_multi(self.module, input_sets)
+            self._profiles[key] = profile
+        return self._profiles[key]
+
+    # -- linking ------------------------------------------------------------------
+
+    def link_baseline(self):
+        """The undiversified binary (runtime objects first, as ld would)."""
+        return link([runtime_unit(), self.unit])
+
+    def link_variant(self, config, seed, profile=None):
+        """One diversified binary for (config, seed, profile)."""
+        variant = diversify_unit(self.unit, config, seed, profile)
+        return link([runtime_unit(), variant])
+
+    def link_population(self, config, seeds, profile=None):
+        """A population of diversified binaries (the paper uses 25)."""
+        return [self.link_variant(config, seed, profile) for seed in seeds]
+
+    # -- execution -------------------------------------------------------------------
+
+    def run_reference(self, input_values=()):
+        """Execute the IR on the reference interpreter."""
+        from repro.ir.interp import run_module
+        return run_module(self.module, input_values)
+
+    def simulate(self, binary, input_values=(), count_addresses=False):
+        """Execute a linked binary on the machine simulator."""
+        return run_binary(binary, input_values,
+                          count_addresses=count_addresses)
+
+    # -- performance ------------------------------------------------------------------
+
+    def execution_counts(self, input_values=(), key=None):
+        """block_id → count map for the cost engine, for one input."""
+        profile = self.profile(input_values, key=key)
+        return block_counts_from_profile(self.module, profile)
+
+    def cycles(self, binary, counts, model=DEFAULT_COST_MODEL):
+        """Analytic cycle count of a binary under given counts."""
+        return estimate_cycles(binary, counts, model)
+
+    def overhead(self, config, seed, *, train_input=(), ref_input=(),
+                 model=DEFAULT_COST_MODEL, profile=None):
+        """Fractional slowdown of one variant versus the baseline.
+
+        ``train_input`` feeds the profile used by profile-guided configs;
+        ``ref_input`` is the measured workload (the paper's train/ref
+        split).
+        """
+        if profile is None and config.requires_profile:
+            profile = self.profile(train_input)
+        counts = self.execution_counts(ref_input)
+        baseline = self.cycles(self.link_baseline(), counts, model)
+        variant = self.cycles(self.link_variant(config, seed, profile),
+                              counts, model)
+        return variant / baseline - 1.0
+
+
+def compile_and_link(source, name="program", opt_level=2):
+    """One-call convenience: source text → undiversified LinkedBinary."""
+    return ProgramBuild(source, name, opt_level).link_baseline()

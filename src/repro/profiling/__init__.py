@@ -1,0 +1,36 @@
+"""Edge profiling infrastructure (the paper's §3.1/§4 substrate).
+
+Mirrors LLVM's optimal edge profiling (Neustifter), which the paper builds
+on: counters are placed only on a minimal edge subset (the complement of a
+maximum spanning tree of the CFG), and every remaining edge/block count is
+reconstructed by flow conservation.
+
+Two collection paths exist:
+
+- :func:`collect_profile` — the reference interpreter observes every edge
+  directly (fast path used by the benchmark harness), and
+- :func:`instrument_module` + :func:`reconstruct_profile` — real
+  instrumentation: counter-increment code is inserted on the chosen edges,
+  the instrumented program runs (interpreter or compiled-and-simulated),
+  and the full profile is reconstructed from the counter values.
+
+Tests assert both paths produce identical profiles.
+"""
+
+from repro.profiling.profile_data import ProfileData
+from repro.profiling.collect import collect_profile
+from repro.profiling.spanning_tree import (
+    build_profile_graph, choose_counter_edges, EXIT_NODE, VIRTUAL_ENTRY,
+)
+from repro.profiling.instrument import (
+    COUNTER_ARRAY, InstrumentationMap, instrument_module,
+)
+from repro.profiling.reconstruct import reconstruct_profile
+
+__all__ = [
+    "ProfileData", "collect_profile",
+    "build_profile_graph", "choose_counter_edges",
+    "EXIT_NODE", "VIRTUAL_ENTRY",
+    "COUNTER_ARRAY", "InstrumentationMap", "instrument_module",
+    "reconstruct_profile",
+]

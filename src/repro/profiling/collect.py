@@ -1,0 +1,38 @@
+"""Direct profile collection via the reference interpreter.
+
+The interpreter's ``edge_observer`` hook fires on every traversed CFG edge
+(and on each function invocation, as a virtual entry edge with
+``source=None``), giving exact edge counts without mutating the module.
+This is the fast path; the instrumented path in
+:mod:`repro.profiling.instrument` is validated against it.
+"""
+
+from __future__ import annotations
+
+from repro.ir.interp import Interpreter
+from repro.profiling.profile_data import ProfileData
+
+
+def collect_profile(module, input_values=(), max_steps=200_000_000):
+    """Run ``main`` and return (ProfileData, ExecutionResult)."""
+    edge_counts = {}
+
+    def observer(function_name, source, target):
+        key = (function_name, source, target)
+        edge_counts[key] = edge_counts.get(key, 0) + 1
+
+    interp = Interpreter(module, input_values=input_values,
+                         max_steps=max_steps, edge_observer=observer)
+    result = interp.run()
+    return ProfileData.from_edges(edge_counts), result
+
+
+def collect_profile_multi(module, input_sets, max_steps=200_000_000):
+    """Profile over several training inputs, accumulating counts."""
+    total = ProfileData()
+    last_result = None
+    for input_values in input_sets:
+        profile, last_result = collect_profile(module, input_values,
+                                               max_steps=max_steps)
+        total.merge(profile)
+    return total, last_result

@@ -1,0 +1,121 @@
+"""Real edge instrumentation: counter increments inserted into the IR.
+
+For every counter edge chosen by :mod:`repro.profiling.spanning_tree`:
+
+- a **CFG edge** ``(a, b)`` is split: a fresh block holding the counter
+  increment is placed on the edge and ``a``'s terminator retargeted;
+- a **return edge** ``(a, EXIT)`` gets its increment immediately before
+  the Return in ``a`` (that edge fires exactly when the Return executes).
+
+Counters live in one global array ``__prof_counters``; the increment is
+three IR instructions (load, add 1, store), which is what LLVM's lowered
+profiling counters amount to. After the instrumented program runs —
+under the interpreter or compiled and simulated — the counter vector plus
+the :class:`InstrumentationMap` feed
+:func:`repro.profiling.reconstruct.reconstruct_profile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProfileError
+from repro.ir.instructions import Binary, Branch, CondBranch, Return
+from repro.ir.module import GlobalArray
+from repro.ir.instructions import ALoad, AStore
+from repro.ir.values import Const
+from repro.profiling.spanning_tree import EXIT_NODE, choose_counter_edges
+
+COUNTER_ARRAY = "__prof_counters"
+
+
+@dataclass
+class InstrumentationMap:
+    """Maps counter indexes back to profile-graph edges.
+
+    ``counters[k] == (function_name, source, target)`` in *original* label
+    space (labels as they were before edge splitting), so reconstruction
+    produces a profile for the uninstrumented build.
+    """
+
+    counters: list = field(default_factory=list)
+
+    def counter_count(self):
+        return len(self.counters)
+
+
+def _increment(function, counter_index):
+    """The three-instruction counter bump."""
+    temp = function.new_vreg()
+    bumped = function.new_vreg()
+    return [
+        ALoad(temp, COUNTER_ARRAY, Const(counter_index)),
+        Binary("add", bumped, temp, Const(1)),
+        AStore(COUNTER_ARRAY, Const(counter_index), bumped),
+    ]
+
+
+def instrument_module(module):
+    """Insert edge counters into ``module`` (mutating it).
+
+    Returns the :class:`InstrumentationMap`. The module gains the
+    ``__prof_counters`` global; run the instrumented module and read that
+    array back (interpreter: ``interp.globals[COUNTER_ARRAY]``; simulator:
+    words at ``binary.data_symbols[COUNTER_ARRAY]``).
+    """
+    if COUNTER_ARRAY in module.globals:
+        raise ProfileError("module is already instrumented")
+
+    imap = InstrumentationMap()
+    for function in module.functions.values():
+        counter_edges, _tree = choose_counter_edges(function)
+        for source, target in counter_edges:
+            if source == EXIT_NODE:
+                raise ProfileError(
+                    "virtual entry edge chosen as a counter; the spanning "
+                    "tree must always contain it")
+            index = len(imap.counters)
+            imap.counters.append((function.name, source, target))
+            block = function.block(source)
+            if target == EXIT_NODE:
+                terminator = block.instrs[-1]
+                if not isinstance(terminator, Return):
+                    raise ProfileError(
+                        f"exit edge from non-returning block {source!r}")
+                block.instrs[-1:-1] = _increment(function, index)
+            else:
+                _split_edge(function, block, target, index)
+
+    module.add_global(GlobalArray(COUNTER_ARRAY,
+                                  max(1, len(imap.counters))))
+    return imap
+
+
+def _split_edge(function, source_block, target_label, counter_index):
+    split = function.new_block("prof")
+    split.instrs = _increment(function, counter_index)
+    split.instrs.append(Branch(target_label))
+
+    terminator = source_block.instrs[-1]
+    if isinstance(terminator, Branch):
+        terminator.target = split.label
+    elif isinstance(terminator, CondBranch):
+        if terminator.then_target == target_label:
+            terminator.then_target = split.label
+        if terminator.else_target == target_label:
+            terminator.else_target = split.label
+    else:
+        raise ProfileError(
+            f"cannot split edge out of {source_block.label!r}")
+
+
+def counters_from_interp(interp):
+    """Counter vector after an interpreted run of an instrumented module."""
+    return list(interp.globals[COUNTER_ARRAY])
+
+
+def counters_from_machine(machine, binary, count):
+    """Counter vector read from simulated memory after a run."""
+    base = binary.data_symbols[COUNTER_ARRAY]
+    return [machine.memory.read_u32(base + 4 * index)
+            for index in range(count)]

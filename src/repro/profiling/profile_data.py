@@ -1,0 +1,114 @@
+"""Profile data container.
+
+A profile holds per-edge execution counts — keys are
+``(function_name, source_label, target_label)`` with ``source_label is
+None`` denoting the virtual entry edge (one count per function
+invocation) — plus derived per-block counts keyed by
+``(function_name, block_label)``.
+
+The container is serializable to JSON so a training run's profile can be
+stored and fed into later diversified builds, matching the paper's
+two-compile workflow.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ProfileError
+
+
+class ProfileData:
+    """Edge and block execution counts from one or more training runs."""
+
+    def __init__(self, edge_counts=None, block_counts=None):
+        self.edge_counts = dict(edge_counts or {})
+        self.block_counts = dict(block_counts or {})
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edge_counts):
+        """Build a profile from edge counts, deriving block counts.
+
+        A block's execution count is the sum of its incoming edge counts
+        (including the virtual entry edge).
+        """
+        block_counts = {}
+        for (function, _source, target), count in edge_counts.items():
+            key = (function, target)
+            block_counts[key] = block_counts.get(key, 0) + count
+        return cls(edge_counts, block_counts)
+
+    def merge(self, other):
+        """Accumulate another profile (multi-run training sets)."""
+        for key, count in other.edge_counts.items():
+            self.edge_counts[key] = self.edge_counts.get(key, 0) + count
+        for key, count in other.block_counts.items():
+            self.block_counts[key] = self.block_counts.get(key, 0) + count
+        return self
+
+    # -- queries ----------------------------------------------------------------
+
+    def block_count(self, function_name, block_label):
+        return self.block_counts.get((function_name, block_label), 0)
+
+    @property
+    def max_block_count(self):
+        """The hottest block's count (``x_max`` in the paper's formula)."""
+        if not self.block_counts:
+            return 0
+        return max(self.block_counts.values())
+
+    def function_counts(self, function_name):
+        """Block counts of one function: {label: count}."""
+        return {label: count
+                for (name, label), count in self.block_counts.items()
+                if name == function_name}
+
+    def summary(self):
+        """(max, median, total) of all block counts — §3.1's statistics."""
+        values = sorted(self.block_counts.values())
+        if not values:
+            return (0, 0, 0)
+        median = values[len(values) // 2]
+        return (values[-1], median, sum(values))
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_json(self):
+        edges = [
+            {"function": function, "source": source, "target": target,
+             "count": count}
+            for (function, source, target), count
+            in sorted(self.edge_counts.items(),
+                      key=lambda kv: (kv[0][0], kv[0][1] or "", kv[0][2]))
+        ]
+        return json.dumps({"version": 1, "edges": edges}, indent=2)
+
+    @classmethod
+    def from_json(cls, text):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProfileError(f"malformed profile JSON: {exc}") from exc
+        if payload.get("version") != 1:
+            raise ProfileError("unsupported profile version")
+        edge_counts = {}
+        for entry in payload["edges"]:
+            key = (entry["function"], entry["source"], entry["target"])
+            edge_counts[key] = entry["count"]
+        return cls.from_edges(edge_counts)
+
+    def save(self, path):
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def __repr__(self):
+        return (f"ProfileData({len(self.edge_counts)} edges, "
+                f"max block count {self.max_block_count})")

@@ -1,0 +1,103 @@
+"""Reconstruct the full edge profile from counter values.
+
+Given the counter values (counts of the non-tree edges) the remaining tree
+edge counts follow from flow conservation: at every node of the profile
+graph, inflow equals outflow. The spanning tree is peeled leaf-by-leaf —
+a node with exactly one unknown incident edge determines that edge — which
+always terminates because a tree always has a leaf.
+
+The reconstructed profile is expressed in the original module's label
+space: virtual entry edges ``(fn, None, entry)`` carry invocation counts,
+return edges are dropped (they are not CFG edges), and block counts derive
+as the sum of incoming edge counts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProfileError
+from repro.profiling.profile_data import ProfileData
+from repro.profiling.spanning_tree import (
+    EXIT_NODE, build_profile_graph, choose_counter_edges,
+)
+
+
+def _solve_function(function, known):
+    """Solve all profile-graph edge counts given the counter values.
+
+    ``known`` maps (source, target) → count for the counter edges.
+    Returns a dict with every profile-graph edge's count.
+    """
+    edges = build_profile_graph(function)
+    counts = dict(known)
+    unknown = [edge for edge in edges if edge not in counts]
+
+    incident = {}
+    for edge in edges:
+        for node in edge:
+            incident.setdefault(node, []).append(edge)
+
+    pending = set(unknown)
+    progress = True
+    while pending and progress:
+        progress = False
+        for node, node_edges in incident.items():
+            open_edges = [e for e in node_edges if e in pending]
+            if len(open_edges) != 1:
+                continue
+            edge = open_edges[0]
+            inflow = sum(counts.get(e, 0) for e in node_edges
+                         if e[1] == node and e not in pending)
+            outflow = sum(counts.get(e, 0) for e in node_edges
+                          if e[0] == node and e not in pending)
+            if edge[1] == node:  # unknown edge flows in
+                counts[edge] = outflow - inflow
+            else:               # unknown edge flows out
+                counts[edge] = inflow - outflow
+            if counts[edge] < 0:
+                raise ProfileError(
+                    f"negative reconstructed count on {edge} "
+                    f"in {function.name!r}")
+            pending.discard(edge)
+            progress = True
+    if pending:
+        raise ProfileError(
+            f"could not reconstruct {len(pending)} edges in "
+            f"{function.name!r}; counter placement is not a spanning-tree "
+            "complement")
+    return counts
+
+
+def reconstruct_profile(module, imap, counter_values):
+    """Full :class:`ProfileData` from counters of an instrumented run.
+
+    ``module`` must be the *uninstrumented* module (same CFG shape the
+    counters were planned on). ``imap`` is the
+    :class:`~repro.profiling.instrument.InstrumentationMap`;
+    ``counter_values`` the counter array contents after the training run.
+    """
+    if len(counter_values) < len(imap.counters):
+        raise ProfileError("counter vector shorter than the counter map")
+
+    per_function = {}
+    for index, (function_name, source, target) in enumerate(imap.counters):
+        per_function.setdefault(function_name, {})[(source, target)] = (
+            counter_values[index])
+
+    edge_counts = {}
+    for function in module.functions.values():
+        known = per_function.get(function.name, {})
+        expected, _tree = choose_counter_edges(function)
+        if set(known) != set(expected):
+            raise ProfileError(
+                f"counter map mismatch for {function.name!r}")
+        solved = _solve_function(function, known)
+        for (source, target), count in solved.items():
+            if count == 0:
+                continue
+            if source == EXIT_NODE:
+                edge_counts[(function.name, None, target)] = count
+            elif target == EXIT_NODE:
+                continue  # return edges are not CFG edges
+            else:
+                edge_counts[(function.name, source, target)] = count
+    return ProfileData.from_edges(edge_counts)

@@ -1,0 +1,133 @@
+"""Maximum-spanning-tree counter placement (Knuth / Ball–Larus).
+
+For each function we build the *profile graph*: the CFG plus an EXIT node
+(every returning block gets an edge to EXIT) plus the virtual edge
+EXIT → ENTRY that closes the circulation (its count is the number of
+function invocations). Flow conservation then holds at every node:
+the counts entering a node equal the counts leaving it.
+
+Counters are needed only on the edges **not** in a spanning tree of the
+(undirected view of the) profile graph; everything else follows by
+conservation. To minimize runtime cost the tree should *maximize* the
+total expected count it covers, so we run Kruskal on static weight
+estimates: back edges (detected by DFS) get high weight, the virtual edge
+gets the highest (it cannot be instrumented at all).
+"""
+
+from __future__ import annotations
+
+EXIT_NODE = "__exit__"
+#: Marker for the virtual EXIT→ENTRY edge (function invocation count).
+VIRTUAL_ENTRY = None
+
+
+def build_profile_graph(function):
+    """Profile-graph edges of one function.
+
+    Returns a list of ``(source, target)`` node pairs where nodes are block
+    labels or EXIT_NODE, including the virtual ``(EXIT_NODE, entry)`` edge.
+    Parallel CFG edges (both CondBranch targets equal) are collapsed — the
+    IR builder never produces them, and the verifier's successor lists keep
+    them distinct blocks in practice.
+    """
+    edges = []
+    seen = set()
+    for block in function.blocks:
+        for successor in block.successors():
+            key = (block.label, successor)
+            if key not in seen:
+                seen.add(key)
+                edges.append(key)
+        if not block.successors():  # Return terminator
+            key = (block.label, EXIT_NODE)
+            if key not in seen:
+                seen.add(key)
+                edges.append(key)
+    edges.append((EXIT_NODE, function.entry.label))
+    return edges
+
+
+def _back_edges(function):
+    """Back edges of the CFG found by iterative DFS from the entry."""
+    back = set()
+    visited = set()
+    on_stack = set()
+    # Iterative DFS with explicit state to avoid recursion limits.
+    stack = [(function.entry.label, iter(function.entry.successors()))]
+    visited.add(function.entry.label)
+    on_stack.add(function.entry.label)
+    while stack:
+        label, successors = stack[-1]
+        advanced = False
+        for successor in successors:
+            if successor in on_stack:
+                back.add((label, successor))
+            elif successor not in visited:
+                visited.add(successor)
+                on_stack.add(successor)
+                block = function.block(successor)
+                stack.append((successor, iter(block.successors())))
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+            on_stack.discard(label)
+    return back
+
+
+def _edge_weights(function, edges):
+    """Static frequency estimates: loops are hot, the virtual edge hottest."""
+    back = _back_edges(function)
+    weights = {}
+    for source, target in edges:
+        if source == EXIT_NODE:
+            weights[(source, target)] = float("inf")  # must be in the tree
+        elif (source, target) in back:
+            weights[(source, target)] = 100.0
+        elif target == EXIT_NODE:
+            weights[(source, target)] = 1.0
+        else:
+            weights[(source, target)] = 10.0
+    return weights
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent = {}
+
+    def find(self, node):
+        parent = self.parent.setdefault(node, node)
+        while parent != node:
+            self.parent[node] = self.parent.setdefault(parent, parent)
+            node = self.parent[node]
+            parent = self.parent.setdefault(node, node)
+        return node
+
+    def union(self, a, b):
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        self.parent[root_a] = root_b
+        return True
+
+
+def choose_counter_edges(function):
+    """Edges needing a counter: the complement of a max spanning tree.
+
+    Returns ``(counter_edges, tree_edges)`` as lists of (source, target)
+    pairs in the profile graph.
+    """
+    edges = build_profile_graph(function)
+    weights = _edge_weights(function, edges)
+    # Kruskal, heaviest first; ties broken deterministically by edge key.
+    ordered = sorted(edges,
+                     key=lambda e: (-weights[e], e[0] or "", e[1]))
+    union_find = _UnionFind()
+    tree = []
+    counters = []
+    for source, target in ordered:
+        if union_find.union(source, target):
+            tree.append((source, target))
+        else:
+            counters.append((source, target))
+    return counters, tree

@@ -1,0 +1,60 @@
+"""Table/figure rendering helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+
+
+def geometric_mean_overhead(overheads):
+    """Geometric mean of fractional slowdowns (as the paper reports)."""
+    factors = [1.0 + value for value in overheads]
+    if not factors:
+        return 0.0
+    log_sum = sum(math.log(factor) for factor in factors)
+    return math.exp(log_sum / len(factors)) - 1.0
+
+
+def format_table(headers, rows, title=None):
+    """Monospace table: auto-sized columns, right-aligned numerics."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(header).ljust(widths[index])
+                            for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for original, row in zip(rows, rendered_rows):
+        cells = []
+        for index, cell in enumerate(row):
+            if isinstance(original[index], (int, float)):
+                cells.append(cell.rjust(widths[index]))
+            else:
+                cells.append(cell.ljust(widths[index]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ascii_bar_chart(labels, series, width=46, title=None):
+    """Horizontal ASCII bars, one row per label; values in percent."""
+    lines = []
+    if title:
+        lines.append(title)
+    peak = max((value for value in series if value is not None),
+               default=1.0)
+    peak = max(peak, 1e-9)
+    label_width = max((len(label) for label in labels), default=0)
+    for label, value in zip(labels, series):
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)}  {value:6.2f}%  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""The pre-assembled runtime library ("libc")."""
+
+from repro.runtime.lib import (
+    RUNTIME_FUNCTION_NAMES, runtime_call_counts, runtime_unit,
+)
+
+__all__ = ["RUNTIME_FUNCTION_NAMES", "runtime_call_counts", "runtime_unit"]

@@ -1,0 +1,285 @@
+"""Hand-written runtime library routines.
+
+These play the role of the C library objects that the linker adds to every
+binary. Crucially, they are **not diversified**: the paper's compiler only
+diversifies code it generates, while libc ships as fixed object code. The
+paper traces the ~40 gadgets that survive in at least half of the
+population back to exactly these objects (§5.2), and this module is what
+reproduces that floor in our experiments.
+
+Conventions match the compiled code: cdecl-like stack arguments, result in
+EAX, EBX/ESI/EDI callee-saved. I/O and process exit go through ``INT
+0x80`` (see :mod:`repro.sim.machine` for the syscall table).
+
+Every instruction is tagged ``block_id = (name, "body")`` so the analytic
+cost engine can attribute runtime cycles; the only routines with non-zero
+execution counts in compiled programs are ``_start``, ``__print_int`` and
+``__read_int`` (the rest are the usual statically-linked ballast).
+"""
+
+from __future__ import annotations
+
+from repro.backend.objfile import FunctionCode, LabelDef, ObjectUnit
+from repro.ir.instructions import Input, Print
+from repro.x86.instructions import Imm, Instr, Label, Mem
+from repro.x86.registers import EAX, EBX, ECX, EDX, EDI, ESI, ESP
+
+
+class _Asm:
+    """Tiny assembler DSL for hand-written routines."""
+
+    def __init__(self, name):
+        self.name = name
+        self.items = [LabelDef(name)]
+
+    def label(self, suffix):
+        self.items.append(LabelDef(self.name + suffix))
+        return self
+
+    def ref(self, suffix):
+        return Label(self.name + suffix)
+
+    def emit(self, mnemonic, *operands):
+        self.items.append(Instr(mnemonic, *operands,
+                                block_id=(self.name, "body")))
+        return self
+
+    def code(self):
+        return FunctionCode(self.name, self.items, diversifiable=False)
+
+
+def _start():
+    asm = _Asm("_start")
+    asm.emit("call", Label("main"))
+    asm.emit("mov", EBX, EAX)       # exit code = main's return value
+    asm.emit("mov", EAX, Imm(0))    # sys_exit
+    asm.emit("int", Imm(0x80))
+    asm.emit("hlt")                 # trap if exit ever returns
+    return asm.code()
+
+
+def _print_int():
+    """print_int(value): write one integer to the program output."""
+    asm = _Asm("__print_int")
+    asm.emit("push", EBX)
+    asm.emit("mov", EBX, Mem(base=ESP, disp=8))
+    asm.emit("mov", EAX, Imm(1))    # sys_print_int
+    asm.emit("int", Imm(0x80))
+    asm.emit("pop", EBX)
+    asm.emit("ret")
+    return asm.code()
+
+
+def _read_int():
+    """read_int(): next integer of the input vector, 0 past the end."""
+    asm = _Asm("__read_int")
+    asm.emit("mov", EAX, Imm(2))    # sys_read_int
+    asm.emit("int", Imm(0x80))
+    asm.emit("ret")
+    return asm.code()
+
+
+def _abs():
+    """abs(x)"""
+    asm = _Asm("__abs")
+    asm.emit("mov", EAX, Mem(base=ESP, disp=4))
+    asm.emit("test", EAX, EAX)
+    asm.emit("jns", asm.ref(".done"))
+    asm.emit("neg", EAX)
+    asm.label(".done")
+    asm.emit("ret")
+    return asm.code()
+
+
+def _imin():
+    """imin(a, b)"""
+    asm = _Asm("__imin")
+    asm.emit("mov", EAX, Mem(base=ESP, disp=4))
+    asm.emit("mov", ECX, Mem(base=ESP, disp=8))
+    asm.emit("cmp", EAX, ECX)
+    asm.emit("jle", asm.ref(".done"))
+    asm.emit("mov", EAX, ECX)
+    asm.label(".done")
+    asm.emit("ret")
+    return asm.code()
+
+
+def _imax():
+    """imax(a, b)"""
+    asm = _Asm("__imax")
+    asm.emit("mov", EAX, Mem(base=ESP, disp=4))
+    asm.emit("mov", ECX, Mem(base=ESP, disp=8))
+    asm.emit("cmp", EAX, ECX)
+    asm.emit("jge", asm.ref(".done"))
+    asm.emit("mov", EAX, ECX)
+    asm.label(".done")
+    asm.emit("ret")
+    return asm.code()
+
+
+def _memcpyw():
+    """memcpyw(dst, src, nwords): copy 32-bit words."""
+    asm = _Asm("__memcpyw")
+    asm.emit("push", ESI)
+    asm.emit("push", EDI)
+    asm.emit("mov", EDI, Mem(base=ESP, disp=12))
+    asm.emit("mov", ESI, Mem(base=ESP, disp=16))
+    asm.emit("mov", ECX, Mem(base=ESP, disp=20))
+    asm.label(".loop")
+    asm.emit("test", ECX, ECX)
+    asm.emit("je", asm.ref(".done"))
+    asm.emit("mov", EAX, Mem(base=ESI))
+    asm.emit("mov", Mem(base=EDI), EAX)
+    asm.emit("add", ESI, Imm(4))
+    asm.emit("add", EDI, Imm(4))
+    asm.emit("dec", ECX)
+    asm.emit("jmp", asm.ref(".loop"))
+    asm.label(".done")
+    asm.emit("pop", EDI)
+    asm.emit("pop", ESI)
+    asm.emit("ret")
+    return asm.code()
+
+
+def _memsetw():
+    """memsetw(dst, value, nwords): fill 32-bit words."""
+    asm = _Asm("__memsetw")
+    asm.emit("push", EDI)
+    asm.emit("mov", EDI, Mem(base=ESP, disp=8))
+    asm.emit("mov", EAX, Mem(base=ESP, disp=12))
+    asm.emit("mov", ECX, Mem(base=ESP, disp=16))
+    asm.label(".loop")
+    asm.emit("test", ECX, ECX)
+    asm.emit("je", asm.ref(".done"))
+    asm.emit("mov", Mem(base=EDI), EAX)
+    asm.emit("add", EDI, Imm(4))
+    asm.emit("dec", ECX)
+    asm.emit("jmp", asm.ref(".loop"))
+    asm.label(".done")
+    asm.emit("pop", EDI)
+    asm.emit("ret")
+    return asm.code()
+
+
+def _gcd():
+    """gcd(a, b) by Euclid's algorithm (IDIV remainder loop)."""
+    asm = _Asm("__gcd")
+    asm.emit("mov", EAX, Mem(base=ESP, disp=4))
+    asm.emit("mov", ECX, Mem(base=ESP, disp=8))
+    asm.label(".loop")
+    asm.emit("test", ECX, ECX)
+    asm.emit("je", asm.ref(".done"))
+    asm.emit("cdq")
+    asm.emit("idiv", ECX)
+    asm.emit("mov", EAX, ECX)
+    asm.emit("mov", ECX, EDX)
+    asm.emit("jmp", asm.ref(".loop"))
+    asm.label(".done")
+    asm.emit("ret")
+    return asm.code()
+
+
+def _strlenw():
+    """strlenw(addr): count words until a zero word."""
+    asm = _Asm("__strlenw")
+    asm.emit("mov", ECX, Mem(base=ESP, disp=4))
+    asm.emit("mov", EAX, Imm(0))
+    asm.label(".loop")
+    asm.emit("mov", EDX, Mem(base=ECX))
+    asm.emit("test", EDX, EDX)
+    asm.emit("je", asm.ref(".done"))
+    asm.emit("inc", EAX)
+    asm.emit("add", ECX, Imm(4))
+    asm.emit("jmp", asm.ref(".loop"))
+    asm.label(".done")
+    asm.emit("ret")
+    return asm.code()
+
+
+def _sumw():
+    """sumw(addr, nwords): 32-bit wrapping sum of a word buffer."""
+    asm = _Asm("__sumw")
+    asm.emit("mov", ECX, Mem(base=ESP, disp=4))
+    asm.emit("mov", EDX, Mem(base=ESP, disp=8))
+    asm.emit("mov", EAX, Imm(0))
+    asm.label(".loop")
+    asm.emit("test", EDX, EDX)
+    asm.emit("je", asm.ref(".done"))
+    asm.emit("add", EAX, Mem(base=ECX))
+    asm.emit("add", ECX, Imm(4))
+    asm.emit("dec", EDX)
+    asm.emit("jmp", asm.ref(".loop"))
+    asm.label(".done")
+    asm.emit("ret")
+    return asm.code()
+
+
+def _swapw():
+    """swapw(addr_a, addr_b): exchange two words in memory."""
+    asm = _Asm("__swapw")
+    asm.emit("mov", ECX, Mem(base=ESP, disp=4))
+    asm.emit("mov", EDX, Mem(base=ESP, disp=8))
+    asm.emit("mov", EAX, Mem(base=ECX))
+    asm.emit("push", EAX)
+    asm.emit("mov", EAX, Mem(base=EDX))
+    asm.emit("mov", Mem(base=ECX), EAX)
+    asm.emit("pop", EAX)
+    asm.emit("mov", Mem(base=EDX), EAX)
+    asm.emit("ret")
+    return asm.code()
+
+
+def _udiv10():
+    """udiv10(x): x / 10 for non-negative x (itoa-style helper)."""
+    asm = _Asm("__udiv10")
+    asm.emit("mov", EAX, Mem(base=ESP, disp=4))
+    asm.emit("mov", ECX, Imm(10))
+    asm.emit("cdq")
+    asm.emit("idiv", ECX)
+    asm.emit("ret")
+    return asm.code()
+
+
+_BUILDERS = (
+    _start, _print_int, _read_int, _abs, _imin, _imax, _memcpyw,
+    _memsetw, _gcd, _strlenw, _sumw, _swapw, _udiv10,
+)
+
+#: Names of every runtime routine, in link order.
+RUNTIME_FUNCTION_NAMES = tuple(builder().name for builder in _BUILDERS)
+
+
+def runtime_unit():
+    """A fresh :class:`ObjectUnit` holding the whole runtime library."""
+    unit = ObjectUnit("runtime")
+    for builder in _BUILDERS:
+        unit.add_function(builder())
+    return unit
+
+
+def runtime_call_counts(module, block_counts):
+    """Execution counts for runtime blocks, derived from IR-level counts.
+
+    ``block_counts`` maps (function_name, block_label) → count for the
+    program's own code. Runtime routines reached from compiled code are
+    ``_start`` (once), ``__print_int`` (one call per executed Print) and
+    ``__read_int`` (one per executed Input); everything else is unused
+    ballast with count 0.
+    """
+    print_calls = 0
+    read_calls = 0
+    for function in module.functions.values():
+        for block in function.blocks:
+            count = block_counts.get((function.name, block.label), 0)
+            if not count:
+                continue
+            for instr in block.instrs:
+                if isinstance(instr, Print):
+                    print_calls += count
+                elif isinstance(instr, Input):
+                    read_calls += count
+    return {
+        ("_start", "body"): 1,
+        ("__print_int", "body"): print_calls,
+        ("__read_int", "body"): read_calls,
+    }

@@ -1,0 +1,39 @@
+"""Security analysis: gadget discovery, Survivor, population studies,
+attack scanners.
+
+- :mod:`repro.security.gadgets` — Shacham-style gadget enumeration from
+  arbitrary byte offsets.
+- :mod:`repro.security.survivor` — the paper's Survivor comparison
+  (§5.2): offset-matched candidates, NOP normalization, conservative
+  equivalence.
+- :mod:`repro.security.population` — gadgets shared by ≥k of N variants
+  (Table 3).
+- :mod:`repro.security.ropgadget` — a ROPgadget-style classifying scanner.
+- :mod:`repro.security.microgadgets` — a microgadgets-style scanner for
+  2-3 byte gadgets.
+- :mod:`repro.security.attack` — chain construction + feasibility
+  verdicts, including executing a built chain on the simulator.
+- :mod:`repro.security.entropy` — diversification entropy (the §6
+  number-of-versions analysis).
+"""
+
+from repro.security.gadgets import Gadget, find_gadgets, gadget_count
+from repro.security.survivor import normalized_bytes, surviving_gadgets
+from repro.security.population import population_survival
+from repro.security.ropgadget import RopGadgetScanner
+from repro.security.microgadgets import MicroGadgetScanner
+from repro.security.attack import AttackResult, attempt_attack, build_exit_chain
+from repro.security.entropy import (
+    bernoulli_entropy, distinct_variants, per_instruction_entropy,
+    unit_entropy,
+)
+
+__all__ = [
+    "Gadget", "find_gadgets", "gadget_count",
+    "normalized_bytes", "surviving_gadgets",
+    "population_survival",
+    "RopGadgetScanner", "MicroGadgetScanner",
+    "AttackResult", "attempt_attack", "build_exit_chain",
+    "bernoulli_entropy", "distinct_variants", "per_instruction_entropy",
+    "unit_entropy",
+]

@@ -1,0 +1,145 @@
+"""ROP chain construction and concrete attack execution.
+
+The end-to-end check the paper performs on PHP: scan a binary, build a
+payload, and see whether it works. Our canonical payload makes the
+process exit with an attacker-chosen code via the ``exit`` syscall —
+morally identical to the mmap/mprotect call real payloads start with, and
+directly observable in the simulator:
+
+    pop eax; ret   ←  0            (syscall number: exit)
+    pop ebx; ret   ←  CODE         (attacker-chosen exit status)
+    int 0x80; ret
+
+``attempt_attack`` builds the chain from a scanner's toolkit and actually
+*executes* it on the machine simulator with a smashed stack, returning
+whether the machine exited with the attacker's value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulatorError
+from repro.security.gadgets import find_gadgets
+from repro.sim.machine import Machine
+from repro.sim.memory import STACK_TOP
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack attempt against one binary."""
+
+    feasible: bool
+    requirements: dict
+    chain: list = field(default_factory=list)
+    executed: bool = False
+    succeeded: bool = False
+    detail: str = ""
+
+    def __repr__(self):
+        status = ("SUCCEEDED" if self.succeeded
+                  else "feasible" if self.feasible else "infeasible")
+        return f"AttackResult({status}: {self.detail})"
+
+
+def _register_setter_chain(scanner, toolkit, register_name, value,
+                           text_base):
+    """Chain fragment leaving ``value`` in ``register_name``.
+
+    Returns a list of stack words, or None. Direct ``pop`` gadgets are
+    preferred; the microgadgets zero+inc construction is used as the
+    fallback when the scanner supports it.
+    """
+    direct = toolkit.get("load_const", register_name)
+    if direct is not None:
+        return [text_base + direct.offset, value & 0xFFFF_FFFF]
+    exact = toolkit.get("load_const_imm", (register_name, value))
+    if exact is not None:
+        return [text_base + exact.offset]
+    if value == 0:
+        zero = toolkit.get("zero", register_name)
+        if zero is not None:
+            return [text_base + zero.offset]
+    # pop X; ret then mov REG, X; ret
+    for (dst, src), mover in toolkit.operations.get("move", {}).items():
+        if dst != register_name:
+            continue
+        popper = toolkit.get("load_const", src)
+        if popper is not None:
+            return [text_base + popper.offset, value & 0xFFFF_FFFF,
+                    text_base + mover.offset]
+    construct = getattr(scanner, "can_construct_value", None)
+    if construct is not None and 0 <= value <= 64:
+        zero = toolkit.get("zero", register_name)
+        inc = toolkit.get("incdec", ("inc", register_name))
+        if zero is not None and inc is not None:
+            chain = [text_base + zero.offset]
+            chain.extend([text_base + inc.offset] * value)
+            return chain
+    return None
+
+
+def build_exit_chain(scanner, toolkit, text_base, exit_code=42):
+    """Full payload for ``exit(exit_code)``; None if not constructible."""
+    syscall = toolkit.get("syscall")
+    if syscall is None:
+        return None
+    eax_part = _register_setter_chain(scanner, toolkit, "eax", 0, text_base)
+    ebx_part = _register_setter_chain(scanner, toolkit, "ebx", exit_code,
+                                      text_base)
+    if eax_part is None or ebx_part is None:
+        return None
+    # EBX first: the arithmetic EAX construction must run last so nothing
+    # disturbs EAX before the syscall fires.
+    return ebx_part + eax_part + [text_base + syscall.offset]
+
+
+def execute_chain(binary, chain, max_steps=100_000):
+    """Run a ROP chain on the simulator with a smashed stack.
+
+    Models the post-overflow state: ESP points into attacker-controlled
+    words whose first entry is the first gadget address (as if a
+    vulnerable function just executed RET into the payload).
+
+    Returns (succeeded, exit_code_or_None, detail).
+    """
+    machine = Machine(binary, max_steps=max_steps, count_addresses=False)
+    stack_pointer = STACK_TOP - 4 * (len(chain) + 8)
+    for position, word in enumerate(chain[1:], start=0):
+        machine.memory.write_u32(stack_pointer + 4 * position, word)
+    machine.regs[4] = stack_pointer
+    machine.eip = chain[0]
+    try:
+        while not machine.halted:
+            machine.step()
+    except SimulatorError as fault:
+        return False, None, f"machine fault: {fault}"
+    return True, machine.exit_code, "chain ran to exit"
+
+
+def attempt_attack(binary, scanner, gadgets=None, exit_code=42,
+                   execute=True):
+    """Scan, build, and (optionally) run the canonical payload."""
+    if gadgets is None:
+        gadgets = find_gadgets(binary.text)
+    toolkit = scanner.scan(gadgets)
+    requirements = scanner.attack_requirements(toolkit)
+    feasible = all(requirements.values())
+    if not feasible:
+        missing = [name for name, ok in requirements.items() if not ok]
+        return AttackResult(False, requirements,
+                            detail=f"missing: {', '.join(missing)}")
+    chain = build_exit_chain(scanner, toolkit, binary.text_base, exit_code)
+    if chain is None:
+        return AttackResult(False, requirements,
+                            detail="requirements met but chain "
+                                   "construction failed")
+    result = AttackResult(True, requirements, chain=chain,
+                          detail="chain constructed")
+    if execute:
+        ran, observed_exit, detail = execute_chain(binary, chain)
+        result.executed = True
+        result.succeeded = bool(ran and observed_exit == exit_code)
+        result.detail = (f"{detail}; exit={observed_exit} "
+                         f"(wanted {exit_code})")
+    return result

@@ -1,0 +1,168 @@
+"""Gadget enumeration.
+
+A gadget is a decodable instruction sequence that
+
+- starts at *any* byte offset of the text section (x86's unaligned,
+  variable-length encoding means attackers can enter instructions
+  mid-stream — the paper's Figure 2 turns on exactly this property),
+- contains no control-flow instructions except its terminator, and
+- ends in a **free branch**: ``RET``, ``RET imm16``, ``CALL r/m`` or
+  ``JMP r/m`` — instructions that let the attacker choose where execution
+  goes next.
+
+The enumeration is the standard backward scan: find every free-branch
+byte position, then try every start offset within a window before it and
+keep the starts whose linear decode lands exactly on the free branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.x86.decoder import try_decode
+from repro.x86.instructions import (
+    FREE_BRANCH_MNEMONICS, RELATIVE_BRANCH_MNEMONICS,
+)
+
+#: Sentinel for "no instruction decodes at this offset".
+_INVALID = object()
+
+#: Free-branch byte signatures: opcode byte -> handler kind.
+_RET = 0xC3
+_RET_IMM = 0xC2
+_GROUP_FF = 0xFF
+
+#: Maximum instructions per gadget, matching common scanner defaults.
+DEFAULT_MAX_INSTRS = 5
+#: Start-offset window before a free branch, in bytes.
+DEFAULT_WINDOW = 20
+
+#: Global byte-window → decoded-instruction memo shared across scans.
+_DECODE_MEMO = {}
+_DECODE_MEMO_LIMIT = 1_000_000
+
+
+@dataclass(frozen=True)
+class Gadget:
+    """One gadget: its text-section offset and decoded instructions."""
+
+    offset: int
+    instrs: tuple
+    raw: bytes
+
+    @property
+    def terminator(self):
+        return self.instrs[-1]
+
+    @property
+    def size(self):
+        return len(self.raw)
+
+    def mnemonics(self):
+        return tuple(instr.mnemonic for instr in self.instrs)
+
+    def __repr__(self):
+        body = "; ".join(self.mnemonics())
+        return f"Gadget(+{self.offset:#x}: {body})"
+
+
+def free_branch_ends(text):
+    """Byte offsets immediately *after* each free-branch instruction.
+
+    Returns a list of (end_offset, branch_length) pairs. Offsets are
+    relative to the start of ``text``.
+    """
+    ends = []
+    length = len(text)
+    for position in range(length):
+        opcode = text[position]
+        if opcode == _RET:
+            ends.append((position + 1, 1))
+        elif opcode == _RET_IMM and position + 3 <= length:
+            ends.append((position + 3, 3))
+        elif opcode == _GROUP_FF and position + 2 <= length:
+            extension = (text[position + 1] >> 3) & 7
+            if extension in (2, 4):  # call r/m, jmp r/m
+                instr = try_decode(text, position)
+                if instr is not None and instr.is_free_branch:
+                    ends.append((position + instr.size, instr.size))
+    return ends
+
+
+def find_gadgets(text, max_instrs=DEFAULT_MAX_INSTRS,
+                 window=DEFAULT_WINDOW):
+    """Enumerate all gadgets of a text section.
+
+    Returns ``{start_offset: Gadget}``. Every byte offset is decoded at
+    most once (a shared decode cache) and the gadget at each offset is
+    the forward walk of up to ``max_instrs`` instructions that reaches a
+    free branch with no interior control flow (software interrupts are
+    allowed mid-gadget — the classic ``int 0x80; ret`` syscall gadget).
+
+    ``window`` bounds the gadget's non-terminator byte length, mirroring
+    the lookback window of conventional scanners. When several free
+    branches are reachable from one start, the first one wins: the
+    attacker's decode stops at the first free branch anyway.
+    """
+    text = bytes(text)
+    length = len(text)
+    decode_cache = [None] * (length + 1)  # None=unvisited
+    memo = _DECODE_MEMO
+
+    def decode_at(offset):
+        cached = decode_cache[offset]
+        if cached is None:
+            # Population studies scan hundreds of variants that share
+            # most of their bytes, so decode results are memoized
+            # globally by their byte window (12 bytes covers the longest
+            # supported encoding).
+            if offset + 12 <= length:
+                key = text[offset:offset + 12]
+                cached = memo.get(key)
+                if cached is None:
+                    cached = try_decode(text, offset) or _INVALID
+                    if len(memo) < _DECODE_MEMO_LIMIT:
+                        memo[key] = cached
+            else:
+                # Too close to the end for a full window: decode results
+                # depend on truncation, so bypass the global memo.
+                cached = try_decode(text, offset) or _INVALID
+            decode_cache[offset] = cached
+        return cached
+
+    free_branches = FREE_BRANCH_MNEMONICS
+    relative_branches = RELATIVE_BRANCH_MNEMONICS
+    gadgets = {}
+    for start in range(length):
+        instrs = []
+        position = start
+        found = None
+        for _ in range(max_instrs):
+            instr = decode_at(position)
+            if instr is _INVALID:
+                break
+            instrs.append(instr)
+            position += instr.size
+            mnemonic = instr.mnemonic
+            if mnemonic in free_branches:
+                found = instr
+                break
+            # Software interrupts are allowed mid-gadget (the classic
+            # ``int 0x80; ret`` syscall gadget); other control flow ends
+            # the attacker's decode.
+            if mnemonic in relative_branches:
+                break
+            if position >= length:
+                break
+        if found is None:
+            continue
+        body_bytes = position - start - found.size
+        if body_bytes > window:
+            continue
+        gadgets[start] = Gadget(start, tuple(instrs), text[start:position])
+    return gadgets
+
+
+def gadget_count(text, **kwargs):
+    """Number of gadgets in a text section (Table 2's Baseline column)."""
+    return len(find_gadgets(text, **kwargs))

@@ -1,0 +1,55 @@
+"""A microgadgets-style scanner.
+
+Homescu et al.'s WOOT'12 "Microgadgets" paper (cited as the second attack
+framework in §5.2) shows Turing-complete ROP from gadgets of **2-3
+bytes**: such tiny gadgets are so frequent in ordinary code that they
+survive many defenses. This scanner admits only gadgets whose whole
+encoding (terminator included) is at most 3 bytes and rebuilds the paper's
+operation categories from combinations of them:
+
+- ``pop r; ret`` (2 bytes) — load,
+- ``xor r, r; ret`` / ``inc r; ret`` / ``dec r; ret`` (3 bytes) —
+  constants by arithmetic,
+- ``mov/xchg r, r; ret`` and ``add/sub r, r; ret`` (3 bytes) — movement
+  and arithmetic,
+- ``int 0x80; ret`` (3 bytes) — syscall,
+- ``mov [r], r; ret`` / ``mov r, [r]; ret`` (3 bytes) — memory.
+
+Feasibility asks for the same canonical payload as the ROPgadget-style
+scanner, but EAX may be constructed arithmetically (``xor eax, eax`` then
+``inc eax`` repeats) when no direct ``pop eax`` survives — the
+characteristic microgadgets trick.
+"""
+
+from __future__ import annotations
+
+from repro.security.ropgadget import RopGadgetScanner
+
+MAX_MICROGADGET_BYTES = 3
+
+
+class MicroGadgetScanner(RopGadgetScanner):
+    """The microgadgets lens: only 2-3 byte gadgets count."""
+
+    name = "microgadgets"
+    max_body = 1
+
+    def scan(self, gadgets):
+        tiny = {offset: gadget for offset, gadget in gadgets.items()
+                if gadget.size <= MAX_MICROGADGET_BYTES}
+        return super().scan(tiny)
+
+    def can_construct_value(self, toolkit, register_name):
+        """Arbitrary small constants via zero + increment chains."""
+        return (toolkit.has("zero", register_name)
+                and (toolkit.has("incdec", ("inc", register_name))
+                     or toolkit.has("incdec", ("dec", register_name))))
+
+    def attack_requirements(self, toolkit):
+        return {
+            "set eax": (self.can_set_register_to(toolkit, "eax", 0)
+                        or self.can_construct_value(toolkit, "eax")),
+            "set ebx": (self.can_set_register(toolkit, "ebx")
+                        or self.can_construct_value(toolkit, "ebx")),
+            "syscall": toolkit.has("syscall"),
+        }

@@ -1,0 +1,190 @@
+"""A ROPgadget-style classifying scanner.
+
+Mirrors the decision procedure of Salwan's ROPgadget tool at the level the
+paper uses it: enumerate gadgets, classify them into the operation classes
+a payload needs, and report whether a working attack can be assembled.
+
+Operation classes:
+
+====================  ===========================================
+class                 shape
+====================  ===========================================
+``load_const``        ``pop REG; ret``
+``move``              ``mov REG, REG; ret``
+``store_mem``         ``mov [REG(+disp)], REG; ret``
+``load_mem``          ``mov REG, [REG(+disp)]; ret``
+``arith``             ``add/sub/xor REG, REG; ret``
+``incdec``            ``inc/dec REG; ret``
+``zero``              ``xor REG, REG; ret``
+``syscall``           ``int 0x80; ret``
+``pivot``             ``xchg ESP, REG; ret`` / ``pop ESP; ret``
+``ret``               bare ``ret``
+====================  ===========================================
+
+Only plain-``ret`` terminators feed chain construction (``ret imm16``
+shifts the chain; indirect-branch terminators need a prepared register),
+matching how the real tools rank gadget usefulness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.x86.instructions import Imm, Mem
+from repro.x86.registers import ESP, Register
+
+
+@dataclass
+class GadgetToolkit:
+    """Classified gadgets, keyed by (class, detail)."""
+
+    #: class name -> {detail: gadget}; detail is usually a register name.
+    operations: dict = field(default_factory=dict)
+
+    def add(self, kind, detail, gadget):
+        bucket = self.operations.setdefault(kind, {})
+        # Keep the shortest gadget per slot: fewer side effects.
+        existing = bucket.get(detail)
+        if existing is None or gadget.size < existing.size:
+            bucket[detail] = gadget
+
+    def get(self, kind, detail=None):
+        bucket = self.operations.get(kind, {})
+        if detail is None:
+            return next(iter(bucket.values()), None)
+        return bucket.get(detail)
+
+    def has(self, kind, detail=None):
+        return self.get(kind, detail) is not None
+
+    def classes(self):
+        return sorted(self.operations)
+
+    def counts(self):
+        return {kind: len(bucket)
+                for kind, bucket in sorted(self.operations.items())}
+
+
+def _plain_ret(gadget):
+    terminator = gadget.terminator
+    return terminator.mnemonic == "ret" and not terminator.operands
+
+
+class RopGadgetScanner:
+    """Classify a gadget set and judge attack feasibility."""
+
+    name = "ropgadget"
+
+    #: Maximum interior instructions for a useful gadget (side effects
+    #: beyond this are too hard to control).
+    max_body = 2
+
+    def scan(self, gadgets):
+        """Classify ``{offset: Gadget}``; returns a :class:`GadgetToolkit`."""
+        toolkit = GadgetToolkit()
+        for gadget in gadgets.values():
+            if not _plain_ret(gadget):
+                continue
+            body = gadget.instrs[:-1]
+            if len(body) > self.max_body:
+                continue
+            if len(body) == 0:
+                toolkit.add("ret", "-", gadget)
+                continue
+            if len(body) == 1:
+                self._classify_single(toolkit, body[0], gadget)
+            elif all(instr.mnemonic == "pop" for instr in body):
+                # pop;pop;ret — usable as a double load.
+                names = tuple(op.operands[0].name for op in body
+                              if isinstance(op.operands[0], Register))
+                if len(names) == len(body):
+                    toolkit.add("load_const2", names, gadget)
+        return toolkit
+
+    def _classify_single(self, toolkit, instr, gadget):
+        ops = instr.operands
+        if instr.mnemonic == "pop" and isinstance(ops[0], Register):
+            if ops[0] is ESP:
+                toolkit.add("pivot", "pop esp", gadget)
+            else:
+                toolkit.add("load_const", ops[0].name, gadget)
+        elif instr.mnemonic == "mov" and len(ops) == 2:
+            dst, src = ops
+            if isinstance(dst, Register) and isinstance(src, Register):
+                toolkit.add("move", (dst.name, src.name), gadget)
+            elif isinstance(dst, Mem) and isinstance(src, Register):
+                if dst.base is not None:
+                    toolkit.add("store_mem", (dst.base.name, src.name),
+                                gadget)
+            elif isinstance(dst, Register) and isinstance(src, Mem):
+                if src.base is not None:
+                    toolkit.add("load_mem", (dst.name, src.base.name),
+                                gadget)
+            elif isinstance(dst, Register) and isinstance(src, Imm):
+                toolkit.add("load_const_imm", (dst.name, src.value), gadget)
+        elif instr.mnemonic in ("add", "sub", "xor") and len(ops) == 2:
+            dst, src = ops
+            if isinstance(dst, Register) and isinstance(src, Register):
+                if instr.mnemonic == "xor" and dst is src:
+                    toolkit.add("zero", dst.name, gadget)
+                else:
+                    toolkit.add("arith",
+                                (instr.mnemonic, dst.name, src.name), gadget)
+        elif instr.mnemonic in ("inc", "dec") and isinstance(ops[0], Register):
+            toolkit.add("incdec", (instr.mnemonic, ops[0].name), gadget)
+        elif instr.mnemonic == "int" and ops[0].value == 0x80:
+            toolkit.add("syscall", "int 0x80", gadget)
+        elif instr.mnemonic == "xchg" and len(ops) == 2:
+            dst, src = ops
+            if isinstance(dst, Register) and isinstance(src, Register):
+                if ESP in (dst, src):
+                    toolkit.add("pivot", "xchg esp", gadget)
+                else:
+                    toolkit.add("move", (dst.name, src.name), gadget)
+
+    # -- feasibility --------------------------------------------------------
+
+    def can_set_register(self, toolkit, register_name):
+        """Can the attacker put an arbitrary value in a register?"""
+        if toolkit.has("load_const", register_name):
+            return True
+        # pop X; ret + mov REG, X; ret also works.
+        for (dst, src) in toolkit.operations.get("move", {}):
+            if dst == register_name and toolkit.has("load_const", src):
+                return True
+        for names in toolkit.operations.get("load_const2", {}):
+            if register_name in names:
+                return True
+        return False
+
+    def can_set_register_to(self, toolkit, register_name, value):
+        """Can the attacker leave this *specific* value in the register?
+
+        Arbitrary-value control implies it; otherwise an exact-immediate
+        ``mov reg, imm; ret`` or (for zero) an ``xor reg, reg; ret``
+        suffices.
+        """
+        if self.can_set_register(toolkit, register_name):
+            return True
+        if toolkit.has("load_const_imm", (register_name, value)):
+            return True
+        if value == 0 and toolkit.has("zero", register_name):
+            return True
+        return False
+
+    def attack_requirements(self, toolkit):
+        """The checklist for the canonical syscall payload.
+
+        The paper's attacks ultimately call a system function (mmap/
+        mprotect-style); in our machine that is: EAX := syscall number
+        (0 = exit), EBX := an attacker-chosen argument, trigger
+        ``int 0x80``.
+        """
+        return {
+            "set eax": self.can_set_register_to(toolkit, "eax", 0),
+            "set ebx": self.can_set_register(toolkit, "ebx"),
+            "syscall": toolkit.has("syscall"),
+        }
+
+    def is_attack_feasible(self, toolkit):
+        return all(self.attack_requirements(toolkit).values())

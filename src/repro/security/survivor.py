@@ -1,0 +1,57 @@
+"""The Survivor comparison algorithm (paper §5.2).
+
+Survivor takes the text sections of an original and a diversified binary
+and counts the functionally equivalent gadgets that remain at the same
+offset:
+
+1. enumerate gadget start offsets in both sections (candidate matches are
+   pairs of valid gadgets at identical offsets, both ending in a free
+   branch);
+2. **normalize** both byte sequences by deleting every NOP-candidate
+   encoding — whether or not the diversifier actually inserted it —
+   which can only make the two sides *more* similar, so the resulting
+   count conservatively overestimates survival;
+3. a candidate survives if the normalized sequences are byte-identical.
+
+Offsets (not absolute addresses) are compared, so ASLR-style base
+randomization does not interfere with the measurement.
+"""
+
+from __future__ import annotations
+
+from repro.security.gadgets import find_gadgets
+from repro.x86.nops import strip_nop_candidates
+
+
+def normalized_bytes(gadget):
+    """The gadget's bytes with every NOP-candidate encoding removed."""
+    return strip_nop_candidates(gadget.raw)
+
+
+def gadget_signatures(text, **kwargs):
+    """``{offset: normalized_bytes}`` for every gadget of a section."""
+    return {offset: normalized_bytes(gadget)
+            for offset, gadget in find_gadgets(text, **kwargs).items()}
+
+
+def surviving_gadgets(original_text, diversified_text, *,
+                      original_signatures=None, **kwargs):
+    """Count gadgets surviving diversification.
+
+    ``original_signatures`` may carry a precomputed
+    :func:`gadget_signatures` of the original section (the population
+    studies reuse it across 25 comparisons).
+
+    Returns ``(count, offsets)`` — the number of survivors and their
+    offsets.
+    """
+    if original_signatures is None:
+        original_signatures = gadget_signatures(original_text, **kwargs)
+    diversified_signatures = gadget_signatures(diversified_text, **kwargs)
+
+    offsets = [
+        offset
+        for offset, signature in diversified_signatures.items()
+        if original_signatures.get(offset) == signature
+    ]
+    return len(offsets), sorted(offsets)

@@ -1,0 +1,30 @@
+"""x86-32 machine simulator and cycle cost model.
+
+The simulator executes the *bytes* of a linked binary — it decodes the
+emitted byte stream with the same decoder the gadget scanners use and has
+no side channel into the compiler, so a diversified binary that broke
+semantics produces observably wrong output.
+
+Cycle accounting uses a two-resource (issue bandwidth vs. memory port)
+block-level model — see :mod:`repro.sim.costs` — which reproduces the key
+hardware behaviour the paper's numbers rest on: NOPs are almost free in
+memory-bound code (470.lbm) and expensive in issue-bound code
+(400.perlbench, 482.sphinx3).
+"""
+
+from repro.sim.costs import (
+    CostModel, DEFAULT_COST_MODEL, block_cost_table, cycles_from_counts,
+    instr_issue_cost, instr_memory_cost,
+)
+from repro.sim.memory import Memory
+from repro.sim.machine import Machine, SimResult, run_binary
+from repro.sim.analytic import (
+    block_counts_from_profile, block_counts_from_sim, estimate_cycles,
+)
+
+__all__ = [
+    "CostModel", "DEFAULT_COST_MODEL", "block_cost_table",
+    "cycles_from_counts", "instr_issue_cost", "instr_memory_cost",
+    "Memory", "Machine", "SimResult", "run_binary",
+    "block_counts_from_profile", "block_counts_from_sim", "estimate_cycles",
+]

@@ -1,0 +1,50 @@
+"""Analytic cycle estimation.
+
+NOP insertion never changes control flow, so the cycle count of any
+variant is fully determined by (a) the variant's instruction records and
+(b) the execution counts of its blocks — which equal the *original*
+program's block counts. The analytic engine evaluates
+:func:`repro.sim.costs.cycles_from_counts` over those inputs; tests assert
+it matches the simulator's measured counts exactly, and the Figure-4
+benchmark sweep uses it so that the 19 × 5 × 5-variant matrix costs
+seconds, not hours.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.lib import runtime_call_counts
+from repro.sim.costs import DEFAULT_COST_MODEL, cycles_from_counts
+
+
+def block_counts_from_sim(binary, addr_counts):
+    """Per-block execution counts from a simulated run's address counts.
+
+    The count of a block is the count of its first instruction; records
+    are in layout order, so the first record seen for each block_id is that
+    block's first instruction.
+    """
+    counts = {}
+    for record in binary.instr_records:
+        if record.block_id not in counts:
+            counts[record.block_id] = addr_counts.get(record.address, 0)
+    return counts
+
+
+def block_counts_from_profile(module, profile):
+    """Assemble the full block_id → count map the cost engine needs.
+
+    Combines the profile's program block counts, its edge counts (for the
+    ``("edge", fn, src, dst)`` ids that tag the second jump of two-target
+    conditional branches) and the derived runtime-library call counts.
+    """
+    counts = dict(profile.block_counts)
+    for (function, source, target), value in profile.edge_counts.items():
+        if source is not None:
+            counts[("edge", function, source, target)] = value
+    counts.update(runtime_call_counts(module, profile.block_counts))
+    return counts
+
+
+def estimate_cycles(binary, counts, model=DEFAULT_COST_MODEL):
+    """Cycles of ``binary`` under the given block execution counts."""
+    return cycles_from_counts(binary.instr_records, counts, model)

@@ -1,0 +1,393 @@
+"""The x86-32 CPU simulator.
+
+Executes the byte image of a :class:`~repro.backend.linker.LinkedBinary`
+instruction by instruction: fetch (with a decode cache keyed on EIP —
+text is immutable), execute, account cycles. Flags, wrapping arithmetic
+and truncating IDIV follow IA-32; the one documented deviation is that
+IDIV by zero yields quotient 0 / remainder 0 instead of #DE, matching the
+IR's total division semantics so differential tests are exact.
+
+System calls use ``INT 0x80`` with EAX selecting:
+
+====  ==========================  ==============================
+EAX   call                        effect
+====  ==========================  ==============================
+0     exit                        terminate, exit code in EBX
+1     print_int                   append signed EBX to output
+2     read_int                    EAX := next input value (or 0)
+====  ==========================  ==============================
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulatorError
+from repro.sim.memory import Memory, STACK_TOP
+from repro.x86.decoder import decode
+from repro.x86.instructions import (
+    CONDITION_CODES, Imm, Mem, SETCC_MNEMONICS,
+)
+from repro.x86.registers import Register
+
+_MASK = 0xFFFF_FFFF
+_SIGN = 0x8000_0000
+
+_PARITY = [0] * 256
+for _value in range(256):
+    _PARITY[_value] = int(bin(_value).count("1") % 2 == 0)
+
+
+def _signed(value):
+    return value - 0x1_0000_0000 if value & _SIGN else value
+
+
+class SimResult:
+    """Outcome of a simulated run."""
+
+    def __init__(self, output, exit_code, instr_count, addr_counts):
+        self.output = output
+        self.exit_code = exit_code
+        self.instr_count = instr_count
+        self.addr_counts = addr_counts
+
+    def __repr__(self):
+        return (f"SimResult(exit={self.exit_code}, "
+                f"instrs={self.instr_count})")
+
+
+class Machine:
+    """One simulated process."""
+
+    def __init__(self, binary, input_values=(), max_steps=500_000_000,
+                 count_addresses=True):
+        self.binary = binary
+        self.memory = Memory(binary)
+        self.regs = [0] * 8  # EAX ECX EDX EBX ESP EBP ESI EDI
+        self.regs[4] = STACK_TOP - 64  # ESP, small headroom below the top
+        self.eip = binary.entry
+        self.cf = self.zf = self.sf = self.of = self.pf = 0
+        self.halted = False
+        self.exit_code = 0
+        self.output = []
+        self.input_values = list(input_values)
+        self.input_position = 0
+        self.max_steps = max_steps
+        self.instr_count = 0
+        self.count_addresses = count_addresses
+        self.addr_counts = {}
+        self._decode_cache = {}
+
+    # -- operand access -----------------------------------------------------
+
+    def _ea(self, mem):
+        address = mem.disp
+        if mem.base is not None:
+            address += self.regs[mem.base.code]
+        if mem.index is not None:
+            address += self.regs[mem.index.code] * mem.scale
+        return address & _MASK
+
+    def _get(self, operand):
+        if isinstance(operand, Register):
+            return self.regs[operand.code]
+        if isinstance(operand, Imm):
+            return operand.value & _MASK
+        if isinstance(operand, Mem):
+            return self.memory.read_u32(self._ea(operand))
+        raise SimulatorError(f"cannot read operand {operand!r}")
+
+    def _set(self, operand, value):
+        value &= _MASK
+        if isinstance(operand, Register):
+            self.regs[operand.code] = value
+        elif isinstance(operand, Mem):
+            self.memory.write_u32(self._ea(operand), value)
+        else:
+            raise SimulatorError(f"cannot write operand {operand!r}")
+
+    # -- flags ---------------------------------------------------------------
+
+    def _flags_result(self, result):
+        self.zf = int(result == 0)
+        self.sf = (result >> 31) & 1
+        self.pf = _PARITY[result & 0xFF]
+
+    def _flags_add(self, a, b, result_wide):
+        result = result_wide & _MASK
+        self.cf = int(result_wide > _MASK)
+        self.of = int(((a ^ result) & (b ^ result) & _SIGN) != 0)
+        self._flags_result(result)
+
+    def _flags_sub(self, a, b):
+        result = (a - b) & _MASK
+        self.cf = int(a < b)
+        self.of = int(((a ^ b) & (a ^ result) & _SIGN) != 0)
+        self._flags_result(result)
+        return result
+
+    def _flags_logic(self, result):
+        self.cf = 0
+        self.of = 0
+        self._flags_result(result)
+
+    def _condition(self, cc):
+        if cc == "e":
+            return self.zf
+        if cc == "ne":
+            return not self.zf
+        if cc == "l":
+            return self.sf != self.of
+        if cc == "ge":
+            return self.sf == self.of
+        if cc == "le":
+            return self.zf or self.sf != self.of
+        if cc == "g":
+            return not self.zf and self.sf == self.of
+        if cc == "b":
+            return self.cf
+        if cc == "ae":
+            return not self.cf
+        if cc == "be":
+            return self.cf or self.zf
+        if cc == "a":
+            return not (self.cf or self.zf)
+        if cc == "s":
+            return self.sf
+        if cc == "ns":
+            return not self.sf
+        if cc == "o":
+            return self.of
+        if cc == "no":
+            return not self.of
+        if cc == "p":
+            return self.pf
+        if cc == "np":
+            return not self.pf
+        raise SimulatorError(f"unknown condition {cc!r}")
+
+    # -- stack ----------------------------------------------------------------
+
+    def _push(self, value):
+        self.regs[4] = (self.regs[4] - 4) & _MASK
+        self.memory.write_u32(self.regs[4], value)
+
+    def _pop(self):
+        value = self.memory.read_u32(self.regs[4])
+        self.regs[4] = (self.regs[4] + 4) & _MASK
+        return value
+
+    # -- execution ---------------------------------------------------------------
+
+    def _fetch(self):
+        instr = self._decode_cache.get(self.eip)
+        if instr is None:
+            window = self.memory.code_window(self.eip, 16)
+            instr = decode(window, 0)
+            self._decode_cache[self.eip] = instr
+        return instr
+
+    def step(self):
+        """Execute one instruction."""
+        if self.halted:
+            raise SimulatorError("machine is halted")
+        self.instr_count += 1
+        if self.instr_count > self.max_steps:
+            raise SimulatorError(f"exceeded {self.max_steps} steps")
+        if self.count_addresses:
+            counts = self.addr_counts
+            counts[self.eip] = counts.get(self.eip, 0) + 1
+        instr = self._fetch()
+        next_eip = self.eip + instr.size
+        mnemonic = instr.mnemonic
+        ops = instr.operands
+
+        if mnemonic == "mov":
+            self._set(ops[0], self._get(ops[1]))
+        elif mnemonic == "add":
+            a = self._get(ops[0])
+            b = self._get(ops[1])
+            self._flags_add(a, b, a + b)
+            self._set(ops[0], a + b)
+        elif mnemonic == "sub":
+            a = self._get(ops[0])
+            b = self._get(ops[1])
+            self._set(ops[0], self._flags_sub(a, b))
+        elif mnemonic == "cmp":
+            self._flags_sub(self._get(ops[0]), self._get(ops[1]))
+        elif mnemonic == "and":
+            result = self._get(ops[0]) & self._get(ops[1])
+            self._flags_logic(result)
+            self._set(ops[0], result)
+        elif mnemonic == "or":
+            result = self._get(ops[0]) | self._get(ops[1])
+            self._flags_logic(result)
+            self._set(ops[0], result)
+        elif mnemonic == "xor":
+            result = self._get(ops[0]) ^ self._get(ops[1])
+            self._flags_logic(result)
+            self._set(ops[0], result)
+        elif mnemonic == "test":
+            self._flags_logic(self._get(ops[0]) & self._get(ops[1]))
+        elif mnemonic == "lea":
+            self._set(ops[0], self._ea(ops[1]))
+        elif mnemonic == "inc":
+            a = self._get(ops[0])
+            result = (a + 1) & _MASK
+            self.of = int(a == 0x7FFF_FFFF)
+            self._flags_result(result)  # CF preserved
+            self._set(ops[0], result)
+        elif mnemonic == "dec":
+            a = self._get(ops[0])
+            result = (a - 1) & _MASK
+            self.of = int(a == _SIGN)
+            self._flags_result(result)  # CF preserved
+            self._set(ops[0], result)
+        elif mnemonic == "neg":
+            a = self._get(ops[0])
+            result = (-a) & _MASK
+            self.cf = int(a != 0)
+            self.of = int(a == _SIGN)
+            self._flags_result(result)
+            self._set(ops[0], result)
+        elif mnemonic == "not":
+            self._set(ops[0], ~self._get(ops[0]))
+        elif mnemonic == "imul":
+            if len(ops) == 3:
+                value = _signed(self._get(ops[1])) * ops[2].value
+            else:
+                value = _signed(self._get(ops[0])) * _signed(self._get(ops[1]))
+            result = value & _MASK
+            overflowed = int(value != _signed(result))
+            self.cf = self.of = overflowed
+            self._set(ops[0], result)
+        elif mnemonic == "mul":
+            product = self.regs[0] * self._get(ops[0])
+            self.regs[0] = product & _MASK
+            self.regs[2] = (product >> 32) & _MASK
+            self.cf = self.of = int(self.regs[2] != 0)
+        elif mnemonic == "idiv":
+            divisor = _signed(self._get(ops[0]))
+            dividend = (self.regs[2] << 32) | self.regs[0]
+            if dividend & (1 << 63):
+                dividend -= 1 << 64
+            if divisor == 0:
+                quotient, remainder = 0, 0
+            else:
+                quotient = abs(dividend) // abs(divisor)
+                if (dividend < 0) != (divisor < 0):
+                    quotient = -quotient
+                remainder = dividend - quotient * divisor
+            self.regs[0] = quotient & _MASK
+            self.regs[2] = remainder & _MASK
+        elif mnemonic == "cdq":
+            self.regs[2] = _MASK if self.regs[0] & _SIGN else 0
+        elif mnemonic in ("shl", "shr", "sar", "rol", "ror"):
+            self._shift(mnemonic, ops)
+        elif mnemonic == "push":
+            self._push(self._get(ops[0]))
+        elif mnemonic == "pop":
+            self._set(ops[0], self._pop())
+        elif mnemonic == "xchg":
+            a = self._get(ops[0])
+            b = self._get(ops[1])
+            self._set(ops[0], b)
+            self._set(ops[1], a)
+        elif mnemonic == "call":
+            self._push(next_eip)
+            next_eip = (next_eip + ops[0].value) & _MASK
+        elif mnemonic == "call_reg":
+            target = self._get(ops[0])
+            self._push(next_eip)
+            next_eip = target
+        elif mnemonic == "ret":
+            next_eip = self._pop()
+            if ops:
+                self.regs[4] = (self.regs[4] + ops[0].value) & _MASK
+        elif mnemonic == "jmp":
+            next_eip = (next_eip + ops[0].value) & _MASK
+        elif mnemonic == "jmp_reg":
+            next_eip = self._get(ops[0])
+        elif mnemonic == "nop":
+            pass
+        elif mnemonic == "int":
+            self._syscall(ops[0].value)
+        elif mnemonic == "hlt":
+            raise SimulatorError(f"HLT executed at {self.eip:#010x}")
+        elif mnemonic in SETCC_MNEMONICS:
+            flag = int(bool(self._condition(mnemonic[3:])))
+            current = self._get(ops[0])
+            self._set(ops[0], (current & ~0xFF) | flag)
+        elif mnemonic[0] == "j" and mnemonic[1:] in CONDITION_CODES:
+            if self._condition(mnemonic[1:]):
+                next_eip = (next_eip + ops[0].value) & _MASK
+        else:
+            raise SimulatorError(f"cannot execute {instr!r} "
+                                 f"at {self.eip:#010x}")
+
+        self.eip = next_eip & _MASK
+
+    def _shift(self, mnemonic, ops):
+        count_operand = ops[1]
+        if isinstance(count_operand, Register):
+            count = self.regs[count_operand.code] & 31
+        else:
+            count = count_operand.value & 31
+        a = self._get(ops[0])
+        if count == 0:
+            return  # no flag updates on zero count
+        if mnemonic == "shl":
+            result = (a << count) & _MASK
+            self.cf = (a >> (32 - count)) & 1
+            self._flags_result(result)
+        elif mnemonic == "shr":
+            result = a >> count
+            self.cf = (a >> (count - 1)) & 1
+            self._flags_result(result)
+        elif mnemonic == "sar":
+            signed_a = _signed(a)
+            result = (signed_a >> count) & _MASK
+            self.cf = (signed_a >> (count - 1)) & 1
+            self._flags_result(result)
+        elif mnemonic == "rol":
+            count %= 32
+            result = ((a << count) | (a >> (32 - count))) & _MASK if count else a
+            self.cf = result & 1
+        else:  # ror
+            count %= 32
+            result = ((a >> count) | (a << (32 - count))) & _MASK if count else a
+            self.cf = (result >> 31) & 1
+        self._set(ops[0], result)
+
+    def _syscall(self, vector):
+        if vector != 0x80:
+            raise SimulatorError(f"unsupported interrupt {vector:#x}")
+        number = self.regs[0]
+        if number == 0:  # exit
+            self.exit_code = _signed(self.regs[3])
+            self.halted = True
+        elif number == 1:  # print_int
+            self.output.append(_signed(self.regs[3]))
+            self.regs[0] = 0
+        elif number == 2:  # read_int
+            if self.input_position < len(self.input_values):
+                value = self.input_values[self.input_position]
+                self.input_position += 1
+            else:
+                value = 0
+            self.regs[0] = value & _MASK
+        else:
+            raise SimulatorError(f"unknown syscall {number}")
+
+    def run(self):
+        """Run to exit; returns a :class:`SimResult`."""
+        while not self.halted:
+            self.step()
+        return SimResult(self.output, self.exit_code, self.instr_count,
+                         self.addr_counts)
+
+
+def run_binary(binary, input_values=(), max_steps=500_000_000,
+               count_addresses=True):
+    """Convenience wrapper: simulate a binary to completion."""
+    machine = Machine(binary, input_values=input_values, max_steps=max_steps,
+                      count_addresses=count_addresses)
+    return machine.run()

@@ -1,0 +1,79 @@
+"""Flat 32-bit address space with W⊕X enforcement.
+
+Three segments: read-only text, read-write data, and a downward-growing
+stack. Writes into the text segment fault — the simulator enforces the
+W⊕X policy the paper's threat model assumes (code injection is off the
+table; the attacker must reuse existing code).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import SimulatorError
+
+_U32 = struct.Struct("<I")
+
+STACK_TOP = 0xC000_0000
+DEFAULT_STACK_SIZE = 1 << 20  # 1 MiB
+
+
+class Memory:
+    """Segmented memory for one simulated process."""
+
+    def __init__(self, binary, stack_size=DEFAULT_STACK_SIZE):
+        self.text_base = binary.text_base
+        self.text = binary.text  # bytes: immutable, enforcing W^X
+        self.text_end = binary.text_base + len(binary.text)
+
+        self.data_base = binary.data_base
+        self.data_end = binary.data_end
+        self.data = bytearray(max(0, binary.data_end - binary.data_base))
+        for address, value in binary.data_words.items():
+            offset = address - self.data_base
+            _U32.pack_into(self.data, offset, value & 0xFFFF_FFFF)
+
+        self.stack_size = stack_size
+        self.stack_base = STACK_TOP - stack_size
+        self.stack = bytearray(stack_size)
+
+    # -- accessors ---------------------------------------------------------
+
+    def read_u8(self, address):
+        if self.text_base <= address < self.text_end:
+            return self.text[address - self.text_base]
+        if self.data_base <= address < self.data_end:
+            return self.data[address - self.data_base]
+        if self.stack_base <= address < STACK_TOP:
+            return self.stack[address - self.stack_base]
+        raise SimulatorError(f"read fault at {address:#010x}")
+
+    def read_u32(self, address):
+        if self.data_base <= address and address + 4 <= self.data_end:
+            return _U32.unpack_from(self.data, address - self.data_base)[0]
+        if self.stack_base <= address and address + 4 <= STACK_TOP:
+            return _U32.unpack_from(self.stack, address - self.stack_base)[0]
+        if self.text_base <= address and address + 4 <= self.text_end:
+            return _U32.unpack_from(self.text, address - self.text_base)[0]
+        raise SimulatorError(f"read fault at {address:#010x}")
+
+    def write_u32(self, address, value):
+        value &= 0xFFFF_FFFF
+        if self.data_base <= address and address + 4 <= self.data_end:
+            _U32.pack_into(self.data, address - self.data_base, value)
+            return
+        if self.stack_base <= address and address + 4 <= STACK_TOP:
+            _U32.pack_into(self.stack, address - self.stack_base, value)
+            return
+        if self.text_base <= address < self.text_end:
+            raise SimulatorError(
+                f"W^X violation: write to text at {address:#010x}")
+        raise SimulatorError(f"write fault at {address:#010x}")
+
+    def code_window(self, address, length=16):
+        """Raw code bytes at ``address`` (for the decoder)."""
+        if not self.text_base <= address < self.text_end:
+            raise SimulatorError(
+                f"execute fault at {address:#010x} (outside text)")
+        start = address - self.text_base
+        return self.text[start:start + length]

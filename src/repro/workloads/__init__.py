@@ -1,0 +1,25 @@
+"""Workloads: the benchmark programs the experiments run.
+
+- :mod:`repro.workloads.base` — the :class:`Workload` record.
+- :mod:`repro.workloads.programs` — 19 MinC programs named after the
+  SPEC CPU 2006 benchmarks the paper evaluates, each mimicking the
+  original's computational character (instruction mix and loop
+  structure), with distinct ``train`` and ``ref`` inputs.
+- :mod:`repro.workloads.php` — the "network-facing application" of the
+  §5.2 case study: a bytecode interpreter (the computational shape of the
+  PHP runtime) whose scripts arrive as input vectors.
+- :mod:`repro.workloads.clbg` — the seven Computer Language Benchmarks
+  Game training programs the paper profiles PHP with, expressed as
+  bytecode for the interpreter.
+- :mod:`repro.workloads.registry` — lookup by name.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import (
+    SPEC_ORDER, all_spec_workloads, get_workload, workload_names,
+)
+
+__all__ = [
+    "Workload", "SPEC_ORDER", "all_spec_workloads", "get_workload",
+    "workload_names",
+]

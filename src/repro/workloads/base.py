@@ -1,0 +1,28 @@
+"""The workload record shared by the SPEC-like suite and the case study."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program.
+
+    - ``name`` — e.g. ``"470.lbm"``.
+    - ``source`` — MinC source text.
+    - ``train_input`` / ``ref_input`` — the input vectors of the paper's
+      two SPEC input sets: ``train`` feeds profile collection, ``ref`` is
+      what performance is measured on.
+    - ``character`` — one-line note on the computational character being
+      mimicked (and hence the expected instruction mix).
+    """
+
+    name: str
+    source: str
+    train_input: tuple = ()
+    ref_input: tuple = ()
+    character: str = ""
+
+    def __repr__(self):
+        return f"Workload({self.name!r})"

@@ -1,0 +1,462 @@
+"""Computer Language Benchmarks Game programs, as interpreter bytecode.
+
+The paper has no profiler-friendly training input for PHP, so it profiles
+the interpreter on seven CLBG benchmarks — "each benchmark stresses
+different parts of the PHP interpreter (function calls, arrays, loop
+operations)". These are those seven programs, written for the bytecode VM
+in :mod:`repro.workloads.php`:
+
+- ``binarytrees``    — recursive tree checksums (CALL/RET pressure),
+- ``fannkuchredux``  — permutation prefix flips (heap array pressure),
+- ``mandelbrot``     — fixed-point complex iteration (MUL/SHR),
+- ``nbody``          — pairwise gravity steps (arith + heap),
+- ``pidigits``       — spigot digits of π (DIV/MOD),
+- ``spectralnorm``   — matrix-free power iteration (DIV + loops),
+- ``fasta``          — weighted random sequence emission (branches).
+
+Each yields a distinct opcode-handler heat profile, which is exactly what
+the case study needs from its training set.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+
+#: Mnemonic → opcode, mirroring the VM in repro.workloads.php.
+OPCODES = {
+    "HALT": 0, "PUSH": 1, "ADD": 2, "SUB": 3, "MUL": 4, "DIV": 5,
+    "MOD": 6, "NEG": 7, "DUP": 8, "POP": 9, "SWAP": 10, "LOAD": 11,
+    "STORE": 12, "ALOAD": 13, "ASTORE": 14, "JMP": 15, "JZ": 16,
+    "JNZ": 17, "LT": 18, "LE": 19, "EQ": 20, "NE": 21, "AND": 22,
+    "OR": 23, "XOR": 24, "SHL": 25, "SHR": 26, "PRINT": 27, "READ": 28,
+    "INC": 29, "CALL": 30, "RET": 31,
+}
+
+#: Opcodes followed by one inline operand word.
+_HAS_OPERAND = {"PUSH", "LOAD", "STORE", "JMP", "JZ", "JNZ", "INC", "CALL"}
+
+
+class BytecodeAssembler:
+    """Two-pass assembler: mnemonics + labels → VM code words."""
+
+    def __init__(self):
+        self._items = []   # ("op", mnemonic, operand) | ("label", name)
+
+    def label(self, name):
+        self._items.append(("label", name))
+        return self
+
+    def emit(self, mnemonic, operand=None):
+        mnemonic = mnemonic.upper()
+        if mnemonic not in OPCODES:
+            raise WorkloadError(f"unknown VM mnemonic {mnemonic!r}")
+        needs = mnemonic in _HAS_OPERAND
+        if needs and operand is None:
+            raise WorkloadError(f"{mnemonic} needs an operand")
+        if not needs and operand is not None:
+            raise WorkloadError(f"{mnemonic} takes no operand")
+        self._items.append(("op", mnemonic, operand))
+        return self
+
+    def assemble(self):
+        """Resolve labels; returns the flat code-word list."""
+        addresses = {}
+        position = 0
+        for item in self._items:
+            if item[0] == "label":
+                if item[1] in addresses:
+                    raise WorkloadError(f"duplicate label {item[1]!r}")
+                addresses[item[1]] = position
+            else:
+                position += 2 if item[1] in _HAS_OPERAND else 1
+        code = []
+        for item in self._items:
+            if item[0] == "label":
+                continue
+            _kind, mnemonic, operand = item
+            code.append(OPCODES[mnemonic])
+            if mnemonic in _HAS_OPERAND:
+                if isinstance(operand, str):
+                    if operand not in addresses:
+                        raise WorkloadError(f"undefined label {operand!r}")
+                    operand = addresses[operand]
+                code.append(operand)
+        return code
+
+
+def script_input(code, extra_inputs=()):
+    """Wire a code-word list into the VM's input vector."""
+    return tuple([len(code)] + list(code) + list(extra_inputs))
+
+
+# ---------------------------------------------------------------------------
+# The seven programs. Globals are numbered VM variables; the comments name
+# them. All programs print one checksum so runs are verifiable.
+# ---------------------------------------------------------------------------
+
+def binarytrees(max_depth=6):
+    """Recursive tree-checksum program: CALL/RET-heavy."""
+    asm = BytecodeAssembler()
+    # main: total(g0) = 0; for depth(g1) in 1..max_depth: total += build(depth)
+    asm.emit("PUSH", 0).emit("STORE", 0)
+    asm.emit("PUSH", 1).emit("STORE", 1)
+    asm.label("loop")
+    asm.emit("LOAD", 1).emit("PUSH", max_depth).emit("LE").emit("JZ", "done")
+    asm.emit("LOAD", 1).emit("CALL", "build")
+    asm.emit("LOAD", 0).emit("ADD").emit("STORE", 0)
+    asm.emit("INC", 1)
+    asm.emit("JMP", "loop")
+    asm.label("done")
+    asm.emit("LOAD", 0).emit("PRINT").emit("HALT")
+    # build(d): stack [d] -> [nodes(d)] where nodes(d) = 2^(d+1)-1
+    asm.label("build")
+    asm.emit("DUP").emit("JZ", "leaf")
+    asm.emit("DUP").emit("PUSH", 1).emit("SUB").emit("CALL", "build")
+    asm.emit("SWAP").emit("PUSH", 1).emit("SUB").emit("CALL", "build")
+    asm.emit("ADD").emit("PUSH", 1).emit("ADD").emit("RET")
+    asm.label("leaf")
+    asm.emit("POP").emit("PUSH", 1).emit("RET")
+    return script_input(asm.assemble())
+
+
+def fannkuchredux(n=6, flips=120):
+    """Prefix-flip program over a heap permutation: array-op-heavy."""
+    asm = BytecodeAssembler()
+    # heap[0..n-1] = rotated identity permutation
+    asm.emit("PUSH", 0).emit("STORE", 0)                 # i = 0
+    asm.label("init")
+    asm.emit("LOAD", 0).emit("PUSH", n).emit("LT").emit("JZ", "flip_start")
+    # heap[i] = (i*7+3) % n  (a fixed scrambled permutation-ish start)
+    asm.emit("LOAD", 0).emit("PUSH", 7).emit("MUL").emit("PUSH", 3)
+    asm.emit("ADD").emit("PUSH", n).emit("MOD")
+    asm.emit("LOAD", 0).emit("ASTORE")
+    asm.emit("INC", 0).emit("JMP", "init")
+    asm.label("flip_start")
+    asm.emit("PUSH", 0).emit("STORE", 1)                 # flip counter g1
+    asm.emit("PUSH", 0).emit("STORE", 2)                 # round g2
+    asm.label("round")
+    asm.emit("LOAD", 2).emit("PUSH", flips).emit("LT").emit("JZ", "end")
+    # reverse prefix of length (heap[0] % n) + 2 via g3=lo, g4=hi
+    asm.emit("PUSH", 0).emit("ALOAD").emit("PUSH", n).emit("MOD")
+    asm.emit("PUSH", 1).emit("ADD").emit("STORE", 4)     # hi
+    asm.emit("PUSH", 0).emit("STORE", 3)                 # lo
+    asm.label("rev")
+    asm.emit("LOAD", 3).emit("LOAD", 4).emit("LT").emit("JZ", "revdone")
+    # swap heap[lo], heap[hi]
+    asm.emit("LOAD", 3).emit("ALOAD")                    # [a]
+    asm.emit("LOAD", 4).emit("ALOAD")                    # [a b]
+    asm.emit("LOAD", 3).emit("ASTORE")                   # heap[lo]=b, [a]
+    asm.emit("LOAD", 4).emit("ASTORE")                   # heap[hi]=a
+    asm.emit("INC", 3)
+    asm.emit("LOAD", 4).emit("PUSH", 1).emit("SUB").emit("STORE", 4)
+    asm.emit("JMP", "rev")
+    asm.label("revdone")
+    asm.emit("INC", 1)
+    asm.emit("INC", 2)
+    asm.emit("JMP", "round")
+    asm.label("end")
+    # checksum = sum(heap[0..n-1]) + flips performed
+    asm.emit("PUSH", 0).emit("STORE", 0)
+    asm.emit("PUSH", 0).emit("STORE", 5)
+    asm.label("sum")
+    asm.emit("LOAD", 0).emit("PUSH", n).emit("LT").emit("JZ", "out")
+    asm.emit("LOAD", 5).emit("LOAD", 0).emit("ALOAD").emit("ADD")
+    asm.emit("STORE", 5)
+    asm.emit("INC", 0).emit("JMP", "sum")
+    asm.label("out")
+    asm.emit("LOAD", 5).emit("LOAD", 1).emit("ADD").emit("PRINT")
+    asm.emit("HALT")
+    return script_input(asm.assemble())
+
+
+def mandelbrot(size=8, max_iter=20):
+    """Fixed-point (scale 128) z^2+c escape iteration: MUL/SHR-heavy."""
+    asm = BytecodeAssembler()
+    # g0=px g1=py g2=zx g3=zy g4=iter g5=inside-count g6=cx g7=cy g8=tmp
+    asm.emit("PUSH", 0).emit("STORE", 5)
+    asm.emit("PUSH", 0).emit("STORE", 1)
+    asm.label("yloop")
+    asm.emit("LOAD", 1).emit("PUSH", size).emit("LT").emit("JZ", "done")
+    asm.emit("PUSH", 0).emit("STORE", 0)
+    asm.label("xloop")
+    asm.emit("LOAD", 0).emit("PUSH", size).emit("LT").emit("JZ", "xdone")
+    # c = ((px*256/size)-192, (py*256/size)-128) in 1/128 units
+    asm.emit("LOAD", 0).emit("PUSH", 256).emit("MUL")
+    asm.emit("PUSH", size).emit("DIV").emit("PUSH", 192).emit("SUB")
+    asm.emit("STORE", 6)
+    asm.emit("LOAD", 1).emit("PUSH", 256).emit("MUL")
+    asm.emit("PUSH", size).emit("DIV").emit("PUSH", 128).emit("SUB")
+    asm.emit("STORE", 7)
+    asm.emit("PUSH", 0).emit("STORE", 2)
+    asm.emit("PUSH", 0).emit("STORE", 3)
+    asm.emit("PUSH", 0).emit("STORE", 4)
+    asm.label("iter")
+    asm.emit("LOAD", 4).emit("PUSH", max_iter).emit("LT").emit("JZ", "inside")
+    # tmp = (zx*zx - zy*zy)/128 + cx
+    asm.emit("LOAD", 2).emit("LOAD", 2).emit("MUL")
+    asm.emit("LOAD", 3).emit("LOAD", 3).emit("MUL").emit("SUB")
+    asm.emit("PUSH", 7).emit("SHR").emit("LOAD", 6).emit("ADD")
+    asm.emit("STORE", 8)
+    # zy = 2*zx*zy/128 + cy ; zx = tmp
+    asm.emit("LOAD", 2).emit("LOAD", 3).emit("MUL")
+    asm.emit("PUSH", 6).emit("SHR").emit("LOAD", 7).emit("ADD")
+    asm.emit("STORE", 3)
+    asm.emit("LOAD", 8).emit("STORE", 2)
+    # escape if zx*zx + zy*zy > 4*128*128
+    asm.emit("LOAD", 2).emit("LOAD", 2).emit("MUL")
+    asm.emit("LOAD", 3).emit("LOAD", 3).emit("MUL").emit("ADD")
+    asm.emit("PUSH", 65536).emit("LT").emit("JZ", "escaped")
+    asm.emit("INC", 4)
+    asm.emit("JMP", "iter")
+    asm.label("inside")
+    asm.emit("INC", 5)
+    asm.label("escaped")
+    asm.emit("INC", 0)
+    asm.emit("JMP", "xloop")
+    asm.label("xdone")
+    asm.emit("INC", 1)
+    asm.emit("JMP", "yloop")
+    asm.label("done")
+    asm.emit("LOAD", 5).emit("PRINT").emit("HALT")
+    return script_input(asm.assemble())
+
+
+def nbody(bodies=4, steps=10):
+    """Pairwise gravity in the heap (x,y,vx,vy per body): arith+heap."""
+    asm = BytecodeAssembler()
+    # heap layout: body i at [4i..4i+3]; g0=i g1=j g2=step g3=dx g4=dy g5=d2
+    asm.emit("PUSH", 0).emit("STORE", 0)
+    asm.label("init")
+    asm.emit("LOAD", 0).emit("PUSH", bodies).emit("LT").emit("JZ", "steps")
+    asm.emit("LOAD", 0).emit("PUSH", 37).emit("MUL").emit("PUSH", 64)
+    asm.emit("MOD").emit("LOAD", 0).emit("PUSH", 4).emit("MUL")
+    asm.emit("ASTORE")                                    # x
+    asm.emit("LOAD", 0).emit("PUSH", 53).emit("MUL").emit("PUSH", 64)
+    asm.emit("MOD")
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("PUSH", 1)
+    asm.emit("ADD").emit("ASTORE")                        # y
+    asm.emit("PUSH", 0)
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("PUSH", 2)
+    asm.emit("ADD").emit("ASTORE")                        # vx
+    asm.emit("PUSH", 0)
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("PUSH", 3)
+    asm.emit("ADD").emit("ASTORE")                        # vy
+    asm.emit("INC", 0).emit("JMP", "init")
+    asm.label("steps")
+    asm.emit("PUSH", 0).emit("STORE", 2)
+    asm.label("step")
+    asm.emit("LOAD", 2).emit("PUSH", steps).emit("LT").emit("JZ", "report")
+    asm.emit("PUSH", 0).emit("STORE", 0)
+    asm.label("iloop")
+    asm.emit("LOAD", 0).emit("PUSH", bodies).emit("LT").emit("JZ", "advance")
+    asm.emit("PUSH", 0).emit("STORE", 1)
+    asm.label("jloop")
+    asm.emit("LOAD", 1).emit("PUSH", bodies).emit("LT").emit("JZ", "inext")
+    asm.emit("LOAD", 0).emit("LOAD", 1).emit("EQ").emit("JNZ", "jnext")
+    # dx = x[j]-x[i]; dy = y[j]-y[i]
+    asm.emit("LOAD", 1).emit("PUSH", 4).emit("MUL").emit("ALOAD")
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("ALOAD")
+    asm.emit("SUB").emit("STORE", 3)
+    asm.emit("LOAD", 1).emit("PUSH", 4).emit("MUL").emit("PUSH", 1)
+    asm.emit("ADD").emit("ALOAD")
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("PUSH", 1)
+    asm.emit("ADD").emit("ALOAD")
+    asm.emit("SUB").emit("STORE", 4)
+    # d2 = dx*dx + dy*dy + 16 ; vx[i] += dx*16/d2 ; vy[i] += dy*16/d2
+    asm.emit("LOAD", 3).emit("LOAD", 3).emit("MUL")
+    asm.emit("LOAD", 4).emit("LOAD", 4).emit("MUL").emit("ADD")
+    asm.emit("PUSH", 16).emit("ADD").emit("STORE", 5)
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("PUSH", 2)
+    asm.emit("ADD").emit("ALOAD")
+    asm.emit("LOAD", 3).emit("PUSH", 16).emit("MUL").emit("LOAD", 5)
+    asm.emit("DIV").emit("ADD")
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("PUSH", 2)
+    asm.emit("ADD").emit("ASTORE")
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("PUSH", 3)
+    asm.emit("ADD").emit("ALOAD")
+    asm.emit("LOAD", 4).emit("PUSH", 16).emit("MUL").emit("LOAD", 5)
+    asm.emit("DIV").emit("ADD")
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("PUSH", 3)
+    asm.emit("ADD").emit("ASTORE")
+    asm.label("jnext")
+    asm.emit("INC", 1).emit("JMP", "jloop")
+    asm.label("inext")
+    asm.emit("INC", 0).emit("JMP", "iloop")
+    asm.label("advance")
+    # x[i] += vx[i]; y[i] += vy[i] for all i
+    asm.emit("PUSH", 0).emit("STORE", 0)
+    asm.label("adv")
+    asm.emit("LOAD", 0).emit("PUSH", bodies).emit("LT").emit("JZ", "snext")
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("ALOAD")
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("PUSH", 2)
+    asm.emit("ADD").emit("ALOAD").emit("ADD")
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("ASTORE")
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("PUSH", 1)
+    asm.emit("ADD").emit("ALOAD")
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("PUSH", 3)
+    asm.emit("ADD").emit("ALOAD").emit("ADD")
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("PUSH", 1)
+    asm.emit("ADD").emit("ASTORE")
+    asm.emit("INC", 0).emit("JMP", "adv")
+    asm.label("snext")
+    asm.emit("INC", 2).emit("JMP", "step")
+    asm.label("report")
+    # checksum = sum of x coordinates
+    asm.emit("PUSH", 0).emit("STORE", 6)
+    asm.emit("PUSH", 0).emit("STORE", 0)
+    asm.label("chk")
+    asm.emit("LOAD", 0).emit("PUSH", bodies).emit("LT").emit("JZ", "fin")
+    asm.emit("LOAD", 6)
+    asm.emit("LOAD", 0).emit("PUSH", 4).emit("MUL").emit("ALOAD")
+    asm.emit("ADD").emit("STORE", 6)
+    asm.emit("INC", 0).emit("JMP", "chk")
+    asm.label("fin")
+    asm.emit("LOAD", 6).emit("PRINT").emit("HALT")
+    return script_input(asm.assemble())
+
+
+def pidigits(digits=24):
+    """Spigot-style digit extraction: DIV/MOD-heavy.
+
+    Uses the simple 16/(k^2 running denominators) style recurrence rather
+    than full bignums: the point is the opcode mix, division-dominated.
+    """
+    asm = BytecodeAssembler()
+    # g0=k g1=acc g2=out_checksum
+    asm.emit("PUSH", 1).emit("STORE", 0)
+    asm.emit("PUSH", 180).emit("STORE", 1)
+    asm.emit("PUSH", 0).emit("STORE", 2)
+    asm.label("loop")
+    asm.emit("LOAD", 0).emit("PUSH", digits).emit("LE").emit("JZ", "done")
+    # digit = (acc * k) / (k * k + 97) % 10 ; acc = acc*23 % 99991 + 7
+    asm.emit("LOAD", 1).emit("LOAD", 0).emit("MUL")
+    asm.emit("LOAD", 0).emit("LOAD", 0).emit("MUL").emit("PUSH", 97)
+    asm.emit("ADD").emit("DIV")
+    asm.emit("PUSH", 10).emit("MOD")
+    asm.emit("LOAD", 2).emit("PUSH", 10).emit("MUL").emit("ADD")
+    asm.emit("PUSH", 1000000).emit("MOD").emit("STORE", 2)
+    asm.emit("LOAD", 1).emit("PUSH", 23).emit("MUL").emit("PUSH", 99991)
+    asm.emit("MOD").emit("PUSH", 7).emit("ADD").emit("STORE", 1)
+    asm.emit("INC", 0).emit("JMP", "loop")
+    asm.label("done")
+    asm.emit("LOAD", 2).emit("PRINT").emit("HALT")
+    return script_input(asm.assemble())
+
+
+def spectralnorm(n=8, iterations=4):
+    """Matrix-free power iteration with A(i,j)=scale/((i+j)(i+j+1)/2+i+1).
+
+    Division-dominated vector updates; u in heap[0..n-1], v in
+    heap[64..64+n-1].
+    """
+    asm = BytecodeAssembler()
+    # g0=i g1=j g2=iter g3=acc
+    asm.emit("PUSH", 0).emit("STORE", 0)
+    asm.label("init")
+    asm.emit("LOAD", 0).emit("PUSH", n).emit("LT").emit("JZ", "iters")
+    asm.emit("PUSH", 128).emit("LOAD", 0).emit("ASTORE")
+    asm.emit("INC", 0).emit("JMP", "init")
+    asm.label("iters")
+    asm.emit("PUSH", 0).emit("STORE", 2)
+    asm.label("iter")
+    asm.emit("LOAD", 2).emit("PUSH", iterations).emit("LT").emit("JZ", "done")
+    asm.emit("PUSH", 0).emit("STORE", 0)
+    asm.label("rows")
+    asm.emit("LOAD", 0).emit("PUSH", n).emit("LT").emit("JZ", "swap")
+    asm.emit("PUSH", 0).emit("STORE", 3)
+    asm.emit("PUSH", 0).emit("STORE", 1)
+    asm.label("cols")
+    asm.emit("LOAD", 1).emit("PUSH", n).emit("LT").emit("JZ", "rowdone")
+    # acc += u[j] * 4096 / ((i+j)*(i+j+1)/2 + i + 1)
+    asm.emit("LOAD", 1).emit("ALOAD").emit("PUSH", 4096).emit("MUL")
+    asm.emit("LOAD", 0).emit("LOAD", 1).emit("ADD")
+    asm.emit("LOAD", 0).emit("LOAD", 1).emit("ADD").emit("PUSH", 1)
+    asm.emit("ADD").emit("MUL").emit("PUSH", 1).emit("SHR")
+    asm.emit("LOAD", 0).emit("ADD").emit("PUSH", 1).emit("ADD")
+    asm.emit("DIV")
+    asm.emit("LOAD", 3).emit("ADD").emit("STORE", 3)
+    asm.emit("INC", 1).emit("JMP", "cols")
+    asm.label("rowdone")
+    # v[i] = acc / 64
+    asm.emit("LOAD", 3).emit("PUSH", 64).emit("DIV")
+    asm.emit("LOAD", 0).emit("PUSH", 64).emit("ADD").emit("ASTORE")
+    asm.emit("INC", 0).emit("JMP", "rows")
+    asm.label("swap")
+    # u = v (normalized by shifting right so values stay bounded)
+    asm.emit("PUSH", 0).emit("STORE", 0)
+    asm.label("copy")
+    asm.emit("LOAD", 0).emit("PUSH", n).emit("LT").emit("JZ", "inext")
+    asm.emit("LOAD", 0).emit("PUSH", 64).emit("ADD").emit("ALOAD")
+    asm.emit("PUSH", 1).emit("ADD").emit("PUSH", 1).emit("SHR")
+    asm.emit("LOAD", 0).emit("ASTORE")
+    asm.emit("INC", 0).emit("JMP", "copy")
+    asm.label("inext")
+    asm.emit("INC", 2).emit("JMP", "iter")
+    asm.label("done")
+    # checksum = sum u[i]
+    asm.emit("PUSH", 0).emit("STORE", 3)
+    asm.emit("PUSH", 0).emit("STORE", 0)
+    asm.label("sum")
+    asm.emit("LOAD", 0).emit("PUSH", n).emit("LT").emit("JZ", "fin")
+    asm.emit("LOAD", 3).emit("LOAD", 0).emit("ALOAD").emit("ADD")
+    asm.emit("STORE", 3)
+    asm.emit("INC", 0).emit("JMP", "sum")
+    asm.label("fin")
+    asm.emit("LOAD", 3).emit("PRINT").emit("HALT")
+    return script_input(asm.assemble())
+
+
+def fasta(length=300):
+    """Weighted random symbol emission: LCG + cumulative branch chain."""
+    asm = BytecodeAssembler()
+    # g0=i g1=rng g2=checksum g3=r
+    asm.emit("PUSH", 42).emit("STORE", 1)
+    asm.emit("PUSH", 0).emit("STORE", 2)
+    asm.emit("PUSH", 0).emit("STORE", 0)
+    asm.label("loop")
+    asm.emit("LOAD", 0).emit("PUSH", length).emit("LT").emit("JZ", "done")
+    # rng = (rng * 3877 + 29573) % 139968 ; r = rng % 100
+    asm.emit("LOAD", 1).emit("PUSH", 3877).emit("MUL")
+    asm.emit("PUSH", 29573).emit("ADD").emit("PUSH", 139968).emit("MOD")
+    asm.emit("STORE", 1)
+    asm.emit("LOAD", 1).emit("PUSH", 100).emit("MOD").emit("STORE", 3)
+    # cumulative selection: A<30, C<50, G<65, else T (weights 2,3,5,7)
+    asm.emit("LOAD", 3).emit("PUSH", 30).emit("LT").emit("JZ", "notA")
+    asm.emit("LOAD", 2).emit("PUSH", 2).emit("ADD").emit("STORE", 2)
+    asm.emit("JMP", "next")
+    asm.label("notA")
+    asm.emit("LOAD", 3).emit("PUSH", 50).emit("LT").emit("JZ", "notC")
+    asm.emit("LOAD", 2).emit("PUSH", 3).emit("ADD").emit("STORE", 2)
+    asm.emit("JMP", "next")
+    asm.label("notC")
+    asm.emit("LOAD", 3).emit("PUSH", 65).emit("LT").emit("JZ", "notG")
+    asm.emit("LOAD", 2).emit("PUSH", 5).emit("ADD").emit("STORE", 2)
+    asm.emit("JMP", "next")
+    asm.label("notG")
+    asm.emit("LOAD", 2).emit("PUSH", 7).emit("ADD").emit("STORE", 2)
+    asm.label("next")
+    asm.emit("INC", 0).emit("JMP", "loop")
+    asm.label("done")
+    asm.emit("LOAD", 2).emit("PRINT").emit("HALT")
+    return script_input(asm.assemble())
+
+
+#: name → input-vector builder, with the paper's seven training programs.
+CLBG_PROGRAMS = {
+    "binarytrees": binarytrees,
+    "fannkuchredux": fannkuchredux,
+    "mandelbrot": mandelbrot,
+    "nbody": nbody,
+    "pidigits": pidigits,
+    "spectralnorm": spectralnorm,
+    "fasta": fasta,
+}
+
+
+def clbg_input(name, **kwargs):
+    """The VM input vector for one named CLBG program."""
+    try:
+        builder = CLBG_PROGRAMS[name]
+    except KeyError:
+        raise WorkloadError(f"unknown CLBG program {name!r}") from None
+    return builder(**kwargs)

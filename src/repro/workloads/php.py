@@ -1,0 +1,214 @@
+"""The §5.2 case study target: a "PHP-like" network-facing application.
+
+The paper attacks PHP 5.3.16 — a large bytecode interpreter. Our stand-in
+is exactly that shape: a stack-based bytecode virtual machine written in
+MinC, whose "scripts" arrive through the input vector (a network-facing
+interpreter reads its program from outside). The VM has the classic
+components: fetch/decode dispatch loop, arithmetic and comparison
+handlers, a global-variable table, a flat heap, and a call stack.
+
+Like any real binary, its text section contains *unintended instructions*:
+the interpreter's magic-number table (version banners, cookie constants)
+embeds byte sequences that decode to ``pop reg; ret`` and ``int 0x80;
+ret`` gadgets from misaligned offsets — the mechanism Shacham's original
+ROP paper exploits and the reason the undiversified build is attackable
+by both scanners, as the paper's PHP was.
+
+Bytecode format (one word per slot; operands inline)::
+
+    0 HALT          1 PUSH imm      2 ADD    3 SUB    4 MUL
+    5 DIV           6 MOD           7 NEG    8 DUP    9 POP
+    10 SWAP         11 LOAD g       12 STORE g
+    13 ALOAD        14 ASTORE       15 JMP t 16 JZ t  17 JNZ t
+    18 LT           19 LE           20 EQ    21 NE
+    22 AND          23 OR           24 XOR   25 SHL   26 SHR
+    27 PRINT        28 READ         29 INC g
+    30 CALL t       31 RET
+
+The script arrives as ``[length, code words..., script inputs...]``.
+"""
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+// php-like bytecode interpreter (see module docstring for the ISA).
+int vm_code[4096];
+int vm_stack[256];
+int vm_globals[256];
+int vm_heap[4096];
+int vm_rstack[64];
+int magic_table[8];
+
+int load_script() {
+  int length = input();
+  if (length > 4096) { length = 4096; }
+  int i;
+  for (i = 0; i < length; i++) {
+    vm_code[i] = input();
+  }
+  return length;
+}
+
+int arith(int op, int a, int b) {
+  if (op == 2) { return a + b; }
+  if (op == 3) { return a - b; }
+  if (op == 4) { return a * b; }
+  if (op == 5) { if (b == 0) { return 0; } return a / b; }
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+int compare(int op, int a, int b) {
+  if (op == 18) { if (a < b) { return 1; } return 0; }
+  if (op == 19) { if (a <= b) { return 1; } return 0; }
+  if (op == 20) { if (a == b) { return 1; } return 0; }
+  if (a != b) { return 1; }
+  return 0;
+}
+
+int bitop(int op, int a, int b) {
+  if (op == 22) { return a & b; }
+  if (op == 23) { return a | b; }
+  if (op == 24) { return a ^ b; }
+  if (op == 25) { return a << (b & 31); }
+  return a >> (b & 31);
+}
+
+int execute(int code_len, int max_steps) {
+  int pc = 0;
+  int sp = 0;
+  int rsp = 0;
+  int steps = 0;
+  // THE hot loop of the whole application: fetch/decode/dispatch.
+  while (pc < code_len && steps < max_steps) {
+    steps++;
+    int op = vm_code[pc];
+    pc++;
+    if (op == 0) { break; }
+    if (op == 1) {               // PUSH imm
+      if (sp < 256) { vm_stack[sp] = vm_code[pc]; sp++; }
+      pc++;
+    } else if (op >= 2 && op <= 6) {   // binary arithmetic
+      if (sp >= 2) {
+        int rhs = vm_stack[sp - 1];
+        int lhs = vm_stack[sp - 2];
+        sp--;
+        vm_stack[sp - 1] = arith(op, lhs, rhs);
+      }
+    } else if (op == 7) {        // NEG
+      if (sp >= 1) { vm_stack[sp - 1] = -vm_stack[sp - 1]; }
+    } else if (op == 8) {        // DUP
+      if (sp >= 1 && sp < 256) { vm_stack[sp] = vm_stack[sp - 1]; sp++; }
+    } else if (op == 9) {        // POP
+      if (sp >= 1) { sp--; }
+    } else if (op == 10) {       // SWAP
+      if (sp >= 2) {
+        int t = vm_stack[sp - 1];
+        vm_stack[sp - 1] = vm_stack[sp - 2];
+        vm_stack[sp - 2] = t;
+      }
+    } else if (op == 11) {       // LOAD g
+      if (sp < 256) { vm_stack[sp] = vm_globals[vm_code[pc] & 255]; sp++; }
+      pc++;
+    } else if (op == 12) {       // STORE g
+      if (sp >= 1) { sp--; vm_globals[vm_code[pc] & 255] = vm_stack[sp]; }
+      pc++;
+    } else if (op == 13) {       // ALOAD
+      if (sp >= 1) { vm_stack[sp - 1] = vm_heap[vm_stack[sp - 1] & 4095]; }
+    } else if (op == 14) {       // ASTORE (value under index)
+      if (sp >= 2) {
+        int index = vm_stack[sp - 1];
+        int value = vm_stack[sp - 2];
+        sp -= 2;
+        vm_heap[index & 4095] = value;
+      }
+    } else if (op == 15) {       // JMP
+      pc = vm_code[pc] & 4095;
+    } else if (op == 16) {       // JZ
+      if (sp >= 1) {
+        sp--;
+        if (vm_stack[sp] == 0) { pc = vm_code[pc] & 4095; } else { pc++; }
+      } else { pc++; }
+    } else if (op == 17) {       // JNZ
+      if (sp >= 1) {
+        sp--;
+        if (vm_stack[sp] != 0) { pc = vm_code[pc] & 4095; } else { pc++; }
+      } else { pc++; }
+    } else if (op >= 18 && op <= 21) { // comparisons
+      if (sp >= 2) {
+        int cmp_rhs = vm_stack[sp - 1];
+        int cmp_lhs = vm_stack[sp - 2];
+        sp--;
+        vm_stack[sp - 1] = compare(op, cmp_lhs, cmp_rhs);
+      }
+    } else if (op >= 22 && op <= 26) { // bit operations
+      if (sp >= 2) {
+        int bit_rhs = vm_stack[sp - 1];
+        int bit_lhs = vm_stack[sp - 2];
+        sp--;
+        vm_stack[sp - 1] = bitop(op, bit_lhs, bit_rhs);
+      }
+    } else if (op == 27) {       // PRINT
+      if (sp >= 1) { sp--; print(vm_stack[sp]); }
+    } else if (op == 28) {       // READ
+      if (sp < 256) { vm_stack[sp] = input(); sp++; }
+    } else if (op == 29) {       // INC g
+      vm_globals[vm_code[pc] & 255] = vm_globals[vm_code[pc] & 255] + 1;
+      pc++;
+    } else if (op == 30) {       // CALL
+      if (rsp < 64) { vm_rstack[rsp] = pc + 1; rsp++; }
+      pc = vm_code[pc] & 4095;
+    } else if (op == 31) {       // RET
+      if (rsp >= 1) { rsp--; pc = vm_rstack[rsp]; } else { break; }
+    }
+  }
+  return steps;
+}
+
+void load_magic() {
+  // Version banners / cookie constants. Their little-endian bytes embed
+  // the unintended instructions real binaries carry:
+  //   0x00C2C358 -> 58 C3 : pop eax; ret
+  //   0x00C2C35B -> 5B C3 : pop ebx; ret
+  //   0x00C380CD -> CD 80 C3 : int 0x80; ret
+  //   0x00C2C359 -> 59 C3 : pop ecx; ret
+  magic_table[0] = 12763992;
+  magic_table[1] = 12763995;
+  magic_table[2] = 12812493;
+  magic_table[3] = 12763993;
+  magic_table[4] = 542328143;
+  magic_table[5] = 1735287116;
+  magic_table[6] = 542338377;
+  magic_table[7] = 779581042;
+}
+
+int main() {
+  load_magic();
+  int code_len = load_script();
+  int steps = execute(code_len, 4000000);
+  int banner = 0;
+  int i;
+  for (i = 0; i < 8; i++) { banner = banner ^ magic_table[i]; }
+  print(steps + (banner & 7));
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="php",
+    source=SOURCE,
+    # Default script: a trivial arithmetic loop (real training inputs are
+    # the CLBG programs in repro.workloads.clbg).
+    train_input=(14,
+                 1, 0, 12, 0,          # x = 0
+                 11, 0, 1, 1, 2, 12, 0,  # x = x + 1
+                 11, 0, 27,            # print x  (then fall through HALT)
+                 0),
+    ref_input=(14,
+               1, 0, 12, 0,
+               11, 0, 1, 1, 2, 12, 0,
+               11, 0, 27,
+               0),
+    character="bytecode interpreter: dispatch-loop bound (the case-study "
+              "application)",
+)

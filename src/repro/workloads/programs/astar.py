@@ -1,0 +1,138 @@
+"""473.astar — pathfinding.
+
+The original searches many paths over terrain maps. Its distinguishing
+profile property (quoted in §3.1) is a *spread-out* count distribution:
+the median block count sits orders of magnitude below the maximum, which
+is exactly the case where the paper's logarithmic probability function
+beats the linear one. The miniature runs repeated A* searches over a grid
+with an array-heap open list: heap sift loops, neighbour expansion and
+heuristic evaluation all run at different magnitudes.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 473.astar miniature: grid A* with a binary-heap open list.
+int grid[1024];        // 32x32 costs
+int g_score[1024];
+int closed[1024];
+int heap_node[2048];
+int heap_key[2048];
+int heap_size = 0;
+int INF = 1000000000;
+
+void build_grid(int seed) {
+  int i;
+  int x = seed;
+  for (i = 0; i < 1024; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    grid[i] = 1 + x % 9;
+  }
+}
+
+void heap_push(int node, int key) {
+  int i = heap_size;
+  heap_node[i] = node;
+  heap_key[i] = key;
+  heap_size++;
+  while (i > 0) {
+    int parent = (i - 1) / 2;
+    if (heap_key[parent] <= heap_key[i]) { break; }
+    int tn = heap_node[parent]; heap_node[parent] = heap_node[i]; heap_node[i] = tn;
+    int tk = heap_key[parent]; heap_key[parent] = heap_key[i]; heap_key[i] = tk;
+    i = parent;
+  }
+}
+
+int heap_pop() {
+  int top = heap_node[0];
+  heap_size--;
+  heap_node[0] = heap_node[heap_size];
+  heap_key[0] = heap_key[heap_size];
+  int i = 0;
+  while (1) {
+    int left = 2 * i + 1;
+    int right = 2 * i + 2;
+    int smallest = i;
+    if (left < heap_size && heap_key[left] < heap_key[smallest]) { smallest = left; }
+    if (right < heap_size && heap_key[right] < heap_key[smallest]) { smallest = right; }
+    if (smallest == i) { break; }
+    int tn = heap_node[smallest]; heap_node[smallest] = heap_node[i]; heap_node[i] = tn;
+    int tk = heap_key[smallest]; heap_key[smallest] = heap_key[i]; heap_key[i] = tk;
+    i = smallest;
+  }
+  return top;
+}
+
+int heuristic(int node, int goal) {
+  int nx = node % 32;  int ny = node / 32;
+  int gx = goal % 32;  int gy = goal / 32;
+  int dx = nx - gx;  if (dx < 0) { dx = -dx; }
+  int dy = ny - gy;  if (dy < 0) { dy = -dy; }
+  return dx + dy;
+}
+
+int astar(int start, int goal) {
+  int i;
+  for (i = 0; i < 1024; i++) { g_score[i] = INF; closed[i] = 0; }
+  heap_size = 0;
+  g_score[start] = 0;
+  heap_push(start, heuristic(start, goal));
+  int expanded = 0;
+  while (heap_size > 0 && heap_size < 2000) {
+    int node = heap_pop();
+    if (node == goal) { return g_score[goal] + expanded; }
+    if (closed[node]) { continue; }
+    closed[node] = 1;
+    expanded++;
+    int nx = node % 32;
+    int ny = node / 32;
+    int d;
+    for (d = 0; d < 4; d++) {
+      int mx = nx; int my = ny;
+      if (d == 0) { mx = nx + 1; }
+      if (d == 1) { mx = nx - 1; }
+      if (d == 2) { my = ny + 1; }
+      if (d == 3) { my = ny - 1; }
+      if (mx >= 0 && mx < 32 && my >= 0 && my < 32) {
+        int next = my * 32 + mx;
+        if (!closed[next]) {
+          int cand = g_score[node] + grid[next];
+          if (cand < g_score[next]) {
+            g_score[next] = cand;
+            heap_push(next, cand + heuristic(next, goal));
+          }
+        }
+      }
+    }
+  }
+  return expanded;
+}
+
+int main() {
+  int searches = input();
+  int seed = input();
+  build_grid(seed);
+  int total = 0;
+  int s;
+  int x = seed;
+  for (s = 0; s < searches; s++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    int start = x % 1024;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    int goal = x % 1024;
+    total = (total + astar(start, goal)) & 16777215;
+  }
+  print(total);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="473.astar",
+    source=SOURCE + bank_for("473.astar"),
+    train_input=(1, 19),
+    ref_input=(5, 57),
+    character="A* search: heap sifts + expansion at spread-out magnitudes",
+)

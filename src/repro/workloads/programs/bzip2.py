@@ -1,0 +1,108 @@
+"""401.bzip2 — block compression.
+
+The original's phases are run-length encoding, Burrows–Wheeler-flavoured
+reordering and entropy coding: byte-granularity loops mixing loads,
+compares and table updates. This miniature implements RLE plus
+move-to-front plus a frequency-count "entropy" pass over a synthetic
+block.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 401.bzip2 miniature: RLE + move-to-front + frequency counting.
+int block[2048];
+int rle[2048];
+int mtf_table[256];
+int freq[256];
+
+int generate_block(int n, int seed) {
+  int i = 0;
+  int x = seed;
+  while (i < n) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    int sym = x % 64;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    int run = 1 + x % 6;
+    int j;
+    for (j = 0; j < run; j++) {
+      if (i < n) {
+        block[i] = sym;
+        i++;
+      }
+    }
+  }
+  return n;
+}
+
+int run_length_encode(int n) {
+  int out = 0;
+  int i = 0;
+  // Hot loop: detect runs, emit (symbol, length) pairs.
+  while (i < n) {
+    int sym = block[i];
+    int run = 1;
+    while (i + run < n && block[i + run] == sym && run < 255) {
+      run++;
+    }
+    rle[out] = sym;
+    rle[out + 1] = run;
+    out += 2;
+    i += run;
+  }
+  return out;
+}
+
+void mtf_init() {
+  int i;
+  for (i = 0; i < 256; i++) { mtf_table[i] = i; }
+}
+
+int mtf_encode(int sym) {
+  int i = 0;
+  while (mtf_table[i] != sym) { i++; }
+  int j;
+  for (j = i; j > 0; j--) { mtf_table[j] = mtf_table[j - 1]; }
+  mtf_table[0] = sym;
+  return i;
+}
+
+int main() {
+  int n = input();
+  int passes = input();
+  int seed = input();
+  if (n > 2048) { n = 2048; }
+  int p;
+  int checksum = 0;
+  for (p = 0; p < passes; p++) {
+    generate_block(n, seed + p);
+    int encoded = run_length_encode(n);
+    mtf_init();
+    int i;
+    for (i = 0; i < 256; i++) { freq[i] = 0; }
+    for (i = 0; i < encoded; i += 2) {
+      int rank = mtf_encode(rle[i]);
+      freq[rank & 255] += rle[i + 1];
+    }
+    int bits = 0;
+    for (i = 0; i < 256; i++) {
+      int f = freq[i];
+      int length = 1;
+      while (f > 1) { f = f >> 1; length++; }
+      bits += freq[i] * length;
+    }
+    checksum = (checksum + bits + encoded) & 16777215;
+  }
+  print(checksum);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="401.bzip2",
+    source=SOURCE + bank_for("401.bzip2"),
+    train_input=(512, 2, 17),
+    ref_input=(1024, 3, 41),
+    character="byte-loop compression: runs, MTF table shuffles, counts",
+)

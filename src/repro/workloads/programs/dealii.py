@@ -1,0 +1,93 @@
+"""447.dealII — finite element analysis.
+
+The original assembles sparse stiffness matrices and runs iterative
+solvers. The miniature assembles a banded (tridiagonal-plus) system from
+per-element contributions and relaxes it with Jacobi iterations —
+assembly is store-heavy, the solve is a balanced load/multiply loop.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 447.dealII miniature: banded FEM assembly + Jacobi relaxation.
+int diag[512];
+int lower[512];
+int upper[512];
+int rhs[512];
+int solution[512];
+int next_solution[512];
+
+void assemble(int n, int seed) {
+  int i;
+  for (i = 0; i < n; i++) {
+    diag[i] = 0; lower[i] = 0; upper[i] = 0; rhs[i] = 0;
+  }
+  int x = seed;
+  int e;
+  // Element loop: each element scatters a 2x2 local matrix.
+  for (e = 0; e < n - 1; e++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    int stiff = 64 + x % 64;
+    diag[e] += stiff * 2;
+    diag[e + 1] += stiff * 2;
+    upper[e] -= stiff;
+    lower[e + 1] -= stiff;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    rhs[e] += (x % 512);
+    rhs[e + 1] += (x % 512);
+  }
+}
+
+int jacobi_sweep(int n) {
+  int i;
+  int delta = 0;
+  // Hot loop: the banded matrix-vector relaxation.
+  for (i = 0; i < n; i++) {
+    int acc = rhs[i] * 256;
+    if (i > 0) { acc -= lower[i] * solution[i - 1]; }
+    if (i < n - 1) { acc -= upper[i] * solution[i + 1]; }
+    int d = diag[i];
+    if (d == 0) { d = 1; }
+    int v = acc / d;
+    int diff = v - solution[i];
+    if (diff < 0) { diff = -diff; }
+    delta += diff;
+    next_solution[i] = v;
+  }
+  for (i = 0; i < n; i++) { solution[i] = next_solution[i]; }
+  return delta;
+}
+
+int main() {
+  int n = input();
+  int sweeps = input();
+  int refinements = input();
+  int seed = input();
+  if (n > 512) { n = 512; }
+  int total = 0;
+  int r;
+  for (r = 0; r < refinements; r++) {
+    assemble(n, seed + r * 3);
+    int i;
+    for (i = 0; i < n; i++) { solution[i] = 0; }
+    int s;
+    int delta = 0;
+    for (s = 0; s < sweeps; s++) {
+      delta = jacobi_sweep(n);
+      if (delta < n) { break; }
+    }
+    total = (total + delta + solution[n / 2]) & 16777215;
+  }
+  print(total);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="447.dealII",
+    source=SOURCE + bank_for("447.dealII"),
+    train_input=(96, 10, 2, 9),
+    ref_input=(384, 20, 3, 27),
+    character="FEM assembly + Jacobi: balanced loads/multiplies/divides",
+)

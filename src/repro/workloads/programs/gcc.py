@@ -1,0 +1,202 @@
+"""403.gcc — C compiler.
+
+The original churns through many distinct phases (parsing, RTL
+generation, register allocation, peepholes), giving it the broadest,
+flattest profile of the suite plus a very large code footprint. The
+miniature compiles a stream of random expression trees: tokenize →
+parse to postfix → constant-fold → "register allocate" → peephole —
+five phases of mid-heat table-driven code.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 403.gcc miniature: a five-phase toy compiler over random expressions.
+int token_stream[2048];
+int postfix[2048];
+int fold_stack[256];
+int reg_lru[16];
+int reg_owner[16];
+int emitted[4096];
+int emit_count = 0;
+
+int make_tokens(int n, int seed) {
+  // Produce a well-formed alternating operand/operator stream.
+  int x = seed;
+  int i = 0;
+  int depth = 0;
+  // Leave room for up to 12 unclosed parens plus the final operand fix.
+  while (i < n - 14) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    int r = x % 100;
+    if (r < 30 && depth < 12) {
+      token_stream[i] = 1000;   // open paren
+      depth++;
+    } else if (r < 40 && depth > 0 && i > 0
+               && token_stream[i - 1] < 256) {
+      token_stream[i] = 1001;   // close paren
+      depth--;
+    } else if (i > 0 && token_stream[i - 1] < 256) {
+      token_stream[i] = 2000 + x % 5;   // operator + - * / %
+    } else {
+      token_stream[i] = x & 255;        // literal operand
+    }
+    i++;
+  }
+  if (token_stream[i - 1] >= 256) { token_stream[i - 1] = 7; }
+  while (depth > 0) { token_stream[i] = 1001; i++; depth--; }
+  return i;
+}
+
+int to_postfix(int n) {
+  // Shunting-yard with an operator stack packed into fold_stack.
+  int out = 0;
+  int sp = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    int t = token_stream[i];
+    if (t < 256) {
+      postfix[out] = t;
+      out++;
+    } else if (t == 1000) {
+      fold_stack[sp] = t;
+      sp++;
+    } else if (t == 1001) {
+      while (sp > 0 && fold_stack[sp - 1] != 1000) {
+        sp--;
+        postfix[out] = fold_stack[sp];
+        out++;
+      }
+      if (sp > 0) { sp--; }
+    } else {
+      int prec = 1;
+      if (t >= 2002) { prec = 2; }
+      while (sp > 0 && fold_stack[sp - 1] >= 2000) {
+        int top_prec = 1;
+        if (fold_stack[sp - 1] >= 2002) { top_prec = 2; }
+        if (top_prec < prec) { break; }
+        sp--;
+        postfix[out] = fold_stack[sp];
+        out++;
+      }
+      fold_stack[sp] = t;
+      sp++;
+    }
+  }
+  while (sp > 0) {
+    sp--;
+    if (fold_stack[sp] >= 2000) { postfix[out] = fold_stack[sp]; out++; }
+  }
+  return out;
+}
+
+int apply_op(int op, int a, int b) {
+  if (op == 2000) { return (a + b) & 65535; }
+  if (op == 2001) { return (a - b) & 65535; }
+  if (op == 2002) { return (a * b) & 65535; }
+  if (op == 2003) { if (b == 0) { return a; } return a / b; }
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+int constant_fold(int n) {
+  // Evaluate the postfix stream; this is the "fold everything" phase.
+  int sp = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    int t = postfix[i];
+    if (t < 256) {
+      if (sp < 256) { fold_stack[sp] = t; sp++; }
+    } else if (sp >= 2) {
+      int b = fold_stack[sp - 1];
+      int a = fold_stack[sp - 2];
+      sp--;
+      fold_stack[sp - 1] = apply_op(t, a, b);
+    }
+  }
+  if (sp == 0) { return 0; }
+  return fold_stack[sp - 1];
+}
+
+int allocate_register(int vreg) {
+  // LRU register file: hit scan, else evict the stalest.
+  int i;
+  for (i = 0; i < 16; i++) {
+    if (reg_owner[i] == vreg) {
+      reg_lru[i] = 0;
+      return i;
+    }
+    reg_lru[i]++;
+  }
+  int victim = 0;
+  for (i = 1; i < 16; i++) {
+    if (reg_lru[i] > reg_lru[victim]) { victim = i; }
+  }
+  reg_owner[victim] = vreg;
+  reg_lru[victim] = 0;
+  return victim;
+}
+
+void emit(int opcode) {
+  if (emit_count < 4096) {
+    emitted[emit_count] = opcode;
+    emit_count++;
+  }
+}
+
+int codegen(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    int t = postfix[i];
+    if (t < 256) {
+      emit(4096 + allocate_register(t));
+    } else {
+      emit(t);
+    }
+  }
+  return emit_count;
+}
+
+int peephole() {
+  // Collapse adjacent duplicate loads; count the rewrites.
+  int removed = 0;
+  int i;
+  for (i = 1; i < emit_count; i++) {
+    if (emitted[i] == emitted[i - 1] && emitted[i] >= 4096) {
+      emitted[i] = 0;
+      removed++;
+    }
+  }
+  return removed;
+}
+
+int main() {
+  int functions = input();
+  int tokens = input();
+  int seed = input();
+  if (tokens > 2048) { tokens = 2048; }
+  int total = 0;
+  int f;
+  for (f = 0; f < functions; f++) {
+    int n = make_tokens(tokens, seed + f * 97);
+    int m = to_postfix(n);
+    total = (total + constant_fold(m)) & 16777215;
+    emit_count = 0;
+    int i;
+    for (i = 0; i < 16; i++) { reg_owner[i] = -1; reg_lru[i] = 0; }
+    codegen(m);
+    total = (total + peephole() + emit_count) & 16777215;
+  }
+  print(total);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="403.gcc",
+    source=SOURCE + bank_for("403.gcc"),
+    train_input=(2, 256, 13),
+    ref_input=(5, 1024, 5),
+    character="multi-phase compiler: flat profile over many functions",
+)

@@ -1,0 +1,171 @@
+"""445.gobmk — the game of Go.
+
+The original is a large rule-based engine: board scans, liberty counting,
+influence propagation and pattern matching across many functions. The
+miniature plays random-ish stones on a 13×13 board and evaluates with
+flood-fill liberty counting, chain capture detection and an influence
+map — lots of distinct mid-heat functions, branch-dense.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 445.gobmk miniature: Go board evaluation on 13x13.
+int board[169];        // 0 empty, 1 black, 2 white
+int mark[169];
+int flood_stack[169];
+int influence[169];
+int capture_count[4];
+
+int on_board(int pos) {
+  if (pos < 0) { return 0; }
+  if (pos >= 169) { return 0; }
+  return 1;
+}
+
+int neighbor(int pos, int dir) {
+  int x = pos % 13;
+  int y = pos / 13;
+  if (dir == 0) { if (x == 12) { return -1; } return pos + 1; }
+  if (dir == 1) { if (x == 0) { return -1; } return pos - 1; }
+  if (dir == 2) { if (y == 12) { return -1; } return pos + 13; }
+  if (y == 0) { return -1; }
+  return pos - 13;
+}
+
+int count_liberties(int start) {
+  int color = board[start];
+  if (color == 0) { return 0; }
+  int i;
+  for (i = 0; i < 169; i++) { mark[i] = 0; }
+  int top = 0;
+  flood_stack[top] = start;
+  top++;
+  mark[start] = 1;
+  int liberties = 0;
+  // Flood fill over the chain, counting adjacent empties.
+  while (top > 0) {
+    top--;
+    int pos = flood_stack[top];
+    int d;
+    for (d = 0; d < 4; d++) {
+      int n = neighbor(pos, d);
+      if (n < 0) { continue; }
+      if (mark[n]) { continue; }
+      if (board[n] == 0) {
+        mark[n] = 1;
+        liberties++;
+      } else if (board[n] == color) {
+        mark[n] = 1;
+        flood_stack[top] = n;
+        top++;
+      }
+    }
+  }
+  return liberties;
+}
+
+void remove_chain(int start) {
+  int color = board[start];
+  int i;
+  for (i = 0; i < 169; i++) { mark[i] = 0; }
+  int top = 0;
+  flood_stack[top] = start;
+  top++;
+  mark[start] = 1;
+  while (top > 0) {
+    top--;
+    int pos = flood_stack[top];
+    board[pos] = 0;
+    capture_count[color]++;
+    int d;
+    for (d = 0; d < 4; d++) {
+      int n = neighbor(pos, d);
+      if (n >= 0 && board[n] == color && !mark[n]) {
+        mark[n] = 1;
+        flood_stack[top] = n;
+        top++;
+      }
+    }
+  }
+}
+
+void play_stone(int pos, int color) {
+  if (board[pos] != 0) { return; }
+  board[pos] = color;
+  int other = 3 - color;
+  int d;
+  // Capture any adjacent enemy chain left without liberties.
+  for (d = 0; d < 4; d++) {
+    int n = neighbor(pos, d);
+    if (n >= 0 && board[n] == other) {
+      if (count_liberties(n) == 0) { remove_chain(n); }
+    }
+  }
+  if (count_liberties(pos) == 0) { remove_chain(pos); }
+}
+
+void spread_influence() {
+  int i;
+  for (i = 0; i < 169; i++) {
+    if (board[i] == 1) { influence[i] = 64; }
+    else if (board[i] == 2) { influence[i] = -64; }
+    else { influence[i] = 0; }
+  }
+  int pass;
+  for (pass = 0; pass < 3; pass++) {
+    for (i = 0; i < 169; i++) {
+      int acc = influence[i] * 2;
+      int d;
+      for (d = 0; d < 4; d++) {
+        int n = neighbor(i, d);
+        if (n >= 0) { acc += influence[n]; }
+      }
+      influence[i] = acc / 6;
+    }
+  }
+}
+
+int score_position() {
+  spread_influence();
+  int score = 0;
+  int i;
+  for (i = 0; i < 169; i++) {
+    if (influence[i] > 4) { score++; }
+    if (influence[i] < -4) { score--; }
+  }
+  return score + capture_count[2] - capture_count[1];
+}
+
+int main() {
+  int moves = input();
+  int games = input();
+  int seed = input();
+  int total = 0;
+  int g;
+  for (g = 0; g < games; g++) {
+    int i;
+    for (i = 0; i < 169; i++) { board[i] = 0; }
+    capture_count[1] = 0;
+    capture_count[2] = 0;
+    int x = seed + g * 31;
+    int m;
+    for (m = 0; m < moves; m++) {
+      x = (x * 1103515245 + 12345) & 2147483647;
+      play_stone(x % 169, 1 + (m & 1));
+    }
+    total = (total + score_position() + 500) & 16777215;
+  }
+  print(total);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="445.gobmk",
+    source=SOURCE + bank_for("445.gobmk"),
+    train_input=(40, 1, 5),
+    ref_input=(120, 4, 17),
+    character="Go engine: flood fills, captures, influence; branch-dense",
+)

@@ -1,0 +1,104 @@
+"""464.h264ref — video encoding.
+
+The original's hottest kernel is sum-of-absolute-differences block
+matching for motion estimation: dense absolute-difference accumulation
+over 4×4/16×16 pixel blocks with a search window. The miniature does
+exactly that over two synthetic frames.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 464.h264ref miniature: SAD block matching over a search window.
+int frame_ref[4096];   // 64x64 reference frame
+int frame_cur[4096];   // 64x64 current frame
+int motion_x[64];
+int motion_y[64];
+
+void make_frames(int seed) {
+  int i;
+  int x = seed;
+  for (i = 0; i < 4096; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    frame_ref[i] = x & 255;
+  }
+  // Current frame: the reference shifted with noise, so motion search
+  // has real structure to find.
+  for (i = 0; i < 4096; i++) {
+    int src = (i + 130) & 4095;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    frame_cur[i] = (frame_ref[src] + (x & 7)) & 255;
+  }
+}
+
+int sad_4x4(int cur_base, int ref_base) {
+  int sad = 0;
+  int row;
+  // THE hot kernel: 16 absolute differences per call.
+  for (row = 0; row < 4; row++) {
+    int c = cur_base + row * 64;
+    int r = ref_base + row * 64;
+    int k;
+    for (k = 0; k < 4; k++) {
+      int d = frame_cur[c + k] - frame_ref[r + k];
+      if (d < 0) { d = -d; }
+      sad += d;
+    }
+  }
+  return sad;
+}
+
+int search_block(int bx, int by, int window, int block_index) {
+  int cur_base = by * 4 * 64 + bx * 4;
+  int best = 2147483647;
+  int dy;
+  for (dy = -window; dy <= window; dy++) {
+    int dx;
+    for (dx = -window; dx <= window; dx++) {
+      int ry = by * 4 + dy;
+      int rx = bx * 4 + dx;
+      if (ry < 0 || rx < 0 || ry > 60 || rx > 60) { continue; }
+      int sad = sad_4x4(cur_base, ry * 64 + rx);
+      if (sad < best) {
+        best = sad;
+        motion_x[block_index & 63] = dx;
+        motion_y[block_index & 63] = dy;
+      }
+    }
+  }
+  return best;
+}
+
+int main() {
+  int window = input();
+  int block_rows = input();
+  int seed = input();
+  if (window > 4) { window = 4; }
+  if (block_rows > 16) { block_rows = 16; }
+  make_frames(seed);
+  int total = 0;
+  int by;
+  for (by = 0; by < block_rows; by++) {
+    int bx;
+    for (bx = 0; bx < 16; bx++) {
+      total = (total + search_block(bx, by, window, by * 16 + bx))
+              & 16777215;
+    }
+  }
+  int i;
+  for (i = 0; i < 64; i++) {
+    total = (total + motion_x[i] * 3 + motion_y[i]) & 16777215;
+  }
+  print(total);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="464.h264ref",
+    source=SOURCE + bank_for("464.h264ref"),
+    train_input=(1, 3, 21),
+    ref_input=(2, 6, 9),
+    character="SAD motion search: abs-diff accumulation, load+ALU mix",
+)

@@ -1,0 +1,106 @@
+"""456.hmmer — profile HMM sequence search.
+
+The original's Viterbi inner loop is one of SPEC's hottest single loops
+(the paper reports its 4-billion maximum execution count). The miniature
+runs the same three-state dynamic program over synthetic sequences: the
+M/I/D recurrence with running maxima, executed model_len × seq_len times
+per alignment — a sharply skewed count distribution.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 456.hmmer miniature: three-state Viterbi dynamic program.
+int match_score[4096];
+int vit_m[128];
+int vit_i[128];
+int vit_d[128];
+int prev_m[128];
+int prev_i[128];
+int prev_d[128];
+int sequence[512];
+int NEG = -100000000;
+
+void init_model(int model_len, int seed) {
+  int i;
+  int x = seed;
+  for (i = 0; i < model_len * 4; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    match_score[i] = (x % 21) - 10;
+  }
+}
+
+void make_sequence(int len, int seed) {
+  int i;
+  int x = seed;
+  for (i = 0; i < len; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    sequence[i] = x & 3;
+  }
+}
+
+int viterbi(int model_len, int seq_len) {
+  int k;
+  for (k = 0; k <= model_len; k++) {
+    prev_m[k] = NEG; prev_i[k] = NEG; prev_d[k] = NEG;
+  }
+  prev_m[0] = 0;
+  int pos;
+  int best = NEG;
+  for (pos = 0; pos < seq_len; pos++) {
+    int sym = sequence[pos];
+    vit_m[0] = NEG; vit_i[0] = prev_m[0] - 2; vit_d[0] = NEG;
+    // THE hot loop: the M/I/D recurrence, executed model*seq times.
+    for (k = 1; k <= model_len; k++) {
+      int sc = match_score[(k - 1) * 4 + sym];
+      int from_m = prev_m[k - 1];
+      int from_i = prev_i[k - 1] - 3;
+      int from_d = prev_d[k - 1] - 1;
+      int m = from_m;
+      if (from_i > m) { m = from_i; }
+      if (from_d > m) { m = from_d; }
+      vit_m[k] = m + sc;
+      int im = prev_m[k] - 4;
+      int ii = prev_i[k] - 1;
+      if (im > ii) { vit_i[k] = im; } else { vit_i[k] = ii; }
+      int dm = vit_m[k - 1] - 5;
+      int dd = vit_d[k - 1] - 1;
+      if (dm > dd) { vit_d[k] = dm; } else { vit_d[k] = dd; }
+      if (vit_m[k] > best) { best = vit_m[k]; }
+    }
+    for (k = 0; k <= model_len; k++) {
+      prev_m[k] = vit_m[k];
+      prev_i[k] = vit_i[k];
+      prev_d[k] = vit_d[k];
+    }
+  }
+  return best;
+}
+
+int main() {
+  int model_len = input();
+  int seq_len = input();
+  int n_seqs = input();
+  int seed = input();
+  if (model_len > 120) { model_len = 120; }
+  if (seq_len > 512) { seq_len = 512; }
+  init_model(model_len, seed);
+  int total = 0;
+  int s;
+  for (s = 0; s < n_seqs; s++) {
+    make_sequence(seq_len, seed + s * 7);
+    total = (total + viterbi(model_len, seq_len)) & 16777215;
+  }
+  print(total);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="456.hmmer",
+    source=SOURCE + bank_for("456.hmmer"),
+    train_input=(24, 64, 1, 11),
+    ref_input=(48, 128, 2, 3),
+    character="Viterbi DP: one dominant hot loop, sharply skewed counts",
+)

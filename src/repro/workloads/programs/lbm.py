@@ -1,0 +1,77 @@
+"""470.lbm — lattice Boltzmann method.
+
+The real benchmark streams a 3D fluid lattice: almost every dynamic
+instruction is a load or a store with trivial arithmetic between them, so
+it is firmly memory-bound — the paper measured essentially zero NOP
+overhead on it. This miniature runs a 1D five-point stencil relaxation
+with the same character: per cell, a five-load gather, two streaming
+stores, and a handful of adds.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 470.lbm miniature: five-point stencil sweeps over a cell lattice.
+int cells[1024];
+int next_cells[1024];
+int momentum[1024];
+
+void init_lattice(int seed) {
+  int i;
+  int x = seed;
+  for (i = 0; i < 1024; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    cells[i] = x % 997;
+  }
+}
+
+void sweep() {
+  int i;
+  // The hot loop: a five-point gather plus two streaming stores per
+  // cell (real LBM reads 19 distributions per site) -- the paper's
+  // memory-bound extreme.
+  for (i = 2; i < 1022; i++) {
+    int gathered = cells[i - 2] + cells[i - 1] + cells[i] + cells[i]
+                 + cells[i + 1] + cells[i + 2];
+    next_cells[i] = gathered >> 2;
+    momentum[i] = momentum[i] + (gathered & 255);
+  }
+  next_cells[0] = next_cells[2];
+  next_cells[1] = next_cells[2];
+  next_cells[1023] = next_cells[1021];
+  next_cells[1022] = next_cells[1021];
+  for (i = 0; i < 1024; i++) {
+    cells[i] = next_cells[i];
+  }
+}
+
+int checksum() {
+  int i;
+  int sum = 0;
+  for (i = 0; i < 1024; i++) {
+    sum = (sum + cells[i] + momentum[i]) & 16777215;
+  }
+  return sum;
+}
+
+int main() {
+  int timesteps = input();
+  int seed = input();
+  init_lattice(seed);
+  int t;
+  for (t = 0; t < timesteps; t++) {
+    sweep();
+  }
+  print(checksum());
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="470.lbm",
+    source=SOURCE + bank_for("470.lbm"),
+    train_input=(3, 11),
+    ref_input=(14, 7),
+    character="memory-bound stencil streaming; expected ~0% NOP overhead",
+)

@@ -1,0 +1,94 @@
+"""462.libquantum — quantum computer simulation.
+
+The original applies quantum gates by bit-twiddling every amplitude index
+of a state vector: shifts, XORs and masks dominate, with one load/store
+pair per amplitude. Issue-leaning mix with extremely hot, flat inner
+loops.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 462.libquantum miniature: gate application over a state vector.
+int state[1024];
+
+void init_state(int n, int seed) {
+  int i;
+  int x = seed;
+  for (i = 0; i < n; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    state[i] = x & 65535;
+  }
+}
+
+void toffoli_like(int n, int control1, int control2, int target) {
+  int i;
+  int c1 = 1 << control1;
+  int c2 = 1 << control2;
+  int t = 1 << target;
+  // Hot loop: bit tests and xors over every basis state.
+  for (i = 0; i < n; i++) {
+    if ((i & c1) != 0 && (i & c2) != 0) {
+      int j = i ^ t;
+      if (j < i) {
+        int tmp = state[i];
+        state[i] = state[j];
+        state[j] = tmp;
+      }
+    }
+  }
+}
+
+void phase_like(int n, int target) {
+  int i;
+  int t = 1 << target;
+  for (i = 0; i < n; i++) {
+    if ((i & t) != 0) {
+      state[i] = (state[i] * 3 + 1) & 65535;
+    }
+  }
+}
+
+int measure(int n) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < n; i++) {
+    acc = (acc ^ (state[i] << (i & 7))) & 16777215;
+  }
+  return acc;
+}
+
+int main() {
+  int qubits = input();
+  int gates = input();
+  int seed = input();
+  if (qubits > 10) { qubits = 10; }
+  int n = 1 << qubits;
+  init_state(n, seed);
+  int g;
+  int x = seed;
+  for (g = 0; g < gates; g++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    int a = x % qubits;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    int b = x % qubits;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    int c = x % qubits;
+    if (a != b && b != c && a != c) {
+      toffoli_like(n, a, b, c);
+    }
+    phase_like(n, a);
+  }
+  print(measure(n));
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="462.libquantum",
+    source=SOURCE + bank_for("462.libquantum"),
+    train_input=(8, 12, 5),
+    ref_input=(10, 14, 2),
+    character="bit-twiddling gate loops: shifts/xors, issue-leaning",
+)

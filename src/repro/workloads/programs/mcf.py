@@ -1,0 +1,82 @@
+"""429.mcf — single-depot vehicle scheduling (network simplex).
+
+The original chases pointers through a network of arcs; its character is
+graph relaxation over array-of-struct storage. This miniature runs
+Bellman–Ford over a synthetic arc list: per arc, three loads, a compare
+and an occasional store — memory-heavy with a data-dependent branch.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 429.mcf miniature: Bellman-Ford relaxation over a synthetic arc list.
+int arc_from[512];
+int arc_to[512];
+int arc_cost[512];
+int dist[128];
+int INF = 1000000000;
+
+void build_network(int nodes, int arcs, int seed) {
+  int i;
+  int x = seed;
+  for (i = 0; i < arcs; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    arc_from[i] = x % nodes;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    arc_to[i] = x % nodes;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    arc_cost[i] = 1 + x % 100;
+  }
+}
+
+int relax_all(int nodes, int arcs) {
+  int changed = 0;
+  int i;
+  // Hot loop: arc relaxation, load-heavy with a data-dependent branch.
+  for (i = 0; i < arcs; i++) {
+    int u = arc_from[i];
+    int du = dist[u];
+    if (du < INF) {
+      int cand = du + arc_cost[i];
+      int v = arc_to[i];
+      if (cand < dist[v]) {
+        dist[v] = cand;
+        changed = 1;
+      }
+    }
+  }
+  return changed;
+}
+
+int main() {
+  int nodes = input();
+  int arcs = input();
+  int rounds = input();
+  int seed = input();
+  if (nodes > 128) { nodes = 128; }
+  if (arcs > 512) { arcs = 512; }
+  build_network(nodes, arcs, seed);
+  int i;
+  for (i = 0; i < nodes; i++) { dist[i] = INF; }
+  dist[0] = 0;
+  int r;
+  for (r = 0; r < rounds; r++) {
+    if (relax_all(nodes, arcs) == 0) { break; }
+  }
+  int sum = 0;
+  for (i = 0; i < nodes; i++) {
+    if (dist[i] < INF) { sum = (sum + dist[i]) & 16777215; }
+  }
+  print(sum);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="429.mcf",
+    source=SOURCE + bank_for("429.mcf"),
+    train_input=(32, 128, 40, 3),
+    ref_input=(128, 512, 90, 9),
+    character="graph relaxation, load-heavy with data-dependent branches",
+)

@@ -1,0 +1,81 @@
+"""433.milc — lattice quantum chromodynamics.
+
+The original multiplies small complex matrices at every site of a 4D
+lattice: regular array traversal with a balanced load/multiply/store mix.
+This miniature performs fixed-point 3×3 matrix-vector products per site
+of a flattened lattice.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 433.milc miniature: 3x3 fixed-point matrix-vector products per site.
+int lattice[1536];    // 512 sites x 3 components
+int links[4608];      // 512 sites x 3x3 matrix
+int result[1536];
+
+void init(int sites, int seed) {
+  int i;
+  int x = seed;
+  for (i = 0; i < sites * 3; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    lattice[i] = (x % 2048) - 1024;
+  }
+  for (i = 0; i < sites * 9; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    links[i] = (x % 256) - 128;
+  }
+}
+
+void mult_su3_sites(int sites) {
+  int s;
+  // Hot loop: per-site 3x3 * 3 product, balanced loads and multiplies.
+  for (s = 0; s < sites; s++) {
+    int vb = s * 3;
+    int mb = s * 9;
+    int r;
+    for (r = 0; r < 3; r++) {
+      int acc = links[mb + r * 3] * lattice[vb]
+              + links[mb + r * 3 + 1] * lattice[vb + 1]
+              + links[mb + r * 3 + 2] * lattice[vb + 2];
+      result[vb + r] = acc >> 7;
+    }
+  }
+}
+
+void feedback(int sites) {
+  int i;
+  for (i = 0; i < sites * 3; i++) {
+    lattice[i] = (lattice[i] + result[i]) & 262143;
+  }
+}
+
+int main() {
+  int sites = input();
+  int sweeps = input();
+  int seed = input();
+  if (sites > 512) { sites = 512; }
+  init(sites, seed);
+  int t;
+  for (t = 0; t < sweeps; t++) {
+    mult_su3_sites(sites);
+    feedback(sites);
+  }
+  int sum = 0;
+  int i;
+  for (i = 0; i < sites * 3; i++) {
+    sum = (sum + lattice[i]) & 16777215;
+  }
+  print(sum);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="433.milc",
+    source=SOURCE + bank_for("433.milc"),
+    train_input=(128, 4, 77),
+    ref_input=(512, 10, 23),
+    character="regular lattice sweeps: balanced loads/multiplies/stores",
+)

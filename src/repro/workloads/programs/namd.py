@@ -1,0 +1,91 @@
+"""444.namd — molecular dynamics.
+
+The original computes pairwise non-bonded forces inside a cutoff:
+multiply-heavy inner loops over particle coordinates with accumulation.
+Fixed-point coordinates stand in for doubles; the pair loop keeps the
+multiply-per-load ratio high.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 444.namd miniature: pairwise force accumulation with a cutoff.
+int pos_x[256];
+int pos_y[256];
+int force_x[256];
+int force_y[256];
+
+void init_particles(int n, int seed) {
+  int i;
+  int x = seed;
+  for (i = 0; i < n; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    pos_x[i] = x % 4096;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    pos_y[i] = x % 4096;
+    force_x[i] = 0;
+    force_y[i] = 0;
+  }
+}
+
+void compute_forces(int n, int cutoff2) {
+  int i;
+  int j;
+  // Hot loop: O(n^2) pair interactions, multiply-dominated.
+  for (i = 0; i < n; i++) {
+    int xi = pos_x[i];
+    int yi = pos_y[i];
+    int fx = 0;
+    int fy = 0;
+    for (j = 0; j < n; j++) {
+      int dx = pos_x[j] - xi;
+      int dy = pos_y[j] - yi;
+      int r2 = dx * dx + dy * dy;
+      if (r2 > 0 && r2 < cutoff2) {
+        int inv = 16384 / (1 + (r2 >> 6));
+        fx += (dx * inv) >> 8;
+        fy += (dy * inv) >> 8;
+      }
+    }
+    force_x[i] = fx;
+    force_y[i] = fy;
+  }
+}
+
+void integrate(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    pos_x[i] = (pos_x[i] + (force_x[i] >> 4)) & 4095;
+    pos_y[i] = (pos_y[i] + (force_y[i] >> 4)) & 4095;
+  }
+}
+
+int main() {
+  int particles = input();
+  int steps = input();
+  int seed = input();
+  if (particles > 256) { particles = 256; }
+  init_particles(particles, seed);
+  int t;
+  for (t = 0; t < steps; t++) {
+    compute_forces(particles, 600000);
+    integrate(particles);
+  }
+  int sum = 0;
+  int i;
+  for (i = 0; i < particles; i++) {
+    sum = (sum + pos_x[i] * 3 + pos_y[i]) & 16777215;
+  }
+  print(sum);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="444.namd",
+    source=SOURCE + bank_for("444.namd"),
+    train_input=(48, 3, 5),
+    ref_input=(80, 4, 31),
+    character="pairwise force loops: multiply-heavy with divisions",
+)

@@ -1,0 +1,153 @@
+"""471.omnetpp — discrete event network simulation.
+
+The original simulates an Ethernet with a future-event set: heap
+operations, per-event handler dispatch, queue bookkeeping — pointer-ish
+traversal over many mid-sized functions. The miniature simulates packet
+switching between nodes with an event heap, per-node FIFO queues and
+collision/backoff logic.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 471.omnetpp miniature: event-driven packet switch simulation.
+int ev_time[1024];
+int ev_node[1024];
+int ev_kind[1024];
+int ev_count = 0;
+int queue_head[32];
+int queue_len[32];
+int queue_store[1024];   // 32 nodes x 32 slots
+int node_busy[32];
+int stat_delivered = 0;
+int stat_dropped = 0;
+int stat_collisions = 0;
+
+void heap_insert(int time, int node, int kind) {
+  if (ev_count >= 1024) { stat_dropped++; return; }
+  int i = ev_count;
+  ev_time[i] = time;
+  ev_node[i] = node;
+  ev_kind[i] = kind;
+  ev_count++;
+  while (i > 0) {
+    int parent = (i - 1) / 2;
+    if (ev_time[parent] <= ev_time[i]) { break; }
+    int t;
+    t = ev_time[parent]; ev_time[parent] = ev_time[i]; ev_time[i] = t;
+    t = ev_node[parent]; ev_node[parent] = ev_node[i]; ev_node[i] = t;
+    t = ev_kind[parent]; ev_kind[parent] = ev_kind[i]; ev_kind[i] = t;
+    i = parent;
+  }
+}
+
+int heap_extract_min() {
+  // Returns packed (time<<8 | node<<3 | kind); caller unpacks.
+  int time = ev_time[0];
+  int node = ev_node[0];
+  int kind = ev_kind[0];
+  ev_count--;
+  ev_time[0] = ev_time[ev_count];
+  ev_node[0] = ev_node[ev_count];
+  ev_kind[0] = ev_kind[ev_count];
+  int i = 0;
+  while (1) {
+    int left = 2 * i + 1;
+    int right = 2 * i + 2;
+    int small = i;
+    if (left < ev_count && ev_time[left] < ev_time[small]) { small = left; }
+    if (right < ev_count && ev_time[right] < ev_time[small]) { small = right; }
+    if (small == i) { break; }
+    int t;
+    t = ev_time[small]; ev_time[small] = ev_time[i]; ev_time[i] = t;
+    t = ev_node[small]; ev_node[small] = ev_node[i]; ev_node[i] = t;
+    t = ev_kind[small]; ev_kind[small] = ev_kind[i]; ev_kind[i] = t;
+    i = small;
+  }
+  return (time << 8) | (node << 3) | kind;
+}
+
+void enqueue_packet(int node, int payload) {
+  if (queue_len[node] >= 32) { stat_dropped++; return; }
+  int slot = (queue_head[node] + queue_len[node]) & 31;
+  queue_store[node * 32 + slot] = payload;
+  queue_len[node]++;
+}
+
+int dequeue_packet(int node) {
+  int payload = queue_store[node * 32 + queue_head[node]];
+  queue_head[node] = (queue_head[node] + 1) & 31;
+  queue_len[node]--;
+  return payload;
+}
+
+void handle_arrival(int now, int node, int x) {
+  if (node_busy[node]) {
+    stat_collisions++;
+    // Exponential-ish backoff: retry later.
+    heap_insert(now + 4 + (x & 15), node, 0);
+    return;
+  }
+  enqueue_packet(node, x & 255);
+  heap_insert(now + 2 + (x & 3), node, 1);
+  node_busy[node] = 1;
+}
+
+void handle_departure(int now, int node, int nodes, int x) {
+  if (queue_len[node] > 0) {
+    int payload = dequeue_packet(node);
+    stat_delivered++;
+    int dest = (node + 1 + (payload & 7)) % nodes;
+    heap_insert(now + 3 + (payload & 7), dest, 0);
+  }
+  if (queue_len[node] > 0) {
+    heap_insert(now + 2, node, 1);
+  } else {
+    node_busy[node] = 0;
+  }
+}
+
+int main() {
+  int nodes = input();
+  int initial_events = input();
+  int max_events = input();
+  int seed = input();
+  if (nodes > 32) { nodes = 32; }
+  int i;
+  for (i = 0; i < 32; i++) {
+    queue_head[i] = 0; queue_len[i] = 0; node_busy[i] = 0;
+  }
+  int x = seed;
+  for (i = 0; i < initial_events; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    heap_insert(x & 63, x % nodes, 0);
+  }
+  int processed = 0;
+  // Main event loop: heap pops + dispatch, the omnetpp shape.
+  while (ev_count > 0 && processed < max_events) {
+    int packed = heap_extract_min();
+    int now = packed >> 8;
+    int node = (packed >> 3) & 31;
+    int kind = packed & 7;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    if (kind == 0) {
+      handle_arrival(now, node % nodes, x);
+    } else {
+      handle_departure(now, node % nodes, nodes, x);
+    }
+    processed++;
+  }
+  print((stat_delivered * 100000 + stat_collisions * 100
+         + (stat_dropped & 99)) & 16777215);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="471.omnetpp",
+    source=SOURCE + bank_for("471.omnetpp"),
+    train_input=(8, 30, 900, 3),
+    ref_input=(32, 120, 6000, 11),
+    character="discrete-event simulation: heap churn + handler dispatch",
+)

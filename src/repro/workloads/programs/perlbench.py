@@ -1,0 +1,126 @@
+"""400.perlbench — Perl interpreter.
+
+The original runs the Perl core on string-processing scripts: opcode
+dispatch, hashing and regex state machines — integer/branch work with few
+memory accesses per decoded character (strings are processed from packed
+words). It is one of the two benchmarks with the highest NOP-insertion
+overhead in the paper (~25% at pNOP=50%), i.e. firmly issue-bound. The
+miniature interleaves a string hash, a regex-like state machine over
+packed characters, and opcode-style dispatch, all dominated by scalar ALU
+operations and branches.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 400.perlbench miniature: hashing + state machine over packed strings.
+int packed_text[512];   // 4 chars per word
+int hash_table[256];
+
+void make_text(int words, int seed) {
+  int i;
+  int x = seed;
+  for (i = 0; i < words; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    packed_text[i] = x;
+  }
+}
+
+int hash_span(int words) {
+  int h = 5381;
+  int i;
+  // Hot loop 1: djb2-style hash, four packed chars per load.
+  for (i = 0; i < words; i++) {
+    int w = packed_text[i];
+    int c0 = w & 255;
+    int c1 = (w >> 8) & 255;
+    int c2 = (w >> 16) & 255;
+    int c3 = (w >> 24) & 255;
+    h = ((h << 5) + h + c0) & 16777215;
+    h = ((h << 5) + h + c1) & 16777215;
+    h = ((h << 5) + h + c2) & 16777215;
+    h = ((h << 5) + h + c3) & 16777215;
+  }
+  return h;
+}
+
+int regex_match(int words, int pattern_a, int pattern_b) {
+  int state = 0;
+  int matches = 0;
+  int i;
+  // Hot loop 2: a 4-state matcher; per character only shifts, masks,
+  // compares and branches -- no memory traffic inside the word.
+  for (i = 0; i < words; i++) {
+    int w = packed_text[i];
+    int k;
+    for (k = 0; k < 4; k++) {
+      int c = (w >> (k * 8)) & 255;
+      if (state == 0) {
+        if ((c & 63) == pattern_a) { state = 1; }
+      } else if (state == 1) {
+        if ((c & 63) == pattern_b) { state = 2; } else { state = 0; }
+      } else if (state == 2) {
+        if ((c & 1) == 0) { matches++; state = 3; } else { state = 0; }
+      } else {
+        state = 0;
+      }
+    }
+  }
+  return matches;
+}
+
+int dispatch(int op, int a, int b) {
+  if (op == 0) { return a + b; }
+  if (op == 1) { return a - b; }
+  if (op == 2) { return (a << 1) ^ b; }
+  if (op == 3) { return a & b; }
+  if (op == 4) { return a | (b >> 1); }
+  if (op == 5) { return a * 3 + b; }
+  if (op == 6) { if (a > b) { return a; } return b; }
+  return a ^ b;
+}
+
+int interp_loop(int iterations, int seed) {
+  int acc = 7;
+  int x = seed;
+  int i;
+  // Hot loop 3: opcode dispatch, branch-dense scalar work.
+  for (i = 0; i < iterations; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    int op = x & 7;
+    acc = dispatch(op, acc, x >> 8) & 16777215;
+  }
+  return acc;
+}
+
+int main() {
+  int words = input();
+  int rounds = input();
+  int seed = input();
+  if (words > 512) { words = 512; }
+  int total = 0;
+  int r;
+  for (r = 0; r < rounds; r++) {
+    make_text(words, seed + r);
+    int h = hash_span(words);
+    hash_table[h & 255] = (hash_table[h & 255] + 1) & 65535;
+    total = (total + h) & 16777215;
+    total = (total + regex_match(words, 17, 42)) & 16777215;
+    total = (total + interp_loop(words * 2, seed + r)) & 16777215;
+  }
+  int i;
+  for (i = 0; i < 256; i++) { total = (total + hash_table[i]) & 16777215; }
+  print(total);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="400.perlbench",
+    source=SOURCE + bank_for("400.perlbench"),
+    train_input=(128, 3, 29),
+    ref_input=(512, 8, 101),
+    character="issue-bound interpreter mix: hashing, matcher, dispatch "
+              "(the paper's worst-case NOP overhead)",
+)

@@ -1,0 +1,100 @@
+"""453.povray — ray tracing.
+
+The original intersects rays with scene geometry: fixed-point dot
+products, discriminant tests and shading arithmetic, multiply-dominated
+with modest memory traffic. The miniature marches rays over a small
+sphere scene using integer arithmetic throughout.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 453.povray miniature: integer ray-sphere intersection + shading.
+int sphere_x[16];
+int sphere_y[16];
+int sphere_z[16];
+int sphere_r2[16];
+int image[4096];    // 64x64 accumulation buffer
+
+void build_scene(int spheres, int seed) {
+  int i;
+  int x = seed;
+  for (i = 0; i < spheres; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    sphere_x[i] = (x % 128) - 64;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    sphere_y[i] = (x % 128) - 64;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    sphere_z[i] = 64 + x % 128;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    sphere_r2[i] = 100 + x % 900;
+  }
+}
+
+int trace_ray(int px, int py, int spheres) {
+  // Direction from a 64x64 virtual screen at z=64 (unnormalized).
+  int dx = px - 32;
+  int dy = py - 32;
+  int dz = 64;
+  int best_t = 2147483647;
+  int best_sphere = -1;
+  int s;
+  // Hot loop: per-sphere quadratic discriminant, multiply-heavy.
+  for (s = 0; s < spheres; s++) {
+    int cx = sphere_x[s];
+    int cy = sphere_y[s];
+    int cz = sphere_z[s];
+    int b = dx * cx + dy * cy + dz * cz;
+    if (b <= 0) { continue; }
+    int dd = dx * dx + dy * dy + dz * dz;
+    int cc = cx * cx + cy * cy + cz * cz;
+    int disc = b * (b / 16) - (dd / 16) * (cc - sphere_r2[s]);
+    if (disc > 0) {
+      int t = (cc - sphere_r2[s]) / (1 + b / 64);
+      if (t < best_t) { best_t = t; best_sphere = s; }
+    }
+  }
+  if (best_sphere < 0) { return 16; }
+  // Cheap Lambert-ish shade from the hit sphere's height.
+  int shade = 255 - ((sphere_y[best_sphere] + 64) * 255) / 128;
+  return (shade + best_t) & 255;
+}
+
+int render(int spheres) {
+  int py;
+  int px;
+  int checksum = 0;
+  for (py = 0; py < 64; py++) {
+    for (px = 0; px < 64; px++) {
+      int c = trace_ray(px, py, spheres);
+      image[py * 64 + px] = c;
+      checksum = (checksum + c) & 16777215;
+    }
+  }
+  return checksum;
+}
+
+int main() {
+  int spheres = input();
+  int frames = input();
+  int seed = input();
+  if (spheres > 16) { spheres = 16; }
+  int total = 0;
+  int f;
+  for (f = 0; f < frames; f++) {
+    build_scene(spheres, seed + f * 5);
+    total = (total + render(spheres)) & 16777215;
+  }
+  print(total);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="453.povray",
+    source=SOURCE + bank_for("453.povray"),
+    train_input=(4, 1, 3),
+    ref_input=(10, 1, 11),
+    character="ray-sphere tests: multiply-dominated with branches",
+)

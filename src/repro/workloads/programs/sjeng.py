@@ -1,0 +1,106 @@
+"""458.sjeng — chess engine.
+
+The original is alpha-beta game-tree search: recursive descent, move
+generation, incremental evaluation against piece-square tables, heavy in
+compares and branches with moderate memory traffic. The miniature plays
+a capture-only negamax on an 8×8 board of weighted pieces.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 458.sjeng miniature: negamax with capture move generation.
+int board[64];
+int piece_value[8];
+int history_table[64];
+
+void setup(int seed) {
+  piece_value[0] = 0;   piece_value[1] = 100; piece_value[2] = 300;
+  piece_value[3] = 310; piece_value[4] = 500; piece_value[5] = 900;
+  piece_value[6] = 0;   piece_value[7] = 0;
+  int i;
+  int x = seed;
+  for (i = 0; i < 64; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    int r = x % 10;
+    if (r < 7) {
+      board[i] = 0;
+    } else {
+      // piece type 1..5, sign = side
+      int piece = 1 + x % 5;
+      if ((x >> 8) & 1) { board[i] = piece; } else { board[i] = -piece; }
+    }
+    history_table[i] = 0;
+  }
+}
+
+int evaluate(int side) {
+  int score = 0;
+  int i;
+  for (i = 0; i < 64; i++) {
+    int p = board[i];
+    if (p > 0) { score += piece_value[p]; }
+    if (p < 0) { score -= piece_value[-p]; }
+  }
+  if (side < 0) { return -score; }
+  return score;
+}
+
+int negamax(int side, int depth, int alpha, int beta) {
+  if (depth == 0) { return evaluate(side); }
+  int best = evaluate(side) - 50;
+  int from;
+  for (from = 0; from < 64; from++) {
+    int p = board[from];
+    if ((side > 0 && p <= 0) || (side < 0 && p >= 0)) { continue; }
+    int d;
+    for (d = 0; d < 4; d++) {
+      int to = from;
+      if (d == 0) { to = from + 1; }
+      if (d == 1) { to = from - 1; }
+      if (d == 2) { to = from + 8; }
+      if (d == 3) { to = from - 8; }
+      if (to < 0 || to > 63) { continue; }
+      int captured = board[to];
+      // capture-only search: target must hold an enemy piece
+      if ((side > 0 && captured >= 0) || (side < 0 && captured <= 0)) {
+        continue;
+      }
+      board[to] = p;
+      board[from] = 0;
+      int score = -negamax(-side, depth - 1, -beta, -alpha);
+      board[from] = p;
+      board[to] = captured;
+      if (score > best) { best = score; history_table[from]++; }
+      if (best > alpha) { alpha = best; }
+      if (alpha >= beta) { return best; }
+    }
+  }
+  return best;
+}
+
+int main() {
+  int positions = input();
+  int depth = input();
+  int seed = input();
+  int total = 0;
+  int g;
+  for (g = 0; g < positions; g++) {
+    setup(seed + g * 13);
+    total = (total + negamax(1, depth, -100000, 100000)) & 16777215;
+  }
+  int i;
+  for (i = 0; i < 64; i++) { total = (total + history_table[i]) & 16777215; }
+  print(total);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="458.sjeng",
+    source=SOURCE + bank_for("458.sjeng"),
+    train_input=(1, 2, 7),
+    ref_input=(5, 3, 19),
+    character="alpha-beta tree search: branch-dense, recursive",
+)

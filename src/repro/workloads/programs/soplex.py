@@ -1,0 +1,111 @@
+"""450.soplex — simplex linear programming solver.
+
+The original pivots a sparse tableau: ratio tests full of divisions,
+column scans and row updates. The miniature runs dense simplex pivoting
+on a fixed-point tableau — division-heavy inner loops over rows/columns.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 450.soplex miniature: dense simplex tableau pivoting (fixed point,
+// scaled by 1024).
+int tableau[1056];   // (rows+1) x (cols+1), up to 32x33
+int SCALE = 1024;
+
+void build_problem(int rows, int cols, int seed) {
+  int i;
+  int x = seed;
+  for (i = 0; i < (rows + 1) * (cols + 1); i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    tableau[i] = ((x % 2000) - 500) * 2;
+  }
+  // Make right-hand sides positive so the initial basis is feasible.
+  int r;
+  for (r = 0; r < rows; r++) {
+    int v = tableau[r * (cols + 1) + cols];
+    if (v < 0) { v = -v; }
+    tableau[r * (cols + 1) + cols] = v + SCALE;
+  }
+}
+
+int choose_pivot_column(int rows, int cols) {
+  int best = -1;
+  int best_val = -1;
+  int c;
+  for (c = 0; c < cols; c++) {
+    int v = tableau[rows * (cols + 1) + c];
+    if (v > best_val) { best_val = v; best = c; }
+  }
+  if (best_val <= 0) { return -1; }
+  return best;
+}
+
+int choose_pivot_row(int rows, int cols, int col) {
+  int best = -1;
+  int best_ratio = 2147483647;
+  int r;
+  // Ratio test: one division per candidate row.
+  for (r = 0; r < rows; r++) {
+    int a = tableau[r * (cols + 1) + col];
+    if (a > 0) {
+      int ratio = (tableau[r * (cols + 1) + cols] * 64) / a;
+      if (ratio < best_ratio) { best_ratio = ratio; best = r; }
+    }
+  }
+  return best;
+}
+
+void pivot(int rows, int cols, int prow, int pcol) {
+  int width = cols + 1;
+  int pval = tableau[prow * width + pcol];
+  if (pval == 0) { pval = 1; }
+  int c;
+  // Normalize the pivot row: a division per element.
+  for (c = 0; c <= cols; c++) {
+    tableau[prow * width + c] = (tableau[prow * width + c] * SCALE) / pval;
+  }
+  int r;
+  // Eliminate the column from every other row.
+  for (r = 0; r <= rows; r++) {
+    if (r == prow) { continue; }
+    int factor = tableau[r * width + pcol];
+    if (factor == 0) { continue; }
+    for (c = 0; c <= cols; c++) {
+      int delta = (factor * tableau[prow * width + c]) / SCALE;
+      tableau[r * width + c] = tableau[r * width + c] - delta;
+    }
+  }
+}
+
+int main() {
+  int rows = input();
+  int cols = input();
+  int max_iters = input();
+  int seed = input();
+  if (rows > 24) { rows = 24; }
+  if (cols > 32) { cols = 32; }
+  build_problem(rows, cols, seed);
+  int iter = 0;
+  while (iter < max_iters) {
+    int pcol = choose_pivot_column(rows, cols);
+    if (pcol < 0) { break; }
+    int prow = choose_pivot_row(rows, cols, pcol);
+    if (prow < 0) { break; }
+    pivot(rows, cols, prow, pcol);
+    iter++;
+  }
+  int objective = tableau[rows * (cols + 1) + cols];
+  print(((objective & 16777215) + iter) & 16777215);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="450.soplex",
+    source=SOURCE + bank_for("450.soplex"),
+    train_input=(10, 14, 24, 5),
+    ref_input=(24, 32, 300, 3),
+    character="simplex pivoting: division-heavy ratio tests + row updates",
+)

@@ -1,0 +1,106 @@
+"""482.sphinx3 — speech recognition.
+
+The original spends its time scoring Gaussian mixtures and walking
+Hidden-Markov lattices: short, extremely hot scalar loops. Together with
+perlbench it shows the paper's maximum NOP overhead (~25% at pNOP=50%),
+so the miniature keeps its hot loops issue-bound: senone scoring over
+values held in scalars (one packed load feeds four score updates) and a
+beam-pruned lattice recurrence.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 482.sphinx3 miniature: packed senone scoring + lattice recurrence.
+int frames[1024];
+int lattice_prev[64];
+int lattice_cur[64];
+
+void make_frames(int n, int seed) {
+  int i;
+  int x = seed;
+  for (i = 0; i < n; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    frames[i] = x;
+  }
+}
+
+int senone_score(int n, int mean, int ivar) {
+  int score = 0;
+  int i;
+  // Hot loop 1: per frame word, four packed components scored with
+  // subtract/multiply/shift/accumulate -- all register traffic.
+  for (i = 0; i < n; i++) {
+    int w = frames[i];
+    int k;
+    for (k = 0; k < 4; k++) {
+      int c = (w >> (k * 8)) & 255;
+      int d = c - mean;
+      int contrib = (d * d * ivar) >> 9;
+      if (contrib > 4095) { contrib = 4095; }
+      score = (score + contrib) & 16777215;
+    }
+  }
+  return score;
+}
+
+int lattice_step(int states, int obs) {
+  int s;
+  int best = -1000000000;
+  // Hot loop 2: HMM recurrence with beam check, scalar compares.
+  for (s = 0; s < states; s++) {
+    int stay = lattice_prev[s];
+    int from_left = -1000000000;
+    if (s > 0) { from_left = lattice_prev[s - 1] - 3; }
+    int v = stay;
+    if (from_left > v) { v = from_left; }
+    v = v + ((obs >> (s & 7)) & 15) - 7;
+    lattice_cur[s] = v;
+    if (v > best) { best = v; }
+  }
+  int beam = best - 40;
+  for (s = 0; s < states; s++) {
+    if (lattice_cur[s] < beam) { lattice_cur[s] = -1000000000; }
+    lattice_prev[s] = lattice_cur[s];
+  }
+  return best;
+}
+
+int main() {
+  int n_frames = input();
+  int states = input();
+  int passes = input();
+  int seed = input();
+  if (n_frames > 1024) { n_frames = 1024; }
+  if (states > 64) { states = 64; }
+  make_frames(n_frames, seed);
+  int s;
+  for (s = 0; s < states; s++) { lattice_prev[s] = 0; }
+  int total = 0;
+  int p;
+  for (p = 0; p < passes; p++) {
+    int mixture;
+    // Real decoders score hundreds of senones per frame; eight mixture
+    // evaluations per pass keep the scalar scoring loop dominant.
+    for (mixture = 0; mixture < 8; mixture++) {
+      total = (total + senone_score(n_frames, 90 + mixture * 3 + p,
+                                    3 + (mixture & 3))) & 16777215;
+    }
+    int f;
+    for (f = 0; f < n_frames; f += 8) {
+      total = (total + lattice_step(states, frames[f])) & 16777215;
+    }
+  }
+  print(total);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="482.sphinx3",
+    source=SOURCE + bank_for("482.sphinx3"),
+    train_input=(256, 24, 1, 13),
+    ref_input=(1024, 48, 3, 77),
+    character="issue-bound scoring loops (the paper's other worst case)",
+)

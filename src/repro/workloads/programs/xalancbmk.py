@@ -1,0 +1,195 @@
+"""483.xalancbmk — XSLT processor.
+
+The original transforms XML trees: tree construction, template matching,
+attribute handling, output serialization — by far the largest binary of
+the suite (over half a million gadgets in the paper's Table 2). The
+miniature builds a random document tree in flat arrays and runs several
+template-driven transformation passes over it, spread across many
+functions so its text section is the suite's largest.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.coldcode import bank_for
+
+SOURCE = """
+// 483.xalancbmk miniature: tree transform passes over a flat DOM.
+int node_tag[2048];
+int node_parent[2048];
+int node_first_child[2048];
+int node_next_sibling[2048];
+int node_attr[2048];
+int node_value[2048];
+int node_count = 0;
+int out_buffer[4096];
+int out_count = 0;
+int template_match[64];
+int template_action[64];
+int match_stats[64];
+
+int new_node(int tag, int parent, int value) {
+  if (node_count >= 2048) { return -1; }
+  int id = node_count;
+  node_count++;
+  node_tag[id] = tag;
+  node_parent[id] = parent;
+  node_first_child[id] = -1;
+  node_next_sibling[id] = -1;
+  node_attr[id] = 0;
+  node_value[id] = value;
+  if (parent >= 0) {
+    int child = node_first_child[parent];
+    if (child < 0) {
+      node_first_child[parent] = id;
+    } else {
+      while (node_next_sibling[child] >= 0) {
+        child = node_next_sibling[child];
+      }
+      node_next_sibling[child] = id;
+    }
+  }
+  return id;
+}
+
+int build_document(int nodes, int seed) {
+  node_count = 0;
+  int root = new_node(0, -1, 0);
+  int x = seed;
+  int i;
+  for (i = 1; i < nodes; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    int parent = x % node_count;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    int tag = 1 + x % 12;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    new_node(tag, parent, x & 1023);
+  }
+  return root;
+}
+
+void build_templates(int count, int seed) {
+  int x = seed;
+  int i;
+  for (i = 0; i < count; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    template_match[i] = 1 + x % 12;
+    x = (x * 1103515245 + 12345) & 2147483647;
+    template_action[i] = x % 4;
+    match_stats[i] = 0;
+  }
+}
+
+int match_template(int node, int templates) {
+  int tag = node_tag[node];
+  int i;
+  for (i = 0; i < templates; i++) {
+    if (template_match[i] == tag) {
+      match_stats[i]++;
+      return i;
+    }
+  }
+  return -1;
+}
+
+void emit_output(int word) {
+  if (out_count < 4096) {
+    out_buffer[out_count] = word;
+    out_count++;
+  }
+}
+
+int node_depth(int node) {
+  int depth = 0;
+  int cursor = node_parent[node];
+  while (cursor >= 0) {
+    depth++;
+    cursor = node_parent[cursor];
+  }
+  return depth;
+}
+
+void apply_action(int node, int action) {
+  if (action == 0) {
+    emit_output(node_tag[node] * 256 + (node_value[node] & 255));
+  } else if (action == 1) {
+    node_attr[node] = (node_attr[node] + node_value[node]) & 65535;
+  } else if (action == 2) {
+    emit_output(node_depth(node));
+  } else {
+    node_value[node] = (node_value[node] * 3 + 7) & 1023;
+  }
+}
+
+int transform_subtree(int node, int templates) {
+  int visited = 0;
+  int t = match_template(node, templates);
+  if (t >= 0) { apply_action(node, template_action[t]); }
+  int child = node_first_child[node];
+  // Recursive descent over the sibling chain, the Xalan walk.
+  while (child >= 0) {
+    visited += transform_subtree(child, templates);
+    child = node_next_sibling[child];
+  }
+  return visited + 1;
+}
+
+int count_by_tag(int tag) {
+  int i;
+  int n = 0;
+  for (i = 0; i < node_count; i++) {
+    if (node_tag[i] == tag) { n++; }
+  }
+  return n;
+}
+
+int serialize() {
+  int checksum = 0;
+  int i;
+  for (i = 0; i < out_count; i++) {
+    checksum = (checksum * 31 + out_buffer[i]) & 16777215;
+  }
+  return checksum;
+}
+
+int attribute_sum() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < node_count; i++) {
+    acc = (acc + node_attr[i]) & 16777215;
+  }
+  return acc;
+}
+
+int main() {
+  int nodes = input();
+  int templates = input();
+  int passes = input();
+  int seed = input();
+  if (nodes > 2048) { nodes = 2048; }
+  if (templates > 64) { templates = 64; }
+  int root = build_document(nodes, seed);
+  build_templates(templates, seed + 1);
+  int total = 0;
+  int p;
+  for (p = 0; p < passes; p++) {
+    out_count = 0;
+    total = (total + transform_subtree(root, templates)) & 16777215;
+    total = (total + serialize()) & 16777215;
+  }
+  int tag;
+  for (tag = 1; tag <= 12; tag++) {
+    total = (total + count_by_tag(tag) * tag) & 16777215;
+  }
+  total = (total + attribute_sum()) & 16777215;
+  print(total);
+  return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="483.xalancbmk",
+    source=SOURCE + bank_for("483.xalancbmk"),
+    train_input=(192, 16, 2, 7),
+    ref_input=(1024, 48, 4, 3),
+    character="tree transforms: pointer-chasing walks over a flat DOM, "
+              "largest code footprint of the suite",
+)

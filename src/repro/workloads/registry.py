@@ -1,0 +1,48 @@
+"""Lookup of workloads by name.
+
+``SPEC_ORDER`` lists the 19 SPEC CPU 2006 benchmark names in the paper's
+Figure 4 order; workload modules are imported lazily so importing the
+registry stays cheap.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.errors import WorkloadError
+
+#: Figure 4's benchmark order.
+SPEC_ORDER = (
+    "400.perlbench", "401.bzip2", "403.gcc", "429.mcf", "433.milc",
+    "444.namd", "445.gobmk", "447.dealII", "450.soplex", "453.povray",
+    "456.hmmer", "458.sjeng", "462.libquantum", "464.h264ref", "470.lbm",
+    "471.omnetpp", "473.astar", "482.sphinx3", "483.xalancbmk",
+)
+
+_MODULE_FOR_NAME = {name: name.split(".", 1)[1].lower()
+                    for name in SPEC_ORDER}
+
+_EXTRA_WORKLOADS = {"php": ("repro.workloads.php", "WORKLOAD")}
+
+
+def get_workload(name):
+    """Fetch one workload by its benchmark name (e.g. ``"470.lbm"``)."""
+    if name in _MODULE_FOR_NAME:
+        module = importlib.import_module(
+            f"repro.workloads.programs.{_MODULE_FOR_NAME[name]}")
+        return module.WORKLOAD
+    if name in _EXTRA_WORKLOADS:
+        module_name, attribute = _EXTRA_WORKLOADS[name]
+        return getattr(importlib.import_module(module_name), attribute)
+    raise WorkloadError(f"unknown workload {name!r}; known: "
+                        f"{', '.join(workload_names())}")
+
+
+def workload_names():
+    """All known workload names, SPEC suite first."""
+    return list(SPEC_ORDER) + sorted(_EXTRA_WORKLOADS)
+
+
+def all_spec_workloads():
+    """The full SPEC-like suite in Figure-4 order."""
+    return [get_workload(name) for name in SPEC_ORDER]

@@ -1,0 +1,38 @@
+"""x86-32 instruction-set substrate.
+
+This package models the subset of IA-32 used by the reproduction:
+
+- :mod:`repro.x86.registers` — the eight 32-bit general-purpose registers.
+- :mod:`repro.x86.instructions` — operand and instruction classes shared by
+  the compiler backend, the encoder/decoder and the simulator.
+- :mod:`repro.x86.encoder` — instruction → bytes.
+- :mod:`repro.x86.decoder` — bytes → instruction, usable both for linear
+  sweeps of emitted code and for decoding *arbitrary* byte offsets, which is
+  what gadget scanners need.
+- :mod:`repro.x86.nops` — the NOP candidate table from Table 1 of the paper.
+- :mod:`repro.x86.asmwriter` — AT&T-free, Intel-syntax pretty printing.
+"""
+
+from repro.x86.registers import (
+    EAX, ECX, EDX, EBX, ESP, EBP, ESI, EDI, GPR_REGISTERS, Register,
+    register_by_code, register_by_name,
+)
+from repro.x86.instructions import Imm, Instr, Label, Mem, Rel
+from repro.x86.encoder import encode, encoded_length
+from repro.x86.decoder import decode, decode_all, try_decode
+from repro.x86.nops import (
+    NOP_CANDIDATES, DEFAULT_NOP_CANDIDATES, XCHG_NOP_CANDIDATES, NopCandidate,
+    is_nop_candidate_bytes, is_nop_candidate_instr,
+)
+from repro.x86.asmwriter import format_instr, format_operand
+
+__all__ = [
+    "EAX", "ECX", "EDX", "EBX", "ESP", "EBP", "ESI", "EDI",
+    "GPR_REGISTERS", "Register", "register_by_code", "register_by_name",
+    "Imm", "Instr", "Label", "Mem", "Rel",
+    "encode", "encoded_length",
+    "decode", "decode_all", "try_decode",
+    "NOP_CANDIDATES", "DEFAULT_NOP_CANDIDATES", "XCHG_NOP_CANDIDATES",
+    "NopCandidate", "is_nop_candidate_bytes", "is_nop_candidate_instr",
+    "format_instr", "format_operand",
+]

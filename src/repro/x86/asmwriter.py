@@ -1,0 +1,66 @@
+"""Intel-syntax pretty printing for instructions and operands."""
+
+from __future__ import annotations
+
+from repro.x86.instructions import Imm, Label, Mem, Rel
+from repro.x86.registers import Register
+
+
+def format_operand(operand):
+    """Render one operand in Intel syntax."""
+    if isinstance(operand, Register):
+        return operand.name
+    if isinstance(operand, Imm):
+        return str(operand.value)
+    if isinstance(operand, Rel):
+        sign = "+" if operand.value >= 0 else ""
+        return f"${sign}{operand.value}"
+    if isinstance(operand, Label):
+        return operand.name
+    if isinstance(operand, Mem):
+        parts = []
+        if operand.symbol:
+            parts.append(operand.symbol)
+        if operand.base is not None:
+            parts.append(operand.base.name)
+        if operand.index is not None:
+            if operand.scale != 1:
+                parts.append(f"{operand.index.name}*{operand.scale}")
+            else:
+                parts.append(operand.index.name)
+        body = " + ".join(parts)
+        if operand.disp or not body:
+            if body:
+                sign = " + " if operand.disp >= 0 else " - "
+                body += f"{sign}{abs(operand.disp)}"
+            else:
+                body = str(operand.disp)
+        return f"dword [{body}]"
+    raise TypeError(f"cannot format operand {operand!r}")
+
+
+_MNEMONIC_DISPLAY = {"jmp_reg": "jmp", "call_reg": "call"}
+
+
+def format_instr(instr, address=None):
+    """Render one instruction; optionally prefixed with its address."""
+    mnemonic = _MNEMONIC_DISPLAY.get(instr.mnemonic, instr.mnemonic)
+    text = mnemonic
+    if instr.operands:
+        text += " " + ", ".join(format_operand(op) for op in instr.operands)
+    if address is not None:
+        prefix = f"{address:08x}:  "
+        if instr.encoding is not None:
+            prefix += instr.encoding.hex(" ").ljust(22)
+        text = prefix + text
+    return text
+
+
+def format_listing(instructions, base_address=0):
+    """Render a full disassembly listing with running addresses."""
+    lines = []
+    address = base_address
+    for instr in instructions:
+        lines.append(format_instr(instr, address=address))
+        address += instr.size if instr.size is not None else 0
+    return "\n".join(lines)

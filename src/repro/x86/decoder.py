@@ -1,0 +1,362 @@
+"""Decode IA-32 bytes back into :class:`~repro.x86.instructions.Instr`.
+
+Two consumers with different needs share this module:
+
+- the **simulator** decodes the emitted byte stream linearly from known
+  instruction boundaries, and
+- the **gadget scanners** decode from *arbitrary* offsets, where any byte
+  may or may not start a valid instruction.
+
+``decode`` raises :class:`~repro.errors.DecodingError` on bytes outside the
+supported subset; ``try_decode`` returns ``None`` instead. Decoded
+instructions carry ``size`` and ``encoding``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import DecodingError
+from repro.x86.instructions import CONDITION_CODES, Imm, Instr, Mem, Rel
+from repro.x86.registers import EAX, ECX, register_by_code
+
+_I32 = struct.Struct("<i")
+_U16 = struct.Struct("<H")
+
+_ALU_BY_BASE = {
+    0x00: "add", 0x08: "or", 0x20: "and",
+    0x28: "sub", 0x30: "xor", 0x38: "cmp",
+}
+_ALU_BY_EXT = {0: "add", 1: "or", 4: "and", 5: "sub", 6: "xor", 7: "cmp"}
+_SHIFT_BY_EXT = {0: "rol", 1: "ror", 4: "shl", 5: "shr", 7: "sar"}
+
+
+class _Cursor:
+    """A bounds-checked reader over the byte buffer."""
+
+    def __init__(self, data, offset):
+        self.data = data
+        self.start = offset
+        self.position = offset
+
+    def u8(self):
+        if self.position >= len(self.data):
+            raise DecodingError("truncated instruction")
+        value = self.data[self.position]
+        self.position += 1
+        return value
+
+    def s8(self):
+        value = self.u8()
+        return value - 256 if value >= 128 else value
+
+    def s32(self):
+        if self.position + 4 > len(self.data):
+            raise DecodingError("truncated 32-bit immediate")
+        (value,) = _I32.unpack_from(self.data, self.position)
+        self.position += 4
+        return value
+
+    def u16(self):
+        if self.position + 2 > len(self.data):
+            raise DecodingError("truncated 16-bit immediate")
+        (value,) = _U16.unpack_from(self.data, self.position)
+        self.position += 2
+        return value
+
+
+def _decode_modrm(cursor):
+    """Decode ModRM (+SIB, +disp); returns (reg_field, rm_operand)."""
+    modrm = cursor.u8()
+    mod = modrm >> 6
+    reg_field = (modrm >> 3) & 7
+    rm = modrm & 7
+
+    if mod == 0b11:
+        return reg_field, register_by_code(rm)
+
+    if rm == 0b100:
+        sib = cursor.u8()
+        scale = 1 << (sib >> 6)
+        index_code = (sib >> 3) & 7
+        base_code = sib & 7
+        index = None if index_code == 0b100 else register_by_code(index_code)
+        if base_code == 0b101 and mod == 0b00:
+            base = None
+            disp = cursor.s32()
+        else:
+            base = register_by_code(base_code)
+            if mod == 0b01:
+                disp = cursor.s8()
+            elif mod == 0b10:
+                disp = cursor.s32()
+            else:
+                disp = 0
+        return reg_field, Mem(base=base, index=index, scale=scale, disp=disp)
+
+    if mod == 0b00 and rm == 0b101:
+        return reg_field, Mem(disp=cursor.s32())
+
+    base = register_by_code(rm)
+    if mod == 0b01:
+        disp = cursor.s8()
+    elif mod == 0b10:
+        disp = cursor.s32()
+    else:
+        disp = 0
+    return reg_field, Mem(base=base, disp=disp)
+
+
+# ---------------------------------------------------------------------------
+# Opcode dispatch table. Gadget scanning decodes every byte offset of a
+# text section, so decode speed matters; a 256-entry handler table
+# replaces a ~30-branch if-chain per instruction.
+# ---------------------------------------------------------------------------
+
+def _alu_rm_r(mnemonic):
+    def handler(cursor):
+        reg_field, rm = _decode_modrm(cursor)
+        return Instr(mnemonic, rm, register_by_code(reg_field))
+    return handler
+
+
+def _alu_r_rm(mnemonic):
+    def handler(cursor):
+        reg_field, rm = _decode_modrm(cursor)
+        return Instr(mnemonic, register_by_code(reg_field), rm)
+    return handler
+
+
+def _alu_eax_imm(mnemonic):
+    def handler(cursor):
+        return Instr(mnemonic, EAX, Imm(cursor.s32()))
+    return handler
+
+
+def _single_reg(mnemonic, base_opcode, opcode):
+    register = register_by_code(opcode - base_opcode)
+
+    def handler(_cursor):
+        return Instr(mnemonic, register)
+    return handler
+
+
+def _jcc8(condition):
+    def handler(cursor):
+        return Instr("j" + condition, Rel(cursor.s8(), 8))
+    return handler
+
+
+def _decode_0f(cursor):
+    second = cursor.u8()
+    if second == 0xAF:
+        reg_field, rm = _decode_modrm(cursor)
+        return Instr("imul", register_by_code(reg_field), rm)
+    if 0x80 <= second <= 0x8F:
+        condition = CONDITION_CODES[second - 0x80]
+        return Instr("j" + condition, Rel(cursor.s32(), 32))
+    if 0x90 <= second <= 0x9F:
+        condition = CONDITION_CODES[second - 0x90]
+        _reg_field, rm = _decode_modrm(cursor)
+        return Instr("set" + condition, rm)
+    raise DecodingError(f"unsupported 0F opcode {second:#04x}")
+
+
+def _decode_group_imm(opcode):
+    def handler(cursor):
+        reg_field, rm = _decode_modrm(cursor)
+        if reg_field not in _ALU_BY_EXT:
+            raise DecodingError(f"unsupported ALU extension /{reg_field}")
+        value = cursor.s32() if opcode == 0x81 else cursor.s8()
+        return Instr(_ALU_BY_EXT[reg_field], rm, Imm(value))
+    return handler
+
+
+def _decode_test_rm_r(cursor):
+    reg_field, rm = _decode_modrm(cursor)
+    return Instr("test", rm, register_by_code(reg_field))
+
+
+def _decode_xchg_rm_r(cursor):
+    reg_field, rm = _decode_modrm(cursor)
+    return Instr("xchg", rm, register_by_code(reg_field))
+
+
+def _decode_mov_rm_r(cursor):
+    reg_field, rm = _decode_modrm(cursor)
+    return Instr("mov", rm, register_by_code(reg_field))
+
+
+def _decode_mov_r_rm(cursor):
+    reg_field, rm = _decode_modrm(cursor)
+    return Instr("mov", register_by_code(reg_field), rm)
+
+
+def _decode_lea(cursor):
+    reg_field, rm = _decode_modrm(cursor)
+    if not isinstance(rm, Mem):
+        raise DecodingError("lea requires a memory operand")
+    return Instr("lea", register_by_code(reg_field), rm)
+
+
+def _decode_pop_rm(cursor):
+    reg_field, rm = _decode_modrm(cursor)
+    if reg_field != 0:
+        raise DecodingError(f"unsupported 8F extension /{reg_field}")
+    return Instr("pop", rm)
+
+
+def _decode_shift(opcode):
+    def handler(cursor):
+        reg_field, rm = _decode_modrm(cursor)
+        if reg_field not in _SHIFT_BY_EXT:
+            raise DecodingError(
+                f"unsupported shift extension /{reg_field}")
+        mnemonic = _SHIFT_BY_EXT[reg_field]
+        if opcode == 0xC1:
+            return Instr(mnemonic, rm, Imm(cursor.u8()))
+        if opcode == 0xD1:
+            return Instr(mnemonic, rm, Imm(1))
+        return Instr(mnemonic, rm, ECX)
+    return handler
+
+
+def _decode_mov_rm_imm(cursor):
+    reg_field, rm = _decode_modrm(cursor)
+    if reg_field != 0:
+        raise DecodingError(f"unsupported C7 extension /{reg_field}")
+    return Instr("mov", rm, Imm(cursor.s32()))
+
+
+def _decode_imul_imm(cursor):
+    reg_field, rm = _decode_modrm(cursor)
+    return Instr("imul", register_by_code(reg_field), rm,
+                 Imm(cursor.s32()))
+
+
+def _decode_f7(cursor):
+    reg_field, rm = _decode_modrm(cursor)
+    if reg_field == 0:
+        return Instr("test", rm, Imm(cursor.s32()))
+    group = {2: "not", 3: "neg", 4: "mul", 7: "idiv"}
+    if reg_field in group:
+        return Instr(group[reg_field], rm)
+    raise DecodingError(f"unsupported F7 extension /{reg_field}")
+
+
+def _decode_ff(cursor):
+    reg_field, rm = _decode_modrm(cursor)
+    group = {0: "inc", 1: "dec", 2: "call_reg", 4: "jmp_reg", 6: "push"}
+    if reg_field in group:
+        return Instr(group[reg_field], rm)
+    raise DecodingError(f"unsupported FF extension /{reg_field}")
+
+
+def _build_dispatch_table():
+    table = [None] * 256
+    for base, mnemonic in _ALU_BY_BASE.items():
+        table[base + 1] = _alu_rm_r(mnemonic)
+        table[base + 3] = _alu_r_rm(mnemonic)
+        table[base + 5] = _alu_eax_imm(mnemonic)
+    for opcode in range(0x40, 0x48):
+        table[opcode] = _single_reg("inc", 0x40, opcode)
+    for opcode in range(0x48, 0x50):
+        table[opcode] = _single_reg("dec", 0x48, opcode)
+    for opcode in range(0x50, 0x58):
+        table[opcode] = _single_reg("push", 0x50, opcode)
+    for opcode in range(0x58, 0x60):
+        table[opcode] = _single_reg("pop", 0x58, opcode)
+    for opcode in range(0x70, 0x80):
+        table[opcode] = _jcc8(CONDITION_CODES[opcode - 0x70])
+    table[0x0F] = _decode_0f
+    table[0x68] = lambda c: Instr("push", Imm(c.s32()))
+    table[0x69] = _decode_imul_imm
+    table[0x6A] = lambda c: Instr("push", Imm(c.s8()))
+    table[0x81] = _decode_group_imm(0x81)
+    table[0x83] = _decode_group_imm(0x83)
+    table[0x85] = _decode_test_rm_r
+    table[0x87] = _decode_xchg_rm_r
+    table[0x89] = _decode_mov_rm_r
+    table[0x8B] = _decode_mov_r_rm
+    table[0x8D] = _decode_lea
+    table[0x8F] = _decode_pop_rm
+    table[0x90] = lambda _c: Instr("nop")
+    for opcode in range(0x91, 0x98):
+        register = register_by_code(opcode - 0x90)
+        table[opcode] = (lambda reg: lambda _c:
+                         Instr("xchg", EAX, reg))(register)
+    table[0x99] = lambda _c: Instr("cdq")
+    table[0xA9] = lambda c: Instr("test", EAX, Imm(c.s32()))
+    for opcode in range(0xB8, 0xC0):
+        register = register_by_code(opcode - 0xB8)
+        table[opcode] = (lambda reg: lambda c:
+                         Instr("mov", reg, Imm(c.s32())))(register)
+    table[0xC1] = _decode_shift(0xC1)
+    table[0xC2] = lambda c: Instr("ret", Imm(c.u16()))
+    table[0xC3] = lambda _c: Instr("ret")
+    table[0xC7] = _decode_mov_rm_imm
+    table[0xCD] = lambda c: Instr("int", Imm(c.u8()))
+    table[0xD1] = _decode_shift(0xD1)
+    table[0xD3] = _decode_shift(0xD3)
+    table[0xE8] = lambda c: Instr("call", Rel(c.s32(), 32))
+    table[0xE9] = lambda c: Instr("jmp", Rel(c.s32(), 32))
+    table[0xEB] = lambda c: Instr("jmp", Rel(c.s8(), 8))
+    table[0xF4] = lambda _c: Instr("hlt")
+    table[0xF7] = _decode_f7
+    table[0xFF] = _decode_ff
+    return table
+
+
+_DISPATCH = _build_dispatch_table()
+
+
+def _decode_one(cursor):
+    opcode = cursor.u8()
+    handler = _DISPATCH[opcode]
+    if handler is None:
+        raise DecodingError(f"unsupported opcode {opcode:#04x}")
+    return handler(cursor)
+
+
+def decode(data, offset=0):
+    """Decode one instruction starting at ``offset``.
+
+    Returns an :class:`Instr` with ``size`` and ``encoding`` populated.
+    Raises :class:`~repro.errors.DecodingError` on invalid or truncated
+    bytes.
+    """
+    cursor = _Cursor(data, offset)
+    instr = _decode_one(cursor)
+    instr.size = cursor.position - cursor.start
+    instr.encoding = bytes(data[cursor.start:cursor.position])
+    return instr
+
+
+def try_decode(data, offset=0):
+    """Like :func:`decode` but returns ``None`` on invalid bytes."""
+    # Fast path: an unsupported (or out-of-range) first opcode byte
+    # needs no exception machinery. Gadget scans hit this constantly —
+    # e.g. the 0x00 bytes of small immediates.
+    if offset >= len(data) or _DISPATCH[data[offset]] is None:
+        return None
+    try:
+        return decode(data, offset)
+    except DecodingError:
+        return None
+
+
+def decode_all(data, offset=0, end=None):
+    """Linear-sweep decode of ``data[offset:end]`` into an instruction list.
+
+    Raises if any byte position does not start a valid instruction, so this
+    is only appropriate for byte streams produced by our own emitter.
+    """
+    if end is None:
+        end = len(data)
+    instructions = []
+    position = offset
+    while position < end:
+        instr = decode(data, position)
+        instructions.append(instr)
+        position += instr.size
+    return instructions

@@ -1,0 +1,407 @@
+"""Encode :class:`~repro.x86.instructions.Instr` objects to IA-32 bytes.
+
+The encoder covers exactly the instruction forms the compiler backend emits
+(plus the Table-1 NOP candidates). Branch instructions must already carry
+resolved :class:`~repro.x86.instructions.Rel` operands; encountering a
+:class:`~repro.x86.instructions.Label` here is a programming error in the
+emitter and raises :class:`~repro.errors.EncodingError`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import EncodingError
+from repro.x86.instructions import (
+    Imm, JCC_MNEMONICS, Label, Mem, Rel, SETCC_MNEMONICS,
+)
+from repro.x86.registers import Register
+
+_U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+
+
+def _imm8(value):
+    if not -128 <= value <= 255:
+        raise EncodingError(f"immediate {value} does not fit in 8 bits")
+    return bytes([value & 0xFF])
+
+
+def _imm16(value):
+    if not -0x8000 <= value <= 0xFFFF:
+        raise EncodingError(f"immediate {value} does not fit in 16 bits")
+    return _U16.pack(value & 0xFFFF)
+
+
+def _imm32(value):
+    if not -0x8000_0000 <= value <= 0xFFFF_FFFF:
+        raise EncodingError(f"immediate {value} does not fit in 32 bits")
+    return _U32.pack(value & 0xFFFF_FFFF)
+
+
+def _fits_imm8(value):
+    return -128 <= value <= 127
+
+
+def _modrm(mod, reg, rm):
+    return bytes([(mod << 6) | ((reg & 7) << 3) | (rm & 7)])
+
+
+def _sib(scale, index, base):
+    scale_bits = {1: 0, 2: 1, 4: 2, 8: 3}[scale]
+    return bytes([(scale_bits << 6) | ((index & 7) << 3) | (base & 7)])
+
+
+def encode_rm(reg_field, rm_operand):
+    """Encode the ModRM (+SIB, +disp) bytes for one r/m operand.
+
+    ``reg_field`` is the 3-bit value for the ModRM ``reg`` field (either a
+    register number or an opcode extension). ``rm_operand`` is a
+    :class:`Register` or :class:`Mem`.
+    """
+    if isinstance(rm_operand, Register):
+        return _modrm(0b11, reg_field, rm_operand.code)
+    if not isinstance(rm_operand, Mem):
+        raise EncodingError(f"invalid r/m operand {rm_operand!r}")
+    mem = rm_operand
+    if mem.symbol is not None:
+        raise EncodingError(
+            f"unresolved data symbol {mem.symbol!r}; the linker must "
+            "rewrite symbolic memory operands before encoding")
+    disp = mem.disp
+
+    if mem.base is None and mem.index is None:
+        # Absolute: mod=00, rm=101, disp32.
+        return _modrm(0b00, reg_field, 0b101) + _imm32(disp)
+
+    if mem.index is None and mem.base is not None and mem.base.code != 0b100:
+        base = mem.base.code
+        # [EBP] with mod=00 means disp32-absolute, so EBP forces a disp8.
+        if disp == 0 and base != 0b101:
+            return _modrm(0b00, reg_field, base)
+        if _fits_imm8(disp):
+            return _modrm(0b01, reg_field, base) + _imm8(disp)
+        return _modrm(0b10, reg_field, base) + _imm32(disp)
+
+    # Everything else requires a SIB byte (ESP base, or an index register).
+    index_code = 0b100 if mem.index is None else mem.index.code
+    if mem.base is None:
+        # SIB with base=101 and mod=00: [index*scale + disp32].
+        sib = _sib(mem.scale, index_code, 0b101)
+        return _modrm(0b00, reg_field, 0b100) + sib + _imm32(disp)
+    base = mem.base.code
+    sib = _sib(mem.scale, index_code, base)
+    if disp == 0 and base != 0b101:
+        return _modrm(0b00, reg_field, 0b100) + sib
+    if _fits_imm8(disp):
+        return _modrm(0b01, reg_field, 0b100) + sib + _imm8(disp)
+    return _modrm(0b10, reg_field, 0b100) + sib + _imm32(disp)
+
+
+# ALU instructions with the regular 8-opcode pattern. Values are
+# (base opcode, opcode-extension for the 81/83 immediate forms).
+_ALU_OPS = {
+    "add": (0x00, 0),
+    "or": (0x08, 1),
+    "and": (0x20, 4),
+    "sub": (0x28, 5),
+    "xor": (0x30, 6),
+    "cmp": (0x38, 7),
+}
+
+# Shift/rotate opcode extensions for the C1/D1/D3 groups.
+_SHIFT_OPS = {"rol": 0, "ror": 1, "shl": 4, "shr": 5, "sar": 7}
+
+
+def _encode_alu(mnemonic, operands, alternate=False):
+    base, ext = _ALU_OPS[mnemonic]
+    if len(operands) != 2:
+        raise EncodingError(f"{mnemonic} takes 2 operands, got {len(operands)}")
+    dst, src = operands
+    if isinstance(src, Imm):
+        if not isinstance(dst, (Register, Mem)):
+            raise EncodingError(f"bad {mnemonic} destination {dst!r}")
+        if _fits_imm8(src.value):
+            return bytes([0x83]) + encode_rm(ext, dst) + _imm8(src.value)
+        return bytes([0x81]) + encode_rm(ext, dst) + _imm32(src.value)
+    if isinstance(dst, Register) and isinstance(src, Mem):
+        return bytes([base + 0x03]) + encode_rm(dst.code, src)
+    if isinstance(dst, (Register, Mem)) and isinstance(src, Register):
+        if alternate and isinstance(dst, Register):
+            # The dual ModRM direction: op r, r/m with mod=11 encodes the
+            # same architectural operation in different bytes.
+            return bytes([base + 0x03]) + encode_rm(dst.code, src)
+        return bytes([base + 0x01]) + encode_rm(src.code, dst)
+    raise EncodingError(f"unsupported {mnemonic} operands {operands!r}")
+
+
+def _encode_mov(operands, alternate=False):
+    dst, src = operands
+    if isinstance(dst, Register) and isinstance(src, Register):
+        if alternate:
+            return bytes([0x8B]) + encode_rm(dst.code, src)
+        return bytes([0x89]) + encode_rm(src.code, dst)
+    if isinstance(dst, Register) and isinstance(src, Imm):
+        return bytes([0xB8 + dst.code]) + _imm32(src.value)
+    if isinstance(dst, Register) and isinstance(src, Mem):
+        return bytes([0x8B]) + encode_rm(dst.code, src)
+    if isinstance(dst, Mem) and isinstance(src, Register):
+        return bytes([0x89]) + encode_rm(src.code, dst)
+    if isinstance(dst, Mem) and isinstance(src, Imm):
+        return bytes([0xC7]) + encode_rm(0, dst) + _imm32(src.value)
+    raise EncodingError(f"unsupported mov operands {operands!r}")
+
+
+def _encode_shift(mnemonic, operands):
+    ext = _SHIFT_OPS[mnemonic]
+    dst, count = operands
+    if isinstance(count, Imm):
+        if count.value == 1:
+            return bytes([0xD1]) + encode_rm(ext, dst)
+        return bytes([0xC1]) + encode_rm(ext, dst) + _imm8(count.value)
+    if isinstance(count, Register):
+        if count.name != "ecx":
+            raise EncodingError("variable shift count must be in ECX (CL)")
+        return bytes([0xD3]) + encode_rm(ext, dst)
+    raise EncodingError(f"unsupported {mnemonic} count {count!r}")
+
+
+def _encode_relative(mnemonic, operand):
+    if isinstance(operand, Label):
+        raise EncodingError(
+            f"unresolved label {operand.name!r} in {mnemonic}; run layout first")
+    if not isinstance(operand, Rel):
+        raise EncodingError(f"{mnemonic} target must be Rel, got {operand!r}")
+    if mnemonic == "call":
+        if operand.width != 32:
+            raise EncodingError("call only supports rel32")
+        return bytes([0xE8]) + _imm32(operand.value)
+    if mnemonic == "jmp":
+        if operand.width == 8:
+            return bytes([0xEB]) + _imm8(operand.value)
+        return bytes([0xE9]) + _imm32(operand.value)
+    condition = JCC_MNEMONICS[mnemonic]
+    if operand.width == 8:
+        return bytes([0x70 + condition]) + _imm8(operand.value)
+    return bytes([0x0F, 0x80 + condition]) + _imm32(operand.value)
+
+
+def encode(instr):
+    """Encode one instruction; returns its bytes.
+
+    Raises :class:`~repro.errors.EncodingError` for unsupported forms or
+    unresolved operands.
+    """
+    mnemonic = instr.mnemonic
+    ops = instr.operands
+    alternate = instr.alternate_encoding
+
+    if mnemonic in _ALU_OPS:
+        return _encode_alu(mnemonic, ops, alternate)
+    if mnemonic in _SHIFT_OPS:
+        return _encode_shift(mnemonic, ops)
+    if mnemonic in SETCC_MNEMONICS:
+        (op,) = ops
+        if isinstance(op, Register) and op.code > 3:
+            raise EncodingError(f"{mnemonic} needs a byte register "
+                                f"(AL/CL/DL/BL), got {op!r}")
+        condition = SETCC_MNEMONICS[mnemonic]
+        return bytes([0x0F, 0x90 + condition]) + encode_rm(0, op)
+    if mnemonic in JCC_MNEMONICS or mnemonic in ("jmp", "call"):
+        if len(ops) != 1:
+            raise EncodingError(f"{mnemonic} takes one target operand")
+        return _encode_relative(mnemonic, ops[0])
+
+    if mnemonic == "mov":
+        return _encode_mov(ops, alternate)
+    if mnemonic == "lea":
+        dst, src = ops
+        if not isinstance(dst, Register) or not isinstance(src, Mem):
+            raise EncodingError(f"unsupported lea operands {ops!r}")
+        return bytes([0x8D]) + encode_rm(dst.code, src)
+    if mnemonic == "xchg":
+        dst, src = ops
+        if isinstance(dst, (Register, Mem)) and isinstance(src, Register):
+            return bytes([0x87]) + encode_rm(src.code, dst)
+        raise EncodingError(f"unsupported xchg operands {ops!r}")
+    if mnemonic == "test":
+        dst, src = ops
+        if isinstance(src, Register):
+            return bytes([0x85]) + encode_rm(src.code, dst)
+        if isinstance(src, Imm):
+            return bytes([0xF7]) + encode_rm(0, dst) + _imm32(src.value)
+        raise EncodingError(f"unsupported test operands {ops!r}")
+    if mnemonic == "push":
+        (op,) = ops
+        if isinstance(op, Register):
+            return bytes([0x50 + op.code])
+        if isinstance(op, Imm):
+            if _fits_imm8(op.value):
+                return bytes([0x6A]) + _imm8(op.value)
+            return bytes([0x68]) + _imm32(op.value)
+        if isinstance(op, Mem):
+            return bytes([0xFF]) + encode_rm(6, op)
+        raise EncodingError(f"unsupported push operand {op!r}")
+    if mnemonic == "pop":
+        (op,) = ops
+        if isinstance(op, Register):
+            return bytes([0x58 + op.code])
+        if isinstance(op, Mem):
+            return bytes([0x8F]) + encode_rm(0, op)
+        raise EncodingError(f"unsupported pop operand {op!r}")
+    if mnemonic == "inc":
+        (op,) = ops
+        if isinstance(op, Register):
+            return bytes([0x40 + op.code])
+        return bytes([0xFF]) + encode_rm(0, op)
+    if mnemonic == "dec":
+        (op,) = ops
+        if isinstance(op, Register):
+            return bytes([0x48 + op.code])
+        return bytes([0xFF]) + encode_rm(1, op)
+    if mnemonic == "neg":
+        return bytes([0xF7]) + encode_rm(3, ops[0])
+    if mnemonic == "not":
+        return bytes([0xF7]) + encode_rm(2, ops[0])
+    if mnemonic == "mul":
+        return bytes([0xF7]) + encode_rm(4, ops[0])
+    if mnemonic == "idiv":
+        return bytes([0xF7]) + encode_rm(7, ops[0])
+    if mnemonic == "imul":
+        if len(ops) == 2:
+            dst, src = ops
+            if not isinstance(dst, Register):
+                raise EncodingError("imul destination must be a register")
+            return bytes([0x0F, 0xAF]) + encode_rm(dst.code, src)
+        if len(ops) == 3:
+            dst, src, imm = ops
+            if not isinstance(imm, Imm):
+                raise EncodingError("3-operand imul needs an immediate")
+            return bytes([0x69]) + encode_rm(dst.code, src) + _imm32(imm.value)
+        raise EncodingError(f"unsupported imul operands {ops!r}")
+    if mnemonic == "cdq":
+        return b"\x99"
+    if mnemonic == "ret":
+        if not ops:
+            return b"\xC3"
+        (imm,) = ops
+        return b"\xC2" + _imm16(imm.value)
+    if mnemonic == "call_reg":
+        return bytes([0xFF]) + encode_rm(2, ops[0])
+    if mnemonic == "jmp_reg":
+        return bytes([0xFF]) + encode_rm(4, ops[0])
+    if mnemonic == "int":
+        return b"\xCD" + _imm8(ops[0].value)
+    if mnemonic == "nop":
+        return b"\x90"
+    if mnemonic == "hlt":
+        return b"\xF4"
+
+    raise EncodingError(f"unknown mnemonic {mnemonic!r}")
+
+
+def encoded_length(instr):
+    """Length in bytes of the encoding of ``instr``."""
+    if instr.encoding is not None:
+        return len(instr.encoding)
+    return len(encode(instr))
+
+
+def _rm_length(rm_operand, force_disp32=False):
+    """Bytes used by ModRM (+SIB, +disp) for one r/m operand."""
+    if isinstance(rm_operand, Register):
+        return 1
+    mem = rm_operand
+    disp = mem.disp
+    if force_disp32 or mem.symbol is not None:
+        disp = 0x0800_0000  # resolved addresses always need disp32
+    if mem.base is None and mem.index is None:
+        return 5  # modrm + disp32
+    if mem.index is None and mem.base is not None and mem.base.code != 4:
+        if disp == 0 and mem.base.code != 5:
+            return 1
+        return 2 if _fits_imm8(disp) else 5
+    # SIB forms.
+    if mem.base is None:
+        return 6  # modrm + sib + disp32
+    if disp == 0 and mem.base.code != 5:
+        return 2
+    return 3 if _fits_imm8(disp) else 6
+
+
+def instruction_size(instr):
+    """Analytic encoded size (no byte materialization).
+
+    Matches :func:`encode` exactly for every supported form; the linker
+    cross-checks the two at final emission, so any drift is caught, not
+    silently miscompiled. Branch instructions are not supported here —
+    their size depends on the relaxation width, which the linker owns.
+    """
+    mnemonic = instr.mnemonic
+    ops = instr.operands
+
+    if mnemonic in _ALU_OPS:
+        dst, src = ops
+        if isinstance(src, Imm):
+            return 1 + _rm_length(dst) + (1 if _fits_imm8(src.value)
+                                          else 4)
+        if isinstance(dst, Register) and isinstance(src, Mem):
+            return 1 + _rm_length(src)
+        return 1 + _rm_length(dst)
+    if mnemonic in _SHIFT_OPS:
+        dst, count = ops
+        if isinstance(count, Imm):
+            return (1 + _rm_length(dst)) + (0 if count.value == 1 else 1)
+        return 1 + _rm_length(dst)
+    if mnemonic == "mov":
+        dst, src = ops
+        if isinstance(dst, Register) and isinstance(src, Register):
+            return 2
+        if isinstance(dst, Register) and isinstance(src, Imm):
+            return 5
+        if isinstance(dst, Register) and isinstance(src, Mem):
+            return 1 + _rm_length(src)
+        if isinstance(dst, Mem) and isinstance(src, Register):
+            return 1 + _rm_length(dst)
+        return 1 + _rm_length(dst) + 4  # mem, imm32
+    if mnemonic == "lea":
+        return 1 + _rm_length(ops[1])
+    if mnemonic == "xchg":
+        return 1 + _rm_length(ops[0])
+    if mnemonic == "test":
+        dst, src = ops
+        if isinstance(src, Register):
+            return 1 + _rm_length(dst)
+        return 1 + _rm_length(dst) + 4
+    if mnemonic == "push":
+        (op,) = ops
+        if isinstance(op, Register):
+            return 1
+        if isinstance(op, Imm):
+            return 2 if _fits_imm8(op.value) else 5
+        return 1 + _rm_length(op)
+    if mnemonic == "pop":
+        (op,) = ops
+        return 1 if isinstance(op, Register) else 1 + _rm_length(op)
+    if mnemonic in ("inc", "dec"):
+        (op,) = ops
+        return 1 if isinstance(op, Register) else 1 + _rm_length(op)
+    if mnemonic in ("neg", "not", "mul", "idiv"):
+        return 1 + _rm_length(ops[0])
+    if mnemonic == "imul":
+        if len(ops) == 2:
+            return 2 + _rm_length(ops[1])
+        return 1 + _rm_length(ops[1]) + 4
+    if mnemonic in SETCC_MNEMONICS:
+        return 2 + _rm_length(ops[0])
+    if mnemonic == "cdq":
+        return 1
+    if mnemonic == "ret":
+        return 1 if not ops else 3
+    if mnemonic in ("call_reg", "jmp_reg"):
+        return 1 + _rm_length(ops[0])
+    if mnemonic == "int":
+        return 2
+    if mnemonic in ("nop", "hlt"):
+        return 1
+    raise EncodingError(f"no analytic size for {mnemonic!r}")

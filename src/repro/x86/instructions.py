@@ -1,0 +1,192 @@
+"""Operand and instruction classes for the x86-32 subset.
+
+These classes are the common currency between the compiler backend (which
+builds instruction lists with :class:`Label` branch targets), the encoder
+(which requires resolved :class:`Rel` displacements), the decoder and the
+simulator.
+
+Operand kinds:
+
+- :class:`~repro.x86.registers.Register` — a GPR.
+- :class:`Imm` — an immediate value (always stored as a signed Python int).
+- :class:`Mem` — a memory reference ``[base + index*scale + disp]``.
+- :class:`Label` — a symbolic branch/call target; must be resolved to a
+  :class:`Rel` before encoding.
+- :class:`Rel` — a resolved PC-relative displacement with an explicit
+  encoding width (8 or 32 bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.x86.registers import Register
+
+#: Condition codes in IA-32 encoding order (the low nibble of 0F 8x / 7x).
+CONDITION_CODES = (
+    "o", "no", "b", "ae", "e", "ne", "be", "a",
+    "s", "ns", "p", "np", "l", "ge", "le", "g",
+)
+
+#: Jcc mnemonics, e.g. ``"je"`` -> condition number 4.
+JCC_MNEMONICS = {"j" + cc: number for number, cc in enumerate(CONDITION_CODES)}
+
+#: SETcc mnemonics, e.g. ``"sete"`` -> condition number 4. The operand is a
+#: register whose *low byte* receives the flag (only EAX..EBX have byte
+#: forms, so the backend only ever emits AL).
+SETCC_MNEMONICS = {"set" + cc: number
+                   for number, cc in enumerate(CONDITION_CODES)}
+
+#: Mnemonics that transfer control via a PC-relative displacement.
+RELATIVE_BRANCH_MNEMONICS = frozenset({"jmp", "call"} | set(JCC_MNEMONICS))
+
+#: Mnemonics that end a gadget ("free branches" in the paper's terminology):
+#: the attacker controls where execution goes next.
+FREE_BRANCH_MNEMONICS = frozenset({"ret", "jmp_reg", "call_reg"})
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand. ``value`` is a signed integer."""
+
+    value: int
+
+    def __repr__(self):
+        return f"Imm({self.value:#x})" if abs(self.value) > 9 else f"Imm({self.value})"
+
+
+@dataclass(frozen=True)
+class Rel:
+    """A resolved PC-relative displacement.
+
+    ``value`` is relative to the end of the instruction. ``width`` is the
+    number of bits used to encode it (8 or 32).
+    """
+
+    value: int
+    width: int = 32
+
+    def __post_init__(self):
+        if self.width not in (8, 32):
+            raise ValueError(f"invalid relative-branch width {self.width}")
+
+    def __repr__(self):
+        return f"Rel({self.value:+#x}, {self.width})"
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic code location, resolved by the emitter/linker."""
+
+    name: str
+
+    def __repr__(self):
+        return f"Label({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand ``[base + index*scale + disp]``.
+
+    Any of ``base`` and ``index`` may be ``None``. ``scale`` must be one of
+    1, 2, 4, 8. ``symbol``, when set, names a data symbol whose address the
+    linker adds to ``disp`` (our object format's one relocation kind).
+    """
+
+    base: Register | None = None
+    index: Register | None = None
+    scale: int = 1
+    disp: int = 0
+    symbol: str | None = None
+
+    def __post_init__(self):
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid scale {self.scale}")
+        if self.index is not None and self.index.name == "esp":
+            raise ValueError("ESP cannot be an index register")
+
+    def __repr__(self):
+        parts = []
+        if self.symbol:
+            parts.append(self.symbol)
+        if self.base is not None:
+            parts.append(self.base.name)
+        if self.index is not None:
+            parts.append(f"{self.index.name}*{self.scale}")
+        if self.disp or not parts:
+            parts.append(f"{self.disp:#x}")
+        return "Mem[" + "+".join(parts) + "]"
+
+
+@dataclass
+class Instr:
+    """One machine instruction.
+
+    ``mnemonic`` is a lower-case string. Indirect branches use the distinct
+    mnemonics ``jmp_reg`` / ``call_reg`` so that the free-branch set is a
+    property of the mnemonic alone. ``size`` and ``encoding`` are filled in
+    by the decoder (and by the emitter after layout); they are ``None`` on
+    freshly built instructions.
+    """
+
+    mnemonic: str
+    operands: tuple = ()
+    size: int | None = None
+    encoding: bytes | None = None
+    #: Backend bookkeeping: the IR basic block this instruction was lowered
+    #: from. The NOP-insertion pass uses it to look up execution counts.
+    block_id: object = field(default=None, compare=False)
+    #: True if this instruction was inserted by the diversifier.
+    is_inserted_nop: bool = field(default=False, compare=False)
+    #: Use the dual ModRM direction when encoding (mov/ALU reg,reg have
+    #: two byte-identical-semantics encodings; the equivalent-encoding
+    #: substitution pass flips this).
+    alternate_encoding: bool = field(default=False, compare=False)
+
+    def __init__(self, mnemonic, *operands, size=None, encoding=None,
+                 block_id=None, is_inserted_nop=False,
+                 alternate_encoding=False):
+        self.mnemonic = mnemonic
+        self.operands = tuple(operands)
+        self.size = size
+        self.encoding = encoding
+        self.block_id = block_id
+        self.is_inserted_nop = is_inserted_nop
+        self.alternate_encoding = alternate_encoding
+
+    def __eq__(self, other):
+        if not isinstance(other, Instr):
+            return NotImplemented
+        return (self.mnemonic == other.mnemonic
+                and self.operands == other.operands)
+
+    def __hash__(self):
+        return hash((self.mnemonic, self.operands))
+
+    @property
+    def is_relative_branch(self):
+        """True for jmp/call/Jcc with a PC-relative target."""
+        return self.mnemonic in RELATIVE_BRANCH_MNEMONICS
+
+    @property
+    def is_free_branch(self):
+        """True for instructions that end a ROP gadget."""
+        return self.mnemonic in FREE_BRANCH_MNEMONICS
+
+    @property
+    def is_control_flow(self):
+        """True for any instruction that redirects execution."""
+        return (self.is_relative_branch or self.is_free_branch
+                or self.mnemonic == "int")
+
+    def with_operands(self, *operands):
+        """Return a copy of this instruction with different operands."""
+        clone = Instr(self.mnemonic, *operands, block_id=self.block_id,
+                      is_inserted_nop=self.is_inserted_nop)
+        return clone
+
+    def __repr__(self):
+        if not self.operands:
+            return f"<{self.mnemonic}>"
+        ops = ", ".join(repr(op) for op in self.operands)
+        return f"<{self.mnemonic} {ops}>"

@@ -1,0 +1,139 @@
+"""NOP candidate instructions (Table 1 of the paper).
+
+The paper selects NOP encodings that (a) preserve the entire processor
+state, including flags, and (b) minimize the likelihood of creating new
+gadgets: for the two-byte candidates the *second* byte, decoded on its own,
+is an instruction the attacker cannot use (``IN`` faults in user mode,
+``SS:`` is a segment-override prefix, ``AAS`` is a harmless ASCII-adjust).
+
+The two XCHG-based candidates are architecturally perfect NOPs but lock the
+memory bus on real implementations of x86 (Intel SDM), so the paper leaves
+them out of the default set; we model that with a higher simulator cost and
+keep them behind a flag, exactly as the paper's compile-time option.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.x86.instructions import Instr, Mem
+from repro.x86.registers import EBP, EDI, ESI, ESP
+
+
+@dataclass(frozen=True)
+class NopCandidate:
+    """One row of the paper's Table 1."""
+
+    name: str
+    encoding: bytes
+    #: What the second byte of the encoding decodes to on its own (the
+    #: paper's "Second Byte Decoding" column); ``None`` for 1-byte NOPs.
+    second_byte_decoding: str | None
+    #: True for the XCHG-based candidates, which lock the memory bus.
+    locks_bus: bool
+
+    @property
+    def size(self):
+        return len(self.encoding)
+
+    def to_instr(self):
+        """Build a fresh :class:`Instr` for this candidate."""
+        mnemonic, operands = _CANDIDATE_INSTRS[self.name]
+        instr = Instr(mnemonic, *operands, is_inserted_nop=True)
+        instr.size = self.size
+        instr.encoding = self.encoding
+        return instr
+
+
+_CANDIDATE_INSTRS = {
+    "nop": ("nop", ()),
+    "mov esp, esp": ("mov", (ESP, ESP)),
+    "mov ebp, ebp": ("mov", (EBP, EBP)),
+    "lea esi, [esi]": ("lea", (ESI, Mem(base=ESI))),
+    "lea edi, [edi]": ("lea", (EDI, Mem(base=EDI))),
+    "xchg esp, esp": ("xchg", (ESP, ESP)),
+    "xchg ebp, ebp": ("xchg", (EBP, EBP)),
+}
+
+
+#: All seven candidates from Table 1, in the paper's order.
+NOP_CANDIDATES = (
+    NopCandidate("nop", b"\x90", None, locks_bus=False),
+    NopCandidate("mov esp, esp", b"\x89\xe4", "IN", locks_bus=False),
+    NopCandidate("mov ebp, ebp", b"\x89\xed", "IN", locks_bus=False),
+    NopCandidate("lea esi, [esi]", b"\x8d\x36", "SS:", locks_bus=False),
+    NopCandidate("lea edi, [edi]", b"\x8d\x3f", "AAS", locks_bus=False),
+    NopCandidate("xchg esp, esp", b"\x87\xe4", "IN", locks_bus=True),
+    NopCandidate("xchg ebp, ebp", b"\x87\xed", "IN", locks_bus=True),
+)
+
+#: The five candidates the paper's implementation actually inserts.
+DEFAULT_NOP_CANDIDATES = tuple(c for c in NOP_CANDIDATES if not c.locks_bus)
+
+#: The two bus-locking candidates, available behind a compile-time flag.
+XCHG_NOP_CANDIDATES = tuple(c for c in NOP_CANDIDATES if c.locks_bus)
+
+_CANDIDATE_ENCODINGS = {c.encoding: c for c in NOP_CANDIDATES}
+
+#: Longest candidate encoding, used by normalization scans.
+MAX_NOP_CANDIDATE_SIZE = max(c.size for c in NOP_CANDIDATES)
+
+
+def candidate_by_name(name):
+    """Return the candidate with the given Table-1 name."""
+    for candidate in NOP_CANDIDATES:
+        if candidate.name == name:
+            return candidate
+    raise KeyError(name)
+
+
+def match_nop_candidate(data, offset=0):
+    """Return the :class:`NopCandidate` whose encoding starts at ``offset``
+    in ``data``, or ``None``.
+
+    Longer encodings are preferred so that ``89 e4`` matches
+    ``mov esp, esp`` rather than stopping after one byte.
+    """
+    for size in range(MAX_NOP_CANDIDATE_SIZE, 0, -1):
+        chunk = bytes(data[offset:offset + size])
+        candidate = _CANDIDATE_ENCODINGS.get(chunk)
+        if candidate is not None:
+            return candidate
+    return None
+
+
+def is_nop_candidate_bytes(chunk):
+    """True if ``chunk`` is exactly one NOP-candidate encoding."""
+    return bytes(chunk) in _CANDIDATE_ENCODINGS
+
+
+def is_nop_candidate_instr(instr):
+    """True if a decoded/built instruction is one of the Table-1 NOPs."""
+    if instr.encoding is not None:
+        return bytes(instr.encoding) in _CANDIDATE_ENCODINGS
+    for candidate in NOP_CANDIDATES:
+        mnemonic, operands = _CANDIDATE_INSTRS[candidate.name]
+        if instr.mnemonic == mnemonic and instr.operands == operands:
+            return True
+    return False
+
+
+def strip_nop_candidates(data):
+    """Remove every NOP-candidate encoding from a byte string.
+
+    This is the normalization step of the Survivor algorithm: because any
+    byte sequence that *looks like* an inserted NOP is removed (whether or
+    not the diversifier actually put it there), comparisons made after
+    stripping conservatively overestimate gadget survival.
+    """
+    out = bytearray()
+    position = 0
+    data = bytes(data)
+    while position < len(data):
+        candidate = match_nop_candidate(data, position)
+        if candidate is not None:
+            position += candidate.size
+        else:
+            out.append(data[position])
+            position += 1
+    return bytes(out)

@@ -1,0 +1,51 @@
+"""The eight IA-32 general-purpose registers.
+
+Register objects are interned: there is exactly one :class:`Register`
+instance per architectural register, so identity comparison is safe and
+they can be used as dictionary keys throughout the backend and simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Register:
+    """A 32-bit general-purpose register.
+
+    Attributes:
+        name: canonical lower-case mnemonic, e.g. ``"eax"``.
+        code: the 3-bit register number used in ModRM/SIB encodings.
+    """
+
+    name: str
+    code: int
+
+    def __repr__(self):
+        return self.name.upper()
+
+
+EAX = Register("eax", 0)
+ECX = Register("ecx", 1)
+EDX = Register("edx", 2)
+EBX = Register("ebx", 3)
+ESP = Register("esp", 4)
+EBP = Register("ebp", 5)
+ESI = Register("esi", 6)
+EDI = Register("edi", 7)
+
+#: All general-purpose registers, indexed by their encoding number.
+GPR_REGISTERS = (EAX, ECX, EDX, EBX, ESP, EBP, ESI, EDI)
+
+_BY_NAME = {reg.name: reg for reg in GPR_REGISTERS}
+
+
+def register_by_code(code):
+    """Return the register with the given 3-bit encoding number."""
+    return GPR_REGISTERS[code]
+
+
+def register_by_name(name):
+    """Return the register with the given (case-insensitive) name."""
+    return _BY_NAME[name.lower()]

@@ -1,0 +1,48 @@
+"""Property test: the analytic size calculator matches real encodings.
+
+The linker's layout engine uses :func:`instruction_size` instead of
+encoding every instruction (a major speedup); a mismatch would silently
+corrupt branch offsets, so the two are cross-checked exhaustively here
+(the linker also asserts equality at final emission).
+"""
+
+from hypothesis import given, settings
+
+from repro.x86.encoder import encode, instruction_size
+from tests.x86.test_roundtrip_property import (
+    alu_instructions, misc_instructions, mov_instructions,
+)
+
+
+@given(mov_instructions())
+@settings(max_examples=300)
+def test_mov_sizes_match(instr):
+    assert instruction_size(instr) == len(encode(instr))
+
+
+@given(alu_instructions())
+@settings(max_examples=300)
+def test_alu_sizes_match(instr):
+    assert instruction_size(instr) == len(encode(instr))
+
+
+@given(misc_instructions())
+@settings(max_examples=300)
+def test_misc_sizes_match(instr):
+    assert instruction_size(instr) == len(encode(instr))
+
+
+def test_alternate_encodings_keep_their_size():
+    from repro.x86.instructions import Instr
+    from repro.x86.registers import EAX, EBX
+    for mnemonic in ("mov", "add", "sub", "xor", "cmp", "and", "or"):
+        flipped = Instr(mnemonic, EBX, EAX, alternate_encoding=True)
+        assert instruction_size(flipped) == len(encode(flipped))
+
+
+def test_symbolic_memory_counts_as_disp32():
+    from repro.x86.instructions import Instr, Mem
+    from repro.x86.registers import EAX
+    instr = Instr("mov", EAX, Mem(symbol="table", disp=4))
+    # opcode + modrm + disp32
+    assert instruction_size(instr) == 6

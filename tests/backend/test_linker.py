@@ -1,0 +1,189 @@
+"""Linker tests: layout, relaxation, symbol resolution, error paths."""
+
+import pytest
+
+from repro.backend.linker import DEFAULT_TEXT_BASE, link
+from repro.backend.lowering import lower_module
+from repro.backend.objfile import FunctionCode, LabelDef, ObjectUnit
+from repro.errors import LinkError
+from repro.minc import compile_to_ir
+from repro.opt import optimize_module
+from repro.runtime.lib import runtime_unit
+from repro.x86.decoder import decode_all
+from repro.x86.instructions import Imm, Instr, Label, Mem
+from repro.x86.registers import EAX
+
+
+def build_units(source):
+    module = optimize_module(compile_to_ir(source))
+    return module, [runtime_unit(), lower_module(module, "prog")]
+
+
+SIMPLE = "int main() { print(7); return 0; }"
+
+
+class TestLayout:
+    def test_text_base_default(self):
+        _module, units = build_units(SIMPLE)
+        binary = link(units)
+        assert binary.text_base == DEFAULT_TEXT_BASE
+        assert binary.entry == binary.code_symbols["_start"]
+
+    def test_whole_text_is_decodable(self):
+        _module, units = build_units(SIMPLE)
+        binary = link(units)
+        instrs = decode_all(binary.text)
+        assert sum(i.size for i in instrs) == len(binary.text)
+
+    def test_records_match_text_bytes(self):
+        _module, units = build_units(SIMPLE)
+        binary = link(units)
+        rebuilt = b"".join(record.instr.encoding
+                           for record in binary.instr_records)
+        assert rebuilt == binary.text
+
+    def test_function_ranges_partition_text(self):
+        _module, units = build_units(
+            "int f() { return 1; } int main() { return f(); }")
+        binary = link(units)
+        ranges = sorted(binary.function_ranges.values())
+        assert ranges[0][0] == binary.text_base
+        for (start_a, end_a), (start_b, _end_b) in zip(ranges, ranges[1:]):
+            assert end_a == start_b
+        assert ranges[-1][1] == binary.text_end
+
+    def test_data_symbols_after_text(self):
+        _module, units = build_units(
+            "int a[8] = {5}; int main() { return a[0]; }")
+        binary = link(units)
+        assert binary.data_base >= binary.text_end
+        assert binary.data_symbols["a"] >= binary.data_base
+        assert binary.data_words[binary.data_symbols["a"]] == 5
+
+    def test_linking_twice_is_identical(self):
+        _module, units = build_units(SIMPLE)
+        first = link(units)
+        second = link(units)
+        assert first.text == second.text
+
+
+class TestRelaxation:
+    def test_short_branches_use_rel8(self):
+        source = """
+        int main() {
+          int x = input();
+          if (x) { print(1); } else { print(2); }
+          return 0;
+        }
+        """
+        _module, units = build_units(source)
+        binary = link(units)
+        sizes = {record.instr.size for record in binary.instr_records
+                 if record.mnemonic.startswith("j")}
+        assert 2 in sizes  # some branch relaxed to rel8
+
+    def test_long_distance_branch_widens(self):
+        # A function with a huge then-branch forces rel32 conditionals.
+        body = "\n".join(f"  acc += {i};" for i in range(200))
+        source = f"""
+        int main() {{
+          int acc = input();
+          if (acc > 0) {{
+        {body}
+          }}
+          print(acc);
+          return 0;
+        }}
+        """
+        _module, units = build_units(source)
+        binary = link(units)
+        conditional_sizes = {record.instr.size
+                             for record in binary.instr_records
+                             if record.mnemonic.startswith("j")
+                             and record.mnemonic not in ("jmp", "jmp_reg")}
+        assert 6 in conditional_sizes  # rel32 Jcc present
+
+    def test_relaxation_preserves_semantics(self):
+        body = "\n".join(f"  acc += {i};" for i in range(200))
+        source = f"""
+        int main() {{
+          int acc = input();
+          if (acc > 0) {{
+        {body}
+          }}
+          print(acc);
+          return 0;
+        }}
+        """
+        from repro.pipeline import ProgramBuild
+        from repro.sim.machine import run_binary
+        build = ProgramBuild(source, "wide")
+        binary = build.link_baseline()
+        reference = build.run_reference([1])
+        result = run_binary(binary, [1])
+        assert result.output == reference.output
+
+
+class TestErrors:
+    def test_duplicate_function_rejected(self):
+        unit_a = ObjectUnit("a")
+        unit_a.add_function(FunctionCode("f", [LabelDef("f"),
+                                               Instr("ret")]))
+        unit_b = ObjectUnit("b")
+        unit_b.add_function(FunctionCode("f", [LabelDef("f"),
+                                               Instr("ret")]))
+        with pytest.raises(LinkError):
+            link([unit_a, unit_b])
+
+    def test_undefined_label_rejected(self):
+        unit = ObjectUnit("a")
+        unit.add_function(FunctionCode("_start", [
+            LabelDef("_start"), Instr("jmp", Label("ghost")),
+        ]))
+        with pytest.raises(LinkError):
+            link([unit])
+
+    def test_undefined_data_symbol_rejected(self):
+        unit = ObjectUnit("a")
+        unit.add_function(FunctionCode("_start", [
+            LabelDef("_start"),
+            Instr("mov", EAX, Mem(symbol="ghost")),
+            Instr("ret"),
+        ]))
+        with pytest.raises(LinkError):
+            link([unit])
+
+    def test_missing_entry_rejected(self):
+        unit = ObjectUnit("a")
+        unit.add_function(FunctionCode("f", [LabelDef("f"),
+                                             Instr("ret")]))
+        with pytest.raises(LinkError):
+            link([unit])
+
+    def test_duplicate_data_symbol_rejected(self):
+        unit_a = ObjectUnit("a")
+        unit_a.data_symbols["d"] = [0]
+        unit_a.add_function(FunctionCode("_start", [LabelDef("_start"),
+                                                    Instr("ret")]))
+        unit_b = ObjectUnit("b")
+        unit_b.data_symbols["d"] = [0]
+        with pytest.raises(LinkError):
+            link([unit_a, unit_b])
+
+
+class TestLinkerImmutability:
+    def test_linking_does_not_mutate_input_lr(self):
+        module, units = build_units(SIMPLE)
+        program_unit = units[1]
+        before = [
+            (item.mnemonic, item.operands)
+            for fc in program_unit.functions
+            for item in fc.items if isinstance(item, Instr)
+        ]
+        link(units)
+        after = [
+            (item.mnemonic, item.operands)
+            for fc in program_unit.functions
+            for item in fc.items if isinstance(item, Instr)
+        ]
+        assert before == after

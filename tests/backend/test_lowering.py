@@ -1,0 +1,163 @@
+"""Lowering tests: calling convention, fusion, block tagging."""
+
+from repro.backend.lowering import lower_function, lower_module
+from repro.minc import compile_to_ir
+from repro.opt import optimize_module
+from repro.x86.instructions import Instr
+from repro.backend.objfile import LabelDef
+
+
+def lower(source):
+    module = optimize_module(compile_to_ir(source))
+    return module, lower_module(module, "prog")
+
+
+def instrs_of(unit, name):
+    return unit.function(name).instructions()
+
+
+def test_prologue_epilogue_shape():
+    _module, unit = lower("int main() { return 3; }")
+    instrs = instrs_of(unit, "main")
+    assert instrs[0].mnemonic == "push"   # push ebp
+    assert instrs[1].mnemonic == "mov"    # mov ebp, esp
+    assert instrs[-1].mnemonic == "ret"
+    assert instrs[-2].mnemonic == "pop"   # pop ebp
+
+
+def test_function_entry_label_is_first_item():
+    _module, unit = lower("int main() { return 3; }")
+    items = unit.function("main").items
+    assert isinstance(items[0], LabelDef)
+    assert items[0].name == "main"
+
+
+def test_every_instruction_carries_block_id():
+    _module, unit = lower("""
+    int f(int x) { if (x) { return 1; } return 2; }
+    int main() { return f(input()); }
+    """)
+    for function_code in unit.functions:
+        for instr in function_code.instructions():
+            assert instr.block_id is not None
+            assert instr.block_id[0] == function_code.name
+
+
+def test_compare_branch_fusion_avoids_setcc():
+    # A loop condition should fuse into cmp+jcc: no SETcc in the output.
+    _module, unit = lower("""
+    int main() {
+      int i;
+      int acc = 0;
+      for (i = 0; i < 10; i++) { acc += i; }
+      print(acc);
+      return 0;
+    }
+    """)
+    mnemonics = [i.mnemonic for i in instrs_of(unit, "main")]
+    assert not any(m.startswith("set") for m in mnemonics)
+    assert any(m in ("jl", "jge") for m in mnemonics)
+
+
+def test_unfused_comparison_materializes_with_setcc():
+    # The comparison result is stored, so it cannot fuse.
+    _module, unit = lower("""
+    int main() {
+      int a = input();
+      int flag = a < 5;
+      print(flag);
+      print(flag);
+      return 0;
+    }
+    """)
+    mnemonics = [i.mnemonic for i in instrs_of(unit, "main")]
+    assert "setl" in mnemonics
+
+
+def test_call_pushes_args_right_to_left_and_cleans_stack():
+    _module, unit = lower("""
+    int f(int a, int b) { return a - b; }
+    int main() { return f(1, 2); }
+    """)
+    instrs = instrs_of(unit, "main")
+    call_index = next(i for i, instr in enumerate(instrs)
+                      if instr.mnemonic == "call")
+    # Right-to-left: arg 1 (=2) is pushed before arg 0 (=1).
+    from repro.x86.instructions import Imm
+    push_values = [i.operands[0].value for i in instrs[:call_index]
+                   if i.mnemonic == "push"
+                   and isinstance(i.operands[0], Imm)]
+    assert push_values == [2, 1]
+    cleanup = instrs[call_index + 1]
+    assert cleanup.mnemonic == "add"
+    assert cleanup.operands[1].value == 8
+
+
+def test_division_uses_cdq_idiv():
+    _module, unit = lower("""
+    int main() { int a = input(); int b = input(); print(a / b);
+      print(a % b); return 0; }
+    """)
+    mnemonics = [i.mnemonic for i in instrs_of(unit, "main")]
+    assert "cdq" in mnemonics
+    assert "idiv" in mnemonics
+
+
+def test_variable_shift_goes_through_ecx():
+    _module, unit = lower("""
+    int main() { int a = input(); int s = input(); print(a << s);
+      return 0; }
+    """)
+    instrs = instrs_of(unit, "main")
+    shift = next(i for i in instrs if i.mnemonic == "shl")
+    assert shift.operands[1].name == "ecx"
+
+
+def test_print_lowered_to_runtime_call():
+    module, unit = lower("int main() { print(1); return 0; }")
+    instrs = instrs_of(unit, "main")
+    calls = [i for i in instrs if i.mnemonic == "call"]
+    assert any(c.operands[0].name == "__print_int" for c in calls)
+
+
+def test_input_lowered_to_runtime_call():
+    _module, unit = lower("int main() { return input(); }")
+    instrs = instrs_of(unit, "main")
+    calls = [i for i in instrs if i.mnemonic == "call"]
+    assert any(c.operands[0].name == "__read_int" for c in calls)
+
+
+def test_global_scalar_becomes_symbolic_memory():
+    _module, unit = lower("int g = 4; int main() { g = g + 1; return g; }")
+    instrs = instrs_of(unit, "main")
+    from repro.x86.instructions import Mem
+    symbols = {op.symbol for i in instrs for op in i.operands
+               if isinstance(op, Mem) and op.symbol}
+    assert "g" in symbols
+
+
+def test_edge_tagged_jump_for_two_target_condbranch():
+    # A conditional with neither successor as fallthrough produces
+    # jcc + jmp; the jmp must carry an ("edge", ...) block id.
+    module = optimize_module(compile_to_ir("""
+    int main() {
+      int x = input();
+      int acc = 0;
+      while (x > 0) {
+        if (x & 1) { acc += 3; } else { acc += 5; }
+        x -= 1;
+      }
+      print(acc);
+      return 0;
+    }
+    """))
+    unit = lower_module(module, "prog")
+    edge_tagged = [i for i in instrs_of(unit, "main")
+                   if isinstance(i.block_id, tuple)
+                   and i.block_id and i.block_id[0] == "edge"]
+    # Not guaranteed for every layout, but this CFG forces at least one
+    # two-target conditional somewhere OR none; assert tags are
+    # well-formed when present.
+    for instr in edge_tagged:
+        assert instr.mnemonic == "jmp"
+        assert len(instr.block_id) == 4

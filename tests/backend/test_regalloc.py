@@ -1,0 +1,127 @@
+"""Register allocation tests: liveness, assignment validity."""
+
+from repro.backend.regalloc import (
+    ALLOCATABLE, allocate_function, block_liveness, live_intervals,
+)
+from repro.ir import Binary, Copy, Function, FunctionBuilder, Return
+from repro.ir.values import Const
+from repro.minc import compile_to_ir
+from repro.opt import optimize_module
+from repro.x86.registers import Register
+
+
+def build_straightline(instr_specs):
+    """Function with one block; specs build the vregs implicitly."""
+    function = Function("f")
+    builder = FunctionBuilder(function)
+    builder.start_block("entry")
+    return function, builder
+
+
+class TestLiveness:
+    def test_value_live_across_block(self):
+        module = compile_to_ir("""
+        int main() {
+          int x = input();
+          int i;
+          int acc = 0;
+          for (i = 0; i < 3; i++) { acc += x; }
+          print(acc);
+          return 0;
+        }
+        """)
+        function = module.function("main")
+        live_in, live_out = block_liveness(function)
+        # Something must be live into the loop body (x and acc at least).
+        loop_blocks = [b for b in function.blocks if live_in[b.label]]
+        assert loop_blocks
+
+    def test_dead_value_not_live_out(self):
+        function = Function("f")
+        builder = FunctionBuilder(function)
+        builder.start_block("entry")
+        dead = builder.const(5)
+        builder.ret(Const(0))
+        live_in, live_out = block_liveness(function)
+        assert dead not in live_out[function.entry.label]
+
+
+class TestIntervals:
+    def test_params_start_before_body(self):
+        function = Function("f", param_count=2)
+        builder = FunctionBuilder(function)
+        builder.start_block("entry")
+        builder.ret(function.params[0])
+        intervals = live_intervals(function)
+        assert intervals[function.params[0]][0] == -1
+        assert intervals[function.params[1]] == (-1, -1)
+
+
+class TestAllocation:
+    def test_few_values_all_get_registers(self):
+        function = Function("f")
+        builder = FunctionBuilder(function)
+        builder.start_block("entry")
+        a = builder.const(1)
+        b = builder.binary("add", a, Const(2))
+        builder.ret(b)
+        allocation = allocate_function(function)
+        assert isinstance(allocation.assignment[a], Register)
+        assert allocation.slot_count == 0
+
+    def test_pressure_forces_spills(self):
+        # 8 simultaneously-live values > 3 allocatable registers.
+        lines = ["int main() {"]
+        for index in range(8):
+            lines.append(f"  int v{index} = input();")
+        total = " + ".join(f"v{index}" for index in range(8))
+        lines.append(f"  print({total});")
+        lines.append("  return 0; }")
+        module = optimize_module(compile_to_ir("\n".join(lines)))
+        allocation = allocate_function(module.function("main"))
+        registers = [loc for loc in allocation.assignment.values()
+                     if isinstance(loc, Register)]
+        slots = [loc for loc in allocation.assignment.values()
+                 if isinstance(loc, int)]
+        assert slots, "high pressure must spill"
+        assert set(registers) <= set(ALLOCATABLE)
+
+    def test_no_overlapping_register_assignment(self):
+        # Two values with overlapping intervals must not share a register.
+        module = optimize_module(compile_to_ir("""
+        int main() {
+          int a = input();
+          int b = input();
+          int c = input();
+          int d = input();
+          print(a + b);
+          print(c + d);
+          print(a + c);
+          print(b + d);
+          return 0;
+        }
+        """))
+        function = module.function("main")
+        intervals = live_intervals(function)
+        allocation = allocate_function(function)
+        assigned = [(vreg, loc) for vreg, loc
+                    in allocation.assignment.items()
+                    if isinstance(loc, Register)]
+        for index, (vreg_a, reg_a) in enumerate(assigned):
+            for vreg_b, reg_b in assigned[index + 1:]:
+                if reg_a is not reg_b:
+                    continue
+                start_a, end_a = intervals[vreg_a]
+                start_b, end_b = intervals[vreg_b]
+                overlap = not (end_a < start_b or end_b < start_a)
+                assert not overlap, (vreg_a, vreg_b, reg_a)
+
+    def test_used_callee_saved_reported(self):
+        function = Function("f")
+        builder = FunctionBuilder(function)
+        builder.start_block("entry")
+        value = builder.const(1)
+        builder.ret(value)
+        allocation = allocate_function(function)
+        for register in allocation.used_callee_saved:
+            assert register in ALLOCATABLE

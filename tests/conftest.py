@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.pipeline import ProgramBuild
+
+#: A small but representative program: recursion, arrays, loops, division,
+#: input/output, short-circuit logic.
+FIB_SOURCE = """
+int cache[64];
+
+int fib(int n) {
+  if (n < 2) { return n; }
+  if (cache[n] != 0) { return cache[n]; }
+  int r = fib(n - 1) + fib(n - 2);
+  cache[n] = r;
+  return r;
+}
+
+int main() {
+  int n = input();
+  int i;
+  int total = 0;
+  for (i = 0; i < n; i++) {
+    total += fib(i);
+  }
+  print(total);
+  print(total % 7);
+  print(total / 3);
+  if (total > 10 && n > 2) { print(1); } else { print(0); }
+  return total;
+}
+"""
+
+#: A loop-heavy program with a clear hot/cold split for profiling tests.
+HOTCOLD_SOURCE = """
+int data[128];
+
+void cold_path(int x) {
+  print(x * 1000);
+}
+
+int main() {
+  int n = input();
+  int i;
+  int acc = 0;
+  for (i = 0; i < n; i++) {
+    data[i & 127] = i * 3;
+    acc = (acc + data[(i * 5) & 127]) & 65535;
+  }
+  if (acc == 123456789) {
+    cold_path(acc);
+  }
+  print(acc);
+  return 0;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def fib_build():
+    return ProgramBuild(FIB_SOURCE, "fib")
+
+
+@pytest.fixture(scope="session")
+def hotcold_build():
+    return ProgramBuild(HOTCOLD_SOURCE, "hotcold")

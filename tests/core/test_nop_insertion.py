@@ -1,0 +1,176 @@
+"""Algorithm 1 tests: insertion statistics, determinism, policies."""
+
+import random
+
+import pytest
+
+from repro.backend.objfile import FunctionCode, LabelDef, ObjectUnit
+from repro.core.config import DiversificationConfig
+from repro.core.nop_insertion import (
+    count_inserted_nops, insert_nops, insert_nops_in_unit,
+)
+from repro.core.policies import block_probability_function
+from repro.errors import ProfileError
+from repro.profiling.profile_data import ProfileData
+from repro.x86.instructions import Imm, Instr
+from repro.x86.nops import DEFAULT_NOP_CANDIDATES, is_nop_candidate_instr
+from repro.x86.registers import EAX, EBX
+
+
+def make_function(n_instrs=200, block_id=("f", "entry")):
+    items = [LabelDef("f")]
+    for index in range(n_instrs):
+        items.append(Instr("add", EAX, Imm(index), block_id=block_id))
+    return FunctionCode("f", items)
+
+
+def uniform_policy(p):
+    return lambda _block_id: p
+
+
+class TestInsertionStatistics:
+    def test_p_zero_inserts_nothing(self):
+        function = make_function()
+        result = insert_nops(function, DEFAULT_NOP_CANDIDATES,
+                             random.Random(0), uniform_policy(0.0))
+        assert count_inserted_nops(result) == 0
+
+    def test_p_one_inserts_before_every_instruction(self):
+        function = make_function(50)
+        result = insert_nops(function, DEFAULT_NOP_CANDIDATES,
+                             random.Random(0), uniform_policy(1.0))
+        assert count_inserted_nops(result) == 50
+
+    def test_insertion_rate_tracks_probability(self):
+        function = make_function(4000)
+        result = insert_nops(function, DEFAULT_NOP_CANDIDATES,
+                             random.Random(1), uniform_policy(0.5))
+        inserted = count_inserted_nops(result)
+        assert 0.45 * 4000 < inserted < 0.55 * 4000
+
+    def test_original_instructions_preserved_in_order(self):
+        function = make_function(100)
+        result = insert_nops(function, DEFAULT_NOP_CANDIDATES,
+                             random.Random(2), uniform_policy(0.7))
+        originals = [i for i in result.instructions()
+                     if not i.is_inserted_nop]
+        assert originals == function.instructions()
+
+    def test_inserted_nops_are_candidates(self):
+        function = make_function(300)
+        result = insert_nops(function, DEFAULT_NOP_CANDIDATES,
+                             random.Random(3), uniform_policy(0.5))
+        for instr in result.instructions():
+            if instr.is_inserted_nop:
+                assert is_nop_candidate_instr(instr)
+
+    def test_all_candidates_eventually_used(self):
+        function = make_function(3000)
+        result = insert_nops(function, DEFAULT_NOP_CANDIDATES,
+                             random.Random(4), uniform_policy(0.5))
+        used = {instr.encoding or tuple(instr.operands)
+                for instr in result.instructions()
+                if instr.is_inserted_nop}
+        # All five default candidates appear in a large sample.
+        names = set()
+        for instr in result.instructions():
+            if instr.is_inserted_nop:
+                names.add((instr.mnemonic, instr.operands))
+        assert len(names) == len(DEFAULT_NOP_CANDIDATES)
+
+    def test_nops_inherit_block_id(self):
+        function = make_function(100, block_id=("f", "hot"))
+        result = insert_nops(function, DEFAULT_NOP_CANDIDATES,
+                             random.Random(5), uniform_policy(0.9))
+        for instr in result.instructions():
+            if instr.is_inserted_nop:
+                assert instr.block_id == ("f", "hot")
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        function = make_function(500)
+        a = insert_nops(function, DEFAULT_NOP_CANDIDATES,
+                        random.Random(42), uniform_policy(0.5))
+        b = insert_nops(function, DEFAULT_NOP_CANDIDATES,
+                        random.Random(42), uniform_policy(0.5))
+        assert [i.mnemonic for i in a.instructions()] == \
+            [i.mnemonic for i in b.instructions()]
+
+    def test_different_seeds_differ(self):
+        function = make_function(500)
+        a = insert_nops(function, DEFAULT_NOP_CANDIDATES,
+                        random.Random(1), uniform_policy(0.5))
+        b = insert_nops(function, DEFAULT_NOP_CANDIDATES,
+                        random.Random(2), uniform_policy(0.5))
+        assert [repr(i) for i in a.instructions()] != \
+            [repr(i) for i in b.instructions()]
+
+
+class TestDiversifiability:
+    def test_runtime_objects_pass_through(self):
+        function = make_function()
+        function.diversifiable = False
+        result = insert_nops(function, DEFAULT_NOP_CANDIDATES,
+                             random.Random(0), uniform_policy(1.0))
+        assert result is function
+
+    def test_unit_insertion_covers_all_functions(self):
+        unit = ObjectUnit("u")
+        unit.add_function(make_function(100))
+        second = make_function(100)
+        second.name = "g"
+        second.items[0] = LabelDef("g")
+        unit.add_function(second)
+        result = insert_nops_in_unit(unit, DEFAULT_NOP_CANDIDATES,
+                                     random.Random(0), uniform_policy(1.0))
+        assert count_inserted_nops(result) == 200
+
+
+class TestPolicies:
+    def test_uniform_policy_ignores_blocks(self):
+        config = DiversificationConfig.uniform(0.4)
+        policy = block_probability_function(config)
+        assert policy(("f", "hot")) == 0.4
+        assert policy(None) == 0.4
+
+    def test_profile_guided_needs_profile(self):
+        config = DiversificationConfig.profile_guided(0.1, 0.5)
+        with pytest.raises(ProfileError):
+            block_probability_function(config, profile=None)
+
+    def test_hot_blocks_get_lower_probability(self):
+        profile = ProfileData.from_edges({
+            ("f", None, "entry"): 1,
+            ("f", "entry", "hot"): 1,
+            ("f", "hot", "hot"): 999_999,
+        })
+        config = DiversificationConfig.profile_guided(0.0, 0.5)
+        policy = block_probability_function(config, profile)
+        assert policy(("f", "hot")) < 0.01
+        assert policy(("f", "entry")) > 0.4
+        # Unknown blocks are cold: p_max.
+        assert policy(("f", "never_seen")) == pytest.approx(0.5)
+
+    def test_edge_block_ids_use_edge_counts(self):
+        profile = ProfileData.from_edges({
+            ("f", None, "entry"): 1,
+            ("f", "entry", "a"): 1_000_000,
+            ("f", "entry", "b"): 1,
+        })
+        config = DiversificationConfig.profile_guided(0.0, 0.5)
+        policy = block_probability_function(config, profile)
+        hot_edge = policy(("edge", "f", "entry", "a"))
+        cold_edge = policy(("edge", "f", "entry", "b"))
+        assert hot_edge < cold_edge
+
+    def test_profile_guided_insertion_spares_hot_code(self):
+        hot = make_function(2000, block_id=("f", "hot"))
+        profile = ProfileData.from_edges({
+            ("f", None, "hot"): 1_000_000,
+        })
+        config = DiversificationConfig.profile_guided(0.0, 0.5)
+        policy = block_probability_function(config, profile)
+        result = insert_nops(hot, DEFAULT_NOP_CANDIDATES,
+                             random.Random(0), policy)
+        assert count_inserted_nops(result) == 0

@@ -1,0 +1,118 @@
+"""Probability model tests, including the paper's §3.1 worked example."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.probability import (
+    LinearProfileProbability, LogProfileProbability, UniformProbability,
+)
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+counts = st.integers(min_value=0, max_value=4_000_000_000)
+
+
+class TestUniform:
+    def test_constant(self):
+        model = UniformProbability(0.3)
+        assert model.probability(0, 100) == 0.3
+        assert model.probability(100, 100) == 0.3
+
+    def test_requires_no_profile(self):
+        assert not UniformProbability(0.5).requires_profile
+
+    def test_range_validated(self):
+        with pytest.raises(ValueError):
+            UniformProbability(1.5)
+
+
+class TestLinear:
+    def test_endpoints(self):
+        model = LinearProfileProbability(0.10, 0.50)
+        assert model.probability(0, 1000) == pytest.approx(0.50)
+        assert model.probability(1000, 1000) == pytest.approx(0.10)
+
+    def test_midpoint(self):
+        model = LinearProfileProbability(0.0, 1.0)
+        assert model.probability(500, 1000) == pytest.approx(0.5)
+
+    def test_polarization_problem(self):
+        # §3.1: with a 10^10-scale maximum, a 10^5-scale count lands
+        # essentially at p_max — the failure the log model fixes.
+        model = LinearProfileProbability(0.10, 0.50)
+        p = model.probability(100_000, 10_000_000_000)
+        assert p == pytest.approx(0.50, abs=0.001)
+
+    def test_min_not_above_max(self):
+        with pytest.raises(ValueError):
+            LinearProfileProbability(0.6, 0.5)
+
+
+class TestLogarithmic:
+    def test_endpoints(self):
+        model = LogProfileProbability(0.10, 0.50)
+        assert model.probability(0, 4_000_000_000) == pytest.approx(0.50)
+        assert model.probability(4_000_000_000, 4_000_000_000) == \
+            pytest.approx(0.10)
+
+    def test_paper_astar_example(self):
+        # §3.1: range [10%, 50%], median count 117,635, max 2 billion —
+        # the paper computes pNOP ≈ 30% instead of the linear ≈ 50%.
+        model = LogProfileProbability(0.10, 0.50)
+        p = model.probability(117_635, 2_000_000_000)
+        assert 0.27 <= p <= 0.33
+        linear = LinearProfileProbability(0.10, 0.50)
+        assert linear.probability(117_635, 2_000_000_000) == \
+            pytest.approx(0.50, abs=0.001)
+
+    def test_empty_profile_degrades_to_pmax(self):
+        model = LogProfileProbability(0.0, 0.3)
+        assert model.probability(0, 0) == 0.3
+
+    def test_count_clamped_to_max(self):
+        model = LogProfileProbability(0.1, 0.5)
+        assert model.probability(999, 100) == pytest.approx(0.1)
+
+
+@given(p_min=probabilities, p_max=probabilities, count=counts,
+       max_count=counts)
+@settings(max_examples=300)
+def test_log_model_always_within_range(p_min, p_max, count, max_count):
+    if p_min > p_max:
+        p_min, p_max = p_max, p_min
+    model = LogProfileProbability(p_min, p_max)
+    p = model.probability(count, max_count)
+    assert p_min - 1e-12 <= p <= p_max + 1e-12
+
+
+@given(p_min=probabilities, p_max=probabilities,
+       count_a=counts, count_b=counts, max_count=counts)
+@settings(max_examples=300)
+def test_log_model_monotone_decreasing_in_count(p_min, p_max, count_a,
+                                                count_b, max_count):
+    if p_min > p_max:
+        p_min, p_max = p_max, p_min
+    model = LogProfileProbability(p_min, p_max)
+    low, high = sorted((count_a, count_b))
+    assert model.probability(high, max_count) <= \
+        model.probability(low, max_count) + 1e-12
+
+
+@given(count=counts, max_count=st.integers(1, 4_000_000_000))
+@settings(max_examples=200)
+def test_log_never_exceeds_linear_for_hot_blocks(count, max_count):
+    # log(1+x)/log(1+xmax) >= x/xmax on [0, xmax] (concavity), so the log
+    # model assigns hot blocks at-most-linear probabilities... i.e. the
+    # log model is never *hotter-biased* than the linear one.
+    count = min(count, max_count)
+    log_model = LogProfileProbability(0.0, 1.0)
+    linear_model = LinearProfileProbability(0.0, 1.0)
+    assert log_model.probability(count, max_count) <= \
+        linear_model.probability(count, max_count) + 1e-9
+
+
+def test_describe_strings():
+    assert UniformProbability(0.5).describe() == "pNOP=50%"
+    assert LogProfileProbability(0.0, 0.3).describe() == "pNOP=0%-30%"
+    assert "linear" in LinearProfileProbability(0.1, 0.5).describe()

@@ -1,0 +1,144 @@
+"""Tests for the §6 extensions: equivalent-encoding substitution and
+function reordering."""
+
+import random
+
+import pytest
+
+from repro.core.config import DiversificationConfig
+from repro.core.substitution import (
+    is_substitutable, substitute_encodings, SUBSTITUTABLE_MNEMONICS,
+)
+from repro.backend.objfile import FunctionCode, LabelDef
+from repro.pipeline import ProgramBuild
+from repro.x86 import decode, encode
+from repro.x86.instructions import Imm, Instr, Mem
+from repro.x86.registers import EAX, EBX, ESP
+from tests.conftest import FIB_SOURCE
+
+
+@pytest.fixture(scope="module")
+def build():
+    return ProgramBuild(FIB_SOURCE, "fib_subst")
+
+
+class TestDualEncodings:
+    def test_mov_has_two_encodings(self):
+        direct = encode(Instr("mov", EBX, EAX))
+        alternate = encode(Instr("mov", EBX, EAX,
+                                 alternate_encoding=True))
+        assert direct != alternate
+        assert direct == bytes.fromhex("89c3")
+        assert alternate == bytes.fromhex("8bd8")
+
+    @pytest.mark.parametrize("mnemonic",
+                             sorted(SUBSTITUTABLE_MNEMONICS))
+    def test_both_encodings_decode_to_same_instruction(self, mnemonic):
+        original = Instr(mnemonic, EBX, EAX)
+        flipped = Instr(mnemonic, EBX, EAX, alternate_encoding=True)
+        assert decode(encode(original)) == original
+        assert decode(encode(flipped)) == original  # same semantics
+        assert encode(original) != encode(flipped)
+
+    def test_sizes_identical(self):
+        for mnemonic in SUBSTITUTABLE_MNEMONICS:
+            direct = encode(Instr(mnemonic, EBX, EAX))
+            alternate = encode(Instr(mnemonic, EBX, EAX,
+                                     alternate_encoding=True))
+            assert len(direct) == len(alternate)
+
+    def test_non_reg_reg_not_substitutable(self):
+        assert not is_substitutable(Instr("mov", EAX, Imm(5)))
+        assert not is_substitutable(Instr("mov", EAX, Mem(base=EBX)))
+        assert not is_substitutable(Instr("idiv", EAX))
+
+    def test_nop_candidates_not_substitutable(self):
+        # mov esp, esp is a Table-1 candidate; its encoding must stay
+        # exactly 89 E4 for Survivor normalization to recognize it.
+        assert not is_substitutable(Instr("mov", ESP, ESP))
+
+
+class TestSubstitutionPass:
+    def make_function(self, count=200):
+        items = [LabelDef("f")]
+        for _ in range(count):
+            items.append(Instr("mov", EBX, EAX, block_id=("f", "e")))
+        return FunctionCode("f", items)
+
+    def test_flip_rate_tracks_probability(self):
+        function = self.make_function(1000)
+        result = substitute_encodings(function, random.Random(0), 0.5)
+        flipped = sum(1 for i in result.instructions()
+                      if i.alternate_encoding)
+        assert 400 < flipped < 600
+
+    def test_runtime_functions_untouched(self):
+        function = self.make_function()
+        function.diversifiable = False
+        assert substitute_encodings(function, random.Random(0)) \
+            is function
+
+    def test_substitution_preserves_behaviour(self, build):
+        config = DiversificationConfig.uniform(
+            0.0, encoding_substitution=True)
+        reference = build.run_reference((9,))
+        variant = build.link_variant(config, seed=3)
+        result = build.simulate(variant, (9,))
+        assert result.output == reference.output
+        assert result.exit_code == reference.exit_code
+
+    def test_substitution_changes_bytes_without_growth(self, build):
+        baseline = build.link_baseline()
+        config = DiversificationConfig.uniform(
+            0.0, encoding_substitution=True)
+        variant = build.link_variant(config, seed=3)
+        assert len(variant.text) == len(baseline.text)
+        assert variant.text != baseline.text
+
+    def test_substitution_kills_gadgets_without_displacement(self, build):
+        from repro.security.survivor import surviving_gadgets
+        baseline = build.link_baseline()
+        config = DiversificationConfig.uniform(
+            0.0, encoding_substitution=True)
+        variant = build.link_variant(config, seed=5)
+        from repro.security.gadgets import find_gadgets
+        total = len(find_gadgets(baseline.text))
+        count, _offsets = surviving_gadgets(baseline.text, variant.text)
+        assert count < total
+
+
+class TestFunctionReordering:
+    def test_reordering_preserves_behaviour(self, build):
+        config = DiversificationConfig.uniform(
+            0.0, function_reordering=True)
+        reference = build.run_reference((9,))
+        for seed in range(4):
+            variant = build.link_variant(config, seed=seed)
+            result = build.simulate(variant, (9,))
+            assert result.output == reference.output
+
+    def test_reordering_permutes_function_ranges(self, build):
+        config = DiversificationConfig.uniform(
+            0.0, function_reordering=True)
+        baseline = build.link_baseline()
+        orders = set()
+        for seed in range(6):
+            variant = build.link_variant(config, seed=seed)
+            order = tuple(sorted(("fib", "main"),
+                                 key=lambda n:
+                                 variant.function_ranges[n][0]))
+            orders.add(order)
+            # Runtime stays at the front regardless.
+            assert variant.function_ranges["_start"] == \
+                baseline.function_ranges["_start"]
+        assert len(orders) == 2  # both orders of the two functions seen
+
+    def test_reordering_composes_with_nops(self, build):
+        config = DiversificationConfig.uniform(
+            0.3, function_reordering=True, encoding_substitution=True)
+        reference = build.run_reference((8,))
+        variant = build.link_variant(config, seed=11)
+        result = build.simulate(variant, (8,))
+        assert result.output == reference.output
+        assert "+subst" in config.describe()
+        assert "+reorder" in config.describe()

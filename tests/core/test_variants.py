@@ -1,0 +1,157 @@
+"""Variant/population generation and basic-block shifting tests."""
+
+import random
+
+import pytest
+
+from repro.backend.linker import link
+from repro.core.bbshift import shift_basic_blocks
+from repro.core.config import DiversificationConfig, PAPER_CONFIGS
+from repro.core.variants import diversify_unit, variant_seeds
+from repro.pipeline import ProgramBuild
+from repro.runtime.lib import runtime_unit
+from repro.x86.nops import DEFAULT_NOP_CANDIDATES, NOP_CANDIDATES
+from tests.conftest import FIB_SOURCE
+
+
+@pytest.fixture(scope="module")
+def build():
+    return ProgramBuild(FIB_SOURCE, "fib")
+
+
+class TestConfig:
+    def test_paper_configs_complete(self):
+        assert set(PAPER_CONFIGS) == {"50%", "30%", "25-50%", "10-50%",
+                                      "0-30%"}
+
+    def test_candidate_sets(self):
+        default = DiversificationConfig.uniform(0.5)
+        assert len(default.nop_candidates) == 5
+        extended = DiversificationConfig.uniform(
+            0.5, include_xchg_nops=True)
+        assert len(extended.nop_candidates) == 7
+
+    def test_describe(self):
+        assert PAPER_CONFIGS["0-30%"].describe() == "pNOP=0%-30%"
+        assert PAPER_CONFIGS["50%"].describe() == "pNOP=50%"
+
+
+class TestVariants:
+    def test_seeded_variants_reproducible(self, build):
+        config = PAPER_CONFIGS["50%"]
+        first = build.link_variant(config, seed=9)
+        second = build.link_variant(config, seed=9)
+        assert first.text == second.text
+
+    def test_different_seeds_give_different_binaries(self, build):
+        config = PAPER_CONFIGS["50%"]
+        texts = {build.link_variant(config, seed=s).text
+                 for s in range(6)}
+        assert len(texts) == 6
+
+    def test_variant_seeds_helper(self):
+        assert list(variant_seeds(3)) == [0, 1, 2]
+        assert list(variant_seeds(2, base_seed=10)) == [10, 11]
+
+    def test_runtime_functions_never_diversified(self, build):
+        config = PAPER_CONFIGS["50%"]
+        baseline = build.link_baseline()
+        variant = build.link_variant(config, seed=4)
+        # All runtime functions stay at identical offsets (they are laid
+        # out before the diversified program code).
+        for name in ("_start", "__print_int", "__read_int", "__memcpyw"):
+            assert baseline.function_ranges[name] == \
+                variant.function_ranges[name]
+        # Their bytes are identical too, except for relocations into the
+        # displaced program code (_start's `call main`), so compare the
+        # routines that reference no program symbols.
+        for name in ("__print_int", "__read_int", "__memcpyw"):
+            start, end = baseline.function_ranges[name]
+            base_bytes = baseline.text[start - baseline.text_base:
+                                       end - baseline.text_base]
+            var_bytes = variant.text[start - variant.text_base:
+                                     end - variant.text_base]
+            assert base_bytes == var_bytes
+
+    def test_variant_grows_text(self, build):
+        baseline = build.link_baseline()
+        variant = build.link_variant(PAPER_CONFIGS["50%"], seed=1)
+        assert len(variant.text) > len(baseline.text)
+
+    def test_xchg_candidates_used_when_enabled(self, build):
+        config = DiversificationConfig.uniform(0.5,
+                                               include_xchg_nops=True)
+        unit = diversify_unit(build.unit, config, seed=0)
+        mnemonics = {i.mnemonic for fc in unit.functions
+                     for i in fc.instructions() if i.is_inserted_nop}
+        assert "xchg" in mnemonics
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize("label", sorted(PAPER_CONFIGS))
+    def test_every_paper_config_preserves_output(self, build, label):
+        config = PAPER_CONFIGS[label]
+        profile = build.profile((7,)) if config.requires_profile else None
+        reference = build.run_reference((9,))
+        variant = build.link_variant(config, seed=11, profile=profile)
+        result = build.simulate(variant, (9,))
+        assert result.output == reference.output
+        assert result.exit_code == reference.exit_code
+
+    def test_xchg_variant_preserves_output(self, build):
+        config = DiversificationConfig.uniform(0.5,
+                                               include_xchg_nops=True)
+        reference = build.run_reference((8,))
+        variant = build.link_variant(config, seed=2)
+        result = build.simulate(variant, (8,))
+        assert result.output == reference.output
+
+
+class TestBasicBlockShifting:
+    def test_sled_is_jumped_over(self, build):
+        config = DiversificationConfig.uniform(
+            0.0, basic_block_shifting=True, max_shift_bytes=16)
+        reference = build.run_reference((9,))
+        variant = build.link_variant(config, seed=5)
+        result = build.simulate(variant, (9,))
+        assert result.output == reference.output
+        assert result.exit_code == reference.exit_code
+
+    def test_shift_displaces_function_starts(self, build):
+        config = DiversificationConfig.uniform(
+            0.0, basic_block_shifting=True, max_shift_bytes=16)
+        baseline = build.link_baseline()
+        variant = build.link_variant(config, seed=6)
+        # Program functions after the first shifted one start elsewhere.
+        moved = [
+            name for name in ("fib", "main")
+            if baseline.function_ranges[name][0]
+            != variant.function_ranges[name][0]
+        ]
+        assert moved
+
+    def test_shift_size_bounded(self):
+        rng = random.Random(0)
+        from repro.backend.objfile import FunctionCode, LabelDef
+        from repro.x86.instructions import Imm, Instr
+        from repro.x86.registers import EAX
+        items = [LabelDef("f"),
+                 Instr("mov", EAX, Imm(1), block_id=("f", "e")),
+                 Instr("ret", block_id=("f", "e"))]
+        function = FunctionCode("f", items)
+        for seed in range(30):
+            shifted = shift_basic_blocks(function, DEFAULT_NOP_CANDIDATES,
+                                         random.Random(seed),
+                                         max_shift_bytes=8)
+            sled_bytes = sum(
+                i.size or 1 for i in shifted.instructions()
+                if i.is_inserted_nop)
+            assert sled_bytes <= 8
+
+    def test_zero_max_shift_is_identity(self):
+        from repro.backend.objfile import FunctionCode, LabelDef
+        from repro.x86.instructions import Instr
+        function = FunctionCode("f", [LabelDef("f"), Instr("ret")])
+        assert shift_basic_blocks(function, NOP_CANDIDATES,
+                                  random.Random(0),
+                                  max_shift_bytes=0) is function

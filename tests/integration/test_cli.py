@@ -1,0 +1,73 @@
+"""CLI smoke tests (repro-diversify)."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+int main() {
+  int n = input();
+  int i;
+  int acc = 0;
+  for (i = 0; i < n; i++) { acc += i; }
+  print(acc);
+  return 0;
+}
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.minc"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_run(program_file, capsys):
+    assert main(["run", program_file, "10"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out.strip() == "45"
+    assert "exit 0" in captured.err
+
+
+def test_compile_disassembles(program_file, capsys):
+    assert main(["compile", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "push ebp" in out
+    assert "text bytes" in out
+
+
+def test_profile(program_file, capsys, tmp_path):
+    output = str(tmp_path / "prof.json")
+    assert main(["profile", program_file, "5", "-o", output]) == 0
+    out = capsys.readouterr().out
+    assert "max block" in out
+    from repro.profiling.profile_data import ProfileData
+    assert ProfileData.load(output).max_block_count >= 5
+
+
+def test_diversify_uniform(program_file, capsys):
+    assert main(["diversify", program_file, "--p", "0.5",
+                 "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "pNOP=50%" in out
+    assert "survivors" in out
+
+
+def test_diversify_profile_guided(program_file, capsys):
+    assert main(["diversify", program_file, "--range", "0.0", "0.3",
+                 "--train", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "pNOP=0%-30%" in out
+
+
+def test_scan(program_file, capsys):
+    assert main(["scan", program_file, "--limit", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "gadgets" in out
+
+
+def test_bench(capsys):
+    assert main(["bench", "470.lbm"]) == 0
+    out = capsys.readouterr().out
+    assert "470.lbm" in out

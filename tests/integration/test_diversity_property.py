@@ -1,0 +1,64 @@
+"""THE core property of the whole system, tested on random programs:
+
+    For any program P, any diversification config, and any seed,
+    the diversified binary behaves exactly like the original.
+
+This is the reproduction's equivalent of the paper's implicit claim that
+NOP insertion is semantics-preserving.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import DiversificationConfig
+from repro.pipeline import ProgramBuild
+
+_CONFIGS = [
+    DiversificationConfig.uniform(0.5),
+    DiversificationConfig.uniform(1.0),
+    DiversificationConfig.uniform(0.5, include_xchg_nops=True),
+    DiversificationConfig.profile_guided(0.0, 0.5),
+    DiversificationConfig.uniform(0.3, basic_block_shifting=True),
+    DiversificationConfig.uniform(0.4, encoding_substitution=True),
+    DiversificationConfig.uniform(0.3, function_reordering=True),
+    DiversificationConfig.uniform(0.5, encoding_substitution=True,
+                                  basic_block_shifting=True,
+                                  function_reordering=True),
+]
+
+
+@given(
+    seed=st.integers(0, 5_000),
+    config_index=st.integers(0, len(_CONFIGS) - 1),
+    variant_seed=st.integers(0, 1_000_000),
+    program_input=st.integers(-50, 50),
+)
+@settings(max_examples=40, deadline=None)
+def test_diversification_preserves_behaviour(seed, config_index,
+                                             variant_seed, program_input):
+    from tests.support import generate_program
+
+    source = generate_program(seed)
+    build = ProgramBuild(source, f"random{seed}")
+    config = _CONFIGS[config_index]
+    profile = (build.profile((program_input,))
+               if config.requires_profile else None)
+
+    reference = build.run_reference((program_input,))
+    variant = build.link_variant(config, variant_seed, profile)
+    result = build.simulate(variant, (program_input,))
+
+    assert result.output == reference.output
+    assert result.exit_code == reference.exit_code
+
+
+@given(seed=st.integers(0, 5_000), program_input=st.integers(-50, 50))
+@settings(max_examples=30, deadline=None)
+def test_baseline_compilation_matches_interpreter(seed, program_input):
+    from tests.support import generate_program
+
+    source = generate_program(seed)
+    build = ProgramBuild(source, f"random{seed}")
+    reference = build.run_reference((program_input,))
+    result = build.simulate(build.link_baseline(), (program_input,))
+    assert result.output == reference.output
+    assert result.exit_code == reference.exit_code

@@ -1,0 +1,80 @@
+"""End-to-end pipeline integration tests."""
+
+import pytest
+
+from repro import (
+    DiversificationConfig, PAPER_CONFIGS, ProgramBuild, compile_and_link,
+)
+from repro.sim.machine import run_binary
+from tests.conftest import FIB_SOURCE, HOTCOLD_SOURCE
+
+
+def test_compile_and_link_convenience():
+    binary = compile_and_link("int main() { print(123); return 5; }")
+    result = run_binary(binary)
+    assert result.output == [123]
+    assert result.exit_code == 5
+
+
+def test_public_api_quickstart_flow():
+    build = ProgramBuild(FIB_SOURCE, "quickstart")
+    profile = build.profile((7,))
+    config = DiversificationConfig.profile_guided(0.0, 0.30)
+    binary = build.link_variant(config, seed=1, profile=profile)
+    result = build.simulate(binary, (9,))
+    assert result.output == build.run_reference((9,)).output
+
+
+def test_opt_level_zero_still_correct():
+    build = ProgramBuild(FIB_SOURCE, "unopt", opt_level=0)
+    result = build.simulate(build.link_baseline(), (8,))
+    assert result.output == build.run_reference((8,)).output
+
+
+def test_training_input_affects_profile_guided_layout():
+    build = ProgramBuild(HOTCOLD_SOURCE, "hotcold")
+    config = PAPER_CONFIGS["0-30%"]
+    hot_profile = build.profile((500,))
+    cold_profile = build.profile((1,))
+    hot_variant = build.link_variant(config, seed=3, profile=hot_profile)
+    cold_variant = build.link_variant(config, seed=3,
+                                      profile=cold_profile)
+    # Same seed, different profiles → different binaries.
+    assert hot_variant.text != cold_variant.text
+
+
+def test_profile_overhead_ordering_matches_paper():
+    """The paper's headline: overhead(50%) > overhead(30%) >
+    overhead(10-50%) > overhead(0-30%) ≈ 0, averaged over seeds."""
+    build = ProgramBuild(HOTCOLD_SOURCE, "hotcold")
+    seeds = range(5)
+
+    def mean_overhead(label):
+        config = PAPER_CONFIGS[label]
+        profile = (build.profile((400,))
+                   if config.requires_profile else None)
+        values = [build.overhead(config, seed, train_input=(400,),
+                                 ref_input=(800,), profile=profile)
+                  for seed in seeds]
+        return sum(values) / len(values)
+
+    naive_50 = mean_overhead("50%")
+    naive_30 = mean_overhead("30%")
+    guided_10_50 = mean_overhead("10-50%")
+    guided_0_30 = mean_overhead("0-30%")
+
+    assert naive_50 > naive_30 > guided_0_30
+    assert naive_50 > guided_10_50
+    assert guided_0_30 < 0.25 * naive_50  # ≥4x reduction on hot code
+
+
+def test_diversified_population_binaries_distinct_but_equivalent():
+    build = ProgramBuild(FIB_SOURCE, "population")
+    config = PAPER_CONFIGS["30%"]
+    reference = build.run_reference((8,))
+    population = build.link_population(config, range(6))
+    texts = {binary.text for binary in population}
+    assert len(texts) == 6
+    for binary in population:
+        result = build.simulate(binary, (8,))
+        assert result.output == reference.output

@@ -1,0 +1,133 @@
+"""Interpreter tests: machine-exact arithmetic, limits, edge observation."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import ExecutionLimitExceeded, Interpreter, run_module
+from repro.ir.instructions import evaluate_binary, evaluate_unary
+from repro.minc import compile_to_ir
+
+
+class TestEvaluateBinary:
+    def test_add_wraps(self):
+        assert evaluate_binary("add", 2**31 - 1, 1) == -(2**31)
+
+    def test_mul_wraps(self):
+        assert evaluate_binary("mul", 65536, 65536) == 0
+
+    def test_div_truncates_toward_zero(self):
+        assert evaluate_binary("div", -7, 2) == -3
+        assert evaluate_binary("div", 7, -2) == -3
+
+    def test_mod_sign_follows_dividend(self):
+        assert evaluate_binary("mod", -7, 2) == -1
+        assert evaluate_binary("mod", 7, -2) == 1
+
+    def test_div_mod_by_zero_total(self):
+        assert evaluate_binary("div", 5, 0) == 0
+        assert evaluate_binary("mod", 5, 0) == 0
+
+    def test_int_min_div_minus_one_wraps(self):
+        assert evaluate_binary("div", -(2**31), -1) == -(2**31)
+
+    def test_shr_is_arithmetic(self):
+        assert evaluate_binary("shr", -8, 1) == -4
+
+    def test_shift_count_masked_to_five_bits(self):
+        assert evaluate_binary("shl", 1, 33) == 2
+
+    def test_comparisons(self):
+        assert evaluate_binary("lt", -1, 0) == 1
+        assert evaluate_binary("ge", -1, 0) == 0
+        assert evaluate_binary("eq", 5, 5) == 1
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_binary("pow", 2, 3)
+
+
+class TestEvaluateUnary:
+    def test_neg_wraps_int_min(self):
+        assert evaluate_unary("neg", -(2**31)) == -(2**31)
+
+    def test_logical_not(self):
+        assert evaluate_unary("not", 0) == 1
+        assert evaluate_unary("not", 99) == 0
+
+    def test_bitwise_not(self):
+        assert evaluate_unary("bnot", 0) == -1
+
+
+class TestInterpreter:
+    def test_step_limit(self):
+        module = compile_to_ir("int main() { while (1) { } return 0; }")
+        with pytest.raises(ExecutionLimitExceeded):
+            run_module(module, max_steps=1000)
+
+    def test_out_of_bounds_read_raises(self):
+        module = compile_to_ir(
+            "int a[4]; int main() { int i = input(); print(a[i]); "
+            "return 0; }")
+        with pytest.raises(IRError) as excinfo:
+            run_module(module, [4])
+        assert "out of bounds" in str(excinfo.value)
+
+    def test_out_of_bounds_write_raises(self):
+        module = compile_to_ir(
+            "int a[4]; int main() { int i = input(); a[i] = 1; "
+            "return 0; }")
+        with pytest.raises(IRError):
+            run_module(module, [-1])
+
+    def test_exit_code_is_mains_return(self):
+        module = compile_to_ir("int main() { return 42; }")
+        assert run_module(module).exit_code == 42
+
+    def test_exit_code_wraps(self):
+        module = compile_to_ir("int main() { return 2147483647 + 1; }")
+        assert run_module(module).exit_code == -(2**31)
+
+    def test_edge_observer_sees_virtual_entry_edges(self):
+        module = compile_to_ir("""
+        int f() { return 1; }
+        int main() { f(); f(); return 0; }
+        """)
+        calls = []
+
+        def observer(function, source, target):
+            if source is None:
+                calls.append(function)
+
+        Interpreter(module, edge_observer=observer).run()
+        assert calls.count("f") == 2
+        assert calls.count("main") == 1
+
+    def test_edge_counts_conserve_flow(self):
+        module = compile_to_ir("""
+        int main() {
+          int i;
+          int acc = 0;
+          for (i = 0; i < 10; i++) { if (i & 1) { acc += i; } }
+          print(acc);
+          return acc;
+        }
+        """)
+        counts = {}
+
+        def observer(function, source, target):
+            counts[(function, source, target)] = counts.get(
+                (function, source, target), 0) + 1
+
+        Interpreter(module, edge_observer=observer).run()
+        function = module.function("main")
+        # Flow conservation at every non-entry, non-exit block.
+        for block in function.blocks:
+            inbound = sum(c for (f, s, t), c in counts.items()
+                          if t == block.label and f == "main")
+            outbound = sum(c for (f, s, t), c in counts.items()
+                           if s == block.label and f == "main")
+            terminator = block.instrs[-1]
+            if not terminator.successors():  # return block
+                assert inbound >= 1
+            else:
+                assert inbound == outbound

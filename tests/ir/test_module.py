@@ -1,0 +1,150 @@
+"""IR container and verifier tests."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Block, Branch, CondBranch, Copy, Function, FunctionBuilder, GlobalArray,
+    Module, Return, verify_module,
+)
+from repro.ir.values import Const, wrap32
+
+
+class TestValues:
+    def test_wrap32_positive_overflow(self):
+        assert wrap32(2**31) == -(2**31)
+
+    def test_wrap32_negative_overflow(self):
+        assert wrap32(-(2**31) - 1) == 2**31 - 1
+
+    def test_wrap32_identity_in_range(self):
+        assert wrap32(12345) == 12345
+        assert wrap32(-12345) == -12345
+
+    def test_const_wraps_on_construction(self):
+        assert Const(2**32 + 5).value == 5
+
+
+class TestGlobalArray:
+    def test_initial_values_zero_fill(self):
+        array = GlobalArray("a", 4, [1, 2])
+        assert array.initial_values() == [1, 2, 0, 0]
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(IRError):
+            GlobalArray("a", 0)
+
+    def test_initializer_too_long(self):
+        with pytest.raises(IRError):
+            GlobalArray("a", 2, [1, 2, 3])
+
+
+class TestFunctionStructure:
+    def test_fresh_vregs_are_unique(self):
+        function = Function("f")
+        assert function.new_vreg() != function.new_vreg()
+
+    def test_duplicate_block_label_rejected(self):
+        function = Function("f")
+        function.add_block(Block("x"))
+        with pytest.raises(IRError):
+            function.add_block(Block("x"))
+
+    def test_edges_and_predecessors(self):
+        function = Function("f")
+        builder = FunctionBuilder(function)
+        entry = builder.start_block("entry")
+        loop = builder.new_block("loop")
+        exit_block = builder.new_block("exit")
+        builder.branch(loop)
+        builder.position_at(loop)
+        cond = builder.const(1)
+        builder.cond_branch(cond, loop, exit_block)
+        builder.position_at(exit_block)
+        builder.ret(Const(0))
+
+        assert set(function.edges()) == {
+            (entry.label, loop.label),
+            (loop.label, loop.label),
+            (loop.label, exit_block.label),
+        }
+        preds = function.predecessors()
+        assert sorted(preds[loop.label]) == sorted([entry.label,
+                                                    loop.label])
+
+
+class TestVerifier:
+    def build_module(self):
+        module = Module("m")
+        function = module.add_function(Function("main"))
+        builder = FunctionBuilder(function)
+        builder.start_block("entry")
+        builder.ret(Const(0))
+        return module
+
+    def test_valid_module(self):
+        verify_module(self.build_module())
+
+    def test_missing_main(self):
+        module = Module("m")
+        function = module.add_function(Function("f"))
+        FunctionBuilder(function).start_block("e")
+        function.entry.instrs.append(Return(Const(0)))
+        with pytest.raises(IRError):
+            verify_module(module)
+
+    def test_unterminated_block(self):
+        module = self.build_module()
+        module.function("main").entry.instrs.pop()
+        with pytest.raises(IRError):
+            verify_module(module)
+
+    def test_terminator_in_middle(self):
+        module = self.build_module()
+        entry = module.function("main").entry
+        entry.instrs.insert(0, Return(Const(1)))
+        with pytest.raises(IRError):
+            verify_module(module)
+
+    def test_branch_to_unknown_block(self):
+        module = self.build_module()
+        entry = module.function("main").entry
+        entry.instrs[-1] = Branch("nowhere")
+        with pytest.raises(IRError):
+            verify_module(module)
+
+    def test_call_to_unknown_function(self):
+        from repro.ir import Call
+        module = self.build_module()
+        entry = module.function("main").entry
+        entry.instrs.insert(0, Call(None, "ghost", []))
+        with pytest.raises(IRError):
+            verify_module(module)
+
+    def test_call_arity_checked(self):
+        from repro.ir import Call
+        module = self.build_module()
+        helper = module.add_function(Function("helper", param_count=2))
+        builder = FunctionBuilder(helper)
+        builder.start_block("e")
+        builder.ret(Const(0))
+        entry = module.function("main").entry
+        entry.instrs.insert(0, Call(None, "helper", [Const(1)]))
+        with pytest.raises(IRError):
+            verify_module(module)
+
+    def test_unknown_global_reference(self):
+        from repro.ir import ALoad
+        module = self.build_module()
+        function = module.function("main")
+        dst = function.new_vreg()
+        function.entry.instrs.insert(0, ALoad(dst, "ghost", Const(0)))
+        with pytest.raises(IRError):
+            verify_module(module)
+
+    def test_builder_refuses_emitting_into_terminated_block(self):
+        module = self.build_module()
+        builder = FunctionBuilder(module.function("main"))
+        builder.position_at(module.function("main").entry)
+        with pytest.raises(IRError):
+            builder.const(1)

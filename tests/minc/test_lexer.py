@@ -1,0 +1,63 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import MincSyntaxError
+from repro.minc.lexer import tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def test_empty_source():
+    assert kinds("") == ["eof"]
+
+
+def test_keywords_vs_identifiers():
+    tokens = tokenize("int intx for fork")
+    assert [t.kind for t in tokens[:-1]] == ["int", "ident", "for", "ident"]
+
+
+def test_numbers():
+    tokens = tokenize("0 42 007 0x1F")
+    assert [t.value for t in tokens[:-1]] == [0, 42, 7, 31]
+
+
+def test_malformed_hex():
+    with pytest.raises(MincSyntaxError):
+        tokenize("0x")
+
+
+def test_operators_maximal_munch():
+    assert kinds("<<= << < <= a+++b")[:4] == ["<<=", "<<", "<", "<="]
+    # a ++ + b (maximal munch takes ++ first)
+    assert kinds("a+++b")[:4] == ["ident", "++", "+", "ident"]
+
+
+def test_line_comments():
+    tokens = tokenize("a // comment\nb")
+    assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+
+def test_block_comments_track_lines():
+    tokens = tokenize("/* one\ntwo */ x")
+    assert tokens[0].kind == "ident"
+    assert tokens[0].line == 2
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(MincSyntaxError):
+        tokenize("/* never closed")
+
+
+def test_unexpected_character():
+    with pytest.raises(MincSyntaxError) as excinfo:
+        tokenize("a $ b")
+    assert "'$'" in str(excinfo.value)
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)

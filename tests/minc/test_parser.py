@@ -1,0 +1,134 @@
+"""Parser unit tests: structure and error reporting."""
+
+import pytest
+
+from repro.errors import MincSyntaxError
+from repro.minc import ast_nodes as ast
+from repro.minc.parser import parse
+
+
+def parse_main(body):
+    program = parse("int main() { " + body + " }")
+    return program.functions[0].body
+
+
+def test_globals_scalar_and_array():
+    program = parse("int x = 5; int a[10]; int b[3] = {1, 2, 3};")
+    scalar, array, initialized = program.globals
+    assert (scalar.name, scalar.is_array, scalar.init) == ("x", False, [5])
+    assert (array.name, array.size) == ("a", 10)
+    assert initialized.init == [1, 2, 3]
+
+
+def test_negative_global_initializer():
+    program = parse("int x = -7;")
+    assert program.globals[0].init == [-7]
+
+
+def test_array_size_must_be_positive():
+    with pytest.raises(MincSyntaxError):
+        parse("int a[0];")
+
+
+def test_function_params_and_void():
+    program = parse("void f(int a, int b) { return; } int main() {}")
+    function = program.functions[0]
+    assert function.params == ["a", "b"]
+    assert not function.returns_value
+
+
+def test_precedence_multiplication_binds_tighter():
+    body = parse_main("return 1 + 2 * 3;")
+    expr = body[0].value
+    assert isinstance(expr, ast.BinaryExpr) and expr.op == "+"
+    assert expr.rhs.op == "*"
+
+
+def test_precedence_shift_vs_comparison():
+    expr = parse_main("return 1 << 2 < 3;")[0].value
+    assert expr.op == "<"
+    assert expr.lhs.op == "<<"
+
+
+def test_left_associativity():
+    expr = parse_main("return 10 - 3 - 2;")[0].value
+    assert expr.op == "-"
+    assert expr.lhs.op == "-"
+    assert expr.rhs.value == 2
+
+
+def test_unary_chain():
+    expr = parse_main("return - - 5;")[0].value
+    assert isinstance(expr, ast.UnaryExpr)
+    assert isinstance(expr.operand, ast.UnaryExpr)
+
+
+def test_double_minus_lexes_as_decrement():
+    # Like C, "--5" is the decrement token, which cannot start a unary
+    # expression; writing "- -5" is required.
+    with pytest.raises(MincSyntaxError):
+        parse_main("return --5;")
+
+
+def test_if_else_chain():
+    statements = parse_main(
+        "if (1) { return 1; } else if (2) { return 2; } else { return 3; }")
+    outer = statements[0]
+    assert isinstance(outer, ast.If)
+    assert isinstance(outer.else_body[0], ast.If)
+
+
+def test_for_with_declaration():
+    statements = parse_main("for (int i = 0; i < 3; i++) { print(i); }")
+    loop = statements[0]
+    assert isinstance(loop.init, ast.VarDecl)
+    assert isinstance(loop.step, ast.IncDec)
+
+
+def test_for_with_empty_clauses():
+    loop = parse_main("for (;;) { break; }")[0]
+    assert loop.init is None and loop.cond is None and loop.step is None
+
+
+def test_compound_assignment():
+    statement = parse_main("x += 2 * 3;")[0]
+    assert isinstance(statement, ast.Assign)
+    assert statement.op == "+="
+
+
+def test_array_assignment_target():
+    statement = parse_main("a[i + 1] = 5;")[0]
+    assert isinstance(statement.target, ast.IndexExpr)
+
+
+def test_invalid_assignment_target():
+    with pytest.raises(MincSyntaxError):
+        parse_main("1 = 2;")
+
+
+def test_call_statement_and_expression():
+    statements = parse_main("f(); x = g(1, 2 + 3);")
+    assert isinstance(statements[0].expr, ast.CallExpr)
+    assert len(statements[1].value.args) == 2
+
+
+def test_input_expression():
+    statement = parse_main("x = input();")[0]
+    assert isinstance(statement.value, ast.InputExpr)
+
+
+def test_missing_semicolon():
+    with pytest.raises(MincSyntaxError):
+        parse_main("x = 1")
+
+
+def test_error_carries_location():
+    with pytest.raises(MincSyntaxError) as excinfo:
+        parse("int main() {\n  int x = ;\n}")
+    assert "line 2" in str(excinfo.value)
+
+
+def test_short_circuit_operators_parse():
+    expr = parse_main("return a && b || c;")[0].value
+    assert expr.op == "||"
+    assert expr.lhs.op == "&&"

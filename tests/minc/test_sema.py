@@ -1,0 +1,113 @@
+"""Semantic analysis tests: every rejection rule."""
+
+import pytest
+
+from repro.errors import MincSemanticError
+from repro.minc.parser import parse
+from repro.minc.sema import analyze
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def expect_error(source, fragment):
+    with pytest.raises(MincSemanticError) as excinfo:
+        check(source)
+    assert fragment in str(excinfo.value)
+
+
+def test_valid_program_passes():
+    info = check("int g; int a[4]; int f(int x) { return x; } "
+                 "int main() { return f(g) + a[0]; }")
+    assert "f" in info.functions
+    assert "g" in info.scalars
+    assert "a" in info.arrays
+
+
+def test_missing_main():
+    expect_error("int f() { return 0; }", "no main")
+
+
+def test_main_with_params():
+    expect_error("int main(int x) { return x; }", "no parameters")
+
+
+def test_duplicate_global():
+    expect_error("int x; int x; int main() { return 0; }", "duplicate")
+
+
+def test_duplicate_function():
+    expect_error("int f() { return 0; } int f() { return 0; } "
+                 "int main() { return 0; }", "duplicate")
+
+
+def test_function_global_collision():
+    expect_error("int f; int f() { return 0; } int main() { return 0; }",
+                 "collides")
+
+
+def test_duplicate_parameter():
+    expect_error("int f(int a, int a) { return 0; } "
+                 "int main() { return 0; }", "duplicate parameter")
+
+
+def test_undefined_variable():
+    expect_error("int main() { return nope; }", "undefined variable")
+
+
+def test_undefined_array():
+    expect_error("int main() { return nope[0]; }", "undefined array")
+
+
+def test_array_used_as_scalar():
+    expect_error("int a[4]; int main() { return a; }", "used as a scalar")
+
+
+def test_undefined_function_call():
+    expect_error("int main() { return nope(); }", "undefined function")
+
+
+def test_call_arity_mismatch():
+    expect_error("int f(int a) { return a; } int main() { return f(); }",
+                 "takes 1 args")
+
+
+def test_void_function_as_value():
+    expect_error("void f() { return; } int main() { return f(); }",
+                 "used as a value")
+
+
+def test_void_call_as_statement_is_fine():
+    check("void f() { return; } int main() { f(); return 0; }")
+
+
+def test_break_outside_loop():
+    expect_error("int main() { break; return 0; }", "break outside")
+
+
+def test_continue_outside_loop():
+    expect_error("int main() { continue; return 0; }", "continue outside")
+
+
+def test_break_inside_loop_is_fine():
+    check("int main() { while (1) { break; } return 0; }")
+
+
+def test_void_function_returning_value():
+    expect_error("void f() { return 1; } int main() { return 0; }",
+                 "void function returns a value")
+
+
+def test_int_function_bare_return():
+    expect_error("int f() { return; } int main() { return 0; }",
+                 "returns nothing")
+
+
+def test_local_redeclaration():
+    expect_error("int main() { int x; int x; return 0; }", "redeclaration")
+
+
+def test_locals_shadow_globals():
+    # A local may share a global scalar's name; the local wins.
+    check("int x = 5; int main() { int x = 1; return x; }")

@@ -1,0 +1,245 @@
+"""Language-semantics tests, executed on the reference interpreter.
+
+Each test compiles a small program and checks its printed output — the
+observable contract every later pipeline stage must preserve.
+"""
+
+from repro.ir import run_module
+from repro.minc import compile_to_ir
+
+
+def run(source, inputs=()):
+    return run_module(compile_to_ir(source), inputs).output
+
+
+def run_main(body, inputs=()):
+    return run("int main() { " + body + " return 0; }", inputs)
+
+
+class TestArithmetic:
+    def test_basic_operations(self):
+        assert run_main("print(2 + 3 * 4); print(10 - 7); print(20 / 4);")\
+            == [14, 3, 5]
+
+    def test_division_truncates_toward_zero(self):
+        assert run_main("print(-7 / 2); print(7 / -2); print(-7 % 2); "
+                        "print(7 % -2);") == [-3, -3, -1, 1]
+
+    def test_division_by_zero_yields_zero(self):
+        # The documented total-division semantics (shared with IDIV in
+        # the simulator).
+        assert run_main("int z = 0; print(5 / z); print(5 % z);") == [0, 0]
+
+    def test_wrapping_multiplication(self):
+        assert run_main("print(100000 * 100000);") == [1410065408]
+
+    def test_int_min_negation_wraps(self):
+        assert run_main("int m = -2147483647 - 1; print(-m);") \
+            == [-2147483648]
+
+    def test_shifts(self):
+        assert run_main("print(1 << 10); print(-8 >> 1); print(7 >> 1);")\
+            == [1024, -4, 3]
+
+    def test_bitwise(self):
+        assert run_main("print(12 & 10); print(12 | 10); print(12 ^ 10); "
+                        "print(~0);") == [8, 14, 6, -1]
+
+
+class TestComparisonsAndLogic:
+    def test_comparisons_produce_zero_or_one(self):
+        assert run_main("print(3 < 5); print(5 < 3); print(3 <= 3); "
+                        "print(3 == 4); print(3 != 4);") == [1, 0, 1, 0, 1]
+
+    def test_logical_not(self):
+        assert run_main("print(!0); print(!7); print(!!7);") == [1, 0, 1]
+
+    def test_short_circuit_and_skips_rhs(self):
+        source = """
+        int calls = 0;
+        int bump() { calls = calls + 1; return 1; }
+        int main() {
+          int r = 0 && bump();
+          print(r);
+          print(calls);
+          r = 1 && bump();
+          print(r);
+          print(calls);
+          return 0;
+        }
+        """
+        assert run(source) == [0, 0, 1, 1]
+
+    def test_short_circuit_or_skips_rhs(self):
+        source = """
+        int calls = 0;
+        int bump() { calls = calls + 1; return 0; }
+        int main() {
+          print(1 || bump());
+          print(calls);
+          print(0 || bump());
+          print(calls);
+          return 0;
+        }
+        """
+        assert run(source) == [1, 0, 0, 1]
+
+    def test_logical_result_is_normalized(self):
+        assert run_main("print(7 && 9); print(0 || 5);") == [1, 1]
+
+
+class TestControlFlow:
+    def test_while_with_break_continue(self):
+        body = """
+        int i = 0; int acc = 0;
+        while (i < 10) {
+          i++;
+          if (i == 3) { continue; }
+          if (i == 7) { break; }
+          acc += i;
+        }
+        print(acc);
+        """
+        assert run_main(body) == [1 + 2 + 4 + 5 + 6]
+
+    def test_nested_loops(self):
+        body = """
+        int total = 0;
+        int i; int j;
+        for (i = 0; i < 4; i++) {
+          for (j = 0; j < 3; j++) {
+            total += i * j;
+          }
+        }
+        print(total);
+        """
+        assert run_main(body) == [sum(i * j for i in range(4)
+                                      for j in range(3))]
+
+    def test_for_continue_still_steps(self):
+        body = """
+        int acc = 0;
+        int i;
+        for (i = 0; i < 5; i++) {
+          if (i == 2) { continue; }
+          acc += i;
+        }
+        print(acc); print(i);
+        """
+        assert run_main(body) == [0 + 1 + 3 + 4, 5]
+
+    def test_early_return(self):
+        source = """
+        int f(int x) {
+          if (x > 0) { return 1; }
+          return -1;
+        }
+        int main() { print(f(5)); print(f(-5)); return 0; }
+        """
+        assert run(source) == [1, -1]
+
+    def test_missing_return_yields_zero(self):
+        source = "int f() { } int main() { print(f()); return 0; }"
+        assert run(source) == [0]
+
+
+class TestDataAndCalls:
+    def test_globals_persist_across_calls(self):
+        source = """
+        int counter = 100;
+        void tick() { counter = counter + 1; }
+        int main() { tick(); tick(); tick(); print(counter); return 0; }
+        """
+        assert run(source) == [103]
+
+    def test_global_array_initializer(self):
+        source = ("int a[5] = {10, 20, 30};\n"
+                  "int main() { print(a[0] + a[2] + a[4]); return 0; }")
+        assert run(source) == [40]
+
+    def test_recursion(self):
+        source = """
+        int fact(int n) {
+          if (n <= 1) { return 1; }
+          return n * fact(n - 1);
+        }
+        int main() { print(fact(10)); return 0; }
+        """
+        assert run(source) == [3628800]
+
+    def test_mutual_recursion(self):
+        # MinC has no prototypes, but calls resolve at program level, so
+        # mutual recursion works regardless of definition order.
+        source = """
+        int is_even(int n) {
+          if (n == 0) { return 1; }
+          return is_odd_helper(n - 1);
+        }
+        int is_odd_helper(int n) {
+          if (n == 0) { return 0; }
+          return is_even(n - 1);
+        }
+        int main() { print(is_even(10)); print(is_even(7)); return 0; }
+        """
+        assert run(source) == [1, 0]
+
+    def test_arguments_evaluated_left_to_right(self):
+        source = """
+        int log_val[4];
+        int log_pos = 0;
+        int note(int x) { log_val[log_pos] = x; log_pos++; return x; }
+        int two(int a, int b) { return a * 10 + b; }
+        int main() {
+          print(two(note(1), note(2)));
+          print(log_val[0]); print(log_val[1]);
+          return 0;
+        }
+        """
+        assert run(source) == [12, 1, 2]
+
+    def test_input_reads_in_order_and_zero_pads(self):
+        assert run_main("print(input()); print(input()); print(input());",
+                        [11, 22]) == [11, 22, 0]
+
+    def test_compound_assignment_on_array_element(self):
+        source = """
+        int a[4] = {1, 2, 3, 4};
+        int main() {
+          int i = 2;
+          a[i] += 10;
+          a[i + 1] *= 5;
+          print(a[2]); print(a[3]);
+          return 0;
+        }
+        """
+        assert run(source) == [13, 20]
+
+    def test_incdec_statements(self):
+        body = "int x = 5; x++; x++; x--; print(x);"
+        assert run_main(body) == [6]
+
+    def test_compound_assignments(self):
+        body = ("int x = 10; x += 5; x -= 3; x *= 2; x /= 4; x %= 4; "
+                "x <<= 3; x >>= 1; x |= 1; x ^= 3; x &= 6; print(x);")
+        expected = 10
+        expected += 5
+        expected -= 3
+        expected *= 2
+        expected //= 4
+        expected %= 4
+        expected <<= 3
+        expected >>= 1
+        expected |= 1
+        expected ^= 3
+        expected &= 6
+        assert run_main(body) == [expected]
+
+
+def test_mutual_recursion_requires_definition_before_use_is_not_enforced():
+    # Calls resolve at the program level, so later definitions are fine.
+    source = """
+    int a(int n) { if (n == 0) { return 0; } return b(n - 1); }
+    int b(int n) { if (n == 0) { return 1; } return a(n - 1); }
+    int main() { print(a(4)); print(a(5)); return 0; }
+    """
+    assert run(source) == [0, 1]

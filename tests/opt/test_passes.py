@@ -1,0 +1,208 @@
+"""Unit tests for individual optimizer passes."""
+
+from repro.ir import (
+    Binary, Branch, Copy, CondBranch, Function, FunctionBuilder, Module,
+    Return,
+)
+from repro.ir.values import Const
+from repro.minc import compile_to_ir
+from repro.opt.constfold import fold_constants
+from repro.opt.copyprop import propagate_copies
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.simplifycfg import simplify_cfg
+from repro.opt.strength import reduce_strength
+
+
+def single_block_function(instrs):
+    function = Function("f")
+    builder = FunctionBuilder(function)
+    builder.start_block("entry")
+    function.entry.instrs = list(instrs) + [Return(Const(0))]
+    return function
+
+
+class TestConstFold:
+    def test_folds_constant_binary(self):
+        function = Function("f")
+        dst = function.new_vreg()
+        function = single_block_function(
+            [Binary("add", dst, Const(2), Const(3))])
+        fold_constants(function)
+        instr = function.entry.instrs[0]
+        assert isinstance(instr, Copy)
+        assert instr.src == Const(5)
+
+    def test_folds_constant_condbranch(self):
+        function = Function("f")
+        builder = FunctionBuilder(function)
+        entry = builder.start_block("entry")
+        then_block = builder.new_block("t")
+        else_block = builder.new_block("e")
+        builder.cond_branch(Const(1), then_block, else_block)
+        for block in (then_block, else_block):
+            builder.position_at(block)
+            builder.ret(Const(0))
+        fold_constants(function)
+        assert isinstance(entry.instrs[-1], Branch)
+        assert entry.instrs[-1].target == then_block.label
+
+
+class TestCopyProp:
+    def test_propagates_constant_through_copy(self):
+        function = Function("f")
+        a = function.new_vreg()
+        b = function.new_vreg()
+        function = single_block_function([
+            Copy(a, Const(7)),
+            Binary("add", b, a, Const(1)),
+        ])
+        propagate_copies(function)
+        assert function.entry.instrs[1].lhs == Const(7)
+
+    def test_redefinition_kills_mapping(self):
+        function = Function("f")
+        a = function.new_vreg()
+        b = function.new_vreg()
+        c = function.new_vreg()
+        function = single_block_function([
+            Copy(a, Const(7)),
+            Copy(a, Const(9)),
+            Binary("add", b, a, Const(0)),
+            Copy(c, b),
+        ])
+        propagate_copies(function)
+        assert function.entry.instrs[2].lhs == Const(9)
+
+    def test_stale_source_mapping_invalidated(self):
+        function = Function("f")
+        a = function.new_vreg()
+        b = function.new_vreg()
+        c = function.new_vreg()
+        function = single_block_function([
+            Copy(b, a),          # b -> a
+            Copy(a, Const(1)),   # a redefined: b must NOT become 1
+            Copy(c, b),
+        ])
+        propagate_copies(function)
+        assert function.entry.instrs[2].src == a or \
+            function.entry.instrs[2].src == b
+        assert function.entry.instrs[2].src != Const(1)
+
+
+class TestDce:
+    def test_removes_unused_pure_instruction(self):
+        function = Function("f")
+        dead = function.new_vreg()
+        function = single_block_function(
+            [Binary("add", dead, Const(1), Const(2))])
+        removed = eliminate_dead_code(function)
+        assert removed == 1
+        assert len(function.entry.instrs) == 1  # just the return
+
+    def test_removes_chains(self):
+        function = Function("f")
+        a = function.new_vreg()
+        b = function.new_vreg()
+        function = single_block_function([
+            Copy(a, Const(1)),
+            Binary("add", b, a, Const(2)),
+        ])
+        assert eliminate_dead_code(function) == 2
+
+    def test_keeps_live_instruction(self):
+        function = Function("f")
+        a = function.new_vreg()
+        function = single_block_function([Copy(a, Const(1))])
+        function.entry.instrs[-1] = Return(a)
+        assert eliminate_dead_code(function) == 0
+
+    def test_keeps_input_reads(self):
+        # Removing an Input would shift all later reads.
+        module = compile_to_ir("""
+        int main() {
+          int unused = input();
+          print(input());
+          return 0;
+        }
+        """)
+        from repro.opt.pipeline import optimize_module
+        from repro.ir import run_module
+        optimize_module(module)
+        assert run_module(module, [10, 20]).output == [20]
+
+
+class TestStrength:
+    def test_mul_power_of_two_becomes_shift(self):
+        function = Function("f")
+        dst = function.new_vreg()
+        src = function.new_vreg()
+        function = single_block_function(
+            [Binary("mul", dst, src, Const(8))])
+        reduce_strength(function)
+        instr = function.entry.instrs[0]
+        assert instr.op == "shl"
+        assert instr.rhs == Const(3)
+
+    def test_mul_by_zero_becomes_zero(self):
+        function = Function("f")
+        dst = function.new_vreg()
+        src = function.new_vreg()
+        function = single_block_function(
+            [Binary("mul", dst, src, Const(0))])
+        reduce_strength(function)
+        instr = function.entry.instrs[0]
+        assert isinstance(instr, Copy)
+        assert instr.src == Const(0)
+
+    def test_div_by_power_of_two_not_reduced(self):
+        # Signed division differs from arithmetic shift for negatives.
+        function = Function("f")
+        dst = function.new_vreg()
+        src = function.new_vreg()
+        function = single_block_function(
+            [Binary("div", dst, src, Const(4))])
+        reduce_strength(function)
+        assert function.entry.instrs[0].op == "div"
+
+    def test_add_zero_removed(self):
+        function = Function("f")
+        dst = function.new_vreg()
+        src = function.new_vreg()
+        function = single_block_function(
+            [Binary("add", dst, src, Const(0))])
+        reduce_strength(function)
+        assert isinstance(function.entry.instrs[0], Copy)
+
+
+class TestSimplifyCfg:
+    def test_removes_unreachable_blocks(self):
+        module = compile_to_ir("""
+        int main() {
+          return 1;
+          print(999);
+          return 2;
+        }
+        """)
+        function = module.function("main")
+        simplify_cfg(function)
+        labels = {b.label for b in function.blocks}
+        assert len(labels) >= 1
+        # Everything remaining is reachable from the entry.
+        reachable = {function.entry.label}
+        frontier = [function.entry.label]
+        while frontier:
+            block = function.block(frontier.pop())
+            for successor in block.successors():
+                if successor not in reachable:
+                    reachable.add(successor)
+                    frontier.append(successor)
+        assert labels == reachable
+
+    def test_merges_straightline_chain(self):
+        module = compile_to_ir(
+            "int main() { int x = 1; if (x) { x = 2; } print(x); "
+            "return 0; }")
+        from repro.opt.pipeline import optimize_module
+        optimize_module(module)
+        # Constant condition folds, chain merges: one block remains.
+        assert len(module.function("main").blocks) == 1

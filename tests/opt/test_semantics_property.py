@@ -1,0 +1,50 @@
+"""Property test: optimization preserves observable behaviour.
+
+Random MinC programs (tests.support) run both unoptimized and optimized
+through the reference interpreter; their output vectors and exit codes
+must be identical. The optimizer must also be deterministic — the
+profile-guided pipeline depends on bit-identical repeat builds.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import run_module
+from repro.minc import compile_to_ir
+from repro.opt import optimize_module
+from tests.support import generate_program
+
+
+@given(seed=st.integers(0, 10_000), program_input=st.integers(-100, 100))
+@settings(max_examples=60, deadline=None)
+def test_optimizer_preserves_behaviour(seed, program_input):
+    source = generate_program(seed)
+    plain = compile_to_ir(source)
+    optimized = optimize_module(compile_to_ir(source))
+
+    before = run_module(plain, [program_input], max_steps=2_000_000)
+    after = run_module(optimized, [program_input], max_steps=2_000_000)
+    assert before.output == after.output
+    assert before.exit_code == after.exit_code
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_optimizer_is_deterministic(seed):
+    source = generate_program(seed)
+    first = optimize_module(compile_to_ir(source))
+    second = optimize_module(compile_to_ir(source))
+    assert first.dump() == second.dump()
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_optimizer_never_grows_instruction_count(seed):
+    source = generate_program(seed)
+    plain = compile_to_ir(source)
+    optimized = optimize_module(compile_to_ir(source))
+
+    def count(module):
+        return sum(len(b.instrs) for f in module.functions.values()
+                   for b in f.blocks)
+
+    assert count(optimized) <= count(plain)

@@ -1,0 +1,205 @@
+"""Profiling tests: collection, spanning trees, instrumentation,
+reconstruction, serialization."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.ir import Interpreter, run_module
+from repro.minc import compile_to_ir
+from repro.opt import optimize_module
+from repro.profiling import (
+    EXIT_NODE, ProfileData, build_profile_graph, choose_counter_edges,
+    collect_profile, instrument_module, reconstruct_profile,
+)
+from repro.profiling.instrument import COUNTER_ARRAY, counters_from_interp
+
+LOOPY = """
+int main() {
+  int n = input();
+  int i;
+  int acc = 0;
+  for (i = 0; i < n; i++) {
+    if (i & 1) { acc += i; } else { acc += 2; }
+  }
+  print(acc);
+  return acc;
+}
+"""
+
+CALLS = """
+int helper(int x) {
+  if (x > 10) { return x - 10; }
+  return x;
+}
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 30; i++) { acc += helper(i); }
+  print(acc);
+  return 0;
+}
+"""
+
+
+def build(source):
+    return optimize_module(compile_to_ir(source))
+
+
+class TestCollect:
+    def test_block_counts_match_loop_structure(self):
+        module = build(LOOPY)
+        profile, result = collect_profile(module, [10])
+        assert profile.max_block_count >= 10
+        # Entry runs once.
+        entry_label = module.function("main").entry.label
+        assert profile.block_count("main", entry_label) == 1
+
+    def test_function_invocation_counts(self):
+        module = build(CALLS)
+        profile, _result = collect_profile(module, [])
+        helper_entry = module.function("helper").entry.label
+        assert profile.block_count("helper", helper_entry) == 30
+
+    def test_profiles_depend_on_input(self):
+        module = build(LOOPY)
+        small, _ = collect_profile(module, [2])
+        large, _ = collect_profile(module, [50])
+        assert large.max_block_count > small.max_block_count
+
+    def test_merge_accumulates(self):
+        module = build(LOOPY)
+        first, _ = collect_profile(module, [5])
+        second, _ = collect_profile(module, [7])
+        total_before = first.summary()[2] + second.summary()[2]
+        first.merge(second)
+        assert first.summary()[2] == total_before
+
+
+class TestSpanningTree:
+    def test_profile_graph_has_virtual_edge(self):
+        module = build(LOOPY)
+        edges = build_profile_graph(module.function("main"))
+        entry = module.function("main").entry.label
+        assert (EXIT_NODE, entry) in edges
+
+    def test_counter_plus_tree_cover_all_edges(self):
+        module = build(CALLS)
+        for function in module.functions.values():
+            counters, tree = choose_counter_edges(function)
+            edges = build_profile_graph(function)
+            assert sorted(counters + tree) == sorted(edges)
+
+    def test_virtual_edge_never_gets_a_counter(self):
+        module = build(CALLS)
+        for function in module.functions.values():
+            counters, _tree = choose_counter_edges(function)
+            assert all(source != EXIT_NODE for source, _t in counters)
+
+    def test_counter_count_is_cyclomatic(self):
+        # |counters| = |E| - |V| + 1 for a connected profile graph.
+        module = build(LOOPY)
+        function = module.function("main")
+        edges = build_profile_graph(function)
+        nodes = {node for edge in edges for node in edge}
+        counters, _tree = choose_counter_edges(function)
+        assert len(counters) == len(edges) - len(nodes) + 1
+
+
+class TestInstrumentReconstruct:
+    def reconstruct_for(self, source, inputs):
+        clean = build(source)
+        ground_truth, clean_result = collect_profile(clean, inputs)
+
+        instrumented = build(source)
+        imap = instrument_module(instrumented)
+        interp = Interpreter(instrumented, input_values=inputs)
+        instrumented_result = interp.run()
+        counters = counters_from_interp(interp)
+        reconstructed = reconstruct_profile(clean, imap, counters)
+        return ground_truth, reconstructed, clean_result, \
+            instrumented_result
+
+    @pytest.mark.parametrize("source,inputs", [
+        (LOOPY, [13]), (LOOPY, [0]), (CALLS, []),
+    ])
+    def test_reconstruction_matches_ground_truth(self, source, inputs):
+        truth, reconstructed, _r1, _r2 = self.reconstruct_for(source,
+                                                              inputs)
+        assert reconstructed.block_counts == truth.block_counts
+        assert reconstructed.edge_counts == truth.edge_counts
+
+    def test_instrumentation_preserves_behaviour(self):
+        _t, _r, clean_result, instrumented_result = self.reconstruct_for(
+            LOOPY, [9])
+        assert clean_result.output == instrumented_result.output
+        assert clean_result.exit_code == instrumented_result.exit_code
+
+    def test_instrumented_binary_path(self):
+        # The full-fidelity path: compile the instrumented module, run it
+        # on the machine simulator, read counters from simulated memory.
+        from repro.backend.linker import link
+        from repro.backend.lowering import lower_module
+        from repro.profiling.instrument import counters_from_machine
+        from repro.runtime.lib import runtime_unit
+        from repro.sim.machine import Machine
+
+        clean = build(LOOPY)
+        truth, _result = collect_profile(clean, [11])
+
+        instrumented = build(LOOPY)
+        imap = instrument_module(instrumented)
+        binary = link([runtime_unit(), lower_module(instrumented, "p")])
+        machine = Machine(binary, input_values=[11])
+        machine.run()
+        counters = counters_from_machine(machine, binary,
+                                         imap.counter_count())
+        reconstructed = reconstruct_profile(clean, imap, counters)
+        assert reconstructed.block_counts == truth.block_counts
+
+    def test_double_instrumentation_rejected(self):
+        module = build(LOOPY)
+        instrument_module(module)
+        with pytest.raises(ProfileError):
+            instrument_module(module)
+
+    def test_counter_array_added(self):
+        module = build(LOOPY)
+        imap = instrument_module(module)
+        assert COUNTER_ARRAY in module.globals
+        assert module.globals[COUNTER_ARRAY].size >= imap.counter_count()
+
+    def test_mismatched_counter_vector_rejected(self):
+        clean = build(LOOPY)
+        instrumented = build(LOOPY)
+        imap = instrument_module(instrumented)
+        with pytest.raises(ProfileError):
+            reconstruct_profile(clean, imap, [])
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, tmp_path):
+        module = build(LOOPY)
+        profile, _result = collect_profile(module, [9])
+        path = tmp_path / "profile.json"
+        profile.save(path)
+        loaded = ProfileData.load(path)
+        assert loaded.edge_counts == profile.edge_counts
+        assert loaded.block_counts == profile.block_counts
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProfileError):
+            ProfileData.from_json("not json at all {")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ProfileError):
+            ProfileData.from_json('{"version": 99, "edges": []}')
+
+    def test_summary_statistics(self):
+        profile = ProfileData.from_edges({
+            ("f", None, "a"): 1,
+            ("f", "a", "b"): 100,
+            ("f", "b", "b"): 899,
+        })
+        maximum, median, total = profile.summary()
+        assert maximum == 999  # block b: 100 + 899
+        assert total >= maximum

@@ -1,0 +1,91 @@
+"""Diversification-entropy tests (§6's number-of-versions discussion)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import PAPER_CONFIGS
+from repro.core.policies import block_probability_function
+from repro.security.entropy import (
+    bernoulli_entropy, distinct_variants, optimal_uniform_probability,
+    per_instruction_entropy, unit_entropy,
+)
+
+
+class TestBernoulliEntropy:
+    def test_peak_at_half(self):
+        assert bernoulli_entropy(0.5) == pytest.approx(1.0)
+
+    def test_zero_at_endpoints(self):
+        assert bernoulli_entropy(0.0) == 0.0
+        assert bernoulli_entropy(1.0) == 0.0
+
+    def test_symmetry(self):
+        assert bernoulli_entropy(0.3) == pytest.approx(
+            bernoulli_entropy(0.7))
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_bounded_by_one_bit(self, p):
+        assert 0.0 <= bernoulli_entropy(p) <= 1.0 + 1e-12
+
+    def test_paper_claim_50_percent_beats_30_percent(self):
+        # §6: the number of versions is maximized at pNOP = 50% (for the
+        # insert/don't-insert decision alone).
+        assert bernoulli_entropy(0.5) > bernoulli_entropy(0.3)
+        assert bernoulli_entropy(0.5) > bernoulli_entropy(0.7)
+
+
+class TestPerInstructionEntropy:
+    def test_candidate_choice_adds_bits(self):
+        single = per_instruction_entropy(0.5, 1)
+        five = per_instruction_entropy(0.5, 5)
+        assert five == pytest.approx(single + 0.5 * math.log2(5))
+
+    def test_optimal_probability_formula(self):
+        for k in (1, 2, 5, 7):
+            p_star = optimal_uniform_probability(k)
+            assert p_star == pytest.approx(k / (k + 1))
+            below = per_instruction_entropy(p_star - 0.05, k)
+            above = per_instruction_entropy(min(p_star + 0.05, 0.999), k)
+            at = per_instruction_entropy(p_star, k)
+            assert at >= below and at >= above
+
+    def test_k1_reduces_to_the_papers_50_percent(self):
+        assert optimal_uniform_probability(1) == pytest.approx(0.5)
+
+    def test_invalid_candidate_count(self):
+        with pytest.raises(ValueError):
+            per_instruction_entropy(0.5, 0)
+
+
+class TestUnitEntropy:
+    def test_profile_guided_gives_up_entropy_in_hot_code(self, fib_build):
+        uniform = PAPER_CONFIGS["50%"]
+        guided = PAPER_CONFIGS["10-50%"]
+        profile = fib_build.profile((9,))
+
+        uniform_bits, visited = unit_entropy(
+            fib_build.unit, block_probability_function(uniform), 5)
+        guided_bits, visited_too = unit_entropy(
+            fib_build.unit,
+            block_probability_function(guided, profile), 5)
+        assert visited == visited_too > 0
+        assert guided_bits < uniform_bits
+
+    def test_runtime_contributes_no_entropy(self, fib_build):
+        from repro.runtime.lib import runtime_unit
+        policy = block_probability_function(PAPER_CONFIGS["50%"])
+        bits, visited = unit_entropy(runtime_unit(), policy, 5)
+        assert bits == 0.0 and visited == 0
+
+    def test_entropy_predicts_distinct_binaries(self, fib_build):
+        # With tens of bits of entropy, a 12-binary population collides
+        # with negligible probability.
+        bits, _visited = unit_entropy(
+            fib_build.unit,
+            block_probability_function(PAPER_CONFIGS["50%"]), 5)
+        assert bits > 40
+        population = fib_build.link_population(PAPER_CONFIGS["50%"],
+                                               range(12))
+        assert distinct_variants(population) == 12

@@ -1,0 +1,69 @@
+"""Figure 2 reproduction: NOP insertion displaces code and destroys
+gadgets by breaking misaligned decodes.
+
+The paper's figure shows program code containing an unintended gadget
+(`ADC [ECX], EAX; RET` style) whose RET byte stops being reachable once a
+NOP shifts the enclosing instructions.
+"""
+
+from repro.security.gadgets import find_gadgets
+from repro.security.survivor import surviving_gadgets
+from repro.x86.decoder import try_decode
+
+
+def test_unintended_gadget_destroyed_by_displacement():
+    # Original stream: mov eax, 0x00c2c358 — embeds pop eax; ret at +1.
+    original = bytes.fromhex("b858c3c200") + bytes.fromhex("c3")
+    gadgets_before = find_gadgets(original)
+    assert 1 in gadgets_before
+    assert gadgets_before[1].mnemonics() == ("pop", "ret")
+
+    # Diversified: a NOP prepended. The embedded bytes now sit at +2:
+    # the attacker aiming at +1 decodes something else entirely.
+    diversified = b"\x90" + original
+    at_old_offset = try_decode(diversified, 1)
+    assert at_old_offset is None or \
+        at_old_offset.mnemonic != "pop"
+
+    count, offsets = surviving_gadgets(original, diversified)
+    assert 1 not in offsets
+
+
+def test_displacement_accumulates_through_the_listing(fib_build):
+    """Later instructions are displaced by increasingly larger amounts
+    (paper Figure 2's accumulation)."""
+    from repro.core.config import PAPER_CONFIGS
+
+    baseline = fib_build.link_baseline()
+    variant = fib_build.link_variant(PAPER_CONFIGS["50%"], seed=2)
+
+    base_records = [r for r in baseline.instr_records
+                    if not r.is_inserted_nop and r.block_id
+                    and r.block_id[0] in ("fib", "main")]
+    var_records = [r for r in variant.instr_records
+                   if not r.is_inserted_nop and r.block_id
+                   and r.block_id[0] in ("fib", "main")]
+    assert len(base_records) == len(var_records)
+
+    displacements = [v.address - b.address
+                     for b, v in zip(base_records, var_records)]
+    # Non-negative, non-decreasing... not strictly (relaxation can shrink
+    # a branch), but overall must grow substantially.
+    assert displacements[0] >= 0
+    assert displacements[-1] > 10
+    # Average displacement of the second half exceeds the first half.
+    half = len(displacements) // 2
+    first = sum(displacements[:half]) / half
+    second = sum(displacements[half:]) / (len(displacements) - half)
+    assert second > first
+
+
+def test_branch_offsets_recomputed_around_nops(fib_build):
+    """Diversified binaries still execute correctly because the linker
+    re-resolves every branch across inserted NOPs."""
+    from repro.core.config import PAPER_CONFIGS
+
+    reference = fib_build.run_reference((9,))
+    variant = fib_build.link_variant(PAPER_CONFIGS["50%"], seed=13)
+    result = fib_build.simulate(variant, (9,))
+    assert result.output == reference.output

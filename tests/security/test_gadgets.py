@@ -1,0 +1,101 @@
+"""Gadget finder tests."""
+
+from repro.security.gadgets import (
+    Gadget, find_gadgets, free_branch_ends, gadget_count,
+)
+
+
+def test_bare_ret_is_a_gadget():
+    gadgets = find_gadgets(b"\xc3")
+    assert 0 in gadgets
+    assert gadgets[0].mnemonics() == ("ret",)
+
+
+def test_pop_ret_gadget():
+    gadgets = find_gadgets(bytes.fromhex("58c3"))  # pop eax; ret
+    assert gadgets[0].mnemonics() == ("pop", "ret")
+
+
+def test_every_suffix_offset_found():
+    # mov eax,1 ; pop ebx ; ret — gadgets at several start offsets.
+    text = bytes.fromhex("b801000000" "5b" "c3")
+    gadgets = find_gadgets(text)
+    assert 0 in gadgets      # the full sequence
+    assert 5 in gadgets      # pop ebx; ret
+    assert 6 in gadgets      # ret
+
+
+def test_unintended_instructions_found():
+    # mov eax, 0x00c2c358: misaligned decode gives pop eax; ret at +1.
+    text = bytes.fromhex("b858c3c200")
+    gadgets = find_gadgets(text)
+    assert 1 in gadgets
+    assert gadgets[1].mnemonics() == ("pop", "ret")
+
+
+def test_interior_control_flow_disqualifies():
+    # jmp +0 ; ret — the jmp ends the attacker's decode.
+    text = bytes.fromhex("eb00c3")
+    gadgets = find_gadgets(text)
+    assert 0 not in gadgets
+    assert 2 in gadgets  # the ret alone
+
+
+def test_int80_allowed_inside_gadget():
+    text = bytes.fromhex("cd80c3")  # int 0x80; ret
+    gadgets = find_gadgets(text)
+    assert gadgets[0].mnemonics() == ("int", "ret")
+
+
+def test_ret_imm16_terminates_gadgets():
+    text = bytes.fromhex("58c20800")  # pop eax; ret 8
+    gadgets = find_gadgets(text)
+    assert gadgets[0].mnemonics() == ("pop", "ret")
+    assert gadgets[0].terminator.operands[0].value == 8
+
+
+def test_indirect_jump_terminates_gadgets():
+    text = bytes.fromhex("58ffe0")  # pop eax; jmp eax
+    gadgets = find_gadgets(text)
+    assert gadgets[0].mnemonics() == ("pop", "jmp_reg")
+
+
+def test_max_instruction_limit():
+    # Seven movs then ret: with max_instrs=5 the full window is not a
+    # gadget, but the 4-instruction suffix is.
+    text = bytes.fromhex("89d8" * 7 + "c3")
+    gadgets = find_gadgets(text, max_instrs=5)
+    assert 0 not in gadgets
+    assert 2 * 3 in gadgets
+
+
+def test_window_limits_lookback():
+    text = bytes.fromhex("90" * 30 + "c3")
+    gadgets = find_gadgets(text, window=4)
+    assert min(gadgets) == 30 - 4
+
+
+def test_free_branch_ends_finds_all_kinds():
+    text = bytes.fromhex("c3" "c20400" "ffd1" "ffe2")
+    ends = free_branch_ends(text)
+    end_offsets = [end for end, _length in ends]
+    assert 1 in end_offsets       # ret
+    assert 4 in end_offsets       # ret imm16
+    assert 6 in end_offsets       # call ecx
+    assert 8 in end_offsets       # jmp edx
+
+
+def test_gadget_count_matches_find(fib_build):
+    binary = fib_build.link_baseline()
+    assert gadget_count(binary.text) == len(find_gadgets(binary.text))
+
+
+def test_real_binary_has_gadgets(fib_build):
+    binary = fib_build.link_baseline()
+    gadgets = find_gadgets(binary.text)
+    assert len(gadgets) > 10
+    for gadget in gadgets.values():
+        assert gadget.terminator.is_free_branch
+        assert isinstance(gadget, Gadget)
+        assert gadget.raw == bytes(binary.text[gadget.offset:
+                                               gadget.offset + gadget.size])

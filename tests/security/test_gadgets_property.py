@@ -1,0 +1,47 @@
+"""Property tests for the gadget finder on arbitrary byte strings."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.security.gadgets import find_gadgets
+from repro.x86.decoder import try_decode
+
+
+@given(st.binary(min_size=0, max_size=300))
+@settings(max_examples=150)
+def test_gadgets_are_internally_consistent(data):
+    gadgets = find_gadgets(data)
+    for offset, gadget in gadgets.items():
+        # The raw bytes really live at that offset.
+        assert data[offset:offset + gadget.size] == gadget.raw
+        # The instruction sequence re-decodes from the raw bytes.
+        position = 0
+        for instr in gadget.instrs:
+            decoded = try_decode(gadget.raw, position)
+            assert decoded == instr
+            position += decoded.size
+        assert position == gadget.size
+        # Exactly one free branch, at the end.
+        assert gadget.terminator.is_free_branch
+        for instr in gadget.instrs[:-1]:
+            assert not instr.is_free_branch
+
+
+@given(st.binary(min_size=0, max_size=300))
+@settings(max_examples=100)
+def test_every_ret_byte_yields_a_gadget(data):
+    gadgets = find_gadgets(data)
+    for position, byte in enumerate(data):
+        if byte == 0xC3:
+            assert position in gadgets
+            assert gadgets[position].instrs[-1].mnemonic == "ret" or \
+                gadgets[position].instrs[0].mnemonic == "ret"
+
+
+@given(st.binary(min_size=0, max_size=200))
+@settings(max_examples=100)
+def test_scan_is_deterministic(data):
+    first = find_gadgets(data)
+    second = find_gadgets(data)
+    assert first.keys() == second.keys()
+    for offset in first:
+        assert first[offset].raw == second[offset].raw

@@ -1,0 +1,51 @@
+"""Population survival tests (paper Table 3's measurement)."""
+
+from repro.core.config import PAPER_CONFIGS
+from repro.security.population import (
+    population_signatures, population_survival,
+)
+
+
+def test_thresholds_monotone(fib_build):
+    config = PAPER_CONFIGS["30%"]
+    texts = [fib_build.link_variant(config, seed=s).text
+             for s in range(8)]
+    result = population_survival(texts, thresholds=(1, 2, 4, 8))
+    assert result[1] >= result[2] >= result[4] >= result[8]
+
+
+def test_identical_population_survives_everywhere(fib_build):
+    text = fib_build.link_baseline().text
+    result = population_survival([text] * 5, thresholds=(2, 5))
+    assert result[2] == result[5]
+    assert result[5] > 0
+
+
+def test_runtime_floor_survives_in_all_variants(fib_build):
+    # Gadgets in the undiversified runtime appear in every variant at
+    # the same offsets: the ≥N count is at least the libc floor.
+    config = PAPER_CONFIGS["50%"]
+    texts = [fib_build.link_variant(config, seed=s).text
+             for s in range(6)]
+    result = population_survival(texts, thresholds=(6,))
+    assert result[6] > 0
+
+
+def test_signatures_reuse_matches_direct(fib_build):
+    config = PAPER_CONFIGS["30%"]
+    texts = [fib_build.link_variant(config, seed=s).text
+             for s in range(4)]
+    signatures = population_signatures(texts)
+    direct = population_survival(texts, thresholds=(2, 3))
+    cached = population_survival(texts, thresholds=(2, 3),
+                                 signatures=signatures)
+    assert direct == cached
+
+
+def test_same_offset_different_content_counted_separately():
+    # Two variants with *different* gadgets at the same offset do not
+    # form a shared gadget.
+    variant_a = bytes.fromhex("5bc3")  # pop ebx; ret
+    variant_b = bytes.fromhex("58c3")  # pop eax; ret
+    result = population_survival([variant_a, variant_b], thresholds=(2,))
+    assert result[2] == 1  # only the bare ret at offset 1 is shared

@@ -1,0 +1,173 @@
+"""ROPgadget/microgadgets scanner and attack construction tests."""
+
+import pytest
+
+from repro.backend.linker import link
+from repro.backend.objfile import FunctionCode, LabelDef, ObjectUnit
+from repro.security.attack import (
+    attempt_attack, build_exit_chain, execute_chain,
+)
+from repro.security.gadgets import find_gadgets
+from repro.security.microgadgets import MicroGadgetScanner
+from repro.security.ropgadget import RopGadgetScanner
+from repro.x86.instructions import Imm, Instr
+from repro.x86.registers import EAX, EBX, ECX
+
+
+def binary_with_gadget_bytes(*gadget_hexes):
+    """A minimal binary whose text embeds the given gadget byte strings.
+
+    Each gadget is padded into its own mov-immediate(s) so adjacent
+    gadgets never bleed into the next instruction's opcode byte — the
+    same "unintended instructions inside constants" mechanism real
+    binaries exhibit.
+    """
+    import struct
+
+    unit = ObjectUnit("t")
+    unit.add_function(FunctionCode("_start", [
+        LabelDef("_start"),
+        Instr("mov", EBX, Imm(0)),
+        Instr("mov", EAX, Imm(0)),
+        Instr("int", Imm(0x80)),
+    ]))
+    filler = []
+    for raw_hex in gadget_hexes:
+        raw = bytes.fromhex(raw_hex)
+        padded = raw + b"\x90" * ((4 - len(raw) % 4) % 4)
+        for index in range(0, len(padded), 4):
+            (value,) = struct.unpack("<i", padded[index:index + 4])
+            filler.append(Instr("mov", ECX, Imm(value)))
+    filler.append(Instr("ret"))
+    unit.add_function(FunctionCode("filler",
+                                   [LabelDef("filler")] + filler))
+    return link([unit])
+
+
+class TestClassification:
+    def test_pop_ret_classified_as_load_const(self):
+        binary = binary_with_gadget_bytes("58c3")  # pop eax; ret
+        toolkit = RopGadgetScanner().scan(find_gadgets(binary.text))
+        assert toolkit.has("load_const", "eax")
+
+    def test_int80_ret_classified_as_syscall(self):
+        binary = binary_with_gadget_bytes("cd80c3")
+        toolkit = RopGadgetScanner().scan(find_gadgets(binary.text))
+        assert toolkit.has("syscall")
+
+    def test_xor_self_classified_as_zero(self):
+        binary = binary_with_gadget_bytes("31c0c3")  # xor eax,eax; ret
+        toolkit = RopGadgetScanner().scan(find_gadgets(binary.text))
+        assert toolkit.has("zero", "eax")
+
+    def test_mov_store_classified(self):
+        binary = binary_with_gadget_bytes("8908c3")  # mov [eax], ecx; ret
+        toolkit = RopGadgetScanner().scan(find_gadgets(binary.text))
+        assert toolkit.has("store_mem", ("eax", "ecx"))
+
+    def test_ret_imm_not_used_for_chains(self):
+        binary = binary_with_gadget_bytes("58c20400")  # pop eax; ret 4
+        toolkit = RopGadgetScanner().scan(find_gadgets(binary.text))
+        assert not toolkit.has("load_const", "eax")
+
+    def test_microgadgets_only_accepts_tiny(self):
+        # pop eax; pop ecx; ret is 3 bytes total -> allowed; a 5-byte
+        # mov imm gadget is not.
+        binary = binary_with_gadget_bytes("58c3")
+        micro = MicroGadgetScanner().scan(find_gadgets(binary.text))
+        assert micro.has("load_const", "eax")
+
+    def test_microgadgets_rejects_longer_gadgets(self):
+        # mov eax, imm32; ret = 6 bytes: ropgadget sees it, micro not.
+        # (This one is an *intended* instruction sequence: gadgets longer
+        # than 4 bytes cannot hide inside a single immediate.)
+        unit = ObjectUnit("t")
+        unit.add_function(FunctionCode("_start", [
+            LabelDef("_start"),
+            Instr("mov", EBX, Imm(0)),
+            Instr("mov", EAX, Imm(0)),
+            Instr("int", Imm(0x80)),
+        ]))
+        unit.add_function(FunctionCode("loader", [
+            LabelDef("loader"),
+            Instr("mov", EAX, Imm(0)),
+            Instr("ret"),
+        ]))
+        binary = link([unit])
+        gadgets = find_gadgets(binary.text)
+        rop = RopGadgetScanner().scan(gadgets)
+        micro = MicroGadgetScanner().scan(gadgets)
+        assert rop.has("load_const_imm", ("eax", 0))
+        assert not micro.has("load_const_imm", ("eax", 0))
+
+
+class TestFeasibility:
+    def test_full_toolkit_feasible(self):
+        binary = binary_with_gadget_bytes("58c3", "5bc3", "cd80c3")
+        scanner = RopGadgetScanner()
+        toolkit = scanner.scan(find_gadgets(binary.text))
+        assert scanner.is_attack_feasible(toolkit)
+
+    def test_missing_syscall_infeasible(self):
+        binary = binary_with_gadget_bytes("58c3", "5bc3")
+        scanner = RopGadgetScanner()
+        toolkit = scanner.scan(find_gadgets(binary.text))
+        requirements = scanner.attack_requirements(toolkit)
+        assert not requirements["syscall"]
+
+    def test_zero_plus_inc_satisfies_micro_eax(self):
+        # xor eax,eax; ret + inc eax; ret + pop ebx; ret + int80; ret
+        binary = binary_with_gadget_bytes("31c0c3", "40c3", "5bc3", "cd80c3")
+        scanner = MicroGadgetScanner()
+        toolkit = scanner.scan(find_gadgets(binary.text))
+        assert scanner.is_attack_feasible(toolkit)
+
+
+class TestChainExecution:
+    def test_chain_executes_and_exits_with_attacker_code(self):
+        binary = binary_with_gadget_bytes("58c3", "5bc3", "cd80c3")
+        result = attempt_attack(binary, RopGadgetScanner(), exit_code=99)
+        assert result.succeeded
+        assert "exit=99" in result.detail
+
+    def test_chain_via_zero_and_pop(self):
+        binary = binary_with_gadget_bytes("31c0c3", "5bc3", "cd80c3")
+        result = attempt_attack(binary, RopGadgetScanner(), exit_code=7)
+        assert result.succeeded
+
+    def test_microgadget_arithmetic_chain(self):
+        # EBX built with xor ebx,ebx + inc ebx repeats.
+        binary = binary_with_gadget_bytes(
+            "31c0c3", "31dbc3", "43c3", "cd80c3")
+        result = attempt_attack(binary, MicroGadgetScanner(), exit_code=5)
+        assert result.succeeded
+
+    def test_infeasible_attack_reports_missing(self):
+        binary = binary_with_gadget_bytes("5bc3")
+        result = attempt_attack(binary, RopGadgetScanner())
+        assert not result.feasible
+        assert "missing" in result.detail
+
+    def test_execute_chain_reports_faults(self):
+        binary = binary_with_gadget_bytes("58c3")
+        # A chain jumping to unmapped memory faults cleanly.
+        ran, exit_code, detail = execute_chain(binary, [0xDEAD0000])
+        assert not ran
+        assert "fault" in detail
+
+
+class TestDiversifiedTarget:
+    def test_attack_on_diversified_fib_fails(self, fib_build):
+        from repro.core.config import PAPER_CONFIGS
+        from repro.security.survivor import surviving_gadgets
+
+        baseline = fib_build.link_baseline()
+        variant = fib_build.link_variant(PAPER_CONFIGS["50%"], seed=17)
+        _count, offsets = surviving_gadgets(baseline.text, variant.text)
+        surviving = {offset: gadget for offset, gadget
+                     in find_gadgets(variant.text).items()
+                     if offset in set(offsets)}
+        result = attempt_attack(variant, RopGadgetScanner(),
+                                gadgets=surviving)
+        # fib has no magic constants: no pop-eax style gadget survives.
+        assert not result.succeeded

@@ -1,0 +1,81 @@
+"""Survivor algorithm tests (paper §5.2)."""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIGS
+from repro.security.gadgets import find_gadgets
+from repro.security.survivor import (
+    gadget_signatures, normalized_bytes, surviving_gadgets,
+)
+
+
+def test_identical_binaries_all_gadgets_survive(fib_build):
+    binary = fib_build.link_baseline()
+    total = len(find_gadgets(binary.text))
+    count, offsets = surviving_gadgets(binary.text, binary.text)
+    assert count == total
+    assert len(offsets) == total
+
+
+def test_normalization_strips_nop_candidates():
+    class FakeGadget:
+        raw = bytes.fromhex("9089e45bc3")
+    assert normalized_bytes(FakeGadget()) == bytes.fromhex("5bc3")
+
+
+def test_survivor_counts_nop_padded_gadget_as_surviving():
+    # Diversified side has a NOP before the same gadget bytes at the
+    # same offset: normalization must count it as surviving
+    # (conservative overestimate).
+    original = bytes.fromhex("5bc3" + "90" * 3)
+    diversified = bytes.fromhex("5b90c390")  # pop ebx; nop; ret
+    count, offsets = surviving_gadgets(original, diversified)
+    assert 0 in offsets
+
+
+def test_displaced_gadget_does_not_survive():
+    original = bytes.fromhex("5bc3")          # pop ebx; ret at +0
+    diversified = bytes.fromhex("01d85bc3")   # same gadget at +2
+    count, _offsets = surviving_gadgets(original, diversified)
+    assert count == 0
+
+
+def test_different_content_at_same_offset_does_not_survive():
+    original = bytes.fromhex("5bc3")   # pop ebx; ret
+    diversified = bytes.fromhex("58c3")  # pop eax; ret
+    count, _offsets = surviving_gadgets(original, diversified)
+    # offset 1 (bare ret) survives; offset 0 does not.
+    assert count == 1
+
+
+def test_diversification_reduces_survivors(fib_build):
+    baseline = fib_build.link_baseline()
+    total = len(find_gadgets(baseline.text))
+    variant = fib_build.link_variant(PAPER_CONFIGS["50%"], seed=8)
+    count, _offsets = surviving_gadgets(baseline.text, variant.text)
+    assert count < total
+
+
+def test_precomputed_signatures_give_same_answer(fib_build):
+    baseline = fib_build.link_baseline()
+    variant = fib_build.link_variant(PAPER_CONFIGS["50%"], seed=3)
+    signatures = gadget_signatures(baseline.text)
+    direct = surviving_gadgets(baseline.text, variant.text)
+    cached = surviving_gadgets(baseline.text, variant.text,
+                               original_signatures=signatures)
+    assert direct == cached
+
+
+def test_runtime_gadgets_always_survive(fib_build):
+    # The undiversified libc at the front of .text keeps its gadgets at
+    # fixed offsets in every variant — the paper's surviving-gadget floor.
+    baseline = fib_build.link_baseline()
+    runtime_end = max(end for name, (start, end)
+                      in baseline.function_ranges.items()
+                      if name.startswith("__") or name == "_start")
+    runtime_size = runtime_end - baseline.text_base
+    for seed in range(3):
+        variant = fib_build.link_variant(PAPER_CONFIGS["50%"], seed=seed)
+        _count, offsets = surviving_gadgets(baseline.text, variant.text)
+        runtime_survivors = [o for o in offsets if o < runtime_size]
+        assert runtime_survivors, "libc gadgets must persist"

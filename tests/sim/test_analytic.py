@@ -1,0 +1,78 @@
+"""Analytic-vs-measured equivalence: the cornerstone of the fast harness.
+
+The Figure-4 benchmark sweep relies on the analytic engine producing
+exactly what per-block cost accounting over a simulated run would, for
+both baseline and diversified binaries.
+"""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIGS
+from repro.pipeline import ProgramBuild
+from repro.sim.analytic import (
+    block_counts_from_profile, block_counts_from_sim, estimate_cycles,
+)
+from tests.conftest import FIB_SOURCE, HOTCOLD_SOURCE
+
+SOURCES = {
+    "fib": (FIB_SOURCE, (9,)),
+    "hotcold": (HOTCOLD_SOURCE, (300,)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_ir_counts_equal_machine_counts(name):
+    source, inputs = SOURCES[name]
+    build = ProgramBuild(source, name)
+    binary = build.link_baseline()
+    sim = build.simulate(binary, inputs, count_addresses=True)
+
+    machine_counts = block_counts_from_sim(binary, sim.addr_counts)
+    ir_counts = build.execution_counts(inputs)
+
+    for block_id, count in machine_counts.items():
+        assert ir_counts.get(block_id, 0) == count, block_id
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_analytic_cycles_match_simulated_attribution(name):
+    source, inputs = SOURCES[name]
+    build = ProgramBuild(source, name)
+    binary = build.link_baseline()
+    sim = build.simulate(binary, inputs, count_addresses=True)
+
+    from_machine = estimate_cycles(
+        binary, block_counts_from_sim(binary, sim.addr_counts))
+    from_ir = estimate_cycles(binary, build.execution_counts(inputs))
+    assert from_machine == pytest.approx(from_ir)
+
+
+@pytest.mark.parametrize("label", ["50%", "0-30%"])
+def test_analytic_matches_on_diversified_binaries(label):
+    build = ProgramBuild(FIB_SOURCE, "fib")
+    config = PAPER_CONFIGS[label]
+    profile = build.profile((7,)) if config.requires_profile else None
+    variant = build.link_variant(config, seed=3, profile=profile)
+    sim = build.simulate(variant, (9,), count_addresses=True)
+
+    from_machine = estimate_cycles(
+        variant, block_counts_from_sim(variant, sim.addr_counts))
+    from_ir = estimate_cycles(variant, build.execution_counts((9,)))
+    assert from_machine == pytest.approx(from_ir)
+
+
+def test_overhead_positive_and_profile_guided_smaller():
+    build = ProgramBuild(FIB_SOURCE, "fib")
+    naive = build.overhead(PAPER_CONFIGS["50%"], seed=1, ref_input=(9,))
+    guided = build.overhead(PAPER_CONFIGS["0-30%"], seed=1,
+                            train_input=(7,), ref_input=(9,))
+    assert naive > 0
+    assert 0 <= guided < naive
+
+
+def test_block_counts_from_profile_includes_runtime_and_edges():
+    build = ProgramBuild(FIB_SOURCE, "fib")
+    profile = build.profile((9,))
+    counts = block_counts_from_profile(build.module, profile)
+    assert counts[("_start", "body")] == 1
+    assert counts[("__print_int", "body")] == 4  # fib prints four values

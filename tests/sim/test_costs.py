@@ -1,0 +1,124 @@
+"""Cost model tests: classification, block aggregation, ablation knobs."""
+
+from repro.sim.costs import (
+    CostModel, DEFAULT_COST_MODEL, block_cost_table, cycles_from_counts,
+    instr_issue_cost, instr_memory_cost,
+)
+from repro.x86.instructions import Imm, Instr, Mem
+from repro.x86.nops import NOP_CANDIDATES
+from repro.x86.registers import EAX, EBX, ECX
+
+
+class TestIssueCosts:
+    def test_alu_cheap(self):
+        assert instr_issue_cost(Instr("add", EAX, EBX)) == \
+            DEFAULT_COST_MODEL.alu_issue
+
+    def test_idiv_expensive(self):
+        assert instr_issue_cost(Instr("idiv", ECX)) == \
+            DEFAULT_COST_MODEL.idiv_issue
+
+    def test_nop_candidates_cost_nop_issue(self):
+        for candidate in NOP_CANDIDATES:
+            instr = candidate.to_instr()
+            expected = (DEFAULT_COST_MODEL.xchg_nop_issue
+                        if candidate.locks_bus
+                        else DEFAULT_COST_MODEL.nop_issue)
+            assert instr_issue_cost(instr) == expected, candidate.name
+
+    def test_xchg_nops_much_more_expensive_than_others(self):
+        # The paper's reason for excluding them from the default set.
+        assert (DEFAULT_COST_MODEL.xchg_nop_issue
+                > 10 * DEFAULT_COST_MODEL.nop_issue)
+
+    def test_conditional_vs_unconditional_branch(self):
+        assert instr_issue_cost(Instr("je", None)) == \
+            DEFAULT_COST_MODEL.branch_issue
+        assert instr_issue_cost(Instr("jmp", None)) == \
+            DEFAULT_COST_MODEL.jump_issue
+
+
+class TestMemoryCosts:
+    def test_register_op_has_no_memory_cost(self):
+        assert instr_memory_cost(Instr("add", EAX, EBX)) == 0.0
+
+    def test_memory_operand_costs(self):
+        assert instr_memory_cost(Instr("mov", EAX, Mem(base=EBX))) == \
+            DEFAULT_COST_MODEL.memory_cost
+
+    def test_lea_is_not_a_memory_access(self):
+        assert instr_memory_cost(Instr("lea", EAX, Mem(base=EBX))) == 0.0
+
+    def test_nops_never_touch_memory(self):
+        for candidate in NOP_CANDIDATES:
+            assert instr_memory_cost(candidate.to_instr()) == 0.0
+
+    def test_push_pop_cost_stack_traffic(self):
+        assert instr_memory_cost(Instr("push", EAX)) == \
+            DEFAULT_COST_MODEL.push_pop_memory
+
+    def test_call_ret_cost_return_address_traffic(self):
+        assert instr_memory_cost(Instr("ret")) == \
+            DEFAULT_COST_MODEL.push_pop_memory
+
+
+class _FakeRecord:
+    def __init__(self, instr, block_id):
+        self.instr = instr
+        self.block_id = block_id
+
+
+class TestBlockModel:
+    def test_block_cost_is_max_plus_overlap(self):
+        records = [
+            _FakeRecord(Instr("add", EAX, EBX), ("f", "b")),
+            _FakeRecord(Instr("mov", EAX, Mem(base=EBX)), ("f", "b")),
+        ]
+        model = DEFAULT_COST_MODEL
+        table = block_cost_table(records, model)
+        issue, memory = table[("f", "b")]
+        assert issue == 2 * model.alu_issue
+        assert memory == model.memory_cost
+        cycles = cycles_from_counts(records, {("f", "b"): 10}, model)
+        expected = 10 * (max(issue, memory)
+                         + model.overlap_factor * min(issue, memory))
+        assert abs(cycles - expected) < 1e-9
+
+    def test_unexecuted_blocks_cost_nothing(self):
+        records = [_FakeRecord(Instr("idiv", ECX), ("f", "cold"))]
+        assert cycles_from_counts(records, {}) == 0.0
+
+    def test_nops_in_memory_bound_block_are_nearly_free(self):
+        model = DEFAULT_COST_MODEL
+        loads = [_FakeRecord(Instr("mov", EAX, Mem(base=EBX)), ("f", "b"))
+                 for _ in range(6)]
+        base = cycles_from_counts(loads, {("f", "b"): 100}, model)
+        nop = NOP_CANDIDATES[0].to_instr()
+        with_nops = loads + [_FakeRecord(nop, ("f", "b"))
+                             for _ in range(3)]
+        diversified = cycles_from_counts(with_nops, {("f", "b"): 100},
+                                         model)
+        overhead = diversified / base - 1
+        assert overhead < 0.05  # hidden behind the memory port
+
+    def test_nops_in_issue_bound_block_cost_fully(self):
+        model = DEFAULT_COST_MODEL
+        alus = [_FakeRecord(Instr("add", EAX, EBX), ("f", "b"))
+                for _ in range(6)]
+        base = cycles_from_counts(alus, {("f", "b"): 100}, model)
+        nop = NOP_CANDIDATES[0].to_instr()
+        with_nops = alus + [_FakeRecord(nop, ("f", "b"))
+                            for _ in range(3)]
+        diversified = cycles_from_counts(with_nops, {("f", "b"): 100},
+                                         model)
+        overhead = diversified / base - 1
+        expected = 3 * model.nop_issue / (6 * model.alu_issue)
+        assert abs(overhead - expected) < 1e-9
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_model(self):
+        model = DEFAULT_COST_MODEL.with_overrides(nop_issue=2.0)
+        assert model.nop_issue == 2.0
+        assert DEFAULT_COST_MODEL.nop_issue != 2.0
+        assert isinstance(model, CostModel)

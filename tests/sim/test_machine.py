@@ -1,0 +1,314 @@
+"""Simulator semantics tests: flags, wrapping, stack, syscalls, faults.
+
+Small code sequences are assembled by hand, linked into a minimal unit
+and executed; register/flag state is inspected directly.
+"""
+
+import pytest
+
+from repro.backend.linker import link
+from repro.backend.objfile import FunctionCode, LabelDef, ObjectUnit
+from repro.errors import SimulatorError
+from repro.sim.machine import Machine, run_binary
+from repro.sim.memory import STACK_TOP
+from repro.x86.instructions import Imm, Instr, Label, Mem
+from repro.x86.registers import EAX, EBX, ECX, EDX, ESP
+
+
+def machine_for(instrs, data_symbols=None):
+    """Link a raw instruction sequence as _start and build a Machine."""
+    unit = ObjectUnit("test")
+    items = [LabelDef("_start")] + list(instrs)
+    unit.add_function(FunctionCode("_start", items))
+    if data_symbols:
+        unit.data_symbols.update(data_symbols)
+    binary = link([unit])
+    return Machine(binary), binary
+
+
+def run_instrs(instrs, steps, data_symbols=None):
+    machine, _binary = machine_for(instrs, data_symbols)
+    for _ in range(steps):
+        machine.step()
+    return machine
+
+
+class TestArithmeticFlags:
+    def test_add_sets_carry_and_wraps(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(-1)),
+            Instr("add", EAX, Imm(1)),
+        ], 2)
+        assert machine.regs[0] == 0
+        assert machine.cf == 1
+        assert machine.zf == 1
+
+    def test_add_signed_overflow(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(0x7FFFFFFF)),
+            Instr("add", EAX, Imm(1)),
+        ], 2)
+        assert machine.of == 1
+        assert machine.sf == 1
+
+    def test_sub_borrow(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(0)),
+            Instr("sub", EAX, Imm(1)),
+        ], 2)
+        assert machine.regs[0] == 0xFFFFFFFF
+        assert machine.cf == 1
+        assert machine.sf == 1
+
+    def test_cmp_does_not_write(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(5)),
+            Instr("cmp", EAX, Imm(9)),
+        ], 2)
+        assert machine.regs[0] == 5
+        assert machine.cf == 1  # 5 < 9 unsigned
+
+    def test_logic_clears_carry_overflow(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(-1)),
+            Instr("add", EAX, Imm(1)),   # sets CF
+            Instr("and", EAX, Imm(0)),
+        ], 3)
+        assert machine.cf == 0 and machine.of == 0 and machine.zf == 1
+
+    def test_inc_preserves_carry(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(-1)),
+            Instr("add", EAX, Imm(1)),   # CF=1
+            Instr("mov", EBX, Imm(5)),
+            Instr("inc", EBX),
+        ], 4)
+        assert machine.cf == 1
+        assert machine.regs[3] == 6
+
+    def test_neg(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(5)),
+            Instr("neg", EAX),
+        ], 2)
+        assert machine.regs[0] == 0xFFFFFFFB
+        assert machine.cf == 1
+
+
+class TestMulDiv:
+    def test_imul_wraps(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(100000)),
+            Instr("mov", ECX, Imm(100000)),
+            Instr("imul", EAX, ECX),
+        ], 3)
+        assert machine.regs[0] == (100000 * 100000) & 0xFFFFFFFF
+
+    def test_idiv_truncates_toward_zero(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(-7)),
+            Instr("cdq"),
+            Instr("mov", ECX, Imm(2)),
+            Instr("idiv", ECX),
+        ], 4)
+        assert machine.regs[0] == (-3) & 0xFFFFFFFF
+        assert machine.regs[2] == (-1) & 0xFFFFFFFF
+
+    def test_idiv_by_zero_defined_as_zero(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(9)),
+            Instr("cdq"),
+            Instr("mov", ECX, Imm(0)),
+            Instr("idiv", ECX),
+        ], 4)
+        assert machine.regs[0] == 0
+        assert machine.regs[2] == 0
+
+    def test_cdq_sign_extends(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(-5)),
+            Instr("cdq"),
+        ], 2)
+        assert machine.regs[2] == 0xFFFFFFFF
+
+
+class TestShifts:
+    def test_sar_arithmetic(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(-8)),
+            Instr("sar", EAX, Imm(1)),
+        ], 2)
+        assert machine.regs[0] == (-4) & 0xFFFFFFFF
+
+    def test_shr_logical(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(-8)),
+            Instr("shr", EAX, Imm(1)),
+        ], 2)
+        assert machine.regs[0] == 0x7FFFFFFC
+
+    def test_shift_count_masked(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(1)),
+            Instr("mov", ECX, Imm(33)),
+            Instr("shl", EAX, ECX),
+        ], 3)
+        assert machine.regs[0] == 2
+
+    def test_zero_count_leaves_flags(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(-1)),
+            Instr("add", EAX, Imm(1)),   # ZF=1
+            Instr("mov", ECX, Imm(0)),
+            Instr("mov", EBX, Imm(4)),
+            Instr("shl", EBX, ECX),
+        ], 5)
+        assert machine.zf == 1
+
+
+class TestStack:
+    def test_push_pop(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(123)),
+            Instr("push", EAX),
+            Instr("pop", EBX),
+        ], 3)
+        assert machine.regs[3] == 123
+
+    def test_push_moves_esp_down(self):
+        machine = run_instrs([Instr("push", Imm(1))], 1)
+        assert machine.regs[4] == STACK_TOP - 64 - 4
+
+    def test_ret_imm_pops_extra(self):
+        # call callee with one stack argument; callee returns with ret 4,
+        # so the caller must NOT clean the stack itself.
+        unit = ObjectUnit("t")
+        unit.add_function(FunctionCode("_start", [
+            LabelDef("_start"),
+            Instr("push", Imm(111)),
+            Instr("call", Label("callee")),
+            Instr("mov", EBX, EAX),
+            Instr("mov", EAX, Imm(0)),
+            Instr("int", Imm(0x80)),
+        ]))
+        unit.add_function(FunctionCode("callee", [
+            LabelDef("callee"),
+            Instr("mov", EAX, Mem(base=ESP, disp=4)),
+            Instr("ret", Imm(4)),
+        ]))
+        machine = Machine(link([unit]))
+        esp_before = machine.regs[4]
+        result = machine.run()
+        assert result.exit_code == 111
+        # The argument push and the callee's ret 4 balance exactly.
+        assert machine.regs[4] == esp_before
+
+
+class TestControlFlowAndSyscalls:
+    def test_exit_syscall(self):
+        result = run_binary(_exit_binary(7))
+        assert result.exit_code == 7
+
+    def test_print_syscall_is_signed(self):
+        unit = ObjectUnit("t")
+        unit.add_function(FunctionCode("_start", [
+            LabelDef("_start"),
+            Instr("mov", EBX, Imm(-9)),
+            Instr("mov", EAX, Imm(1)),
+            Instr("int", Imm(0x80)),
+            Instr("mov", EBX, Imm(0)),
+            Instr("mov", EAX, Imm(0)),
+            Instr("int", Imm(0x80)),
+        ]))
+        result = run_binary(link([unit]))
+        assert result.output == [-9]
+
+    def test_read_syscall_consumes_inputs(self):
+        unit = ObjectUnit("t")
+        unit.add_function(FunctionCode("_start", [
+            LabelDef("_start"),
+            Instr("mov", EAX, Imm(2)),
+            Instr("int", Imm(0x80)),
+            Instr("mov", EBX, EAX),
+            Instr("mov", EAX, Imm(0)),
+            Instr("int", Imm(0x80)),
+        ]))
+        result = run_binary(link([unit]), input_values=[55])
+        assert result.exit_code == 55
+
+    def test_unknown_syscall_faults(self):
+        unit = ObjectUnit("t")
+        unit.add_function(FunctionCode("_start", [
+            LabelDef("_start"),
+            Instr("mov", EAX, Imm(99)),
+            Instr("int", Imm(0x80)),
+        ]))
+        with pytest.raises(SimulatorError):
+            run_binary(link([unit]))
+
+    def test_hlt_faults(self):
+        unit = ObjectUnit("t")
+        unit.add_function(FunctionCode("_start", [
+            LabelDef("_start"), Instr("hlt"),
+        ]))
+        with pytest.raises(SimulatorError):
+            run_binary(link([unit]))
+
+    def test_step_limit(self):
+        unit = ObjectUnit("t")
+        unit.add_function(FunctionCode("_start", [
+            LabelDef("_start"),
+            LabelDef("spin"),
+            Instr("jmp", Label("spin")),
+        ]))
+        with pytest.raises(SimulatorError):
+            run_binary(link([unit]), max_steps=100)
+
+
+class TestMemoryProtection:
+    def test_write_to_text_faults(self):
+        machine, binary = machine_for([
+            Instr("mov", EAX, Imm(0x08048000)),
+            Instr("mov", Mem(base=EAX), EAX),
+        ])
+        machine.step()
+        with pytest.raises(SimulatorError) as excinfo:
+            machine.step()
+        assert "W^X" in str(excinfo.value)
+
+    def test_wild_read_faults(self):
+        machine, _binary = machine_for([
+            Instr("mov", EAX, Imm(0x100)),
+            Instr("mov", EBX, Mem(base=EAX)),
+        ])
+        machine.step()
+        with pytest.raises(SimulatorError):
+            machine.step()
+
+    def test_execute_outside_text_faults(self):
+        machine, _binary = machine_for([
+            Instr("mov", EAX, Imm(0x1000)),
+            Instr("jmp_reg", EAX),
+        ])
+        machine.step()
+        machine.step()
+        with pytest.raises(SimulatorError):
+            machine.step()
+
+    def test_data_initializers_loaded(self):
+        machine, binary = machine_for([
+            Instr("mov", EAX, Mem(symbol="table", disp=4)),
+        ], data_symbols={"table": [10, 20, 30]})
+        machine.step()
+        assert machine.regs[0] == 20
+
+
+def _exit_binary(code):
+    unit = ObjectUnit("t")
+    unit.add_function(FunctionCode("_start", [
+        LabelDef("_start"),
+        Instr("mov", EBX, Imm(code)),
+        Instr("mov", EAX, Imm(0)),
+        Instr("int", Imm(0x80)),
+    ]))
+    return link([unit])

@@ -1,0 +1,122 @@
+"""Simulator edge cases: rotates, unsigned MUL, wide division, xchg."""
+
+from repro.backend.linker import link
+from repro.backend.objfile import FunctionCode, LabelDef, ObjectUnit
+from repro.sim.machine import Machine
+from repro.x86.instructions import Imm, Instr, Mem
+from repro.x86.registers import EAX, EBX, ECX, EDX
+
+
+def run_instrs(instrs, steps):
+    unit = ObjectUnit("t")
+    unit.add_function(FunctionCode("_start",
+                                   [LabelDef("_start")] + list(instrs)))
+    machine = Machine(link([unit]))
+    for _ in range(steps):
+        machine.step()
+    return machine
+
+
+class TestRotates:
+    def test_rol(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(0x80000001)),
+            Instr("rol", EAX, Imm(1)),
+        ], 2)
+        assert machine.regs[0] == 0x00000003
+        assert machine.cf == 1  # low bit of result
+
+    def test_ror(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(1)),
+            Instr("ror", EAX, Imm(1)),
+        ], 2)
+        assert machine.regs[0] == 0x80000000
+        assert machine.cf == 1  # high bit of result
+
+    def test_rotate_full_circle(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(0x12345678)),
+            Instr("rol", EAX, Imm(16)),
+            Instr("rol", EAX, Imm(16)),
+        ], 3)
+        assert machine.regs[0] == 0x12345678
+
+
+class TestMul:
+    def test_mul_is_unsigned_and_widens(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(-1)),   # 0xFFFFFFFF unsigned
+            Instr("mov", ECX, Imm(2)),
+            Instr("mul", ECX),
+        ], 3)
+        # 0xFFFFFFFF * 2 = 0x1_FFFFFFFE
+        assert machine.regs[0] == 0xFFFFFFFE
+        assert machine.regs[2] == 1
+        assert machine.cf == 1 and machine.of == 1
+
+    def test_mul_no_overflow_clears_flags(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(3)),
+            Instr("mov", ECX, Imm(4)),
+            Instr("mul", ECX),
+        ], 3)
+        assert machine.regs[0] == 12
+        assert machine.regs[2] == 0
+        assert machine.cf == 0
+
+
+class TestWideDivision:
+    def test_64bit_dividend(self):
+        # EDX:EAX = 0x1_00000000 (4294967296), divide by 3.
+        machine = run_instrs([
+            Instr("mov", EDX, Imm(1)),
+            Instr("mov", EAX, Imm(0)),
+            Instr("mov", ECX, Imm(3)),
+            Instr("idiv", ECX),
+        ], 4)
+        assert machine.regs[0] == 4294967296 // 3
+        assert machine.regs[2] == 4294967296 % 3
+
+    def test_negative_wide_dividend(self):
+        # EDX:EAX = -10 (sign-extended), divide by 3 -> -3 rem -1.
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(-10)),
+            Instr("cdq"),
+            Instr("mov", ECX, Imm(3)),
+            Instr("idiv", ECX),
+        ], 4)
+        assert machine.regs[0] == (-3) & 0xFFFFFFFF
+        assert machine.regs[2] == (-1) & 0xFFFFFFFF
+
+
+class TestXchg:
+    def test_xchg_registers(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(1)),
+            Instr("mov", EBX, Imm(2)),
+            Instr("xchg", EAX, EBX),
+        ], 3)
+        assert machine.regs[0] == 2
+        assert machine.regs[3] == 1
+
+    def test_xchg_with_memory(self):
+        from repro.x86.registers import ESP
+        machine = run_instrs([
+            Instr("push", Imm(77)),
+            Instr("mov", EAX, Imm(5)),
+            Instr("xchg", Mem(base=ESP), EAX),
+        ], 3)
+        assert machine.regs[0] == 77
+        assert machine.memory.read_u32(machine.regs[4]) == 5
+
+
+class TestSetccWritesLowByteOnly:
+    def test_upper_bytes_preserved(self):
+        machine = run_instrs([
+            Instr("mov", EAX, Imm(0x12345600)),
+            Instr("mov", ECX, Imm(1)),
+            Instr("test", ECX, ECX),
+            Instr("setne", EAX),
+        ], 4)
+        assert machine.regs[0] == 0x12345601

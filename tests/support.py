@@ -1,0 +1,140 @@
+"""Test support: a random MinC program generator for property testing.
+
+The generator produces small, always-terminating programs (bounded for
+loops over constant trip counts, guarded array indices via masking) that
+exercise arithmetic, arrays, branches, calls and I/O. Used by the
+differential property tests: interpreter output == simulator output ==
+diversified-simulator output for every generated program.
+"""
+
+from __future__ import annotations
+
+import random
+
+_BINOPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+           "<", "<=", ">", ">=", "==", "!="]
+
+
+class _ProgramGenerator:
+    def __init__(self, rng):
+        self.rng = rng
+        self.globals = ["g0", "g1"]
+        self.arrays = {"arr": 32}
+        self.functions = []  # (name, n_params)
+        self.loop_counter = 0
+
+    def expr(self, variables, depth=0):
+        rng = self.rng
+        choices = ["literal", "var"]
+        if depth < 3:
+            choices += ["binop", "binop", "unary", "index"]
+            if self.functions and depth < 2:
+                choices.append("call")
+        kind = rng.choice(choices)
+        if kind == "literal":
+            return str(rng.randint(-64, 64))
+        if kind == "var" and variables:
+            return rng.choice(variables)
+        if kind == "index":
+            inner = self.expr(variables, depth + 1)
+            return f"arr[({inner}) & 31]"
+        if kind == "unary":
+            op = rng.choice(["-", "!", "~"])
+            return f"({op}({self.expr(variables, depth + 1)}))"
+        if kind == "call" and self.functions:
+            name, n_params = rng.choice(self.functions)
+            args = ", ".join(self.expr(variables, depth + 1)
+                             for _ in range(n_params))
+            return f"{name}({args})"
+        if kind == "binop":
+            op = rng.choice(_BINOPS)
+            lhs = self.expr(variables, depth + 1)
+            rhs = self.expr(variables, depth + 1)
+            if op in ("<<", ">>"):
+                rhs = f"(({rhs}) & 7)"
+            return f"(({lhs}) {op} ({rhs}))"
+        return str(rng.randint(0, 9))
+
+    def statements(self, variables, depth, budget, writable=None):
+        rng = self.rng
+        # Loop counters are readable but never assignable: an assignment
+        # to a loop variable could reset it every iteration and make the
+        # generated program non-terminating.
+        writable = list(writable if writable is not None else variables)
+        lines = []
+        count = rng.randint(1, 4)
+        for _ in range(count):
+            if budget[0] <= 0:
+                break
+            budget[0] -= 1
+            kind = rng.choice(["assign", "assign", "store", "if", "loop",
+                               "print"])
+            if kind == "assign" and writable:
+                target = rng.choice(writable)
+                lines.append(f"{target} = {self.expr(variables)};")
+            elif kind == "store":
+                index = self.expr(variables)
+                value = self.expr(variables)
+                lines.append(f"arr[({index}) & 31] = {value};")
+            elif kind == "if" and depth < 2:
+                cond = self.expr(variables)
+                body = self.statements(variables, depth + 1, budget,
+                                       writable)
+                lines.append("if (" + cond + ") {")
+                lines.extend("  " + line for line in body)
+                if rng.random() < 0.4:
+                    lines.append("} else {")
+                    body = self.statements(variables, depth + 1, budget,
+                                           writable)
+                    lines.extend("  " + line for line in body)
+                lines.append("}")
+            elif kind == "loop" and depth < 2:
+                # MinC has flat function scoping, so every loop variable
+                # needs a unique name.
+                loop_var = f"i{self.loop_counter}"
+                self.loop_counter += 1
+                trip = rng.randint(1, 8)
+                body = self.statements(variables + [loop_var],
+                                       depth + 1, budget, writable)
+                lines.append(f"for (int {loop_var} = 0; {loop_var} < "
+                             f"{trip}; {loop_var}++) {{")
+                lines.extend("  " + line for line in body)
+                lines.append("}")
+            else:
+                lines.append(f"print({self.expr(variables)});")
+        return lines
+
+
+def generate_program(seed):
+    """A random, terminating MinC program exercising the language."""
+    rng = random.Random(seed)
+    generator = _ProgramGenerator(rng)
+
+    parts = ["int g0 = 3;", "int g1 = 7;", "int arr[32];", ""]
+
+    # One or two helper functions with 1-2 parameters.
+    for index in range(rng.randint(1, 2)):
+        n_params = rng.randint(1, 2)
+        params = ", ".join(f"int p{i}" for i in range(n_params))
+        name = f"helper{index}"
+        variables = [f"p{i}" for i in range(n_params)] + ["g0", "g1"]
+        # Helpers are straight-line (depth 2 disables loops and ifs):
+        # main's loops may call helpers many times, so a loop inside a
+        # helper would make generated programs exponentially expensive.
+        body = generator.statements(variables, 2, [8])
+        parts.append(f"int {name}({params}) {{")
+        parts.extend("  " + line for line in body)
+        parts.append(f"  return {generator.expr(variables)};")
+        parts.append("}")
+        parts.append("")
+        generator.functions.append((name, n_params))
+
+    variables = ["g0", "g1", "x"]
+    body = generator.statements(variables, 0, [14])
+    parts.append("int main() {")
+    parts.append("  int x = input();")
+    parts.extend("  " + line for line in body)
+    parts.append(f"  print({generator.expr(variables)});")
+    parts.append(f"  return {generator.expr(variables)};")
+    parts.append("}")
+    return "\n".join(parts)

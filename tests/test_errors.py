@@ -1,0 +1,34 @@
+"""Error-hierarchy tests: everything raised is a ReproError subclass."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy():
+    for name in ("MincSyntaxError", "MincSemanticError", "IRError",
+                 "LoweringError", "EncodingError", "DecodingError",
+                 "LinkError", "SimulatorError", "ProfileError",
+                 "WorkloadError"):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_syntax_error_location_formatting():
+    error = errors.MincSyntaxError("bad token", line=3, column=7)
+    assert "line 3" in str(error)
+    assert "column 7" in str(error)
+    assert error.line == 3
+
+
+def test_syntax_error_without_location():
+    error = errors.MincSyntaxError("bad token")
+    assert str(error) == "bad token"
+
+
+def test_callers_can_catch_the_base_class():
+    from repro.minc import compile_to_ir
+    with pytest.raises(errors.ReproError):
+        compile_to_ir("int main( {")
+    with pytest.raises(errors.ReproError):
+        compile_to_ir("int main() { return nope; }")

@@ -1,0 +1,78 @@
+"""ProgramBuild driver unit tests."""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIGS
+from repro.errors import ProfileError
+from repro.pipeline import ProgramBuild, build_ir, compile_and_link
+from tests.conftest import FIB_SOURCE
+
+
+@pytest.fixture(scope="module")
+def build():
+    return ProgramBuild(FIB_SOURCE, "pipe")
+
+
+def test_build_ir_is_deterministic():
+    first = build_ir(FIB_SOURCE, "a")
+    second = build_ir(FIB_SOURCE, "a")
+    assert first.dump() == second.dump()
+
+
+def test_profile_cached_by_input(build):
+    first = build.profile((5,))
+    again = build.profile((5,))
+    assert first is again
+    other = build.profile((6,))
+    assert other is not first
+
+
+def test_profile_cached_by_explicit_key(build):
+    first = build.profile((5,), key="train")
+    again = build.profile((99,), key="train")  # key wins over input
+    assert first is again
+
+
+def test_profile_multi_accumulates(build):
+    multi = build.profile_multi([(3,), (4,)], key="multi")
+    single = build.profile((3,))
+    assert multi.summary()[2] > single.summary()[2]
+
+
+def test_link_population_sizes(build):
+    population = build.link_population(PAPER_CONFIGS["30%"], range(4))
+    assert len(population) == 4
+    assert len({binary.text for binary in population}) == 4
+
+
+def test_profile_guided_without_profile_raises(build):
+    with pytest.raises(ProfileError):
+        build.link_variant(PAPER_CONFIGS["0-30%"], seed=0, profile=None)
+
+
+def test_overhead_collects_profile_automatically(build):
+    overhead = build.overhead(PAPER_CONFIGS["0-30%"], seed=0,
+                              train_input=(5,), ref_input=(9,))
+    assert overhead >= 0
+
+
+def test_overhead_with_custom_cost_model(build):
+    from repro.sim.costs import DEFAULT_COST_MODEL
+    expensive = DEFAULT_COST_MODEL.with_overrides(nop_issue=5.0)
+    cheap = build.overhead(PAPER_CONFIGS["50%"], seed=1, ref_input=(9,))
+    dear = build.overhead(PAPER_CONFIGS["50%"], seed=1, ref_input=(9,),
+                          model=expensive)
+    assert dear > cheap
+
+
+def test_compile_and_link_shape():
+    binary = compile_and_link("int main() { return 3; }", "tiny")
+    assert binary.entry == binary.code_symbols["_start"]
+    assert "main" in binary.code_symbols
+
+
+def test_opt_level_reduces_code():
+    optimized = ProgramBuild(FIB_SOURCE, "o2", opt_level=2)
+    unoptimized = ProgramBuild(FIB_SOURCE, "o0", opt_level=0)
+    assert len(optimized.link_baseline().text) < \
+        len(unoptimized.link_baseline().text)

@@ -1,0 +1,67 @@
+"""Reporting helper tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.reporting import (
+    ascii_bar_chart, format_table, geometric_mean_overhead,
+)
+
+
+class TestGeometricMean:
+    def test_empty(self):
+        assert geometric_mean_overhead([]) == 0.0
+
+    def test_single(self):
+        assert geometric_mean_overhead([0.08]) == pytest.approx(0.08)
+
+    def test_known_value(self):
+        # geomean of (1.1, 1.2) - 1
+        expected = math.sqrt(1.1 * 1.2) - 1
+        assert geometric_mean_overhead([0.1, 0.2]) == \
+            pytest.approx(expected)
+
+    def test_zero_overheads(self):
+        assert geometric_mean_overhead([0.0, 0.0]) == pytest.approx(0.0)
+
+    @given(st.lists(st.floats(min_value=-0.5, max_value=2.0),
+                    min_size=1, max_size=20))
+    def test_bounded_by_min_and_max(self, overheads):
+        result = geometric_mean_overhead(overheads)
+        assert min(overheads) - 1e-9 <= result <= max(overheads) + 1e-9
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(("name", "value"),
+                            [("alpha", 1.5), ("b", 22.25)],
+                            title="Title")
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # Numeric cells are right-aligned with two decimals.
+        assert "1.50" in text and "22.25" in text
+
+    def test_string_cells_left_aligned(self):
+        text = format_table(("a",), [("x",), ("longer",)])
+        rows = text.splitlines()[2:]
+        assert rows[0].startswith("x")
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = ascii_bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title_line(self):
+        chart = ascii_bar_chart(["a"], [1.0], title="T")
+        assert chart.splitlines()[0] == "T"
+
+    def test_zero_values(self):
+        chart = ascii_bar_chart(["a"], [0.0])
+        assert "#" not in chart

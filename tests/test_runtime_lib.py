@@ -1,0 +1,195 @@
+"""Runtime library correctness tests.
+
+The runtime routines beyond ``_start``/``__print_int``/``__read_int``
+exist to reproduce the paper's undiversified-libc gadget floor — but
+they are real, working code, not filler. Each test drives one routine
+through a hand-written assembly ``main`` (the runtime's ``_start`` calls
+it and exits with its return value).
+"""
+
+import pytest
+
+from repro.backend.linker import link
+from repro.backend.objfile import FunctionCode, LabelDef, ObjectUnit
+from repro.runtime.lib import RUNTIME_FUNCTION_NAMES, runtime_unit
+from repro.sim.machine import run_binary
+from repro.x86.instructions import Imm, Instr, Label, Mem
+from repro.x86.registers import EAX, ECX, ESP
+
+
+def drive(main_items, data_symbols=None):
+    """Link a hand-written ``main`` against the runtime and execute."""
+    unit = ObjectUnit("driver")
+    unit.add_function(FunctionCode("main",
+                                   [LabelDef("main")] + list(main_items)))
+    if data_symbols:
+        unit.data_symbols.update(data_symbols)
+    binary = link([runtime_unit(), unit])
+    return run_binary(binary), binary
+
+
+def drive_with_addresses(make_items, data_symbols):
+    """Like :func:`drive` for mains that embed data addresses as
+    immediates: ``make_items(symbols)`` builds the item list from a
+    symbol→address map, and linking iterates to a fixpoint (address
+    guesses change instruction sizes, which move the data section).
+    """
+    symbols = {name: 0x0804F000 for name in data_symbols}
+    binary = None
+    for _ in range(4):
+        unit = ObjectUnit("driver")
+        unit.add_function(FunctionCode(
+            "main", [LabelDef("main")] + list(make_items(symbols))))
+        unit.data_symbols.update(data_symbols)
+        binary = link([runtime_unit(), unit])
+        if binary.data_symbols == {**binary.data_symbols, **symbols}:
+            break
+        symbols = dict(binary.data_symbols)
+    return run_binary(binary), binary
+
+
+def call_runtime(function, args, data_symbols=None):
+    """main() { return function(*args); }"""
+    items = []
+    for arg in reversed(args):
+        items.append(Instr("push", Imm(arg)))
+    items.append(Instr("call", Label(function)))
+    if args:
+        items.append(Instr("add", ESP, Imm(4 * len(args))))
+    items.append(Instr("ret"))
+    return drive(items, data_symbols)
+
+
+def test_runtime_names_stable():
+    assert RUNTIME_FUNCTION_NAMES[0] == "_start"
+    assert "__print_int" in RUNTIME_FUNCTION_NAMES
+    assert "__gcd" in RUNTIME_FUNCTION_NAMES
+
+
+@pytest.mark.parametrize("value,expected", [(5, 5), (-5, 5), (0, 0)])
+def test_abs(value, expected):
+    result, _binary = call_runtime("__abs", [value])
+    assert result.exit_code == expected
+
+
+@pytest.mark.parametrize("a,b,expected", [(3, 9, 3), (9, 3, 3),
+                                          (-2, 2, -2)])
+def test_imin(a, b, expected):
+    result, _binary = call_runtime("__imin", [a, b])
+    assert result.exit_code == expected
+
+
+@pytest.mark.parametrize("a,b,expected", [(3, 9, 9), (9, 3, 9),
+                                          (-2, 2, 2)])
+def test_imax(a, b, expected):
+    result, _binary = call_runtime("__imax", [a, b])
+    assert result.exit_code == expected
+
+
+@pytest.mark.parametrize("a,b,expected", [(12, 18, 6), (7, 13, 1),
+                                          (42, 0, 42)])
+def test_gcd(a, b, expected):
+    result, _binary = call_runtime("__gcd", [a, b])
+    assert result.exit_code == expected
+
+
+def test_udiv10():
+    result, _binary = call_runtime("__udiv10", [1234])
+    assert result.exit_code == 123
+
+
+def test_sumw():
+    def make_items(symbols):
+        return [
+            Instr("push", Imm(4)),
+            Instr("push", Imm(symbols["buffer"])),
+            Instr("call", Label("__sumw")),
+            Instr("add", ESP, Imm(8)),
+            Instr("ret"),
+        ]
+    result, _binary = drive_with_addresses(
+        make_items, {"buffer": [10, 20, 30, 40]})
+    assert result.exit_code == 100
+
+
+def test_strlenw():
+    def make_items(symbols):
+        return [
+            Instr("push", Imm(symbols["words"])),
+            Instr("call", Label("__strlenw")),
+            Instr("add", ESP, Imm(4)),
+            Instr("ret"),
+        ]
+    result, _binary = drive_with_addresses(
+        make_items, {"words": [7, 7, 7, 0, 9]})
+    assert result.exit_code == 3
+
+
+def test_memcpyw():
+    def make_items(symbols):
+        return [
+            Instr("push", Imm(3)),
+            Instr("push", Imm(symbols["src"])),
+            Instr("push", Imm(symbols["dst"])),
+            Instr("call", Label("__memcpyw")),
+            Instr("add", ESP, Imm(12)),
+            Instr("mov", EAX, Mem(disp=symbols["dst"] + 8)),  # dst[2]
+            Instr("ret"),
+        ]
+    result, _binary = drive_with_addresses(
+        make_items, {"src": [1, 2, 3], "dst": [0, 0, 0]})
+    assert result.exit_code == 3
+
+
+def test_memsetw():
+    def make_items(symbols):
+        return [
+            Instr("push", Imm(2)),
+            Instr("push", Imm(9)),
+            Instr("push", Imm(symbols["dst"])),
+            Instr("call", Label("__memsetw")),
+            Instr("add", ESP, Imm(12)),
+            Instr("mov", EAX, Mem(disp=symbols["dst"])),
+            Instr("add", EAX, Mem(disp=symbols["dst"] + 4)),
+            Instr("ret"),
+        ]
+    result, _binary = drive_with_addresses(make_items,
+                                           {"dst": [0, 0, 0]})
+    assert result.exit_code == 18
+
+
+def test_swapw():
+    def make_items(symbols):
+        base = symbols["pair"]
+        return [
+            Instr("push", Imm(base + 4)),
+            Instr("push", Imm(base)),
+            Instr("call", Label("__swapw")),
+            Instr("add", ESP, Imm(8)),
+            Instr("mov", EAX, Mem(disp=base)),  # now 222
+            Instr("ret"),
+        ]
+    result, _binary = drive_with_addresses(make_items,
+                                           {"pair": [111, 222]})
+    assert result.exit_code == 222
+
+
+def test_callee_saved_preserved_by_print():
+    # __print_int must preserve callee-saved registers; check via ECX
+    # being scratch but EBX-like flow: store a sentinel in a callee-saved
+    # register (EBX is used by the syscall wrapper itself, which is
+    # exactly what the push/pop in __print_int protects).
+    from repro.x86.registers import EBX
+    items = [
+        Instr("push", EBX),
+        Instr("mov", EBX, Imm(123)),
+        Instr("push", Imm(55)),
+        Instr("call", Label("__print_int")),
+        Instr("add", ESP, Imm(4)),
+        Instr("mov", EAX, EBX),       # must still be 123
+        Instr("pop", EBX),
+        Instr("ret"),
+    ]
+    result, _binary = drive(items)
+    assert result.output == [55]
+    assert result.exit_code == 123

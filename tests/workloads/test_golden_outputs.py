@@ -1,0 +1,46 @@
+"""Pinned workload outputs.
+
+Each SPEC-like program prints a checksum; these pins freeze the exact
+values so that any semantic drift in a workload, the front end, the
+optimizer or the interpreter is caught immediately (diversification
+tests elsewhere then guarantee the compiled binaries agree with these
+same values).
+"""
+
+import pytest
+
+from repro.pipeline import ProgramBuild
+from repro.workloads.registry import get_workload
+
+#: name -> (train output, ref output)
+GOLDEN = {
+    "400.perlbench": ([1149940], [8210402]),
+    "401.bzip2": ([8467], [30102]),
+    "403.gcc": ([2034], [156632]),
+    "429.mcf": ([8536], [146912]),
+    "433.milc": ([14476334], [13944829]),
+    "444.namd": ([387144], [632167]),
+    "445.gobmk": ([505], [1984]),
+    "447.dealII": ([1588], [2337]),
+    "450.soplex": ([16773814], [16776020]),
+    "453.povray": ([175261], [288644]),
+    "456.hmmer": ([66], [273]),
+    "458.sjeng": ([1313], [1178]),
+    "462.libquantum": ([6798424], [6656464]),
+    "464.h264ref": ([42969], [15904]),
+    "470.lbm": ([2152784], [1685235]),
+    "471.omnetpp": ([10657384], [2474924]),
+    "473.astar": ([377], [2216]),
+    "482.sphinx3": ([386010], [4681353]),
+    "483.xalancbmk": ([7803489], [10086005]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_workload_outputs_pinned(name):
+    workload = get_workload(name)
+    build = ProgramBuild(workload.source, workload.name)
+    expected_train, expected_ref = GOLDEN[name]
+    assert build.run_reference(workload.train_input).output == \
+        expected_train
+    assert build.run_reference(workload.ref_input).output == expected_ref

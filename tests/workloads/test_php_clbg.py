@@ -1,0 +1,154 @@
+"""PHP-like interpreter and CLBG bytecode tests (the §5.2 substrate)."""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIGS
+from repro.errors import WorkloadError
+from repro.pipeline import ProgramBuild
+from repro.workloads.clbg import (
+    BytecodeAssembler, CLBG_PROGRAMS, clbg_input, script_input,
+)
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def php_build():
+    workload = get_workload("php")
+    return ProgramBuild(workload.source, "php")
+
+
+class TestAssembler:
+    def test_labels_resolve(self):
+        asm = BytecodeAssembler()
+        asm.emit("JMP", "end").label("end").emit("HALT")
+        assert asm.assemble() == [15, 2, 0]
+
+    def test_undefined_label_rejected(self):
+        asm = BytecodeAssembler()
+        asm.emit("JMP", "ghost")
+        with pytest.raises(WorkloadError):
+            asm.assemble()
+
+    def test_duplicate_label_rejected(self):
+        asm = BytecodeAssembler()
+        asm.label("x").label("x")
+        with pytest.raises(WorkloadError):
+            asm.assemble()
+
+    def test_operand_arity_enforced(self):
+        asm = BytecodeAssembler()
+        with pytest.raises(WorkloadError):
+            asm.emit("PUSH")
+        with pytest.raises(WorkloadError):
+            asm.emit("ADD", 3)
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(WorkloadError):
+            BytecodeAssembler().emit("FROBNICATE")
+
+
+class TestVmSemantics:
+    def run_script(self, php_build, asm, extra=()):
+        result = php_build.run_reference(script_input(asm.assemble(),
+                                                      extra))
+        # Last output line is the VM's own step report; drop it.
+        return result.output[:-1]
+
+    def test_arithmetic(self, php_build):
+        asm = BytecodeAssembler()
+        asm.emit("PUSH", 6).emit("PUSH", 7).emit("MUL").emit("PRINT")
+        asm.emit("HALT")
+        assert self.run_script(php_build, asm) == [42]
+
+    def test_division_by_zero_defined(self, php_build):
+        asm = BytecodeAssembler()
+        asm.emit("PUSH", 5).emit("PUSH", 0).emit("DIV").emit("PRINT")
+        asm.emit("HALT")
+        assert self.run_script(php_build, asm) == [0]
+
+    def test_globals_and_inc(self, php_build):
+        asm = BytecodeAssembler()
+        asm.emit("PUSH", 10).emit("STORE", 3)
+        asm.emit("INC", 3).emit("INC", 3)
+        asm.emit("LOAD", 3).emit("PRINT").emit("HALT")
+        assert self.run_script(php_build, asm) == [12]
+
+    def test_heap_store_load(self, php_build):
+        asm = BytecodeAssembler()
+        asm.emit("PUSH", 77).emit("PUSH", 5).emit("ASTORE")
+        asm.emit("PUSH", 5).emit("ALOAD").emit("PRINT").emit("HALT")
+        assert self.run_script(php_build, asm) == [77]
+
+    def test_call_ret(self, php_build):
+        asm = BytecodeAssembler()
+        asm.emit("PUSH", 20).emit("CALL", "double")
+        asm.emit("PRINT").emit("HALT")
+        asm.label("double")
+        asm.emit("PUSH", 2).emit("MUL").emit("RET")
+        assert self.run_script(php_build, asm) == [40]
+
+    def test_read_consumes_script_inputs(self, php_build):
+        asm = BytecodeAssembler()
+        asm.emit("READ").emit("READ").emit("ADD").emit("PRINT")
+        asm.emit("HALT")
+        assert self.run_script(php_build, asm, extra=(30, 12)) == [42]
+
+    def test_runaway_script_hits_step_limit(self, php_build):
+        asm = BytecodeAssembler()
+        asm.label("spin").emit("JMP", "spin")
+        result = php_build.run_reference(script_input(asm.assemble()))
+        # VM stops at its own step limit, then reports steps.
+        assert result.output[-1] >= 4_000_000
+
+
+class TestClbgPrograms:
+    @pytest.mark.parametrize("name", sorted(CLBG_PROGRAMS))
+    def test_program_runs_and_prints(self, php_build, name):
+        result = php_build.run_reference(clbg_input(name))
+        assert len(result.output) == 2  # checksum + VM step report
+        assert result.exit_code == 0
+
+    def test_binarytrees_checksum_exact(self, php_build):
+        # Recursion correctness: sum over d of nodes(d)=2^(d+1)-1.
+        result = php_build.run_reference(clbg_input("binarytrees",
+                                                    max_depth=5))
+        expected = sum(2 ** (d + 1) - 1 for d in range(1, 6))
+        assert result.output[0] == expected
+
+    def test_interpreter_output_matches_simulator(self, php_build):
+        binary = php_build.link_baseline()
+        for name in ("pidigits", "fasta"):
+            inputs = clbg_input(name)
+            reference = php_build.run_reference(inputs)
+            result = php_build.simulate(binary, inputs)
+            assert result.output == reference.output, name
+
+    def test_programs_stress_different_code(self, php_build):
+        # The paper: "each benchmark stresses different parts of the PHP
+        # interpreter". The dispatch loop dominates every profile, but
+        # the *handler* mix differs: compare per-handler invocation
+        # frequencies relative to dispatched opcodes.
+        module = php_build.module
+
+        def handler_mix(name):
+            profile = php_build.profile(clbg_input(name), key=name)
+            executes = max(profile.block_count(
+                "execute", module.function("execute").entry.label), 1)
+            return {
+                fn: profile.block_count(
+                    fn, module.function(fn).entry.label) / executes
+                for fn in ("arith", "compare", "bitop")
+            }
+
+        trees = handler_mix("binarytrees")
+        fannkuch = handler_mix("fannkuchredux")
+        mandel = handler_mix("mandelbrot")
+        # binarytrees barely compares; fannkuch compares constantly.
+        assert fannkuch["compare"] > 10 * trees["compare"]
+        # Only mandelbrot (of these three) exercises the bitop handler.
+        assert mandel["bitop"] > 0
+        assert trees["bitop"] == 0
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(WorkloadError):
+            clbg_input("quicksort")

@@ -1,0 +1,69 @@
+"""Disassembly pretty-printer tests."""
+
+from repro.x86.asmwriter import format_instr, format_listing, format_operand
+from repro.x86.decoder import decode_all
+from repro.x86.instructions import Imm, Instr, Label, Mem, Rel
+from repro.x86.registers import EAX, EBP, EBX, ECX
+
+
+class TestOperands:
+    def test_register(self):
+        assert format_operand(EAX) == "eax"
+
+    def test_immediate(self):
+        assert format_operand(Imm(-5)) == "-5"
+
+    def test_relative(self):
+        assert format_operand(Rel(16, 8)) == "$+16"
+        assert format_operand(Rel(-3, 32)) == "$-3"
+
+    def test_label(self):
+        assert format_operand(Label("main")) == "main"
+
+    def test_memory_base_only(self):
+        assert format_operand(Mem(base=EBX)) == "dword [ebx]"
+
+    def test_memory_base_disp(self):
+        assert format_operand(Mem(base=EBP, disp=-4)) == "dword [ebp - 4]"
+
+    def test_memory_scaled_index(self):
+        text = format_operand(Mem(base=EAX, index=ECX, scale=4, disp=8))
+        assert text == "dword [eax + ecx*4 + 8]"
+
+    def test_memory_absolute(self):
+        assert format_operand(Mem(disp=0x1000)) == "dword [4096]"
+
+    def test_memory_symbol(self):
+        assert "table" in format_operand(Mem(symbol="table", base=EAX))
+
+
+class TestInstructions:
+    def test_plain(self):
+        assert format_instr(Instr("add", EAX, Imm(1))) == "add eax, 1"
+
+    def test_no_operands(self):
+        assert format_instr(Instr("ret")) == "ret"
+
+    def test_indirect_branches_display_as_jmp_call(self):
+        assert format_instr(Instr("jmp_reg", EAX)) == "jmp eax"
+        assert format_instr(Instr("call_reg", EAX)) == "call eax"
+
+    def test_address_prefix(self):
+        instr = Instr("ret")
+        instr.encoding = b"\xc3"
+        instr.size = 1
+        line = format_instr(instr, address=0x08048000)
+        assert line.startswith("08048000:")
+        assert "c3" in line
+        assert line.endswith("ret")
+
+
+def test_listing_of_decoded_stream():
+    data = bytes.fromhex("5589e55dc3")
+    instrs = decode_all(data)
+    listing = format_listing(instrs, base_address=0x100)
+    lines = listing.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("00000100:")
+    assert "push ebp" in lines[0]
+    assert "ret" in lines[-1]

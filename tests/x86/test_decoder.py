@@ -1,0 +1,109 @@
+"""Decoder unit tests, including arbitrary-offset behaviour."""
+
+import pytest
+
+from repro.errors import DecodingError
+from repro.x86 import EAX, EBX, ECX, decode, decode_all, try_decode
+from repro.x86.instructions import Imm, Mem, Rel
+
+
+def test_decode_sets_size_and_encoding():
+    instr = decode(bytes.fromhex("b82a000000"))
+    assert instr.mnemonic == "mov"
+    assert instr.size == 5
+    assert instr.encoding == bytes.fromhex("b82a000000")
+
+
+def test_decode_at_offset():
+    data = b"\x90" + bytes.fromhex("01d8")
+    instr = decode(data, 1)
+    assert instr.mnemonic == "add"
+    assert instr.operands == (EAX, EBX)
+
+
+def test_decode_signed_immediates():
+    instr = decode(bytes.fromhex("b8ffffffff"))
+    assert instr.operands[1] == Imm(-1)
+
+
+def test_decode_rel8_negative():
+    instr = decode(bytes.fromhex("ebfe"))
+    assert instr.mnemonic == "jmp"
+    assert instr.operands[0] == Rel(-2, 8)
+
+
+def test_decode_ret_family():
+    assert decode(b"\xc3").mnemonic == "ret"
+    instr = decode(b"\xc2\x08\x00")
+    assert instr.mnemonic == "ret"
+    assert instr.operands == (Imm(8),)
+
+
+def test_decode_indirect_branches():
+    assert decode(bytes.fromhex("ffd0")).mnemonic == "call_reg"
+    assert decode(bytes.fromhex("ffe0")).mnemonic == "jmp_reg"
+    instr = decode(bytes.fromhex("ff5304"))
+    assert instr.mnemonic == "call_reg"
+    assert instr.operands == (Mem(base=EBX, disp=4),)
+
+
+def test_decode_xchg_single_byte_forms():
+    instr = decode(b"\x91")
+    assert instr.mnemonic == "xchg"
+    assert instr.operands == (EAX, ECX)
+
+
+def test_0x90_is_nop_not_xchg():
+    assert decode(b"\x90").mnemonic == "nop"
+
+
+def test_decode_truncated_raises():
+    with pytest.raises(DecodingError):
+        decode(b"\xb8\x01")  # mov eax, imm32 cut short
+
+
+def test_decode_unknown_opcode_raises():
+    with pytest.raises(DecodingError):
+        decode(b"\x0f\x05")  # syscall (64-bit), unsupported
+
+
+def test_try_decode_returns_none():
+    assert try_decode(b"\xfe") is None
+    assert try_decode(b"") is None
+
+
+def test_unsupported_extension_rejected():
+    # F7 /1 is undefined in our subset (and reserved on real hardware).
+    with pytest.raises(DecodingError):
+        decode(bytes.fromhex("f7c8"))
+
+
+def test_decode_all_linear_sweep():
+    data = bytes.fromhex("5589e583ec085dc3")
+    instrs = decode_all(data)
+    assert [i.mnemonic for i in instrs] == [
+        "push", "mov", "sub", "pop", "ret"]
+    assert sum(i.size for i in instrs) == len(data)
+
+
+def test_misaligned_decode_yields_different_instruction():
+    # The Figure-2 phenomenon: decoding from +1 inside an instruction
+    # produces a completely different stream.
+    data = bytes.fromhex("b858c3c200")  # mov eax, 0x00c2c358
+    whole = decode(data)
+    assert whole.mnemonic == "mov"
+    inside = decode(data, 1)
+    assert inside.mnemonic == "pop"       # 58 = pop eax
+    assert decode(data, 2).mnemonic == "ret"  # c3
+
+
+def test_decode_setcc():
+    instr = decode(bytes.fromhex("0f94c0"))
+    assert instr.mnemonic == "sete"
+    assert instr.operands == (EAX,)
+
+
+def test_decode_shift_group():
+    assert decode(bytes.fromhex("c1e003")).operands[1] == Imm(3)
+    assert decode(bytes.fromhex("d1e0")).operands[1] == Imm(1)
+    assert decode(bytes.fromhex("d3f8")).operands[1] == ECX

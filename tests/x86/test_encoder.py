@@ -1,0 +1,212 @@
+"""Encoder unit tests: exact byte sequences for known instructions."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.x86 import EAX, EBP, EBX, ECX, EDI, EDX, ESI, ESP, encode
+from repro.x86.instructions import Imm, Instr, Label, Mem, Rel
+
+
+def enc(mnemonic, *operands):
+    return encode(Instr(mnemonic, *operands)).hex()
+
+
+class TestMov:
+    def test_reg_reg(self):
+        assert enc("mov", EAX, EBX) == "89d8"
+
+    def test_reg_imm(self):
+        assert enc("mov", EAX, Imm(42)) == "b82a000000"
+
+    def test_reg_imm_by_register_number(self):
+        assert enc("mov", EDI, Imm(1)) == "bf01000000"
+
+    def test_reg_mem(self):
+        assert enc("mov", ECX, Mem(base=EBX)) == "8b0b"
+
+    def test_mem_reg(self):
+        assert enc("mov", Mem(base=EBX), ECX) == "890b"
+
+    def test_mem_imm(self):
+        assert enc("mov", Mem(base=EAX), Imm(7)) == "c70007000000"
+
+    def test_negative_immediate(self):
+        assert enc("mov", EAX, Imm(-1)) == "b8ffffffff"
+
+
+class TestAddressing:
+    def test_base_disp8(self):
+        assert enc("mov", EAX, Mem(base=EBX, disp=8)) == "8b4308"
+
+    def test_base_disp32(self):
+        assert enc("mov", EAX, Mem(base=EBX, disp=0x1234)) == "8b8334120000"
+
+    def test_negative_disp8(self):
+        assert enc("mov", EAX, Mem(base=EBP, disp=-4)) == "8b45fc"
+
+    def test_ebp_base_needs_disp(self):
+        # [EBP] with mod=00 means disp32 absolute, so EBP forces disp8=0.
+        assert enc("mov", EAX, Mem(base=EBP)) == "8b4500"
+
+    def test_esp_base_needs_sib(self):
+        assert enc("mov", EAX, Mem(base=ESP)) == "8b0424"
+
+    def test_esp_base_disp8(self):
+        assert enc("mov", EAX, Mem(base=ESP, disp=4)) == "8b442404"
+
+    def test_absolute(self):
+        assert enc("mov", EAX, Mem(disp=0x08049000)) == "a1".replace(
+            "a1", "8b0500900408")  # we use the generic ModRM form
+
+    def test_scaled_index(self):
+        assert enc("mov", EAX,
+                   Mem(base=EBX, index=ECX, scale=4)) == "8b048b"
+
+    def test_index_without_base(self):
+        assert enc("mov", EAX,
+                   Mem(index=ECX, scale=4, disp=0x1000)) == "8b048d00100000"
+
+    def test_esp_cannot_be_index(self):
+        with pytest.raises(ValueError):
+            Mem(base=EAX, index=ESP)
+
+    def test_unresolved_symbol_rejected(self):
+        with pytest.raises(EncodingError):
+            enc("mov", EAX, Mem(symbol="some_array"))
+
+
+class TestAlu:
+    def test_add_reg_reg(self):
+        assert enc("add", EAX, EBX) == "01d8"
+
+    def test_add_small_imm_uses_imm8_form(self):
+        assert enc("add", EAX, Imm(5)) == "83c005"
+
+    def test_add_large_imm_uses_imm32_form(self):
+        assert enc("add", EAX, Imm(300)) == "81c02c010000"
+
+    def test_sub_reg_mem(self):
+        assert enc("sub", EAX, Mem(base=EBX)) == "2b03"
+
+    def test_cmp_mem_imm(self):
+        assert enc("cmp", Mem(base=EBP, disp=-4), Imm(0)) == "837dfc00"
+
+    def test_xor_self(self):
+        assert enc("xor", EAX, EAX) == "31c0"
+
+    def test_test_reg_reg(self):
+        assert enc("test", EAX, EAX) == "85c0"
+
+
+class TestShifts:
+    def test_shl_imm(self):
+        assert enc("shl", EAX, Imm(3)) == "c1e003"
+
+    def test_shift_by_one_uses_d1(self):
+        assert enc("shl", EAX, Imm(1)) == "d1e0"
+
+    def test_sar_cl(self):
+        assert enc("sar", EAX, ECX) == "d3f8"
+
+    def test_variable_count_must_be_ecx(self):
+        with pytest.raises(EncodingError):
+            enc("shl", EAX, EBX)
+
+
+class TestStackAndCalls:
+    def test_push_reg(self):
+        assert enc("push", EBP) == "55"
+
+    def test_pop_reg(self):
+        assert enc("pop", EBP) == "5d"
+
+    def test_push_small_imm(self):
+        assert enc("push", Imm(1)) == "6a01"
+
+    def test_push_large_imm(self):
+        assert enc("push", Imm(0x1234)) == "6834120000"
+
+    def test_push_mem(self):
+        assert enc("push", Mem(base=ESP, disp=4)) == "ff742404"
+
+    def test_ret(self):
+        assert enc("ret") == "c3"
+
+    def test_ret_imm(self):
+        assert enc("ret", Imm(8)) == "c20800"
+
+    def test_call_rel32(self):
+        assert enc("call", Rel(-5, 32)) == "e8fbffffff"
+
+    def test_call_reg(self):
+        assert enc("call_reg", EAX) == "ffd0"
+
+    def test_jmp_reg(self):
+        assert enc("jmp_reg", EAX) == "ffe0"
+
+
+class TestBranches:
+    def test_jmp_rel8(self):
+        assert enc("jmp", Rel(5, 8)) == "eb05"
+
+    def test_jmp_rel32(self):
+        assert enc("jmp", Rel(5, 32)) == "e905000000"
+
+    def test_je_rel8(self):
+        assert enc("je", Rel(-2, 8)) == "74fe"
+
+    def test_jne_rel32(self):
+        assert enc("jne", Rel(0x100, 32)) == "0f8500010000"
+
+    def test_jl_jg_jle_jge(self):
+        assert enc("jl", Rel(1, 8)) == "7c01"
+        assert enc("jg", Rel(1, 8)) == "7f01"
+        assert enc("jle", Rel(1, 8)) == "7e01"
+        assert enc("jge", Rel(1, 8)) == "7d01"
+
+    def test_unresolved_label_rejected(self):
+        with pytest.raises(EncodingError):
+            enc("jmp", Label("somewhere"))
+
+
+class TestMiscellaneous:
+    def test_imul_reg_reg(self):
+        assert enc("imul", ECX, EDX) == "0fafca"
+
+    def test_imul_three_operand(self):
+        assert enc("imul", EAX, EAX, Imm(10)) == "69c00a000000"
+
+    def test_idiv(self):
+        assert enc("idiv", ECX) == "f7f9"
+
+    def test_cdq(self):
+        assert enc("cdq") == "99"
+
+    def test_neg_not(self):
+        assert enc("neg", EAX) == "f7d8"
+        assert enc("not", EAX) == "f7d0"
+
+    def test_inc_dec_reg(self):
+        assert enc("inc", ESI) == "46"
+        assert enc("dec", EDI) == "4f"
+
+    def test_lea(self):
+        assert enc("lea", EDI,
+                   Mem(base=EAX, index=EBX, scale=4, disp=12)) == "8d7c980c"
+
+    def test_int80(self):
+        assert enc("int", Imm(0x80)) == "cd80"
+
+    def test_sete(self):
+        assert enc("sete", EAX) == "0f94c0"
+
+    def test_setl(self):
+        assert enc("setl", EAX) == "0f9cc0"
+
+    def test_setcc_needs_byte_register(self):
+        with pytest.raises(EncodingError):
+            enc("sete", ESI)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            enc("bogus")

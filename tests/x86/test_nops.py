@@ -1,0 +1,90 @@
+"""Tests for the NOP candidate table (paper Table 1)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.x86 import decode, encode
+from repro.x86.nops import (
+    DEFAULT_NOP_CANDIDATES, NOP_CANDIDATES, XCHG_NOP_CANDIDATES,
+    candidate_by_name, is_nop_candidate_bytes, is_nop_candidate_instr,
+    match_nop_candidate, strip_nop_candidates,
+)
+
+#: The exact rows of the paper's Table 1.
+TABLE_1 = {
+    "nop": ("90", None),
+    "mov esp, esp": ("89e4", "IN"),
+    "mov ebp, ebp": ("89ed", "IN"),
+    "lea esi, [esi]": ("8d36", "SS:"),
+    "lea edi, [edi]": ("8d3f", "AAS"),
+    "xchg esp, esp": ("87e4", "IN"),
+    "xchg ebp, ebp": ("87ed", "IN"),
+}
+
+
+def test_table1_is_complete():
+    assert {c.name for c in NOP_CANDIDATES} == set(TABLE_1)
+
+
+def test_table1_encodings():
+    for candidate in NOP_CANDIDATES:
+        expected_hex, _second = TABLE_1[candidate.name]
+        assert candidate.encoding.hex() == expected_hex
+
+
+def test_table1_second_byte_decodings():
+    for candidate in NOP_CANDIDATES:
+        _hex, second = TABLE_1[candidate.name]
+        assert candidate.second_byte_decoding == second
+
+
+def test_default_set_excludes_bus_locking_candidates():
+    assert len(DEFAULT_NOP_CANDIDATES) == 5
+    assert len(XCHG_NOP_CANDIDATES) == 2
+    assert all(not c.locks_bus for c in DEFAULT_NOP_CANDIDATES)
+    assert all(c.locks_bus for c in XCHG_NOP_CANDIDATES)
+
+
+def test_candidate_instrs_encode_to_their_table_bytes():
+    for candidate in NOP_CANDIDATES:
+        assert encode(candidate.to_instr()) == candidate.encoding
+
+
+def test_candidate_instrs_roundtrip_through_decoder():
+    for candidate in NOP_CANDIDATES:
+        decoded = decode(candidate.encoding)
+        assert is_nop_candidate_instr(decoded), candidate.name
+
+
+def test_candidate_by_name():
+    assert candidate_by_name("nop").encoding == b"\x90"
+
+
+def test_match_prefers_longest_encoding():
+    # 89 e4 must match "mov esp, esp", not be skipped.
+    matched = match_nop_candidate(bytes.fromhex("89e4c3"), 0)
+    assert matched.name == "mov esp, esp"
+
+
+def test_non_candidate_mov_is_not_matched():
+    assert not is_nop_candidate_bytes(bytes.fromhex("89d8"))  # mov eax,ebx
+
+
+def test_strip_removes_all_candidates():
+    data = bytes.fromhex("90 89e4 01d8 8d36 87ed c3".replace(" ", ""))
+    assert strip_nop_candidates(data) == bytes.fromhex("01d8c3")
+
+
+def test_strip_is_idempotent():
+    data = bytes.fromhex("9089e48d3f55c3")
+    once = strip_nop_candidates(data)
+    assert strip_nop_candidates(once) == once
+
+
+@given(st.binary(max_size=64))
+@settings(max_examples=200)
+def test_strip_never_grows_and_removes_every_candidate_prefix(data):
+    stripped = strip_nop_candidates(data)
+    assert len(stripped) <= len(data)
+    # After stripping, no position starts a candidate that survives a
+    # second pass (idempotence on arbitrary bytes).
+    assert strip_nop_candidates(stripped) == stripped

@@ -1,0 +1,124 @@
+"""Property tests: encode→decode is the identity on instruction objects."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.x86 import GPR_REGISTERS, decode, encode
+from repro.x86.instructions import Imm, Instr, Mem, Rel
+from repro.x86.registers import ESP
+
+registers = st.sampled_from(GPR_REGISTERS)
+non_esp_registers = st.sampled_from(
+    [r for r in GPR_REGISTERS if r is not ESP])
+imm32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+@st.composite
+def memory_operands(draw):
+    base = draw(st.none() | registers)
+    index = draw(st.none() | non_esp_registers)
+    scale = draw(st.sampled_from([1, 2, 4, 8])) if index else 1
+    disp = draw(imm32)
+    return Mem(base=base, index=index, scale=scale, disp=disp)
+
+
+@st.composite
+def alu_instructions(draw):
+    mnemonic = draw(st.sampled_from(["add", "sub", "and", "or", "xor",
+                                     "cmp"]))
+    shape = draw(st.sampled_from(["rr", "rm", "mr", "ri", "mi"]))
+    if shape == "rr":
+        ops = (draw(registers), draw(registers))
+    elif shape == "rm":
+        ops = (draw(registers), draw(memory_operands()))
+    elif shape == "mr":
+        ops = (draw(memory_operands()), draw(registers))
+    elif shape == "ri":
+        ops = (draw(registers), Imm(draw(imm32)))
+    else:
+        ops = (draw(memory_operands()), Imm(draw(imm32)))
+    return Instr(mnemonic, *ops)
+
+
+@st.composite
+def mov_instructions(draw):
+    shape = draw(st.sampled_from(["rr", "ri", "rm", "mr", "mi"]))
+    if shape == "rr":
+        ops = (draw(registers), draw(registers))
+    elif shape == "ri":
+        ops = (draw(registers), Imm(draw(imm32)))
+    elif shape == "rm":
+        ops = (draw(registers), draw(memory_operands()))
+    elif shape == "mr":
+        ops = (draw(memory_operands()), draw(registers))
+    else:
+        ops = (draw(memory_operands()), Imm(draw(imm32)))
+    return Instr("mov", *ops)
+
+
+@st.composite
+def branch_instructions(draw):
+    kind = draw(st.sampled_from(["jmp8", "jmp32", "jcc8", "jcc32", "call"]))
+    if kind == "jmp8":
+        return Instr("jmp", Rel(draw(st.integers(-128, 127)), 8))
+    if kind == "jmp32":
+        return Instr("jmp", Rel(draw(imm32), 32))
+    cc = draw(st.sampled_from(["e", "ne", "l", "le", "g", "ge", "b", "a"]))
+    if kind == "jcc8":
+        return Instr("j" + cc, Rel(draw(st.integers(-128, 127)), 8))
+    if kind == "jcc32":
+        return Instr("j" + cc, Rel(draw(imm32), 32))
+    return Instr("call", Rel(draw(imm32), 32))
+
+
+@st.composite
+def misc_instructions(draw):
+    kind = draw(st.sampled_from(
+        ["push_r", "pop_r", "inc", "dec", "neg", "not", "idiv", "imul",
+         "lea", "shift", "test", "ret", "cdq", "nop", "int"]))
+    if kind == "push_r":
+        return Instr("push", draw(registers))
+    if kind == "pop_r":
+        return Instr("pop", draw(registers))
+    if kind in ("inc", "dec"):
+        return Instr(kind, draw(registers))
+    if kind in ("neg", "not", "idiv"):
+        return Instr(kind, draw(st.one_of(registers, memory_operands())))
+    if kind == "imul":
+        return Instr("imul", draw(registers),
+                     draw(st.one_of(registers, memory_operands())))
+    if kind == "lea":
+        return Instr("lea", draw(registers), draw(memory_operands()))
+    if kind == "shift":
+        mnemonic = draw(st.sampled_from(["shl", "shr", "sar", "rol",
+                                         "ror"]))
+        return Instr(mnemonic, draw(registers),
+                     Imm(draw(st.integers(2, 31))))
+    if kind == "test":
+        return Instr("test", draw(registers), draw(registers))
+    if kind == "ret":
+        return Instr("ret")
+    if kind == "cdq":
+        return Instr("cdq")
+    if kind == "nop":
+        return Instr("nop")
+    return Instr("int", Imm(0x80))
+
+
+any_instruction = st.one_of(alu_instructions(), mov_instructions(),
+                            branch_instructions(), misc_instructions())
+
+
+@given(any_instruction)
+@settings(max_examples=400)
+def test_encode_decode_roundtrip(instr):
+    encoding = encode(instr)
+    decoded = decode(encoding)
+    assert decoded == instr
+    assert decoded.size == len(encoding)
+
+
+@given(any_instruction)
+@settings(max_examples=200)
+def test_reencoding_decoded_instruction_is_stable(instr):
+    encoding = encode(instr)
+    assert encode(decode(encoding)) == encoding
