@@ -1,0 +1,100 @@
+"""Robustness regression tracker: differential validation + fault campaign.
+
+Emits a JSON summary (variants validated, divergences, faults injected,
+typed-error coverage %) so future PRs can diff robustness numbers the
+same way the table/figure benches diff the paper's numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_campaign.py [--quick] \\
+        [--output results_check.json]
+
+Knobs mirror ``repro-diversify check``: ``REPRO_CHECK_VARIANTS`` and
+``REPRO_CHECK_FAULT_SEEDS`` override the population size and per-injector
+seed count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.check import (
+    DEFAULT_CHECK_WORKLOADS, run_campaign, target_from_workload,
+    validate_workloads,
+)
+from repro.core.config import DiversificationConfig
+
+VARIANTS = int(os.environ.get("REPRO_CHECK_VARIANTS", "10"))
+FAULT_SEEDS = int(os.environ.get("REPRO_CHECK_FAULT_SEEDS", "5"))
+
+#: Configurations exercised by the differential sweep: the paper's
+#: uniform 50% plus its headline profile-guided range.
+CHECK_CONFIGS = {
+    "50%": DiversificationConfig.uniform(0.50),
+    "0-30%": DiversificationConfig.profile_guided(0.00, 0.30),
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="results_check.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="one workload, 3 variants, 2 fault seeds")
+    parser.add_argument("--workloads", nargs="*",
+                        default=list(DEFAULT_CHECK_WORKLOADS))
+    args = parser.parse_args(argv)
+
+    names = args.workloads
+    variants, fault_seeds = VARIANTS, FAULT_SEEDS
+    if args.quick:
+        names = names[:1]
+        variants, fault_seeds = 3, 2
+
+    differential = {}
+    total_validated = 0
+    total_divergences = 0
+    for label, config in CHECK_CONFIGS.items():
+        results = validate_workloads(names, config, variants)
+        differential[label] = {name: result.summary()
+                               for name, result in results.items()}
+        for result in results.values():
+            total_validated += result.variants_validated
+            total_divergences += len(result.reports)
+            for report in result.reports:
+                print(f"!! {report.describe()}", file=sys.stderr)
+
+    campaign = run_campaign([target_from_workload(name) for name in names],
+                            seeds=range(fault_seeds))
+    campaign_summary = campaign.summary()
+    for case in campaign.cases:
+        if case.outcome == "untyped":
+            print(f"!! {case.describe()}", file=sys.stderr)
+
+    payload = {
+        "workloads": names,
+        "configs": sorted(CHECK_CONFIGS),
+        "variants_per_population": variants,
+        "variants_validated": total_validated,
+        "divergences": total_divergences,
+        "differential": differential,
+        "faults_injected": campaign_summary["faults_injected"],
+        "typed_error_coverage": campaign_summary["typed_error_coverage"],
+        "campaign": campaign_summary,
+        "ok": total_divergences == 0 and campaign.ok,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+    print(f"{total_validated} variants validated, "
+          f"{total_divergences} divergences; "
+          f"{campaign_summary['faults_injected']} faults injected, "
+          f"{campaign_summary['typed_error_coverage']}% typed coverage")
+    print(f"wrote {args.output}")
+    return 0 if payload["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

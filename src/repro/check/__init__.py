@@ -1,0 +1,39 @@
+"""Differential variant validation and fault injection (``repro check``).
+
+The paper's entire argument rests on an invariant it never mechanically
+checks: diversification must be *semantics-preserving*. This package
+makes the invariant first-class:
+
+- :mod:`repro.check.differential` — run the IR reference interpreter,
+  the baseline binary and every diversified variant on shared inputs and
+  compare outputs, exit codes and instruction-count bounds, producing
+  structured :class:`DivergenceReport` objects instead of asserts.
+- :mod:`repro.check.faults` — deterministic seeded injectors that
+  corrupt binaries, profiles and configs, plus a campaign runner that
+  verifies every injected fault surfaces as a typed
+  :class:`~repro.errors.ReproError` subclass with context — never a bare
+  ``KeyError``/``struct.error``/silent wrong answer.
+
+Both layers are wired into the CLI as ``repro-diversify check``.
+"""
+
+from repro.check.differential import (
+    DivergenceReport, Observation, ValidationResult,
+    observe_binary, observe_reference, require_equivalent,
+    validate_population, validate_workload, validate_workloads,
+    DEFAULT_CHECK_WORKLOADS,
+)
+from repro.check.faults import (
+    ALL_INJECTORS, CampaignResult, FaultCase, FaultInjector, FaultTarget,
+    run_campaign, target_from_source, target_from_workload,
+)
+
+__all__ = [
+    "DivergenceReport", "Observation", "ValidationResult",
+    "observe_binary", "observe_reference", "require_equivalent",
+    "validate_population", "validate_workload", "validate_workloads",
+    "DEFAULT_CHECK_WORKLOADS",
+    "ALL_INJECTORS", "CampaignResult", "FaultCase", "FaultInjector",
+    "FaultTarget", "run_campaign", "target_from_source",
+    "target_from_workload",
+]

@@ -1,0 +1,274 @@
+"""Differential validation of diversified populations.
+
+Three execution engines must agree on every program: the IR reference
+interpreter (ground-truth semantics), the baseline binary on the machine
+simulator (compiler correctness), and each diversified variant
+(diversification correctness — the paper's semantics-preservation
+invariant). This module runs all three on shared inputs and compares
+their *observables*:
+
+- the output vector (every ``print``),
+- the exit code,
+- instruction-count sanity bounds — Algorithm 1 inserts at most one NOP
+  before each instruction, so a variant executes at most twice the
+  baseline's dynamic instructions (plus one sled jump per call under
+  basic-block shifting). A count outside ``[baseline, 2·baseline +
+  slack]`` betrays a mis-resolved branch or a runaway loop even when the
+  output happens to match.
+
+Divergences become structured :class:`DivergenceReport` objects, not
+asserts. :func:`validate_population` retries a diverging seed once with
+a fresh seed: a deterministic pipeline that diverges again under a
+different random stream is a *genuine miscompile* (systematic), while a
+single-seed divergence points at that seed's specific layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DivergenceError, ReproError
+from repro.pipeline import ProgramBuild
+from repro.workloads.registry import get_workload
+
+#: Seed offset used for the fresh-seed retry of a diverging variant;
+#: far outside any population's seed range.
+RETRY_SEED_OFFSET = 1_000_003
+
+#: Extra dynamic instructions allowed beyond the p_max model (covers
+#: basic-block-shift sled jumps and rounding).
+INSTR_BOUND_SLACK = 4096
+
+#: Workloads the CLI validates by default: one memory-bound, one
+#: branch-heavy, one arithmetic-heavy — cheap but representative.
+DEFAULT_CHECK_WORKLOADS = ("429.mcf", "462.libquantum", "470.lbm")
+
+
+@dataclass(frozen=True)
+class Observation:
+    """The observables of one program execution."""
+
+    output: tuple
+    exit_code: int
+    instr_count: int | None = None  # None for the reference interpreter
+
+    def first_divergence(self, other):
+        """Name and values of the first diverging observable, or None."""
+        for index, (mine, theirs) in enumerate(zip(self.output,
+                                                   other.output)):
+            if mine != theirs:
+                return (f"output[{index}]", mine, theirs)
+        if len(self.output) != len(other.output):
+            return ("len(output)", len(self.output), len(other.output))
+        if self.exit_code != other.exit_code:
+            return ("exit_code", self.exit_code, other.exit_code)
+        return None
+
+
+@dataclass
+class DivergenceReport:
+    """One observed divergence (or execution failure) of a variant.
+
+    ``stage`` is where the disagreement surfaced: ``"baseline"`` (binary
+    vs. reference interpreter — a compiler bug) or ``"variant"``
+    (diversified binary vs. baseline — a diversification bug).
+    ``genuine`` is set after the fresh-seed retry: True means the retry
+    diverged too (systematic miscompile), False means the divergence is
+    specific to ``seed``.
+    """
+
+    program: str
+    config: str
+    seed: object
+    stage: str
+    kind: str               # "output" | "exit_code" | "instr_bound" | "error"
+    observable: str | None = None
+    expected: object = None
+    actual: object = None
+    error: str | None = None
+    error_code: str | None = None
+    retry_seed: object = None
+    genuine: bool | None = None
+
+    def describe(self):
+        place = f"{self.program} [{self.config}] seed={self.seed}"
+        if self.kind == "error":
+            return f"{place}: {self.stage} failed: {self.error}"
+        text = (f"{place}: {self.stage} diverged at {self.observable}: "
+                f"expected {self.expected!r}, got {self.actual!r}")
+        if self.genuine is True:
+            text += " (reproduced with fresh seed — genuine miscompile)"
+        elif self.genuine is False:
+            text += f" (fresh seed {self.retry_seed} agreed — seed-specific)"
+        return text
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating one population."""
+
+    program: str
+    config: str
+    seeds: tuple
+    variants_validated: int = 0
+    reports: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.reports
+
+    def summary(self):
+        return {
+            "program": self.program,
+            "config": self.config,
+            "variants_validated": self.variants_validated,
+            "divergences": len(self.reports),
+            "ok": self.ok,
+        }
+
+
+def observe_reference(build, input_values=()):
+    """Observables of the IR reference interpreter."""
+    result = build.run_reference(input_values)
+    return Observation(tuple(result.output), result.exit_code)
+
+
+def observe_binary(build, binary, input_values=(), max_steps=None):
+    """Observables of a linked binary on the machine simulator."""
+    fuel = {} if max_steps is None else {"max_steps": max_steps}
+    result = build.simulate(binary, input_values, **fuel)
+    return Observation(tuple(result.output), result.exit_code,
+                       result.instr_count)
+
+
+def require_equivalent(expected, actual, *, program="program",
+                       stage="variant"):
+    """Raise :class:`DivergenceError` unless two observations agree.
+
+    This is how the fault campaign turns a *silent wrong answer* (e.g. a
+    bit flip landing in an immediate) into a typed error.
+    """
+    divergence = expected.first_divergence(actual)
+    if divergence is not None:
+        observable, want, got = divergence
+        raise DivergenceError(
+            f"{program}: {stage} diverged at {observable}: "
+            f"expected {want!r}, got {got!r}",
+            context={"program": program, "stage": stage,
+                     "observable": observable,
+                     "expected": want, "actual": got})
+
+
+def _instr_bound(baseline_count, config):
+    """Upper dynamic-instruction bound for a variant of this config.
+
+    Structural, not statistical: Algorithm 1 inserts at most one NOP per
+    instruction (2x dynamic worst case) and basic-block shifting adds at
+    most one sled jump per executed call (< baseline instructions).
+    """
+    bound = 2 * baseline_count
+    if config.basic_block_shifting:
+        bound += baseline_count
+    return bound + INSTR_BOUND_SLACK
+
+
+def _compare_variant(result, baseline_obs, variant_obs, config, seed):
+    """First divergence of a variant run, as an unretried report."""
+    divergence = baseline_obs.first_divergence(variant_obs)
+    if divergence is not None:
+        observable, want, got = divergence
+        kind = "exit_code" if observable == "exit_code" else "output"
+        return DivergenceReport(
+            program=result.program, config=result.config, seed=seed,
+            stage="variant", kind=kind, observable=observable,
+            expected=want, actual=got)
+    low = baseline_obs.instr_count
+    high = _instr_bound(baseline_obs.instr_count, config)
+    if not low <= variant_obs.instr_count <= high:
+        return DivergenceReport(
+            program=result.program, config=result.config, seed=seed,
+            stage="variant", kind="instr_bound", observable="instr_count",
+            expected=f"[{low}, {high}]", actual=variant_obs.instr_count)
+    return None
+
+
+def validate_population(build, config, seeds, *, inputs=(), profile=None,
+                        program=None, max_step_factor=8):
+    """Differentially validate one population of diversified variants.
+
+    Runs the reference interpreter and the baseline binary first, then
+    every variant seed. A diverging variant is retried once with a fresh
+    seed (``seed + RETRY_SEED_OFFSET``) before being flagged as a genuine
+    miscompile. Variant runs get a step budget derived from the
+    baseline's dynamic instruction count, so a mis-resolved branch that
+    loops forever surfaces as a bounded, typed error.
+    """
+    seeds = tuple(seeds)
+    name = program or build.name
+    result = ValidationResult(program=name, config=config.describe(),
+                              seeds=seeds)
+
+    reference_obs = observe_reference(build, inputs)
+    baseline = build.link_baseline()
+    baseline_obs = observe_binary(build, baseline, inputs)
+    divergence = reference_obs.first_divergence(baseline_obs)
+    if divergence is not None:
+        observable, want, got = divergence
+        result.reports.append(DivergenceReport(
+            program=name, config=result.config, seed=None,
+            stage="baseline",
+            kind="exit_code" if observable == "exit_code" else "output",
+            observable=observable, expected=want, actual=got))
+        return result  # variants would all "diverge" for the same reason
+
+    fuel = max(baseline_obs.instr_count * max_step_factor, 100_000)
+
+    def run_variant(seed):
+        variant = build.link_variant(config, seed, profile)
+        variant_obs = observe_binary(build, variant, inputs, max_steps=fuel)
+        return _compare_variant(result, baseline_obs, variant_obs,
+                                config, seed)
+
+    for seed in seeds:
+        try:
+            report = run_variant(seed)
+        except ReproError as exc:
+            report = DivergenceReport(
+                program=name, config=result.config, seed=seed,
+                stage="variant", kind="error", error=str(exc),
+                error_code=getattr(exc, "code", None))
+        if report is None:
+            result.variants_validated += 1
+            continue
+        # Fresh-seed retry: does the divergence reproduce under a
+        # different random stream?
+        retry_seed = (seed if isinstance(seed, int) else 0) \
+            + RETRY_SEED_OFFSET
+        report.retry_seed = retry_seed
+        try:
+            retry_report = run_variant(retry_seed)
+        except ReproError:
+            retry_report = "error"
+        report.genuine = retry_report is not None
+        result.reports.append(report)
+    return result
+
+
+def validate_workload(name, config, n_variants=10, *, base_seed=0,
+                      use_ref_input=True):
+    """Validate a population of one registered workload."""
+    workload = get_workload(name)
+    build = ProgramBuild(workload.source, workload.name)
+    profile = None
+    if config.requires_profile:
+        profile = build.profile(workload.train_input)
+    inputs = workload.ref_input if use_ref_input else workload.train_input
+    return validate_population(
+        build, config, range(base_seed, base_seed + n_variants),
+        inputs=inputs, profile=profile, program=workload.name)
+
+
+def validate_workloads(names, config, n_variants=10, **kwargs):
+    """Validate several workloads; returns ``{name: ValidationResult}``."""
+    return {name: validate_workload(name, config, n_variants, **kwargs)
+            for name in names}

@@ -1,0 +1,345 @@
+"""Deterministic fault injection against the diversification pipeline.
+
+Each injector corrupts one artifact class — a linked binary, a training
+profile, or a diversification config — and then *exercises* the pipeline
+stage that consumes it. The campaign runner records how the fault
+surfaced:
+
+- ``typed``   — a :class:`~repro.errors.ReproError` subclass was raised
+  (the desired outcome; its ``code`` and ``context`` are recorded),
+- ``untyped`` — a bare builtin exception escaped (a robustness bug),
+- ``masked``  — the corruption had no observable effect (e.g. a bit flip
+  in never-executed cold code); counted separately, not as a failure.
+
+Binary injectors run the corrupted image *differentially* against the
+pristine baseline's observables, so a corruption that silently changes
+the answer — no fault, wrong output — still surfaces, as a typed
+:class:`~repro.errors.DivergenceError`. All randomness comes from one
+seeded ``random.Random`` per case, so every campaign is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import random
+
+from repro.errors import ReproError
+from repro.check.differential import (
+    Observation, observe_binary, require_equivalent,
+)
+from repro.core.config import DiversificationConfig
+from repro.core.probability import (
+    LogProfileProbability, UniformProbability,
+)
+from repro.pipeline import ProgramBuild
+from repro.profiling.profile_data import ProfileData
+from repro.workloads.registry import get_workload
+
+
+@dataclass
+class FaultTarget:
+    """The pristine artifacts one campaign corrupts copies of."""
+
+    name: str
+    build: ProgramBuild
+    baseline: object            # LinkedBinary
+    baseline_obs: object        # Observation of the pristine baseline
+    profile: ProfileData
+    inputs: tuple
+    pg_config: DiversificationConfig
+    #: Text offset one past the highest instruction address the baseline
+    #: actually executes on ``inputs`` — truncating below this point is
+    #: guaranteed to clip a reachable instruction (the cold-code banks at
+    #: the end of the image would otherwise mask most truncations).
+    executed_end: int = 0
+
+
+def target_from_source(source, name="program", *, train_input=(),
+                       inputs=()):
+    """Build a :class:`FaultTarget` from MinC source text."""
+    build = ProgramBuild(source, name)
+    baseline = build.link_baseline()
+    counted = build.simulate(baseline, inputs, count_addresses=True)
+    baseline_obs = Observation(tuple(counted.output), counted.exit_code,
+                               counted.instr_count)
+    executed_end = len(baseline.text)
+    if counted.addr_counts:
+        executed_end = max(counted.addr_counts) - baseline.text_base + 1
+    profile = build.profile(train_input)
+    return FaultTarget(
+        name=name, build=build, baseline=baseline,
+        baseline_obs=baseline_obs, profile=profile, inputs=tuple(inputs),
+        pg_config=DiversificationConfig.profile_guided(0.10, 0.50),
+        executed_end=executed_end)
+
+
+def target_from_workload(name):
+    """Build a :class:`FaultTarget` from a registered workload."""
+    workload = get_workload(name)
+    return target_from_source(workload.source, workload.name,
+                              train_input=workload.train_input,
+                              inputs=workload.ref_input)
+
+
+def _copy_profile(profile):
+    return ProfileData(dict(profile.edge_counts),
+                       dict(profile.block_counts))
+
+
+class FaultInjector:
+    """Base class: corrupt one artifact, then exercise the pipeline."""
+
+    #: Registry name; also the campaign's grouping key.
+    name = "?"
+    #: Which artifact class is corrupted: binary | profile | config.
+    artifact = "?"
+
+    def inject(self, rng, target):
+        """Corrupt a copy of the artifact and run the consuming stage.
+
+        Returns normally if the corruption was masked; the typed error a
+        real fault surfaces as propagates to the campaign runner.
+        """
+        raise NotImplementedError
+
+
+# -- binary corruption --------------------------------------------------------
+
+
+class BitFlipInjector(FaultInjector):
+    """Flip one random bit of the linked text image, then run it
+    differentially against the pristine baseline."""
+
+    name = "binary.bitflip"
+    artifact = "binary"
+
+    def inject(self, rng, target):
+        text = bytearray(target.baseline.text)
+        position = rng.randrange(len(text))
+        text[position] ^= 1 << rng.randrange(8)
+        corrupted = replace(target.baseline, text=bytes(text))
+        fuel = max(target.baseline_obs.instr_count * 8, 100_000)
+        observation = observe_binary(target.build, corrupted,
+                                     target.inputs, max_steps=fuel)
+        require_equivalent(target.baseline_obs, observation,
+                           program=target.name, stage="bitflipped binary")
+
+
+class TruncationInjector(FaultInjector):
+    """Truncate the text image inside the executed span and run it.
+
+    The cut lands at or below the highest executed instruction, so the
+    corrupted run is guaranteed to fetch past the end of text (or a
+    half-instruction at the cut) — a masked outcome would itself be a
+    simulator-robustness bug.
+    """
+
+    name = "binary.truncation"
+    artifact = "binary"
+
+    def inject(self, rng, target):
+        text = target.baseline.text
+        end = max(2, target.executed_end)
+        cut = rng.randrange(max(1, end // 4), end)
+        corrupted = replace(target.baseline, text=text[:cut])
+        fuel = max(target.baseline_obs.instr_count * 8, 100_000)
+        observation = observe_binary(target.build, corrupted,
+                                     target.inputs, max_steps=fuel)
+        require_equivalent(target.baseline_obs, observation,
+                           program=target.name, stage="truncated binary")
+
+
+# -- profile corruption -------------------------------------------------------
+
+
+class NegativeCountInjector(FaultInjector):
+    """Make one random profile count negative, then build a variant."""
+
+    name = "profile.negative_count"
+    artifact = "profile"
+
+    def inject(self, rng, target):
+        profile = _copy_profile(target.profile)
+        key = rng.choice(sorted(profile.block_counts))
+        profile.block_counts[key] = -abs(profile.block_counts[key]) - 1
+        target.build.link_variant(target.pg_config, rng.randrange(1 << 16),
+                                  profile)
+
+
+class MissingCountInjector(FaultInjector):
+    """Drop the ``count`` field from one serialized profile edge."""
+
+    name = "profile.missing_count"
+    artifact = "profile"
+
+    def inject(self, rng, target):
+        import json
+        payload = json.loads(target.profile.to_json())
+        entry = rng.choice(payload["edges"])
+        del entry["count"]
+        ProfileData.from_json(json.dumps(payload))
+
+
+class BlockIdMismatchInjector(FaultInjector):
+    """Relabel every profiled function so no block id matches the unit."""
+
+    name = "profile.block_mismatch"
+    artifact = "profile"
+
+    def inject(self, rng, target):
+        ghost = f"ghost{rng.randrange(1 << 16)}_"
+        profile = ProfileData(
+            {(ghost + fn, src, dst): count
+             for (fn, src, dst), count in target.profile.edge_counts.items()},
+            {(ghost + fn, label): count
+             for (fn, label), count in target.profile.block_counts.items()})
+        target.build.link_variant(target.pg_config, rng.randrange(1 << 16),
+                                  profile)
+
+
+class GarbageJSONInjector(FaultInjector):
+    """Feed byte garbage to the profile deserializer."""
+
+    name = "profile.garbage_json"
+    artifact = "profile"
+
+    def inject(self, rng, target):
+        text = target.profile.to_json()
+        cut = rng.randrange(1, max(2, len(text) // 2))
+        ProfileData.from_json(text[:cut])
+
+
+# -- config corruption --------------------------------------------------------
+
+
+class InvertedRangeInjector(FaultInjector):
+    """Construct a profile-guided model with p_min > p_max."""
+
+    name = "config.inverted_range"
+    artifact = "config"
+
+    def inject(self, rng, target):
+        low = rng.uniform(0.5, 0.9)
+        high = rng.uniform(0.0, low - 0.1)
+        LogProfileProbability(low, high)
+
+
+class NaNProbabilityInjector(FaultInjector):
+    """Construct a probability model with a NaN fraction."""
+
+    name = "config.nan_probability"
+    artifact = "config"
+
+    def inject(self, rng, target):
+        UniformProbability(float("nan"))
+
+
+class OutOfRangeInjector(FaultInjector):
+    """Construct a probability model with p outside [0, 1]."""
+
+    name = "config.out_of_range"
+    artifact = "config"
+
+    def inject(self, rng, target):
+        sign = rng.choice((-1.0, 1.0))
+        UniformProbability(sign * rng.uniform(1.01, 1000.0))
+
+
+#: Every injector the default campaign runs, in artifact order.
+ALL_INJECTORS = (
+    BitFlipInjector, TruncationInjector,
+    NegativeCountInjector, MissingCountInjector, BlockIdMismatchInjector,
+    GarbageJSONInjector,
+    InvertedRangeInjector, NaNProbabilityInjector, OutOfRangeInjector,
+)
+
+
+@dataclass
+class FaultCase:
+    """How one injected fault surfaced."""
+
+    injector: str
+    artifact: str
+    target: str
+    seed: int
+    outcome: str                 # "typed" | "masked" | "untyped"
+    error_type: str | None = None
+    error_code: str | None = None
+    message: str | None = None
+    context_keys: tuple = ()
+
+    def describe(self):
+        if self.outcome == "masked":
+            return (f"{self.injector} seed={self.seed} on {self.target}: "
+                    "masked (no observable effect)")
+        return (f"{self.injector} seed={self.seed} on {self.target}: "
+                f"{self.outcome} {self.error_type} [{self.error_code}] "
+                f"{self.message}")
+
+
+@dataclass
+class CampaignResult:
+    """All cases of one fault-injection campaign."""
+
+    cases: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        """True when no fault escaped as a bare builtin exception."""
+        return all(case.outcome != "untyped" for case in self.cases)
+
+    def summary(self):
+        counts = {"typed": 0, "masked": 0, "untyped": 0}
+        by_injector = {}
+        for case in self.cases:
+            counts[case.outcome] += 1
+            per = by_injector.setdefault(
+                case.injector, {"typed": 0, "masked": 0, "untyped": 0})
+            per[case.outcome] += 1
+        surfaced = counts["typed"] + counts["untyped"]
+        coverage = 100.0 if surfaced == 0 \
+            else 100.0 * counts["typed"] / surfaced
+        return {
+            "faults_injected": len(self.cases),
+            "typed": counts["typed"],
+            "masked": counts["masked"],
+            "untyped": counts["untyped"],
+            "typed_error_coverage": round(coverage, 2),
+            "by_injector": by_injector,
+        }
+
+
+def _run_case(injector, seed, target):
+    rng = random.Random(seed)
+    try:
+        injector.inject(rng, target)
+    except ReproError as exc:
+        return FaultCase(
+            injector=injector.name, artifact=injector.artifact,
+            target=target.name, seed=seed, outcome="typed",
+            error_type=type(exc).__name__,
+            error_code=getattr(exc, "code", None), message=str(exc),
+            context_keys=tuple(sorted(getattr(exc, "context", {}))))
+    except Exception as exc:  # noqa: BLE001 — the campaign's whole point
+        return FaultCase(
+            injector=injector.name, artifact=injector.artifact,
+            target=target.name, seed=seed, outcome="untyped",
+            error_type=type(exc).__name__, message=str(exc))
+    return FaultCase(injector=injector.name, artifact=injector.artifact,
+                     target=target.name, seed=seed, outcome="masked")
+
+
+def run_campaign(targets, injectors=ALL_INJECTORS, seeds=range(5)):
+    """Run every (target, injector, seed) combination.
+
+    ``targets`` is an iterable of :class:`FaultTarget`; ``injectors`` may
+    be classes or instances. Returns a :class:`CampaignResult`.
+    """
+    result = CampaignResult()
+    for target in targets:
+        for injector in injectors:
+            instance = injector() if isinstance(injector, type) else injector
+            for seed in seeds:
+                result.cases.append(_run_case(instance, seed, target))
+    return result

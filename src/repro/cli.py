@@ -9,6 +9,7 @@ Subcommands::
     diversify FILE              emit a diversified variant and its stats
     scan      FILE              gadget-scan the linked binary
     bench     NAME              run one SPEC-like workload end to end
+    check     [NAMES...]        differential validation + fault campaign
 
 Examples::
 
@@ -110,6 +111,68 @@ def cmd_scan(args):
     return 0
 
 
+def cmd_check(args):
+    from repro.check import (
+        DEFAULT_CHECK_WORKLOADS, run_campaign, target_from_workload,
+        validate_workloads,
+    )
+
+    names = tuple(args.names) or DEFAULT_CHECK_WORKLOADS
+    variants = args.variants
+    fault_seeds = range(args.fault_seeds)
+    if args.quick:
+        names = names[:1]
+        variants = min(variants, 3)
+        fault_seeds = range(2)
+    config = _config_from_args(args)
+
+    print(f"differential validation: {len(names)} workload(s), "
+          f"{variants} variants each, config {config.describe()}")
+    results = validate_workloads(names, config, variants)
+    rows = []
+    divergences = 0
+    for name, result in results.items():
+        rows.append((name, result.variants_validated, len(result.reports),
+                     "ok" if result.ok else "DIVERGED"))
+        divergences += len(result.reports)
+        for report in result.reports:
+            print(f"  !! {report.describe()}", file=sys.stderr)
+    print(format_table(("workload", "validated", "divergences", "status"),
+                       rows, title="differential validation"))
+
+    print(f"\nfault campaign: {len(names)} target(s), "
+          f"{len(fault_seeds)} seed(s) per injector")
+    campaign = run_campaign([target_from_workload(name) for name in names],
+                            seeds=fault_seeds)
+    summary = campaign.summary()
+    rows = [(injector, per["typed"], per["masked"], per["untyped"])
+            for injector, per in sorted(summary["by_injector"].items())]
+    print(format_table(("injector", "typed", "masked", "untyped"), rows,
+                       title=f"{summary['faults_injected']} faults injected, "
+                             f"{summary['typed_error_coverage']}% typed"))
+    for case in campaign.cases:
+        if case.outcome == "untyped":
+            print(f"  !! {case.describe()}", file=sys.stderr)
+
+    if args.json_output:
+        import json
+        payload = {
+            "workloads": {name: result.summary()
+                          for name, result in results.items()},
+            "variants_validated": sum(r.variants_validated
+                                      for r in results.values()),
+            "divergences": divergences,
+            "campaign": summary,
+        }
+        with open(args.json_output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_output}")
+
+    ok = divergences == 0 and campaign.ok
+    print("\ncheck:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def cmd_bench(args):
     workload = get_workload(args.name)
     build = ProgramBuild(workload.source, workload.name)
@@ -160,6 +223,26 @@ def main(argv=None):
     p = sub.add_parser("bench", help="run one named workload")
     p.add_argument("name")
     p.set_defaults(handler=cmd_bench)
+
+    p = sub.add_parser(
+        "check",
+        help="differential variant validation + fault-injection campaign")
+    p.add_argument("names", nargs="*",
+                   help="workloads to validate (default: a representative "
+                        "three-benchmark set)")
+    p.add_argument("--variants", type=int, default=10,
+                   help="population size per workload (default 10)")
+    p.add_argument("--fault-seeds", type=int, default=3,
+                   help="seeds per fault injector (default 3)")
+    p.add_argument("--p", type=float, default=0.5,
+                   help="uniform insertion probability")
+    p.add_argument("--range", nargs=2, type=float, metavar=("MIN", "MAX"),
+                   help="profile-guided probability range")
+    p.add_argument("--quick", action="store_true",
+                   help="smoke mode: one workload, 3 variants, 2 seeds")
+    p.add_argument("--json", dest="json_output",
+                   help="write a JSON summary here")
+    p.set_defaults(handler=cmd_check)
 
     args = parser.parse_args(argv)
     return args.handler(args)

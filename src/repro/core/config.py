@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.probability import (
     LogProfileProbability, UniformProbability,
@@ -46,6 +46,20 @@ class DiversificationConfig:
     @property
     def requires_profile(self):
         return self.probability_model.requires_profile
+
+    def uniform_fallback(self):
+        """This configuration with the profile dependency removed.
+
+        Degrades a profile-guided model to uniform insertion at its
+        ``p_max`` — every block treated as cold, exactly what the
+        profile-guided policy computes for an empty profile — keeping all
+        other knobs. Used when profile collection fails and the pipeline
+        chooses to degrade gracefully instead of aborting the build.
+        """
+        if not self.requires_profile:
+            return self
+        return replace(self, probability_model=UniformProbability(
+            self.probability_model.p_max))
 
     def describe(self):
         text = self.probability_model.describe()

@@ -31,8 +31,10 @@ def block_probability_function(config, profile=None):
     if profile is None:
         raise ProfileError(
             f"configuration {config.describe()!r} needs profile data; "
-            "run a training build first")
+            "run a training build first",
+            context={"config": config.describe()})
 
+    profile.validate()
     max_count = profile.max_block_count
     block_counts = profile.block_counts
     edge_counts = profile.edge_counts

@@ -27,10 +27,23 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
+
 
 def _check_fraction(name, value):
+    if isinstance(value, float) and math.isnan(value):
+        raise ConfigError(f"{name} must be within [0, 1], got NaN",
+                          context={"field": name, "value": value})
     if not 0.0 <= value <= 1.0:
-        raise ValueError(f"{name} must be within [0, 1], got {value}")
+        raise ConfigError(f"{name} must be within [0, 1], got {value}",
+                          context={"field": name, "value": value})
+
+
+def _check_range(p_min, p_max):
+    if p_min > p_max:
+        raise ConfigError(
+            f"p_min must not exceed p_max (got {p_min} > {p_max})",
+            context={"p_min": p_min, "p_max": p_max})
 
 
 @dataclass(frozen=True)
@@ -44,6 +57,11 @@ class UniformProbability:
 
     #: Uniform models do not need profile data.
     requires_profile = False
+
+    @property
+    def p_max(self):
+        """Uniform models degenerate to p everywhere (fallback helper)."""
+        return self.p
 
     def probability(self, count, max_count):
         return self.p
@@ -62,8 +80,7 @@ class LinearProfileProbability:
     def __post_init__(self):
         _check_fraction("p_min", self.p_min)
         _check_fraction("p_max", self.p_max)
-        if self.p_min > self.p_max:
-            raise ValueError("p_min must not exceed p_max")
+        _check_range(self.p_min, self.p_max)
 
     requires_profile = True
 
@@ -87,8 +104,7 @@ class LogProfileProbability:
     def __post_init__(self):
         _check_fraction("p_min", self.p_min)
         _check_fraction("p_max", self.p_max)
-        if self.p_min > self.p_max:
-            raise ValueError("p_min must not exceed p_max")
+        _check_range(self.p_min, self.p_max)
 
     requires_profile = True
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import random
 
+from repro.errors import ProfileError
 from repro.core.bbshift import shift_basic_blocks
 from repro.core.nop_insertion import insert_nops
 from repro.core.policies import block_probability_function
@@ -29,6 +30,8 @@ def diversify_unit(unit, config, seed, profile=None):
     variant.
     """
     rng = random.Random(seed)
+    if config.requires_profile and profile is not None:
+        _check_profile_matches(unit, profile)
     policy = block_probability_function(config, profile)
     candidates = config.nop_candidates
     variant = ObjectUnit(unit.name, data_symbols=dict(unit.data_symbols))
@@ -47,6 +50,27 @@ def diversify_unit(unit, config, seed, profile=None):
         rng.shuffle(reorderable)
         variant.functions = fixed + reorderable
     return variant
+
+
+def _check_profile_matches(unit, profile):
+    """Reject a profile whose block ids share nothing with the unit.
+
+    A profile collected from a different program would silently label
+    every block "cold" (count 0 → p_max everywhere), turning the paper's
+    technique back into the naive uniform pass. A non-empty profile must
+    mention at least one of the unit's functions.
+    """
+    profiled = {name for name, _label in profile.block_counts}
+    if not profiled:
+        return
+    unit_functions = {fc.name for fc in unit.functions}
+    if profiled.isdisjoint(unit_functions):
+        raise ProfileError(
+            f"profile does not match program: profiled functions "
+            f"{sorted(profiled)[:4]} share nothing with unit "
+            f"{sorted(unit_functions)[:4]}",
+            context={"profiled_functions": sorted(profiled),
+                     "unit_functions": sorted(unit_functions)})
 
 
 def variant_seeds(population_size, base_seed=0):

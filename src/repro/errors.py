@@ -1,12 +1,46 @@
-"""Shared exception hierarchy for the repro package."""
+"""Shared exception hierarchy for the repro package.
+
+Every error carries two machine-readable attributes on top of its
+human-readable message:
+
+- ``code`` — a stable dotted identifier (``"sim.fault"``,
+  ``"profile.invalid"``, ...) that tooling can match on without parsing
+  message text. Each class has a default; a raise site may override it.
+- ``context`` — a dict of structured fields describing the failure
+  (faulting address, offending value, call-stack snapshot, ...). The
+  fault-injection campaign in :mod:`repro.check.faults` asserts that
+  injected faults surface as these typed errors with populated context,
+  never as bare builtin exceptions.
+
+Validation errors that historically surfaced as ``ValueError`` (bad
+probability fractions, malformed operands, unknown IR ops) keep
+``ValueError`` in their bases so existing ``except ValueError`` callers
+continue to work.
+"""
 
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
+    #: Stable machine-readable identifier; subclasses override.
+    code = "repro.error"
+
+    def __init__(self, message="", *, context=None, code=None):
+        super().__init__(message)
+        self.context = dict(context) if context else {}
+        if code is not None:
+            self.code = code
+
+    def with_context(self, **fields):
+        """Attach extra context fields; returns self for chaining."""
+        self.context.update(fields)
+        return self
+
 
 class MincSyntaxError(ReproError):
     """Raised by the MinC lexer/parser on malformed source."""
+
+    code = "minc.syntax"
 
     def __init__(self, message, line=None, column=None):
         location = ""
@@ -14,7 +48,8 @@ class MincSyntaxError(ReproError):
             location = f" at line {line}"
             if column is not None:
                 location += f", column {column}"
-        super().__init__(f"{message}{location}")
+        super().__init__(f"{message}{location}",
+                         context={"line": line, "column": column})
         self.line = line
         self.column = column
 
@@ -22,34 +57,99 @@ class MincSyntaxError(ReproError):
 class MincSemanticError(ReproError):
     """Raised by semantic analysis (undefined names, arity errors, ...)."""
 
+    code = "minc.semantic"
+
 
 class IRError(ReproError):
     """Raised when an IR module violates a structural invariant."""
+
+    code = "ir.invalid"
+
+
+class IRValidationError(IRError, ValueError):
+    """Raised when an IR instruction is constructed with a bad operator."""
+
+    code = "ir.operator"
 
 
 class LoweringError(ReproError):
     """Raised when the backend cannot lower an IR construct."""
 
+    code = "lower.failed"
+
 
 class EncodingError(ReproError):
     """Raised when an x86 instruction cannot be encoded."""
+
+    code = "x86.encode"
+
+
+class OperandError(EncodingError, ValueError):
+    """Raised when an x86 operand is constructed with invalid fields."""
+
+    code = "x86.operand"
 
 
 class DecodingError(ReproError):
     """Raised when bytes cannot be decoded as an x86 instruction."""
 
+    code = "x86.decode"
+
 
 class LinkError(ReproError):
     """Raised by the linker (duplicate/undefined symbols, layout issues)."""
+
+    code = "link.failed"
 
 
 class SimulatorError(ReproError):
     """Raised by the x86 simulator on machine faults."""
 
+    code = "sim.error"
+
+
+class MachineFault(SimulatorError):
+    """A fault during simulated execution (bad access, bad decode, HLT).
+
+    ``context`` carries the fault site: ``eip``, ``step``, the decoded
+    instruction when available, a ``call_stack`` snapshot, and — for
+    memory faults — the offending ``address`` and ``access`` kind.
+    """
+
+    code = "sim.fault"
+
+
+class SimulationLimitExceeded(SimulatorError):
+    """The simulator's step fuel ran out (runaway-binary guard)."""
+
+    code = "sim.limit"
+
 
 class ProfileError(ReproError):
     """Raised on malformed or mismatched profile data."""
 
+    code = "profile.invalid"
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised on invalid diversification configuration values."""
+
+    code = "config.invalid"
+
 
 class WorkloadError(ReproError):
     """Raised when a named workload does not exist or fails to build."""
+
+    code = "workload.unknown"
+
+
+class DivergenceError(ReproError):
+    """A diversified variant observably diverged from its baseline.
+
+    Raised by :mod:`repro.check.differential` when outputs, exit codes or
+    instruction-count bounds disagree — the semantics-preservation
+    invariant the paper relies on. ``context`` names the first diverging
+    observable and both values.
+    """
+
+    code = "check.divergence"

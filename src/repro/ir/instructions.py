@@ -10,6 +10,7 @@ only as the last instruction of a block; the verifier enforces this.
 
 from __future__ import annotations
 
+from repro.errors import IRValidationError
 from repro.ir.values import VirtualReg
 
 #: Binary operators: arithmetic, bitwise, shifts and comparisons.
@@ -67,7 +68,9 @@ class Unary(IRInstr):
 
     def __init__(self, op, dst, src):
         if op not in UNARY_OPS:
-            raise ValueError(f"unknown unary op {op!r}")
+            raise IRValidationError(
+                f"unknown unary op {op!r}",
+                context={"op": op, "known": sorted(UNARY_OPS)})
         self.op = op
         self.dst = dst
         self.src = src
@@ -87,7 +90,9 @@ class Binary(IRInstr):
 
     def __init__(self, op, dst, lhs, rhs):
         if op not in BINARY_OPS:
-            raise ValueError(f"unknown binary op {op!r}")
+            raise IRValidationError(
+                f"unknown binary op {op!r}",
+                context={"op": op, "known": sorted(BINARY_OPS)})
         self.op = op
         self.dst = dst
         self.lhs = lhs
@@ -288,7 +293,8 @@ def evaluate_binary(op, lhs, rhs):
         return int(lhs == rhs)
     if op == "ne":
         return int(lhs != rhs)
-    raise ValueError(f"unknown binary op {op!r}")
+    raise IRValidationError(f"unknown binary op {op!r}",
+                            context={"op": op, "known": sorted(BINARY_OPS)})
 
 
 def evaluate_unary(op, value):
@@ -301,4 +307,5 @@ def evaluate_unary(op, value):
         return int(value == 0)
     if op == "bnot":
         return wrap32(~value)
-    raise ValueError(f"unknown unary op {op!r}")
+    raise IRValidationError(f"unknown unary op {op!r}",
+                            context={"op": op, "known": sorted(UNARY_OPS)})

@@ -16,6 +16,7 @@ This is the module examples and benchmarks program against.
 
 from __future__ import annotations
 
+from repro.errors import ReproError
 from repro.backend.linker import link
 from repro.backend.lowering import lower_module
 from repro.core.variants import diversify_unit
@@ -44,6 +45,12 @@ class ProgramBuild:
         self.module = build_ir(source, name, opt_level)
         self.unit = lower_module(self.module, name)
         self._profiles = {}
+        #: Non-fatal degradations recorded during builds (e.g. a
+        #: profile-guided config falling back to uniform insertion).
+        self.warnings = []
+
+    def _warn(self, message):
+        self.warnings.append(message)
 
     # -- profiling -------------------------------------------------------------
 
@@ -68,14 +75,27 @@ class ProgramBuild:
         """The undiversified binary (runtime objects first, as ld would)."""
         return link([runtime_unit(), self.unit])
 
-    def link_variant(self, config, seed, profile=None):
-        """One diversified binary for (config, seed, profile)."""
+    def link_variant(self, config, seed, profile=None, *, fallback=False):
+        """One diversified binary for (config, seed, profile).
+
+        A profile-guided config without a profile normally raises
+        :class:`~repro.errors.ProfileError`. With ``fallback=True`` the
+        build degrades to the config's uniform-``p_max`` equivalent and a
+        warning is recorded on :attr:`warnings` instead — the graceful
+        path used when profile collection failed upstream.
+        """
+        if fallback and config.requires_profile and profile is None:
+            self._warn(f"{self.name}: no profile for "
+                       f"{config.describe()!r}; falling back to "
+                       f"{config.uniform_fallback().describe()!r}")
+            config = config.uniform_fallback()
         variant = diversify_unit(self.unit, config, seed, profile)
         return link([runtime_unit(), variant])
 
-    def link_population(self, config, seeds, profile=None):
+    def link_population(self, config, seeds, profile=None, *, fallback=False):
         """A population of diversified binaries (the paper uses 25)."""
-        return [self.link_variant(config, seed, profile) for seed in seeds]
+        return [self.link_variant(config, seed, profile, fallback=fallback)
+                for seed in seeds]
 
     # -- execution -------------------------------------------------------------------
 
@@ -84,10 +104,15 @@ class ProgramBuild:
         from repro.ir.interp import run_module
         return run_module(self.module, input_values)
 
-    def simulate(self, binary, input_values=(), count_addresses=False):
-        """Execute a linked binary on the machine simulator."""
+    def simulate(self, binary, input_values=(), count_addresses=False,
+                 **fuel):
+        """Execute a linked binary on the machine simulator.
+
+        Extra keyword arguments (``max_steps``, ``stack_size``) are the
+        run's fuel, forwarded to :func:`~repro.sim.machine.run_binary`.
+        """
         return run_binary(binary, input_values,
-                          count_addresses=count_addresses)
+                          count_addresses=count_addresses, **fuel)
 
     # -- performance ------------------------------------------------------------------
 
@@ -106,10 +131,18 @@ class ProgramBuild:
 
         ``train_input`` feeds the profile used by profile-guided configs;
         ``ref_input`` is the measured workload (the paper's train/ref
-        split).
+        split). If profile collection fails, the build degrades to the
+        config's uniform-``p_max`` fallback and records a warning rather
+        than aborting the measurement.
         """
         if profile is None and config.requires_profile:
-            profile = self.profile(train_input)
+            try:
+                profile = self.profile(train_input)
+            except ReproError as exc:
+                self._warn(f"{self.name}: profile collection failed "
+                           f"({exc}); falling back to "
+                           f"{config.uniform_fallback().describe()!r}")
+                config = config.uniform_fallback()
         counts = self.execution_counts(ref_input)
         baseline = self.cycles(self.link_baseline(), counts, model)
         variant = self.cycles(self.link_variant(config, seed, profile),

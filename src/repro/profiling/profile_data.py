@@ -66,6 +66,26 @@ class ProfileData:
                 for (name, label), count in self.block_counts.items()
                 if name == function_name}
 
+    def validate(self):
+        """Check count invariants; raises :class:`ProfileError` if violated.
+
+        Counts must be non-negative integers — a negative or non-numeric
+        count can only come from corruption (or a bug in a collector) and
+        would silently skew every probability the paper's formula assigns.
+        Returns self so call sites can chain.
+        """
+        for label, counts in (("edge", self.edge_counts),
+                              ("block", self.block_counts)):
+            for key, count in counts.items():
+                if not isinstance(count, int) or isinstance(count, bool) \
+                        or count < 0:
+                    raise ProfileError(
+                        f"corrupt profile: {label} count for {key!r} "
+                        f"is {count!r} (expected a non-negative integer)",
+                        context={"kind": label, "key": list(key),
+                                 "count": count})
+        return self
+
     def summary(self):
         """(max, median, total) of all block counts — §3.1's statistics."""
         values = sorted(self.block_counts.values())
@@ -91,14 +111,34 @@ class ProfileData:
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
-            raise ProfileError(f"malformed profile JSON: {exc}") from exc
+            raise ProfileError(
+                f"malformed profile JSON: {exc}",
+                context={"line": exc.lineno, "column": exc.colno,
+                         "position": exc.pos}) from exc
         if payload.get("version") != 1:
-            raise ProfileError("unsupported profile version")
+            raise ProfileError("unsupported profile version",
+                               context={"version": payload.get("version")})
+        entries = payload.get("edges")
+        if not isinstance(entries, list):
+            raise ProfileError("malformed profile: missing edge list",
+                               context={"keys": sorted(payload)})
         edge_counts = {}
-        for entry in payload["edges"]:
-            key = (entry["function"], entry["source"], entry["target"])
-            edge_counts[key] = entry["count"]
-        return cls.from_edges(edge_counts)
+        for position, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise ProfileError(
+                    f"malformed profile edge #{position}: not an object",
+                    context={"position": position, "entry": entry})
+            try:
+                key = (entry["function"], entry["source"], entry["target"])
+                edge_counts[key] = entry["count"]
+            except KeyError as exc:
+                raise ProfileError(
+                    f"malformed profile edge #{position}: "
+                    f"missing field {exc.args[0]!r}",
+                    context={"position": position,
+                             "missing": exc.args[0],
+                             "present": sorted(entry)}) from exc
+        return cls.from_edges(edge_counts).validate()
 
     def save(self, path):
         with open(path, "w") as handle:

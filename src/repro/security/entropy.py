@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import math
 
+from repro.errors import ConfigError
+
 from repro.x86.instructions import Instr
 
 
@@ -42,7 +44,8 @@ def bernoulli_entropy(p):
 def per_instruction_entropy(p, candidate_count):
     """Entropy in bits contributed by one visited instruction."""
     if candidate_count < 1:
-        raise ValueError("need at least one NOP candidate")
+        raise ConfigError("need at least one NOP candidate",
+                          context={"candidate_count": candidate_count})
     return bernoulli_entropy(p) + p * math.log2(candidate_count)
 
 

@@ -20,8 +20,10 @@ EAX   call                        effect
 
 from __future__ import annotations
 
-from repro.errors import SimulatorError
-from repro.sim.memory import Memory, STACK_TOP
+from repro.errors import (
+    DecodingError, MachineFault, SimulationLimitExceeded, SimulatorError,
+)
+from repro.sim.memory import DEFAULT_STACK_SIZE, Memory, STACK_TOP
 from repro.x86.decoder import decode
 from repro.x86.instructions import (
     CONDITION_CODES, Imm, Mem, SETCC_MNEMONICS,
@@ -58,9 +60,9 @@ class Machine:
     """One simulated process."""
 
     def __init__(self, binary, input_values=(), max_steps=500_000_000,
-                 count_addresses=True):
+                 count_addresses=True, stack_size=DEFAULT_STACK_SIZE):
         self.binary = binary
-        self.memory = Memory(binary)
+        self.memory = Memory(binary, stack_size=stack_size)
         self.regs = [0] * 8  # EAX ECX EDX EBX ESP EBP ESI EDI
         self.regs[4] = STACK_TOP - 64  # ESP, small headroom below the top
         self.eip = binary.entry
@@ -74,7 +76,27 @@ class Machine:
         self.instr_count = 0
         self.count_addresses = count_addresses
         self.addr_counts = {}
+        self.call_stack = []  # return addresses of live CALLs (snapshot aid)
         self._decode_cache = {}
+
+    # -- fault reporting ----------------------------------------------------
+
+    def fault_context(self):
+        """Machine state for error context: eip, step, call stack, instr."""
+        context = {
+            "eip": self.eip,
+            "step": self.instr_count,
+            "call_stack": [addr for addr in self.call_stack[-8:]],
+        }
+        instr = self._decode_cache.get(self.eip)
+        if instr is not None:
+            context["instr"] = repr(instr)
+        return context
+
+    def _fault(self, message, cause=None, **extra):
+        context = self.fault_context()
+        context.update(extra)
+        raise MachineFault(message, context=context) from cause
 
     # -- operand access -----------------------------------------------------
 
@@ -93,7 +115,7 @@ class Machine:
             return operand.value & _MASK
         if isinstance(operand, Mem):
             return self.memory.read_u32(self._ea(operand))
-        raise SimulatorError(f"cannot read operand {operand!r}")
+        self._fault(f"cannot read operand {operand!r}")
 
     def _set(self, operand, value):
         value &= _MASK
@@ -102,7 +124,7 @@ class Machine:
         elif isinstance(operand, Mem):
             self.memory.write_u32(self._ea(operand), value)
         else:
-            raise SimulatorError(f"cannot write operand {operand!r}")
+            self._fault(f"cannot write operand {operand!r}")
 
     # -- flags ---------------------------------------------------------------
 
@@ -162,7 +184,7 @@ class Machine:
             return self.pf
         if cc == "np":
             return not self.pf
-        raise SimulatorError(f"unknown condition {cc!r}")
+        self._fault(f"unknown condition {cc!r}")
 
     # -- stack ----------------------------------------------------------------
 
@@ -181,7 +203,12 @@ class Machine:
         instr = self._decode_cache.get(self.eip)
         if instr is None:
             window = self.memory.code_window(self.eip, 16)
-            instr = decode(window, 0)
+            try:
+                instr = decode(window, 0)
+            except DecodingError as exc:
+                self._fault(f"cannot decode instruction at "
+                            f"{self.eip:#010x}: {exc}", cause=exc,
+                            encoding=window[:8].hex())
             self._decode_cache[self.eip] = instr
         return instr
 
@@ -191,12 +218,25 @@ class Machine:
             raise SimulatorError("machine is halted")
         self.instr_count += 1
         if self.instr_count > self.max_steps:
-            raise SimulatorError(f"exceeded {self.max_steps} steps")
+            raise SimulationLimitExceeded(
+                f"exceeded {self.max_steps} steps",
+                context={"limit": self.max_steps, "steps": self.instr_count,
+                         "eip": self.eip})
         if self.count_addresses:
             counts = self.addr_counts
             counts[self.eip] = counts.get(self.eip, 0) + 1
-        instr = self._fetch()
-        next_eip = self.eip + instr.size
+        try:
+            instr = self._fetch()
+            next_eip = self._execute(instr, self.eip + instr.size)
+        except MachineFault as fault:
+            # Memory faults are raised without machine state; add it.
+            for key, value in self.fault_context().items():
+                fault.context.setdefault(key, value)
+            raise
+        self.eip = next_eip & _MASK
+
+    def _execute(self, instr, next_eip):
+        """Dispatch one decoded instruction; returns the next EIP."""
         mnemonic = instr.mnemonic
         ops = instr.operands
 
@@ -293,13 +333,17 @@ class Machine:
             self._set(ops[1], a)
         elif mnemonic == "call":
             self._push(next_eip)
+            self.call_stack.append(next_eip)
             next_eip = (next_eip + ops[0].value) & _MASK
         elif mnemonic == "call_reg":
             target = self._get(ops[0])
             self._push(next_eip)
+            self.call_stack.append(next_eip)
             next_eip = target
         elif mnemonic == "ret":
             next_eip = self._pop()
+            if self.call_stack:
+                self.call_stack.pop()
             if ops:
                 self.regs[4] = (self.regs[4] + ops[0].value) & _MASK
         elif mnemonic == "jmp":
@@ -311,7 +355,7 @@ class Machine:
         elif mnemonic == "int":
             self._syscall(ops[0].value)
         elif mnemonic == "hlt":
-            raise SimulatorError(f"HLT executed at {self.eip:#010x}")
+            self._fault(f"HLT executed at {self.eip:#010x}")
         elif mnemonic in SETCC_MNEMONICS:
             flag = int(bool(self._condition(mnemonic[3:])))
             current = self._get(ops[0])
@@ -320,10 +364,9 @@ class Machine:
             if self._condition(mnemonic[1:]):
                 next_eip = (next_eip + ops[0].value) & _MASK
         else:
-            raise SimulatorError(f"cannot execute {instr!r} "
-                                 f"at {self.eip:#010x}")
+            self._fault(f"cannot execute {instr!r} at {self.eip:#010x}")
 
-        self.eip = next_eip & _MASK
+        return next_eip
 
     def _shift(self, mnemonic, ops):
         count_operand = ops[1]
@@ -359,7 +402,7 @@ class Machine:
 
     def _syscall(self, vector):
         if vector != 0x80:
-            raise SimulatorError(f"unsupported interrupt {vector:#x}")
+            self._fault(f"unsupported interrupt {vector:#x}")
         number = self.regs[0]
         if number == 0:  # exit
             self.exit_code = _signed(self.regs[3])
@@ -375,7 +418,7 @@ class Machine:
                 value = 0
             self.regs[0] = value & _MASK
         else:
-            raise SimulatorError(f"unknown syscall {number}")
+            self._fault(f"unknown syscall {number}")
 
     def run(self):
         """Run to exit; returns a :class:`SimResult`."""
@@ -386,8 +429,15 @@ class Machine:
 
 
 def run_binary(binary, input_values=(), max_steps=500_000_000,
-               count_addresses=True):
-    """Convenience wrapper: simulate a binary to completion."""
+               count_addresses=True, stack_size=DEFAULT_STACK_SIZE):
+    """Convenience wrapper: simulate a binary to completion.
+
+    ``max_steps`` and ``stack_size`` are the run's fuel: a binary that
+    spins past the step budget raises
+    :class:`~repro.errors.SimulationLimitExceeded`, and one that grows
+    its stack past ``stack_size`` faults with a
+    :class:`~repro.errors.MachineFault` naming the overflow.
+    """
     machine = Machine(binary, input_values=input_values, max_steps=max_steps,
-                      count_addresses=count_addresses)
+                      count_addresses=count_addresses, stack_size=stack_size)
     return machine.run()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import struct
 
-from repro.errors import SimulatorError
+from repro.errors import MachineFault
 
 _U32 = struct.Struct("<I")
 
@@ -37,6 +37,14 @@ class Memory:
         self.stack_base = STACK_TOP - stack_size
         self.stack = bytearray(stack_size)
 
+    def _fault(self, message, address, access):
+        raise MachineFault(message, context={
+            "address": address, "access": access,
+            "text": (self.text_base, self.text_end),
+            "data": (self.data_base, self.data_end),
+            "stack": (self.stack_base, STACK_TOP),
+        })
+
     # -- accessors ---------------------------------------------------------
 
     def read_u8(self, address):
@@ -46,7 +54,7 @@ class Memory:
             return self.data[address - self.data_base]
         if self.stack_base <= address < STACK_TOP:
             return self.stack[address - self.stack_base]
-        raise SimulatorError(f"read fault at {address:#010x}")
+        self._fault(f"read fault at {address:#010x}", address, "read")
 
     def read_u32(self, address):
         if self.data_base <= address and address + 4 <= self.data_end:
@@ -55,7 +63,7 @@ class Memory:
             return _U32.unpack_from(self.stack, address - self.stack_base)[0]
         if self.text_base <= address and address + 4 <= self.text_end:
             return _U32.unpack_from(self.text, address - self.text_base)[0]
-        raise SimulatorError(f"read fault at {address:#010x}")
+        self._fault(f"read fault at {address:#010x}", address, "read")
 
     def write_u32(self, address, value):
         value &= 0xFFFF_FFFF
@@ -66,14 +74,20 @@ class Memory:
             _U32.pack_into(self.stack, address - self.stack_base, value)
             return
         if self.text_base <= address < self.text_end:
-            raise SimulatorError(
-                f"W^X violation: write to text at {address:#010x}")
-        raise SimulatorError(f"write fault at {address:#010x}")
+            self._fault(f"W^X violation: write to text at {address:#010x}",
+                        address, "write")
+        if self.data_end <= address < self.stack_base:
+            # The gap between data and stack; running past the stack fuel
+            # lands here, so name the likely cause.
+            self._fault(f"write fault at {address:#010x} "
+                        "(below stack segment — stack overflow?)",
+                        address, "write")
+        self._fault(f"write fault at {address:#010x}", address, "write")
 
     def code_window(self, address, length=16):
         """Raw code bytes at ``address`` (for the decoder)."""
         if not self.text_base <= address < self.text_end:
-            raise SimulatorError(
-                f"execute fault at {address:#010x} (outside text)")
+            self._fault(f"execute fault at {address:#010x} (outside text)",
+                        address, "execute")
         start = address - self.text_base
         return self.text[start:start + length]

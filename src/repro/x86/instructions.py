@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import OperandError
 from repro.x86.registers import Register
 
 #: Condition codes in IA-32 encoding order (the low nibble of 0F 8x / 7x).
@@ -68,7 +69,8 @@ class Rel:
 
     def __post_init__(self):
         if self.width not in (8, 32):
-            raise ValueError(f"invalid relative-branch width {self.width}")
+            raise OperandError(f"invalid relative-branch width {self.width}",
+                               context={"width": self.width})
 
     def __repr__(self):
         return f"Rel({self.value:+#x}, {self.width})"
@@ -101,9 +103,11 @@ class Mem:
 
     def __post_init__(self):
         if self.scale not in (1, 2, 4, 8):
-            raise ValueError(f"invalid scale {self.scale}")
+            raise OperandError(f"invalid scale {self.scale}",
+                               context={"scale": self.scale})
         if self.index is not None and self.index.name == "esp":
-            raise ValueError("ESP cannot be an index register")
+            raise OperandError("ESP cannot be an index register",
+                               context={"index": self.index.name})
 
     def __repr__(self):
         parts = []

@@ -1,0 +1,86 @@
+"""Fault-injection campaign: every injected fault surfaces typed.
+
+Each injector class is exercised across several deterministic seeds; a
+fault must surface as a ReproError subclass with populated context (or be
+provably masked — e.g. a bit flip in never-executed code). A bare
+builtin exception escaping the pipeline fails the campaign.
+"""
+
+import pytest
+
+from repro.check.faults import (
+    ALL_INJECTORS, BitFlipInjector, run_campaign, target_from_source,
+)
+from repro.errors import ReproError
+from tests.conftest import FIB_SOURCE
+
+
+@pytest.fixture(scope="module")
+def target():
+    return target_from_source(FIB_SOURCE, "fib", train_input=(6,),
+                              inputs=(8,))
+
+
+@pytest.fixture(scope="module")
+def campaign(target):
+    return run_campaign([target], seeds=range(4))
+
+
+def test_no_fault_escapes_untyped(campaign):
+    untyped = [case.describe() for case in campaign.cases
+               if case.outcome == "untyped"]
+    assert not untyped, untyped
+
+
+def test_typed_coverage_is_total(campaign):
+    summary = campaign.summary()
+    assert summary["typed_error_coverage"] == 100.0
+    assert summary["untyped"] == 0
+    assert campaign.ok
+
+
+@pytest.mark.parametrize("injector_class", ALL_INJECTORS,
+                         ids=lambda cls: cls.name)
+def test_injector_produces_typed_context_rich_errors(campaign,
+                                                     injector_class):
+    cases = [case for case in campaign.cases
+             if case.injector == injector_class.name]
+    assert cases, "injector never ran"
+    for case in cases:
+        assert case.outcome in ("typed", "masked")
+        if case.outcome == "typed":
+            assert case.error_type is not None
+            assert case.error_code is not None
+            assert case.context_keys, (
+                f"{case.injector} raised {case.error_type} "
+                "without context")
+    if injector_class is not BitFlipInjector:
+        # Every injector except the (legitimately maskable) bit flip
+        # must surface on every seed.
+        assert all(case.outcome == "typed" for case in cases), \
+            [case.describe() for case in cases]
+
+
+def test_error_types_are_repro_errors(campaign):
+    import repro.errors as errors
+    for case in campaign.cases:
+        if case.outcome != "typed":
+            continue
+        cls = getattr(errors, case.error_type, None)
+        assert cls is not None and issubclass(cls, ReproError), \
+            case.describe()
+
+
+def test_campaign_is_deterministic(target):
+    first = run_campaign([target], injectors=(BitFlipInjector,),
+                         seeds=range(3))
+    second = run_campaign([target], injectors=(BitFlipInjector,),
+                          seeds=range(3))
+    assert [(c.outcome, c.error_type, c.message) for c in first.cases] \
+        == [(c.outcome, c.error_type, c.message) for c in second.cases]
+
+
+def test_truncation_targets_executed_span(target):
+    # executed_end must cover the entry but not necessarily the cold
+    # banks at the end of the image.
+    assert 0 < target.executed_end <= len(target.baseline.text)

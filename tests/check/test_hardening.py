@@ -1,0 +1,177 @@
+"""Simulator fuel limits, fault context, and pipeline degradation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import DiversificationConfig
+from repro.core.probability import UniformProbability
+from repro.errors import (
+    DecodingError, MachineFault, ProfileError, ReproError,
+    SimulationLimitExceeded, SimulatorError,
+)
+from repro.pipeline import ProgramBuild
+from repro.profiling.profile_data import ProfileData
+from repro.sim.machine import run_binary
+from tests.conftest import FIB_SOURCE
+
+DEEP_SOURCE = """
+int deep(int n) {
+  if (n == 0) { return 0; }
+  return deep(n - 1) + 1;
+}
+
+int main() {
+  print(deep(input()));
+  return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def fib_binary(fib_build):
+    return fib_build.link_baseline()
+
+
+class TestFuelLimits:
+    def test_step_limit_raises_typed_error(self, fib_binary):
+        with pytest.raises(SimulationLimitExceeded) as excinfo:
+            run_binary(fib_binary, (10,), max_steps=50)
+        error = excinfo.value
+        assert isinstance(error, SimulatorError)
+        assert error.code == "sim.limit"
+        assert error.context["limit"] == 50
+        assert error.context["steps"] > 50
+        assert "eip" in error.context
+
+    def test_stack_overflow_is_a_machine_fault(self):
+        build = ProgramBuild(DEEP_SOURCE, "deep")
+        binary = build.link_baseline()
+        # Plenty of steps, almost no stack: recursion must trip the
+        # stack guard, not the step limit.
+        with pytest.raises(MachineFault) as excinfo:
+            run_binary(binary, (100_000,), stack_size=512)
+        error = excinfo.value
+        assert "stack overflow" in str(error)
+        assert error.context["access"] == "write"
+        assert "address" in error.context
+
+    def test_generous_fuel_still_completes(self, fib_build, fib_binary):
+        result = fib_build.simulate(fib_binary, (9,), max_steps=10_000_000,
+                                    stack_size=65536)
+        assert result.exit_code == result.output[0] % 256
+
+
+class TestFaultContext:
+    def test_truncated_binary_fault_carries_machine_state(self, fib_binary):
+        corrupted = replace(fib_binary, text=fib_binary.text[:40])
+        with pytest.raises(MachineFault) as excinfo:
+            run_binary(corrupted, (9,))
+        context = excinfo.value.context
+        assert excinfo.value.code == "sim.fault"
+        for key in ("eip", "step", "call_stack"):
+            assert key in context, context
+
+    def test_garbage_opcode_wraps_decoding_error(self, fib_binary):
+        # 0x0F 0xFF is no instruction the decoder knows.
+        corrupted = replace(fib_binary,
+                            text=b"\x0f\xff" + fib_binary.text[2:])
+        with pytest.raises(MachineFault) as excinfo:
+            run_binary(corrupted, (9,))
+        error = excinfo.value
+        assert isinstance(error.__cause__, DecodingError)
+        assert "encoding" in error.context
+
+    def test_wild_write_reports_segments(self, fib_binary):
+        # Clamp the stack so the very first push lands outside every
+        # mapped segment; context must include the segment map.
+        with pytest.raises(MachineFault) as excinfo:
+            run_binary(fib_binary, (9,), stack_size=0)
+        context = excinfo.value.context
+        assert {"address", "access", "text", "data", "stack"} <= set(context)
+
+
+class TestGracefulDegradation:
+    def test_link_variant_fallback_is_opt_in(self, fib_build):
+        config = DiversificationConfig.profile_guided(0.1, 0.5)
+        with pytest.raises(ProfileError):
+            fib_build.link_variant(config, seed=1, profile=None)
+
+    def test_link_variant_fallback_records_warning(self):
+        build = ProgramBuild(FIB_SOURCE, "fib-fallback")
+        config = DiversificationConfig.profile_guided(0.1, 0.5)
+        variant = build.link_variant(config, seed=1, profile=None,
+                                     fallback=True)
+        assert variant.text
+        assert any("falling back" in warning for warning in build.warnings)
+        result = build.simulate(variant, (9,))
+        baseline = build.simulate(build.link_baseline(), (9,))
+        assert result.output == baseline.output
+
+    def test_overhead_degrades_when_collection_fails(self, monkeypatch):
+        build = ProgramBuild(FIB_SOURCE, "fib-degrade")
+
+        def broken_profile(input_values=(), key=None):
+            raise ProfileError("instrumentation exploded")
+
+        monkeypatch.setattr(build, "profile", broken_profile)
+        config = DiversificationConfig.profile_guided(0.1, 0.5)
+        # execution_counts also goes through profile(); restore it for the
+        # ref run only after the train-time failure has been recorded.
+        original = ProgramBuild.profile
+
+        def flaky_profile(input_values=(), key=None):
+            if not build.warnings:
+                raise ProfileError("instrumentation exploded")
+            return original(build, input_values, key=key)
+
+        monkeypatch.setattr(build, "profile", flaky_profile)
+        overhead = build.overhead(config, seed=3, train_input=(6,),
+                                  ref_input=(9,))
+        assert any("falling back" in warning for warning in build.warnings)
+        assert overhead == overhead  # finite, not NaN
+        assert overhead >= 0.0
+
+    def test_uniform_fallback_keeps_other_knobs(self):
+        config = DiversificationConfig.profile_guided(
+            0.1, 0.4, basic_block_shifting=True)
+        fallback = config.uniform_fallback()
+        assert not fallback.requires_profile
+        assert isinstance(fallback.probability_model, UniformProbability)
+        assert fallback.probability_model.p == 0.4
+        assert fallback.basic_block_shifting
+
+    def test_uniform_fallback_is_identity_for_uniform(self):
+        config = DiversificationConfig.uniform(0.3)
+        assert config.uniform_fallback() is config
+
+
+class TestProfileValidation:
+    def test_negative_block_count_rejected(self, fib_build):
+        profile = fib_build.profile((6,))
+        bad = ProfileData(dict(profile.edge_counts),
+                          dict(profile.block_counts))
+        key = sorted(bad.block_counts)[0]
+        bad.block_counts[key] = -5
+        with pytest.raises(ProfileError) as excinfo:
+            bad.validate()
+        assert excinfo.value.context["count"] == -5
+
+    def test_boolean_count_rejected(self, fib_build):
+        profile = fib_build.profile((6,))
+        bad = ProfileData(dict(profile.edge_counts),
+                          dict(profile.block_counts))
+        key = next(iter(bad.edge_counts))
+        bad.edge_counts[key] = True
+        with pytest.raises(ProfileError):
+            bad.validate()
+
+    def test_roundtrip_still_validates(self, fib_build):
+        profile = fib_build.profile((6,))
+        restored = ProfileData.from_json(profile.to_json())
+        assert restored.edge_counts == profile.edge_counts
+
+    def test_errors_are_repro_errors(self):
+        assert issubclass(ProfileError, ReproError)
+        assert issubclass(MachineFault, SimulatorError)
+        assert issubclass(SimulationLimitExceeded, SimulatorError)

@@ -9,9 +9,49 @@ def test_hierarchy():
     for name in ("MincSyntaxError", "MincSemanticError", "IRError",
                  "LoweringError", "EncodingError", "DecodingError",
                  "LinkError", "SimulatorError", "ProfileError",
-                 "WorkloadError"):
+                 "WorkloadError", "IRValidationError", "OperandError",
+                 "MachineFault", "SimulationLimitExceeded", "ConfigError",
+                 "DivergenceError"):
         cls = getattr(errors, name)
         assert issubclass(cls, errors.ReproError)
+
+
+def test_validation_errors_remain_value_errors():
+    # Pre-existing callers catch ValueError for bad operands/configs;
+    # the typed classes must keep satisfying those handlers.
+    for name in ("IRValidationError", "OperandError", "ConfigError"):
+        assert issubclass(getattr(errors, name), ValueError)
+
+
+def test_every_error_class_has_a_stable_code():
+    seen = {}
+    for name in dir(errors):
+        cls = getattr(errors, name)
+        if isinstance(cls, type) and issubclass(cls, errors.ReproError):
+            assert isinstance(cls.code, str) and "." in cls.code or \
+                cls is errors.ReproError, name
+            seen.setdefault(cls.code, name)
+    assert seen["check.divergence"] == "DivergenceError"
+
+
+def test_context_defaults_to_empty_dict():
+    error = errors.ReproError("boom")
+    assert error.context == {}
+    assert error.code == "repro.error"
+
+
+def test_context_and_code_override():
+    error = errors.SimulatorError("boom", context={"eip": 4096},
+                                  code="sim.custom")
+    assert error.context["eip"] == 4096
+    assert error.code == "sim.custom"
+
+
+def test_with_context_chains():
+    error = errors.ProfileError("bad").with_context(kind="block", count=-1)
+    assert error.context == {"kind": "block", "count": -1}
+    assert error.with_context(key="main") is error
+    assert error.context["key"] == "main"
 
 
 def test_syntax_error_location_formatting():
