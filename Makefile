@@ -1,0 +1,13 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/bench_runtime.py
+
+check:
+	$(PYTHON) benchmarks/check_campaign.py --quick

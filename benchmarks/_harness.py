@@ -4,12 +4,24 @@ Expensive artifacts (program builds, profiles, execution counts, variant
 gadget signatures) are memoized at module level so the Table-2 and
 Table-3 benches share one population per (workload, config).
 
+Populations are built whole — the first request for any seed of a
+(workload, config) pair batch-builds every seed of that population
+through :func:`repro.pipeline.build_population`, which fans out over a
+process pool when ``REPRO_WORKERS`` > 1 and reuses on-disk artifacts
+when ``REPRO_CACHE_DIR`` is set. Only the derived scalars (gadget
+signature maps, overhead fractions) are retained; the binaries
+themselves are dropped so a full Table-2/3 sweep stays memory-bounded.
+
 Environment knobs:
 
 - ``REPRO_POPULATION``  — variants per (workload, config) for the
   security tables (paper: 25; default 25).
 - ``REPRO_PERF_SEEDS``  — randomized builds per configuration for the
   Figure-4 sweep (paper: 5; default 5).
+- ``REPRO_WORKERS``     — process-pool width for population builds
+  (default 1 = serial; 0 = cpu count).
+- ``REPRO_CACHE_DIR``   — on-disk variant artifact cache root
+  (unset = no caching).
 """
 
 from __future__ import annotations
@@ -17,7 +29,7 @@ from __future__ import annotations
 import os
 
 from repro.core.config import PAPER_CONFIGS
-from repro.pipeline import ProgramBuild
+from repro.pipeline import ProgramBuild, build_population
 from repro.security.survivor import gadget_signatures
 from repro.workloads.registry import SPEC_ORDER, get_workload
 
@@ -33,6 +45,7 @@ _COUNTS = {}
 _BASELINES = {}
 _BASELINE_SIGNATURES = {}
 _VARIANT_SIGNATURES = {}
+_VARIANT_OVERHEADS = {}
 
 
 def build_for(name):
@@ -77,27 +90,49 @@ def baseline_signatures(name):
     return _BASELINE_SIGNATURES[name]
 
 
+def _population(name, config_label, seeds):
+    """Batch-build one population's binaries, in ``seeds`` order."""
+    config = PAPER_CONFIGS[config_label]
+    profile = train_profile(name) if config.requires_profile else None
+    return build_population(build_for(name), config, seeds, profile)
+
+
 def variant_signatures(name, config_label, seed):
-    """Gadget signature map of one diversified variant (memoized)."""
+    """Gadget signature map of one diversified variant (memoized).
+
+    The first miss builds the whole ``POPULATION_SIZE`` population for
+    (workload, config) at once — parallel/cached when configured — and
+    keeps only the signature maps, not the binaries.
+    """
     key = (name, config_label, seed)
     if key not in _VARIANT_SIGNATURES:
-        config = PAPER_CONFIGS[config_label]
-        profile = (train_profile(name)
-                   if config.requires_profile else None)
-        variant = build_for(name).link_variant(config, seed, profile)
-        _VARIANT_SIGNATURES[key] = gadget_signatures(variant.text)
+        seeds = range(max(POPULATION_SIZE, seed + 1))
+        for built_seed, variant in zip(seeds,
+                                       _population(name, config_label,
+                                                   seeds)):
+            _VARIANT_SIGNATURES[(name, config_label, built_seed)] = \
+                gadget_signatures(variant.text)
     return _VARIANT_SIGNATURES[key]
 
 
 def variant_overhead(name, config_label, seed):
-    """Fractional slowdown of one variant on the ref input."""
-    build = build_for(name)
-    config = PAPER_CONFIGS[config_label]
-    profile = train_profile(name) if config.requires_profile else None
-    counts = ref_counts(name)
-    baseline_cycles = build.cycles(baseline_binary(name), counts)
-    variant = build.link_variant(config, seed, profile)
-    return build.cycles(variant, counts) / baseline_cycles - 1.0
+    """Fractional slowdown of one variant on the ref input (memoized).
+
+    Like :func:`variant_signatures`, the first miss batch-builds all
+    ``PERF_SEEDS`` variants and keeps only the overhead scalars.
+    """
+    key = (name, config_label, seed)
+    if key not in _VARIANT_OVERHEADS:
+        build = build_for(name)
+        counts = ref_counts(name)
+        baseline_cycles = build.cycles(baseline_binary(name), counts)
+        seeds = range(max(PERF_SEEDS, seed + 1))
+        for built_seed, variant in zip(seeds,
+                                       _population(name, config_label,
+                                                   seeds)):
+            _VARIANT_OVERHEADS[(name, config_label, built_seed)] = \
+                build.cycles(variant, counts) / baseline_cycles - 1.0
+    return _VARIANT_OVERHEADS[key]
 
 
 def spec_names():

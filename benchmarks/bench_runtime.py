@@ -1,0 +1,190 @@
+"""Simulator throughput + population-build wall-clock tracker.
+
+Measures the two things PR 2 optimized:
+
+1. **Interpreter throughput** — instructions/second of the threaded-code
+   fast path vs. the reference step loop, on a fixed workload mix
+   (memory-bound mcf, branch-heavy libquantum, arithmetic-heavy lbm).
+   Each (workload, engine) pair is timed best-of-N with the GC disabled;
+   both engines run the same binaries on the same ref inputs, so the
+   ratio is a pure dispatch-overhead comparison.
+2. **Population-build wall clock** — building the paper's 25-variant
+   population (config 0-30%, profile-guided) serially vs. over a
+   process pool, with the artifact cache disabled so every build is
+   real work.
+
+Emits ``BENCH_runtime.json`` so future PRs can diff performance the
+same way the table/figure benches diff the paper's numbers, and exits
+nonzero if the fast path's mix speedup falls below ``MIN_SPEEDUP`` —
+a regression gate, set below the ~3.4x this PR measured so timing noise
+doesn't flake it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py [--quick] \\
+        [--output BENCH_runtime.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+
+from repro.core.config import DiversificationConfig
+from repro.pipeline import ProgramBuild, build_population
+from repro.workloads.registry import get_workload
+
+#: Fixed throughput mix: one memory-bound, one branch-heavy, one
+#: arithmetic-heavy workload (same trio repro.check validates).
+MIX = ("429.mcf", "462.libquantum", "470.lbm")
+
+#: Regression gate on the fast/reference mix speedup.
+MIN_SPEEDUP = 2.0
+
+#: Population-build measurement parameters (paper: 25 variants).
+POPULATION_CONFIG = "0-30%"
+POPULATION_SIZE = 25
+
+
+def _best_of(times, fn):
+    """Best wall-clock of ``times`` runs of ``fn`` (GC off while timed)."""
+    best = None
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(times):
+            gc.collect()
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best
+
+
+def measure_throughput(names, repeats):
+    """Per-workload and mix instrs/sec for both engines."""
+    workloads = []
+    for name in names:
+        workload = get_workload(name)
+        build = ProgramBuild(workload.source, workload.name)
+        binary = build.link_baseline()
+        result = build.simulate(binary, workload.ref_input)
+        workloads.append((name, build, binary, workload.ref_input,
+                          result.instr_count))
+
+    per_workload = {}
+    totals = {"fast": 0.0, "reference": 0.0}
+    total_instrs = 0
+    for name, build, binary, inputs, instrs in workloads:
+        entry = {"instructions": instrs}
+        for engine in ("fast", "reference"):
+            seconds = _best_of(
+                repeats,
+                lambda: build.simulate(binary, inputs, engine=engine))
+            entry[engine] = {
+                "seconds": round(seconds, 4),
+                "instrs_per_sec": round(instrs / seconds),
+            }
+            totals[engine] += seconds
+        entry["speedup"] = round(entry["reference"]["seconds"]
+                                 / entry["fast"]["seconds"], 2)
+        per_workload[name] = entry
+        total_instrs += instrs
+
+    mix = {
+        "instructions": total_instrs,
+        "fast_instrs_per_sec": round(total_instrs / totals["fast"]),
+        "reference_instrs_per_sec": round(total_instrs
+                                          / totals["reference"]),
+        "speedup": round(totals["reference"] / totals["fast"], 2),
+    }
+    return per_workload, mix
+
+
+def measure_population_build(population_size, worker_counts):
+    """Wall clock for one population build at each worker count.
+
+    The artifact cache is disabled (``cache_dir`` never consulted when
+    ``REPRO_CACHE_DIR`` is scrubbed) so each measurement rebuilds every
+    variant from source.
+    """
+    workload = get_workload(MIX[0])
+    build = ProgramBuild(workload.source, workload.name)
+    config = DiversificationConfig.profile_guided(0.00, 0.30)
+    profile = build.profile(workload.train_input)
+    seeds = range(population_size)
+
+    saved = os.environ.pop("REPRO_CACHE_DIR", None)
+    try:
+        results = {}
+        for workers in worker_counts:
+            start = time.perf_counter()
+            build_population(build, config, seeds, profile,
+                             workers=workers)
+            results[f"workers={workers}"] = round(
+                time.perf_counter() - start, 3)
+    finally:
+        if saved is not None:
+            os.environ["REPRO_CACHE_DIR"] = saved
+    return {
+        "workload": workload.name,
+        "config": POPULATION_CONFIG,
+        "population_size": population_size,
+        "wall_clock_seconds": results,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_runtime.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="one workload, 1 timing repeat, 5 variants")
+    args = parser.parse_args(argv)
+
+    names = MIX[:1] if args.quick else MIX
+    repeats = 1 if args.quick else 3
+    population_size = 5 if args.quick else POPULATION_SIZE
+    pool_workers = min(4, max(2, os.cpu_count() or 1))
+
+    per_workload, mix = measure_throughput(names, repeats)
+    population = measure_population_build(population_size,
+                                          (1, pool_workers))
+
+    payload = {
+        "mix": mix,
+        "workloads": per_workload,
+        "population_build": population,
+        "min_speedup": MIN_SPEEDUP,
+        "ok": mix["speedup"] >= MIN_SPEEDUP,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+    for name, entry in per_workload.items():
+        print(f"{name}: fast {entry['fast']['instrs_per_sec']:,} i/s, "
+              f"reference {entry['reference']['instrs_per_sec']:,} i/s "
+              f"({entry['speedup']}x)")
+    print(f"mix speedup: {mix['speedup']}x "
+          f"(gate: >= {MIN_SPEEDUP}x)")
+    clocks = population["wall_clock_seconds"]
+    print(f"population build ({population['population_size']} variants, "
+          f"{population['config']}): "
+          + ", ".join(f"{k}: {v}s" for k, v in clocks.items()))
+    print(f"wrote {args.output}")
+    if not payload["ok"]:
+        print(f"FAIL: mix speedup {mix['speedup']}x below the "
+              f"{MIN_SPEEDUP}x gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

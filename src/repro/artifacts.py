@@ -1,0 +1,111 @@
+"""Content-addressed on-disk cache for diversified variant binaries.
+
+Population studies (Figure 4 overheads, the Table-2/3 survivor counts,
+the ``repro.check`` campaign) rebuild the same (source, config, seed,
+profile) variants over and over across runs. A variant is fully
+determined by those inputs — diversification draws every random decision
+from a ``random.Random(seed)`` — so the linked binary can be cached on
+disk keyed by their content hash and reused by any later process.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` where ``key`` is the SHA-256 over
+(cache version, source text, program name, opt level, config description,
+seed, profile JSON). Payloads are pickled
+:class:`~repro.backend.linker.LinkedBinary` objects; writes go through a
+temp file + ``os.replace`` so concurrent workers never observe a torn
+entry, and any unreadable/corrupt entry is treated as a miss.
+
+The cache is opt-in: pass ``cache_dir`` to the population builders or set
+``REPRO_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+
+#: Bump when variant generation, linking, or the binary layout changes
+#: meaning: stale entries from older code must never be returned.
+CACHE_VERSION = 1
+
+
+def variant_key(source, name, opt_level, config, seed, profile=None):
+    """Content hash identifying one variant build.
+
+    ``repr(config)`` covers every knob of a
+    :class:`~repro.core.config.DiversificationConfig` (it and its
+    probability models are dataclasses with generated reprs);
+    ``profile.to_json()`` is deterministic (sorted edges), so equal
+    profiles hash equally regardless of collection order.
+    """
+    digest = hashlib.sha256()
+    for part in (f"v{CACHE_VERSION}", source, name, str(opt_level),
+                 repr(config), str(seed),
+                 profile.to_json() if profile is not None else "<no-profile>"):
+        encoded = part.encode("utf-8")
+        digest.update(len(encoded).to_bytes(8, "little"))
+        digest.update(encoded)
+    return digest.hexdigest()
+
+
+class VariantCache:
+    """A directory of pickled variant binaries, keyed by content hash."""
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def get(self, key):
+        """The cached binary for ``key``, or ``None`` on any miss/error."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                binary = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return binary
+
+    def put(self, key, binary):
+        """Store ``binary`` under ``key`` (atomic, best-effort)."""
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path),
+                                            suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(binary, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # a full/read-only disk must not fail the build
+
+    def __repr__(self):
+        return (f"VariantCache({self.root!r}, hits={self.hits}, "
+                f"misses={self.misses})")
+
+
+def cache_from_env(cache_dir=None):
+    """Resolve the cache to use: explicit dir, else ``REPRO_CACHE_DIR``.
+
+    Returns ``None`` (caching disabled) when neither is set or the value
+    is empty.
+    """
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    if not cache_dir:
+        return None
+    return VariantCache(cache_dir)

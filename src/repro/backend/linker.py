@@ -15,6 +15,7 @@ recomputed around it — exactly the property the paper's Figure 2 shows.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import LinkError
@@ -39,9 +40,16 @@ class InstrRecord:
     instr: Instr
 
 
-@dataclass
+@dataclass(eq=False)
 class LinkedBinary:
-    """A fully laid-out program image."""
+    """A fully laid-out program image.
+
+    Identity (not structural) equality: each link produces a distinct
+    binary, and identity hashing is what lets the simulator key its
+    shared per-binary decode/specialize caches on the binary itself
+    (``weakref.WeakKeyDictionary``). Compare images via
+    :meth:`identity_hash` when structural equality is wanted.
+    """
 
     text: bytes
     text_base: int
@@ -61,6 +69,25 @@ class LinkedBinary:
     def records_in(self, function_name):
         start, end = self.function_ranges[function_name]
         return [r for r in self.instr_records if start <= r.address < end]
+
+    def identity_hash(self):
+        """Hex digest over everything execution can observe.
+
+        Two binaries with equal identity hashes behave identically under
+        the simulator: same text bytes at the same base, same entry, and
+        the same initialized data image. The variant artifact cache uses
+        this to assert that a cached variant matches a fresh relink.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.text)
+        for value in (self.text_base, self.entry,
+                      self.data_base, self.data_end):
+            digest.update(value.to_bytes(8, "little"))
+        for address in sorted(self.data_words):
+            digest.update(address.to_bytes(8, "little"))
+            digest.update((self.data_words[address]
+                           & 0xFFFF_FFFF).to_bytes(4, "little"))
+        return digest.hexdigest()
 
     def __repr__(self):
         return (f"LinkedBinary({len(self.text)} text bytes, "
@@ -135,6 +162,12 @@ def link(units, text_base=DEFAULT_TEXT_BASE, data_alignment=16):
                               block_id=item.block_id,
                               is_inserted_nop=item.is_inserted_nop,
                               alternate_encoding=item.alternate_encoding)
+                if item.is_inserted_nop and item.encoding is not None:
+                    # Inserted NOPs arrive pre-encoded from the candidate
+                    # table and have no symbols to resolve; keep the bytes
+                    # so every insertion site skips re-encoding.
+                    clone.encoding = item.encoding
+                    clone.size = item.size
                 flat.append(("instr", clone))
         function_spans.append((function_code, span_start, len(flat)))
 
@@ -160,7 +193,10 @@ def link(units, text_base=DEFAULT_TEXT_BASE, data_alignment=16):
     fixed_sizes = {}
     for index, (kind, payload) in enumerate(flat):
         if kind == "instr" and index not in widths:
-            fixed_sizes[index] = _fixed_size(payload)
+            if payload.encoding is not None:
+                fixed_sizes[index] = payload.size
+            else:
+                fixed_sizes[index] = _fixed_size(payload)
 
     # Iterative widening to fixpoint.
     while True:
@@ -225,8 +261,11 @@ def link(units, text_base=DEFAULT_TEXT_BASE, data_alignment=16):
                 else:
                     operands.append(operand)
             instr.operands = tuple(operands)
-        encoding = _encode_memoized(instr)
-        instr.encoding = encoding
+        if instr.is_inserted_nop and instr.encoding is not None:
+            encoding = instr.encoding
+        else:
+            encoding = _encode_memoized(instr)
+            instr.encoding = encoding
         instr.size = len(encoding)
         expected = (_branch_sizes(instr, widths[index])
                     if index in widths else fixed_sizes[index])

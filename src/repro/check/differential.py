@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import DivergenceError, ReproError
-from repro.pipeline import ProgramBuild
+from repro.pipeline import ProgramBuild, build_population
 from repro.workloads.registry import get_workload
 
 #: Seed offset used for the fresh-seed retry of a diverging variant;
@@ -133,9 +133,18 @@ def observe_reference(build, input_values=()):
     return Observation(tuple(result.output), result.exit_code)
 
 
-def observe_binary(build, binary, input_values=(), max_steps=None):
-    """Observables of a linked binary on the machine simulator."""
+def observe_binary(build, binary, input_values=(), max_steps=None,
+                   engine=None):
+    """Observables of a linked binary on the machine simulator.
+
+    ``engine`` selects the simulator execute path (``"fast"`` or
+    ``"reference"``); ``None`` defers to ``REPRO_SIM_ENGINE``. The
+    fast-path parity tests run the same binary under both engines and
+    require identical observations.
+    """
     fuel = {} if max_steps is None else {"max_steps": max_steps}
+    if engine is not None:
+        fuel["engine"] = engine
     result = build.simulate(binary, input_values, **fuel)
     return Observation(tuple(result.output), result.exit_code,
                        result.instr_count)
@@ -223,8 +232,20 @@ def validate_population(build, config, seeds, *, inputs=(), profile=None,
 
     fuel = max(baseline_obs.instr_count * max_step_factor, 100_000)
 
+    # Prebuild the whole population at once so the process-pool and
+    # artifact-cache fast paths apply. A batch failure falls through to
+    # the per-seed builds below, which preserve per-seed error reports.
+    prebuilt = {}
+    try:
+        binaries = build_population(build, config, seeds, profile)
+        prebuilt = dict(zip(seeds, binaries))
+    except ReproError:
+        pass
+
     def run_variant(seed):
-        variant = build.link_variant(config, seed, profile)
+        variant = prebuilt.get(seed)
+        if variant is None:
+            variant = build.link_variant(config, seed, profile)
         variant_obs = observe_binary(build, variant, inputs, max_steps=fuel)
         return _compare_variant(result, baseline_obs, variant_obs,
                                 config, seed)

@@ -40,16 +40,19 @@ def insert_nops(function_code, candidates, rng, probability_for_block):
 
     candidate_count = len(candidates)
     new_items = []
+    append = new_items.append
+    roll_once = rng.random
+    pick_index = rng.randrange
     for item in function_code.items:
         if isinstance(item, Instr):
             p_nop = probability_for_block(item.block_id)
-            roll = rng.random()
+            roll = roll_once()
             if roll < p_nop:
-                nop_index = rng.randrange(candidate_count)
+                nop_index = pick_index(candidate_count)
                 nop = candidates[nop_index].to_instr()
                 nop.block_id = item.block_id
-                new_items.append(nop)
-        new_items.append(item)
+                append(nop)
+        append(item)
     return FunctionCode(function_code.name, new_items,
                         diversifiable=function_code.diversifiable)
 

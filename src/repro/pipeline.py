@@ -11,11 +11,22 @@ and caches the expensive stages:
 5. execution (reference interpreter or machine simulator) and analytic
    cycle estimation.
 
+Population builds (the paper's 25-variant studies) fan out over a
+process pool — :func:`build_population` / ``link_population(workers=N)``
+— and can reuse variants across runs through the content-addressed
+artifact cache in :mod:`repro.artifacts`. A variant is fully determined
+by (source, config, seed, profile), so workers rebuilding from source
+produce bit-identical binaries; ``REPRO_WORKERS`` and
+``REPRO_CACHE_DIR`` set the defaults.
+
 This is the module examples and benchmarks program against.
 """
 
 from __future__ import annotations
 
+import os
+
+from repro.artifacts import cache_from_env, variant_key
 from repro.errors import ReproError
 from repro.backend.linker import link
 from repro.backend.lowering import lower_module
@@ -92,10 +103,17 @@ class ProgramBuild:
         variant = diversify_unit(self.unit, config, seed, profile)
         return link([runtime_unit(), variant])
 
-    def link_population(self, config, seeds, profile=None, *, fallback=False):
-        """A population of diversified binaries (the paper uses 25)."""
-        return [self.link_variant(config, seed, profile, fallback=fallback)
-                for seed in seeds]
+    def link_population(self, config, seeds, profile=None, *, fallback=False,
+                        workers=None, cache_dir=None):
+        """A population of diversified binaries (the paper uses 25).
+
+        ``workers`` > 1 fans the per-seed builds out over a process pool
+        and ``cache_dir`` (default ``REPRO_CACHE_DIR``) reuses variants
+        from the on-disk artifact cache; see :func:`build_population`.
+        """
+        return build_population(self, config, seeds, profile,
+                                fallback=fallback, workers=workers,
+                                cache_dir=cache_dir)
 
     # -- execution -------------------------------------------------------------------
 
@@ -153,3 +171,121 @@ class ProgramBuild:
 def compile_and_link(source, name="program", opt_level=2):
     """One-call convenience: source text → undiversified LinkedBinary."""
     return ProgramBuild(source, name, opt_level).link_baseline()
+
+
+# -- parallel population builds ------------------------------------------------
+
+#: Per-process memo of ProgramBuild objects, keyed on
+#: (name, source, opt_level). Pool workers receive only the variant
+#: parameters; the expensive front-end/optimizer/lowering stages run once
+#: per worker process no matter how many seeds it is handed.
+_WORKER_BUILDS = {}
+
+
+def default_workers():
+    """Worker-count default: ``REPRO_WORKERS`` (0 → cpu count), else 1."""
+    raw = os.environ.get("REPRO_WORKERS")
+    if not raw:
+        return 1
+    workers = int(raw)
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def _variant_worker(source, name, opt_level, config, seed, profile_json,
+                    cache_root):
+    """Build (or load from cache) one variant inside a pool worker."""
+    from repro.artifacts import VariantCache
+    from repro.profiling.profile_data import ProfileData
+
+    profile = (ProfileData.from_json(profile_json)
+               if profile_json is not None else None)
+    cache = VariantCache(cache_root) if cache_root else None
+    if cache is not None:
+        key = variant_key(source, name, opt_level, config, seed, profile)
+        cached = cache.get(key)
+        if cached is not None:
+            return seed, cached
+    build_key = (name, source, opt_level)
+    build = _WORKER_BUILDS.get(build_key)
+    if build is None:
+        build = ProgramBuild(source, name, opt_level)
+        _WORKER_BUILDS.clear()  # one program per worker is the norm
+        _WORKER_BUILDS[build_key] = build
+    binary = build.link_variant(config, seed, profile)
+    if cache is not None:
+        cache.put(key, binary)
+    return seed, binary
+
+
+def build_population(build, config, seeds, profile=None, *, fallback=False,
+                     workers=None, cache_dir=None):
+    """Build the variants for ``seeds``, optionally in parallel and cached.
+
+    - ``workers`` — process-pool width; ``None`` defers to
+      ``REPRO_WORKERS`` (default 1 = serial in-process). Workers rebuild
+      the program from source (deterministically identical), so only the
+      variant parameters and the resulting binaries cross the process
+      boundary.
+    - ``cache_dir`` — root of the content-addressed artifact cache;
+      ``None`` defers to ``REPRO_CACHE_DIR`` (unset → no caching).
+      Cached binaries are keyed on (source, config, seed, profile), so
+      any run of any process with the same inputs reuses them.
+    - ``fallback`` — as in :meth:`ProgramBuild.link_variant`; resolved
+      up front (with the per-seed warnings recorded on ``build``) so
+      workers never need the degradation logic.
+
+    Returns binaries in ``seeds`` order.
+    """
+    seeds = list(seeds)
+    if fallback and config.requires_profile and profile is None:
+        for _ in seeds:
+            build._warn(f"{build.name}: no profile for "
+                        f"{config.describe()!r}; falling back to "
+                        f"{config.uniform_fallback().describe()!r}")
+        config = config.uniform_fallback()
+    if workers is None:
+        workers = default_workers()
+    cache = cache_from_env(cache_dir)
+
+    results = {}
+    pending = seeds
+    if cache is not None:
+        pending = []
+        for seed in seeds:
+            key = variant_key(build.source, build.name, build.opt_level,
+                              config, seed, profile)
+            cached = cache.get(key)
+            if cached is not None:
+                results[seed] = cached
+            else:
+                pending.append(seed)
+
+    if pending:
+        if workers > 1 and len(pending) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            profile_json = (profile.to_json()
+                            if profile is not None else None)
+            cache_root = cache.root if cache is not None else None
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_variant_worker, build.source, build.name,
+                                build.opt_level, config, seed, profile_json,
+                                cache_root)
+                    for seed in pending
+                ]
+                for future in futures:
+                    seed, binary = future.result()
+                    results[seed] = binary
+        else:
+            for seed in pending:
+                binary = build.link_variant(config, seed, profile)
+                if cache is not None:
+                    key = variant_key(build.source, build.name,
+                                      build.opt_level, config, seed, profile)
+                    cache.put(key, binary)
+                results[seed] = binary
+
+    return [results[seed] for seed in seeds]

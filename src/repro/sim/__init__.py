@@ -10,6 +10,12 @@ block-level model — see :mod:`repro.sim.costs` — which reproduces the key
 hardware behaviour the paper's numbers rest on: NOPs are almost free in
 memory-bound code (470.lbm) and expensive in issue-bound code
 (400.perlbench, 482.sphinx3).
+
+Execution has two engines sharing one set of semantics: the threaded-code
+fast path (:mod:`repro.sim.fastpath`, the default) and the reference
+``step()`` interpreter in :mod:`repro.sim.machine`, kept as the
+correctness oracle. Select with ``Machine.run(engine=...)`` or the
+``REPRO_SIM_ENGINE`` environment variable.
 """
 
 from repro.sim.costs import (
@@ -18,6 +24,7 @@ from repro.sim.costs import (
 )
 from repro.sim.memory import Memory
 from repro.sim.machine import Machine, SimResult, run_binary
+from repro.sim.fastpath import run_machine, shared_decode_cache, shared_program
 from repro.sim.analytic import (
     block_counts_from_profile, block_counts_from_sim, estimate_cycles,
 )
@@ -26,5 +33,6 @@ __all__ = [
     "CostModel", "DEFAULT_COST_MODEL", "block_cost_table",
     "cycles_from_counts", "instr_issue_cost", "instr_memory_cost",
     "Memory", "Machine", "SimResult", "run_binary",
+    "run_machine", "shared_decode_cache", "shared_program",
     "block_counts_from_profile", "block_counts_from_sim", "estimate_cycles",
 ]

@@ -1,0 +1,1066 @@
+"""Threaded-code fast path for the x86-32 simulator.
+
+The reference interpreter (:meth:`repro.sim.machine.Machine.step`) pays,
+on every executed instruction, for a mnemonic if/elif chain and an
+``isinstance`` ladder per operand access. This module removes both costs
+by *specializing at decode time*: each decoded instruction becomes one
+bound closure — a threaded-code handler — with every operand access
+resolved once (register index, masked immediate constant, or a
+precomputed effective-address thunk) and the fall-through / branch-target
+EIPs baked in as constants. Dispatch is then a single dict lookup
+(``eip -> handler``) and a call.
+
+Because text is immutable (the simulator enforces W^X), the decoded
+instructions and the specialized handlers are shared *per binary* across
+every :class:`~repro.sim.machine.Machine` instance, keyed on the
+:class:`~repro.backend.linker.LinkedBinary` in a
+``WeakKeyDictionary``. Profile collection, differential checks and
+population studies that re-run the same binary never decode (or
+specialize) the same instruction twice.
+
+Semantics are bit-for-bit those of the reference path — same outputs,
+exit codes, instruction counts, flag values and fault messages; the
+``repro.check`` differential harness and ``tests/check`` assert exact
+parity on every registered workload. The reference path is retained
+(``Machine.run(engine="reference")``) precisely so that the two can be
+compared forever.
+"""
+
+from __future__ import annotations
+
+import operator
+import struct
+import weakref
+
+from repro.errors import DecodingError, MachineFault, SimulationLimitExceeded
+from repro.sim.memory import STACK_TOP
+from repro.x86.decoder import decode_cached
+from repro.x86.instructions import CONDITION_CODES, Imm, Mem
+from repro.x86.registers import Register
+
+_U32 = struct.Struct("<I")
+
+_MASK = 0xFFFF_FFFF
+_SIGN = 0x8000_0000
+
+_PARITY = tuple(int(bin(value).count("1") % 2 == 0) for value in range(256))
+
+
+def _signed(value):
+    return value - 0x1_0000_0000 if value & _SIGN else value
+
+
+# ---------------------------------------------------------------------------
+# Shared per-binary caches. ``_caches(binary)`` returns ``(decode_cache,
+# program)`` where ``decode_cache`` maps text *offset* -> Instr (shared
+# with Machine._fetch and fault reporting) and ``program`` maps absolute
+# EIP -> specialized handler. Keyed weakly so dropping a binary frees
+# its program.
+# ---------------------------------------------------------------------------
+
+_SHARED = weakref.WeakKeyDictionary()
+
+
+def _caches(binary):
+    entry = _SHARED.get(binary)
+    if entry is None:
+        entry = ({}, {})
+        _SHARED[binary] = entry
+    return entry
+
+
+def shared_decode_cache(binary):
+    """The binary's shared ``offset -> Instr`` decode cache."""
+    return _caches(binary)[0]
+
+
+def shared_program(binary):
+    """The binary's shared ``eip -> handler`` threaded program."""
+    return _caches(binary)[1]
+
+
+class _CannotSpecialize(Exception):
+    """Operand shape outside the specializer's cases (never produced by
+    the decoder; kept as a safety valve for hand-built instructions)."""
+
+
+# ---------------------------------------------------------------------------
+# Operand specialization: resolve each operand to a closure once.
+# ---------------------------------------------------------------------------
+
+def ea_thunk(mem):
+    """Effective-address closure for a :class:`Mem` operand.
+
+    The addressing case (disp-only, base, base+index*scale, index*scale)
+    is chosen once here instead of being re-branched on every access.
+    """
+    disp = mem.disp
+    if mem.base is not None:
+        base = mem.base.code
+        if mem.index is not None:
+            index, scale = mem.index.code, mem.scale
+
+            def ea(m, _b=base, _i=index, _s=scale, _d=disp):
+                r = m.regs
+                return (r[_b] + r[_i] * _s + _d) & 0xFFFF_FFFF
+        else:
+            def ea(m, _b=base, _d=disp):
+                return (m.regs[_b] + _d) & 0xFFFF_FFFF
+    elif mem.index is not None:
+        index, scale = mem.index.code, mem.scale
+
+        def ea(m, _i=index, _s=scale, _d=disp):
+            return (m.regs[_i] * _s + _d) & 0xFFFF_FFFF
+    else:
+        address = disp & _MASK
+
+        def ea(_m, _a=address):
+            return _a
+    return ea
+
+
+def reader(operand):
+    """Value-read closure for one operand (reg / imm / mem)."""
+    kind = type(operand)
+    if kind is Register:
+        code = operand.code
+
+        def get(m, _c=code):
+            return m.regs[_c]
+    elif kind is Imm:
+        value = operand.value & _MASK
+
+        def get(_m, _v=value):
+            return _v
+    elif kind is Mem:
+        ea = ea_thunk(operand)
+
+        def get(m, _ea=ea):
+            return m.memory.read32(_ea(m))
+    else:
+        raise _CannotSpecialize(operand)
+    return get
+
+
+def writer(operand):
+    """Value-write closure for one operand (reg / mem)."""
+    kind = type(operand)
+    if kind is Register:
+        code = operand.code
+
+        def put(m, value, _c=code):
+            m.regs[_c] = value
+    elif kind is Mem:
+        ea = ea_thunk(operand)
+
+        def put(m, value, _ea=ea):
+            m.memory.write32(_ea(m), value)
+    else:
+        raise _CannotSpecialize(operand)
+    return put
+
+
+# ---------------------------------------------------------------------------
+# Condition-code tests (read the same flag fields the reference updates).
+# ---------------------------------------------------------------------------
+
+_CC_TESTS = {
+    "e": lambda m: m.zf,
+    "ne": lambda m: not m.zf,
+    "l": lambda m: m.sf != m.of,
+    "ge": lambda m: m.sf == m.of,
+    "le": lambda m: m.zf or m.sf != m.of,
+    "g": lambda m: not m.zf and m.sf == m.of,
+    "b": lambda m: m.cf,
+    "ae": lambda m: not m.cf,
+    "be": lambda m: m.cf or m.zf,
+    "a": lambda m: not (m.cf or m.zf),
+    "s": lambda m: m.sf,
+    "ns": lambda m: not m.sf,
+    "o": lambda m: m.of,
+    "no": lambda m: not m.of,
+    "p": lambda m: m.pf,
+    "np": lambda m: not m.pf,
+}
+
+
+# ---------------------------------------------------------------------------
+# Mnemonic -> specializer table (replaces the reference if/elif chain).
+# Each factory receives (instr, addr, nxt) — nxt being the already-masked
+# fall-through EIP — and returns ``handler(machine) -> next_eip`` where
+# ``None`` signals a clean halt.
+# ---------------------------------------------------------------------------
+
+_SPECIALIZERS = {}
+
+
+def _spec(*mnemonics):
+    def register(factory):
+        for mnemonic in mnemonics:
+            _SPECIALIZERS[mnemonic] = factory
+        return factory
+    return register
+
+
+@_spec("mov")
+def _mk_mov(instr, addr, nxt):
+    dst, src = instr.operands
+    if type(dst) is Register:
+        code = dst.code
+        if type(src) is Register:
+            source = src.code
+
+            def h(m, _d=code, _s=source, _n=nxt):
+                r = m.regs
+                r[_d] = r[_s]
+                return _n
+        elif type(src) is Imm:
+            value = src.value & _MASK
+
+            def h(m, _d=code, _v=value, _n=nxt):
+                m.regs[_d] = _v
+                return _n
+        elif src.base is not None and src.index is None:
+            # reg <- [base+disp]: the dominant load shape. EA inlined,
+            # and for EBP bases (locals/spills — almost always stack)
+            # the stack-segment hit is inlined too, skipping the read32
+            # call entirely on the expected path.
+            base, disp = src.base.code, src.disp
+            if base == 5:  # EBP
+                def h(m, _d=code, _o=disp, _n=nxt, _u=_U32.unpack_from,
+                      _top=STACK_TOP):
+                    r = m.regs
+                    a = (r[5] + _o) & 0xFFFF_FFFF
+                    mem = m.memory
+                    sb = mem.stack_base
+                    if sb <= a and a + 4 <= _top:
+                        r[_d] = _u(mem.stack, a - sb)[0]
+                    else:
+                        r[_d] = mem.read32(a)
+                    return _n
+            else:
+                def h(m, _d=code, _b=base, _o=disp, _n=nxt,
+                      _u=_U32.unpack_from):
+                    r = m.regs
+                    a = (r[_b] + _o) & 0xFFFF_FFFF
+                    mem = m.memory
+                    db = mem.data_base
+                    if db <= a and a + 4 <= mem.data_end:
+                        r[_d] = _u(mem.data, a - db)[0]
+                    else:
+                        r[_d] = mem.read32(a)
+                    return _n
+        else:
+            ea = ea_thunk(src)
+
+            def h(m, _d=code, _ea=ea, _n=nxt):
+                m.regs[_d] = m.memory.read32(_ea(m))
+                return _n
+        return h
+    if type(src) is Register and dst.base is not None and dst.index is None:
+        source, base, disp = src.code, dst.base.code, dst.disp
+        if base == 5:  # EBP: store to a local, inline the stack hit
+            def h(m, _s=source, _o=disp, _n=nxt, _p=_U32.pack_into,
+                  _top=STACK_TOP):
+                r = m.regs
+                a = (r[5] + _o) & 0xFFFF_FFFF
+                mem = m.memory
+                sb = mem.stack_base
+                if sb <= a and a + 4 <= _top:
+                    _p(mem.stack, a - sb, r[_s])
+                else:
+                    mem.write32(a, r[_s])
+                return _n
+            return h
+
+        def h(m, _s=source, _b=base, _o=disp, _n=nxt):
+            r = m.regs
+            m.memory.write32((r[_b] + _o) & 0xFFFF_FFFF, r[_s])
+            return _n
+        return h
+    ea = ea_thunk(dst)
+    get = reader(src)
+
+    def h(m, _ea=ea, _g=get, _n=nxt):
+        m.memory.write32(_ea(m), _g(m))
+        return _n
+    return h
+
+
+@_spec("lea")
+def _mk_lea(instr, addr, nxt):
+    dst, src = instr.operands
+    if type(dst) is not Register or type(src) is not Mem:
+        raise _CannotSpecialize(instr)
+    code, ea = dst.code, ea_thunk(src)
+
+    def h(m, _d=code, _ea=ea, _n=nxt):
+        m.regs[_d] = _ea(m)
+        return _n
+    return h
+
+
+@_spec("add")
+def _mk_add(instr, addr, nxt):
+    dst, src = instr.operands
+    if type(dst) is Register:
+        code = dst.code
+        if type(src) is Imm:
+            addend = src.value & _MASK
+
+            def h(m, _d=code, _b=addend, _n=nxt, _pt=_PARITY):
+                r = m.regs
+                a = r[_d]
+                wide = a + _b
+                result = wide & 0xFFFF_FFFF
+                m.cf = 1 if wide > 0xFFFF_FFFF else 0
+                m.of = 1 if (a ^ result) & (_b ^ result) & 0x8000_0000 else 0
+                m.zf = 1 if result == 0 else 0
+                m.sf = result >> 31
+                m.pf = _pt[result & 0xFF]
+                r[_d] = result
+                return _n
+            return h
+        if type(src) is Register:
+            source = src.code
+
+            def h(m, _d=code, _s=source, _n=nxt, _pt=_PARITY):
+                r = m.regs
+                a = r[_d]
+                b = r[_s]
+                wide = a + b
+                result = wide & 0xFFFF_FFFF
+                m.cf = 1 if wide > 0xFFFF_FFFF else 0
+                m.of = 1 if (a ^ result) & (b ^ result) & 0x8000_0000 else 0
+                m.zf = 1 if result == 0 else 0
+                m.sf = result >> 31
+                m.pf = _pt[result & 0xFF]
+                r[_d] = result
+                return _n
+            return h
+    get0, get1 = reader(dst), reader(src)
+    put0 = writer(dst)
+
+    def h(m, _g0=get0, _g1=get1, _p0=put0, _n=nxt, _pt=_PARITY):
+        a = _g0(m)
+        b = _g1(m)
+        wide = a + b
+        result = wide & 0xFFFF_FFFF
+        m.cf = 1 if wide > 0xFFFF_FFFF else 0
+        m.of = 1 if (a ^ result) & (b ^ result) & 0x8000_0000 else 0
+        m.zf = 1 if result == 0 else 0
+        m.sf = result >> 31
+        m.pf = _pt[result & 0xFF]
+        _p0(m, result)
+        return _n
+    return h
+
+
+def _sub_flags_handler(get0, get1, put0, nxt):
+    """sub/cmp share the computation; cmp passes ``put0=None``."""
+    def h(m, _g0=get0, _g1=get1, _p0=put0, _n=nxt, _pt=_PARITY):
+        a = _g0(m)
+        b = _g1(m)
+        result = (a - b) & 0xFFFF_FFFF
+        m.cf = 1 if a < b else 0
+        m.of = 1 if (a ^ b) & (a ^ result) & 0x8000_0000 else 0
+        m.zf = 1 if result == 0 else 0
+        m.sf = result >> 31
+        m.pf = _pt[result & 0xFF]
+        if _p0 is not None:
+            _p0(m, result)
+        return _n
+    return h
+
+
+@_spec("sub")
+def _mk_sub(instr, addr, nxt):
+    dst, src = instr.operands
+    if type(dst) is Register:
+        code = dst.code
+        if type(src) is Imm:
+            operand = src.value & _MASK
+
+            def h(m, _d=code, _b=operand, _n=nxt, _pt=_PARITY):
+                r = m.regs
+                a = r[_d]
+                result = (a - _b) & 0xFFFF_FFFF
+                m.cf = 1 if a < _b else 0
+                m.of = 1 if (a ^ _b) & (a ^ result) & 0x8000_0000 else 0
+                m.zf = 1 if result == 0 else 0
+                m.sf = result >> 31
+                m.pf = _pt[result & 0xFF]
+                r[_d] = result
+                return _n
+            return h
+        if type(src) is Register:
+            source = src.code
+
+            def h(m, _d=code, _s=source, _n=nxt, _pt=_PARITY):
+                r = m.regs
+                a = r[_d]
+                b = r[_s]
+                result = (a - b) & 0xFFFF_FFFF
+                m.cf = 1 if a < b else 0
+                m.of = 1 if (a ^ b) & (a ^ result) & 0x8000_0000 else 0
+                m.zf = 1 if result == 0 else 0
+                m.sf = result >> 31
+                m.pf = _pt[result & 0xFF]
+                r[_d] = result
+                return _n
+            return h
+    return _sub_flags_handler(reader(dst), reader(src), writer(dst), nxt)
+
+
+@_spec("cmp")
+def _mk_cmp(instr, addr, nxt):
+    dst, src = instr.operands
+    if type(dst) is Register:
+        code = dst.code
+        if type(src) is Imm:
+            operand = src.value & _MASK
+
+            def h(m, _d=code, _b=operand, _n=nxt, _pt=_PARITY):
+                a = m.regs[_d]
+                result = (a - _b) & 0xFFFF_FFFF
+                m.cf = 1 if a < _b else 0
+                m.of = 1 if (a ^ _b) & (a ^ result) & 0x8000_0000 else 0
+                m.zf = 1 if result == 0 else 0
+                m.sf = result >> 31
+                m.pf = _pt[result & 0xFF]
+                return _n
+            return h
+        if type(src) is Register:
+            source = src.code
+
+            def h(m, _d=code, _s=source, _n=nxt, _pt=_PARITY):
+                r = m.regs
+                a = r[_d]
+                b = r[_s]
+                result = (a - b) & 0xFFFF_FFFF
+                m.cf = 1 if a < b else 0
+                m.of = 1 if (a ^ b) & (a ^ result) & 0x8000_0000 else 0
+                m.zf = 1 if result == 0 else 0
+                m.sf = result >> 31
+                m.pf = _pt[result & 0xFF]
+                return _n
+            return h
+    return _sub_flags_handler(reader(dst), reader(src), None, nxt)
+
+
+def _logic_handler(get0, get1, put0, operator, nxt):
+    def h(m, _g0=get0, _g1=get1, _p0=put0, _op=operator, _n=nxt,
+          _pt=_PARITY):
+        result = _op(_g0(m), _g1(m))
+        m.cf = 0
+        m.of = 0
+        m.zf = 1 if result == 0 else 0
+        m.sf = result >> 31
+        m.pf = _pt[result & 0xFF]
+        if _p0 is not None:
+            _p0(m, result)
+        return _n
+    return h
+
+
+@_spec("and")
+def _mk_and(instr, addr, nxt):
+    return _logic_handler(reader(instr.operands[0]),
+                          reader(instr.operands[1]),
+                          writer(instr.operands[0]),
+                          operator.and_, nxt)
+
+
+@_spec("or")
+def _mk_or(instr, addr, nxt):
+    return _logic_handler(reader(instr.operands[0]),
+                          reader(instr.operands[1]),
+                          writer(instr.operands[0]),
+                          operator.or_, nxt)
+
+
+@_spec("xor")
+def _mk_xor(instr, addr, nxt):
+    return _logic_handler(reader(instr.operands[0]),
+                          reader(instr.operands[1]),
+                          writer(instr.operands[0]),
+                          operator.xor, nxt)
+
+
+@_spec("test")
+def _mk_test(instr, addr, nxt):
+    return _logic_handler(reader(instr.operands[0]),
+                          reader(instr.operands[1]), None,
+                          operator.and_, nxt)
+
+
+@_spec("inc")
+def _mk_inc(instr, addr, nxt):
+    get0, put0 = reader(instr.operands[0]), writer(instr.operands[0])
+
+    def h(m, _g0=get0, _p0=put0, _n=nxt, _pt=_PARITY):
+        a = _g0(m)
+        result = (a + 1) & 0xFFFF_FFFF
+        m.of = 1 if a == 0x7FFF_FFFF else 0
+        m.zf = 1 if result == 0 else 0  # CF preserved
+        m.sf = result >> 31
+        m.pf = _pt[result & 0xFF]
+        _p0(m, result)
+        return _n
+    return h
+
+
+@_spec("dec")
+def _mk_dec(instr, addr, nxt):
+    get0, put0 = reader(instr.operands[0]), writer(instr.operands[0])
+
+    def h(m, _g0=get0, _p0=put0, _n=nxt, _pt=_PARITY):
+        a = _g0(m)
+        result = (a - 1) & 0xFFFF_FFFF
+        m.of = 1 if a == 0x8000_0000 else 0
+        m.zf = 1 if result == 0 else 0  # CF preserved
+        m.sf = result >> 31
+        m.pf = _pt[result & 0xFF]
+        _p0(m, result)
+        return _n
+    return h
+
+
+@_spec("neg")
+def _mk_neg(instr, addr, nxt):
+    get0, put0 = reader(instr.operands[0]), writer(instr.operands[0])
+
+    def h(m, _g0=get0, _p0=put0, _n=nxt, _pt=_PARITY):
+        a = _g0(m)
+        result = (-a) & 0xFFFF_FFFF
+        m.cf = 1 if a != 0 else 0
+        m.of = 1 if a == 0x8000_0000 else 0
+        m.zf = 1 if result == 0 else 0
+        m.sf = result >> 31
+        m.pf = _pt[result & 0xFF]
+        _p0(m, result)
+        return _n
+    return h
+
+
+@_spec("not")
+def _mk_not(instr, addr, nxt):
+    get0, put0 = reader(instr.operands[0]), writer(instr.operands[0])
+
+    def h(m, _g0=get0, _p0=put0, _n=nxt):
+        _p0(m, ~_g0(m) & 0xFFFF_FFFF)
+        return _n
+    return h
+
+
+@_spec("imul")
+def _mk_imul(instr, addr, nxt):
+    ops = instr.operands
+    put0 = writer(ops[0])
+    if len(ops) == 3:
+        get1 = reader(ops[1])
+        factor = ops[2].value
+
+        def h(m, _g1=get1, _f=factor, _p0=put0, _n=nxt):
+            a = _g1(m)
+            if a & 0x8000_0000:
+                a -= 0x1_0000_0000
+            value = a * _f
+            result = value & 0xFFFF_FFFF
+            signed = result - 0x1_0000_0000 if result & 0x8000_0000 \
+                else result
+            m.cf = m.of = 1 if value != signed else 0
+            _p0(m, result)
+            return _n
+        return h
+    get0, get1 = reader(ops[0]), reader(ops[1])
+
+    def h(m, _g0=get0, _g1=get1, _p0=put0, _n=nxt):
+        a = _g0(m)
+        if a & 0x8000_0000:
+            a -= 0x1_0000_0000
+        b = _g1(m)
+        if b & 0x8000_0000:
+            b -= 0x1_0000_0000
+        value = a * b
+        result = value & 0xFFFF_FFFF
+        signed = result - 0x1_0000_0000 if result & 0x8000_0000 else result
+        m.cf = m.of = 1 if value != signed else 0
+        _p0(m, result)
+        return _n
+    return h
+
+
+@_spec("mul")
+def _mk_mul(instr, addr, nxt):
+    get0 = reader(instr.operands[0])
+
+    def h(m, _g0=get0, _n=nxt):
+        r = m.regs
+        product = r[0] * _g0(m)
+        r[0] = product & 0xFFFF_FFFF
+        high = (product >> 32) & 0xFFFF_FFFF
+        r[2] = high
+        m.cf = m.of = 1 if high else 0
+        return _n
+    return h
+
+
+@_spec("idiv")
+def _mk_idiv(instr, addr, nxt):
+    get0 = reader(instr.operands[0])
+
+    def h(m, _g0=get0, _n=nxt):
+        divisor = _g0(m)
+        if divisor & 0x8000_0000:
+            divisor -= 0x1_0000_0000
+        r = m.regs
+        dividend = (r[2] << 32) | r[0]
+        if dividend & (1 << 63):
+            dividend -= 1 << 64
+        if divisor == 0:
+            quotient = remainder = 0
+        else:
+            quotient = abs(dividend) // abs(divisor)
+            if (dividend < 0) != (divisor < 0):
+                quotient = -quotient
+            remainder = dividend - quotient * divisor
+        r[0] = quotient & 0xFFFF_FFFF
+        r[2] = remainder & 0xFFFF_FFFF
+        return _n
+    return h
+
+
+@_spec("cdq")
+def _mk_cdq(instr, addr, nxt):
+    def h(m, _n=nxt):
+        r = m.regs
+        r[2] = 0xFFFF_FFFF if r[0] & 0x8000_0000 else 0
+        return _n
+    return h
+
+
+def _shift_body(mnemonic):
+    """Result+flags computation for one shift/rotate mnemonic.
+
+    Count is in [1, 31] here — the zero-count early-out (no flag writes,
+    no result write) happens in the handler, as in the reference.
+    """
+    if mnemonic == "shl":
+        def body(m, a, count, _pt=_PARITY):
+            result = (a << count) & 0xFFFF_FFFF
+            m.cf = (a >> (32 - count)) & 1
+            m.zf = 1 if result == 0 else 0
+            m.sf = result >> 31
+            m.pf = _pt[result & 0xFF]
+            return result
+    elif mnemonic == "shr":
+        def body(m, a, count, _pt=_PARITY):
+            result = a >> count
+            m.cf = (a >> (count - 1)) & 1
+            m.zf = 1 if result == 0 else 0
+            m.sf = result >> 31
+            m.pf = _pt[result & 0xFF]
+            return result
+    elif mnemonic == "sar":
+        def body(m, a, count, _pt=_PARITY):
+            signed_a = a - 0x1_0000_0000 if a & 0x8000_0000 else a
+            result = (signed_a >> count) & 0xFFFF_FFFF
+            m.cf = (signed_a >> (count - 1)) & 1
+            m.zf = 1 if result == 0 else 0
+            m.sf = result >> 31
+            m.pf = _pt[result & 0xFF]
+            return result
+    elif mnemonic == "rol":
+        def body(m, a, count):
+            result = ((a << count) | (a >> (32 - count))) & 0xFFFF_FFFF
+            m.cf = result & 1
+            return result
+    else:  # ror
+        def body(m, a, count):
+            result = ((a >> count) | (a << (32 - count))) & 0xFFFF_FFFF
+            m.cf = (result >> 31) & 1
+            return result
+    return body
+
+
+@_spec("shl", "shr", "sar", "rol", "ror")
+def _mk_shift(instr, addr, nxt):
+    ops = instr.operands
+    get0, put0 = reader(ops[0]), writer(ops[0])
+    body = _shift_body(instr.mnemonic)
+    count_operand = ops[1]
+    if type(count_operand) is Register:
+        count_reg = count_operand.code
+
+        def h(m, _g0=get0, _p0=put0, _b=body, _c=count_reg, _n=nxt):
+            count = m.regs[_c] & 31
+            a = _g0(m)
+            if count == 0:
+                return _n  # no flag updates on zero count
+            _p0(m, _b(m, a, count))
+            return _n
+        return h
+    count = count_operand.value & 31
+    if count == 0:
+        def h(m, _g0=get0, _n=nxt):
+            _g0(m)  # the reference still reads (and can fault on) the operand
+            return _n
+        return h
+
+    def h(m, _g0=get0, _p0=put0, _b=body, _c=count, _n=nxt):
+        _p0(m, _b(m, _g0(m), _c))
+        return _n
+    return h
+
+
+@_spec("push")
+def _mk_push(instr, addr, nxt):
+    get0 = reader(instr.operands[0])
+
+    def h(m, _g0=get0, _n=nxt):
+        value = _g0(m)
+        r = m.regs
+        sp = (r[4] - 4) & 0xFFFF_FFFF
+        r[4] = sp
+        m.memory.write32(sp, value)
+        return _n
+    return h
+
+
+@_spec("pop")
+def _mk_pop(instr, addr, nxt):
+    put0 = writer(instr.operands[0])
+
+    def h(m, _p0=put0, _n=nxt):
+        r = m.regs
+        sp = r[4]
+        value = m.memory.read32(sp)
+        r[4] = (sp + 4) & 0xFFFF_FFFF
+        _p0(m, value)
+        return _n
+    return h
+
+
+@_spec("xchg")
+def _mk_xchg(instr, addr, nxt):
+    get0, get1 = reader(instr.operands[0]), reader(instr.operands[1])
+    put0, put1 = writer(instr.operands[0]), writer(instr.operands[1])
+
+    def h(m, _g0=get0, _g1=get1, _p0=put0, _p1=put1, _n=nxt):
+        a = _g0(m)
+        b = _g1(m)
+        _p0(m, b)
+        _p1(m, a)
+        return _n
+    return h
+
+
+@_spec("call")
+def _mk_call(instr, addr, nxt):
+    target = (nxt + instr.operands[0].value) & _MASK
+
+    def h(m, _t=target, _n=nxt):
+        r = m.regs
+        sp = (r[4] - 4) & 0xFFFF_FFFF
+        r[4] = sp
+        m.memory.write32(sp, _n)
+        m.call_stack.append(_n)
+        return _t
+    return h
+
+
+@_spec("call_reg")
+def _mk_call_reg(instr, addr, nxt):
+    get0 = reader(instr.operands[0])
+
+    def h(m, _g0=get0, _n=nxt):
+        target = _g0(m)
+        r = m.regs
+        sp = (r[4] - 4) & 0xFFFF_FFFF
+        r[4] = sp
+        m.memory.write32(sp, _n)
+        m.call_stack.append(_n)
+        return target
+    return h
+
+
+@_spec("ret")
+def _mk_ret(instr, addr, nxt):
+    extra = instr.operands[0].value if instr.operands else 0
+
+    def h(m, _e=extra):
+        r = m.regs
+        sp = r[4]
+        value = m.memory.read32(sp)
+        r[4] = (sp + 4 + _e) & 0xFFFF_FFFF
+        stack = m.call_stack
+        if stack:
+            stack.pop()
+        return value
+    return h
+
+
+@_spec("jmp")
+def _mk_jmp(instr, addr, nxt):
+    target = (nxt + instr.operands[0].value) & _MASK
+
+    def h(_m, _t=target):
+        return _t
+    return h
+
+
+@_spec("jmp_reg")
+def _mk_jmp_reg(instr, addr, nxt):
+    get0 = reader(instr.operands[0])
+
+    def h(m, _g0=get0):
+        return _g0(m)
+    return h
+
+
+@_spec("nop")
+def _mk_nop(instr, addr, nxt):
+    def h(_m, _n=nxt):
+        return _n
+    return h
+
+
+@_spec("hlt")
+def _mk_hlt(instr, addr, nxt):
+    message = f"HLT executed at {addr:#010x}"
+
+    def h(_m, _msg=message):
+        raise MachineFault(_msg)
+    return h
+
+
+@_spec("int")
+def _mk_int(instr, addr, nxt):
+    vector = instr.operands[0].value
+    if vector != 0x80:
+        message = f"unsupported interrupt {vector:#x}"
+
+        def h(_m, _msg=message):
+            raise MachineFault(_msg)
+        return h
+
+    def h(m, _n=nxt):
+        number = m.regs[0]
+        if number == 1:  # print_int
+            value = m.regs[3]
+            m.output.append(value - 0x1_0000_0000
+                            if value & 0x8000_0000 else value)
+            m.regs[0] = 0
+            return _n
+        if number == 2:  # read_int
+            position = m.input_position
+            values = m.input_values
+            if position < len(values):
+                value = values[position]
+                m.input_position = position + 1
+            else:
+                value = 0
+            m.regs[0] = value & 0xFFFF_FFFF
+            return _n
+        if number == 0:  # exit
+            value = m.regs[3]
+            m.exit_code = value - 0x1_0000_0000 \
+                if value & 0x8000_0000 else value
+            m.halted = True
+            m.eip = _n
+            return None
+        raise MachineFault(f"unknown syscall {number}")
+    return h
+
+
+def _mk_jcc(test):
+    def factory(instr, addr, nxt, _t=test):
+        taken = (nxt + instr.operands[0].value) & _MASK
+
+        def h(m, _c=_t, _k=taken, _n=nxt):
+            return _k if _c(m) else _n
+        return h
+    return factory
+
+
+# Hand-inlined Jcc handlers for every condition: conditional branches are
+# ~10% of the dynamic mix and the generic factory above pays a closure
+# call per test. Each factory here reads the flag fields directly.
+
+def _jcc_inline(body_factory):
+    def factory(instr, addr, nxt):
+        taken = (nxt + instr.operands[0].value) & _MASK
+        return body_factory(taken, nxt)
+    return factory
+
+
+_JCC_INLINE = {
+    "e": lambda k, n: lambda m, _k=k, _n=n: _k if m.zf else _n,
+    "ne": lambda k, n: lambda m, _k=k, _n=n: _n if m.zf else _k,
+    "l": lambda k, n: lambda m, _k=k, _n=n: _k if m.sf != m.of else _n,
+    "ge": lambda k, n: lambda m, _k=k, _n=n: _k if m.sf == m.of else _n,
+    "le": lambda k, n: lambda m, _k=k, _n=n: (
+        _k if m.zf or m.sf != m.of else _n),
+    "g": lambda k, n: lambda m, _k=k, _n=n: (
+        _k if not m.zf and m.sf == m.of else _n),
+    "b": lambda k, n: lambda m, _k=k, _n=n: _k if m.cf else _n,
+    "ae": lambda k, n: lambda m, _k=k, _n=n: _n if m.cf else _k,
+    "be": lambda k, n: lambda m, _k=k, _n=n: _k if m.cf or m.zf else _n,
+    "a": lambda k, n: lambda m, _k=k, _n=n: _n if m.cf or m.zf else _k,
+    "s": lambda k, n: lambda m, _k=k, _n=n: _k if m.sf else _n,
+    "ns": lambda k, n: lambda m, _k=k, _n=n: _n if m.sf else _k,
+    "o": lambda k, n: lambda m, _k=k, _n=n: _k if m.of else _n,
+    "no": lambda k, n: lambda m, _k=k, _n=n: _n if m.of else _k,
+    "p": lambda k, n: lambda m, _k=k, _n=n: _k if m.pf else _n,
+    "np": lambda k, n: lambda m, _k=k, _n=n: _n if m.pf else _k,
+}
+
+
+def _mk_setcc(test):
+    def factory(instr, addr, nxt, _t=test):
+        get0 = reader(instr.operands[0])
+        put0 = writer(instr.operands[0])
+
+        def h(m, _c=_t, _g0=get0, _p0=put0, _n=nxt):
+            flag = 1 if _c(m) else 0
+            _p0(m, (_g0(m) & 0xFFFF_FF00) | flag)
+            return _n
+        return h
+    return factory
+
+
+for _cc in CONDITION_CODES:
+    _SPECIALIZERS["j" + _cc] = _jcc_inline(_JCC_INLINE[_cc])
+    _SPECIALIZERS["set" + _cc] = _mk_setcc(_CC_TESTS[_cc])
+del _cc
+
+
+# ---------------------------------------------------------------------------
+# Handler construction and the batch run loop.
+# ---------------------------------------------------------------------------
+
+def specialize(instr, addr):
+    """Build the threaded-code handler for one decoded instruction.
+
+    Falls back to the reference ``Machine._execute`` for any mnemonic or
+    operand shape outside the specializer table, so hand-built
+    instructions degrade to reference semantics instead of failing.
+    """
+    nxt = (addr + instr.size) & _MASK
+    factory = _SPECIALIZERS.get(instr.mnemonic)
+    if factory is not None:
+        try:
+            return factory(instr, addr, nxt)
+        except _CannotSpecialize:
+            pass
+
+    def h(m, _i=instr, _n=nxt):
+        return m._execute(_i, _n) & 0xFFFF_FFFF
+    return h
+
+
+def _specialize_at(machine, eip, step, decode_cache, program):
+    """Cold path: decode + specialize the instruction at ``eip``.
+
+    Machine state is synced first so any fault (execute fault outside
+    text, undecodable bytes) carries the same context as the reference
+    path.
+    """
+    machine.eip = eip
+    machine.instr_count = step
+    binary = machine.binary
+    offset = eip - binary.text_base
+    text = binary.text
+    if not 0 <= offset < len(text):
+        machine.memory.code_window(eip, 16)  # raises the execute fault
+    try:
+        instr = decode_cached(text, offset, decode_cache)
+    except DecodingError as exc:
+        machine._fault(f"cannot decode instruction at {eip:#010x}: {exc}",
+                       cause=exc, encoding=text[offset:offset + 8].hex())
+    handler = specialize(instr, eip)
+    program[eip] = handler
+    return handler
+
+
+def run_machine(machine):
+    """Run ``machine`` to exit (or fault) on the threaded fast path.
+
+    The step-limit and address-counting branches are hoisted out of the
+    inner dispatch loop: execution proceeds in ``for``-loop chunks sized
+    by the remaining step budget, so the hot path per instruction is one
+    dict lookup, one handler call and one halt check — no limit compare,
+    no explicit step counter. The exact step count is recovered from the
+    chunk index wherever it is observable (halt, fault context, the
+    limit error), matching the reference interpreter bit for bit.
+    Address counts accumulate in a flat per-offset array and are merged
+    into the ``addr_counts`` dict on the way out.
+    """
+    if machine.halted:
+        return
+    decode_cache, program = _caches(machine.binary)
+    eip = machine.eip
+    start = machine.instr_count
+    limit = machine.max_steps
+    budget = limit - start
+    flat = None
+    if machine.count_addresses:
+        text_base = machine.binary.text_base
+        flat = [0] * len(machine.binary.text)
+    index = -1
+    halted = False
+    try:
+        if budget > 0:
+            if flat is None:
+                for index in range(budget):
+                    try:
+                        handler = program[eip]
+                    except KeyError:
+                        handler = _specialize_at(machine, eip,
+                                                 start + index + 1,
+                                                 decode_cache, program)
+                    nxt = handler(machine)
+                    if nxt is None:
+                        halted = True
+                        break
+                    eip = nxt
+            else:
+                for index in range(budget):
+                    try:
+                        handler = program[eip]
+                    except KeyError:
+                        handler = _specialize_at(machine, eip,
+                                                 start + index + 1,
+                                                 decode_cache, program)
+                    flat[eip - text_base] += 1
+                    nxt = handler(machine)
+                    if nxt is None:
+                        halted = True
+                        break
+                    eip = nxt
+        if not halted:
+            # Budget exhausted with the machine still running: the next
+            # step would push the count past the limit, exactly as the
+            # reference interpreter reports it.
+            steps = (start if start > limit else limit) + 1
+            machine.eip = eip
+            machine.instr_count = steps
+            raise SimulationLimitExceeded(
+                f"exceeded {limit} steps",
+                context={"limit": limit, "steps": steps, "eip": eip})
+    except MachineFault as fault:
+        machine.eip = eip
+        machine.instr_count = start + index + 1
+        for key, value in machine.fault_context().items():
+            fault.context.setdefault(key, value)
+        raise
+    finally:
+        if flat is not None:
+            counts = machine.addr_counts
+            for offset, value in enumerate(flat):
+                if value:
+                    address = text_base + offset
+                    counts[address] = counts.get(address, 0) + value
+    machine.instr_count = start + index + 1
+    # On halt the exit handler already advanced machine.eip past the INT.

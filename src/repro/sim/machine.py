@@ -1,11 +1,20 @@
 """The x86-32 CPU simulator.
 
 Executes the byte image of a :class:`~repro.backend.linker.LinkedBinary`
-instruction by instruction: fetch (with a decode cache keyed on EIP —
-text is immutable), execute, account cycles. Flags, wrapping arithmetic
-and truncating IDIV follow IA-32; the one documented deviation is that
-IDIV by zero yields quotient 0 / remainder 0 instead of #DE, matching the
+instruction by instruction: fetch (with a decode cache keyed on text
+offset and shared across every Machine running the same binary — text is
+immutable), execute, account cycles. Flags, wrapping arithmetic and
+truncating IDIV follow IA-32; the one documented deviation is that IDIV
+by zero yields quotient 0 / remainder 0 instead of #DE, matching the
 IR's total division semantics so differential tests are exact.
+
+:meth:`Machine.run` executes on one of two engines: ``"fast"`` (the
+default) runs the threaded-code interpreter in
+:mod:`repro.sim.fastpath`; ``"reference"`` runs the :meth:`Machine.step`
+loop in this module. The two agree exactly on (output, exit_code,
+instr_count) — the differential tests in ``tests/check`` hold them to
+it — so the reference path doubles as the correctness oracle for the
+fast one. ``REPRO_SIM_ENGINE`` selects the engine when callers don't.
 
 System calls use ``INT 0x80`` with EAX selecting:
 
@@ -20,9 +29,12 @@ EAX   call                        effect
 
 from __future__ import annotations
 
+import os
+
 from repro.errors import (
     DecodingError, MachineFault, SimulationLimitExceeded, SimulatorError,
 )
+from repro.sim import fastpath
 from repro.sim.memory import DEFAULT_STACK_SIZE, Memory, STACK_TOP
 from repro.x86.decoder import decode
 from repro.x86.instructions import (
@@ -60,7 +72,7 @@ class Machine:
     """One simulated process."""
 
     def __init__(self, binary, input_values=(), max_steps=500_000_000,
-                 count_addresses=True, stack_size=DEFAULT_STACK_SIZE):
+                 count_addresses=False, stack_size=DEFAULT_STACK_SIZE):
         self.binary = binary
         self.memory = Memory(binary, stack_size=stack_size)
         self.regs = [0] * 8  # EAX ECX EDX EBX ESP EBP ESI EDI
@@ -77,7 +89,9 @@ class Machine:
         self.count_addresses = count_addresses
         self.addr_counts = {}
         self.call_stack = []  # return addresses of live CALLs (snapshot aid)
-        self._decode_cache = {}
+        # Decoded instructions keyed by text offset, shared with every
+        # other Machine running this binary (text is immutable).
+        self._decode_cache = fastpath.shared_decode_cache(binary)
 
     # -- fault reporting ----------------------------------------------------
 
@@ -88,7 +102,7 @@ class Machine:
             "step": self.instr_count,
             "call_stack": [addr for addr in self.call_stack[-8:]],
         }
-        instr = self._decode_cache.get(self.eip)
+        instr = self._decode_cache.get(self.eip - self.binary.text_base)
         if instr is not None:
             context["instr"] = repr(instr)
         return context
@@ -200,7 +214,8 @@ class Machine:
     # -- execution ---------------------------------------------------------------
 
     def _fetch(self):
-        instr = self._decode_cache.get(self.eip)
+        offset = self.eip - self.binary.text_base
+        instr = self._decode_cache.get(offset)
         if instr is None:
             window = self.memory.code_window(self.eip, 16)
             try:
@@ -209,7 +224,7 @@ class Machine:
                 self._fault(f"cannot decode instruction at "
                             f"{self.eip:#010x}: {exc}", cause=exc,
                             encoding=window[:8].hex())
-            self._decode_cache[self.eip] = instr
+            self._decode_cache[offset] = instr
         return instr
 
     def step(self):
@@ -420,24 +435,39 @@ class Machine:
         else:
             self._fault(f"unknown syscall {number}")
 
-    def run(self):
-        """Run to exit; returns a :class:`SimResult`."""
-        while not self.halted:
-            self.step()
+    def run(self, engine=None):
+        """Run to exit; returns a :class:`SimResult`.
+
+        ``engine`` selects ``"fast"`` (threaded-code interpreter) or
+        ``"reference"`` (the :meth:`step` loop); ``None`` defers to the
+        ``REPRO_SIM_ENGINE`` environment variable, defaulting to fast.
+        """
+        if engine is None:
+            engine = os.environ.get("REPRO_SIM_ENGINE") or "fast"
+        if engine == "fast":
+            fastpath.run_machine(self)
+        elif engine == "reference":
+            while not self.halted:
+                self.step()
+        else:
+            raise SimulatorError(f"unknown simulator engine {engine!r}",
+                                 context={"engine": engine})
         return SimResult(self.output, self.exit_code, self.instr_count,
                          self.addr_counts)
 
 
 def run_binary(binary, input_values=(), max_steps=500_000_000,
-               count_addresses=True, stack_size=DEFAULT_STACK_SIZE):
+               count_addresses=False, stack_size=DEFAULT_STACK_SIZE,
+               engine=None):
     """Convenience wrapper: simulate a binary to completion.
 
     ``max_steps`` and ``stack_size`` are the run's fuel: a binary that
     spins past the step budget raises
     :class:`~repro.errors.SimulationLimitExceeded`, and one that grows
     its stack past ``stack_size`` faults with a
-    :class:`~repro.errors.MachineFault` naming the overflow.
+    :class:`~repro.errors.MachineFault` naming the overflow. ``engine``
+    is forwarded to :meth:`Machine.run`.
     """
     machine = Machine(binary, input_values=input_values, max_steps=max_steps,
                       count_addresses=count_addresses, stack_size=stack_size)
-    return machine.run()
+    return machine.run(engine=engine)

@@ -37,6 +37,39 @@ class Memory:
         self.stack_base = STACK_TOP - stack_size
         self.stack = bytearray(stack_size)
 
+        # Prebound fast accessors for the simulator fast path: segment
+        # bounds and buffers resolved into the closure once per process
+        # image, so the hot data/stack cases skip every self-attribute
+        # lookup. Faults and the text segment delegate to the slow
+        # accessors, keeping one fault implementation.
+        unpack = _U32.unpack_from
+        pack = _U32.pack_into
+
+        def read32(address, _u=unpack, _d=self.data, _s=self.stack,
+                   _db=self.data_base, _de=self.data_end,
+                   _sb=self.stack_base, _top=STACK_TOP,
+                   _slow=self.read_u32):
+            if _db <= address and address + 4 <= _de:
+                return _u(_d, address - _db)[0]
+            if _sb <= address and address + 4 <= _top:
+                return _u(_s, address - _sb)[0]
+            return _slow(address)
+
+        def write32(address, value, _p=pack, _d=self.data, _s=self.stack,
+                    _db=self.data_base, _de=self.data_end,
+                    _sb=self.stack_base, _top=STACK_TOP,
+                    _slow=self.write_u32):
+            value &= 0xFFFF_FFFF
+            if _db <= address and address + 4 <= _de:
+                _p(_d, address - _db, value)
+            elif _sb <= address and address + 4 <= _top:
+                _p(_s, address - _sb, value)
+            else:
+                _slow(address, value)
+
+        self.read32 = read32
+        self.write32 = write32
+
     def _fault(self, message, address, access):
         raise MachineFault(message, context={
             "address": address, "access": access,

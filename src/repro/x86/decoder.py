@@ -332,6 +332,22 @@ def decode(data, offset=0):
     return instr
 
 
+def decode_cached(data, offset, cache):
+    """Decode at ``offset``, memoizing into ``cache`` (offset -> Instr).
+
+    The decode→specialize hook used by the simulator fast path: because
+    text is immutable, one cache (keyed on the owning binary) serves
+    every :class:`~repro.sim.machine.Machine` run of that binary, and
+    decoding straight from the full buffer skips the per-instruction
+    window copy the reference fetch path makes.
+    """
+    instr = cache.get(offset)
+    if instr is None:
+        instr = decode(data, offset)
+        cache[offset] = instr
+    return instr
+
+
 def try_decode(data, offset=0):
     """Like :func:`decode` but returns ``None`` on invalid bytes."""
     # Fast path: an unsupported (or out-of-range) first opcode byte

@@ -37,13 +37,28 @@ class NopCandidate:
         return len(self.encoding)
 
     def to_instr(self):
-        """Build a fresh :class:`Instr` for this candidate."""
-        mnemonic, operands = _CANDIDATE_INSTRS[self.name]
-        instr = Instr(mnemonic, *operands, is_inserted_nop=True)
-        instr.size = self.size
-        instr.encoding = self.encoding
+        """Build a fresh :class:`Instr` for this candidate.
+
+        Each call returns a new object (the insertion pass mutates
+        ``block_id`` per site) cloned from a memoized, pre-encoded
+        template — the operands, size and encoding of a given candidate
+        never change, so they are resolved exactly once per process no
+        matter how many million sites a population build inserts.
+        """
+        template = _TEMPLATE_INSTRS.get(self.name)
+        if template is None:
+            mnemonic, operands = _CANDIDATE_INSTRS[self.name]
+            template = Instr(mnemonic, *operands, is_inserted_nop=True)
+            template.size = self.size
+            template.encoding = self.encoding
+            _TEMPLATE_INSTRS[self.name] = template
+        instr = Instr.__new__(Instr)
+        instr.__dict__.update(template.__dict__)
         return instr
 
+
+#: Pre-built, pre-encoded Instr per candidate name; cloned by to_instr().
+_TEMPLATE_INSTRS = {}
 
 _CANDIDATE_INSTRS = {
     "nop": ("nop", ()),

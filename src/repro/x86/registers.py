@@ -25,6 +25,12 @@ class Register:
     def __repr__(self):
         return self.name.upper()
 
+    def __reduce__(self):
+        # Unpickle to the interned singleton, not a fresh instance, so
+        # identity comparisons stay valid for objects that crossed a
+        # process boundary (parallel population builds, artifact cache).
+        return (register_by_code, (self.code,))
+
 
 EAX = Register("eax", 0)
 ECX = Register("ecx", 1)

@@ -1,0 +1,202 @@
+"""Fast-path unit tests: operand specialization, shared caches, engines.
+
+The threaded-code interpreter specializes each decoded instruction into
+a bound closure at decode time. These tests exercise the specialization
+building blocks directly (one closure per operand kind) and the
+per-binary sharing of the decode cache and threaded program; full
+fast-vs-reference parity on real workloads lives in
+``tests/check/test_fastpath_parity.py``.
+"""
+
+import pytest
+
+from repro.backend.linker import link
+from repro.backend.objfile import FunctionCode, LabelDef, ObjectUnit
+from repro.errors import SimulatorError
+from repro.sim import fastpath
+from repro.sim.machine import Machine
+from repro.x86.instructions import Imm, Instr, Mem
+from repro.x86.registers import EAX, EBX, ECX, EDX, ESP
+
+
+class _FakeMemory:
+    def __init__(self, cells=None):
+        self.cells = cells or {}
+        self.writes = []
+
+    def read32(self, address):
+        return self.cells[address]
+
+    def write32(self, address, value):
+        self.writes.append((address, value))
+        self.cells[address] = value
+
+
+class _FakeMachine:
+    def __init__(self, regs=None, cells=None):
+        self.regs = regs or [0] * 8
+        self.memory = _FakeMemory(cells)
+
+
+class TestEAThunk:
+    def test_base_plus_disp(self):
+        ea = fastpath.ea_thunk(Mem(base=EBX, disp=12))
+        machine = _FakeMachine(regs=[0, 0, 0, 0x1000, 0, 0, 0, 0])
+        assert ea(machine) == 0x100C
+
+    def test_base_index_scale_disp(self):
+        ea = fastpath.ea_thunk(Mem(base=EBX, index=ECX, scale=4, disp=8))
+        machine = _FakeMachine(regs=[0, 3, 0, 0x1000, 0, 0, 0, 0])
+        assert ea(machine) == 0x1000 + 3 * 4 + 8
+
+    def test_index_scale_only(self):
+        ea = fastpath.ea_thunk(Mem(index=EDX, scale=8, disp=0x200))
+        machine = _FakeMachine(regs=[0, 0, 5, 0, 0, 0, 0, 0])
+        assert ea(machine) == 5 * 8 + 0x200
+
+    def test_absolute(self):
+        ea = fastpath.ea_thunk(Mem(disp=0x8049_0000))
+        assert ea(_FakeMachine()) == 0x8049_0000
+
+    def test_wraps_to_32_bits(self):
+        ea = fastpath.ea_thunk(Mem(base=EBX, disp=0x10))
+        machine = _FakeMachine(regs=[0, 0, 0, 0xFFFF_FFF8, 0, 0, 0, 0])
+        assert ea(machine) == 0x8
+
+
+class TestReaderWriter:
+    def test_register_reader(self):
+        get = fastpath.reader(EAX)
+        assert get(_FakeMachine(regs=[41, 0, 0, 0, 0, 0, 0, 0])) == 41
+
+    def test_immediate_reader_masks(self):
+        get = fastpath.reader(Imm(-1))
+        assert get(_FakeMachine()) == 0xFFFF_FFFF
+
+    def test_memory_reader_uses_thunked_address(self):
+        get = fastpath.reader(Mem(base=EBX, index=ECX, scale=4, disp=0))
+        machine = _FakeMachine(regs=[0, 2, 0, 0x100, 0, 0, 0, 0],
+                               cells={0x108: 777})
+        assert get(machine) == 777
+
+    def test_register_writer(self):
+        put = fastpath.writer(EDX)
+        machine = _FakeMachine()
+        put(machine, 99)
+        assert machine.regs[2] == 99
+
+    def test_memory_writer(self):
+        put = fastpath.writer(Mem(base=EBX, disp=4))
+        machine = _FakeMachine(regs=[0, 0, 0, 0x200, 0, 0, 0, 0])
+        put(machine, 55)
+        assert machine.memory.writes == [(0x204, 55)]
+
+    def test_unspecializable_operand_raises(self):
+        with pytest.raises(fastpath._CannotSpecialize):
+            fastpath.reader(object())
+        with pytest.raises(fastpath._CannotSpecialize):
+            fastpath.writer(Imm(1))
+
+
+def _exit_program(instrs):
+    """Link ``instrs`` + an exit(EBX) syscall as one binary."""
+    unit = ObjectUnit("test")
+    items = [LabelDef("_start")] + list(instrs) + [
+        Instr("mov", EAX, Imm(0)),
+        Instr("int", Imm(0x80)),
+    ]
+    unit.add_function(FunctionCode("_start", items))
+    return link([unit])
+
+
+class TestSpecializedExecution:
+    """Each operand kind driven through a real decode + fast run."""
+
+    def _run(self, instrs, engine):
+        machine = Machine(_exit_program(instrs))
+        machine.run(engine=engine)
+        return machine
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_reg_and_imm_operands(self, engine):
+        machine = self._run([
+            Instr("mov", ECX, Imm(40)),
+            Instr("mov", EBX, ECX),
+            Instr("add", EBX, Imm(2)),
+        ], engine)
+        assert machine.exit_code == 42
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_mem_base_index_scale(self, engine):
+        # Two stack words via ESP pushes, then a [base + index*scale]
+        # load with EBX as base and ECX as index.
+        machine = self._run([
+            Instr("mov", EAX, Imm(111)),
+            Instr("push", EAX),
+            Instr("mov", EAX, Imm(222)),
+            Instr("push", EAX),           # [esp]=222, [esp+4]=111
+            Instr("mov", EBX, ESP),
+            Instr("mov", ECX, Imm(1)),
+            Instr("mov", EDX, Mem(base=EBX, index=ECX, scale=4)),
+            Instr("mov", EBX, EDX),
+        ], engine)
+        assert machine.exit_code == 111
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_mem_store_and_reload(self, engine):
+        machine = self._run([
+            Instr("mov", EAX, Imm(7)),
+            Instr("push", EAX),
+            Instr("mov", EAX, Imm(6)),
+            Instr("mov", EBX, Mem(base=ESP)),
+            Instr("imul", EBX, EAX),      # 7 * 6
+        ], engine)
+        assert machine.exit_code == 42
+
+
+class TestSharedCaches:
+    def test_two_machines_share_decoded_instructions(self, fib_build):
+        binary = fib_build.link_baseline()
+        first = Machine(binary, input_values=(5,))
+        first.run(engine="fast")
+        second = Machine(binary, input_values=(5,))
+
+        # Same cache object, and the decoded Instrs are shared by
+        # identity — the second Machine decodes nothing new.
+        assert second._decode_cache is first._decode_cache
+        assert first._decode_cache, "fast run populated the decode cache"
+        before = dict(first._decode_cache)
+        second.run(engine="fast")
+        assert all(second._decode_cache[offset] is instr
+                   for offset, instr in before.items())
+
+    def test_shared_program_is_per_binary(self, fib_build):
+        binary = fib_build.link_baseline()
+        other = fib_build.link_baseline()
+        assert fastpath.shared_program(binary) is \
+            fastpath.shared_program(binary)
+        assert fastpath.shared_program(binary) is not \
+            fastpath.shared_program(other)
+
+    def test_reference_engine_uses_same_cache(self, fib_build):
+        binary = fib_build.link_baseline()
+        machine = Machine(binary, input_values=(4,))
+        machine.run(engine="reference")
+        assert machine._decode_cache is fastpath.shared_decode_cache(binary)
+        assert machine._decode_cache
+
+
+class TestEngineSelection:
+    def test_unknown_engine_raises(self, fib_build):
+        binary = fib_build.link_baseline()
+        machine = Machine(binary, input_values=(3,))
+        with pytest.raises(SimulatorError) as info:
+            machine.run(engine="bogus")
+        assert info.value.context["engine"] == "bogus"
+
+    def test_env_engine_default(self, fib_build, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        binary = fib_build.link_baseline()
+        machine = Machine(binary, input_values=(3,))
+        machine.run()
+        assert machine.halted
