@@ -1,13 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench check
+.PHONY: test bench bench-quick check
 
-test:
+# Tier-1: the full pytest suite plus the quick perf gates (mix speedup,
+# population incremental-link speedup, pool-vs-serial wall clock) so a
+# perf regression fails the default flow, not just the full bench.
+test: bench-quick
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) benchmarks/bench_runtime.py
+
+bench-quick:
+	$(PYTHON) benchmarks/bench_runtime.py --quick \
+		--output BENCH_runtime_quick.json
 
 check:
 	$(PYTHON) benchmarks/check_campaign.py --quick

@@ -8,9 +8,11 @@ Populations are built whole — the first request for any seed of a
 (workload, config) pair batch-builds every seed of that population
 through :func:`repro.pipeline.build_population`, which fans out over a
 process pool when ``REPRO_WORKERS`` > 1 and reuses on-disk artifacts
-when ``REPRO_CACHE_DIR`` is set. Only the derived scalars (gadget
-signature maps, overhead fractions) are retained; the binaries
-themselves are dropped so a full Table-2/3 sweep stays memory-bounded.
+when ``REPRO_CACHE_DIR`` is set; gadget scanning likewise fans out via
+:func:`repro.security.population.population_signatures`. Only the
+derived scalars (gadget signature maps, overhead fractions) are
+retained; the binaries themselves are dropped so a full Table-2/3 sweep
+stays memory-bounded.
 
 Environment knobs:
 
@@ -30,6 +32,7 @@ import os
 
 from repro.core.config import PAPER_CONFIGS
 from repro.pipeline import ProgramBuild, build_population
+from repro.security.population import population_signatures
 from repro.security.survivor import gadget_signatures
 from repro.workloads.registry import SPEC_ORDER, get_workload
 
@@ -107,11 +110,12 @@ def variant_signatures(name, config_label, seed):
     key = (name, config_label, seed)
     if key not in _VARIANT_SIGNATURES:
         seeds = range(max(POPULATION_SIZE, seed + 1))
-        for built_seed, variant in zip(seeds,
-                                       _population(name, config_label,
-                                                   seeds)):
+        texts = [variant.text
+                 for variant in _population(name, config_label, seeds)]
+        for built_seed, signatures in zip(seeds,
+                                          population_signatures(texts)):
             _VARIANT_SIGNATURES[(name, config_label, built_seed)] = \
-                gadget_signatures(variant.text)
+                signatures
     return _VARIANT_SIGNATURES[key]
 
 

@@ -8,16 +8,25 @@ Measures the two things PR 2 optimized:
    Each (workload, engine) pair is timed best-of-N with the GC disabled;
    both engines run the same binaries on the same ref inputs, so the
    ratio is a pure dispatch-overhead comparison.
-2. **Population-build wall clock** — building the paper's 25-variant
-   population (config 0-30%, profile-guided) serially vs. over a
-   process pool, with the artifact cache disabled so every build is
-   real work.
+2. **Population-build throughput** — building the paper's 25-variant
+   population (config 0-30%, profile-guided) with the artifact cache
+   disabled so every build is real work. Three gated numbers:
+
+   - ``variants_per_sec`` via the incremental :class:`LinkPlan` path
+     vs. the full-``link()`` path (``REPRO_LINK_PLAN=0``), serial —
+     compile-once / diversify-many must stay ≥ ``MIN_POPULATION_SPEEDUP``;
+   - ``workers=N`` wall-clock must not exceed ``workers=1`` (the PR 2
+     pool fan-out regressed 0.708s → 2.877s on a single-core box; the
+     core-count clamp makes that inversion impossible, and this gate
+     keeps it that way);
+   - artifact-cache effectiveness — a cold-then-warm cached build whose
+     hit/miss/put counters land in the JSON.
 
 Emits ``BENCH_runtime.json`` so future PRs can diff performance the
 same way the table/figure benches diff the paper's numbers, and exits
-nonzero if the fast path's mix speedup falls below ``MIN_SPEEDUP`` —
-a regression gate, set below the ~3.4x this PR measured so timing noise
-doesn't flake it.
+nonzero if any gate fails (mix speedup, population speedup, pool
+wall-clock). Gates sit below the measured margins so timing noise
+doesn't flake them.
 
 Usage::
 
@@ -32,8 +41,10 @@ import gc
 import json
 import os
 import sys
+import tempfile
 import time
 
+from repro.artifacts import cache_stats, reset_cache_stats
 from repro.core.config import DiversificationConfig
 from repro.pipeline import ProgramBuild, build_population
 from repro.workloads.registry import get_workload
@@ -48,6 +59,15 @@ MIN_SPEEDUP = 2.0
 #: Population-build measurement parameters (paper: 25 variants).
 POPULATION_CONFIG = "0-30%"
 POPULATION_SIZE = 25
+
+#: Regression gate: incremental linking must build populations at least
+#: this many times faster than the full-link path (measured ~3.9x).
+MIN_POPULATION_SPEEDUP = 3.0
+
+#: Pool builds may not exceed serial wall-clock by more than timing
+#: noise (the gate that keeps the workers=N regression dead — a 4x
+#: inversion when it was live, so noise headroom is safe).
+POOL_TOLERANCE = 1.25
 
 
 def _best_of(times, fn):
@@ -109,36 +129,93 @@ def measure_throughput(names, repeats):
     return per_workload, mix
 
 
-def measure_population_build(population_size, worker_counts):
-    """Wall clock for one population build at each worker count.
+def measure_population_build(population_size, worker_counts, repeats=5):
+    """Population-build throughput: incremental vs full link, serial
+    vs pool.
 
-    The artifact cache is disabled (``cache_dir`` never consulted when
-    ``REPRO_CACHE_DIR`` is scrubbed) so each measurement rebuilds every
-    variant from source.
+    The artifact cache is disabled (``REPRO_CACHE_DIR`` scrubbed) so
+    each measurement rebuilds every variant. The full-link reference
+    runs with ``REPRO_LINK_PLAN=0`` on a fresh build (no memoized plan
+    to leak); the incremental numbers use fresh builds too, so the
+    plan-compilation cost is *inside* the timed region.
     """
+    workload = get_workload(MIX[0])
+    config = DiversificationConfig.profile_guided(0.00, 0.30)
+    seeds = range(population_size)
+    profile = ProgramBuild(workload.source,
+                           workload.name).profile(workload.train_input)
+
+    def timed(workers):
+        # Fresh build per repetition: the memoized plan must not leak
+        # between runs, so plan compilation is inside the timed region.
+        builds = iter([ProgramBuild(workload.source, workload.name)
+                       for _ in range(repeats)])
+        return _best_of(repeats,
+                        lambda: build_population(next(builds), config,
+                                                 seeds, profile,
+                                                 workers=workers))
+
+    saved_cache = os.environ.pop("REPRO_CACHE_DIR", None)
+    saved_plan = os.environ.pop("REPRO_LINK_PLAN", None)
+    try:
+        os.environ["REPRO_LINK_PLAN"] = "0"
+        full_link_seconds = timed(1)
+        del os.environ["REPRO_LINK_PLAN"]
+
+        wall = {workers: timed(workers) for workers in worker_counts}
+    finally:
+        if saved_cache is not None:
+            os.environ["REPRO_CACHE_DIR"] = saved_cache
+        os.environ.pop("REPRO_LINK_PLAN", None)
+        if saved_plan is not None:
+            os.environ["REPRO_LINK_PLAN"] = saved_plan
+
+    serial = wall[worker_counts[0]]
+    pool = wall[worker_counts[-1]]
+    speedup = full_link_seconds / serial
+    return {
+        "workload": workload.name,
+        "config": POPULATION_CONFIG,
+        "population_size": population_size,
+        "full_link_seconds": round(full_link_seconds, 3),
+        "full_link_variants_per_sec": round(
+            population_size / full_link_seconds, 1),
+        "variants_per_sec": round(population_size / serial, 1),
+        "incremental_speedup": round(speedup, 2),
+        "min_population_speedup": MIN_POPULATION_SPEEDUP,
+        "wall_clock_seconds": {f"workers={workers}": round(seconds, 3)
+                               for workers, seconds in wall.items()},
+        "pool_tolerance": POOL_TOLERANCE,
+        "speedup_ok": speedup >= MIN_POPULATION_SPEEDUP,
+        "pool_ok": pool <= serial * POOL_TOLERANCE,
+    }
+
+
+def measure_cache(population_size):
+    """Cold-then-warm cached build; returns the observed counters."""
     workload = get_workload(MIX[0])
     build = ProgramBuild(workload.source, workload.name)
     config = DiversificationConfig.profile_guided(0.00, 0.30)
     profile = build.profile(workload.train_input)
     seeds = range(population_size)
 
-    saved = os.environ.pop("REPRO_CACHE_DIR", None)
-    try:
-        results = {}
-        for workers in worker_counts:
-            start = time.perf_counter()
-            build_population(build, config, seeds, profile,
-                             workers=workers)
-            results[f"workers={workers}"] = round(
-                time.perf_counter() - start, 3)
-    finally:
-        if saved is not None:
-            os.environ["REPRO_CACHE_DIR"] = saved
+    reset_cache_stats()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        build_population(build, config, seeds, profile,
+                         cache_dir=cache_dir)
+        cold = cache_stats()
+        start = time.perf_counter()
+        build_population(build, config, seeds, profile,
+                         cache_dir=cache_dir)
+        warm_seconds = time.perf_counter() - start
+        warm = cache_stats()
+    reset_cache_stats()
     return {
-        "workload": workload.name,
-        "config": POPULATION_CONFIG,
         "population_size": population_size,
-        "wall_clock_seconds": results,
+        "cold": cold,
+        "warm": warm,
+        "warm_seconds": round(warm_seconds, 3),
+        "all_warm_hits": warm["hits"] - cold["hits"] == population_size,
     }
 
 
@@ -146,24 +223,44 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_runtime.json")
     parser.add_argument("--quick", action="store_true",
-                        help="one workload, 1 timing repeat, 5 variants")
+                        help="one workload, 1 timing repeat, small "
+                             "populations (seconds, not minutes)")
     args = parser.parse_args(argv)
 
     names = MIX[:1] if args.quick else MIX
     repeats = 1 if args.quick else 3
-    population_size = 5 if args.quick else POPULATION_SIZE
+    population_size = 20 if args.quick else POPULATION_SIZE
     pool_workers = min(4, max(2, os.cpu_count() or 1))
 
     per_workload, mix = measure_throughput(names, repeats)
     population = measure_population_build(population_size,
-                                          (1, pool_workers))
+                                          (1, pool_workers),
+                                          repeats=3 if args.quick else 5)
+    cache = measure_cache(5 if args.quick else population_size)
+
+    failures = []
+    if mix["speedup"] < MIN_SPEEDUP:
+        failures.append(f"mix speedup {mix['speedup']}x below the "
+                        f"{MIN_SPEEDUP}x gate")
+    if not population["speedup_ok"]:
+        failures.append(
+            f"population incremental speedup "
+            f"{population['incremental_speedup']}x below the "
+            f"{MIN_POPULATION_SPEEDUP}x gate")
+    if not population["pool_ok"]:
+        clocks = population["wall_clock_seconds"]
+        failures.append(
+            f"pool population build slower than serial: "
+            + ", ".join(f"{k}: {v}s" for k, v in clocks.items()))
 
     payload = {
         "mix": mix,
         "workloads": per_workload,
         "population_build": population,
+        "artifact_cache": cache,
         "min_speedup": MIN_SPEEDUP,
-        "ok": mix["speedup"] >= MIN_SPEEDUP,
+        "failures": failures,
+        "ok": not failures,
     }
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
@@ -177,13 +274,17 @@ def main(argv=None):
     clocks = population["wall_clock_seconds"]
     print(f"population build ({population['population_size']} variants, "
           f"{population['config']}): "
+          f"{population['variants_per_sec']} variants/sec incremental "
+          f"vs {population['full_link_variants_per_sec']} full-link "
+          f"({population['incremental_speedup']}x, gate: >= "
+          f"{MIN_POPULATION_SPEEDUP}x); "
           + ", ".join(f"{k}: {v}s" for k, v in clocks.items()))
+    print(f"artifact cache: cold {cache['cold']}, warm {cache['warm']} "
+          f"(warm rebuild: {cache['warm_seconds']}s)")
     print(f"wrote {args.output}")
-    if not payload["ok"]:
-        print(f"FAIL: mix speedup {mix['speedup']}x below the "
-              f"{MIN_SPEEDUP}x gate", file=sys.stderr)
-        return 1
-    return 0
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

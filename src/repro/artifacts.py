@@ -29,6 +29,31 @@ import tempfile
 #: meaning: stale entries from older code must never be returned.
 CACHE_VERSION = 1
 
+#: Process-wide hit/miss/put totals across every VariantCache instance.
+#: Pool workers accumulate their own copies; the population builder
+#: returns each chunk's delta to the parent, which folds it in through
+#: :func:`record_cache_stats` — so the numbers the CLI and benches print
+#: cover the whole build, not just the parent process.
+_GLOBAL_STATS = {"hits": 0, "misses": 0, "puts": 0}
+
+
+def cache_stats():
+    """Snapshot of the process-wide cache counters."""
+    return dict(_GLOBAL_STATS)
+
+
+def reset_cache_stats():
+    """Zero the process-wide cache counters (test/bench isolation)."""
+    for key in _GLOBAL_STATS:
+        _GLOBAL_STATS[key] = 0
+
+
+def record_cache_stats(hits=0, misses=0, puts=0):
+    """Fold externally-observed counts (e.g. a pool worker's) in."""
+    _GLOBAL_STATS["hits"] += hits
+    _GLOBAL_STATS["misses"] += misses
+    _GLOBAL_STATS["puts"] += puts
+
 
 def variant_key(source, name, opt_level, config, seed, profile=None):
     """Content hash identifying one variant build.
@@ -56,6 +81,7 @@ class VariantCache:
         self.root = os.fspath(root)
         self.hits = 0
         self.misses = 0
+        self.puts = 0
 
     def _path(self, key):
         return os.path.join(self.root, key[:2], key + ".pkl")
@@ -68,8 +94,10 @@ class VariantCache:
         except (OSError, pickle.PickleError, EOFError, AttributeError,
                 ImportError, IndexError):
             self.misses += 1
+            _GLOBAL_STATS["misses"] += 1
             return None
         self.hits += 1
+        _GLOBAL_STATS["hits"] += 1
         return binary
 
     def put(self, key, binary):
@@ -91,11 +119,18 @@ class VariantCache:
                     pass
                 raise
         except OSError:
-            pass  # a full/read-only disk must not fail the build
+            return  # a full/read-only disk must not fail the build
+        self.puts += 1
+        _GLOBAL_STATS["puts"] += 1
+
+    def stats(self):
+        """This instance's ``{"hits": .., "misses": .., "puts": ..}``."""
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts}
 
     def __repr__(self):
         return (f"VariantCache({self.root!r}, hits={self.hits}, "
-                f"misses={self.misses})")
+                f"misses={self.misses}, puts={self.puts})")
 
 
 def cache_from_env(cache_dir=None):

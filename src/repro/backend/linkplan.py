@@ -1,0 +1,603 @@
+"""Compile-once / diversify-many: the precomputed :class:`LinkPlan`.
+
+For one (runtime unit, program unit) pair, every NOP-diversified variant
+shares almost all of the linker's work: the non-NOP instruction
+encodings, the label/symbol skeleton, the data-section layout, the set of
+relocation sites, and the candidate branch widths are identical across
+the whole population — only the inserted NOP bytes and the branch
+displacements they push around differ. :func:`build_link_plan` pays that
+shared work exactly once; :meth:`LinkPlan.apply` then links one variant
+with only the per-seed work left:
+
+1. **Stream merge** — walk the variant's items, matching every non-NOP
+   item *by object identity* against the planned stream (the
+   NOP-insertion pass re-emits the original item objects, so a single
+   ``is`` check proves the variant is "plan + inserted NOPs"). Anything
+   else — §6 encoding substitution, function reordering, basic-block
+   shift jumps — raises :class:`~repro.errors.PlanMismatchError` and the
+   caller falls back to a full :func:`~repro.backend.linker.link`.
+2. **Incremental branch relaxation** — widths start from the plan's
+   no-NOP fixpoint instead of all-short. Inserting bytes can only grow
+   displacements, so the baseline fixpoint is a sound lower bound and
+   the monotone widening loop converges in very few passes.
+3. **Byte splicing** — pre-encoded instruction bytes are spliced with
+   the variant's NOP encodings; only branch displacements and the
+   ``disp32`` field of data-symbol relocations (the data section floats
+   behind the text) are re-materialized per variant.
+
+The output is bit-identical to ``link([*fixed_units, variant])`` —
+same text bytes, symbols, data image, and ``identity_hash()`` — which
+``tests/backend/test_linkplan.py`` enforces across every registered
+workload. Instruction records are materialized lazily: population
+studies (gadget scans, differential validation) never touch them, so a
+variant build does not pay for them unless the analytic cost engine
+asks.
+"""
+
+from __future__ import annotations
+
+from itertools import accumulate
+
+from repro.errors import LinkError, PlanMismatchError
+from repro.backend.linker import (
+    DEFAULT_TEXT_BASE, InstrRecord, LinkedBinary, _align, _branch_sizes,
+    _encode_memoized, _fixed_size,
+)
+from repro.backend.objfile import LabelDef
+from repro.x86.instructions import (
+    Instr, JCC_MNEMONICS, Label, Mem, Rel,
+)
+
+#: Entry kinds in the planned stream.
+_KIND_FIXED = 0    # non-branch instruction: pre-encoded bytes
+_KIND_LABEL = 1    # label definition: zero bytes, pins an offset
+_KIND_BRANCH = 2   # relative branch: bytes synthesized per variant
+
+#: Two distinct, always-disp32 placeholder addresses used to locate the
+#: ``disp32`` field inside a relocated instruction's encoding by diffing.
+_RELOC_PROBE_A = 0x08000000
+_RELOC_PROBE_B = 0x09000000
+
+
+class _LazyRecords(list):
+    """A record list materialized on first access.
+
+    Population builds keep only text bytes and signatures; deferring
+    :class:`InstrRecord` construction removes ~a third of the per-variant
+    apply cost for them, while the analytic cost engine still sees a
+    normal list. Pickling (the artifact cache) forces materialization so
+    cached binaries round-trip as plain lists.
+    """
+
+    __slots__ = ("_thunk",)
+
+    def __init__(self, thunk):
+        super().__init__()
+        self._thunk = thunk
+
+    def _force(self):
+        if self._thunk is not None:
+            thunk, self._thunk = self._thunk, None
+            self.extend(thunk())
+        return self
+
+    def __iter__(self):
+        return list.__iter__(self._force())
+
+    def __len__(self):
+        return list.__len__(self._force())
+
+    def __getitem__(self, index):
+        return list.__getitem__(self._force(), index)
+
+    def __eq__(self, other):
+        return list.__eq__(self._force(), other)
+
+    __hash__ = None
+
+    def __reduce__(self):
+        return (list, (list(self._force()),))
+
+
+def plan_compatible(config):
+    """Whether variants of ``config`` are "the planned stream plus NOPs".
+
+    Pure NOP-insertion configs (any probability model, with or without
+    the XCHG candidates) re-emit the original item objects, so a
+    precomputed plan applies. The §6 extensions rewrite the stream —
+    encoding substitution creates flipped instructions, basic-block
+    shifting splices jumps, function reordering permutes layout — and
+    must take the full-``link()`` path. :meth:`LinkPlan.apply` would
+    also detect them (identity mismatch → PlanMismatchError), but
+    predicting it here avoids a doomed merge walk per variant.
+    """
+    return not (config.basic_block_shifting
+                or config.encoding_substitution
+                or config.function_reordering)
+
+
+def _locate_disp32(instr, symbol_operands, addend):
+    """Byte offset of the resolved ``disp32`` field in the encoding.
+
+    Encodes the instruction twice with two distinct placeholder
+    addresses and finds the unique offset holding both little-endian
+    probe values (a value search, not a byte diff — probe addresses
+    sharing low bytes would make a diff find only part of the field).
+    Returns (offset, encoding with probe A in place).
+    """
+    probe_a = _encode_probe(instr, symbol_operands, _RELOC_PROBE_A)
+    probe_b = _encode_probe(instr, symbol_operands, _RELOC_PROBE_B)
+    if len(probe_a) != len(probe_b):
+        raise LinkError(
+            f"relocated encoding of {instr!r} is not size-stable")
+    field_a = ((_RELOC_PROBE_A + addend) & 0xFFFF_FFFF).to_bytes(4, "little")
+    field_b = ((_RELOC_PROBE_B + addend) & 0xFFFF_FFFF).to_bytes(4, "little")
+    sites = [offset for offset in range(len(probe_a) - 3)
+             if probe_a[offset:offset + 4] == field_a
+             and probe_b[offset:offset + 4] == field_b]
+    if len(sites) != 1:
+        raise LinkError(
+            f"cannot locate disp32 field in {instr!r} encoding "
+            f"({len(sites)} candidate sites)")
+    return sites[0], probe_a
+
+
+def _encode_probe(instr, symbol_operands, address):
+    operands = []
+    for index, operand in enumerate(instr.operands):
+        if index in symbol_operands:
+            operands.append(Mem(base=operand.base, index=operand.index,
+                                scale=operand.scale,
+                                disp=address + operand.disp))
+        else:
+            operands.append(operand)
+    clone = Instr(instr.mnemonic, *operands,
+                  alternate_encoding=instr.alternate_encoding)
+    return _encode_memoized(clone)
+
+
+class LinkPlan:
+    """Precomputed shared linking state; see the module docstring.
+
+    Use :func:`build_link_plan` to construct. The plan is immutable and
+    safe to share between any number of :meth:`apply` calls (they touch
+    only local state), but not across processes building *different*
+    units.
+    """
+
+    def __init__(self, units, text_base, data_alignment):
+        self.text_base = text_base
+        self.data_alignment = data_alignment
+        self._build(list(units))
+
+    # -- plan construction (once per program) --------------------------------
+
+    def _build(self, units):
+        from repro.backend import linker
+
+        if not units:
+            raise LinkError("no units to plan")
+        self._fixed_units = units[:-1]
+        self._unit = units[-1]
+
+        # Flatten exactly as link() does, keeping the original item
+        # objects for the identity matching done in apply().
+        items = []            # original LabelDef/Instr objects
+        kinds = []            # _KIND_*
+        spans = []            # (function name, start plan idx, end plan idx)
+        seen_names = set()
+        self._static_count = 0
+        for unit_index, unit in enumerate(units):
+            for function_code in unit.functions:
+                if function_code.name in seen_names:
+                    raise LinkError(
+                        f"duplicate function {function_code.name!r}")
+                seen_names.add(function_code.name)
+                span_start = len(items)
+                for item in function_code.items:
+                    items.append(item)
+                    if isinstance(item, LabelDef):
+                        kinds.append(_KIND_LABEL)
+                    elif item.is_relative_branch:
+                        kinds.append(_KIND_BRANCH)
+                    else:
+                        kinds.append(_KIND_FIXED)
+                spans.append((function_code.name, span_start, len(items)))
+            if unit_index < len(units) - 1:
+                self._static_count = len(items)
+        self._items = items
+        self._kinds = kinds
+        self._spans = spans
+
+        label_index = {}
+        for index, item in enumerate(items):
+            if kinds[index] == _KIND_LABEL:
+                if item.name in label_index:
+                    raise LinkError(f"duplicate label {item.name!r}")
+                label_index[item.name] = index
+        self._label_index = label_index
+        if "_start" not in label_index:
+            raise LinkError("no _start entry point")
+
+        # Data-section skeleton: per-symbol offsets relative to the
+        # (variant-dependent) data base, plus the nonzero initial words.
+        symbols_rel = {}
+        words_rel = []
+        cursor = 0
+        for unit in units:
+            for symbol, words in unit.data_symbols.items():
+                if symbol in symbols_rel:
+                    raise LinkError(f"duplicate data symbol {symbol!r}")
+                symbols_rel[symbol] = cursor
+                for word_index, value in enumerate(words):
+                    if value:
+                        words_rel.append((cursor + 4 * word_index, value))
+                cursor += 4 * len(words)
+        self._data_symbols_rel = symbols_rel
+        self._data_words_rel = words_rel
+        self._data_size = cursor
+
+        # Pre-encode every fixed instruction. Instructions that touch a
+        # data symbol become relocation sites: their bytes carry a probe
+        # address whose disp32 field is patched per variant.
+        pre_bytes = [None] * len(items)
+        relocs = {}      # plan idx -> (disp byte offset, symbol rel + addend)
+        record_instrs = [None] * len(items)
+        sizes = [0] * len(items)
+        for index, item in enumerate(items):
+            if kinds[index] != _KIND_FIXED:
+                continue
+            symbol_operands = {}
+            for op_index, operand in enumerate(item.operands):
+                if isinstance(operand, Mem) and operand.symbol is not None:
+                    if operand.symbol not in symbols_rel:
+                        raise LinkError(
+                            f"undefined data symbol {operand.symbol!r}")
+                    symbol_operands[op_index] = operand
+            if item.is_inserted_nop and item.encoding is not None:
+                encoding = item.encoding
+                resolved = Instr(item.mnemonic, *item.operands,
+                                 block_id=item.block_id,
+                                 is_inserted_nop=True)
+                resolved.encoding = encoding
+                resolved.size = len(encoding)
+            elif symbol_operands:
+                if len(symbol_operands) > 1:
+                    raise PlanMismatchError(
+                        f"{item!r} has multiple data-symbol operands")
+                (op_index, operand), = symbol_operands.items()
+                disp_offset, encoding = _locate_disp32(
+                    item, symbol_operands, operand.disp)
+                relocs[index] = (
+                    disp_offset,
+                    symbols_rel[operand.symbol] + operand.disp,
+                    op_index)
+                resolved = None  # record instr materialized per variant
+            else:
+                resolved = Instr(item.mnemonic, *item.operands,
+                                 block_id=item.block_id,
+                                 is_inserted_nop=item.is_inserted_nop,
+                                 alternate_encoding=item.alternate_encoding)
+                encoding = _encode_memoized(resolved)
+                resolved.encoding = encoding
+                resolved.size = len(encoding)
+            expected = (item.size
+                        if item.is_inserted_nop and item.encoding is not None
+                        else _fixed_size(item))
+            if len(encoding) != expected:
+                raise LinkError(f"size drift for {item!r}: "
+                                f"{len(encoding)} != {expected}")
+            pre_bytes[index] = encoding
+            record_instrs[index] = resolved
+            sizes[index] = len(encoding)
+        self._pre_bytes = pre_bytes
+        self._relocs = relocs
+        self._record_instrs = record_instrs
+        self._fixed_sizes = sizes
+
+        # Branch table. Widths start at link()'s initial assignment and
+        # are widened to the no-NOP fixpoint, the sound starting point
+        # for every variant's incremental relaxation.
+        b_plan = []       # plan idx per branch ordinal
+        b_target = []     # target label's plan idx
+        b_widths = []     # 8 or 32 (call: always 32)
+        for index, item in enumerate(items):
+            if kinds[index] != _KIND_BRANCH:
+                continue
+            target = item.operands[0]
+            if not isinstance(target, Label):
+                raise LinkError(f"branch without label operand: {item!r}")
+            if target.name not in label_index:
+                raise LinkError(f"undefined label {target.name!r}")
+            b_plan.append(index)
+            b_target.append(label_index[target.name])
+            b_widths.append(32 if item.mnemonic == "call" else 8)
+        self._branch_plan = b_plan
+        self._branch_target = b_target
+        self._plan_to_branch = {p: k for k, p in enumerate(b_plan)}
+
+        # No-NOP width fixpoint (identity mapping: merged == plan).
+        identity = list(range(len(items) + 1))
+        self._baseline_widths = self._relax(
+            self._merged_sizes(b_widths), b_widths, identity,
+            [None] * len(b_plan))
+
+    def _merged_sizes(self, widths):
+        sizes = list(self._fixed_sizes)
+        for ordinal, index in enumerate(self._branch_plan):
+            sizes[index] = _branch_sizes(self._items[index], widths[ordinal])
+        return sizes
+
+    def _relax(self, msizes, widths, plan_to_merged, branch_merged):
+        """Monotone widening to fixpoint over one merged stream.
+
+        ``msizes`` is mutated in place; returns the final widths list.
+        ``branch_merged[k]`` is the merged index of branch ordinal ``k``
+        (``None`` means identical to its plan index).
+        """
+        items = self._items
+        b_plan = self._branch_plan
+        b_target = self._branch_target
+        short = [k for k, width in enumerate(widths) if width == 8]
+        while True:
+            offsets = list(accumulate(msizes, initial=0))
+            changed = False
+            still_short = []
+            for k in short:
+                merged = branch_merged[k]
+                if merged is None:
+                    merged = b_plan[k]
+                target_offset = offsets[plan_to_merged[b_target[k]]]
+                displacement = target_offset - (offsets[merged]
+                                                + msizes[merged])
+                if -128 <= displacement <= 127:
+                    still_short.append(k)
+                else:
+                    widths[k] = 32
+                    msizes[merged] = _branch_sizes(items[b_plan[k]], 32)
+                    changed = True
+            if not changed:
+                return widths
+            short = still_short
+
+    # -- per-variant work ----------------------------------------------------
+
+    def apply(self, unit, *, records="lazy"):
+        """Link one diversified variant of the planned program unit.
+
+        ``unit`` must be the planned unit's stream plus inserted NOPs
+        (what :func:`repro.core.variants.diversify_unit` produces for
+        NOP-insertion configs); anything else raises
+        :class:`~repro.errors.PlanMismatchError`. ``records="eager"``
+        materializes instruction records immediately (the default defers
+        them until first access).
+
+        Returns a :class:`~repro.backend.linker.LinkedBinary` that is
+        bit-identical to ``link([*fixed_units, unit])``.
+        """
+        if unit.data_symbols != self._unit.data_symbols:
+            raise PlanMismatchError("variant changed data symbols")
+
+        items = self._items
+        kinds = self._kinds
+        static_count = self._static_count
+        plan_count = len(items)
+
+        # 1. Merge: static prefix verbatim, then the variant's items.
+        mitems = items[:static_count]
+        mplan = list(range(static_count))
+        plan_to_merged = [0] * (plan_count + 1)
+        for index in range(static_count):
+            plan_to_merged[index] = index
+        plan_cursor = static_count
+        mitems_append = mitems.append
+        mplan_append = mplan.append
+        for function_code in unit.functions:
+            for item in function_code.items:
+                if (isinstance(item, Instr) and item.is_inserted_nop
+                        and item.encoding is not None
+                        and plan_cursor < plan_count
+                        and item is not items[plan_cursor]):
+                    mplan_append(-1)
+                    mitems_append(item)
+                    continue
+                if plan_cursor >= plan_count \
+                        or item is not items[plan_cursor]:
+                    raise PlanMismatchError(
+                        f"variant stream diverges from plan at "
+                        f"{item!r}")
+                plan_to_merged[plan_cursor] = len(mplan)
+                mplan_append(plan_cursor)
+                mitems_append(item)
+                plan_cursor += 1
+        if plan_cursor != plan_count:
+            raise PlanMismatchError(
+                f"variant stream ends early: {plan_cursor}/{plan_count} "
+                f"planned items seen")
+        plan_to_merged[plan_count] = len(mplan)
+
+        # 2. Sizes + incremental relaxation from the baseline fixpoint.
+        fixed_sizes = self._fixed_sizes
+        widths = list(self._baseline_widths)
+        branch_merged = [None] * len(widths)
+        msizes = [0] * len(mplan)
+        for merged, plan_idx in enumerate(mplan):
+            if plan_idx < 0:
+                msizes[merged] = mitems[merged].size
+            else:
+                msizes[merged] = fixed_sizes[plan_idx]
+        plan_to_branch = self._plan_to_branch
+        for ordinal, plan_idx in enumerate(self._branch_plan):
+            merged = plan_to_merged[plan_idx]
+            branch_merged[ordinal] = merged
+            msizes[merged] = _branch_sizes(items[plan_idx], widths[ordinal])
+        widths = self._relax(msizes, widths, plan_to_merged, branch_merged)
+
+        offsets = list(accumulate(msizes, initial=0))
+        text_size = offsets[-1]
+        text_base = self.text_base
+
+        # 3. Symbols and data image.
+        data_base = _align(text_base + text_size, self.data_alignment)
+        data_delta = data_base  # relative offsets are data_base-relative
+        code_symbols = {
+            name: text_base + offsets[plan_to_merged[index]]
+            for name, index in self._label_index.items()}
+        data_symbols = {name: data_base + rel
+                        for name, rel in self._data_symbols_rel.items()}
+        data_words = {data_delta + rel: value
+                      for rel, value in self._data_words_rel}
+        data_end = data_base + self._data_size
+
+        # 4. Byte splicing.
+        pre_bytes = self._pre_bytes
+        relocs = self._relocs
+        branch_target = self._branch_target
+        chunks = []
+        chunks_append = chunks.append
+        jcc = JCC_MNEMONICS
+        for merged, plan_idx in enumerate(mplan):
+            if plan_idx < 0:
+                chunks_append(mitems[merged].encoding)
+                continue
+            kind = kinds[plan_idx]
+            if kind == _KIND_LABEL:
+                continue
+            if kind == _KIND_FIXED:
+                encoding = pre_bytes[plan_idx]
+                reloc = relocs.get(plan_idx)
+                if reloc is not None:
+                    disp_offset, rel_addend, _op = reloc
+                    resolved = (data_base + rel_addend) & 0xFFFF_FFFF
+                    encoding = (encoding[:disp_offset]
+                                + resolved.to_bytes(4, "little")
+                                + encoding[disp_offset + 4:])
+                chunks_append(encoding)
+                continue
+            # Branch: synthesize opcode + displacement.
+            ordinal = plan_to_branch[plan_idx]
+            width = widths[ordinal]
+            size = msizes[merged]
+            target_offset = offsets[plan_to_merged[branch_target[ordinal]]]
+            displacement = target_offset - (offsets[merged] + size)
+            mnemonic = items[plan_idx].mnemonic
+            if mnemonic == "call":
+                chunks_append(
+                    b"\xE8" + (displacement
+                               & 0xFFFF_FFFF).to_bytes(4, "little"))
+            elif mnemonic == "jmp":
+                if width == 8:
+                    chunks_append(bytes((0xEB, displacement & 0xFF)))
+                else:
+                    chunks_append(
+                        b"\xE9" + (displacement
+                                   & 0xFFFF_FFFF).to_bytes(4, "little"))
+            else:
+                condition = jcc[mnemonic]
+                if width == 8:
+                    chunks_append(bytes((0x70 + condition,
+                                         displacement & 0xFF)))
+                else:
+                    chunks_append(
+                        bytes((0x0F, 0x80 + condition))
+                        + (displacement & 0xFFFF_FFFF).to_bytes(4, "little"))
+        text = b"".join(chunks)
+        if len(text) != text_size:
+            raise LinkError(f"plan layout drift: {len(text)} bytes "
+                            f"emitted, {text_size} laid out")
+
+        function_ranges = {
+            name: (text_base + offsets[plan_to_merged[start]],
+                   text_base + offsets[plan_to_merged[end]])
+            for name, start, end in self._spans}
+
+        def materialize_records():
+            return self._materialize_records(
+                mitems, mplan, msizes, offsets, widths, branch_merged,
+                plan_to_merged, text_base, data_base)
+
+        record_list = (materialize_records() if records == "eager"
+                       else _LazyRecords(materialize_records))
+        return LinkedBinary(
+            text=text, text_base=text_base,
+            entry=code_symbols["_start"], code_symbols=code_symbols,
+            data_symbols=data_symbols, data_base=data_base,
+            data_end=data_end, data_words=data_words,
+            instr_records=record_list, function_ranges=function_ranges)
+
+    def _materialize_records(self, mitems, mplan, msizes, offsets, widths,
+                             branch_merged, plan_to_merged, text_base,
+                             data_base):
+        """Instruction records for one applied variant (deferred work)."""
+        items = self._items
+        kinds = self._kinds
+        record_instrs = self._record_instrs
+        relocs = self._relocs
+        branch_target = self._branch_target
+        plan_to_branch = self._plan_to_branch
+        records = []
+        records_append = records.append
+        for merged, plan_idx in enumerate(mplan):
+            address = text_base + offsets[merged]
+            size = msizes[merged]
+            if plan_idx < 0:
+                nop = mitems[merged]
+                records_append(InstrRecord(address, size, nop.mnemonic,
+                                           nop.block_id, True, nop))
+                continue
+            kind = kinds[plan_idx]
+            if kind == _KIND_LABEL:
+                continue
+            item = items[plan_idx]
+            if kind == _KIND_FIXED:
+                instr = record_instrs[plan_idx]
+                if instr is None:  # relocation site: per-variant operand
+                    disp_offset, rel_addend, op_index = relocs[plan_idx]
+                    operands = list(item.operands)
+                    operand = operands[op_index]
+                    operands[op_index] = Mem(
+                        base=operand.base, index=operand.index,
+                        scale=operand.scale,
+                        disp=data_base + rel_addend)
+                    instr = Instr(item.mnemonic, *operands,
+                                  block_id=item.block_id,
+                                  is_inserted_nop=item.is_inserted_nop,
+                                  alternate_encoding=item.alternate_encoding)
+                    instr.size = size
+                    instr.encoding = None
+                records_append(InstrRecord(address, size, item.mnemonic,
+                                           item.block_id,
+                                           item.is_inserted_nop, instr))
+                continue
+            ordinal = plan_to_branch[plan_idx]
+            width = widths[ordinal]
+            target_offset = offsets[plan_to_merged[branch_target[ordinal]]]
+            displacement = target_offset - (offsets[merged] + size)
+            instr = Instr(item.mnemonic, Rel(displacement, width),
+                          block_id=item.block_id,
+                          is_inserted_nop=item.is_inserted_nop)
+            instr.size = size
+            records_append(InstrRecord(address, size, item.mnemonic,
+                                       item.block_id, item.is_inserted_nop,
+                                       instr))
+        return records
+
+    def baseline(self):
+        """The undiversified link (the planned unit with zero NOPs)."""
+        return self.apply(self._unit)
+
+    def __repr__(self):
+        return (f"LinkPlan({len(self._items)} items, "
+                f"{len(self._branch_plan)} branches, "
+                f"{len(self._relocs)} relocs, "
+                f"{len(self._label_index)} labels)")
+
+
+def build_link_plan(units, text_base=DEFAULT_TEXT_BASE, data_alignment=16):
+    """Precompute a :class:`LinkPlan` for ``units``.
+
+    The *last* unit is the diversifiable program unit that
+    :meth:`LinkPlan.apply` replaces per variant; all preceding units
+    (the runtime library) are fixed and emitted verbatim.
+    """
+    return LinkPlan(units, text_base, data_alignment)

@@ -232,9 +232,12 @@ def validate_population(build, config, seeds, *, inputs=(), profile=None,
 
     fuel = max(baseline_obs.instr_count * max_step_factor, 100_000)
 
-    # Prebuild the whole population at once so the process-pool and
-    # artifact-cache fast paths apply. A batch failure falls through to
-    # the per-seed builds below, which preserve per-seed error reports.
+    # Prebuild the whole population at once so the shared link plan,
+    # process-pool and artifact-cache fast paths apply — the variants
+    # validated here come off the same incremental-linking path the
+    # benchmarks and security studies use. A batch failure falls through
+    # to the per-seed builds below, which preserve per-seed error
+    # reports.
     prebuilt = {}
     try:
         binaries = build_population(build, config, seeds, profile)

@@ -21,6 +21,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.config import DiversificationConfig
@@ -154,6 +155,13 @@ def cmd_check(args):
         if case.outcome == "untyped":
             print(f"  !! {case.describe()}", file=sys.stderr)
 
+    from repro.artifacts import cache_stats
+    stats = cache_stats()
+    print(f"\nartifact cache: {stats['hits']} hits, "
+          f"{stats['misses']} misses, {stats['puts']} puts"
+          + ("" if os.environ.get("REPRO_CACHE_DIR")
+             else " (REPRO_CACHE_DIR unset: caching disabled)"))
+
     if args.json_output:
         import json
         payload = {
@@ -163,6 +171,7 @@ def cmd_check(args):
                                       for r in results.values()),
             "divergences": divergences,
             "campaign": summary,
+            "artifact_cache": stats,
         }
         with open(args.json_output, "w") as handle:
             json.dump(payload, handle, indent=2)

@@ -26,6 +26,9 @@ from __future__ import annotations
 from repro.backend.objfile import FunctionCode, ObjectUnit
 from repro.x86.instructions import Instr
 
+#: Sentinel distinct from any block id (including ``None``).
+_UNSET = object()
+
 
 def insert_nops(function_code, candidates, rng, probability_for_block):
     """Diversify one function; returns a new :class:`FunctionCode`.
@@ -43,14 +46,21 @@ def insert_nops(function_code, candidates, rng, probability_for_block):
     append = new_items.append
     roll_once = rng.random
     pick_index = rng.randrange
+    # Consecutive instructions almost always share a block, so the
+    # policy is consulted once per block run, not once per instruction.
+    last_block = last_p = _UNSET
     for item in function_code.items:
         if isinstance(item, Instr):
-            p_nop = probability_for_block(item.block_id)
+            block_id = item.block_id
+            if block_id != last_block:
+                last_p = probability_for_block(block_id)
+                last_block = block_id
+            p_nop = last_p
             roll = roll_once()
             if roll < p_nop:
                 nop_index = pick_index(candidate_count)
                 nop = candidates[nop_index].to_instr()
-                nop.block_id = item.block_id
+                nop.block_id = block_id
                 append(nop)
         append(item)
     return FunctionCode(function_code.name, new_items,

@@ -38,8 +38,16 @@ def block_probability_function(config, profile=None):
     max_count = profile.max_block_count
     block_counts = profile.block_counts
     edge_counts = profile.edge_counts
+    probability = model.probability
+    # Every instruction of a block asks for the same block_id, so the
+    # model's (log-scaled) probability is memoized per block for the
+    # policy's lifetime — one diversification pass.
+    memo = {}
 
     def profile_policy(block_id):
+        cached = memo.get(block_id)
+        if cached is not None:
+            return cached
         if block_id is None:
             count = 0
         elif block_id[0] == "edge":
@@ -47,6 +55,7 @@ def block_probability_function(config, profile=None):
             count = edge_counts.get((function, source, target), 0)
         else:
             count = block_counts.get(block_id, 0)
-        return model.probability(count, max_count)
+        result = memo[block_id] = probability(count, max_count)
+        return result
 
     return profile_policy

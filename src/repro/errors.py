@@ -102,6 +102,19 @@ class LinkError(ReproError):
     code = "link.failed"
 
 
+class PlanMismatchError(LinkError):
+    """A precomputed link plan does not fit the unit it was applied to.
+
+    Raised by :meth:`repro.backend.linkplan.LinkPlan.apply` when the
+    variant's instruction stream is not "the planned stream plus inserted
+    NOPs" — e.g. a §6 config rewrote encodings, reordered functions, or
+    spliced in new branches. Callers fall back to a full
+    :func:`repro.backend.linker.link`.
+    """
+
+    code = "link.plan_mismatch"
+
+
 class SimulatorError(ReproError):
     """Raised by the x86 simulator on machine faults."""
 

@@ -11,12 +11,24 @@ and caches the expensive stages:
 5. execution (reference interpreter or machine simulator) and analytic
    cycle estimation.
 
+Linking is compile-once / diversify-many: the first link of a build
+compiles a shared :class:`~repro.backend.linkplan.LinkPlan` (non-NOP
+encodings, symbol skeleton, relocation sites, branch-width fixpoint) and
+every subsequent variant pays only NOP insertion + incremental
+relaxation + byte splicing — bit-identical to a full
+:func:`~repro.backend.linker.link` and several times faster.
+``REPRO_LINK_PLAN=0`` disables the plan path (every link goes through
+the full linker).
+
 Population builds (the paper's 25-variant studies) fan out over a
 process pool — :func:`build_population` / ``link_population(workers=N)``
 — and can reuse variants across runs through the content-addressed
-artifact cache in :mod:`repro.artifacts`. A variant is fully determined
-by (source, config, seed, profile), so workers rebuilding from source
-produce bit-identical binaries; ``REPRO_WORKERS`` and
+artifact cache in :mod:`repro.artifacts`. Pool workers receive the
+pickled lowered unit once (an initializer argument, not the source
+text), compile their own link plan once, and then process chunked seed
+batches, consulting the artifact cache inside each chunk. A variant is
+fully determined by (source, config, seed, profile), so every worker
+produces bit-identical binaries; ``REPRO_WORKERS`` and
 ``REPRO_CACHE_DIR`` set the defaults.
 
 This is the module examples and benchmarks program against.
@@ -25,10 +37,14 @@ This is the module examples and benchmarks program against.
 from __future__ import annotations
 
 import os
+import pickle
 
-from repro.artifacts import cache_from_env, variant_key
-from repro.errors import ReproError
+from repro.artifacts import (
+    cache_from_env, record_cache_stats, variant_key,
+)
+from repro.errors import PlanMismatchError, ReproError
 from repro.backend.linker import link
+from repro.backend.linkplan import build_link_plan, plan_compatible
 from repro.backend.lowering import lower_module
 from repro.core.variants import diversify_unit
 from repro.minc.irgen import compile_to_ir
@@ -38,6 +54,11 @@ from repro.runtime.lib import runtime_unit
 from repro.sim.analytic import block_counts_from_profile, estimate_cycles
 from repro.sim.costs import DEFAULT_COST_MODEL
 from repro.sim.machine import run_binary
+
+
+def _plan_enabled():
+    """``REPRO_LINK_PLAN=0`` is the kill switch for incremental linking."""
+    return os.environ.get("REPRO_LINK_PLAN", "1") != "0"
 
 
 def build_ir(source, name="program", opt_level=2):
@@ -55,6 +76,7 @@ class ProgramBuild:
         self.opt_level = opt_level
         self.module = build_ir(source, name, opt_level)
         self.unit = lower_module(self.module, name)
+        self._link_plan = None
         self._profiles = {}
         #: Non-fatal degradations recorded during builds (e.g. a
         #: profile-guided config falling back to uniform insertion).
@@ -82,9 +104,31 @@ class ProgramBuild:
 
     # -- linking ------------------------------------------------------------------
 
+    def link_plan(self):
+        """The memoized :class:`~repro.backend.linkplan.LinkPlan`.
+
+        Compiled on first use and shared by every subsequent baseline and
+        NOP-insertion variant link of this build — the compile-once half
+        of compile-once / diversify-many.
+        """
+        if self._link_plan is None:
+            self._link_plan = build_link_plan([runtime_unit(), self.unit])
+        return self._link_plan
+
     def link_baseline(self):
         """The undiversified binary (runtime objects first, as ld would)."""
+        if _plan_enabled():
+            return self.link_plan().baseline()
         return link([runtime_unit(), self.unit])
+
+    def _link_diversified(self, variant, config):
+        """Link one diversified unit, preferring the incremental plan."""
+        if _plan_enabled() and plan_compatible(config):
+            try:
+                return self.link_plan().apply(variant)
+            except PlanMismatchError:
+                pass  # unexpected stream shape: take the full linker
+        return link([runtime_unit(), variant])
 
     def link_variant(self, config, seed, profile=None, *, fallback=False):
         """One diversified binary for (config, seed, profile).
@@ -101,19 +145,19 @@ class ProgramBuild:
                        f"{config.uniform_fallback().describe()!r}")
             config = config.uniform_fallback()
         variant = diversify_unit(self.unit, config, seed, profile)
-        return link([runtime_unit(), variant])
+        return self._link_diversified(variant, config)
 
     def link_population(self, config, seeds, profile=None, *, fallback=False,
-                        workers=None, cache_dir=None):
+                        workers=None, cache_dir=None, force_pool=False):
         """A population of diversified binaries (the paper uses 25).
 
-        ``workers`` > 1 fans the per-seed builds out over a process pool
+        ``workers`` > 1 fans chunked seed batches out over a process pool
         and ``cache_dir`` (default ``REPRO_CACHE_DIR``) reuses variants
         from the on-disk artifact cache; see :func:`build_population`.
         """
         return build_population(self, config, seeds, profile,
                                 fallback=fallback, workers=workers,
-                                cache_dir=cache_dir)
+                                cache_dir=cache_dir, force_pool=force_pool)
 
     # -- execution -------------------------------------------------------------------
 
@@ -175,11 +219,11 @@ def compile_and_link(source, name="program", opt_level=2):
 
 # -- parallel population builds ------------------------------------------------
 
-#: Per-process memo of ProgramBuild objects, keyed on
-#: (name, source, opt_level). Pool workers receive only the variant
-#: parameters; the expensive front-end/optimizer/lowering stages run once
-#: per worker process no matter how many seeds it is handed.
-_WORKER_BUILDS = {}
+#: Worker-process state installed once by :func:`_population_worker_init`:
+#: the unpickled lowered unit, the (config, profile) pair, the artifact
+#: cache handle, and the link plan compiled from the shipped unit. Every
+#: chunk the worker is handed reuses all of it.
+_WORKER_STATE = {}
 
 
 def default_workers():
@@ -193,45 +237,100 @@ def default_workers():
     return workers
 
 
-def _variant_worker(source, name, opt_level, config, seed, profile_json,
-                    cache_root):
-    """Build (or load from cache) one variant inside a pool worker."""
+def effective_workers(workers, jobs, force_pool=False):
+    """Clamp a requested pool width to something that can actually help.
+
+    A pool wider than the machine's core count only adds pickling and
+    process-start overhead — on a single-core box (the recorded 2.877s
+    vs 0.708s population regression) it turns a parallel build into a
+    strictly slower serial one. ``force_pool=True`` skips the core-count
+    clamp (tests exercising the pool protocol on small machines).
+    """
+    workers = min(workers, jobs)
+    if not force_pool:
+        workers = min(workers, os.cpu_count() or 1)
+    return max(workers, 1)
+
+
+def _population_worker_init(unit_blob, config, profile_json, cache_root,
+                            plan_enabled):
+    """Pool initializer: unpickle the unit and compile the plan once.
+
+    Runs once per worker process. The parent ships the pickled lowered
+    unit — not the source text — so workers skip the front end, the
+    optimizer, and lowering entirely, and the link plan they compile
+    here is shared by every chunk they process.
+    """
     from repro.artifacts import VariantCache
     from repro.profiling.profile_data import ProfileData
 
+    unit = pickle.loads(unit_blob)
     profile = (ProfileData.from_json(profile_json)
                if profile_json is not None else None)
-    cache = VariantCache(cache_root) if cache_root else None
-    if cache is not None:
-        key = variant_key(source, name, opt_level, config, seed, profile)
-        cached = cache.get(key)
-        if cached is not None:
-            return seed, cached
-    build_key = (name, source, opt_level)
-    build = _WORKER_BUILDS.get(build_key)
-    if build is None:
-        build = ProgramBuild(source, name, opt_level)
-        _WORKER_BUILDS.clear()  # one program per worker is the norm
-        _WORKER_BUILDS[build_key] = build
-    binary = build.link_variant(config, seed, profile)
-    if cache is not None:
-        cache.put(key, binary)
-    return seed, binary
+    plan = None
+    if plan_enabled and plan_compatible(config):
+        plan = build_link_plan([runtime_unit(), unit])
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(
+        unit=unit, config=config, profile=profile, plan=plan,
+        cache=VariantCache(cache_root) if cache_root else None)
+
+
+def _population_worker_chunk(jobs):
+    """Build one chunk of ``(seed, cache_key)`` jobs in a pool worker.
+
+    The artifact cache is consulted *inside* the chunk (the parent did
+    not pre-check when a pool is used), so cache hits cost one worker
+    lookup instead of a parent-side deserialize + re-pickle round trip.
+    Returns ``(results, cache_stats_delta)`` where results is a list of
+    ``(seed, binary)`` and the delta is this chunk's (hits, misses,
+    puts) for the parent to fold into the process-wide counters.
+    """
+    state = _WORKER_STATE
+    unit = state["unit"]
+    config = state["config"]
+    profile = state["profile"]
+    plan = state["plan"]
+    cache = state["cache"]
+    before = (cache.hits, cache.misses, cache.puts) if cache else (0, 0, 0)
+    results = []
+    for seed, key in jobs:
+        binary = cache.get(key) if cache is not None and key else None
+        if binary is None:
+            variant = diversify_unit(unit, config, seed, profile)
+            if plan is not None:
+                try:
+                    binary = plan.apply(variant)
+                except PlanMismatchError:
+                    binary = link([runtime_unit(), variant])
+            else:
+                binary = link([runtime_unit(), variant])
+            if cache is not None and key:
+                cache.put(key, binary)
+        results.append((seed, binary))
+    after = (cache.hits, cache.misses, cache.puts) if cache else (0, 0, 0)
+    delta = tuple(now - then for now, then in zip(after, before))
+    return results, delta
 
 
 def build_population(build, config, seeds, profile=None, *, fallback=False,
-                     workers=None, cache_dir=None):
+                     workers=None, cache_dir=None, force_pool=False):
     """Build the variants for ``seeds``, optionally in parallel and cached.
 
     - ``workers`` — process-pool width; ``None`` defers to
-      ``REPRO_WORKERS`` (default 1 = serial in-process). Workers rebuild
-      the program from source (deterministically identical), so only the
-      variant parameters and the resulting binaries cross the process
-      boundary.
+      ``REPRO_WORKERS`` (default 1 = serial in-process), and the result
+      is clamped to the machine's core count (``force_pool=True``
+      disables the clamp, for tests of the pool protocol). Pool workers
+      receive the pickled lowered unit once via the pool initializer,
+      compile the link plan once, and then build chunked seed batches —
+      only seeds, cache keys and the finished binaries cross the process
+      boundary after startup.
     - ``cache_dir`` — root of the content-addressed artifact cache;
       ``None`` defers to ``REPRO_CACHE_DIR`` (unset → no caching).
       Cached binaries are keyed on (source, config, seed, profile), so
-      any run of any process with the same inputs reuses them.
+      any run of any process with the same inputs reuses them. Serial
+      builds consult the cache up front; pool builds consult it inside
+      each worker chunk.
     - ``fallback`` — as in :meth:`ProgramBuild.link_variant`; resolved
       up front (with the per-seed warnings recorded on ``build``) so
       workers never need the degradation logic.
@@ -247,45 +346,87 @@ def build_population(build, config, seeds, profile=None, *, fallback=False,
         config = config.uniform_fallback()
     if workers is None:
         workers = default_workers()
+    workers = effective_workers(workers, len(seeds), force_pool)
     cache = cache_from_env(cache_dir)
+    keys = {}
+    if cache is not None:
+        keys = {seed: variant_key(build.source, build.name, build.opt_level,
+                                  config, seed, profile)
+                for seed in seeds}
 
     results = {}
-    pending = seeds
-    if cache is not None:
-        pending = []
-        for seed in seeds:
-            key = variant_key(build.source, build.name, build.opt_level,
-                              config, seed, profile)
-            cached = cache.get(key)
-            if cached is not None:
-                results[seed] = cached
-            else:
-                pending.append(seed)
+    if workers > 1 and len(seeds) > 1:
+        from concurrent.futures import ProcessPoolExecutor
 
-    if pending:
-        if workers > 1 and len(pending) > 1:
-            from concurrent.futures import ProcessPoolExecutor
-
-            profile_json = (profile.to_json()
-                            if profile is not None else None)
-            cache_root = cache.root if cache is not None else None
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_variant_worker, build.source, build.name,
-                                build.opt_level, config, seed, profile_json,
-                                cache_root)
-                    for seed in pending
-                ]
-                for future in futures:
-                    seed, binary = future.result()
-                    results[seed] = binary
-        else:
-            for seed in pending:
-                binary = build.link_variant(config, seed, profile)
-                if cache is not None:
-                    key = variant_key(build.source, build.name,
-                                      build.opt_level, config, seed, profile)
-                    cache.put(key, binary)
-                results[seed] = binary
+        profile_json = profile.to_json() if profile is not None else None
+        cache_root = cache.root if cache is not None else None
+        unit_blob = pickle.dumps(build.unit,
+                                 protocol=pickle.HIGHEST_PROTOCOL)
+        jobs = [(seed, keys.get(seed)) for seed in seeds]
+        chunks = [jobs[index::workers] for index in range(workers)]
+        with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_population_worker_init,
+                initargs=(unit_blob, config, profile_json, cache_root,
+                          _plan_enabled())) as pool:
+            for chunk_results, delta in pool.map(_population_worker_chunk,
+                                                 chunks):
+                results.update(chunk_results)
+                record_cache_stats(*delta)
+    else:
+        pending = seeds
+        if cache is not None:
+            pending = []
+            for seed in seeds:
+                cached = cache.get(keys[seed])
+                if cached is not None:
+                    results[seed] = cached
+                else:
+                    pending.append(seed)
+        for seed in pending:
+            binary = build.link_variant(config, seed, profile)
+            if cache is not None:
+                cache.put(keys[seed], binary)
+            results[seed] = binary
 
     return [results[seed] for seed in seeds]
+
+
+def map_chunked(fn, items, workers=None, *, force_pool=False):
+    """Run ``fn`` over ``items`` in order, chunk-wise over a process pool.
+
+    ``fn`` takes a *list* of items and returns one result per item, in
+    order (so it can amortize per-call setup — decode caches, plan
+    compilation — across its chunk); it must be picklable (a module-level
+    function or :func:`functools.partial` of one). ``workers`` resolves
+    and clamps exactly as in :func:`build_population`; the serial path
+    (width 1, or a single item) calls ``fn`` in-process.
+
+    This is the population pool machinery with the variant-specific
+    parts stripped out — the security studies fan their per-variant
+    gadget scans out through it.
+    """
+    items = list(items)
+    if not items:
+        return []
+    if workers is None:
+        workers = default_workers()
+    workers = effective_workers(workers, len(items), force_pool)
+    if workers <= 1 or len(items) <= 1:
+        return list(fn(items))
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    chunks = [items[index::workers] for index in range(workers)]
+    results = [None] * len(items)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for start, chunk_results in zip(range(workers),
+                                        pool.map(fn, chunks)):
+            chunk_results = list(chunk_results)
+            if len(chunk_results) != len(chunks[start]):
+                raise ReproError(
+                    f"map_chunked fn returned {len(chunk_results)} "
+                    f"results for a {len(chunks[start])}-item chunk")
+            for position, value in enumerate(chunk_results):
+                results[start + position * workers] = value
+    return results

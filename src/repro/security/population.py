@@ -15,13 +15,36 @@ binary's gadget count.
 from __future__ import annotations
 
 from collections import Counter
+from functools import partial
 
 from repro.security.survivor import gadget_signatures
 
 
-def population_signatures(texts, **kwargs):
-    """Per-variant gadget signature maps for a population of binaries."""
+def _signature_chunk(texts, kwargs):
+    """Scan one chunk of text sections (module-level for pool pickling).
+
+    Gadget scanning decodes every byte offset through the process-global
+    decode memo in :mod:`repro.security.gadgets`; variants of one
+    population share most of their byte windows, so the memo warms on a
+    chunk's first text and the rest of the chunk mostly hits it.
+    """
     return [gadget_signatures(text, **kwargs) for text in texts]
+
+
+def population_signatures(texts, workers=None, *, force_pool=False,
+                          **kwargs):
+    """Per-variant gadget signature maps for a population of binaries.
+
+    The full-byte-offset gadget scan per variant is the Table 2/3 hot
+    loop, so it fans out over the same chunked process pool the
+    population builder uses (``workers=None`` defers to
+    ``REPRO_WORKERS``, clamped to the core count; serial in-process when
+    that resolves to 1). Results are in ``texts`` order either way.
+    """
+    from repro.pipeline import map_chunked
+
+    return map_chunked(partial(_signature_chunk, kwargs=kwargs), texts,
+                       workers=workers, force_pool=force_pool)
 
 
 def population_survival(texts, thresholds=(2, 5, 12), *,

@@ -1,0 +1,184 @@
+"""LinkPlan parity: incremental linking must be bit-exact vs link().
+
+The compile-once / diversify-many contract: for every registered
+workload, both paper config families (uniform and 0-30% profile-guided)
+and several seeds, a variant linked through the precomputed
+:class:`LinkPlan` is byte-identical to the full :func:`link` output —
+text, symbols, data image, ``identity_hash()`` and instruction records.
+Also covers the §6 fallback (plan-incompatible configs), the
+``REPRO_LINK_PLAN=0`` kill switch, plan memoization, and the pickle
+round trip of the lowered unit shipped to pool workers.
+"""
+
+import pickle
+from functools import lru_cache
+
+import pytest
+
+from repro.backend.linker import link
+from repro.backend.linkplan import build_link_plan, plan_compatible
+from repro.core.config import DiversificationConfig
+from repro.core.variants import diversify_unit
+from repro.errors import PlanMismatchError
+from repro.pipeline import ProgramBuild
+from repro.runtime.lib import runtime_unit
+from repro.workloads.registry import get_workload, workload_names
+
+SEEDS = (0, 1, 2)
+
+CONFIGS = {
+    "uniform-50%": DiversificationConfig.uniform(0.50),
+    "0-30%": DiversificationConfig.profile_guided(0.00, 0.30),
+}
+
+
+@lru_cache(maxsize=None)
+def _state(name):
+    """Shared (workload, build, plan) per workload: the expensive part."""
+    workload = get_workload(name)
+    build = ProgramBuild(workload.source, workload.name)
+    plan = build_link_plan([runtime_unit(), build.unit])
+    return workload, build, plan
+
+
+def _profile_for(name, config):
+    workload, build, _plan = _state(name)
+    if not config.requires_profile:
+        return None
+    return build.profile(workload.train_input)
+
+
+def _assert_bit_identical(planned, full):
+    assert planned.text == full.text
+    assert planned.identity_hash() == full.identity_hash()
+    assert planned.text_base == full.text_base
+    assert planned.entry == full.entry
+    assert planned.code_symbols == full.code_symbols
+    assert planned.data_symbols == full.data_symbols
+    assert planned.data_base == full.data_base
+    assert planned.data_end == full.data_end
+    assert planned.data_words == full.data_words
+    assert planned.function_ranges == full.function_ranges
+    planned_records = list(planned.instr_records)
+    full_records = list(full.instr_records)
+    assert len(planned_records) == len(full_records)
+    for ours, theirs in zip(planned_records, full_records):
+        assert ours.address == theirs.address
+        assert ours.size == theirs.size
+        assert ours.mnemonic == theirs.mnemonic
+        assert ours.block_id == theirs.block_id
+        assert ours.is_inserted_nop == theirs.is_inserted_nop
+        assert ours.instr.mnemonic == theirs.instr.mnemonic
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_baseline_parity(name):
+    _workload, build, plan = _state(name)
+    _assert_bit_identical(plan.baseline(),
+                          link([runtime_unit(), build.unit]))
+
+
+@pytest.mark.parametrize("name", workload_names())
+@pytest.mark.parametrize("label", sorted(CONFIGS))
+def test_variant_parity(name, label):
+    _workload, build, plan = _state(name)
+    config = CONFIGS[label]
+    profile = _profile_for(name, config)
+    for seed in SEEDS:
+        variant = diversify_unit(build.unit, config, seed, profile)
+        _assert_bit_identical(plan.apply(variant),
+                              link([runtime_unit(), variant]))
+
+
+def test_xchg_nops_stay_plan_compatible():
+    config = DiversificationConfig.uniform(0.5, include_xchg_nops=True)
+    assert plan_compatible(config)
+    _workload, build, plan = _state("429.mcf")
+    variant = diversify_unit(build.unit, config, seed=3)
+    _assert_bit_identical(plan.apply(variant),
+                          link([runtime_unit(), variant]))
+
+
+class TestSection6Fallback:
+    """§6 configs rewrite the stream: predicted and detected."""
+
+    @pytest.mark.parametrize("knob", ["basic_block_shifting",
+                                      "encoding_substitution",
+                                      "function_reordering"])
+    def test_plan_incompatible(self, knob):
+        config = DiversificationConfig.uniform(0.5, **{knob: True})
+        assert not plan_compatible(config)
+
+    def test_apply_detects_rewritten_stream(self):
+        _workload, build, plan = _state("429.mcf")
+        config = DiversificationConfig.uniform(
+            0.5, encoding_substitution=True)
+        raised = 0
+        for seed in range(5):
+            variant = diversify_unit(build.unit, config, seed)
+            try:
+                plan.apply(variant)
+            except PlanMismatchError:
+                raised += 1
+        assert raised == 5
+
+    def test_pipeline_falls_back_to_full_link(self, monkeypatch):
+        workload = get_workload("429.mcf")
+        config = DiversificationConfig.uniform(
+            0.5, function_reordering=True)
+        build = ProgramBuild(workload.source, workload.name)
+        via_plan_path = build.link_variant(config, seed=2)
+        monkeypatch.setenv("REPRO_LINK_PLAN", "0")
+        full = ProgramBuild(workload.source,
+                            workload.name).link_variant(config, seed=2)
+        assert via_plan_path.text == full.text
+        assert via_plan_path.identity_hash() == full.identity_hash()
+
+
+class TestPipelineIntegration:
+    def test_plan_is_memoized(self):
+        workload = get_workload("470.lbm")
+        build = ProgramBuild(workload.source, workload.name)
+        assert build.link_plan() is build.link_plan()
+
+    def test_kill_switch_disables_plan(self, monkeypatch):
+        workload = get_workload("470.lbm")
+        monkeypatch.setenv("REPRO_LINK_PLAN", "0")
+        build = ProgramBuild(workload.source, workload.name)
+        build.link_baseline()
+        build.link_variant(DiversificationConfig.uniform(0.3), seed=0)
+        assert build._link_plan is None
+
+    def test_baseline_matches_full_link(self):
+        workload = get_workload("470.lbm")
+        build = ProgramBuild(workload.source, workload.name)
+        _assert_bit_identical(build.link_baseline(),
+                              link([runtime_unit(), build.unit]))
+
+
+class TestUnitPickleRoundTrip:
+    """The worker protocol ships pickle.dumps(build.unit)."""
+
+    def test_round_tripped_unit_builds_identical_variants(self):
+        _workload, build, _plan = _state("429.mcf")
+        blob = pickle.dumps(build.unit, protocol=pickle.HIGHEST_PROTOCOL)
+        unit = pickle.loads(blob)
+        assert unit is not build.unit
+        config = DiversificationConfig.uniform(0.5)
+        plan = build_link_plan([runtime_unit(), unit])
+        for seed in SEEDS:
+            variant = diversify_unit(unit, config, seed)
+            original = diversify_unit(build.unit, config, seed)
+            _assert_bit_identical(plan.apply(variant),
+                                  link([runtime_unit(), original]))
+
+    def test_register_interning_survives_pickle(self):
+        _workload, build, _plan = _state("429.mcf")
+        unit = pickle.loads(pickle.dumps(build.unit))
+        from repro.x86.registers import GPR_REGISTERS
+        interned = set(map(id, GPR_REGISTERS))
+        for function_code in unit.functions:
+            for item in function_code.items:
+                for operand in getattr(item, "operands", ()):
+                    if type(operand).__name__ == "Register":
+                        assert id(operand) in interned

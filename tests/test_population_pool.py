@@ -1,0 +1,136 @@
+"""Population pool protocol, artifact-cache counters, map_chunked.
+
+The pool path must be a pure optimization: identical binaries to the
+serial path (the workers diversify and apply a plan compiled from the
+shipped pickled unit), cache hits/misses/puts observable process-wide
+whether they happened in the parent or inside worker chunks, and the
+requested pool width clamped so an over-wide pool can never regress a
+build (the recorded workers=2-on-one-core inversion).
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.artifacts import VariantCache, cache_stats, reset_cache_stats
+from repro.core.config import DiversificationConfig
+from repro.pipeline import (
+    ProgramBuild, build_population, effective_workers, map_chunked,
+)
+from repro.security.population import (
+    population_signatures, population_survival,
+)
+from repro.workloads.registry import get_workload
+
+CONFIG = DiversificationConfig.uniform(0.5)
+
+
+@pytest.fixture(scope="module")
+def build():
+    workload = get_workload("470.lbm")
+    return ProgramBuild(workload.source, workload.name)
+
+
+class TestEffectiveWorkers:
+    def test_clamped_to_cpu_count(self):
+        import os
+        assert effective_workers(64, jobs=64) <= (os.cpu_count() or 1)
+
+    def test_clamped_to_job_count(self):
+        assert effective_workers(8, jobs=3, force_pool=True) == 3
+
+    def test_force_pool_skips_core_clamp(self):
+        assert effective_workers(2, jobs=10, force_pool=True) == 2
+
+    def test_at_least_one(self):
+        assert effective_workers(0, jobs=0) == 1
+
+
+class TestPoolParity:
+    def test_pool_matches_serial(self, build):
+        seeds = range(5)
+        serial = build_population(build, CONFIG, seeds)
+        pooled = build_population(build, CONFIG, seeds, workers=2,
+                                  force_pool=True)
+        assert [b.identity_hash() for b in serial] == \
+               [b.identity_hash() for b in pooled]
+        assert [b.text for b in serial] == [b.text for b in pooled]
+
+    def test_pool_preserves_seed_order(self, build):
+        seeds = [4, 0, 2]
+        binaries = build_population(build, CONFIG, seeds, workers=2,
+                                    force_pool=True)
+        by_seed = {seed: build.link_variant(CONFIG, seed)
+                   for seed in seeds}
+        assert [b.text for b in binaries] == \
+               [by_seed[seed].text for seed in seeds]
+
+
+class TestCacheCounters:
+    def test_serial_cold_then_warm(self, build, tmp_path):
+        reset_cache_stats()
+        seeds = range(4)
+        build_population(build, CONFIG, seeds, cache_dir=str(tmp_path))
+        assert cache_stats() == {"hits": 0, "misses": 4, "puts": 4}
+        build_population(build, CONFIG, seeds, cache_dir=str(tmp_path))
+        assert cache_stats() == {"hits": 4, "misses": 4, "puts": 4}
+        reset_cache_stats()
+
+    def test_pool_deltas_reach_parent(self, build, tmp_path):
+        reset_cache_stats()
+        seeds = range(4)
+        build_population(build, CONFIG, seeds, cache_dir=str(tmp_path),
+                         workers=2, force_pool=True)
+        assert cache_stats() == {"hits": 0, "misses": 4, "puts": 4}
+        build_population(build, CONFIG, seeds, cache_dir=str(tmp_path),
+                         workers=2, force_pool=True)
+        assert cache_stats() == {"hits": 4, "misses": 4, "puts": 4}
+        reset_cache_stats()
+
+    def test_instance_stats(self, build, tmp_path):
+        cache = VariantCache(str(tmp_path))
+        assert cache.get("00" * 32) is None
+        cache.put("00" * 32, build.link_baseline())
+        assert cache.get("00" * 32) is not None
+        assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1}
+
+
+def _double_chunk(items):
+    return [item * 2 for item in items]
+
+
+class TestMapChunked:
+    def test_serial(self):
+        assert map_chunked(_double_chunk, [1, 2, 3], workers=1) == \
+               [2, 4, 6]
+
+    def test_pool_preserves_order(self):
+        items = list(range(17))
+        assert map_chunked(_double_chunk, items, workers=3,
+                           force_pool=True) == [i * 2 for i in items]
+
+    def test_partial_fn(self):
+        fn = partial(_double_chunk)
+        assert map_chunked(fn, [5], workers=4, force_pool=True) == [10]
+
+    def test_empty(self):
+        assert map_chunked(_double_chunk, [], workers=4) == []
+
+
+class TestPopulationSignatures:
+    def test_parallel_matches_serial(self, build):
+        texts = [binary.text for binary in
+                 build_population(build, CONFIG, range(4))]
+        serial = population_signatures(texts, workers=1)
+        pooled = population_signatures(texts, workers=2, force_pool=True)
+        assert serial == pooled
+        assert len(serial) == len(texts)
+
+    def test_survival_accepts_precomputed(self, build):
+        texts = [binary.text for binary in
+                 build_population(build, CONFIG, range(3))]
+        signatures = population_signatures(texts)
+        direct = population_survival(texts, thresholds=(2,))
+        precomputed = population_survival(texts, thresholds=(2,),
+                                          signatures=signatures)
+        assert direct == precomputed
