@@ -1,13 +1,24 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick check
+.PHONY: test lint verify-smoke bench bench-quick check
 
-# Tier-1: the full pytest suite plus the quick perf gates (mix speedup,
-# population incremental-link speedup, pool-vs-serial wall clock) so a
-# perf regression fails the default flow, not just the full bench.
-test: bench-quick
+# Tier-1: lint, the quick perf gates (mix speedup, population
+# incremental-link speedup, pool-vs-serial wall clock), a static-verify
+# smoke over the representative workload trio, then the full pytest
+# suite — so a taxonomy, perf or verifier regression fails the default
+# flow, not just the full bench.
+test: lint bench-quick verify-smoke
 	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) tools/lint_errors.py
+
+# Static verifier + NOP-transparency smoke: three workloads, both paper
+# configs (no --p/--range = uniform-50% and profile-guided 0-30%).
+verify-smoke:
+	$(PYTHON) -m repro.cli verify 429.mcf 462.libquantum 470.lbm \
+		--variants 2
 
 bench:
 	$(PYTHON) benchmarks/bench_runtime.py

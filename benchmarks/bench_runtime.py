@@ -22,6 +22,11 @@ Measures the two things PR 2 optimized:
    - artifact-cache effectiveness — a cold-then-warm cached build whose
      hit/miss/put counters land in the JSON.
 
+Also records (non-gating) the static verifier's throughput — full
+``verify_binary`` binaries/sec and ``prove_transparency`` proofs/sec
+over the same 25-variant population — so analysis-cost regressions are
+visible in the JSON diff.
+
 Emits ``BENCH_runtime.json`` so future PRs can diff performance the
 same way the table/figure benches diff the paper's numbers, and exits
 nonzero if any gate fails (mix speedup, population speedup, pool
@@ -191,6 +196,44 @@ def measure_population_build(population_size, worker_counts, repeats=5):
     }
 
 
+def measure_static_verify(population_size):
+    """Static-verifier + transparency-proof throughput (non-gating).
+
+    Builds the paper's population once, then times (a) full
+    ``verify_binary`` over baseline + every variant and (b) a
+    ``prove_transparency`` proof per variant. Reported as binaries/sec
+    and proofs/sec so future decoder or absint changes show up as a
+    number, not a feeling; no gate because the verifier is new and its
+    cost envelope is still settling.
+    """
+    from repro.analysis import prove_transparency, verify_population
+
+    workload = get_workload(MIX[0])
+    build = ProgramBuild(workload.source, workload.name)
+    config = DiversificationConfig.profile_guided(0.00, 0.30)
+    profile = build.profile(workload.train_input)
+    seeds = range(population_size)
+    baseline = build.link_baseline()
+    variants = [build.link_variant(config, seed, profile)
+                for seed in seeds]
+    binaries = [baseline] + variants
+
+    verify_seconds = _best_of(
+        1, lambda: verify_population(binaries, workers=1))
+    transparency_seconds = _best_of(
+        1, lambda: [prove_transparency(baseline, variant)
+                    for variant in variants])
+    return {
+        "workload": workload.name,
+        "config": POPULATION_CONFIG,
+        "population_size": population_size,
+        "verify_seconds": round(verify_seconds, 3),
+        "binaries_per_sec": round(len(binaries) / verify_seconds, 2),
+        "transparency_seconds": round(transparency_seconds, 3),
+        "proofs_per_sec": round(len(variants) / transparency_seconds, 2),
+    }
+
+
 def measure_cache(population_size):
     """Cold-then-warm cached build; returns the observed counters."""
     workload = get_workload(MIX[0])
@@ -237,6 +280,8 @@ def main(argv=None):
                                           (1, pool_workers),
                                           repeats=3 if args.quick else 5)
     cache = measure_cache(5 if args.quick else population_size)
+    static_verify = measure_static_verify(8 if args.quick
+                                          else population_size)
 
     failures = []
     if mix["speedup"] < MIN_SPEEDUP:
@@ -258,6 +303,7 @@ def main(argv=None):
         "workloads": per_workload,
         "population_build": population,
         "artifact_cache": cache,
+        "static_verify": static_verify,
         "min_speedup": MIN_SPEEDUP,
         "failures": failures,
         "ok": not failures,
@@ -281,6 +327,10 @@ def main(argv=None):
           + ", ".join(f"{k}: {v}s" for k, v in clocks.items()))
     print(f"artifact cache: cold {cache['cold']}, warm {cache['warm']} "
           f"(warm rebuild: {cache['warm_seconds']}s)")
+    print(f"static verify ({static_verify['population_size']} variants): "
+          f"{static_verify['binaries_per_sec']} binaries/sec, "
+          f"transparency {static_verify['proofs_per_sec']} proofs/sec "
+          f"(non-gating)")
     print(f"wrote {args.output}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -1,0 +1,40 @@
+"""Static analysis over linked machine code.
+
+Independent of the simulator: everything here reasons about the bytes of
+a :class:`~repro.backend.linker.LinkedBinary` (plus its symbol tables)
+and proves properties on *all* paths, not just the ones a workload input
+happens to execute. Three layers:
+
+- :mod:`repro.analysis.cfg` — recursive-descent disassembly into a
+  machine-level control-flow graph;
+- :mod:`repro.analysis.passes` / :mod:`repro.analysis.absint` — the
+  verifier: branch-target, relocation, encoder-agreement, stack-height
+  and def-before-use checks;
+- :mod:`repro.analysis.transparency` — the NOP-transparency proof that a
+  diversified variant is exactly "baseline + Table-1 NOP insertions +
+  recomputed displacements" (the static counterpart of
+  :mod:`repro.check.differential`).
+
+See ``docs/ANALYSIS.md`` for the algorithms and knobs.
+"""
+
+from repro.analysis.cfg import Finding, MachineCFG, recover_cfg
+from repro.analysis.passes import (
+    VerifyReport, require_verified, verify_binary, verify_population,
+)
+from repro.analysis.transparency import (
+    TransparencyReport, prove_transparency, require_transparent,
+)
+
+__all__ = [
+    "Finding",
+    "MachineCFG",
+    "recover_cfg",
+    "VerifyReport",
+    "require_verified",
+    "verify_binary",
+    "verify_population",
+    "TransparencyReport",
+    "prove_transparency",
+    "require_transparent",
+]

@@ -1,0 +1,386 @@
+"""Abstract interpretation over the recovered machine CFG.
+
+Two per-function analyses, both classic forward dataflow to fixpoint on
+the instruction-level graph from :mod:`repro.analysis.cfg`:
+
+- **Stack height** — the abstract state is ``(height, ebp_height)``
+  where ``height`` is the number of bytes pushed since function entry
+  and ``ebp_height`` the height snapshotted by ``mov ebp, esp`` (both
+  ``None`` = unknown). Every ``ret`` must see height 0 (push/pop/ESP
+  adjustments balanced on *all* paths), ``pop`` below the return
+  address and ``add esp`` past the frame are flagged, and memory
+  operands may not address below the current stack pointer (no red
+  zone on IA-32).
+
+- **Def-before-use** — a *must* analysis: the state is the set of
+  registers (plus the ``flags`` pseudo-register) guaranteed written on
+  every path from entry; meet is intersection. Callee-saved registers
+  and the stack pointer hold caller values at entry, so only
+  EAX/ECX/EDX/flags can be caught uninitialized — exactly the scratch
+  state the calling convention leaves undefined. ``mul``/``idiv`` and
+  calls *kill* flags (architecturally undefined afterwards), so a
+  conditional branch consuming stale flags across them is flagged too.
+
+Both run the fixpoint first and emit findings in a single reporting
+sweep afterwards, so each defective site yields exactly one finding.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import Finding
+from repro.x86.instructions import (
+    Imm, JCC_MNEMONICS, Mem, SETCC_MNEMONICS,
+)
+from repro.x86.registers import Register
+
+_ALU_WRITING = ("add", "or", "and", "sub", "xor")
+_SHIFTS = ("rol", "ror", "shl", "shr", "sar")
+
+#: Defined at function entry: the stack pointer, the frame pointer and
+#: the callee-saved registers all hold live caller values.
+ENTRY_DEFINED = frozenset({"esp", "ebp", "ebx", "esi", "edi"})
+
+#: Everything the def-use domain can contain.
+ALL_DEFINABLE = frozenset({"eax", "ecx", "edx", "ebx", "esp", "ebp",
+                           "esi", "edi", "flags"})
+
+
+def _operand_regs(operand):
+    """Register names an operand *reads* (Mem reads base and index)."""
+    if isinstance(operand, Register):
+        return {operand.name}
+    if isinstance(operand, Mem):
+        regs = set()
+        if operand.base is not None:
+            regs.add(operand.base.name)
+        if operand.index is not None:
+            regs.add(operand.index.name)
+        return regs
+    return set()
+
+
+def effects(instr):
+    """(uses, defs, kills) of one instruction over the def-use domain.
+
+    ``defs`` are written with well-defined values; ``kills`` become
+    architecturally undefined (flags after ``mul``/``idiv``, the
+    scratch registers across a call).
+    """
+    mnemonic = instr.mnemonic
+    ops = instr.operands
+    uses, defs, kills = set(), set(), set()
+
+    if mnemonic == "mov":
+        dst, src = ops
+        uses |= _operand_regs(src)
+        if isinstance(dst, Mem):
+            uses |= _operand_regs(dst)
+        else:
+            defs.add(dst.name)
+    elif mnemonic in _ALU_WRITING:
+        dst, src = ops
+        if (mnemonic in ("xor", "sub") and isinstance(dst, Register)
+                and dst is src):
+            defs |= {dst.name, "flags"}  # zeroing idiom: a pure def
+        else:
+            uses |= _operand_regs(dst) | _operand_regs(src)
+            if isinstance(dst, Register):
+                defs.add(dst.name)
+            defs.add("flags")
+    elif mnemonic in ("cmp", "test"):
+        dst, src = ops
+        uses |= _operand_regs(dst) | _operand_regs(src)
+        defs.add("flags")
+    elif mnemonic in _SHIFTS:
+        dst, count = ops
+        uses |= _operand_regs(dst)
+        if isinstance(count, Register):
+            uses.add(count.name)
+        if isinstance(dst, Register):
+            defs.add(dst.name)
+        defs.add("flags")
+    elif mnemonic == "lea":
+        dst, src = ops
+        uses |= _operand_regs(src)
+        defs.add(dst.name)
+    elif mnemonic == "xchg":
+        dst, src = ops
+        uses |= _operand_regs(dst) | _operand_regs(src)
+        if isinstance(dst, Register):
+            defs.add(dst.name)
+        defs.add(src.name)
+    elif mnemonic == "push":
+        uses |= _operand_regs(ops[0])
+    elif mnemonic == "pop":
+        if isinstance(ops[0], Register):
+            defs.add(ops[0].name)
+        else:
+            uses |= _operand_regs(ops[0])
+    elif mnemonic in ("inc", "dec", "neg"):
+        uses |= _operand_regs(ops[0])
+        if isinstance(ops[0], Register):
+            defs.add(ops[0].name)
+        defs.add("flags")
+    elif mnemonic == "not":
+        uses |= _operand_regs(ops[0])
+        if isinstance(ops[0], Register):
+            defs.add(ops[0].name)
+    elif mnemonic == "imul":
+        if len(ops) == 2:
+            uses |= _operand_regs(ops[0]) | _operand_regs(ops[1])
+        else:
+            uses |= _operand_regs(ops[1])
+        defs |= {ops[0].name, "flags"}
+    elif mnemonic == "mul":
+        uses |= {"eax"} | _operand_regs(ops[0])
+        defs |= {"eax", "edx"}
+        kills.add("flags")
+    elif mnemonic == "idiv":
+        uses |= {"eax", "edx"} | _operand_regs(ops[0])
+        defs |= {"eax", "edx"}
+        kills.add("flags")
+    elif mnemonic == "cdq":
+        uses.add("eax")
+        defs.add("edx")
+    elif mnemonic in SETCC_MNEMONICS:
+        uses.add("flags")
+        # setcc writes only the low byte; the other 24 bits flow through.
+        uses |= _operand_regs(ops[0])
+        if isinstance(ops[0], Register):
+            defs.add(ops[0].name)
+    elif mnemonic in JCC_MNEMONICS:
+        uses.add("flags")
+    elif mnemonic in ("call", "call_reg"):
+        if mnemonic == "call_reg":
+            uses |= _operand_regs(ops[0])
+        defs.add("eax")  # the return-value register
+        kills |= {"ecx", "edx", "flags"}  # caller-saved scratch
+    elif mnemonic == "int":
+        # Our syscall ABI: number in EAX, argument in EBX, result in EAX;
+        # the machine preserves everything else including flags.
+        uses |= {"eax", "ebx"}
+        defs.add("eax")
+    # jmp, jmp_reg (operand read below), ret, nop, hlt: nothing extra.
+    if mnemonic == "jmp_reg":
+        uses |= _operand_regs(ops[0])
+
+    return uses, defs, kills
+
+
+# ---------------------------------------------------------------------------
+# Stack-height analysis
+# ---------------------------------------------------------------------------
+
+def _is_reg(operand, name):
+    return isinstance(operand, Register) and operand.name == name
+
+
+def _stack_transfer(instr, height, ebp):
+    """Abstract post-state of one instruction; ``None`` components are
+    unknown (TOP)."""
+    mnemonic = instr.mnemonic
+    ops = instr.operands
+
+    if mnemonic == "push":
+        return (None if height is None else height + 4), ebp
+    if mnemonic == "pop":
+        new_height = None if height is None else height - 4
+        op = ops[0]
+        if _is_reg(op, "esp"):
+            return None, ebp
+        if _is_reg(op, "ebp"):
+            return new_height, None  # caller's EBP restored
+        return new_height, ebp
+    if mnemonic in ("sub", "add") and _is_reg(ops[0], "esp"):
+        if not isinstance(ops[1], Imm) or height is None:
+            return None, ebp
+        delta = ops[1].value if mnemonic == "sub" else -ops[1].value
+        return height + delta, ebp
+    if mnemonic == "mov":
+        dst, src = ops
+        if _is_reg(dst, "esp"):
+            if _is_reg(src, "esp"):
+                return height, ebp  # Table-1 NOP
+            if _is_reg(src, "ebp"):
+                return ebp, ebp
+            return None, ebp
+        if _is_reg(dst, "ebp"):
+            if _is_reg(src, "ebp"):
+                return height, ebp  # Table-1 NOP
+            if _is_reg(src, "esp"):
+                return height, height
+            return height, None
+        return height, ebp
+    if mnemonic == "xchg":
+        dst, src = ops
+        if isinstance(dst, Register) and dst is src:
+            return height, ebp  # Table-1 NOP
+        touched = {op.name for op in ops if isinstance(op, Register)}
+        return (None if "esp" in touched else height,
+                None if "ebp" in touched else ebp)
+    if mnemonic in ("call", "call_reg", "int"):
+        return height, ebp  # callee balances; verified per callee
+
+    # Any other write to ESP/EBP loses tracking.
+    _uses, defs, _kills = effects(instr)
+    if "esp" in defs:
+        height = None
+    if "ebp" in defs:
+        ebp = None
+    return height, ebp
+
+
+def _stack_checks(instr, height, ebp, address, function):
+    """Findings triggered by executing ``instr`` in state (height, ebp)."""
+    findings = []
+    mnemonic = instr.mnemonic
+
+    for operand in instr.operands:
+        if not isinstance(operand, Mem):
+            continue
+        if operand.base is not None and operand.base.name == "esp":
+            if operand.disp < 0:
+                findings.append(Finding(
+                    "verify.stack",
+                    f"memory access below the stack pointer: {operand!r}",
+                    address=address, function=function))
+        elif (operand.base is not None and operand.base.name == "ebp"
+              and ebp is not None and height is not None
+              and operand.disp < ebp - height):
+            findings.append(Finding(
+                "verify.stack",
+                f"frame access below the allocated frame: {operand!r} "
+                f"(frame bottom is ebp{ebp - height:+d})",
+                address=address, function=function))
+
+    if mnemonic == "pop" and height is not None and height < 4:
+        findings.append(Finding(
+            "verify.stack",
+            f"pop at stack height {height} would consume the return "
+            f"address", address=address, function=function))
+    if (mnemonic == "add" and _is_reg(instr.operands[0], "esp")
+            and isinstance(instr.operands[1], Imm) and height is not None
+            and height - instr.operands[1].value < 0):
+        findings.append(Finding(
+            "verify.stack",
+            f"add esp, {instr.operands[1].value} at height {height} "
+            f"releases more stack than the function owns",
+            address=address, function=function))
+    if mnemonic == "ret":
+        if height is None:
+            findings.append(Finding(
+                "verify.stack", "stack height unknown at ret",
+                address=address, function=function))
+        elif height != 0:
+            findings.append(Finding(
+                "verify.stack",
+                f"stack height {height} != 0 at ret: pushes and pops "
+                f"are unbalanced on some path", address=address,
+                function=function))
+    return findings
+
+
+def _join_heights(first, second):
+    """Join two (height, ebp) states; returns (state, conflicted)."""
+    conflict = False
+    height_a, ebp_a = first
+    height_b, ebp_b = second
+    if height_a is None or height_b is None:
+        height = None
+    elif height_a != height_b:
+        height, conflict = None, True
+    else:
+        height = height_a
+    if ebp_a is None or ebp_b is None:
+        ebp = None
+    elif ebp_a != ebp_b:
+        ebp, conflict = None, True
+    else:
+        ebp = ebp_a
+    return (height, ebp), conflict
+
+
+def analyze_stack(cfg, function):
+    """Stack-height findings for one function of the recovered CFG."""
+    start, end = cfg.binary.function_ranges[function]
+    addresses = cfg.function_addresses(function)
+    if not addresses or start not in cfg.instrs:
+        return []
+
+    in_states = {start: (0, None)}
+    conflicts = set()
+    worklist = [start]
+    while worklist:
+        address = worklist.pop()
+        instr = cfg.instrs[address]
+        height, ebp = _stack_transfer(instr, *in_states[address])
+        for successor in cfg.intra_successors(address, start, end):
+            previous = in_states.get(successor)
+            if previous is None:
+                in_states[successor] = (height, ebp)
+                worklist.append(successor)
+                continue
+            joined, conflict = _join_heights(previous, (height, ebp))
+            if conflict:
+                conflicts.add(successor)
+            if joined != previous:
+                in_states[successor] = joined
+                worklist.append(successor)
+
+    findings = []
+    for address in addresses:
+        if address not in in_states:
+            continue  # unreachable from the function entry
+        height, ebp = in_states[address]
+        findings.extend(_stack_checks(cfg.instrs[address], height, ebp,
+                                      address, function))
+    for address in sorted(conflicts):
+        findings.append(Finding(
+            "verify.stack",
+            "joining paths disagree on the stack height",
+            address=address, function=function))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Def-before-use analysis
+# ---------------------------------------------------------------------------
+
+def analyze_defuse(cfg, function):
+    """Def-before-use findings for one function of the recovered CFG."""
+    start, end = cfg.binary.function_ranges[function]
+    addresses = cfg.function_addresses(function)
+    if not addresses or start not in cfg.instrs:
+        return []
+
+    in_states = {start: ENTRY_DEFINED}
+    worklist = [start]
+    while worklist:
+        address = worklist.pop()
+        _uses, defs, kills = effects(cfg.instrs[address])
+        out_state = (in_states[address] | defs) - kills
+        for successor in cfg.intra_successors(address, start, end):
+            previous = in_states.get(successor)
+            if previous is None:
+                in_states[successor] = out_state
+                worklist.append(successor)
+            else:
+                met = previous & out_state  # must-defined: intersection
+                if met != previous:
+                    in_states[successor] = met
+                    worklist.append(successor)
+
+    findings = []
+    for address in addresses:
+        defined = in_states.get(address)
+        if defined is None:
+            continue
+        uses, _defs, _kills = effects(cfg.instrs[address])
+        for name in sorted(uses - defined):
+            what = "flags" if name == "flags" else f"register {name}"
+            findings.append(Finding(
+                "verify.defuse",
+                f"{what} read before any definition on some path "
+                f"({cfg.instrs[address]!r})",
+                address=address, function=function))
+    return findings

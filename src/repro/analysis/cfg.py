@@ -1,0 +1,248 @@
+"""Machine-level CFG recovery by recursive-descent disassembly.
+
+:func:`recover_cfg` decodes a :class:`~repro.backend.linker.LinkedBinary`
+from its entry point and every code symbol, following fallthrough,
+branch and call edges until no new instruction boundary appears. The
+result is ground truth *reconstructed from the bytes alone* — the
+linker's ``instr_records`` are never consulted — which is what lets the
+verifier passes cross-check the emitted image against what the linker
+claims it emitted, and lets the gadget scanner separate
+intended-boundary gadgets from unintended-offset ones.
+
+Recovery itself reports three structural defects as findings:
+
+- ``verify.decode`` — reachable bytes that do not decode;
+- ``verify.target`` — a branch/call/fallthrough target that is not a
+  recovered instruction boundary inside ``.text``;
+- ``verify.overlap`` — two recovered instructions sharing bytes (the
+  signature of a displacement landing mid-instruction).
+
+Unreachable byte spans are accounted but not flagged here; the verifier
+decides whether they are acceptable (our linker emits none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DecodingError, StaticAnalysisError
+from repro.x86.decoder import decode
+from repro.x86.instructions import JCC_MNEMONICS
+
+#: Edge kinds on the recovered graph.
+EDGE_FALLTHROUGH = "fallthrough"
+EDGE_BRANCH = "branch"
+EDGE_CALL = "call"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verifier defect, with a stable code from
+    :data:`repro.errors.VERIFY_FINDING_CODES`."""
+
+    code: str
+    message: str
+    address: int | None = None
+    function: str | None = None
+
+    def describe(self):
+        where = f" at {self.address:#x}" if self.address is not None else ""
+        who = f" in {self.function}" if self.function else ""
+        return f"[{self.code}] {self.message}{where}{who}"
+
+
+@dataclass
+class MachineCFG:
+    """The recovered instruction-level control-flow graph."""
+
+    binary: object
+    #: address -> decoded Instr (with ``size`` and ``encoding`` set).
+    instrs: dict
+    #: address -> tuple of (edge kind, target address).
+    successors: dict
+    #: recovery roots actually inside ``.text`` (entry + code symbols).
+    roots: tuple
+    #: structural defects found during recovery.
+    findings: list
+    #: sorted instruction boundaries.
+    addresses: tuple = ()
+    #: maximal (start, end) address spans of bytes no root reaches.
+    unreachable_spans: list = field(default_factory=list)
+
+    @property
+    def boundaries(self):
+        """Recovered instruction-start addresses as a set."""
+        return self.instrs.keys()
+
+    @property
+    def unreachable_bytes(self):
+        return sum(end - start for start, end in self.unreachable_spans)
+
+    def intra_successors(self, address, start, end):
+        """Successor addresses staying within [start, end), calls skipped.
+
+        A ``call`` contributes only its fallthrough edge here — the
+        callee is analyzed as its own function, and the per-function
+        abstract interpretation assumes (and separately verifies) that
+        every callee balances the stack.
+        """
+        out = []
+        for kind, target in self.successors.get(address, ()):
+            if kind == EDGE_CALL:
+                continue
+            if start <= target < end and target in self.instrs:
+                out.append(target)
+        return out
+
+    def function_addresses(self, name):
+        """Sorted instruction boundaries inside one linked function."""
+        ranges = self.binary.function_ranges
+        if name not in ranges:
+            raise StaticAnalysisError(f"unknown function {name!r}",
+                                      context={"function": name})
+        start, end = ranges[name]
+        return [a for a in self.addresses if start <= a < end]
+
+    def basic_blocks(self):
+        """Leader-based basic blocks as (start, end_address) pairs."""
+        leaders = set(self.roots)
+        for address, edges in self.successors.items():
+            instr = self.instrs[address]
+            for kind, target in edges:
+                if kind == EDGE_BRANCH and target in self.instrs:
+                    leaders.add(target)
+            if instr.is_control_flow:
+                following = address + instr.size
+                if following in self.instrs:
+                    leaders.add(following)
+        blocks = []
+        ordered = sorted(leaders & set(self.addresses))
+        leader_set = set(ordered)
+        for start in ordered:
+            position = start
+            while True:
+                instr = self.instrs[position]
+                position += instr.size
+                if (instr.is_control_flow or position not in self.instrs
+                        or position in leader_set):
+                    break
+            blocks.append((start, position))
+        return blocks
+
+
+def _edges(instr, address):
+    """Outgoing (kind, target) edges of one decoded instruction."""
+    following = address + instr.size
+    mnemonic = instr.mnemonic
+    if mnemonic in ("ret", "hlt", "jmp_reg"):
+        return ()
+    if mnemonic == "jmp":
+        return ((EDGE_BRANCH, following + instr.operands[0].value),)
+    if mnemonic == "call":
+        return ((EDGE_CALL, following + instr.operands[0].value),
+                (EDGE_FALLTHROUGH, following))
+    if mnemonic in JCC_MNEMONICS:
+        return ((EDGE_BRANCH, following + instr.operands[0].value),
+                (EDGE_FALLTHROUGH, following))
+    # call_reg, int and every ordinary instruction fall through.
+    return ((EDGE_FALLTHROUGH, following),)
+
+
+def recover_cfg(binary, roots=None):
+    """Recursive-descent disassembly of ``binary`` into a
+    :class:`MachineCFG`.
+
+    ``roots`` defaults to the entry point plus every code symbol, so
+    every function and every labeled block start is reached even when
+    it is only the target of an indirect transfer. Decoding failures
+    and bad targets become findings, never exceptions — the caller gets
+    the best graph recoverable from the bytes.
+    """
+    text = binary.text
+    base = binary.text_base
+    end = binary.text_end
+    if roots is None:
+        roots = {binary.entry} | set(binary.code_symbols.values())
+    findings = []
+    in_text = []
+    for root in sorted(set(roots)):
+        if base <= root < end:
+            in_text.append(root)
+        elif root != end:  # a trailing empty label is degenerate, not bad
+            findings.append(Finding(
+                "verify.target", f"recovery root outside .text "
+                f"[{base:#x}, {end:#x})", address=root))
+
+    instrs = {}
+    successors = {}
+    failed = set()
+    worklist = list(in_text)
+    while worklist:
+        address = worklist.pop()
+        if address in instrs or address in failed:
+            continue
+        try:
+            instr = decode(text, address - base)
+        except DecodingError as exc:
+            failed.add(address)
+            findings.append(Finding("verify.decode",
+                                    f"reachable bytes do not decode: {exc}",
+                                    address=address))
+            continue
+        instrs[address] = instr
+        edges = _edges(instr, address)
+        successors[address] = edges
+        for _kind, target in edges:
+            if base <= target < end:
+                if target not in instrs and target not in failed:
+                    worklist.append(target)
+            # out-of-text targets are flagged in the sweep below
+
+    # Every edge must land on a recovered boundary inside .text. Targets
+    # whose decode already failed carry a verify.decode finding; don't
+    # double-report those.
+    for address, edges in sorted(successors.items()):
+        for kind, target in edges:
+            if target in instrs or target in failed:
+                continue
+            findings.append(Finding(
+                "verify.target",
+                f"{kind} edge from {address:#x} targets {target:#x}, "
+                f"which is not an instruction boundary in .text",
+                address=address))
+
+    addresses = tuple(sorted(instrs))
+
+    # Overlap: consecutive boundaries closer together than the first
+    # instruction is long share bytes — a displacement landed inside
+    # another instruction's encoding.
+    for first, second in zip(addresses, addresses[1:]):
+        if first + instrs[first].size > second:
+            findings.append(Finding(
+                "verify.overlap",
+                f"instruction at {first:#x} "
+                f"({instrs[first].size} bytes) overlaps the boundary "
+                f"at {second:#x}",
+                address=second))
+
+    # Unreachable accounting: bytes of .text covered by no recovered
+    # instruction.
+    covered = bytearray(len(text))
+    for address, instr in instrs.items():
+        start = address - base
+        covered[start:start + instr.size] = b"\x01" * instr.size
+    unreachable_spans = []
+    span_start = None
+    for offset, flag in enumerate(covered):
+        if not flag and span_start is None:
+            span_start = offset
+        elif flag and span_start is not None:
+            unreachable_spans.append((base + span_start, base + offset))
+            span_start = None
+    if span_start is not None:
+        unreachable_spans.append((base + span_start, base + len(text)))
+
+    return MachineCFG(binary=binary, instrs=instrs, successors=successors,
+                      roots=tuple(in_text), findings=findings,
+                      addresses=addresses,
+                      unreachable_spans=unreachable_spans)

@@ -1,0 +1,197 @@
+"""The static verifier: a pass pipeline over one linked binary.
+
+:func:`verify_binary` recovers the machine CFG and runs five passes,
+each reporting :class:`~repro.analysis.cfg.Finding` objects with stable
+codes (see :data:`repro.errors.VERIFY_FINDING_CODES`):
+
+``cfg``        decode/target/overlap defects from recovery, plus
+               ``verify.unreachable`` if any .text byte is reached by
+               no root (our linker emits none).
+``reloc``      every absolute disp32 a memory operand carries points
+               into the data segment ``[data_base, data_end)``, word
+               aligned — never into .text (W^X) or out of bounds.
+``roundtrip``  re-encoding each decoded instruction reproduces the
+               original bytes (decoder/encoder agreement on the whole
+               image; the dual ModRM direction is tried before
+               flagging).
+``stack``      per-function stack-height abstract interpretation
+               (:func:`repro.analysis.absint.analyze_stack`).
+``defuse``     per-function def-before-use dataflow
+               (:func:`repro.analysis.absint.analyze_defuse`).
+
+:func:`verify_population` fans a batch of binaries out over the same
+worker pool the population builds use; :func:`require_verified` turns
+findings into a raised :class:`~repro.errors.VerificationError` for the
+pipeline's post-link gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.absint import analyze_defuse, analyze_stack
+from repro.analysis.cfg import Finding, recover_cfg
+from repro.errors import EncodingError, VerificationError
+from repro.x86.encoder import encode
+from repro.x86.instructions import Instr, Mem
+
+#: Pass names in execution order.
+ALL_PASSES = ("cfg", "reloc", "roundtrip", "stack", "defuse")
+
+
+@dataclass
+class VerifyReport:
+    """Findings and statistics from verifying one binary."""
+
+    name: str
+    findings: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        return not self.findings
+
+    def by_code(self):
+        counts = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return counts
+
+    def describe(self):
+        status = "ok" if self.ok else f"{len(self.findings)} finding(s)"
+        return f"{self.name}: {status}"
+
+
+def _check_reloc(cfg, binary):
+    """Relocated disp32 fields must address the data segment."""
+    findings = []
+    for address, instr in sorted(cfg.instrs.items()):
+        for operand in instr.operands:
+            if not isinstance(operand, Mem):
+                continue
+            absolute = operand.base is None and operand.index is None
+            if not absolute and operand.disp < binary.text_base:
+                continue  # small frame/pointer displacement, not a reloc
+            disp = operand.disp
+            if not binary.data_base <= disp < binary.data_end:
+                findings.append(Finding(
+                    "verify.reloc",
+                    f"disp32 {disp:#x} outside the data segment "
+                    f"[{binary.data_base:#x}, {binary.data_end:#x})",
+                    address=address))
+            elif disp % 4:
+                findings.append(Finding(
+                    "verify.reloc",
+                    f"disp32 {disp:#x} is not word aligned",
+                    address=address))
+    return findings
+
+
+def _check_roundtrip(cfg):
+    """Re-encoding every decoded instruction must reproduce its bytes."""
+    findings = []
+    for address, instr in sorted(cfg.instrs.items()):
+        original = instr.encoding
+        try:
+            produced = encode(instr)
+            if produced != original:
+                alternate = Instr(instr.mnemonic, *instr.operands,
+                                  alternate_encoding=True)
+                produced = encode(alternate)
+        except EncodingError as exc:
+            findings.append(Finding(
+                "verify.roundtrip",
+                f"decoded instruction cannot be re-encoded: {exc}",
+                address=address))
+            continue
+        if produced != original:
+            findings.append(Finding(
+                "verify.roundtrip",
+                f"re-encoding {instr!r} gives "
+                f"{produced.hex()} != {bytes(original).hex()}",
+                address=address))
+    return findings
+
+
+def verify_binary(binary, *, name=None, passes=None):
+    """Run the verifier passes; returns a :class:`VerifyReport`.
+
+    ``passes`` selects a subset of :data:`ALL_PASSES` (default: all).
+    The report never references the binary, so it pickles cheaply
+    across the population worker pool.
+    """
+    selected = ALL_PASSES if passes is None else tuple(passes)
+    report = VerifyReport(name=name or f"binary@{binary.text_base:#x}")
+    cfg = recover_cfg(binary)
+
+    if "cfg" in selected:
+        report.findings.extend(cfg.findings)
+        if cfg.unreachable_bytes:
+            spans = ", ".join(f"[{start:#x}, {end:#x})"
+                              for start, end in cfg.unreachable_spans[:4])
+            report.findings.append(Finding(
+                "verify.unreachable",
+                f"{cfg.unreachable_bytes} .text byte(s) reached by no "
+                f"recovery root: {spans}"))
+    if "reloc" in selected:
+        report.findings.extend(_check_reloc(cfg, binary))
+    if "roundtrip" in selected:
+        report.findings.extend(_check_roundtrip(cfg))
+    if "stack" in selected or "defuse" in selected:
+        for function in sorted(binary.function_ranges):
+            if "stack" in selected:
+                report.findings.extend(analyze_stack(cfg, function))
+            if "defuse" in selected:
+                report.findings.extend(analyze_defuse(cfg, function))
+
+    report.stats = {
+        "instructions": len(cfg.instrs),
+        "text_bytes": len(binary.text),
+        "functions": len(binary.function_ranges),
+        "basic_blocks": len(cfg.basic_blocks()),
+        "unreachable_bytes": cfg.unreachable_bytes,
+        "findings_by_code": report.by_code(),
+    }
+    return report
+
+
+def require_verified(binary, *, name=None, passes=None):
+    """Verify and raise :class:`~repro.errors.VerificationError` on any
+    finding; returns the passing report otherwise."""
+    report = verify_binary(binary, name=name, passes=passes)
+    if not report.ok:
+        raise VerificationError(
+            f"static verification of {report.name} failed with "
+            f"{len(report.findings)} finding(s)",
+            context={
+                "name": report.name,
+                "findings": [f.describe() for f in report.findings[:20]],
+                "by_code": report.by_code(),
+            })
+    return report
+
+
+def _verify_chunk(items):
+    """Worker-pool chunk function: ``items`` is a list of
+    ``(name, binary)`` pairs; returns one report per pair, in order."""
+    return [verify_binary(binary, name=name) for name, binary in items]
+
+
+def verify_population(binaries, *, names=None, workers=None,
+                      force_pool=False):
+    """Verify a batch of binaries, optionally over the worker pool.
+
+    ``binaries`` is a sequence of :class:`LinkedBinary`; ``names`` an
+    optional parallel sequence of report names. ``workers`` resolves
+    exactly as in :func:`repro.pipeline.build_population` (default
+    ``REPRO_WORKERS``); the serial path never pickles anything.
+    Returns reports in input order.
+    """
+    from repro.pipeline import map_chunked  # lazy: avoid an import cycle
+
+    binaries = list(binaries)
+    if names is None:
+        names = [f"binary[{index}]" for index in range(len(binaries))]
+    items = list(zip(names, binaries))
+    return map_chunked(_verify_chunk, items, workers=workers,
+                       force_pool=force_pool)

@@ -1,0 +1,341 @@
+"""Statically prove a variant is "baseline + NOPs + recomputed offsets".
+
+The paper's transformation inserts Table-1 NOPs into the instruction
+stream before linking; the linker then re-resolves every branch
+displacement and data address around the inserted bytes. So a genuine
+variant differs from its baseline in *exactly* three ways:
+
+1. inserted instructions whose bytes are Table-1 NOP encodings
+   (:mod:`repro.x86.nops`);
+2. relative branch displacements recomputed so that every (baseline
+   target, variant target) pair is the same *label* in both symbol
+   tables — equivalently, the variant target is where the baseline
+   target's code moved to;
+3. absolute data displacements shifted by the data-segment delta
+   (the variant's longer .text pushes ``data_base`` up).
+
+:func:`prove_transparency` checks this two independent ways and
+cross-checks them:
+
+- **record mode** uses the linker's ``instr_records`` — the variant's
+  non-NOP record sequence must pair 1:1 with baseline's (same mnemonic,
+  same originating block), every inserted-NOP record's text bytes must
+  be a Table-1 encoding, and every record's bytes must match the image
+  (so corrupted text with stale records cannot pass);
+- **byte mode** ignores all metadata and aligns the two raw byte
+  streams with a two-pointer walk, consuming unmatched variant bytes
+  only when they are Table-1 NOP encodings.
+
+This is the static counterpart of :mod:`repro.check.differential`: it
+covers all paths with no simulation, and unlike the dynamic check it
+proves the *only* difference is the diversifying transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import Finding
+from repro.errors import DecodingError, EncodingError, TransparencyError
+from repro.x86.decoder import decode
+from repro.x86.encoder import encode
+from repro.x86.instructions import Imm, Mem, Rel
+from repro.x86.nops import match_nop_candidate
+from repro.x86.registers import Register
+
+
+@dataclass
+class TransparencyReport:
+    """Findings and statistics from one baseline/variant proof."""
+
+    baseline_name: str
+    variant_name: str
+    findings: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        return not self.findings
+
+    def describe(self):
+        status = ("transparent"
+                  if self.ok else f"{len(self.findings)} finding(s)")
+        return (f"{self.variant_name} vs {self.baseline_name}: {status}, "
+                f"{self.stats.get('inserted_nops', 0)} inserted NOP(s)")
+
+
+def _operands_match(b_instr, v_instr, delta, data_floor):
+    """Non-branch operand agreement: identical, except data disp32s
+    shifted by the segment delta."""
+    if len(b_instr.operands) != len(v_instr.operands):
+        return False
+    for b_op, v_op in zip(b_instr.operands, v_instr.operands):
+        if isinstance(b_op, Mem) and isinstance(v_op, Mem):
+            if (b_op.base is not v_op.base or b_op.index is not v_op.index
+                    or b_op.scale != v_op.scale):
+                return False
+            if b_op.disp >= data_floor:
+                if v_op.disp - b_op.disp != delta:
+                    return False
+            elif v_op.disp != b_op.disp:
+                return False
+        elif isinstance(b_op, (Imm, Register)):
+            if b_op != v_op:
+                return False
+        elif isinstance(b_op, Rel):
+            return False  # branches are matched by target, not here
+        else:
+            return False
+    return True
+
+
+def _slice_of(binary, record):
+    offset = record.address - binary.text_base
+    return binary.text[offset:offset + record.size]
+
+
+def _check_records(baseline, variant, findings):
+    """Record mode: align via the linker's instruction records."""
+    delta = variant.data_base - baseline.data_base
+    data_floor = baseline.data_base
+
+    # The image must match the records byte for byte, or the records
+    # prove nothing about the shipped text. Incremental-plan links leave
+    # branch records' encodings lazy, so re-encode from the resolved
+    # operands when needed.
+    for binary, label in ((baseline, "baseline"), (variant, "variant")):
+        for record in binary.instr_records:
+            expected = record.instr.encoding
+            if expected is None:
+                try:
+                    expected = encode(record.instr)
+                except EncodingError:
+                    expected = None
+            if _slice_of(binary, record) != expected:
+                findings.append(Finding(
+                    "verify.transparency.stream",
+                    f"{label} text bytes disagree with the instruction "
+                    f"record ({record.mnemonic})", address=record.address))
+                return 0
+
+    inserted = [r for r in variant.instr_records if r.is_inserted_nop]
+    carried = [r for r in variant.instr_records if not r.is_inserted_nop]
+    for record in inserted:
+        chunk = _slice_of(variant, record)
+        candidate = match_nop_candidate(chunk)
+        if candidate is None or candidate.size != len(chunk):
+            findings.append(Finding(
+                "verify.transparency.nop",
+                f"inserted instruction bytes {bytes(chunk).hex()} are "
+                f"not a Table-1 NOP encoding", address=record.address))
+
+    if len(carried) != len(baseline.instr_records):
+        findings.append(Finding(
+            "verify.transparency.stream",
+            f"variant carries {len(carried)} non-NOP instructions, "
+            f"baseline has {len(baseline.instr_records)}"))
+        return len(inserted)
+
+    b_labels = {}
+    for label, address in baseline.code_symbols.items():
+        b_labels.setdefault(address, []).append(label)
+
+    for b_record, v_record in zip(baseline.instr_records, carried):
+        b_instr, v_instr = b_record.instr, v_record.instr
+        if (b_instr.mnemonic != v_instr.mnemonic
+                or b_record.block_id != v_record.block_id):
+            findings.append(Finding(
+                "verify.transparency.stream",
+                f"stream mismatch: baseline {b_instr!r} at "
+                f"{b_record.address:#x} vs variant {v_instr!r}",
+                address=v_record.address))
+            continue
+        if b_instr.is_relative_branch:
+            b_target = (b_record.address + b_record.size
+                        + b_instr.operands[0].value)
+            v_target = (v_record.address + v_record.size
+                        + v_instr.operands[0].value)
+            if not any(variant.code_symbols.get(label) == v_target
+                       for label in b_labels.get(b_target, ())):
+                findings.append(Finding(
+                    "verify.transparency.branch",
+                    f"{b_instr.mnemonic} targets {b_target:#x} in "
+                    f"baseline but {v_target:#x} in the variant, and no "
+                    f"label maps one to the other",
+                    address=v_record.address))
+        elif not _operands_match(b_instr, v_instr, delta, data_floor):
+            code = ("verify.transparency.disp"
+                    if any(isinstance(op, Mem) for op in b_instr.operands)
+                    else "verify.transparency.stream")
+            findings.append(Finding(
+                code,
+                f"operands diverge beyond the data-segment shift: "
+                f"baseline {b_instr!r} vs variant {v_instr!r}",
+                address=v_record.address))
+    return len(inserted)
+
+
+def _check_bytes(baseline, variant, findings):
+    """Byte mode: align the raw texts with no linker metadata at all."""
+    delta = variant.data_base - baseline.data_base
+    data_floor = baseline.data_base
+    b_text, v_text = baseline.text, variant.text
+    b_off = v_off = 0
+    inserted = 0
+    #: baseline offset -> variant offset of the NOP run preceding the
+    #: corresponding instruction (= where the baseline location moved
+    #: to, since insertion places NOPs after labels).
+    moved_to = {}
+    branch_pairs = []
+
+    while b_off < len(b_text):
+        moved_to[b_off] = v_off
+        try:
+            b_instr = decode(b_text, b_off)
+        except DecodingError as exc:
+            findings.append(Finding(
+                "verify.transparency.stream",
+                f"baseline bytes do not decode: {exc}",
+                address=baseline.text_base + b_off))
+            return inserted
+        while True:
+            if v_off >= len(v_text):
+                findings.append(Finding(
+                    "verify.transparency.stream",
+                    "variant text ends before the baseline stream is "
+                    "consumed", address=variant.text_base + v_off))
+                return inserted
+            try:
+                v_instr = decode(v_text, v_off)
+            except DecodingError as exc:
+                findings.append(Finding(
+                    "verify.transparency.stream",
+                    f"variant bytes do not decode: {exc}",
+                    address=variant.text_base + v_off))
+                return inserted
+            if (b_instr.mnemonic == v_instr.mnemonic
+                    and (b_instr.is_relative_branch
+                         or _operands_match(b_instr, v_instr, delta,
+                                            data_floor))):
+                break  # aligned: prefer the match over a NOP consume
+            candidate = match_nop_candidate(v_text, v_off)
+            if candidate is None:
+                findings.append(Finding(
+                    "verify.transparency.stream",
+                    f"variant {v_instr!r} is neither the next baseline "
+                    f"instruction ({b_instr!r}) nor a Table-1 NOP",
+                    address=variant.text_base + v_off))
+                return inserted
+            inserted += 1
+            v_off += candidate.size
+        if b_instr.is_relative_branch:
+            branch_pairs.append(
+                (b_off + b_instr.size + b_instr.operands[0].value,
+                 v_off + v_instr.size + v_instr.operands[0].value,
+                 variant.text_base + v_off))
+        b_off += b_instr.size
+        v_off += v_instr.size
+
+    # Trailing variant bytes must all be insertions.
+    moved_to[len(b_text)] = v_off
+    while v_off < len(v_text):
+        candidate = match_nop_candidate(v_text, v_off)
+        if candidate is None:
+            findings.append(Finding(
+                "verify.transparency.stream",
+                "trailing variant bytes are not Table-1 NOP encodings",
+                address=variant.text_base + v_off))
+            return inserted
+        inserted += 1
+        v_off += candidate.size
+
+    for b_target, v_target, site in branch_pairs:
+        if moved_to.get(b_target) != v_target:
+            expected = moved_to.get(b_target)
+            expected_text = ("no aligned location"
+                             if expected is None else f"{expected:#x}")
+            findings.append(Finding(
+                "verify.transparency.branch",
+                f"branch target not recomputed: baseline offset "
+                f"{b_target:#x} moved to {expected_text}, variant "
+                f"branch goes to offset {v_target:#x}", address=site))
+    return inserted
+
+
+def _check_data(baseline, variant, findings):
+    """Data segments must be identical modulo the base shift."""
+    if set(baseline.data_symbols) != set(variant.data_symbols):
+        findings.append(Finding(
+            "verify.transparency.data",
+            "baseline and variant define different data symbols"))
+        return
+    for symbol, address in baseline.data_symbols.items():
+        b_rel = address - baseline.data_base
+        v_rel = variant.data_symbols[symbol] - variant.data_base
+        if b_rel != v_rel:
+            findings.append(Finding(
+                "verify.transparency.data",
+                f"data symbol {symbol!r} moved within the segment "
+                f"({b_rel:#x} -> {v_rel:#x})"))
+    b_words = {address - baseline.data_base: value
+               for address, value in baseline.data_words.items()}
+    v_words = {address - variant.data_base: value
+               for address, value in variant.data_words.items()}
+    if b_words != v_words:
+        findings.append(Finding(
+            "verify.transparency.data",
+            "initialized data images differ beyond the segment shift"))
+    if set(baseline.code_symbols) != set(variant.code_symbols):
+        findings.append(Finding(
+            "verify.transparency.data",
+            "baseline and variant define different code symbols"))
+
+
+def prove_transparency(baseline, variant, *, baseline_name="baseline",
+                       variant_name="variant"):
+    """Prove ``variant`` is ``baseline`` + NOP insertions + recomputed
+    offsets; returns a :class:`TransparencyReport`.
+
+    Record mode and byte mode run independently and their insertion
+    counts are cross-checked, so neither stale linker metadata nor a
+    byte-level corruption can slip through alone.
+    """
+    report = TransparencyReport(baseline_name=baseline_name,
+                                variant_name=variant_name)
+    if baseline.text_base != variant.text_base:
+        report.findings.append(Finding(
+            "verify.transparency.stream",
+            f"text bases differ: {baseline.text_base:#x} vs "
+            f"{variant.text_base:#x}"))
+        return report
+
+    nops_records = _check_records(baseline, variant, report.findings)
+    nops_bytes = _check_bytes(baseline, variant, report.findings)
+    _check_data(baseline, variant, report.findings)
+
+    if not report.findings and nops_records != nops_bytes:
+        report.findings.append(Finding(
+            "verify.transparency.stream",
+            f"record mode sees {nops_records} inserted NOP(s) but the "
+            f"byte alignment sees {nops_bytes}"))
+    report.stats = {
+        "inserted_nops": nops_bytes,
+        "inserted_nops_records": nops_records,
+        "baseline_instructions": len(baseline.instr_records),
+        "text_growth": len(variant.text) - len(baseline.text),
+    }
+    return report
+
+
+def require_transparent(baseline, variant, **names):
+    """Prove transparency and raise
+    :class:`~repro.errors.TransparencyError` on any finding."""
+    report = prove_transparency(baseline, variant, **names)
+    if not report.ok:
+        raise TransparencyError(
+            f"NOP-transparency proof failed: {report.describe()}",
+            context={
+                "findings": [f.describe() for f in report.findings[:20]],
+                "stats": report.stats,
+            })
+    return report

@@ -10,6 +10,7 @@ Subcommands::
     scan      FILE              gadget-scan the linked binary
     bench     NAME              run one SPEC-like workload end to end
     check     [NAMES...]        differential validation + fault campaign
+    verify    [NAMES...]        static verification + transparency proofs
 
 Examples::
 
@@ -47,6 +48,25 @@ def _config_from_args(args):
         low, high = args.range
         return DiversificationConfig.profile_guided(low, high)
     return DiversificationConfig.uniform(args.p)
+
+
+#: The paper's two headline configurations, used when ``verify`` is not
+#: given an explicit ``--p`` / ``--range``.
+def _paper_configs():
+    return {
+        "uniform-50%": DiversificationConfig.uniform(0.50),
+        "0-30%": DiversificationConfig.profile_guided(0.00, 0.30),
+    }
+
+
+def _verify_configs(args):
+    if args.range is not None:
+        low, high = args.range
+        return {f"{low:g}-{high:g}":
+                DiversificationConfig.profile_guided(low, high)}
+    if args.p is not None:
+        return {f"uniform-{args.p:g}": DiversificationConfig.uniform(args.p)}
+    return _paper_configs()
 
 
 def cmd_compile(args):
@@ -155,6 +175,18 @@ def cmd_check(args):
         if case.outcome == "untyped":
             print(f"  !! {case.describe()}", file=sys.stderr)
 
+    # Static verification rides along: the dynamic checks above prove
+    # behaviour on the executed paths; this proves structure on all of
+    # them (see docs/ANALYSIS.md).
+    sv_variants = 1 if args.quick else 2
+    print(f"\nstatic verify: baseline + {sv_variants} variant(s) per "
+          f"workload")
+    sv_rows, sv_payload, sv_findings = _static_verify_section(
+        names, config, sv_variants)
+    print(format_table(("workload", "binaries", "nops", "findings",
+                        "status"), sv_rows,
+                       title="static verification + transparency"))
+
     from repro.artifacts import cache_stats
     stats = cache_stats()
     print(f"\nartifact cache: {stats['hits']} hits, "
@@ -171,14 +203,120 @@ def cmd_check(args):
                                       for r in results.values()),
             "divergences": divergences,
             "campaign": summary,
+            "static_verify": sv_payload,
             "artifact_cache": stats,
         }
         with open(args.json_output, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json_output}")
 
-    ok = divergences == 0 and campaign.ok
+    ok = divergences == 0 and campaign.ok and sv_findings == 0
     print("\ncheck:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def _static_verify_section(names, config, variants):
+    """Verify baseline + a few variants per workload; returns
+    (table rows, JSON payload, total finding count)."""
+    from repro.analysis import prove_transparency, verify_binary
+
+    rows = []
+    payload = {}
+    total = 0
+    for name in names:
+        workload = get_workload(name)
+        build = ProgramBuild(workload.source, workload.name)
+        profile = (build.profile(workload.train_input)
+                   if config.requires_profile else None)
+        baseline = build.link_baseline()
+        findings = list(verify_binary(
+            baseline, name=f"{name}/baseline").findings)
+        nops = 0
+        for seed in range(variants):
+            variant = build.link_variant(config, seed, profile)
+            findings.extend(verify_binary(
+                variant, name=f"{name}/seed{seed}").findings)
+            proof = prove_transparency(baseline, variant,
+                                       variant_name=f"{name}/seed{seed}")
+            nops += proof.stats["inserted_nops"]
+            findings.extend(proof.findings)
+        for finding in findings[:10]:
+            print(f"  !! {name}: {finding.describe()}", file=sys.stderr)
+        total += len(findings)
+        rows.append((name, 1 + variants, nops, len(findings),
+                     "ok" if not findings else "FAIL"))
+        payload[name] = {
+            "binaries": 1 + variants,
+            "inserted_nops": nops,
+            "findings": [finding.describe() for finding in findings],
+        }
+    return rows, payload, total
+
+
+def cmd_verify(args):
+    from repro.analysis import (
+        prove_transparency, verify_binary, verify_population,
+    )
+    from repro.check import DEFAULT_CHECK_WORKLOADS
+    from repro.workloads.registry import workload_names
+
+    names = tuple(args.names) or DEFAULT_CHECK_WORKLOADS
+    if names == ("all",):
+        names = workload_names()
+    configs = _verify_configs(args)
+    seeds = list(range(args.variants))
+
+    print(f"static verify: {len(names)} workload(s) x "
+          f"{len(configs)} config(s) x {len(seeds)} variant seed(s), "
+          f"plus baselines")
+    rows = []
+    payload = {}
+    total_findings = 0
+    for name in names:
+        workload = get_workload(name)
+        build = ProgramBuild(workload.source, workload.name)
+        baseline = build.link_baseline()
+        reports = [verify_binary(baseline, name=f"{name}/baseline")]
+        findings = list(reports[0].findings)
+        nops = 0
+        for label, config in configs.items():
+            profile = (build.profile(workload.train_input)
+                       if config.requires_profile else None)
+            binaries = build.link_population(config, seeds, profile,
+                                             workers=args.workers)
+            variant_names = [f"{name}/{label}/seed{seed}"
+                             for seed in seeds]
+            for report in verify_population(binaries, names=variant_names,
+                                            workers=args.workers):
+                reports.append(report)
+                findings.extend(report.findings)
+            for seed, variant in zip(seeds, binaries):
+                proof = prove_transparency(
+                    baseline, variant,
+                    variant_name=f"{name}/{label}/seed{seed}")
+                nops += proof.stats["inserted_nops"]
+                findings.extend(proof.findings)
+        total_findings += len(findings)
+        rows.append((name, len(reports), nops, len(findings),
+                     "ok" if not findings else "FAIL"))
+        for finding in findings[:20]:
+            print(f"  !! {name}: {finding.describe()}", file=sys.stderr)
+        payload[name] = {
+            "binaries": len(reports),
+            "inserted_nops": nops,
+            "findings": [finding.describe() for finding in findings],
+        }
+    print(format_table(("workload", "binaries", "nops", "findings",
+                        "status"), rows,
+                       title="static verification + transparency"))
+
+    ok = total_findings == 0
+    if args.json_output:
+        import json
+        with open(args.json_output, "w") as handle:
+            json.dump({"workloads": payload, "ok": ok}, handle, indent=2)
+        print(f"wrote {args.json_output}")
+    print("\nverify:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
 
 
@@ -252,6 +390,25 @@ def main(argv=None):
     p.add_argument("--json", dest="json_output",
                    help="write a JSON summary here")
     p.set_defaults(handler=cmd_check)
+
+    p = sub.add_parser(
+        "verify",
+        help="static verification + NOP-transparency proofs")
+    p.add_argument("names", nargs="*",
+                   help="workloads to verify ('all' for every workload; "
+                        "default: a representative three-benchmark set)")
+    p.add_argument("--variants", type=int, default=3,
+                   help="variant seeds per config (default 3)")
+    p.add_argument("--p", type=float, default=None,
+                   help="uniform insertion probability (default: both "
+                        "paper configs)")
+    p.add_argument("--range", nargs=2, type=float, metavar=("MIN", "MAX"),
+                   help="profile-guided probability range")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker-pool width (default REPRO_WORKERS)")
+    p.add_argument("--json", dest="json_output",
+                   help="write a JSON summary here")
+    p.set_defaults(handler=cmd_verify)
 
     args = parser.parse_args(argv)
     return args.handler(args)

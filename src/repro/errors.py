@@ -166,3 +166,59 @@ class DivergenceError(ReproError):
     """
 
     code = "check.divergence"
+
+
+class StaticAnalysisError(ReproError):
+    """Raised when :mod:`repro.analysis` cannot analyze a binary at all
+    (malformed input, unknown function, unusable CFG)."""
+
+    code = "verify.error"
+
+
+class VerificationError(StaticAnalysisError):
+    """A linked binary failed static verification.
+
+    Raised by :func:`repro.analysis.passes.require_verified` (and the
+    ``REPRO_STATIC_VERIFY`` post-link gate in :mod:`repro.pipeline`) when
+    any verifier pass produced findings. ``context`` carries the binary's
+    name, the finding count, and the per-code breakdown; the individual
+    findings ride in ``context["findings"]`` as ``describe()`` strings.
+    """
+
+    code = "verify.failed"
+
+
+class TransparencyError(VerificationError):
+    """A variant is not "baseline + NOP insertions + recomputed offsets".
+
+    Raised when :mod:`repro.analysis.transparency` is asked to *enforce*
+    (rather than report) the NOP-transparency property and the proof
+    fails.
+    """
+
+    code = "verify.transparency"
+
+
+#: Every stable finding code the static verifier can emit
+#: (:class:`repro.analysis.cfg.Finding` instances carry one of these).
+#: Tooling that folds verifier output into reports should match on these
+#: rather than on message text.
+VERIFY_FINDING_CODES = frozenset({
+    "verify.decode",        # reachable bytes do not decode
+    "verify.target",        # branch/call/fallthrough target is not an
+                            # instruction boundary inside .text
+    "verify.overlap",       # two recovered instructions share bytes
+    "verify.unreachable",   # text bytes no recovery root reaches
+    "verify.reloc",         # relocated disp32 outside the data segment
+    "verify.roundtrip",     # re-encoding a decoded instruction does not
+                            # reproduce the original bytes
+    "verify.stack",         # stack-height imbalance / below-frame access
+    "verify.defuse",        # register (or flags) used before any def
+    "verify.transparency.stream",  # variant stream is not baseline + NOPs
+    "verify.transparency.nop",     # an insertion is not a Table-1 NOP
+    "verify.transparency.branch",  # branch target not recomputed correctly
+    "verify.transparency.disp",    # data disp32 not shifted by the
+                                   # data-segment delta
+    "verify.transparency.data",    # data image/symbols differ beyond the
+                                   # segment shift
+})

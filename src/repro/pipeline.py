@@ -61,6 +61,23 @@ def _plan_enabled():
     return os.environ.get("REPRO_LINK_PLAN", "1") != "0"
 
 
+#: In sampled verify mode, every Nth variant link is statically verified
+#: (the baseline always is). Population builds sample seeds at the same
+#: stride.
+VERIFY_SAMPLE_STRIDE = 8
+
+
+def _static_verify_mode():
+    """The ``REPRO_STATIC_VERIFY`` knob: ``None`` (off, the default),
+    ``"sample"`` (baseline + every Nth variant) or ``"all"``."""
+    raw = os.environ.get("REPRO_STATIC_VERIFY", "").strip().lower()
+    if raw in ("", "0", "off", "no", "false"):
+        return None
+    if raw in ("all", "full"):
+        return "all"
+    return "sample"
+
+
 def build_ir(source, name="program", opt_level=2):
     """Front end + optimizer; deterministic for a given source."""
     module = compile_to_ir(source, name)
@@ -78,6 +95,8 @@ class ProgramBuild:
         self.unit = lower_module(self.module, name)
         self._link_plan = None
         self._profiles = {}
+        self._verify_counter = 0
+        self._verified_hashes = set()
         #: Non-fatal degradations recorded during builds (e.g. a
         #: profile-guided config falling back to uniform insertion).
         self.warnings = []
@@ -115,11 +134,48 @@ class ProgramBuild:
             self._link_plan = build_link_plan([runtime_unit(), self.unit])
         return self._link_plan
 
+    # -- post-link static verification ------------------------------------------
+
+    def _verify_once(self, binary, label):
+        """Statically verify one binary, at most once per distinct image.
+
+        Raises :class:`~repro.errors.VerificationError` on findings.
+        The dedup set is keyed on :meth:`LinkedBinary.identity_hash`, so
+        cache hits and pool-built binaries are not re-verified when the
+        same image passes through the gate twice.
+        """
+        digest = binary.identity_hash()
+        if digest in self._verified_hashes:
+            return binary
+        from repro.analysis.passes import require_verified
+        require_verified(binary, name=f"{self.name}/{label}")
+        self._verified_hashes.add(digest)
+        return binary
+
+    def _maybe_verify(self, binary, kind):
+        """The ``REPRO_STATIC_VERIFY`` post-link gate.
+
+        Off by default. In sampled mode the baseline is always verified
+        and every :data:`VERIFY_SAMPLE_STRIDE`-th variant link is; in
+        ``all`` mode every link is.
+        """
+        mode = _static_verify_mode()
+        if mode is None:
+            return binary
+        if kind != "baseline" and mode == "sample":
+            index = self._verify_counter
+            self._verify_counter += 1
+            if index % VERIFY_SAMPLE_STRIDE:
+                return binary
+        return self._verify_once(binary, kind)
+
     def link_baseline(self):
         """The undiversified binary (runtime objects first, as ld would)."""
         if _plan_enabled():
-            return self.link_plan().baseline()
-        return link([runtime_unit(), self.unit])
+            binary = self.link_plan().baseline()
+        else:
+            binary = link([runtime_unit(), self.unit])
+        return self._maybe_verify(binary, "baseline")
 
     def _link_diversified(self, variant, config):
         """Link one diversified unit, preferring the incremental plan."""
@@ -145,7 +201,8 @@ class ProgramBuild:
                        f"{config.uniform_fallback().describe()!r}")
             config = config.uniform_fallback()
         variant = diversify_unit(self.unit, config, seed, profile)
-        return self._link_diversified(variant, config)
+        binary = self._link_diversified(variant, config)
+        return self._maybe_verify(binary, "variant")
 
     def link_population(self, config, seeds, profile=None, *, fallback=False,
                         workers=None, cache_dir=None, force_pool=False):
@@ -388,6 +445,16 @@ def build_population(build, config, seeds, profile=None, *, fallback=False,
             if cache is not None:
                 cache.put(keys[seed], binary)
             results[seed] = binary
+
+    # Post-build static-verify sampling: pool-built and cache-hit
+    # binaries never pass through link_variant's gate, so the sampled
+    # sweep runs here (identity-hash dedup keeps already-verified
+    # images free).
+    mode = _static_verify_mode()
+    if mode is not None:
+        checked = seeds if mode == "all" else seeds[::VERIFY_SAMPLE_STRIDE]
+        for seed in checked:
+            build._verify_once(results[seed], f"variant[seed={seed}]")
 
     return [results[seed] for seed in seeds]
 

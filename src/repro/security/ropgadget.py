@@ -172,6 +172,13 @@ class RopGadgetScanner:
             return True
         return False
 
+    def boundary_counts(self, binary, gadgets=None, **scan_kwargs):
+        """Convenience wrapper over :func:`boundary_scan` counts."""
+        partition = boundary_scan(binary, gadgets, **scan_kwargs)
+        return {"total": partition["total"],
+                "intended": len(partition["intended"]),
+                "unintended": len(partition["unintended"])}
+
     def attack_requirements(self, toolkit):
         """The checklist for the canonical syscall payload.
 
@@ -188,3 +195,55 @@ class RopGadgetScanner:
 
     def is_attack_feasible(self, toolkit):
         return all(self.attack_requirements(toolkit).values())
+
+
+# ---------------------------------------------------------------------------
+# Intended-boundary vs unintended-offset classification (Table 4 framing)
+# ---------------------------------------------------------------------------
+
+def classify_gadget_boundaries(gadgets, boundaries, text_base=0):
+    """Partition ``{offset: Gadget}`` by whether each gadget starts on a
+    recovered instruction boundary.
+
+    ``boundaries`` is a set of absolute instruction-start addresses
+    (e.g. :attr:`repro.analysis.cfg.MachineCFG.boundaries`);
+    ``text_base`` converts the scanner's text-relative offsets. The
+    paper's Table 4 frames gadget elimination this way: unintended
+    gadgets start mid-instruction and exist only because IA-32 decoding
+    is unaligned, while intended-boundary gadgets are actual code.
+    Returns ``(intended, unintended)`` dicts whose union is ``gadgets``.
+    """
+    intended = {}
+    unintended = {}
+    for offset, gadget in gadgets.items():
+        bucket = (intended if text_base + offset in boundaries
+                  else unintended)
+        bucket[offset] = gadget
+    return intended, unintended
+
+
+def boundary_scan(binary, gadgets=None, **scan_kwargs):
+    """Gadget scan of a linked binary classified against the recovered
+    CFG's instruction boundaries.
+
+    Returns a dict with the full gadget set (``total`` count), the
+    ``intended``/``unintended`` partition, and per-bucket classified
+    toolkits. The total is exactly ``find_gadgets``' count — the
+    classification never adds or removes gadgets.
+    """
+    from repro.analysis.cfg import recover_cfg  # lazy: no import cycle
+    from repro.security.gadgets import find_gadgets
+
+    if gadgets is None:
+        gadgets = find_gadgets(binary.text, **scan_kwargs)
+    cfg = recover_cfg(binary)
+    intended, unintended = classify_gadget_boundaries(
+        gadgets, cfg.boundaries, binary.text_base)
+    scanner = RopGadgetScanner()
+    return {
+        "total": len(gadgets),
+        "intended": intended,
+        "unintended": unintended,
+        "intended_toolkit": scanner.scan(intended),
+        "unintended_toolkit": scanner.scan(unintended),
+    }

@@ -1,0 +1,122 @@
+"""CFG recovery: the graph rebuilt from the bytes must agree exactly
+with the linker's ground-truth instruction records."""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.analysis import recover_cfg
+from repro.analysis.cfg import EDGE_CALL, MachineCFG
+from repro.core.config import DiversificationConfig
+from repro.errors import StaticAnalysisError
+from repro.pipeline import ProgramBuild
+from repro.workloads.registry import get_workload
+
+WORKLOADS = ("429.mcf", "462.libquantum", "470.lbm")
+SEEDS = (0, 1, 2)
+
+CONFIGS = {
+    "uniform-50%": DiversificationConfig.uniform(0.50),
+    "0-30%": DiversificationConfig.profile_guided(0.00, 0.30),
+}
+
+
+@lru_cache(maxsize=None)
+def _state(name):
+    workload = get_workload(name)
+    build = ProgramBuild(workload.source, workload.name)
+    return workload, build, build.link_baseline()
+
+
+@lru_cache(maxsize=None)
+def _variant(name, config_name, seed):
+    workload, build, _baseline = _state(name)
+    config = CONFIGS[config_name]
+    profile = (build.profile(workload.train_input)
+               if config.requires_profile else None)
+    return build.link_variant(config, seed, profile)
+
+
+def _assert_exact_recovery(binary):
+    cfg = recover_cfg(binary)
+    assert cfg.findings == []
+    record_addresses = {record.address for record in binary.instr_records}
+    assert set(cfg.boundaries) == record_addresses
+    assert cfg.unreachable_bytes == 0
+    assert cfg.unreachable_spans == []
+    return cfg
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_baseline_boundaries_match_linker_records(name):
+    _workload, _build, baseline = _state(name)
+    _assert_exact_recovery(baseline)
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_variant_boundaries_match_linker_records(name, config_name):
+    for seed in SEEDS:
+        _assert_exact_recovery(_variant(name, config_name, seed))
+
+
+def test_edges_land_on_recovered_boundaries():
+    _workload, _build, baseline = _state("429.mcf")
+    cfg = _assert_exact_recovery(baseline)
+    base, end = baseline.text_base, baseline.text_end
+    for address, edges in cfg.successors.items():
+        assert address in cfg.instrs
+        for _kind, target in edges:
+            assert base <= target < end
+            assert target in cfg.instrs
+
+
+def test_basic_blocks_partition_reachable_instructions():
+    _workload, _build, baseline = _state("429.mcf")
+    cfg = _assert_exact_recovery(baseline)
+    blocks = cfg.basic_blocks()
+    # Many fewer blocks than instructions, all disjoint, all of .text.
+    assert 0 < len(blocks) < len(cfg.instrs)
+    covered = set()
+    for start, end in blocks:
+        assert start in cfg.instrs
+        span = [a for a in cfg.addresses if start <= a < end]
+        assert span and span[0] == start
+        assert not covered & set(span)
+        covered.update(span)
+    assert covered == set(cfg.addresses)
+
+
+def test_intra_successors_skip_calls():
+    _workload, _build, baseline = _state("429.mcf")
+    cfg = recover_cfg(baseline)
+    call_sites = [address for address, edges in cfg.successors.items()
+                  if any(kind == EDGE_CALL for kind, _t in edges)]
+    assert call_sites  # every workload calls something
+    start, end = baseline.text_base, baseline.text_end
+    for address in call_sites[:10]:
+        succs = cfg.intra_successors(address, start, end)
+        # only the fallthrough survives; the callee edge is skipped
+        assert succs == [address + cfg.instrs[address].size]
+
+
+def test_function_addresses_cover_ranges():
+    _workload, _build, baseline = _state("470.lbm")
+    cfg = recover_cfg(baseline)
+    total = 0
+    for function, (start, end) in baseline.function_ranges.items():
+        addresses = cfg.function_addresses(function)
+        assert addresses
+        assert all(start <= a < end for a in addresses)
+        total += len(addresses)
+    assert total == len(cfg.instrs)
+    with pytest.raises(StaticAnalysisError):
+        cfg.function_addresses("no_such_function")
+
+
+def test_bad_root_is_reported_not_raised():
+    _workload, _build, baseline = _state("470.lbm")
+    cfg = recover_cfg(baseline, roots={baseline.entry,
+                                       baseline.text_end + 0x100})
+    assert isinstance(cfg, MachineCFG)
+    assert any(f.code == "verify.target" for f in cfg.findings)

@@ -1,0 +1,220 @@
+"""Verifier passes: clean sweep over real binaries, then a seeded
+mutation harness proving each pass catches its own fault class."""
+
+import dataclasses
+from functools import lru_cache
+
+import pytest
+
+from repro.analysis import (
+    recover_cfg, require_verified, verify_binary, verify_population,
+)
+from repro.backend.linker import link
+from repro.backend.objfile import FunctionCode, LabelDef, ObjectUnit
+from repro.core.config import DiversificationConfig
+from repro.errors import VerificationError
+from repro.pipeline import ProgramBuild
+from repro.workloads.registry import get_workload, workload_names
+from repro.x86.instructions import Imm, Instr, Mem
+from repro.x86.registers import EAX, EBX, ECX, ESP
+
+MIX = ("429.mcf", "462.libquantum", "470.lbm")
+SEEDS = (0, 1, 2)
+
+CONFIGS = {
+    "uniform-50%": DiversificationConfig.uniform(0.50),
+    "0-30%": DiversificationConfig.profile_guided(0.00, 0.30),
+}
+
+
+@lru_cache(maxsize=None)
+def _baseline(name):
+    workload = get_workload(name)
+    build = ProgramBuild(workload.source, workload.name)
+    return workload, build, build.link_baseline()
+
+
+# -- clean sweep ------------------------------------------------------------
+
+@pytest.mark.parametrize("name", workload_names())
+def test_every_baseline_verifies_clean(name):
+    _workload, _build, baseline = _baseline(name)
+    report = require_verified(baseline, name=name)
+    assert report.ok
+    assert report.stats["unreachable_bytes"] == 0
+    assert report.stats["findings_by_code"] == {}
+
+
+@pytest.mark.parametrize("name", MIX)
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_variants_verify_clean(name, config_name):
+    workload, build, _baseline_binary = _baseline(name)
+    config = CONFIGS[config_name]
+    profile = (build.profile(workload.train_input)
+               if config.requires_profile else None)
+    for seed in SEEDS:
+        variant = build.link_variant(config, seed, profile)
+        report = verify_binary(variant, name=f"{name}[{seed}]")
+        assert report.ok, report.describe()
+
+
+def test_verify_population_matches_serial():
+    _workload, _build, baseline = _baseline("470.lbm")
+    reports = verify_population([baseline, baseline],
+                                names=["a", "b"])
+    assert [r.name for r in reports] == ["a", "b"]
+    assert all(r.ok for r in reports)
+
+
+# -- seeded mutation harness ------------------------------------------------
+#
+# Each mutation corrupts exactly one aspect of a known-good binary and
+# must be caught by the matching pass (the CFG faults may legitimately
+# cascade across the three structural codes, so those assert on the
+# class, not one code).
+
+def _mutate(binary, offset, payload):
+    text = bytearray(binary.text)
+    text[offset:offset + len(payload)] = payload
+    return dataclasses.replace(binary, text=bytes(text))
+
+
+def _codes(binary):
+    return set(verify_binary(binary).by_code())
+
+
+def test_mutated_opcode_is_caught_by_decode_pass():
+    _workload, _build, baseline = _baseline("429.mcf")
+    record = baseline.instr_records[10]
+    mutated = _mutate(baseline, record.address - baseline.text_base,
+                      b"\x06")  # not an opcode our subset decodes
+    assert "verify.decode" in _codes(mutated)
+
+
+def test_mutated_branch_displacement_breaks_cfg_integrity():
+    _workload, _build, baseline = _baseline("429.mcf")
+    cfg = recover_cfg(baseline)
+    # Pick a call whose target starts with a multi-byte instruction, so
+    # target+1 is provably mid-instruction (a +1 past a 1-byte push
+    # would land on the next legitimate boundary and prove nothing).
+    record = next(
+        r for r in baseline.instr_records
+        if r.mnemonic == "call" and r.size == 5
+        and cfg.instrs[r.address + 5 + r.instr.operands[0].value].size > 1)
+    offset = record.address - baseline.text_base
+    disp = int.from_bytes(baseline.text[offset + 1:offset + 5],
+                          "little", signed=True)
+    mutated = _mutate(baseline, offset + 1,
+                      (disp + 1).to_bytes(4, "little", signed=True))
+    # Depending on how the shifted bytes re-decode this shows up as a
+    # bad target, an overlap, or a decode failure — all three are the
+    # CFG-integrity fault class.
+    assert _codes(mutated) & {"verify.target", "verify.overlap",
+                              "verify.decode"}
+
+
+def test_mutated_data_displacement_is_caught_by_reloc_pass():
+    _workload, _build, baseline = _baseline("429.mcf")
+    cfg = recover_cfg(baseline)
+    address, instr = next(
+        (address, instr) for address, instr in sorted(cfg.instrs.items())
+        if instr.mnemonic == "mov"
+        and any(isinstance(op, Mem) and op.base is None and op.index is None
+                for op in instr.operands))
+    # The disp32 is the trailing field of the r/m encoding; point it
+    # past the data segment.
+    offset = address - baseline.text_base
+    disp_at = offset + instr.size - 4
+    if isinstance(instr.operands[1], Imm):  # mov [abs], imm32: disp first
+        disp_at = offset + instr.size - 8
+    bad = baseline.data_end + 64
+    mutated = _mutate(baseline, disp_at, bad.to_bytes(4, "little"))
+    assert "verify.reloc" in _codes(mutated)
+
+
+def test_mutated_epilogue_is_caught_by_stack_pass():
+    _workload, _build, baseline = _baseline("429.mcf")
+    cfg = recover_cfg(baseline)
+    address, instr = next(
+        (address, instr) for address, instr in sorted(cfg.instrs.items())
+        if instr.mnemonic == "add" and instr.operands[0] is ESP
+        and isinstance(instr.operands[1], Imm)
+        and instr.encoding[0] == 0x83)
+    value = instr.operands[1].value
+    patched = value + 4 if value + 4 <= 127 else value - 4
+    mutated = _mutate(baseline, address - baseline.text_base + 2,
+                      bytes([patched & 0xFF]))
+    assert "verify.stack" in _codes(mutated)
+
+
+def test_noncanonical_immediate_is_caught_by_roundtrip_pass():
+    _workload, _build, baseline = _baseline("429.mcf")
+    cfg = recover_cfg(baseline)
+    address, instr = next(
+        (address, instr) for address, instr in sorted(cfg.instrs.items())
+        if instr.encoding[0] == 0x81 and instr.operands[0] is not ESP)
+    # An 0x81-form immediate patched to fit 8 bits re-encodes to the
+    # shorter 0x83 form: the bytes are non-canonical for our encoder.
+    mutated = _mutate(baseline,
+                      address - baseline.text_base + instr.size - 4,
+                      (4).to_bytes(4, "little"))
+    assert "verify.roundtrip" in _codes(mutated)
+
+
+# -- def-before-use on hand-built code --------------------------------------
+
+def _exit_sequence(status_reg=None):
+    items = []
+    if status_reg is not None:
+        items.append(Instr("mov", EBX, status_reg))
+    else:
+        items.append(Instr("mov", EBX, Imm(0)))
+    items += [Instr("mov", EAX, Imm(0)),
+              Instr("int", Imm(0x80)),
+              Instr("hlt")]
+    return items
+
+
+def _link_start(body):
+    unit = ObjectUnit("t", [FunctionCode(
+        "_start", [LabelDef("_start")] + body)])
+    return link([unit])
+
+
+def test_undefined_register_read_is_caught_by_defuse_pass():
+    binary = _link_start([Instr("mov", EAX, ECX)]  # ECX: never defined
+                         + _exit_sequence(EAX))
+    report = verify_binary(binary, passes=("defuse",))
+    assert "verify.defuse" in report.by_code()
+
+
+def test_defined_register_read_passes_defuse():
+    binary = _link_start([Instr("mov", ECX, Imm(7)),
+                          Instr("mov", EAX, ECX)]
+                         + _exit_sequence(EAX))
+    report = verify_binary(binary, passes=("defuse",))
+    assert report.ok, report.describe()
+
+
+def test_unbalanced_ret_is_caught_by_stack_pass():
+    binary = _link_start([Instr("push", EBX),
+                          Instr("ret")])
+    report = verify_binary(binary, passes=("stack",))
+    assert "verify.stack" in report.by_code()
+
+
+def test_pop_from_empty_frame_is_caught_by_stack_pass():
+    binary = _link_start([Instr("pop", ECX)] + _exit_sequence())
+    report = verify_binary(binary, passes=("stack",))
+    assert "verify.stack" in report.by_code()
+
+
+def test_require_verified_raises_typed_error():
+    _workload, _build, baseline = _baseline("429.mcf")
+    record = baseline.instr_records[10]
+    mutated = _mutate(baseline, record.address - baseline.text_base,
+                      b"\x06")
+    with pytest.raises(VerificationError) as excinfo:
+        require_verified(mutated, name="mutant")
+    assert excinfo.value.code == "verify.failed"
+    assert excinfo.value.context["by_code"]

@@ -1,0 +1,140 @@
+"""NOP-transparency proofs: accept every genuine variant, reject every
+deliberate deviation from "baseline + Table-1 NOPs + recomputed
+offsets"."""
+
+import dataclasses
+from functools import lru_cache
+
+import pytest
+
+from repro.analysis import prove_transparency, require_transparent
+from repro.core.config import DiversificationConfig
+from repro.errors import TransparencyError
+from repro.pipeline import ProgramBuild
+from repro.workloads.registry import get_workload
+
+WORKLOADS = ("429.mcf", "462.libquantum", "470.lbm")
+SEEDS = (0, 1, 2)
+
+CONFIGS = {
+    "uniform-50%": DiversificationConfig.uniform(0.50),
+    "0-30%": DiversificationConfig.profile_guided(0.00, 0.30),
+}
+
+
+@lru_cache(maxsize=None)
+def _state(name):
+    workload = get_workload(name)
+    build = ProgramBuild(workload.source, workload.name)
+    return workload, build, build.link_baseline()
+
+
+@lru_cache(maxsize=None)
+def _variant(name, config_name, seed):
+    workload, build, _baseline = _state(name)
+    config = CONFIGS[config_name]
+    profile = (build.profile(workload.train_input)
+               if config.requires_profile else None)
+    return build.link_variant(config, seed, profile)
+
+
+def _retext(binary, offset, payload):
+    text = bytearray(binary.text)
+    text[offset:offset + len(payload)] = payload
+    return dataclasses.replace(binary, text=bytes(text))
+
+
+# -- genuine variants are transparent ---------------------------------------
+
+@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_genuine_variants_prove_transparent(name, config_name):
+    _workload, _build, baseline = _state(name)
+    for seed in SEEDS:
+        variant = _variant(name, config_name, seed)
+        report = prove_transparency(baseline, variant,
+                                    variant_name=f"{name}[{seed}]")
+        assert report.ok, report.describe()
+        # both alignment modes agree, and the byte growth is exactly
+        # the inserted NOP bytes plus any rel8->rel32 branch widening
+        # the insertions forced
+        stats = report.stats
+        assert stats["inserted_nops"] == stats["inserted_nops_records"]
+        inserted = [r for r in variant.instr_records if r.is_inserted_nop]
+        carried = [r for r in variant.instr_records
+                   if not r.is_inserted_nop]
+        widening = sum(v.size - b.size
+                       for b, v in zip(baseline.instr_records, carried))
+        assert stats["inserted_nops"] == len(inserted)
+        assert stats["text_growth"] == (sum(r.size for r in inserted)
+                                        + widening)
+
+
+def test_baseline_is_transparent_to_itself():
+    _workload, _build, baseline = _state("470.lbm")
+    report = require_transparent(baseline, baseline)
+    assert report.stats["inserted_nops"] == 0
+    assert report.stats["text_growth"] == 0
+
+
+# -- rejections -------------------------------------------------------------
+
+def test_rejects_wrong_branch_displacement():
+    _workload, _build, baseline = _state("429.mcf")
+    variant = _variant("429.mcf", "0-30%", 0)
+    record = next(r for r in variant.instr_records
+                  if r.mnemonic == "call" and r.size == 5)
+    offset = record.address - variant.text_base
+    disp = int.from_bytes(variant.text[offset + 1:offset + 5],
+                          "little", signed=True)
+    corrupted = _retext(variant, offset + 1,
+                        (disp + 5).to_bytes(4, "little", signed=True))
+    report = prove_transparency(baseline, corrupted)
+    codes = {f.code for f in report.findings}
+    # record mode sees text disagreeing with the records; byte mode
+    # independently sees the un-recomputed branch target
+    assert "verify.transparency.branch" in codes
+    assert not report.ok
+
+
+def test_rejects_non_table1_insertion():
+    _workload, _build, baseline = _state("429.mcf")
+    variant = _variant("429.mcf", "0-30%", 0)
+    record = next(r for r in variant.instr_records if r.is_inserted_nop)
+    corrupted = _retext(variant, record.address - variant.text_base,
+                        b"\x06" * record.size)  # not a NOP, not decodable
+    report = prove_transparency(baseline, corrupted)
+    codes = {f.code for f in report.findings}
+    assert codes & {"verify.transparency.nop",
+                    "verify.transparency.stream"}
+
+
+def test_rejects_mutated_data_image():
+    _workload, _build, baseline = _state("429.mcf")
+    variant = _variant("429.mcf", "0-30%", 0)
+    address, value = next(iter(sorted(variant.data_words.items())))
+    words = dict(variant.data_words)
+    words[address] = value + 1
+    corrupted = dataclasses.replace(variant, data_words=words)
+    report = prove_transparency(baseline, corrupted)
+    assert any(f.code == "verify.transparency.data"
+               for f in report.findings)
+
+
+def test_rejects_cross_program_pairing():
+    _workload, _build, mcf = _state("429.mcf")
+    lbm_variant = _variant("470.lbm", "0-30%", 0)
+    report = prove_transparency(mcf, lbm_variant)
+    assert not report.ok
+
+
+def test_require_transparent_raises_typed_error():
+    _workload, _build, baseline = _state("429.mcf")
+    variant = _variant("429.mcf", "0-30%", 0)
+    record = next(r for r in variant.instr_records if r.is_inserted_nop)
+    corrupted = _retext(variant, record.address - variant.text_base,
+                        b"\x06" * record.size)
+    with pytest.raises(TransparencyError) as excinfo:
+        require_transparent(baseline, corrupted)
+    assert excinfo.value.code == "verify.transparency"
+    assert excinfo.value.context["findings"]

@@ -1,0 +1,113 @@
+"""The REPRO_STATIC_VERIFY post-link gate, the pooled population API,
+and the ``repro-diversify verify`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.analysis import verify_population
+from repro.cli import main
+from repro.core.config import DiversificationConfig
+from repro.pipeline import (
+    VERIFY_SAMPLE_STRIDE, ProgramBuild, _static_verify_mode,
+    build_population,
+)
+from repro.workloads.registry import get_workload
+
+CONFIG = DiversificationConfig.uniform(0.50)
+
+
+def _build(name="470.lbm"):
+    workload = get_workload(name)
+    return workload, ProgramBuild(workload.source, workload.name)
+
+
+def test_static_verify_mode_parsing(monkeypatch):
+    for value, expected in (("", None), ("0", None), ("off", None),
+                            ("no", None), ("false", None),
+                            ("all", "all"), ("FULL", "all"),
+                            ("1", "sample"), ("sample", "sample")):
+        monkeypatch.setenv("REPRO_STATIC_VERIFY", value)
+        assert _static_verify_mode() == expected, value
+    monkeypatch.delenv("REPRO_STATIC_VERIFY")
+    assert _static_verify_mode() is None
+
+
+def test_gate_off_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_STATIC_VERIFY", raising=False)
+    _workload, build = _build()
+    build.link_baseline()
+    assert not build._verified_hashes
+
+
+def test_gate_all_verifies_every_link(monkeypatch):
+    monkeypatch.setenv("REPRO_STATIC_VERIFY", "all")
+    _workload, build = _build()
+    baseline = build.link_baseline()
+    assert len(build._verified_hashes) == 1
+    # dedup: relinking the identical image does not re-verify
+    again = build.link_baseline()
+    assert again.identity_hash() == baseline.identity_hash()
+    assert len(build._verified_hashes) == 1
+    for seed in range(3):
+        build.link_variant(CONFIG, seed)
+    assert len(build._verified_hashes) == 4
+
+
+def test_gate_sample_strides_variants(monkeypatch):
+    monkeypatch.setenv("REPRO_STATIC_VERIFY", "sample")
+    _workload, build = _build()
+    build.link_baseline()  # baselines always verified
+    assert len(build._verified_hashes) == 1
+    for seed in range(VERIFY_SAMPLE_STRIDE + 1):
+        build.link_variant(CONFIG, seed)
+    # variant links 0 and VERIFY_SAMPLE_STRIDE hit the gate
+    assert len(build._verified_hashes) == 3
+
+
+def test_build_population_gate_covers_cached_results(monkeypatch):
+    monkeypatch.setenv("REPRO_STATIC_VERIFY", "all")
+    _workload, build = _build()
+    seeds = range(4)
+    results = build_population(build, CONFIG, seeds)
+    assert len(results) == len(seeds)
+    hashes = {binary.identity_hash() for binary in results}
+    assert hashes <= build._verified_hashes
+
+
+def test_verify_population_pool_matches_serial():
+    _workload, build = _build()
+    baseline = build.link_baseline()
+    binaries = [baseline] + [build.link_variant(CONFIG, seed)
+                             for seed in range(3)]
+    names = ["baseline", "v0", "v1", "v2"]
+    serial = verify_population(binaries, names=names)
+    pooled = verify_population(binaries, names=names, workers=2,
+                               force_pool=True)
+    assert [r.name for r in serial] == names
+    assert [r.name for r in pooled] == names
+    assert [r.ok for r in serial] == [r.ok for r in pooled]
+    assert [r.stats for r in serial] == [r.stats for r in pooled]
+
+
+def test_cli_verify_passes(capsys):
+    rc = main(["verify", "470.lbm", "--variants", "1", "--p", "0.25"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "verify: PASS" in out
+    assert "470.lbm" in out
+
+
+def test_cli_verify_json_payload(tmp_path, capsys):
+    out_path = tmp_path / "verify.json"
+    rc = main(["verify", "470.lbm", "--variants", "1", "--p", "0.25",
+               "--json", str(out_path)])
+    capsys.readouterr()
+    assert rc == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["ok"] is True
+    workloads = payload["workloads"]
+    assert "470.lbm" in workloads
+    entry = workloads["470.lbm"]
+    assert entry["findings"] == []
+    assert entry["inserted_nops"] > 0

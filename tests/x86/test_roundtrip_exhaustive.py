@@ -1,0 +1,194 @@
+"""Exhaustive encoder <-> decoder agreement.
+
+Enumerates every instruction form the encoder can emit — all mnemonics,
+all operand kinds, every ``encode_rm`` addressing-mode path, both ModRM
+directions — and asserts each one round-trips: ``decode(encode(i))``
+equals ``i``, reports the right size, and re-encoding the decoded
+instruction (trying the alternate ModRM direction where it exists)
+reproduces the exact original bytes. This is the standalone version of
+the verifier's ``roundtrip`` pass, run over the full form space instead
+of whatever a particular binary happens to contain.
+
+Immediates use the decoder's canonical ranges: signed for s8/s32 fields
+(ALU, mov, push, imul, branches), unsigned for the u8/u16 fields
+(shift counts, ``int``, ``ret imm16``).
+"""
+
+import pytest
+
+from repro.x86.decoder import decode
+from repro.x86.encoder import _ALU_OPS, _SHIFT_OPS, encode
+from repro.x86.instructions import (
+    Imm, Instr, JCC_MNEMONICS, Mem, Rel, SETCC_MNEMONICS,
+)
+from repro.x86.registers import EBP, ECX, ESP, register_by_code
+
+REGS = tuple(register_by_code(code) for code in range(8))
+INDEXABLE = tuple(r for r in REGS if r is not ESP)
+
+#: Signed immediates spanning both the imm8 and imm32 encoder paths.
+SIGNED_IMMS = (0, 1, -1, 127, -128, 128, -129,
+               0x1234_5678, -0x1234_5678)
+
+#: A displacement set hitting disp0, disp8 (both signs, both bounds)
+#: and disp32 (both signs).
+DISPS = (0, 5, -8, 127, -128, 128, -129, 0x4000, -0x4000)
+
+
+def all_mems():
+    """Every ``encode_rm`` addressing-mode path, at every disp width."""
+    mems = [Mem(disp=disp) for disp in DISPS]          # absolute
+    for base in REGS:                                  # [base + disp]
+        mems.extend(Mem(base=base, disp=disp) for disp in DISPS)
+    for base in (None,) + REGS:                        # SIB forms
+        for index in INDEXABLE:
+            for scale in (1, 2, 4, 8):
+                for disp in (0, 4, -128, 0x4000):
+                    mems.append(Mem(base=base, index=index,
+                                    scale=scale, disp=disp))
+    return mems
+
+
+#: A small subset still covering each distinct encode_rm byte shape:
+#: absolute, plain base (disp0/disp8/disp32), the EBP-forces-disp8 and
+#: ESP-forces-SIB specials, SIB with and without base, SIB+EBP base.
+MEM_SAMPLE = (
+    Mem(disp=0x804c000),
+    Mem(base=REGS[3], disp=0),
+    Mem(base=REGS[3], disp=8),
+    Mem(base=REGS[3], disp=0x400),
+    Mem(base=EBP, disp=0),
+    Mem(base=EBP, disp=-12),
+    Mem(base=ESP, disp=0),
+    Mem(base=ESP, disp=4),
+    Mem(base=ESP, disp=0x200),
+    Mem(base=REGS[0], index=REGS[6], scale=4, disp=0),
+    Mem(base=EBP, index=REGS[1], scale=2, disp=0),
+    Mem(index=REGS[7], scale=8, disp=0x100),
+)
+
+RM_SAMPLE = REGS + MEM_SAMPLE
+
+
+def roundtrip(instr):
+    blob = encode(instr)
+    decoded = decode(blob)
+    assert decoded == instr, (instr, decoded, blob.hex())
+    assert decoded.size == len(blob)
+    produced = encode(Instr(decoded.mnemonic, *decoded.operands))
+    if produced != blob:
+        produced = encode(Instr(decoded.mnemonic, *decoded.operands,
+                                alternate_encoding=True))
+    assert produced == blob, (instr, blob.hex(), produced.hex())
+
+
+def test_mem_addressing_modes_exhaustive():
+    """The full encode_rm space through its two directional carriers."""
+    for mem in all_mems():
+        for reg in REGS[:2]:
+            roundtrip(Instr("mov", reg, mem))
+            roundtrip(Instr("mov", mem, reg))
+            roundtrip(Instr("lea", reg, mem))
+
+
+@pytest.mark.parametrize("mnemonic", sorted(_ALU_OPS))
+def test_alu_forms(mnemonic):
+    for dst in RM_SAMPLE:
+        for value in SIGNED_IMMS:
+            roundtrip(Instr(mnemonic, dst, Imm(value)))
+        for src in REGS:
+            roundtrip(Instr(mnemonic, dst, src))
+    for dst in REGS:
+        for src in MEM_SAMPLE:
+            roundtrip(Instr(mnemonic, dst, src))
+        for src in REGS:
+            roundtrip(Instr(mnemonic, dst, src, alternate_encoding=True))
+
+
+@pytest.mark.parametrize("mnemonic", sorted(_SHIFT_OPS))
+def test_shift_forms(mnemonic):
+    for dst in RM_SAMPLE:
+        for count in (0, 1, 2, 5, 31, 255):
+            roundtrip(Instr(mnemonic, dst, Imm(count)))
+        roundtrip(Instr(mnemonic, dst, ECX))
+
+
+def test_mov_forms():
+    for dst in REGS:
+        for src in REGS:
+            roundtrip(Instr("mov", dst, src))
+            roundtrip(Instr("mov", dst, src, alternate_encoding=True))
+        for value in SIGNED_IMMS:
+            roundtrip(Instr("mov", dst, Imm(value)))
+    for mem in MEM_SAMPLE:
+        for value in SIGNED_IMMS:
+            roundtrip(Instr("mov", mem, Imm(value)))
+
+
+def test_test_and_xchg_forms():
+    for dst in RM_SAMPLE:
+        for src in REGS:
+            roundtrip(Instr("test", dst, src))
+            roundtrip(Instr("xchg", dst, src))
+        for value in SIGNED_IMMS:
+            roundtrip(Instr("test", dst, Imm(value)))
+
+
+def test_stack_forms():
+    for reg in REGS:
+        roundtrip(Instr("push", reg))
+        roundtrip(Instr("pop", reg))
+    for mem in MEM_SAMPLE:
+        roundtrip(Instr("push", mem))
+        roundtrip(Instr("pop", mem))
+    for value in SIGNED_IMMS:
+        roundtrip(Instr("push", Imm(value)))
+
+
+def test_unary_group_forms():
+    for mnemonic in ("inc", "dec", "neg", "not", "mul", "idiv",
+                     "call_reg", "jmp_reg"):
+        for operand in RM_SAMPLE:
+            roundtrip(Instr(mnemonic, operand))
+
+
+def test_imul_forms():
+    for dst in REGS:
+        for src in RM_SAMPLE:
+            roundtrip(Instr("imul", dst, src))
+            for value in SIGNED_IMMS:
+                roundtrip(Instr("imul", dst, src, Imm(value)))
+
+
+def test_setcc_forms():
+    for mnemonic in sorted(SETCC_MNEMONICS):
+        for reg in REGS[:4]:  # only AL..BL have byte forms
+            roundtrip(Instr(mnemonic, reg))
+        for mem in MEM_SAMPLE:
+            roundtrip(Instr(mnemonic, mem))
+
+
+def test_branch_forms():
+    rel8s = (0, 1, -1, 127, -128)
+    rel32s = (0, 128, -129, 0x12345, -0x12345)
+    for value in rel32s:
+        roundtrip(Instr("call", Rel(value, 32)))
+        roundtrip(Instr("jmp", Rel(value, 32)))
+    for value in rel8s:
+        roundtrip(Instr("jmp", Rel(value, 8)))
+    for mnemonic in sorted(JCC_MNEMONICS):
+        for value in rel8s:
+            roundtrip(Instr(mnemonic, Rel(value, 8)))
+        for value in rel32s:
+            roundtrip(Instr(mnemonic, Rel(value, 32)))
+
+
+def test_nullary_and_misc_forms():
+    roundtrip(Instr("nop"))
+    roundtrip(Instr("hlt"))
+    roundtrip(Instr("cdq"))
+    roundtrip(Instr("ret"))
+    for value in (0, 4, 8, 0xFFFC):
+        roundtrip(Instr("ret", Imm(value)))
+    for value in (0, 3, 0x80, 0xFF):
+        roundtrip(Instr("int", Imm(value)))

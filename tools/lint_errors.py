@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Lint: keep the typed error taxonomy enforced.
+
+Every error raised inside ``src/repro/`` must be a subclass of
+:class:`repro.errors.ReproError` (stable ``code``, structured
+``context``) — bare ``raise ValueError(...)`` / ``raise
+RuntimeError(...)`` lose both and break the fault-injection campaign's
+typed-coverage guarantee. This lint forbids raising (or re-raising the
+class of) those two builtins anywhere in ``src/repro/`` outside
+``errors.py`` itself, where ``ValueError`` legitimately appears in
+bases for backward compatibility.
+
+Run by ``make lint`` (and therefore ``make test``). Exits 1 and lists
+``file:line`` for each violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+FORBIDDEN = {"ValueError", "RuntimeError"}
+ROOT = Path(__file__).resolve().parent.parent
+PACKAGE = ROOT / "src" / "repro"
+EXEMPT = {PACKAGE / "errors.py"}
+
+
+def _raised_name(node):
+    """The bare name a ``raise`` statement raises, if determinable."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def find_violations(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Raise):
+            name = _raised_name(node)
+            if name in FORBIDDEN:
+                violations.append((node.lineno, name))
+    return violations
+
+
+def main():
+    failures = []
+    for path in sorted(PACKAGE.rglob("*.py")):
+        if path in EXEMPT:
+            continue
+        for lineno, name in find_violations(path):
+            failures.append(
+                f"{path.relative_to(ROOT)}:{lineno}: bare raise {name}; "
+                f"use a repro.errors type with a stable code")
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"lint: {len(failures)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint: OK (no bare ValueError/RuntimeError raises in "
+          "src/repro/)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
