@@ -28,9 +28,8 @@ Environment knobs:
 
 from __future__ import annotations
 
-import os
-
 from repro.core.config import PAPER_CONFIGS
+from repro.obs.knobs import knob_value
 from repro.pipeline import ProgramBuild, build_population
 from repro.security.population import population_signatures
 from repro.security.survivor import gadget_signatures
@@ -39,8 +38,8 @@ from repro.workloads.registry import SPEC_ORDER, get_workload
 #: Config labels in the paper's column order (Table 2).
 CONFIG_ORDER = ("50%", "25-50%", "10-50%", "30%", "0-30%")
 
-POPULATION_SIZE = int(os.environ.get("REPRO_POPULATION", "25"))
-PERF_SEEDS = int(os.environ.get("REPRO_PERF_SEEDS", "5"))
+POPULATION_SIZE = knob_value("REPRO_POPULATION")
+PERF_SEEDS = knob_value("REPRO_PERF_SEEDS")
 
 _BUILDS = {}
 _PROFILES = {}

@@ -15,9 +15,8 @@ Protocol, exactly as the paper describes:
 4. expect: no diversified binary is attackable with either scanner.
 """
 
-import os
-
 from repro.core.config import PAPER_CONFIGS
+from repro.obs.knobs import knob_value
 from repro.pipeline import ProgramBuild
 from repro.reporting import format_table
 from repro.security.attack import attempt_attack
@@ -28,7 +27,7 @@ from repro.security.survivor import gadget_signatures
 from repro.workloads.clbg import CLBG_PROGRAMS, clbg_input
 from repro.workloads.registry import get_workload
 
-POPULATION_SIZE = int(os.environ.get("REPRO_POPULATION", "25"))
+POPULATION_SIZE = knob_value("REPRO_POPULATION")
 _SCANNERS = (RopGadgetScanner(), MicroGadgetScanner())
 
 

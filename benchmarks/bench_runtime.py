@@ -74,6 +74,12 @@ MIN_POPULATION_SPEEDUP = 3.0
 #: inversion when it was live, so noise headroom is safe).
 POOL_TOLERANCE = 1.25
 
+#: Gate: with tracing disabled (no REPRO_TRACE), the observability
+#: instrumentation on the simulate path — knob lookup, span timing, the
+#: stage histogram and instruction counters — may cost at most this
+#: fraction over invoking the engine directly on the sim mix.
+MAX_TRACE_OVERHEAD = 0.02
+
 
 def _best_of(times, fn):
     """Best wall-clock of ``times`` runs of ``fn`` (GC off while timed)."""
@@ -234,6 +240,56 @@ def measure_static_verify(population_size):
     }
 
 
+def measure_trace_overhead(repeats):
+    """Tracing-disabled instrumentation cost on the sim mix (gated).
+
+    Compares the fully-instrumented execute path (``build.simulate`` →
+    ``Machine.run`` with its span, engine-knob resolution and metric
+    counters; ``REPRO_TRACE`` unset, so no events are recorded) against
+    constructing a :class:`Machine` and invoking the fast engine
+    directly. Both sides are best-of-``repeats`` with the GC off; the
+    gate keeps the observability layer honest about its "near-zero when
+    disabled" promise.
+    """
+    from repro.sim import fastpath
+    from repro.sim.machine import Machine
+
+    assert os.environ.get("REPRO_TRACE") is None, \
+        "trace-overhead measurement requires REPRO_TRACE unset"
+
+    per_workload = {}
+    instrumented_total = raw_total = 0.0
+    for name in MIX:
+        workload = get_workload(name)
+        build = ProgramBuild(workload.source, workload.name)
+        binary = build.link_baseline()
+        inputs = workload.ref_input
+
+        def raw():
+            machine = Machine(binary, input_values=inputs)
+            fastpath.run_machine(machine)
+
+        instrumented = _best_of(
+            repeats, lambda: build.simulate(binary, inputs))
+        bare = _best_of(repeats, raw)
+        instrumented_total += instrumented
+        raw_total += bare
+        per_workload[name] = {
+            "instrumented_seconds": round(instrumented, 4),
+            "raw_seconds": round(bare, 4),
+        }
+
+    overhead = instrumented_total / raw_total - 1.0
+    return {
+        "workloads": per_workload,
+        "instrumented_seconds": round(instrumented_total, 4),
+        "raw_seconds": round(raw_total, 4),
+        "overhead": round(overhead, 4),
+        "max_overhead": MAX_TRACE_OVERHEAD,
+        "ok": overhead <= MAX_TRACE_OVERHEAD,
+    }
+
+
 def measure_cache(population_size):
     """Cold-then-warm cached build; returns the observed counters."""
     workload = get_workload(MIX[0])
@@ -282,11 +338,17 @@ def main(argv=None):
     cache = measure_cache(5 if args.quick else population_size)
     static_verify = measure_static_verify(8 if args.quick
                                           else population_size)
+    trace_overhead = measure_trace_overhead(3 if args.quick else 5)
 
     failures = []
     if mix["speedup"] < MIN_SPEEDUP:
         failures.append(f"mix speedup {mix['speedup']}x below the "
                         f"{MIN_SPEEDUP}x gate")
+    if not trace_overhead["ok"]:
+        failures.append(
+            f"tracing-disabled instrumentation overhead "
+            f"{trace_overhead['overhead']*100:.2f}% above the "
+            f"{MAX_TRACE_OVERHEAD*100:.0f}% gate")
     if not population["speedup_ok"]:
         failures.append(
             f"population incremental speedup "
@@ -304,6 +366,7 @@ def main(argv=None):
         "population_build": population,
         "artifact_cache": cache,
         "static_verify": static_verify,
+        "trace_overhead": trace_overhead,
         "min_speedup": MIN_SPEEDUP,
         "failures": failures,
         "ok": not failures,
@@ -331,6 +394,9 @@ def main(argv=None):
           f"{static_verify['binaries_per_sec']} binaries/sec, "
           f"transparency {static_verify['proofs_per_sec']} proofs/sec "
           f"(non-gating)")
+    print(f"trace-disabled overhead: "
+          f"{trace_overhead['overhead']*100:.2f}% on the sim mix "
+          f"(gate: <= {MAX_TRACE_OVERHEAD*100:.0f}%)")
     print(f"wrote {args.output}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

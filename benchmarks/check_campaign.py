@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 
 from repro.check import (
@@ -26,9 +25,10 @@ from repro.check import (
     validate_workloads,
 )
 from repro.core.config import DiversificationConfig
+from repro.obs.knobs import knob_value
 
-VARIANTS = int(os.environ.get("REPRO_CHECK_VARIANTS", "10"))
-FAULT_SEEDS = int(os.environ.get("REPRO_CHECK_FAULT_SEEDS", "5"))
+VARIANTS = knob_value("REPRO_CHECK_VARIANTS")
+FAULT_SEEDS = knob_value("REPRO_CHECK_FAULT_SEEDS")
 
 #: Configurations exercised by the differential sweep: the paper's
 #: uniform 50% plus its headline profile-guided range.

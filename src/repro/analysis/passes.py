@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from repro.analysis.absint import analyze_defuse, analyze_stack
 from repro.analysis.cfg import Finding, recover_cfg
 from repro.errors import EncodingError, VerificationError
+from repro.obs import metrics
+from repro.obs.trace import span
 from repro.x86.encoder import encode
 from repro.x86.instructions import Instr, Mem
 
@@ -122,6 +124,11 @@ def verify_binary(binary, *, name=None, passes=None):
     """
     selected = ALL_PASSES if passes is None else tuple(passes)
     report = VerifyReport(name=name or f"binary@{binary.text_base:#x}")
+    with span("verify", binary=report.name):
+        return _verify(binary, report, selected)
+
+
+def _verify(binary, report, selected):
     cfg = recover_cfg(binary)
 
     if "cfg" in selected:
@@ -152,6 +159,9 @@ def verify_binary(binary, *, name=None, passes=None):
         "unreachable_bytes": cfg.unreachable_bytes,
         "findings_by_code": report.by_code(),
     }
+    metrics.inc("verify.binaries")
+    if report.findings:
+        metrics.inc("verify.findings", len(report.findings))
     return report
 
 

@@ -25,34 +25,43 @@ import os
 import pickle
 import tempfile
 
+from repro.obs import metrics
+from repro.obs.knobs import knob_value
+
 #: Bump when variant generation, linking, or the binary layout changes
 #: meaning: stale entries from older code must never be returned.
 CACHE_VERSION = 1
 
-#: Process-wide hit/miss/put totals across every VariantCache instance.
-#: Pool workers accumulate their own copies; the population builder
-#: returns each chunk's delta to the parent, which folds it in through
-#: :func:`record_cache_stats` — so the numbers the CLI and benches print
-#: cover the whole build, not just the parent process.
-_GLOBAL_STATS = {"hits": 0, "misses": 0, "puts": 0}
+#: The process-wide hit/miss/put totals live in the shared metrics
+#: registry (:mod:`repro.obs.metrics`) under these counter names, so
+#: they travel to the parent inside the same named
+#: :class:`~repro.obs.metrics.MetricsDelta` as every other worker
+#: metric. The helpers below keep the original cache_stats() API.
+_STAT_KEYS = ("hits", "misses", "puts")
 
 
 def cache_stats():
     """Snapshot of the process-wide cache counters."""
-    return dict(_GLOBAL_STATS)
+    counters = metrics.counters()
+    return {key: counters.get(f"cache.{key}", 0) for key in _STAT_KEYS}
 
 
 def reset_cache_stats():
     """Zero the process-wide cache counters (test/bench isolation)."""
-    for key in _GLOBAL_STATS:
-        _GLOBAL_STATS[key] = 0
+    for key in _STAT_KEYS:
+        metrics.zero(f"cache.{key}")
 
 
 def record_cache_stats(hits=0, misses=0, puts=0):
-    """Fold externally-observed counts (e.g. a pool worker's) in."""
-    _GLOBAL_STATS["hits"] += hits
-    _GLOBAL_STATS["misses"] += misses
-    _GLOBAL_STATS["puts"] += puts
+    """Fold externally-observed counts (keyword-named) in.
+
+    Worker pools no longer call this with a positional tuple — they
+    ship a whole :class:`~repro.obs.metrics.MetricsDelta` keyed by
+    counter name — but out-of-tree callers keep the keyword API.
+    """
+    metrics.inc("cache.hits", hits)
+    metrics.inc("cache.misses", misses)
+    metrics.inc("cache.puts", puts)
 
 
 def variant_key(source, name, opt_level, config, seed, profile=None):
@@ -94,10 +103,10 @@ class VariantCache:
         except (OSError, pickle.PickleError, EOFError, AttributeError,
                 ImportError, IndexError):
             self.misses += 1
-            _GLOBAL_STATS["misses"] += 1
+            metrics.inc("cache.misses")
             return None
         self.hits += 1
-        _GLOBAL_STATS["hits"] += 1
+        metrics.inc("cache.hits")
         return binary
 
     def put(self, key, binary):
@@ -121,7 +130,7 @@ class VariantCache:
         except OSError:
             return  # a full/read-only disk must not fail the build
         self.puts += 1
-        _GLOBAL_STATS["puts"] += 1
+        metrics.inc("cache.puts")
 
     def stats(self):
         """This instance's ``{"hits": .., "misses": .., "puts": ..}``."""
@@ -140,7 +149,7 @@ def cache_from_env(cache_dir=None):
     is empty.
     """
     if cache_dir is None:
-        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        cache_dir = knob_value("REPRO_CACHE_DIR")
     if not cache_dir:
         return None
     return VariantCache(cache_dir)

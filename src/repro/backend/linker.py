@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import LinkError
 from repro.backend.objfile import LabelDef
+from repro.obs.trace import span
 from repro.x86.encoder import encode, instruction_size
 from repro.x86.instructions import Instr, Label, Mem, Rel
 
@@ -133,6 +134,11 @@ def link(units, text_base=DEFAULT_TEXT_BASE, data_alignment=16):
     ``units`` is an iterable of ObjectUnit; functions are laid out in unit
     order then function order. The entry symbol ``_start`` must exist.
     """
+    with span("link", mode="full"):
+        return _link(units, text_base, data_alignment)
+
+
+def _link(units, text_base, data_alignment):
     units = list(units)
     # Flatten to (unit, function_code) preserving order; check duplicates.
     functions = []

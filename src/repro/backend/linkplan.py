@@ -39,6 +39,7 @@ from __future__ import annotations
 from itertools import accumulate
 
 from repro.errors import LinkError, PlanMismatchError
+from repro.obs.trace import span
 from repro.backend.linker import (
     DEFAULT_TEXT_BASE, InstrRecord, LinkedBinary, _align, _branch_sizes,
     _encode_memoized, _fixed_size,
@@ -375,6 +376,10 @@ class LinkPlan:
         Returns a :class:`~repro.backend.linker.LinkedBinary` that is
         bit-identical to ``link([*fixed_units, unit])``.
         """
+        with span("link", mode="incremental"):
+            return self._apply(unit, records=records)
+
+    def _apply(self, unit, *, records):
         if unit.data_symbols != self._unit.data_symbols:
             raise PlanMismatchError("variant changed data symbols")
 

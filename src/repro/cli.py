@@ -11,6 +11,7 @@ Subcommands::
     bench     NAME              run one SPEC-like workload end to end
     check     [NAMES...]        differential validation + fault campaign
     verify    [NAMES...]        static verification + transparency proofs
+    knobs                       print the REPRO_* environment-knob registry
 
 Examples::
 
@@ -22,10 +23,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 
 from repro.core.config import DiversificationConfig
+from repro.obs import metrics
+from repro.obs.knobs import all_knobs, knob_value
 from repro.pipeline import ProgramBuild
 from repro.reporting import format_table
 from repro.security.gadgets import find_gadgets
@@ -191,8 +193,10 @@ def cmd_check(args):
     stats = cache_stats()
     print(f"\nartifact cache: {stats['hits']} hits, "
           f"{stats['misses']} misses, {stats['puts']} puts"
-          + ("" if os.environ.get("REPRO_CACHE_DIR")
+          + ("" if knob_value("REPRO_CACHE_DIR")
              else " (REPRO_CACHE_DIR unset: caching disabled)"))
+
+    observability = _observability_section()
 
     if args.json_output:
         import json
@@ -205,6 +209,7 @@ def cmd_check(args):
             "campaign": summary,
             "static_verify": sv_payload,
             "artifact_cache": stats,
+            "observability": observability,
         }
         with open(args.json_output, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -213,6 +218,33 @@ def cmd_check(args):
     ok = divergences == 0 and campaign.ok and sv_findings == 0
     print("\ncheck:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
+
+
+def _observability_section():
+    """Print the per-stage timing + counter section; returns its JSON
+    payload (what ``--json`` embeds under ``"observability"``).
+
+    Stage timings come from the ``stage.*`` histograms every
+    :class:`~repro.obs.trace.span` feeds — including spans that ran in
+    pool workers, whose metric deltas were folded into this process —
+    and counters are the full metrics registry (NOPs per heat class,
+    cache traffic, link-plan fallbacks, verify findings, recorded
+    warnings).
+    """
+    timings = metrics.stage_timings()
+    rows = [(stage, entry["calls"], f"{entry['seconds']:.3f}",
+             f"{entry['mean']*1000:.2f}", f"{entry['max']*1000:.2f}")
+            for stage, entry in sorted(timings.items(),
+                                       key=lambda kv: -kv[1]["seconds"])]
+    print("\n" + format_table(
+        ("stage", "calls", "total s", "mean ms", "max ms"), rows,
+        title="per-stage timings"))
+    counters = metrics.counters()
+    if counters:
+        print(format_table(
+            ("counter", "value"), sorted(counters.items()),
+            title="pipeline counters"))
+    return {"stage_timings": timings, "counters": counters}
 
 
 def _static_verify_section(names, config, variants):
@@ -310,14 +342,70 @@ def cmd_verify(args):
                         "status"), rows,
                        title="static verification + transparency"))
 
+    observability = _observability_section()
+
     ok = total_findings == 0
     if args.json_output:
         import json
         with open(args.json_output, "w") as handle:
-            json.dump({"workloads": payload, "ok": ok}, handle, indent=2)
+            json.dump({"workloads": payload, "ok": ok,
+                       "observability": observability}, handle, indent=2)
         print(f"wrote {args.json_output}")
     print("\nverify:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
+
+
+def cmd_knobs(args):
+    """Print the declarative ``REPRO_*`` knob registry.
+
+    Shows every registered environment variable with its type, allowed
+    values, default, current (parsed) value and docstring — the
+    discoverable replacement for grepping the source for
+    ``os.environ``. A knob currently set to an invalid value shows the
+    error instead of a value (and the command exits nonzero).
+    """
+    from repro.errors import ConfigError
+
+    invalid = 0
+    rows = []
+    payload = {}
+    for knob in all_knobs():
+        if knob.kind in ("choice", "bool"):
+            allowed = "|".join(sorted(knob.choices))
+        elif knob.kind == "int":
+            allowed = ("int" if knob.minimum is None
+                       else f"int >= {knob.minimum}")
+        else:
+            allowed = "path"
+        try:
+            current = knob.value()
+            shown = "<unset>" if current is None else current
+        except ConfigError as exc:
+            invalid += 1
+            current = None
+            shown = f"INVALID ({exc})"
+        rows.append((knob.name, allowed,
+                     "-" if knob.default is None else knob.default,
+                     shown))
+        payload[knob.name] = {
+            "kind": knob.kind,
+            "allowed": allowed,
+            "default": knob.default,
+            "current": current,
+            "doc": knob.doc,
+        }
+    print(format_table(("knob", "values", "default", "current"), rows,
+                       title=f"{len(rows)} registered REPRO_* knobs"))
+    print()
+    for knob in all_knobs():
+        print(f"{knob.name}:")
+        print(f"    {knob.doc}")
+    if args.json_output:
+        import json
+        with open(args.json_output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_output}")
+    return 1 if invalid else 0
 
 
 def cmd_bench(args):
@@ -409,6 +497,13 @@ def main(argv=None):
     p.add_argument("--json", dest="json_output",
                    help="write a JSON summary here")
     p.set_defaults(handler=cmd_verify)
+
+    p = sub.add_parser(
+        "knobs",
+        help="print the REPRO_* environment-knob registry")
+    p.add_argument("--json", dest="json_output",
+                   help="write the registry as JSON here")
+    p.set_defaults(handler=cmd_knobs)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -24,10 +24,24 @@ consequence of linking, not an emulation.
 from __future__ import annotations
 
 from repro.backend.objfile import FunctionCode, ObjectUnit
+from repro.obs import metrics
 from repro.x86.instructions import Instr
 
 #: Sentinel distinct from any block id (including ``None``).
 _UNSET = object()
+
+#: Block-heat buckets, classified by the insertion probability the
+#: policy assigned: profile-guided configs give *hot* blocks p near
+#: p_min and *cold* blocks p_max, so low p is a proxy for high heat.
+#: Uniform configs land every block in one bucket by construction.
+_HEAT_THRESHOLDS = ((0.05, "hot"), (0.25, "warm"))
+
+
+def _heat_class(p):
+    for threshold, label in _HEAT_THRESHOLDS:
+        if p < threshold:
+            return label
+    return "cold"
 
 
 def insert_nops(function_code, candidates, rng, probability_for_block):
@@ -47,13 +61,18 @@ def insert_nops(function_code, candidates, rng, probability_for_block):
     roll_once = rng.random
     pick_index = rng.randrange
     # Consecutive instructions almost always share a block, so the
-    # policy is consulted once per block run, not once per instruction.
+    # policy (and its heat class) is consulted once per block run, not
+    # once per instruction. Per-heat insertion counts accumulate in a
+    # local dict and fold into the shared metrics once per function.
     last_block = last_p = _UNSET
+    last_heat = "cold"
+    inserted_by_heat = {}
     for item in function_code.items:
         if isinstance(item, Instr):
             block_id = item.block_id
             if block_id != last_block:
                 last_p = probability_for_block(block_id)
+                last_heat = _heat_class(last_p)
                 last_block = block_id
             p_nop = last_p
             roll = roll_once()
@@ -62,7 +81,15 @@ def insert_nops(function_code, candidates, rng, probability_for_block):
                 nop = candidates[nop_index].to_instr()
                 nop.block_id = block_id
                 append(nop)
+                inserted_by_heat[last_heat] = \
+                    inserted_by_heat.get(last_heat, 0) + 1
         append(item)
+    if inserted_by_heat:
+        total = 0
+        for heat, count in inserted_by_heat.items():
+            metrics.inc(f"nops.inserted.{heat}", count)
+            total += count
+        metrics.inc("nops.inserted", total)
     return FunctionCode(function_code.name, new_items,
                         diversifiable=function_code.diversifiable)
 

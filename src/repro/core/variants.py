@@ -18,6 +18,7 @@ from repro.core.nop_insertion import insert_nops
 from repro.core.policies import block_probability_function
 from repro.core.substitution import substitute_encodings
 from repro.backend.objfile import ObjectUnit
+from repro.obs.trace import span
 
 
 def diversify_unit(unit, config, seed, profile=None):
@@ -35,20 +36,24 @@ def diversify_unit(unit, config, seed, profile=None):
     policy = block_probability_function(config, profile)
     candidates = config.nop_candidates
     variant = ObjectUnit(unit.name, data_symbols=dict(unit.data_symbols))
-    for function_code in unit.functions:
-        diversified = insert_nops(function_code, candidates, rng, policy)
-        if config.basic_block_shifting:
-            diversified = shift_basic_blocks(
-                diversified, candidates, rng,
-                max_shift_bytes=config.max_shift_bytes)
-        if config.encoding_substitution:
-            diversified = substitute_encodings(diversified, rng)
-        variant.add_function(diversified)
-    if config.function_reordering:
-        reorderable = [fc for fc in variant.functions if fc.diversifiable]
-        fixed = [fc for fc in variant.functions if not fc.diversifiable]
-        rng.shuffle(reorderable)
-        variant.functions = fixed + reorderable
+    with span("nop_insert", unit=unit.name, seed=seed):
+        for function_code in unit.functions:
+            diversified = insert_nops(function_code, candidates, rng,
+                                      policy)
+            if config.basic_block_shifting:
+                diversified = shift_basic_blocks(
+                    diversified, candidates, rng,
+                    max_shift_bytes=config.max_shift_bytes)
+            if config.encoding_substitution:
+                diversified = substitute_encodings(diversified, rng)
+            variant.add_function(diversified)
+        if config.function_reordering:
+            reorderable = [fc for fc in variant.functions
+                           if fc.diversifiable]
+            fixed = [fc for fc in variant.functions
+                     if not fc.diversifiable]
+            rng.shuffle(reorderable)
+            variant.functions = fixed + reorderable
     return variant
 
 

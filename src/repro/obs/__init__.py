@@ -1,0 +1,20 @@
+"""repro.obs — zero-dependency observability for the pipeline.
+
+Three small pieces, one import surface:
+
+- :mod:`repro.obs.trace` — nestable wall-clock spans with optional
+  JSON-lines export (``REPRO_TRACE=path.jsonl``);
+- :mod:`repro.obs.metrics` — process-wide named counters/histograms
+  with picklable :class:`~repro.obs.metrics.MetricsDelta` objects that
+  pool workers ship back to the parent;
+- :mod:`repro.obs.knobs` — the declarative registry of every
+  ``REPRO_*`` environment variable, the only sanctioned way to read
+  one (invalid values raise :class:`~repro.errors.ConfigError` naming
+  the valid choices instead of being silently misread).
+
+See ``docs/OBSERVABILITY.md`` for the full tour.
+"""
+
+from repro.obs.knobs import Knob, all_knobs, knob_value  # noqa: F401
+from repro.obs.metrics import MetricsDelta  # noqa: F401
+from repro.obs.trace import span  # noqa: F401

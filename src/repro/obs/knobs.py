@@ -1,0 +1,203 @@
+"""Declarative registry for every ``REPRO_*`` environment knob.
+
+Before this module existed, each knob was an ad-hoc ``os.environ.get``
+at its point of use, and each call site invented its own parsing — which
+is how ``REPRO_STATIC_VERIFY=ful`` silently meant ``sample`` and
+``REPRO_WORKERS=abc`` died with a bare ``ValueError`` deep inside the
+population builder. Here every knob is declared once (name, type,
+allowed values, default, docstring) and resolved through one parser
+that rejects anything it does not recognize with a typed
+:class:`~repro.errors.ConfigError` naming the valid choices.
+
+Usage::
+
+    from repro.obs.knobs import knob_value
+    engine = knob_value("REPRO_SIM_ENGINE")      # "fast" | "reference"
+
+Values are read from the environment at call time (not import time), so
+tests and benchmarks that set knobs mid-process see their changes.
+``repro-diversify knobs`` prints the full registry; the lint in
+``tools/lint_errors.py`` forbids direct ``os.environ`` access to
+``REPRO_*`` names anywhere else under ``src/repro/``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Truthy / falsy spellings accepted by boolean knobs.
+_TRUE = ("1", "on", "yes", "true")
+_FALSE = ("0", "off", "no", "false")
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One declared environment variable.
+
+    ``kind`` is ``"choice"``, ``"bool"``, ``"int"`` or ``"path"``;
+    ``choices`` maps every accepted spelling (lower-cased) to its
+    canonical parsed value for choice/bool knobs. ``default`` is the
+    parsed value used when the variable is unset or empty (empty string
+    means "unset" for every knob, matching the historical call sites).
+    """
+
+    name: str
+    kind: str
+    default: object
+    doc: str
+    choices: dict = field(default_factory=dict)
+    minimum: int | None = None
+
+    def canonical_choices(self):
+        """The distinct parsed values a choice knob can take, in first-
+        spelling order (for error messages and the CLI table)."""
+        seen = []
+        for value in self.choices.values():
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+    def parse(self, raw):
+        """Parse one raw environment string; raises ConfigError."""
+        if raw is None or raw.strip() == "":
+            return self.default
+        text = raw.strip()
+        if self.kind in ("choice", "bool"):
+            value = self.choices.get(text.lower())
+            if value is None and text.lower() not in self.choices:
+                raise ConfigError(
+                    f"{self.name}={raw!r} is not a valid value; "
+                    f"choose one of {sorted(self.choices)}",
+                    context={"knob": self.name, "value": raw,
+                             "choices": sorted(self.choices)})
+            return value
+        if self.kind == "int":
+            try:
+                value = int(text)
+            except ValueError:
+                raise ConfigError(
+                    f"{self.name}={raw!r} is not an integer",
+                    context={"knob": self.name, "value": raw,
+                             "choices": ["any integer"
+                                         if self.minimum is None else
+                                         f"integer >= {self.minimum}"]})
+            if self.minimum is not None and value < self.minimum:
+                raise ConfigError(
+                    f"{self.name}={raw!r} is below the minimum "
+                    f"{self.minimum}",
+                    context={"knob": self.name, "value": raw,
+                             "minimum": self.minimum})
+            return value
+        # "path": any non-empty string is a valid path-ish value.
+        return text
+
+    def value(self, environ=None):
+        """The knob's current parsed value (environment at call time)."""
+        environ = os.environ if environ is None else environ
+        return self.parse(environ.get(self.name))
+
+
+#: name → Knob; populated by :func:`register` below, iterated by the
+#: ``repro-diversify knobs`` command and the round-trip tests.
+REGISTRY = {}
+
+
+def register(knob):
+    REGISTRY[knob.name] = knob
+    return knob
+
+
+def knob_value(name, environ=None):
+    """Resolve one registered knob from the environment.
+
+    Raises :class:`~repro.errors.ConfigError` for an unregistered name
+    (a typo in *our* code, not the user's) or an invalid value.
+    """
+    knob = REGISTRY.get(name)
+    if knob is None:
+        raise ConfigError(f"unregistered knob {name!r}",
+                          context={"knob": name,
+                                   "registered": sorted(REGISTRY)})
+    return knob.value(environ)
+
+
+def all_knobs():
+    """Every registered knob, sorted by name."""
+    return [REGISTRY[name] for name in sorted(REGISTRY)]
+
+
+def _bool_choices():
+    choices = {}
+    for spelling in _TRUE:
+        choices[spelling] = True
+    for spelling in _FALSE:
+        choices[spelling] = False
+    return choices
+
+
+# -- the registry ------------------------------------------------------------
+# Every REPRO_* variable the pipeline, simulator, cache, CLI and
+# benchmarks consult. Adding a knob here is the only sanctioned way to
+# read a new REPRO_* variable (enforced by tools/lint_errors.py).
+
+register(Knob(
+    name="REPRO_SIM_ENGINE", kind="choice", default="fast",
+    choices={"fast": "fast", "reference": "reference"},
+    doc="Simulator execute path: 'fast' (threaded-code interpreter) or "
+        "'reference' (the step loop). Default fast."))
+
+register(Knob(
+    name="REPRO_STATIC_VERIFY", kind="choice", default=None,
+    choices={"off": None, "no": None, "false": None, "0": None,
+             "sample": "sample", "on": "sample", "yes": "sample",
+             "true": "sample", "1": "sample",
+             "all": "all", "full": "all"},
+    doc="Post-link static-verify gate: off (default), 'sample' "
+        "(baseline + every Nth variant) or 'all' (every link)."))
+
+register(Knob(
+    name="REPRO_LINK_PLAN", kind="bool", default=True,
+    choices=_bool_choices(),
+    doc="Incremental-linking kill switch: 0/off routes every link "
+        "through the full linker. Default on."))
+
+register(Knob(
+    name="REPRO_WORKERS", kind="int", default=1, minimum=0,
+    doc="Process-pool width for population builds and batch scans "
+        "(0 = cpu count, clamped to cores). Default 1 (serial)."))
+
+register(Knob(
+    name="REPRO_CACHE_DIR", kind="path", default=None,
+    doc="Root of the content-addressed variant artifact cache. "
+        "Unset/empty disables caching."))
+
+register(Knob(
+    name="REPRO_TRACE", kind="path", default=None,
+    doc="JSON-lines span-trace output path. Unset disables trace "
+        "recording entirely (the <2%-overhead default)."))
+
+register(Knob(
+    name="REPRO_TRACE_RING", kind="int", default=4096, minimum=1,
+    doc="Capacity of the in-process span ring buffer used when "
+        "tracing is enabled."))
+
+register(Knob(
+    name="REPRO_POPULATION", kind="int", default=25, minimum=1,
+    doc="Population size used by the table/figure benchmarks "
+        "(paper: 25 variants)."))
+
+register(Knob(
+    name="REPRO_PERF_SEEDS", kind="int", default=5, minimum=1,
+    doc="Seeds averaged per configuration by the overhead benchmarks."))
+
+register(Knob(
+    name="REPRO_CHECK_VARIANTS", kind="int", default=10, minimum=1,
+    doc="Variants per workload validated by the check campaign "
+        "tracker."))
+
+register(Knob(
+    name="REPRO_CHECK_FAULT_SEEDS", kind="int", default=5, minimum=1,
+    doc="Seeds per injector in the check campaign's fault sweep."))

@@ -1,0 +1,184 @@
+"""Process-wide named counters and histograms for the pipeline.
+
+This generalizes the hand-rolled ``_GLOBAL_STATS`` hit/miss/put dict
+that :mod:`repro.artifacts` grew in PR 2: one registry of named
+counters (monotonic integers: NOPs inserted per block-heat class,
+cache hits/misses/puts, link-plan fallbacks, verify findings, recorded
+warnings) and histograms (count/total/min/max summaries: per-stage
+wall-clock seconds, simulated instructions per run).
+
+Pool workers accumulate into their own process-local registry; a chunk
+boundary takes a :func:`snapshot` before the work and ships the
+:func:`delta_since` back to the parent, which folds it in with
+:func:`merge_delta`. The delta is a **named** structure
+(:class:`MetricsDelta`, keyed by metric name) — the previous protocol
+was a bare ``(hits, misses, puts)`` tuple whose meaning lived in
+positional convention on both sides of the process boundary, so a
+reordering on either side silently swapped hits and misses.
+
+Everything here is plain dict arithmetic: no locks (the simulator and
+pipeline are single-threaded per process; cross-process aggregation
+goes through pickled deltas), no dependencies, O(1) per increment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: name → int. Monotonic within a process between resets.
+_COUNTERS = {}
+
+#: name → [count, total, minimum, maximum].
+_HISTOGRAMS = {}
+
+
+def inc(name, value=1):
+    """Add ``value`` to counter ``name`` (creating it at zero)."""
+    _COUNTERS[name] = _COUNTERS.get(name, 0) + value
+
+
+def observe(name, value):
+    """Record one sample into histogram ``name``."""
+    stats = _HISTOGRAMS.get(name)
+    if stats is None:
+        _HISTOGRAMS[name] = [1, value, value, value]
+        return
+    stats[0] += 1
+    stats[1] += value
+    if value < stats[2]:
+        stats[2] = value
+    if value > stats[3]:
+        stats[3] = value
+
+
+def counters():
+    """Snapshot of every counter: ``{name: value}``."""
+    return dict(_COUNTERS)
+
+
+def histograms():
+    """Snapshot of every histogram:
+    ``{name: {"count", "total", "min", "max", "mean"}}``."""
+    return {
+        name: {"count": stats[0], "total": stats[1],
+               "min": stats[2], "max": stats[3],
+               "mean": stats[1] / stats[0]}
+        for name, stats in _HISTOGRAMS.items()
+    }
+
+
+def reset():
+    """Zero every counter and histogram (test/bench isolation)."""
+    _COUNTERS.clear()
+    _HISTOGRAMS.clear()
+
+
+def zero(name):
+    """Remove one counter (and/or histogram) by exact name."""
+    _COUNTERS.pop(name, None)
+    _HISTOGRAMS.pop(name, None)
+
+
+@dataclass
+class MetricsDelta:
+    """A picklable, *named* increment of the registry.
+
+    ``counters`` maps counter name → increment; ``histograms`` maps
+    histogram name → ``[count, total, min, max]``. Every field is keyed
+    by metric name, so the parent folds a worker's delta in without any
+    positional agreement — the fix for the ``record_cache_stats(*delta)``
+    tuple-ordering hazard.
+    """
+
+    counters: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+    def __bool__(self):
+        return bool(self.counters or self.histograms)
+
+
+def snapshot():
+    """An opaque marker of the registry's current totals.
+
+    Pass it to :func:`delta_since` after a unit of work to get that
+    work's :class:`MetricsDelta`.
+    """
+    return MetricsDelta(
+        counters=dict(_COUNTERS),
+        histograms={name: list(stats)
+                    for name, stats in _HISTOGRAMS.items()})
+
+
+def delta_since(before):
+    """The registry's change since ``before`` (a :func:`snapshot`)."""
+    delta = MetricsDelta()
+    for name, value in _COUNTERS.items():
+        change = value - before.counters.get(name, 0)
+        if change:
+            delta.counters[name] = change
+    for name, stats in _HISTOGRAMS.items():
+        prior = before.histograms.get(name)
+        if prior is None:
+            delta.histograms[name] = list(stats)
+        elif stats[0] > prior[0]:
+            # min/max of only-the-new samples are unrecoverable from
+            # running summaries; the merged extremes below stay correct
+            # because a window's extremes never exceed the totals'.
+            delta.histograms[name] = [stats[0] - prior[0],
+                                      stats[1] - prior[1],
+                                      stats[2], stats[3]]
+    return delta
+
+
+def merge_delta(delta):
+    """Fold a (worker's) :class:`MetricsDelta` into this process."""
+    for name, value in delta.counters.items():
+        inc(name, value)
+    for name, stats in delta.histograms.items():
+        existing = _HISTOGRAMS.get(name)
+        if existing is None:
+            _HISTOGRAMS[name] = list(stats)
+            continue
+        existing[0] += stats[0]
+        existing[1] += stats[1]
+        if stats[2] < existing[2]:
+            existing[2] = stats[2]
+        if stats[3] > existing[3]:
+            existing[3] = stats[3]
+
+
+def stage_timings():
+    """Per-stage wall-clock summaries from the ``stage.*`` histograms.
+
+    Returns ``{stage: {"calls", "seconds", "mean", "max"}}`` — the
+    section ``repro-diversify check/verify`` prints and embeds in
+    ``--json``. Stages executed inside pool workers are included
+    because worker deltas fold their ``stage.*`` histograms back into
+    the parent registry.
+    """
+    prefix = "stage."
+    return {
+        name[len(prefix):]: {
+            "calls": stats["count"],
+            "seconds": round(stats["total"], 6),
+            "mean": round(stats["mean"], 6),
+            "max": round(stats["max"], 6),
+        }
+        for name, stats in histograms().items()
+        if name.startswith(prefix)
+    }
+
+
+def render(counter_prefixes=()):
+    """Text lines for the CLI's counter section.
+
+    ``counter_prefixes`` filters to counters whose name starts with any
+    of the given prefixes (empty = all), sorted by name.
+    """
+    lines = []
+    for name in sorted(_COUNTERS):
+        if counter_prefixes and not name.startswith(
+                tuple(counter_prefixes)):
+            continue
+        lines.append(f"{name} = {_COUNTERS[name]}")
+    return lines

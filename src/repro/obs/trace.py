@@ -1,0 +1,173 @@
+"""Nestable wall-clock spans over the diversification pipeline.
+
+A *span* wraps one pipeline stage::
+
+    with span("link_variant", seed=seed):
+        ...
+
+Every span — enabled or not — feeds its elapsed seconds into the
+``stage.<name>`` histogram of :mod:`repro.obs.metrics`, which is what
+the per-stage timing section of ``repro-diversify check/verify`` reads
+(and what pool workers fold back to the parent through metric deltas).
+
+Full trace *recording* is off by default and costs two
+``perf_counter`` calls plus one histogram update per span; set
+``REPRO_TRACE=path.jsonl`` to additionally record every span into a
+bounded per-process ring buffer (``REPRO_TRACE_RING`` entries) and
+append it as one JSON object per line to the given path. Pool workers
+inherit the knob and append to the same file; each line carries the
+writer's ``pid`` and lines are small enough for ``O_APPEND`` atomicity,
+so a multi-process build produces one merged, attributable trace.
+
+Spans nest: each records its parent's id, so the exported stream
+reconstructs the stage tree (``compile`` → ``frontend``/``opt``/
+``lowering``; ``population_build`` → ``nop_insert``/``link``/...).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from collections import deque
+
+from repro.obs import metrics
+from repro.obs.knobs import knob_value
+
+#: Per-process ring of finished-span event dicts (newest last), created
+#: on first enabled span with ``REPRO_TRACE_RING`` capacity.
+_RING = None
+
+#: Stack of live *recorded* span ids (disabled spans never push).
+_STACK = []
+
+_NEXT_ID = itertools.count(1)
+
+#: Open JSONL sink and the path it was opened for (reopened if the
+#: knob changes mid-process, e.g. across tests).
+_SINK = None
+_SINK_PATH = None
+
+
+def trace_path():
+    """The ``REPRO_TRACE`` destination, or ``None`` when disabled."""
+    return knob_value("REPRO_TRACE")
+
+
+def events():
+    """Finished-span events currently in the ring buffer (oldest first)."""
+    return list(_RING) if _RING is not None else []
+
+
+def reset():
+    """Drop ring, stack and sink (test isolation)."""
+    global _RING, _SINK, _SINK_PATH
+    _STACK.clear()
+    _RING = None
+    if _SINK is not None:
+        try:
+            _SINK.close()
+        except OSError:
+            pass
+    _SINK = None
+    _SINK_PATH = None
+
+
+def _sink_for(path):
+    global _SINK, _SINK_PATH
+    if path != _SINK_PATH:
+        if _SINK is not None:
+            try:
+                _SINK.close()
+            except OSError:
+                pass
+        _SINK = None
+        _SINK_PATH = path
+        if path:
+            try:
+                _SINK = open(path, "a")
+            except OSError:
+                _SINK = None  # an unwritable sink must not fail builds
+    return _SINK
+
+
+class span:
+    """Context manager timing one named stage.
+
+    Keyword arguments become the span's attributes in the exported
+    event. :meth:`annotate` adds attributes discovered mid-span and
+    :meth:`count` accumulates per-span counters (both no-ops when trace
+    recording is disabled; the stage histogram is always fed).
+    """
+
+    __slots__ = ("name", "attrs", "counters", "span_id", "parent_id",
+                 "seconds", "_start", "_wall", "_recording")
+
+    def __init__(self, name, **attrs):
+        self.name = name
+        self.attrs = attrs
+        self.counters = None
+        self.span_id = None
+        self.parent_id = None
+        self.seconds = None
+        self._recording = False
+
+    def __enter__(self):
+        path = trace_path()
+        if path is not None:
+            global _RING
+            self._recording = True
+            self.span_id = next(_NEXT_ID)
+            self.parent_id = _STACK[-1] if _STACK else None
+            _STACK.append(self.span_id)
+            if _RING is None:
+                _RING = deque(maxlen=knob_value("REPRO_TRACE_RING"))
+            self._wall = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        seconds = self.seconds = time.perf_counter() - self._start
+        metrics.observe(f"stage.{self.name}", seconds)
+        if not self._recording:
+            return False
+        if _STACK and _STACK[-1] == self.span_id:
+            _STACK.pop()
+        event = {
+            "event": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": os.getpid(),
+            "start": round(self._wall, 6),
+            "seconds": round(seconds, 6),
+            "attrs": self.attrs,
+        }
+        if self.counters:
+            event["counters"] = self.counters
+        if exc_type is not None:
+            event["error"] = exc_type.__name__
+        _RING.append(event)
+        sink = _sink_for(trace_path())
+        if sink is not None:
+            try:
+                sink.write(json.dumps(event, default=repr) + "\n")
+                sink.flush()
+            except (OSError, TypeError):
+                pass
+        return False
+
+    def annotate(self, **attrs):
+        """Attach attributes discovered while the span is open."""
+        if self._recording:
+            self.attrs.update(attrs)
+        return self
+
+    def count(self, name, value=1):
+        """Accumulate a per-span counter (recorded spans only)."""
+        if self._recording:
+            if self.counters is None:
+                self.counters = {}
+            self.counters[name] = self.counters.get(name, 0) + value
+        return self

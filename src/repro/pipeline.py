@@ -39,10 +39,11 @@ from __future__ import annotations
 import os
 import pickle
 
-from repro.artifacts import (
-    cache_from_env, record_cache_stats, variant_key,
-)
+from repro.artifacts import cache_from_env, variant_key
 from repro.errors import PlanMismatchError, ReproError
+from repro.obs import metrics
+from repro.obs.knobs import knob_value
+from repro.obs.trace import span
 from repro.backend.linker import link
 from repro.backend.linkplan import build_link_plan, plan_compatible
 from repro.backend.lowering import lower_module
@@ -58,7 +59,7 @@ from repro.sim.machine import run_binary
 
 def _plan_enabled():
     """``REPRO_LINK_PLAN=0`` is the kill switch for incremental linking."""
-    return os.environ.get("REPRO_LINK_PLAN", "1") != "0"
+    return knob_value("REPRO_LINK_PLAN")
 
 
 #: In sampled verify mode, every Nth variant link is statically verified
@@ -69,19 +70,21 @@ VERIFY_SAMPLE_STRIDE = 8
 
 def _static_verify_mode():
     """The ``REPRO_STATIC_VERIFY`` knob: ``None`` (off, the default),
-    ``"sample"`` (baseline + every Nth variant) or ``"all"``."""
-    raw = os.environ.get("REPRO_STATIC_VERIFY", "").strip().lower()
-    if raw in ("", "0", "off", "no", "false"):
-        return None
-    if raw in ("all", "full"):
-        return "all"
-    return "sample"
+    ``"sample"`` (baseline + every Nth variant) or ``"all"``.
+
+    Resolved through the knob registry, so a typo (``ful``, ``smaple``)
+    raises :class:`~repro.errors.ConfigError` listing the valid choices
+    — it used to silently mean ``"sample"``.
+    """
+    return knob_value("REPRO_STATIC_VERIFY")
 
 
 def build_ir(source, name="program", opt_level=2):
     """Front end + optimizer; deterministic for a given source."""
-    module = compile_to_ir(source, name)
-    return optimize_module(module, level=opt_level)
+    with span("frontend", program=name):
+        module = compile_to_ir(source, name)
+    with span("opt", program=name, level=opt_level):
+        return optimize_module(module, level=opt_level)
 
 
 class ProgramBuild:
@@ -91,8 +94,10 @@ class ProgramBuild:
         self.source = source
         self.name = name
         self.opt_level = opt_level
-        self.module = build_ir(source, name, opt_level)
-        self.unit = lower_module(self.module, name)
+        with span("compile", program=name):
+            self.module = build_ir(source, name, opt_level)
+            with span("lowering", program=name):
+                self.unit = lower_module(self.module, name)
         self._link_plan = None
         self._profiles = {}
         self._verify_counter = 0
@@ -102,7 +107,11 @@ class ProgramBuild:
         self.warnings = []
 
     def _warn(self, message):
+        """Record a non-fatal degradation: once on :attr:`warnings` and
+        once in the shared metrics registry, so it survives into
+        ``check --json`` even if the build object is thrown away."""
         self.warnings.append(message)
+        metrics.inc("pipeline.warnings")
 
     # -- profiling -------------------------------------------------------------
 
@@ -110,14 +119,18 @@ class ProgramBuild:
         """Collect (and cache) a profile for one training input."""
         cache_key = key if key is not None else tuple(input_values)
         if cache_key not in self._profiles:
-            profile, _result = collect_profile(self.module, input_values)
+            with span("profile", program=self.name):
+                profile, _result = collect_profile(self.module,
+                                                   input_values)
             self._profiles[cache_key] = profile
         return self._profiles[cache_key]
 
     def profile_multi(self, input_sets, key):
         """Collect (and cache) a profile over several training inputs."""
         if key not in self._profiles:
-            profile, _result = collect_profile_multi(self.module, input_sets)
+            with span("profile", program=self.name, multi=True):
+                profile, _result = collect_profile_multi(self.module,
+                                                         input_sets)
             self._profiles[key] = profile
         return self._profiles[key]
 
@@ -131,7 +144,9 @@ class ProgramBuild:
         of compile-once / diversify-many.
         """
         if self._link_plan is None:
-            self._link_plan = build_link_plan([runtime_unit(), self.unit])
+            with span("link_plan_compile", program=self.name):
+                self._link_plan = build_link_plan(
+                    [runtime_unit(), self.unit])
         return self._link_plan
 
     # -- post-link static verification ------------------------------------------
@@ -183,7 +198,10 @@ class ProgramBuild:
             try:
                 return self.link_plan().apply(variant)
             except PlanMismatchError:
-                pass  # unexpected stream shape: take the full linker
+                # Unexpected stream shape: take the full linker. Counted
+                # so a config that silently defeats incremental linking
+                # shows up in the metrics section, not just in slowness.
+                metrics.inc("linkplan.fallbacks")
         return link([runtime_unit(), variant])
 
     def link_variant(self, config, seed, profile=None, *, fallback=False):
@@ -284,12 +302,14 @@ _WORKER_STATE = {}
 
 
 def default_workers():
-    """Worker-count default: ``REPRO_WORKERS`` (0 → cpu count), else 1."""
-    raw = os.environ.get("REPRO_WORKERS")
-    if not raw:
-        return 1
-    workers = int(raw)
-    if workers <= 0:
+    """Worker-count default: ``REPRO_WORKERS`` (0 → cpu count), else 1.
+
+    Resolved through the knob registry — ``REPRO_WORKERS=abc`` raises a
+    typed :class:`~repro.errors.ConfigError` instead of an uncaught
+    ``ValueError`` from deep inside a population build.
+    """
+    workers = knob_value("REPRO_WORKERS")
+    if workers == 0:
         return os.cpu_count() or 1
     return workers
 
@@ -339,9 +359,14 @@ def _population_worker_chunk(jobs):
     The artifact cache is consulted *inside* the chunk (the parent did
     not pre-check when a pool is used), so cache hits cost one worker
     lookup instead of a parent-side deserialize + re-pickle round trip.
-    Returns ``(results, cache_stats_delta)`` where results is a list of
-    ``(seed, binary)`` and the delta is this chunk's (hits, misses,
-    puts) for the parent to fold into the process-wide counters.
+    Returns ``(results, metrics_delta)`` where results is a list of
+    ``(seed, binary)`` and the delta is this chunk's
+    :class:`~repro.obs.metrics.MetricsDelta` — cache hits/misses/puts,
+    NOP-insertion counters, per-stage timings — keyed by metric *name*
+    for the parent to fold in. (The previous protocol shipped a bare
+    ``(hits, misses, puts)`` tuple whose meaning was positional
+    convention; a reordering on either side silently swapped hits and
+    misses.)
     """
     state = _WORKER_STATE
     unit = state["unit"]
@@ -349,7 +374,7 @@ def _population_worker_chunk(jobs):
     profile = state["profile"]
     plan = state["plan"]
     cache = state["cache"]
-    before = (cache.hits, cache.misses, cache.puts) if cache else (0, 0, 0)
+    before = metrics.snapshot()
     results = []
     for seed, key in jobs:
         binary = cache.get(key) if cache is not None and key else None
@@ -359,15 +384,14 @@ def _population_worker_chunk(jobs):
                 try:
                     binary = plan.apply(variant)
                 except PlanMismatchError:
+                    metrics.inc("linkplan.fallbacks")
                     binary = link([runtime_unit(), variant])
             else:
                 binary = link([runtime_unit(), variant])
             if cache is not None and key:
                 cache.put(key, binary)
         results.append((seed, binary))
-    after = (cache.hits, cache.misses, cache.puts) if cache else (0, 0, 0)
-    delta = tuple(now - then for now, then in zip(after, before))
-    return results, delta
+    return results, metrics.delta_since(before)
 
 
 def build_population(build, config, seeds, profile=None, *, fallback=False,
@@ -396,10 +420,13 @@ def build_population(build, config, seeds, profile=None, *, fallback=False,
     """
     seeds = list(seeds)
     if fallback and config.requires_profile and profile is None:
-        for _ in seeds:
-            build._warn(f"{build.name}: no profile for "
-                        f"{config.describe()!r}; falling back to "
-                        f"{config.uniform_fallback().describe()!r}")
+        # One warning for the whole population, carrying the seed count
+        # — a 100-seed run used to record 100 identical copies.
+        build._warn(f"{build.name}: no profile for "
+                    f"{config.describe()!r}; falling back to "
+                    f"{config.uniform_fallback().describe()!r} "
+                    f"for all {len(seeds)} seed(s)")
+        metrics.inc("fallback.uniform", len(seeds))
         config = config.uniform_fallback()
     if workers is None:
         workers = default_workers()
@@ -412,6 +439,8 @@ def build_population(build, config, seeds, profile=None, *, fallback=False,
                 for seed in seeds}
 
     results = {}
+    population_span = span("population_build", program=build.name,
+                           workers=workers, seeds=len(seeds))
     if workers > 1 and len(seeds) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
@@ -421,7 +450,7 @@ def build_population(build, config, seeds, profile=None, *, fallback=False,
                                  protocol=pickle.HIGHEST_PROTOCOL)
         jobs = [(seed, keys.get(seed)) for seed in seeds]
         chunks = [jobs[index::workers] for index in range(workers)]
-        with ProcessPoolExecutor(
+        with population_span, ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_population_worker_init,
                 initargs=(unit_blob, config, profile_json, cache_root,
@@ -429,22 +458,26 @@ def build_population(build, config, seeds, profile=None, *, fallback=False,
             for chunk_results, delta in pool.map(_population_worker_chunk,
                                                  chunks):
                 results.update(chunk_results)
-                record_cache_stats(*delta)
+                # Named fold: every worker-side counter and stage
+                # histogram lands under its own name — no positional
+                # tuple to mis-order.
+                metrics.merge_delta(delta)
     else:
-        pending = seeds
-        if cache is not None:
-            pending = []
-            for seed in seeds:
-                cached = cache.get(keys[seed])
-                if cached is not None:
-                    results[seed] = cached
-                else:
-                    pending.append(seed)
-        for seed in pending:
-            binary = build.link_variant(config, seed, profile)
+        with population_span:
+            pending = seeds
             if cache is not None:
-                cache.put(keys[seed], binary)
-            results[seed] = binary
+                pending = []
+                for seed in seeds:
+                    cached = cache.get(keys[seed])
+                    if cached is not None:
+                        results[seed] = cached
+                    else:
+                        pending.append(seed)
+            for seed in pending:
+                binary = build.link_variant(config, seed, profile)
+                if cache is not None:
+                    cache.put(keys[seed], binary)
+                results[seed] = binary
 
     # Post-build static-verify sampling: pool-built and cache-hit
     # binaries never pass through link_variant's gate, so the sampled
@@ -471,7 +504,11 @@ def map_chunked(fn, items, workers=None, *, force_pool=False):
 
     This is the population pool machinery with the variant-specific
     parts stripped out — the security studies fan their per-variant
-    gadget scans out through it.
+    gadget scans out through it, and the static verifier its batched
+    ``verify_binary`` sweeps. Worker-side metrics (counters, stage
+    timings) are shipped back as named
+    :class:`~repro.obs.metrics.MetricsDelta` objects and folded into
+    this process, so pool and serial runs report the same totals.
     """
     items = list(items)
     if not items:
@@ -483,17 +520,27 @@ def map_chunked(fn, items, workers=None, *, force_pool=False):
         return list(fn(items))
 
     from concurrent.futures import ProcessPoolExecutor
+    from functools import partial
 
     chunks = [items[index::workers] for index in range(workers)]
     results = [None] * len(items)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for start, chunk_results in zip(range(workers),
-                                        pool.map(fn, chunks)):
+        for start, (chunk_results, delta) in zip(
+                range(workers),
+                pool.map(partial(_metered_chunk, fn), chunks)):
             chunk_results = list(chunk_results)
             if len(chunk_results) != len(chunks[start]):
                 raise ReproError(
                     f"map_chunked fn returned {len(chunk_results)} "
                     f"results for a {len(chunks[start])}-item chunk")
+            metrics.merge_delta(delta)
             for position, value in enumerate(chunk_results):
                 results[start + position * workers] = value
     return results
+
+
+def _metered_chunk(fn, items):
+    """Pool target wrapping ``fn`` with a metrics before/after snapshot;
+    returns ``(results, MetricsDelta)``."""
+    before = metrics.snapshot()
+    return list(fn(items)), metrics.delta_since(before)

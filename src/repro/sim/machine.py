@@ -29,11 +29,13 @@ EAX   call                        effect
 
 from __future__ import annotations
 
-import os
-
 from repro.errors import (
-    DecodingError, MachineFault, SimulationLimitExceeded, SimulatorError,
+    ConfigError, DecodingError, MachineFault, SimulationLimitExceeded,
+    SimulatorError,
 )
+from repro.obs import metrics
+from repro.obs.knobs import knob_value
+from repro.obs.trace import span
 from repro.sim import fastpath
 from repro.sim.memory import DEFAULT_STACK_SIZE, Memory, STACK_TOP
 from repro.x86.decoder import decode
@@ -441,17 +443,27 @@ class Machine:
         ``engine`` selects ``"fast"`` (threaded-code interpreter) or
         ``"reference"`` (the :meth:`step` loop); ``None`` defers to the
         ``REPRO_SIM_ENGINE`` environment variable, defaulting to fast.
+        An unknown value — from either source — raises a typed
+        :class:`~repro.errors.ConfigError` naming the valid engines.
         """
         if engine is None:
-            engine = os.environ.get("REPRO_SIM_ENGINE") or "fast"
-        if engine == "fast":
-            fastpath.run_machine(self)
-        elif engine == "reference":
-            while not self.halted:
-                self.step()
-        else:
-            raise SimulatorError(f"unknown simulator engine {engine!r}",
-                                 context={"engine": engine})
+            engine = knob_value("REPRO_SIM_ENGINE")
+        elif engine not in ("fast", "reference"):
+            raise ConfigError(
+                f"unknown simulator engine {engine!r}; choose one of "
+                f"['fast', 'reference']",
+                context={"engine": engine,
+                         "choices": ["fast", "reference"]})
+        with span("simulate", engine=engine) as timing:
+            if engine == "fast":
+                fastpath.run_machine(self)
+            else:
+                while not self.halted:
+                    self.step()
+        metrics.inc("sim.instructions", self.instr_count)
+        if timing.seconds > 0:
+            metrics.observe("sim.instrs_per_sec",
+                            self.instr_count / timing.seconds)
         return SimResult(self.output, self.exit_code, self.instr_count,
                          self.addr_counts)
 

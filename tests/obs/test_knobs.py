@@ -1,0 +1,142 @@
+"""Knob-registry round trips and the misparse regression tests.
+
+Every registered ``REPRO_*`` knob must (a) produce its default when
+unset or empty, (b) accept every declared spelling, and (c) reject
+anything else with a :class:`~repro.errors.ConfigError` that names the
+valid choices — the fix for ``REPRO_STATIC_VERIFY=ful`` silently
+meaning "sample" and ``REPRO_WORKERS=abc`` dying with a bare
+``ValueError``.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.knobs import REGISTRY, all_knobs, knob_value
+
+
+class TestRegistryRoundTrips:
+    """Generic valid/invalid/default round trip for every knob."""
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_unset_and_empty_mean_default(self, name):
+        knob = REGISTRY[name]
+        assert knob.parse(None) == knob.default
+        assert knob.parse("") == knob.default
+        assert knob.parse("   ") == knob.default
+        assert knob_value(name, environ={}) == knob.default
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_every_declared_spelling_parses(self, name):
+        knob = REGISTRY[name]
+        if knob.kind in ("choice", "bool"):
+            for spelling, canonical in knob.choices.items():
+                assert knob.parse(spelling) == canonical
+                # Spellings are case-insensitive and whitespace-proof.
+                assert knob.parse(f"  {spelling.upper()} ") == canonical
+        elif knob.kind == "int":
+            probe = 7 if knob.minimum is None else max(knob.minimum, 7)
+            assert knob.parse(str(probe)) == probe
+            assert knob_value(name, environ={name: str(probe)}) == probe
+        else:  # path
+            assert knob.parse("/tmp/somewhere") == "/tmp/somewhere"
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_garbage_rejected_for_typed_knobs(self, name):
+        knob = REGISTRY[name]
+        if knob.kind == "path":
+            return  # any non-empty string is a valid path
+        with pytest.raises(ConfigError) as excinfo:
+            knob.parse("definitely-not-a-value")
+        assert excinfo.value.context["knob"] == name
+        if knob.kind in ("choice", "bool"):
+            assert excinfo.value.context["choices"] == \
+                sorted(knob.choices)
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_environ_resolution_matches_parse(self, name):
+        knob = REGISTRY[name]
+        if knob.kind in ("choice", "bool"):
+            spelling = next(iter(knob.choices))
+            assert knob_value(name, environ={name: spelling}) == \
+                knob.choices[spelling]
+
+    def test_all_knobs_sorted_and_complete(self):
+        names = [knob.name for knob in all_knobs()]
+        assert names == sorted(REGISTRY)
+        # Every knob carries a doc line for `repro-diversify knobs`.
+        assert all(knob.doc for knob in all_knobs())
+
+    def test_unregistered_name_is_a_typed_error(self):
+        with pytest.raises(ConfigError) as excinfo:
+            knob_value("REPRO_NO_SUCH_KNOB")
+        assert "REPRO_NO_SUCH_KNOB" in str(excinfo.value)
+        assert "REPRO_SIM_ENGINE" in excinfo.value.context["registered"]
+
+
+class TestStaticVerifyRegression:
+    """``REPRO_STATIC_VERIFY=ful`` used to silently mean "sample"."""
+
+    @pytest.mark.parametrize("typo", ["ful", "smaple", "alll", "enable"])
+    def test_typo_rejected_with_choices(self, typo):
+        with pytest.raises(ConfigError) as excinfo:
+            knob_value("REPRO_STATIC_VERIFY",
+                       environ={"REPRO_STATIC_VERIFY": typo})
+        message = str(excinfo.value)
+        assert typo in message
+        assert "sample" in message and "all" in message
+        assert excinfo.value.context["knob"] == "REPRO_STATIC_VERIFY"
+
+    @pytest.mark.parametrize("raw, expected", [
+        ("off", None), ("no", None), ("false", None), ("0", None),
+        ("sample", "sample"), ("on", "sample"), ("yes", "sample"),
+        ("true", "sample"), ("1", "sample"),
+        ("all", "all"), ("full", "all"), ("FULL", "all"),
+    ])
+    def test_canonicalization(self, raw, expected):
+        assert knob_value("REPRO_STATIC_VERIFY",
+                          environ={"REPRO_STATIC_VERIFY": raw}) == expected
+
+
+class TestSimEngineRegression:
+    """``REPRO_SIM_ENGINE`` misparse must fail loudly, env or param."""
+
+    def test_env_typo_rejected(self):
+        with pytest.raises(ConfigError) as excinfo:
+            knob_value("REPRO_SIM_ENGINE",
+                       environ={"REPRO_SIM_ENGINE": "fats"})
+        assert "fast" in str(excinfo.value)
+        assert "reference" in str(excinfo.value)
+
+    def test_machine_run_validates_env(self, monkeypatch, fib_build):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "fastest")
+        binary = fib_build.link_baseline()
+        from repro.sim.machine import Machine
+        machine = Machine(binary, input_values=[3])
+        with pytest.raises(ConfigError) as excinfo:
+            machine.run()
+        assert excinfo.value.context["knob"] == "REPRO_SIM_ENGINE"
+        assert excinfo.value.context["value"] == "fastest"
+
+    def test_machine_run_validates_param(self, fib_build):
+        binary = fib_build.link_baseline()
+        from repro.sim.machine import Machine
+        machine = Machine(binary, input_values=[3])
+        with pytest.raises(ConfigError):
+            machine.run(engine="bogus")
+
+
+class TestWorkersRegression:
+    def test_non_integer_rejected(self):
+        with pytest.raises(ConfigError) as excinfo:
+            knob_value("REPRO_WORKERS", environ={"REPRO_WORKERS": "abc"})
+        assert "not an integer" in str(excinfo.value)
+        assert excinfo.value.context["knob"] == "REPRO_WORKERS"
+
+    def test_below_minimum_rejected(self):
+        with pytest.raises(ConfigError) as excinfo:
+            knob_value("REPRO_WORKERS", environ={"REPRO_WORKERS": "-2"})
+        assert "minimum" in str(excinfo.value)
+
+    def test_zero_means_cpu_count(self):
+        assert knob_value("REPRO_WORKERS",
+                          environ={"REPRO_WORKERS": "0"}) == 0

@@ -1,0 +1,159 @@
+"""Metrics registry: counters, histograms, named deltas, pool folding.
+
+The delta protocol replaces the positional ``(hits, misses, puts)``
+tuple that ``record_cache_stats(*delta)`` used to unpack — a reordering
+on either side of the process boundary silently swapped hits and
+misses. :class:`~repro.obs.metrics.MetricsDelta` is keyed by metric
+name, pickles across the pool boundary, and folds associatively.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.config import DiversificationConfig
+from repro.obs import metrics
+from repro.pipeline import build_population
+
+
+@pytest.fixture(autouse=True)
+def _isolated_registry():
+    metrics.reset()
+    yield
+    metrics.reset()
+
+
+class TestCountersAndHistograms:
+    def test_inc_creates_and_accumulates(self):
+        metrics.inc("t.counter")
+        metrics.inc("t.counter", 4)
+        assert metrics.counters()["t.counter"] == 5
+
+    def test_observe_summarizes(self):
+        for value in (2.0, 8.0, 5.0):
+            metrics.observe("t.hist", value)
+        hist = metrics.histograms()["t.hist"]
+        assert hist == {"count": 3, "total": 15.0, "min": 2.0,
+                        "max": 8.0, "mean": 5.0}
+
+    def test_zero_removes_one_name(self):
+        metrics.inc("t.keep")
+        metrics.inc("t.drop")
+        metrics.zero("t.drop")
+        assert "t.drop" not in metrics.counters()
+        assert metrics.counters()["t.keep"] == 1
+
+    def test_stage_timings_reads_stage_histograms(self):
+        metrics.observe("stage.compile", 0.25)
+        metrics.observe("stage.compile", 0.75)
+        metrics.observe("other.hist", 1.0)
+        timings = metrics.stage_timings()
+        assert set(timings) == {"compile"}
+        assert timings["compile"]["calls"] == 2
+        assert timings["compile"]["seconds"] == 1.0
+        assert timings["compile"]["mean"] == 0.5
+        assert timings["compile"]["max"] == 0.75
+
+
+class TestDeltas:
+    def test_delta_contains_only_changes(self):
+        metrics.inc("t.before", 3)
+        before = metrics.snapshot()
+        metrics.inc("t.after", 2)
+        metrics.observe("t.hist", 1.5)
+        delta = metrics.delta_since(before)
+        assert delta.counters == {"t.after": 2}
+        assert delta.histograms == {"t.hist": [1, 1.5, 1.5, 1.5]}
+
+    def test_empty_delta_is_falsy(self):
+        before = metrics.snapshot()
+        assert not metrics.delta_since(before)
+        metrics.inc("t.c")
+        assert metrics.delta_since(before)
+
+    def test_delta_pickles(self):
+        before = metrics.snapshot()
+        metrics.inc("t.c", 7)
+        metrics.observe("t.h", 2.0)
+        delta = metrics.delta_since(before)
+        clone = pickle.loads(pickle.dumps(delta))
+        assert clone.counters == delta.counters
+        assert clone.histograms == delta.histograms
+
+    def test_merge_folds_counters_and_histograms(self):
+        metrics.inc("t.c", 1)
+        metrics.observe("t.h", 4.0)
+        delta = metrics.MetricsDelta(
+            counters={"t.c": 2, "t.new": 5},
+            histograms={"t.h": [2, 3.0, 1.0, 2.0],
+                        "t.fresh": [1, 9.0, 9.0, 9.0]})
+        metrics.merge_delta(delta)
+        assert metrics.counters() == {"t.c": 3, "t.new": 5}
+        hists = metrics.histograms()
+        assert hists["t.h"]["count"] == 3
+        assert hists["t.h"]["total"] == 7.0
+        assert hists["t.h"]["min"] == 1.0
+        assert hists["t.h"]["max"] == 4.0
+        assert hists["t.fresh"]["total"] == 9.0
+
+    def test_merge_round_trips_through_delta_since(self):
+        before = metrics.snapshot()
+        metrics.inc("t.c", 3)
+        metrics.observe("t.h", 2.0)
+        delta = metrics.delta_since(before)
+        metrics.reset()
+        metrics.merge_delta(delta)
+        assert metrics.counters() == {"t.c": 3}
+        assert metrics.histograms()["t.h"]["count"] == 1
+
+
+CONFIG = DiversificationConfig.uniform(0.5)
+
+
+class TestPoolFoldingParity:
+    """Worker metrics must fold back so pool == serial, observably."""
+
+    def _observable(self):
+        counters = {name: value
+                    for name, value in metrics.counters().items()
+                    if name.startswith(("nops.", "linkplan."))}
+        hists = metrics.histograms()
+        calls = {name: hists[name]["count"]
+                 for name in ("stage.nop_insert", "stage.link")
+                 if name in hists}
+        return counters, calls
+
+    def test_pool_matches_serial(self, fib_build):
+        seeds = range(4)
+        build_population(fib_build, CONFIG, seeds)
+        serial = self._observable()
+        assert serial[0].get("nops.inserted", 0) > 0
+        assert serial[1]["stage.nop_insert"] == len(seeds)
+
+        metrics.reset()
+        build_population(fib_build, CONFIG, seeds, workers=2,
+                         force_pool=True)
+        assert self._observable() == serial
+
+    def test_heat_class_counters_sum_to_total(self, fib_build):
+        build_population(fib_build, CONFIG, range(3))
+        counters = metrics.counters()
+        by_heat = sum(value for name, value in counters.items()
+                      if name.startswith("nops.inserted."))
+        assert by_heat == counters["nops.inserted"]
+
+
+class TestFallbackWarningDedupe:
+    """100 seeds used to log 100 identical fallback warnings."""
+
+    def test_one_warning_carrying_seed_count(self, fib_build):
+        config = DiversificationConfig.profile_guided(0.0, 0.3)
+        prior = len(fib_build.warnings)
+        build_population(fib_build, config, range(7), profile=None,
+                         fallback=True)
+        fresh = fib_build.warnings[prior:]
+        assert len(fresh) == 1
+        assert "falling back" in fresh[0]
+        assert "all 7 seed(s)" in fresh[0]
+        assert metrics.counters()["fallback.uniform"] == 7
+        assert metrics.counters()["pipeline.warnings"] == 1

@@ -1,0 +1,154 @@
+"""Span tracing: nesting, ring buffer, JSONL export, full-run schema.
+
+Recording is opt-in via ``REPRO_TRACE``; with the knob unset a span
+still feeds the ``stage.*`` histogram (that is the always-on timing
+path) but records nothing.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.trace import span
+from repro.obs import trace
+
+#: Every exported event must carry exactly these keys (plus optional
+#: "counters" and "error").
+REQUIRED_KEYS = {"event", "name", "span_id", "parent_id", "pid",
+                 "start", "seconds", "attrs"}
+OPTIONAL_KEYS = {"counters", "error"}
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    trace.reset()
+    metrics.reset()
+    yield
+    trace.reset()
+    metrics.reset()
+
+
+def _check_event(event):
+    assert REQUIRED_KEYS <= set(event)
+    assert set(event) <= REQUIRED_KEYS | OPTIONAL_KEYS
+    assert event["event"] == "span"
+    assert isinstance(event["name"], str) and event["name"]
+    assert isinstance(event["span_id"], int)
+    assert event["parent_id"] is None or \
+        isinstance(event["parent_id"], int)
+    assert isinstance(event["pid"], int)
+    assert isinstance(event["seconds"], (int, float))
+    assert event["seconds"] >= 0
+    assert isinstance(event["attrs"], dict)
+
+
+class TestDisabled:
+    def test_records_nothing_but_times_the_stage(self):
+        with span("unit_test_stage", seed=3) as timing:
+            pass
+        assert timing.seconds is not None
+        assert trace.events() == []
+        hist = metrics.histograms()["stage.unit_test_stage"]
+        assert hist["count"] == 1
+
+    def test_annotate_and_count_are_noops(self):
+        with span("unit_test_stage") as timing:
+            timing.annotate(extra=1).count("items", 5)
+        assert timing.counters is None
+
+
+class TestRecording:
+    @pytest.fixture(autouse=True)
+    def _enable(self, monkeypatch, tmp_path):
+        self.path = tmp_path / "trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(self.path))
+
+    def test_nested_spans_record_parentage(self):
+        with span("outer", kind="test") as outer:
+            with span("inner") as inner:
+                pass
+        events = trace.events()
+        assert [e["name"] for e in events] == ["inner", "outer"]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["inner"]["parent_id"] == outer.span_id
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["outer"]["attrs"] == {"kind": "test"}
+        assert inner.span_id != outer.span_id
+        for event in events:
+            _check_event(event)
+
+    def test_jsonl_sink_mirrors_the_ring(self):
+        with span("a"):
+            pass
+        with span("b", n=2):
+            pass
+        lines = self.path.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        for event in parsed:
+            _check_event(event)
+        assert [e["name"] for e in parsed] == ["a", "b"]
+
+    def test_error_spans_are_flagged(self):
+        with pytest.raises(KeyError):
+            with span("doomed"):
+                raise KeyError("x")
+        (event,) = trace.events()
+        assert event["error"] == "KeyError"
+
+    def test_annotate_and_count(self):
+        with span("stage") as timing:
+            timing.annotate(seed=9)
+            timing.count("items", 2)
+            timing.count("items")
+        (event,) = trace.events()
+        assert event["attrs"] == {"seed": 9}
+        assert event["counters"] == {"items": 3}
+
+    def test_ring_is_bounded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_RING", "4")
+        for index in range(10):
+            with span("loop", i=index):
+                pass
+        events = trace.events()
+        assert len(events) == 4
+        assert [e["attrs"]["i"] for e in events] == [6, 7, 8, 9]
+
+    def test_unwritable_sink_does_not_fail_the_span(self, monkeypatch,
+                                                    tmp_path):
+        monkeypatch.setenv("REPRO_TRACE",
+                           str(tmp_path / "no" / "such" / "dir" / "t.jsonl"))
+        with span("resilient") as timing:
+            pass
+        assert timing.seconds is not None
+        assert trace.events()  # ring still records
+
+
+class TestFullRunSchema:
+    """A full ``check --quick`` run exports a schema-valid trace."""
+
+    def test_check_quick_trace(self, monkeypatch, tmp_path):
+        from repro.cli import main
+        path = tmp_path / "check.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        assert main(["check", "--quick"]) == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        for event in events:
+            _check_event(event)
+        names = {event["name"] for event in events}
+        # The acceptance stages all appear in one quick run.
+        assert {"compile", "link", "nop_insert", "verify",
+                "simulate"} <= names
+        # Span ids are unique per pid and parents reference real spans.
+        for pid in {event["pid"] for event in events}:
+            mine = [e for e in events if e["pid"] == pid]
+            ids = [e["span_id"] for e in mine]
+            assert len(ids) == len(set(ids))
+            known = set(ids)
+            for event in mine:
+                assert event["parent_id"] is None or \
+                    event["parent_id"] in known

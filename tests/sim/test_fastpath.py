@@ -12,7 +12,6 @@ import pytest
 
 from repro.backend.linker import link
 from repro.backend.objfile import FunctionCode, LabelDef, ObjectUnit
-from repro.errors import SimulatorError
 from repro.sim import fastpath
 from repro.sim.machine import Machine
 from repro.x86.instructions import Imm, Instr, Mem
@@ -188,11 +187,15 @@ class TestSharedCaches:
 
 class TestEngineSelection:
     def test_unknown_engine_raises(self, fib_build):
+        from repro.errors import ConfigError
+
         binary = fib_build.link_baseline()
         machine = Machine(binary, input_values=(3,))
-        with pytest.raises(SimulatorError) as info:
+        with pytest.raises(ConfigError) as info:
             machine.run(engine="bogus")
         assert info.value.context["engine"] == "bogus"
+        assert "fast" in str(info.value)
+        assert "reference" in str(info.value)
 
     def test_env_engine_default(self, fib_build, monkeypatch):
         monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")

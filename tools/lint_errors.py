@@ -1,14 +1,22 @@
 #!/usr/bin/env python
-"""Lint: keep the typed error taxonomy enforced.
+"""Lint: keep the typed error taxonomy and the knob registry enforced.
 
-Every error raised inside ``src/repro/`` must be a subclass of
-:class:`repro.errors.ReproError` (stable ``code``, structured
-``context``) — bare ``raise ValueError(...)`` / ``raise
-RuntimeError(...)`` lose both and break the fault-injection campaign's
-typed-coverage guarantee. This lint forbids raising (or re-raising the
-class of) those two builtins anywhere in ``src/repro/`` outside
-``errors.py`` itself, where ``ValueError`` legitimately appears in
-bases for backward compatibility.
+Two AST checks over ``src/repro/``:
+
+1. Every error raised inside ``src/repro/`` must be a subclass of
+   :class:`repro.errors.ReproError` (stable ``code``, structured
+   ``context``) — bare ``raise ValueError(...)`` / ``raise
+   RuntimeError(...)`` lose both and break the fault-injection
+   campaign's typed-coverage guarantee. Forbidden everywhere outside
+   ``errors.py`` itself, where ``ValueError`` legitimately appears in
+   bases for backward compatibility.
+
+2. Every ``REPRO_*`` environment variable must resolve through the
+   declarative registry in :mod:`repro.obs.knobs` — a direct
+   ``os.environ.get("REPRO_...")`` / ``os.getenv`` / subscript
+   bypasses type checking and invalid-value rejection, which is how
+   the ``REPRO_STATIC_VERIFY`` typo bug shipped. Forbidden everywhere
+   outside ``obs/knobs.py``, the single sanctioned access point.
 
 Run by ``make lint`` (and therefore ``make test``). Exits 1 and lists
 ``file:line`` for each violation.
@@ -24,6 +32,8 @@ FORBIDDEN = {"ValueError", "RuntimeError"}
 ROOT = Path(__file__).resolve().parent.parent
 PACKAGE = ROOT / "src" / "repro"
 EXEMPT = {PACKAGE / "errors.py"}
+ENV_EXEMPT = {PACKAGE / "obs" / "knobs.py"}
+ENV_ACCESSORS = {"get", "pop", "setdefault", "getenv"}
 
 
 def _raised_name(node):
@@ -47,21 +57,59 @@ def find_violations(path):
     return violations
 
 
+def _is_repro_literal(node):
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value.startswith("REPRO_"))
+
+
+def find_env_violations(path):
+    """Direct ``REPRO_*`` environment reads that bypass the registry.
+
+    Flags ``os.environ.get/pop/setdefault("REPRO_...")``,
+    ``os.getenv("REPRO_...")``, and ``os.environ["REPRO_..."]`` — any
+    call or subscript whose first argument/key is a string literal
+    starting with ``REPRO_``. The attribute chain is matched loosely
+    (any ``.get``/``.getenv``/... call, any subscript), which is fine:
+    a ``REPRO_`` string literal feeding one of those shapes inside the
+    package is a knob read whatever the receiver is spelled like.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in ENV_ACCESSORS
+                    and node.args
+                    and _is_repro_literal(node.args[0])):
+                violations.append((node.lineno, node.args[0].value))
+        elif isinstance(node, ast.Subscript):
+            if _is_repro_literal(node.slice):
+                violations.append((node.lineno, node.slice.value))
+    return violations
+
+
 def main():
     failures = []
     for path in sorted(PACKAGE.rglob("*.py")):
-        if path in EXEMPT:
-            continue
-        for lineno, name in find_violations(path):
-            failures.append(
-                f"{path.relative_to(ROOT)}:{lineno}: bare raise {name}; "
-                f"use a repro.errors type with a stable code")
+        if path not in EXEMPT:
+            for lineno, name in find_violations(path):
+                failures.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: bare raise "
+                    f"{name}; use a repro.errors type with a stable code")
+        if path not in ENV_EXEMPT:
+            for lineno, name in find_env_violations(path):
+                failures.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: direct "
+                    f"environment read of {name}; resolve it through "
+                    f"repro.obs.knobs.knob_value instead")
     if failures:
         print("\n".join(failures), file=sys.stderr)
         print(f"lint: {len(failures)} violation(s)", file=sys.stderr)
         return 1
-    print("lint: OK (no bare ValueError/RuntimeError raises in "
-          "src/repro/)")
+    print("lint: OK (no bare ValueError/RuntimeError raises, no "
+          "direct REPRO_* environment reads in src/repro/)")
     return 0
 
 
