@@ -1,18 +1,26 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify-smoke bench bench-quick check
+.PHONY: test lint verify-smoke fuzz-smoke bench bench-quick check
 
 # Tier-1: lint, the quick perf gates (mix speedup, population
 # incremental-link speedup, pool-vs-serial wall clock), a static-verify
-# smoke over the representative workload trio, then the full pytest
-# suite — so a taxonomy, perf or verifier regression fails the default
-# flow, not just the full bench.
-test: lint bench-quick verify-smoke
+# smoke over the representative workload trio, a bounded differential
+# fuzzing campaign, then the full pytest suite — so a taxonomy, perf,
+# verifier or semantics regression fails the default flow, not just the
+# full bench.
+test: lint bench-quick verify-smoke fuzz-smoke
 	$(PYTHON) -m pytest -x -q
 
 lint:
 	$(PYTHON) tools/lint_errors.py
+
+# Bounded coverage-guided differential fuzzing campaign (~10s budget,
+# hard 25s wall-clock lid inside --quick): generated + mutated MinC
+# programs, reference interpreter vs baseline vs diversified variants
+# of both paper configs. Fails on any genuine divergence.
+fuzz-smoke:
+	$(PYTHON) -m repro.cli fuzz --quick
 
 # Static verifier + NOP-transparency smoke: three workloads, both paper
 # configs (no --p/--range = uniform-50% and profile-guided 0-30%).

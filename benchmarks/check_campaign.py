@@ -1,8 +1,10 @@
-"""Robustness regression tracker: differential validation + fault campaign.
+"""Robustness regression tracker: differential validation + fault campaign
++ a bounded differential fuzzing campaign.
 
 Emits a JSON summary (variants validated, divergences, faults injected,
-typed-error coverage %) so future PRs can diff robustness numbers the
-same way the table/figure benches diff the paper's numbers.
+typed-error coverage %, fuzz execs/sec + coverage + corpus size) so
+future PRs can diff robustness numbers the same way the table/figure
+benches diff the paper's numbers.
 
 Usage::
 
@@ -25,6 +27,8 @@ from repro.check import (
     validate_workloads,
 )
 from repro.core.config import DiversificationConfig
+from repro.fuzz import FuzzParams, run_fuzz_campaign
+from repro.fuzz.generate import tiny_limits
 from repro.obs.knobs import knob_value
 
 VARIANTS = knob_value("REPRO_CHECK_VARIANTS")
@@ -73,6 +77,17 @@ def main(argv=None):
         if case.outcome == "untyped":
             print(f"!! {case.describe()}", file=sys.stderr)
 
+    # Bounded fuzz campaign: the adversarial complement to the
+    # hand-written-workload sweep above. Tracked the same way — a
+    # divergence or a large execs/sec regression shows up in the diff.
+    fuzz_programs = 40 if args.quick else knob_value("REPRO_FUZZ_PROGRAMS")
+    fuzz_stats = run_fuzz_campaign(FuzzParams(
+        programs=fuzz_programs, variants=1, seconds=60.0,
+        limits=tiny_limits()))
+    fuzz_summary = fuzz_stats.summary()
+    for finding in fuzz_stats.findings:
+        print(f"!! fuzz: {finding.describe()}", file=sys.stderr)
+
     payload = {
         "workloads": names,
         "configs": sorted(CHECK_CONFIGS),
@@ -83,7 +98,9 @@ def main(argv=None):
         "faults_injected": campaign_summary["faults_injected"],
         "typed_error_coverage": campaign_summary["typed_error_coverage"],
         "campaign": campaign_summary,
-        "ok": total_divergences == 0 and campaign.ok,
+        "fuzz": fuzz_summary,
+        "ok": (total_divergences == 0 and campaign.ok
+               and fuzz_summary["genuine_divergences"] == 0),
     }
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2)
@@ -92,6 +109,11 @@ def main(argv=None):
           f"{total_divergences} divergences; "
           f"{campaign_summary['faults_injected']} faults injected, "
           f"{campaign_summary['typed_error_coverage']}% typed coverage")
+    print(f"fuzz: {fuzz_summary['execs']} execs "
+          f"({fuzz_summary['execs_per_second']}/s), "
+          f"{fuzz_summary['coverage_size']} coverage features, "
+          f"{fuzz_summary['corpus_entries']} corpus entries, "
+          f"{fuzz_summary['divergences']} divergences")
     print(f"wrote {args.output}")
     return 0 if payload["ok"] else 1
 

@@ -35,6 +35,28 @@ from repro.workloads.registry import get_workload
 #: far outside any population's seed range.
 RETRY_SEED_OFFSET = 1_000_003
 
+
+def derive_retry_seed(seed):
+    """A fresh seed for the divergence retry, derived from ``seed``.
+
+    Integer seeds keep the historical ``seed + RETRY_SEED_OFFSET``
+    (stable, debuggable, outside any population's range). Non-integer
+    seeds used to collapse to ``0 + RETRY_SEED_OFFSET`` — so a
+    population seeded with strings could *retry a divergence with a
+    seed from its own population* (any member literally named
+    ``1000003``), misclassifying a seed-specific layout bug as a
+    genuine systematic miscompile. Deriving from a hash of the seed's
+    repr keeps the retry deterministic per seed and distinct from it.
+    """
+    if isinstance(seed, int):
+        retry = seed + RETRY_SEED_OFFSET
+    else:
+        import hashlib
+        digest = hashlib.sha256(repr(seed).encode("utf-8")).digest()
+        retry = int.from_bytes(digest[:8], "little") + RETRY_SEED_OFFSET
+    assert retry != seed, f"retry seed collided with {seed!r}"
+    return retry
+
 #: Extra dynamic instructions allowed beyond the p_max model (covers
 #: basic-block-shift sled jumps and rounding).
 INSTR_BOUND_SLACK = 4096
@@ -266,8 +288,7 @@ def validate_population(build, config, seeds, *, inputs=(), profile=None,
             continue
         # Fresh-seed retry: does the divergence reproduce under a
         # different random stream?
-        retry_seed = (seed if isinstance(seed, int) else 0) \
-            + RETRY_SEED_OFFSET
+        retry_seed = derive_retry_seed(seed)
         report.retry_seed = retry_seed
         try:
             retry_report = run_variant(retry_seed)

@@ -11,6 +11,7 @@ Subcommands::
     bench     NAME              run one SPEC-like workload end to end
     check     [NAMES...]        differential validation + fault campaign
     verify    [NAMES...]        static verification + transparency proofs
+    fuzz                        coverage-guided differential fuzzing
     knobs                       print the REPRO_* environment-knob registry
 
 Examples::
@@ -355,6 +356,93 @@ def cmd_verify(args):
     return 0 if ok else 1
 
 
+def cmd_fuzz(args):
+    """Coverage-guided differential fuzzing of the whole pipeline.
+
+    Generates (and mutates) MinC programs, runs each through the
+    reference interpreter, the baseline binary and diversified variants
+    of both paper configs, and fails on any genuine divergence. See
+    ``docs/FUZZING.md``.
+    """
+    from repro.fuzz import Corpus, FuzzParams, replay, run_fuzz_campaign
+    from repro.fuzz.generate import tiny_limits
+
+    corpus_root = (args.corpus if args.corpus is not None
+                   else knob_value("REPRO_FUZZ_DIR"))
+    corpus = Corpus(corpus_root)
+
+    params = FuzzParams(
+        programs=(args.programs if args.programs is not None
+                  else knob_value("REPRO_FUZZ_PROGRAMS")),
+        variants=(args.variants if args.variants is not None
+                  else knob_value("REPRO_FUZZ_VARIANTS")),
+        seconds=(args.seconds if args.seconds is not None
+                 else knob_value("REPRO_FUZZ_SECONDS")),
+        fuel=knob_value("REPRO_FUZZ_FUEL"),
+        seed=args.seed,
+        shrink=not args.no_shrink)
+    if args.quick:
+        # Bounded smoke campaign: small programs, one variant seed per
+        # config, and a hard wall-clock lid so `make test` stays fast.
+        params = FuzzParams(
+            programs=params.programs, variants=1,
+            seconds=min(params.seconds or 25.0, 25.0),
+            fuel=min(params.fuel, 100_000), seed=params.seed,
+            limits=tiny_limits(), shrink=params.shrink)
+
+    if args.replay is not None:
+        entry, result = replay(corpus, args.replay, params)
+        print(f"replay [{entry.entry_id}] kind={entry.kind} "
+              f"inputs={list(entry.inputs)}")
+        print(entry.source)
+        print(f"status: {result.status}, "
+              f"{len(result.reports)} divergence report(s)")
+        for report in result.reports:
+            print(f"  !! {report.describe()}", file=sys.stderr)
+        return 1 if result.reports else 0
+
+    print(f"fuzz campaign: {params.programs} candidates, "
+          f"{params.variants} variant(s) per config, "
+          f"master seed {params.seed}"
+          + (f", wall-clock budget {params.seconds:g}s"
+             if params.seconds else ""))
+    stats = run_fuzz_campaign(params, corpus)
+    summary = stats.summary()
+    rows = [(key, summary[key]) for key in
+            ("execs", "execs_per_second", "generated", "mutants",
+             "invalid_mutants", "divergences", "genuine_divergences",
+             "coverage_size", "corpus_entries", "shrink_steps",
+             "duration_s")]
+    rows += [(f"skipped[{reason}]", count)
+             for reason, count in summary["skipped"].items()]
+    print(format_table(("metric", "value"), rows,
+                       title="fuzz campaign"))
+    for finding in stats.findings:
+        print(f"  !! {finding.describe()}", file=sys.stderr)
+        if finding.shrunk_source is not None:
+            print(finding.shrunk_source, file=sys.stderr)
+
+    observability = _observability_section()
+
+    if args.json_output:
+        import json
+        payload = {
+            "fuzz": summary,
+            "findings": [finding.describe()
+                         for finding in stats.findings],
+            "corpus_root": corpus.root,
+            "observability": observability,
+        }
+        with open(args.json_output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_output}")
+
+    genuine = len(stats.genuine_findings)
+    print("\nfuzz:", "PASS" if genuine == 0 else
+          f"FAIL ({genuine} genuine divergence(s))")
+    return 0 if genuine == 0 else 1
+
+
 def cmd_knobs(args):
     """Print the declarative ``REPRO_*`` knob registry.
 
@@ -497,6 +585,33 @@ def main(argv=None):
     p.add_argument("--json", dest="json_output",
                    help="write a JSON summary here")
     p.set_defaults(handler=cmd_verify)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="coverage-guided differential fuzzing of the pipeline")
+    p.add_argument("--programs", type=int, default=None,
+                   help="candidate budget (default REPRO_FUZZ_PROGRAMS)")
+    p.add_argument("--variants", type=int, default=None,
+                   help="variant seeds per config "
+                        "(default REPRO_FUZZ_VARIANTS)")
+    p.add_argument("--seconds", type=float, default=None,
+                   help="wall-clock budget (default REPRO_FUZZ_SECONDS; "
+                        "0 = none)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign master seed (default 0)")
+    p.add_argument("--quick", action="store_true",
+                   help="bounded smoke campaign: tiny programs, one "
+                        "variant seed, <=25s")
+    p.add_argument("--corpus", default=None,
+                   help="on-disk corpus directory "
+                        "(default REPRO_FUZZ_DIR; unset = in-memory)")
+    p.add_argument("--replay", metavar="ID", default=None,
+                   help="re-run one corpus entry by id (or id prefix)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="keep diverging inputs unreduced")
+    p.add_argument("--json", dest="json_output",
+                   help="write a JSON summary here")
+    p.set_defaults(handler=cmd_fuzz)
 
     p = sub.add_parser(
         "knobs",

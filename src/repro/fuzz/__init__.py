@@ -1,0 +1,44 @@
+"""Coverage-guided differential fuzzing of the whole pipeline.
+
+``repro.check`` validates 20 hand-written workloads; this package makes
+the semantics-preservation argument *adversarial* by generating its own
+candidates and running each one differentially through every execution
+engine the project has:
+
+- :mod:`repro.fuzz.generate` — a CSmith-style seeded generator of
+  well-typed, terminating-by-construction MinC programs;
+- :mod:`repro.fuzz.mutate` — AST-level mutators that evolve interesting
+  corpus entries (constant/operator twiddling, statement deletion and
+  duplication, subtree splice);
+- :mod:`repro.fuzz.campaign` — the differential driver: IR reference
+  interpreter vs baseline binary vs K diversified variants per paper
+  config, with a coverage signature (CFG shape, verifier outcomes,
+  NOP-placement buckets, fault codes) deciding which candidates join
+  the corpus;
+- :mod:`repro.fuzz.corpus` — a content-addressed on-disk corpus DB with
+  deterministic replay by entry id;
+- :mod:`repro.fuzz.shrink` — a greedy AST-level reducer that turns any
+  divergence into a minimal reproducer;
+- :mod:`repro.fuzz.inject` — seeded miscompile injection (test-only
+  hooks) proving the differential oracle actually detects the bug
+  classes it exists for.
+
+Wired into the CLI as ``repro-diversify fuzz``; see ``docs/FUZZING.md``.
+"""
+
+from repro.fuzz.campaign import (
+    CampaignStats, FuzzParams, evaluate_candidate, replay, run_fuzz_campaign,
+)
+from repro.fuzz.corpus import Corpus, CorpusEntry, derive_seed
+from repro.fuzz.generate import generate_inputs, generate_program
+from repro.fuzz.mutate import mutate_program
+from repro.fuzz.shrink import shrink_source
+
+__all__ = [
+    "CampaignStats", "FuzzParams", "evaluate_candidate", "replay",
+    "run_fuzz_campaign",
+    "Corpus", "CorpusEntry", "derive_seed",
+    "generate_inputs", "generate_program",
+    "mutate_program",
+    "shrink_source",
+]

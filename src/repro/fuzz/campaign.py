@@ -1,0 +1,438 @@
+"""The differential fuzzing campaign driver.
+
+One *candidate* is a (MinC source, input vector) pair. Evaluating it
+runs the entire pipeline the project has, and demands agreement:
+
+1. the IR reference interpreter (ground truth, with a CFG-edge observer
+   attached and a step-fuel guard so non-terminating mutants surface as
+   bounded skips, not hangs);
+2. the baseline binary on the machine simulator (compiler correctness);
+3. K diversified variants per paper config — uniform ``p=0.5`` and
+   profile-guided ``(0, 0.3)`` — each checked against the baseline on
+   output vector, exit code, and the structural dynamic-instruction
+   bound (diversification correctness).
+
+Any disagreement becomes a :class:`~repro.check.differential
+.DivergenceReport`, is retried under a fresh derived seed to separate
+systematic miscompiles from seed-specific layouts, is greedily shrunk
+to a minimal reproducer, and both the original and the reproducer are
+stored in the corpus for ``--replay``.
+
+Coverage is AFL-style feature signatures: bucketed CFG edge counts from
+the reference run, reference outcome classes, NOP-placement density
+buckets and inserted-encoding size sets per config, verifier outcomes
+(when ``REPRO_STATIC_VERIFY`` is on), and fault codes. A candidate that
+lights up any new feature joins the corpus and becomes mutation fodder.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+
+from repro.check.differential import (
+    DivergenceReport, Observation, _compare_variant, observe_binary,
+)
+from repro.core.config import DiversificationConfig
+from repro.errors import ReproError
+from repro.ir.interp import ExecutionLimitExceeded, run_module
+from repro.minc.parser import parse
+from repro.minc.pretty import pretty_print
+from repro.obs import metrics
+from repro.obs.knobs import knob_value
+from repro.obs.trace import span
+from repro.pipeline import ProgramBuild
+
+from repro.fuzz.corpus import Corpus, CorpusEntry, derive_seed, entry_id_for
+from repro.fuzz.generate import (
+    DEFAULT_LIMITS, generate_inputs, generate_program,
+)
+from repro.fuzz.mutate import mutate_program
+from repro.fuzz.shrink import shrink_source
+
+
+def paper_configs():
+    """The two diversification configs the paper evaluates."""
+    return (DiversificationConfig.uniform(0.50),
+            DiversificationConfig.profile_guided(0.00, 0.30))
+
+
+@dataclass(frozen=True)
+class FuzzParams:
+    """Everything that determines a campaign; equal params, equal run."""
+
+    programs: int = 200        # candidate budget
+    variants: int = 2          # diversified seeds per config
+    seconds: float = 0.0       # optional wall-clock budget (0 = none)
+    fuel: int = 200_000        # reference-interpreter step budget
+    seed: int = 0              # campaign master seed
+    limits: object = None      # GenLimits; None -> DEFAULT_LIMITS
+    mutate_ratio: float = 0.5  # mutation share once the corpus is seeded
+    configs: tuple = None      # None -> paper_configs()
+    variant_hook: object = None  # test-only binary corruption hook
+    shrink: bool = True
+    max_step_factor: int = 8   # simulator fuel multiplier
+
+    def resolved_limits(self):
+        return self.limits if self.limits is not None else DEFAULT_LIMITS
+
+    def resolved_configs(self):
+        return self.configs if self.configs is not None else paper_configs()
+
+
+@dataclass
+class Finding:
+    """One divergence, with its reproducer trail."""
+
+    entry_id: str
+    report: DivergenceReport
+    shrunk_source: str | None = None
+    shrunk_entry_id: str | None = None
+    shrink_steps: int = 0
+
+    def describe(self):
+        text = f"[{self.entry_id}] {self.report.describe()}"
+        if self.shrunk_entry_id is not None:
+            text += (f"; shrunk in {self.shrink_steps} step(s) to "
+                     f"[{self.shrunk_entry_id}]")
+        return text
+
+
+@dataclass
+class CampaignStats:
+    """Aggregate outcome of one campaign."""
+
+    execs: int = 0
+    generated: int = 0
+    mutants: int = 0
+    invalid_mutants: int = 0
+    skipped: dict = field(default_factory=dict)   # reason -> count
+    findings: list = field(default_factory=list)  # Finding objects
+    coverage_size: int = 0
+    corpus_entries: int = 0
+    shrink_steps: int = 0
+    duration: float = 0.0
+    stopped_early: bool = False
+
+    @property
+    def genuine_findings(self):
+        return [finding for finding in self.findings
+                if finding.report.genuine is not False]
+
+    @property
+    def execs_per_second(self):
+        return self.execs / self.duration if self.duration else 0.0
+
+    def summary(self):
+        return {
+            "execs": self.execs,
+            "execs_per_second": round(self.execs_per_second, 1),
+            "generated": self.generated,
+            "mutants": self.mutants,
+            "invalid_mutants": self.invalid_mutants,
+            "skipped": dict(sorted(self.skipped.items())),
+            "divergences": len(self.findings),
+            "genuine_divergences": len(self.genuine_findings),
+            "coverage_size": self.coverage_size,
+            "corpus_entries": self.corpus_entries,
+            "shrink_steps": self.shrink_steps,
+            "duration_s": round(self.duration, 3),
+            "stopped_early": self.stopped_early,
+        }
+
+
+@dataclass
+class CandidateResult:
+    """The classified outcome of one differential execution."""
+
+    status: str                    # "ok" | "ref_timeout" | "ref_error" | "crash"
+    features: frozenset = frozenset()
+    reports: list = field(default_factory=list)
+
+    @property
+    def skipped(self):
+        return self.status in ("ref_timeout", "ref_error")
+
+
+def _bucket(count):
+    """AFL-style log2 hit-count bucket (1, 2, 3, 4-7, 8-15, ...)."""
+    if count < 4:
+        return count
+    return 1 << (count.bit_length() - 1)
+
+
+def _verify_active():
+    return knob_value("REPRO_STATIC_VERIFY") is not None
+
+
+def _nop_features(binary, config_name):
+    """Placement-density and encoding-size coverage of one variant."""
+    total = len(binary.instr_records) or 1
+    inserted = [record for record in binary.instr_records
+                if record.is_inserted_nop]
+    density_bin = (10 * len(inserted)) // total
+    sizes = "".join(str(size) for size in
+                    sorted({record.size for record in inserted}))
+    return {f"nop:{config_name}:d{density_bin}",
+            f"nop:{config_name}:s{sizes or '-'}"}
+
+
+def evaluate_candidate(source, inputs, params, *, name="candidate"):
+    """Run one candidate through every engine and classify the outcome.
+
+    Deterministic: variant seeds derive from the candidate's content
+    address, so replaying an entry rebuilds bit-identical variants.
+    """
+    inputs = tuple(inputs)
+    entry_id = entry_id_for(source, inputs)
+    features = set()
+    reports = []
+    configs = params.resolved_configs()
+
+    def error_report(stage, config_name, seed, exc):
+        features.add(f"fault:{stage}:{getattr(exc, 'code', 'error')}")
+        return DivergenceReport(
+            program=name, config=config_name, seed=seed, stage=stage,
+            kind="error", error=str(exc),
+            error_code=getattr(exc, "code", None))
+
+    with span("fuzz_candidate", program=name):
+        try:
+            build = ProgramBuild(source, name)
+        except ReproError as exc:
+            # The candidate passed parse+sema before getting here, so a
+            # front-end/lowering crash is itself a pipeline bug.
+            reports.append(error_report("compile", "-", None, exc))
+            return CandidateResult("crash", frozenset(features), reports)
+
+        edges = {}
+
+        def observe_edge(function, source_block, target_block):
+            key = (function, source_block, target_block)
+            edges[key] = edges.get(key, 0) + 1
+
+        try:
+            reference = run_module(build.module, inputs,
+                                   max_steps=params.fuel,
+                                   edge_observer=observe_edge)
+        except ExecutionLimitExceeded:
+            return CandidateResult("ref_timeout",
+                                   frozenset({"ref:timeout"}))
+        except ReproError as exc:
+            # e.g. an out-of-bounds index a mutator unmasked: the
+            # reference semantics reject the program, so there is no
+            # ground truth to differ from.
+            code = getattr(exc, "code", "error")
+            return CandidateResult("ref_error",
+                                   frozenset({f"ref:{code}"}))
+
+        reference_obs = Observation(tuple(reference.output),
+                                    reference.exit_code)
+        for (function, src, dst), count in edges.items():
+            features.add(f"edge:{function}:{src}->{dst}:x{_bucket(count)}")
+        features.add(f"exit:{reference.exit_code}")
+        features.add(f"outlen:x{_bucket(len(reference_obs.output))}")
+
+        sim_fuel = max(params.fuel * params.max_step_factor, 100_000)
+        try:
+            baseline = build.link_baseline()
+            baseline_obs = observe_binary(build, baseline, inputs,
+                                          max_steps=sim_fuel)
+        except ReproError as exc:
+            reports.append(error_report("baseline", "-", None, exc))
+            return CandidateResult("ok", frozenset(features), reports)
+
+        divergence = reference_obs.first_divergence(baseline_obs)
+        if divergence is not None:
+            observable, want, got = divergence
+            reports.append(DivergenceReport(
+                program=name, config="-", seed=None, stage="baseline",
+                kind="exit_code" if observable == "exit_code" else "output",
+                observable=observable, expected=want, actual=got))
+            features.add("div:baseline")
+            return CandidateResult("ok", frozenset(features), reports)
+
+        variant_fuel = max(baseline_obs.instr_count
+                           * params.max_step_factor, 100_000)
+
+        def run_variant(config, config_name, profile, seed):
+            """One variant's report (or None) — built, hooked, compared."""
+            variant = build.link_variant(config, seed, profile)
+            if params.variant_hook is not None:
+                variant = params.variant_hook(variant) or variant
+            variant_obs = observe_binary(build, variant, inputs,
+                                         max_steps=variant_fuel)
+            features.update(_nop_features(variant, config_name))
+            if _verify_active():
+                features.add(f"verify:clean:{config_name}")
+            scope = SimpleNamespace(program=name, config=config_name)
+            return _compare_variant(scope, baseline_obs, variant_obs,
+                                    config, seed)
+
+        for config in configs:
+            config_name = config.describe()
+            try:
+                profile = (build.profile(inputs)
+                           if config.requires_profile else None)
+            except ReproError as exc:
+                reports.append(error_report("profile", config_name,
+                                            None, exc))
+                continue
+            for position in range(params.variants):
+                seed = derive_seed("variant", entry_id, config_name,
+                                   position)
+                try:
+                    report = run_variant(config, config_name, profile,
+                                         seed)
+                except ReproError as exc:
+                    reports.append(error_report("variant", config_name,
+                                                seed, exc))
+                    continue
+                if report is None:
+                    continue
+                # Fresh-seed retry: systematic or layout-specific?
+                retry_seed = derive_seed("retry", entry_id, config_name,
+                                         position)
+                assert retry_seed != seed
+                report.retry_seed = retry_seed
+                try:
+                    retry = run_variant(config, config_name, profile,
+                                        retry_seed)
+                except ReproError:
+                    retry = "error"
+                report.genuine = retry is not None
+                reports.append(report)
+                features.add(f"div:{report.kind}:{config_name}")
+
+    return CandidateResult("ok", frozenset(features), reports)
+
+
+def _shrink_finding(source, inputs, report, params):
+    """Reduce a diverging source; the shrink oracle is 'same stage+kind
+    divergence still observed'. Returns ``(text, steps)`` — the original
+    source with zero steps when reduction goes nowhere."""
+    target = (report.stage, report.kind)
+
+    def still_diverges(text):
+        result = evaluate_candidate(text, inputs, params, name="shrink")
+        return any((candidate.stage, candidate.kind) == target
+                   for candidate in result.reports)
+
+    try:
+        return shrink_source(source, still_diverges)
+    except ReproError:
+        return source, 0
+
+
+def run_fuzz_campaign(params, corpus=None):
+    """Run one coverage-guided campaign; returns :class:`CampaignStats`.
+
+    ``corpus`` may be a pre-loaded :class:`Corpus` (e.g. disk-backed,
+    resuming an earlier campaign); by default the campaign keeps its
+    corpus in memory and the stats object is the only output.
+    """
+    if corpus is None:
+        corpus = Corpus()
+    stats = CampaignStats()
+    coverage = set()
+    started = time.monotonic()
+    limits = params.resolved_limits()
+
+    with span("fuzz_campaign", programs=params.programs,
+              variants=params.variants):
+        for index in range(params.programs):
+            if params.seconds and \
+                    time.monotonic() - started > params.seconds:
+                stats.stopped_early = True
+                break
+
+            rng = random.Random(derive_seed("pick", params.seed, index))
+            parents = [entry for entry in corpus.entries()
+                       if entry.kind != "reproducer"]
+            parent = None
+            program = None
+            if parents and rng.random() < params.mutate_ratio:
+                parent = rng.choice(parents)
+                donor_entry = rng.choice(parents)
+                try:
+                    program = mutate_program(rng, parse(parent.source),
+                                             parse(donor_entry.source))
+                except ReproError:
+                    program = None
+                if program is None:
+                    stats.invalid_mutants += 1
+                    parent = None
+            if program is not None:
+                source = pretty_print(program)
+                inputs = parent.inputs
+                kind = "mutant"
+                stats.mutants += 1
+            else:
+                source = pretty_print(generate_program(
+                    derive_seed("gen", params.seed, index), limits))
+                inputs = generate_inputs(
+                    derive_seed("inputs", params.seed, index))
+                kind = "generated"
+                stats.generated += 1
+
+            result = evaluate_candidate(source, inputs, params,
+                                        name=f"fuzz[{index}]")
+            stats.execs += 1
+            metrics.inc("fuzz.execs")
+            if result.skipped:
+                stats.skipped[result.status] = \
+                    stats.skipped.get(result.status, 0) + 1
+
+            new_features = result.features - coverage
+            if new_features:
+                coverage |= result.features
+                corpus.add(CorpusEntry.create(
+                    source, inputs, kind,
+                    parent=parent.entry_id if parent else None,
+                    features=new_features))
+
+            for report in result.reports:
+                finding = Finding(entry_id=entry_id_for(source, inputs),
+                                  report=report)
+                metrics.inc("fuzz.divergences")
+                if params.shrink:
+                    reduced, steps = _shrink_finding(source, inputs,
+                                                     report, params)
+                    if steps:
+                        finding.shrunk_source = reduced
+                        finding.shrink_steps = steps
+                        stats.shrink_steps += steps
+                        shrunk = CorpusEntry.create(
+                            reduced, inputs, "reproducer",
+                            parent=finding.entry_id)
+                        corpus.add(shrunk)
+                        finding.shrunk_entry_id = shrunk.entry_id
+                # The unreduced diverging input must be replayable too
+                # (a no-op if coverage already admitted it).
+                corpus.add(CorpusEntry.create(
+                    source, inputs, kind,
+                    parent=parent.entry_id if parent else None))
+                stats.findings.append(finding)
+
+    stats.duration = time.monotonic() - started
+    stats.coverage_size = len(coverage)
+    stats.corpus_entries = len(corpus)
+    metrics.inc("fuzz.coverage_size", len(coverage))
+    return stats
+
+
+def replay(corpus, entry_id, params=None):
+    """Deterministically re-run one corpus entry by id (or id prefix).
+
+    Returns ``(entry, CandidateResult)``. Variant seeds derive from the
+    entry's content address, so this rebuilds exactly the binaries the
+    campaign compared.
+    """
+    if params is None:
+        params = FuzzParams()
+    entry = corpus.get(entry_id)
+    result = evaluate_candidate(entry.source, entry.inputs, params,
+                                name=f"replay[{entry.entry_id}]")
+    return entry, result

@@ -1,0 +1,182 @@
+"""Content-addressed fuzzing corpus with deterministic replay.
+
+A corpus entry is (source text, input vector, provenance). Its id is a
+hash of exactly the parts that determine execution — the pretty-printed
+source and the inputs — so the same program reached twice (generated on
+one machine, mutated into existence on another) lands on the same id,
+and ``repro-diversify fuzz --replay <id>`` re-runs precisely what the
+campaign ran.
+
+On-disk layout mirrors :mod:`repro.artifacts`: two-level fan-out
+``<root>/<id[:2]>/<id>.json``, atomic writes (temp file + ``os.replace``)
+so a crashed campaign never leaves a torn entry, and best-effort reads —
+a corrupt or unreadable file is skipped, not fatal. With ``root=None``
+the corpus is memory-only (the smoke-campaign default).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import ReproError
+
+#: Length of the hex id prefix used as the entry id. 64 bits of the
+#: SHA-256 — collisions would need ~2^32 entries, far past any campaign.
+_ID_HEX_CHARS = 16
+
+
+def derive_seed(tag, *parts):
+    """A deterministic integer seed from a tag and arbitrary parts.
+
+    Used everywhere the fuzzer needs a fresh-but-reproducible random
+    stream: candidate generation (``derive_seed("gen", campaign_seed,
+    index)``), input vectors, and the differential retry seed. Unlike
+    ``hash()``, stable across processes and Python versions.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(tag).encode("utf-8"))
+    for part in parts:
+        digest.update(b"\x00")
+        digest.update(repr(part).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "little")
+
+
+def entry_id_for(source, inputs):
+    """The content address of (source, inputs)."""
+    digest = hashlib.sha256()
+    digest.update(source.encode("utf-8"))
+    digest.update(b"\x00inputs\x00")
+    digest.update(repr(tuple(inputs)).encode("utf-8"))
+    return digest.hexdigest()[:_ID_HEX_CHARS]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One corpus member: a program, its inputs, and how it got here."""
+
+    entry_id: str
+    source: str
+    inputs: tuple
+    kind: str                 # "seed" | "generated" | "mutant" | "reproducer"
+    parent: str | None = None  # entry id this one was mutated/shrunk from
+    features: tuple = ()       # coverage features that were new on admission
+
+    @classmethod
+    def create(cls, source, inputs, kind, *, parent=None, features=()):
+        inputs = tuple(inputs)
+        return cls(entry_id=entry_id_for(source, inputs), source=source,
+                   inputs=inputs, kind=kind, parent=parent,
+                   features=tuple(sorted(features)))
+
+    def to_json(self):
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        data = json.loads(text)
+        return cls(entry_id=data["entry_id"], source=data["source"],
+                   inputs=tuple(data["inputs"]), kind=data["kind"],
+                   parent=data.get("parent"),
+                   features=tuple(data.get("features", ())))
+
+
+class Corpus:
+    """The set of interesting candidates, optionally persisted.
+
+    ``root=None`` keeps everything in memory. With a root directory,
+    every admitted entry is also written to
+    ``<root>/<id[:2]>/<id>.json`` and entries already on disk are
+    visible to :meth:`get`/:meth:`ids` — a later campaign pointed at the
+    same directory resumes from the accumulated corpus.
+    """
+
+    def __init__(self, root=None):
+        self.root = os.fspath(root) if root is not None else None
+        self._entries = {}
+        if self.root is not None:
+            self._load()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _path(self, entry_id):
+        return os.path.join(self.root, entry_id[:2], f"{entry_id}.json")
+
+    def _load(self):
+        """Index whatever is already on disk; unreadable files skipped."""
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".json"):
+                    continue
+                try:
+                    with open(os.path.join(shard_dir, name),
+                              encoding="utf-8") as handle:
+                        entry = CorpusEntry.from_json(handle.read())
+                except (OSError, ValueError, KeyError):
+                    continue  # torn/corrupt entry: replay just won't find it
+                self._entries[entry.entry_id] = entry
+
+    def _persist(self, entry):
+        """Atomic best-effort write, exactly the artifact-cache idiom."""
+        path = self._path(entry.entry_id)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            handle, temp_path = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp")
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(entry.to_json())
+            os.replace(temp_path, path)
+        except OSError:
+            pass  # a read-only corpus dir degrades to memory-only
+
+    # -- the set -------------------------------------------------------------
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, entry_id):
+        return entry_id in self._entries
+
+    def ids(self):
+        return sorted(self._entries)
+
+    def entries(self):
+        return [self._entries[entry_id] for entry_id in self.ids()]
+
+    def get(self, entry_id):
+        """The entry for ``entry_id``, or raise a typed error.
+
+        Prefix lookup is supported (``--replay 3fa9`` finds the unique
+        entry starting with ``3fa9``) because humans paste prefixes.
+        """
+        entry = self._entries.get(entry_id)
+        if entry is not None:
+            return entry
+        matches = [known for known in self._entries
+                   if known.startswith(entry_id)]
+        if len(matches) == 1:
+            return self._entries[matches[0]]
+        raise ReproError(
+            f"corpus entry {entry_id!r} "
+            + ("is ambiguous" if matches else "not found"),
+            code="fuzz.corpus",
+            context={"entry_id": entry_id, "matches": matches,
+                     "corpus_size": len(self._entries),
+                     "root": self.root})
+
+    def add(self, entry):
+        """Admit ``entry``; returns False when the id is already present."""
+        if entry.entry_id in self._entries:
+            return False
+        self._entries[entry.entry_id] = entry
+        if self.root is not None:
+            self._persist(entry)
+        return True

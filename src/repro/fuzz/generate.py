@@ -1,0 +1,310 @@
+"""Generational MinC program synthesis (the fuzzer's seed stream).
+
+Every program this module emits is, *by construction*:
+
+- **well-typed** — it passes :func:`repro.minc.sema.analyze` (asserted
+  before returning; a generator bug fails loudly, not downstream);
+- **terminating under bounded fuel** — loops are counted (``for`` with a
+  literal bound over a counter nothing in the body may write, or
+  ``while`` over a fuel variable decremented as the body's first
+  statement), and calls form a DAG (a function only calls functions
+  generated before it), so there is no recursion and no unbounded
+  iteration;
+- **free of undefined behaviour** — array indices are masked with the
+  array's power-of-two size (``a[expr & 63]``), division by zero is
+  defined to yield zero by the language, and shift counts are masked by
+  the ISA, so the reference interpreter and the machine agree on every
+  operation the generator can emit.
+
+Randomness comes from one ``random.Random`` per program, seeded by the
+caller: equal seeds give byte-equal programs across processes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.minc import ast_nodes as ast
+from repro.minc.sema import analyze
+
+#: Constants the generator draws literals from — boundary values the
+#: wrapping-arithmetic and flag-setting paths care about, not a uniform
+#: integer spread.
+INTERESTING = (0, 1, 2, 3, 5, 7, 8, 10, 16, 31, 63, 100, 255, 1000,
+               65535, 2147483647)
+
+_ARITH_OPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>")
+_COMPARE_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_LOGIC_OPS = ("&&", "||")
+_UNARY_OPS = ("-", "!", "~")
+_ASSIGN_OPS = ("=", "=", "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+               "^=", "<<=", ">>=")
+
+
+@dataclass(frozen=True)
+class GenLimits:
+    """Size knobs for one generated program."""
+
+    helpers: int = 3           # max helper functions (callable DAG)
+    body_statements: int = 7   # max statements per body
+    block_depth: int = 3       # max statement nesting
+    expr_depth: int = 3        # max expression nesting
+    loop_bound: int = 8        # max literal iterations per loop
+    arrays: int = 2            # max global arrays
+    scalars: int = 2           # max global scalars
+
+
+#: Default shape; ``tiny()`` is the quick-campaign variant.
+DEFAULT_LIMITS = GenLimits()
+
+
+def tiny_limits():
+    """Smaller programs for time-bounded smoke campaigns."""
+    return GenLimits(helpers=2, body_statements=5, block_depth=2,
+                     expr_depth=2, loop_bound=6, arrays=1, scalars=2)
+
+
+class _FunctionScope:
+    """Name tracking while generating one function (flat MinC scope)."""
+
+    def __init__(self):
+        self.readable = []     # initialized scalars usable in expressions
+        self.writable = []     # assignable scalars (loop counters excluded)
+        self.counter = 0
+
+    def fresh(self, prefix):
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+
+class _Generator:
+    def __init__(self, rng, limits):
+        self.rng = rng
+        self.limits = limits
+        self.arrays = {}       # name -> size (power of two)
+        self.globals = []      # readable/writable global scalar names
+        self.functions = []    # (name, arity, returns_value) in DAG order
+
+    # -- random helpers ------------------------------------------------------
+
+    def chance(self, p):
+        return self.rng.random() < p
+
+    def pick(self, items):
+        return self.rng.choice(items)
+
+    # -- program -------------------------------------------------------------
+
+    def program(self):
+        program = ast.Program()
+        for index in range(self.rng.randint(1, self.limits.scalars)):
+            name = f"g{index}"
+            self.globals.append(name)
+            init = [self.pick(INTERESTING)] if self.chance(0.7) else []
+            program.globals.append(ast.GlobalDecl(name=name, init=init))
+        for index in range(self.rng.randint(1, self.limits.arrays)):
+            name = f"arr{index}"
+            size = self.pick((16, 32, 64))
+            self.arrays[name] = size
+            init = []
+            if self.chance(0.5):
+                init = [self.pick(INTERESTING)
+                        for _ in range(self.rng.randint(1, 6))]
+            program.globals.append(ast.GlobalDecl(
+                name=name, is_array=True, size=size, init=init))
+
+        for index in range(self.rng.randint(0, self.limits.helpers)):
+            program.functions.append(self._function(f"f{index}"))
+        program.functions.append(self._function("main", is_main=True))
+        return program
+
+    def _function(self, name, is_main=False):
+        scope = _FunctionScope()
+        params = []
+        returns_value = is_main or self.chance(0.85)
+        if not is_main:
+            for _ in range(self.rng.randint(1, 3)):
+                param = scope.fresh("p")
+                params.append(param)
+                scope.readable.append(param)
+                scope.writable.append(param)
+        body = self._body(scope, self.limits.body_statements,
+                          depth=0, loop_depth=0,
+                          returns_value=returns_value)
+        if returns_value:
+            body.append(ast.Return(value=self._expr(scope, 1)))
+        elif self.chance(0.3):
+            body.append(ast.Return())
+        self.functions.append((name, len(params), returns_value))
+        return ast.FuncDecl(name=name, params=params,
+                            returns_value=returns_value, body=body)
+
+    # -- statements ----------------------------------------------------------
+
+    def _body(self, scope, budget, depth, loop_depth, returns_value):
+        statements = []
+        for _ in range(self.rng.randint(max(1, budget // 2), budget)):
+            statements.append(self._statement(scope, depth, loop_depth,
+                                              returns_value))
+        return statements
+
+    def _statement(self, scope, depth, loop_depth, returns_value):
+        roll = self.rng.random()
+        nested = depth < self.limits.block_depth
+        if roll < 0.22:
+            name = scope.fresh("v")
+            statement = ast.VarDecl(name=name,
+                                    init=self._expr(scope, depth=1))
+            scope.readable.append(name)
+            scope.writable.append(name)
+            return statement
+        if roll < 0.45:
+            return self._assignment(scope)
+        if roll < 0.55:
+            return ast.PrintStmt(value=self._expr(scope, 1))
+        if roll < 0.70 and nested:
+            return self._if(scope, depth, loop_depth, returns_value)
+        if roll < 0.84 and nested:
+            return self._loop(scope, depth, loop_depth, returns_value)
+        if roll < 0.88 and loop_depth:
+            exit_stmt = (ast.Break() if self.chance(0.5)
+                         else ast.Continue())
+            return ast.If(cond=self._expr(scope, 1),
+                          then_body=[exit_stmt])
+        if roll < 0.92 and returns_value and depth:
+            return ast.If(cond=self._expr(scope, 1),
+                          then_body=[ast.Return(
+                              value=self._expr(scope, 1))])
+        void_helpers = [(n, a) for n, a, rv in self.functions if not rv]
+        if roll < 0.95 and void_helpers:
+            name, arity = self.pick(void_helpers)
+            return ast.ExprStmt(expr=ast.CallExpr(
+                callee=name,
+                args=[self._expr(scope, 1) for _ in range(arity)]))
+        return self._assignment(scope)
+
+    def _assignment(self, scope):
+        op = self.pick(_ASSIGN_OPS)
+        if self.arrays and self.chance(0.3):
+            target = self._array_ref(scope, depth=1)
+        else:
+            candidates = scope.writable + self.globals
+            if not candidates:
+                name = scope.fresh("v")
+                scope.readable.append(name)
+                scope.writable.append(name)
+                return ast.VarDecl(name=name, init=self._expr(scope, 1))
+            target = ast.Name(ident=self.pick(candidates))
+        if op in ("=", "+=", "-=") and self.chance(0.15):
+            return ast.IncDec(target=target,
+                              op=self.pick(("++", "--")))
+        return ast.Assign(target=target, op=op,
+                          value=self._expr(scope, depth=1))
+
+    def _if(self, scope, depth, loop_depth, returns_value):
+        node = ast.If(cond=self._expr(scope, 1))
+        node.then_body = self._body(scope, 3, depth + 1, loop_depth,
+                                    returns_value)
+        if self.chance(0.45):
+            node.else_body = self._body(scope, 3, depth + 1, loop_depth,
+                                        returns_value)
+        return node
+
+    def _loop(self, scope, depth, loop_depth, returns_value):
+        bound = self.rng.randint(2, self.limits.loop_bound)
+        if self.chance(0.6):
+            # Counted for-loop; the counter is readable but never
+            # handed to the writable set, so the body cannot break
+            # termination.
+            counter = scope.fresh("i")
+            scope.readable.append(counter)
+            body = self._body(scope, 4, depth + 1, loop_depth + 1,
+                              returns_value)
+            return ast.For(
+                init=ast.VarDecl(name=counter, init=ast.IntLit(value=0)),
+                cond=ast.BinaryExpr(op="<", lhs=ast.Name(ident=counter),
+                                    rhs=ast.IntLit(value=bound)),
+                step=ast.IncDec(target=ast.Name(ident=counter), op="++"),
+                body=body)
+        # Fuel while-loop: the decrement is the body's FIRST statement,
+        # so a later `continue` has already burned this iteration's fuel.
+        fuel = scope.fresh("t")
+        scope.readable.append(fuel)
+        body = [ast.IncDec(target=ast.Name(ident=fuel), op="--")]
+        body += self._body(scope, 3, depth + 1, loop_depth + 1,
+                           returns_value)
+        loop = ast.While(
+            cond=ast.BinaryExpr(op=">", lhs=ast.Name(ident=fuel),
+                                rhs=ast.IntLit(value=0)),
+            body=body)
+        return_list = [
+            ast.VarDecl(name=fuel, init=ast.IntLit(value=bound)), loop]
+        return ast.If(cond=ast.IntLit(value=1), then_body=return_list)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _array_ref(self, scope, depth):
+        name = self.pick(sorted(self.arrays))
+        mask = self.arrays[name] - 1
+        index = ast.BinaryExpr(op="&", lhs=self._expr(scope, depth + 1),
+                               rhs=ast.IntLit(value=mask))
+        return ast.IndexExpr(array=name, index=index)
+
+    def _expr(self, scope, depth):
+        if depth >= self.limits.expr_depth or self.chance(0.3):
+            return self._leaf(scope, depth)
+        roll = self.rng.random()
+        if roll < 0.55:
+            ops = _ARITH_OPS if self.chance(0.7) else _COMPARE_OPS
+            return ast.BinaryExpr(op=self.pick(ops),
+                                  lhs=self._expr(scope, depth + 1),
+                                  rhs=self._expr(scope, depth + 1))
+        if roll < 0.65:
+            return ast.BinaryExpr(op=self.pick(_LOGIC_OPS),
+                                  lhs=self._expr(scope, depth + 1),
+                                  rhs=self._expr(scope, depth + 1))
+        if roll < 0.78:
+            return ast.UnaryExpr(op=self.pick(_UNARY_OPS),
+                                 operand=self._expr(scope, depth + 1))
+        int_helpers = [(n, a) for n, a, rv in self.functions if rv]
+        if roll < 0.88 and int_helpers:
+            name, arity = self.pick(int_helpers)
+            return ast.CallExpr(
+                callee=name,
+                args=[self._expr(scope, depth + 1)
+                      for _ in range(arity)])
+        return self._leaf(scope, depth)
+
+    def _leaf(self, scope, depth):
+        roll = self.rng.random()
+        readable = scope.readable + self.globals
+        if roll < 0.40 and readable:
+            return ast.Name(ident=self.pick(readable))
+        if roll < 0.55 and self.arrays:
+            return self._array_ref(scope, depth)
+        if roll < 0.62:
+            return ast.InputExpr()
+        return ast.IntLit(value=self.pick(INTERESTING))
+
+
+def generate_program(seed, limits=DEFAULT_LIMITS):
+    """One well-typed, terminating MinC :class:`Program` for ``seed``.
+
+    Deterministic: equal ``(seed, limits)`` give structurally equal
+    programs on any machine. The result is re-checked with the real
+    semantic analyzer before being returned.
+    """
+    rng = random.Random(seed)
+    program = _Generator(rng, limits).program()
+    analyze(program)  # a generator bug must fail here, not mid-campaign
+    return program
+
+
+def generate_inputs(seed, *, count=None):
+    """A deterministic input vector for one candidate's ``input()`` calls."""
+    rng = random.Random(seed)
+    if count is None:
+        count = rng.randint(2, 6)
+    return tuple(rng.choice(INTERESTING) - rng.choice((0, 1))
+                 for _ in range(count))

@@ -1,0 +1,142 @@
+"""Seeded miscompile injection: proving the oracle can actually see.
+
+A differential fuzzer that never fires is indistinguishable from one
+that cannot fire. This module plants known miscompile classes into
+otherwise-correct variant binaries — through the campaign's test-only
+``variant_hook`` — so the test suite can assert each class is caught:
+
+- **wrong branch target** — a short branch's rel8 displacement is
+  nudged, so control lands one instruction off;
+- **dropped instruction** — a real instruction's bytes are overwritten
+  with single-byte NOPs (layout-preserving, effect-deleting);
+- **bad NOP encoding** — an *inserted* NOP's bytes are replaced by a
+  same-length encoding that is not semantics-neutral (``inc eax``),
+  the exact bug class Algorithm 1's transparency argument rules out.
+
+All corruptions are pure byte edits on a copy of the binary image
+(``dataclasses.replace`` on ``text``, the same idiom as the fault
+campaign) — the simulator decodes what it is given, so the planted bug
+flows through the normal execute path and must be caught by the
+*observables*, not by any metadata check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import ReproError
+
+#: Same-length non-neutral replacements for an inserted NOP: byte 0 is
+#: ``inc eax`` (0x40) — architecturally well-formed, one byte, and
+#: visibly wrong the moment EAX carries live data — padded with real
+#: NOPs to preserve layout.
+_POISON_FIRST_BYTE = 0x40
+
+
+def _patch(binary, offset, new_bytes):
+    """A copy of ``binary`` with ``new_bytes`` spliced into text."""
+    text = bytearray(binary.text)
+    text[offset:offset + len(new_bytes)] = new_bytes
+    return replace(binary, text=bytes(text))
+
+
+def _main_range(binary):
+    start, end = binary.function_ranges.get(
+        "main", (binary.text_base, binary.text_end))
+    return start, end
+
+
+def branch_sites(binary):
+    """Records of short conditional/unconditional branches in main.
+
+    Restricted to 2-byte encodings (opcode + rel8) so the corruption is
+    a single displacement byte and to ``main`` so the corrupted path is
+    actually executed.
+    """
+    start, end = _main_range(binary)
+    return [record for record in binary.instr_records
+            if start <= record.address < end
+            and record.mnemonic.startswith("j")
+            and record.size == 2]
+
+
+def inject_wrong_branch(binary, site):
+    """Nudge one branch's rel8 displacement by +1 instruction byte."""
+    offset = site.address - binary.text_base
+    displacement = binary.text[offset + 1]
+    return _patch(binary, offset + 1, bytes([(displacement + 1) & 0xFF]))
+
+
+def droppable_sites(binary):
+    """Real (non-inserted-NOP) instructions in main that can be blanked.
+
+    Control-flow instructions are excluded — dropping one usually runs
+    off into the next function, which faults loudly; the interesting
+    (silent) version of this bug drops a data instruction.
+    """
+    start, end = _main_range(binary)
+    skip = ("j", "call", "ret", "push", "pop", "hlt")
+    return [record for record in binary.instr_records
+            if start <= record.address < end
+            and not record.is_inserted_nop
+            and not record.mnemonic.startswith(skip)]
+
+
+def inject_drop_instruction(binary, site):
+    """Overwrite one instruction with NOPs (layout-preserving drop)."""
+    offset = site.address - binary.text_base
+    return _patch(binary, offset, b"\x90" * site.size)
+
+
+def nop_sites(binary):
+    """Inserted-NOP records in main — Algorithm 1's own insertions."""
+    start, end = _main_range(binary)
+    return [record for record in binary.instr_records
+            if start <= record.address < end and record.is_inserted_nop]
+
+
+def inject_bad_nop(binary, site):
+    """Swap one inserted NOP for a same-length non-neutral encoding."""
+    offset = site.address - binary.text_base
+    poison = bytes([_POISON_FIRST_BYTE]) + b"\x90" * (site.size - 1)
+    return _patch(binary, offset, poison)
+
+
+#: bug class name -> (site enumerator, injector).
+BUG_CLASSES = {
+    "wrong_branch_target": (branch_sites, inject_wrong_branch),
+    "dropped_instruction": (droppable_sites, inject_drop_instruction),
+    "bad_nop_encoding": (nop_sites, inject_bad_nop),
+}
+
+
+def make_hook(bug_class, site_index=None):
+    """A ``FuzzParams.variant_hook`` planting one bug class.
+
+    With ``site_index=None`` every applicable site is corrupted — the
+    right default for a *detectability* proof, because a single
+    non-neutral NOP is often locally unobservable (EAX dead across the
+    insertion point) while the class as a whole is not. With an integer,
+    only that site (modulo the available sites) is corrupted. Binaries
+    with no applicable site pass through untouched. Raises for unknown
+    bug classes so a typo'd test fails loudly.
+    """
+    try:
+        enumerate_sites, injector = BUG_CLASSES[bug_class]
+    except KeyError:
+        raise ReproError(
+            f"unknown injected bug class {bug_class!r}",
+            code="fuzz.inject",
+            context={"known": sorted(BUG_CLASSES)}) from None
+
+    def hook(binary):
+        sites = enumerate_sites(binary)
+        if not sites:
+            return binary
+        if site_index is not None:
+            return injector(binary, sites[site_index % len(sites)])
+        for site in sites:
+            binary = injector(binary, site)
+        return binary
+
+    return hook

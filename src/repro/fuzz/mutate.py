@@ -1,0 +1,201 @@
+"""AST-level mutators: evolve interesting corpus programs.
+
+Each mutator takes a seeded ``Random`` and a *copy* of a parsed program
+and edits it in place, returning ``True`` when it found an applicable
+site. :func:`mutate_program` composes them: it deep-copies the input,
+tries randomly-chosen mutators until one fires, pretty-prints, and
+re-parses + re-checks the result — a mutant that no longer parses or
+type-checks is discarded (returned as ``None``) rather than wasting a
+differential execution on it.
+
+Mutation can, unlike generation, break the termination guarantees
+(twiddling a loop bound, deleting a fuel decrement). That is by design:
+those programs probe the pipeline's fuel guards, and the campaign
+classifies a reference-interpreter timeout as a skip, not a divergence.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.minc import ast_nodes as ast
+from repro.minc.astutil import (
+    clone, expr_sites, get_site, set_site, stmt_sites, subexpressions,
+    walk,
+)
+from repro.minc.pretty import pretty_print
+from repro.minc.parser import parse
+from repro.minc.sema import analyze
+
+from repro.fuzz.generate import INTERESTING
+
+_ARITH = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>")
+_COMPARE = ("==", "!=", "<", "<=", ">", ">=")
+_LOGIC = ("&&", "||")
+_UNARY = ("-", "!", "~")
+
+#: Loop bounds a mutator may introduce are capped: large bounds only
+#: prove the fuel guard works (which the campaign already counts as a
+#: skip), so most twiddles stay in terminating territory.
+MAX_MUTATED_BOUND = 4096
+
+
+def _int_literals(program):
+    return [node for node in walk(program) if isinstance(node, ast.IntLit)]
+
+
+def twiddle_constant(rng, program):
+    """Replace one integer literal with a neighbour or boundary value."""
+    literals = _int_literals(program)
+    if not literals:
+        return False
+    node = rng.choice(literals)
+    value = node.value
+    node.value = rng.choice((
+        value + 1, max(value - 1, -MAX_MUTATED_BOUND),
+        value * 2 if abs(value) < MAX_MUTATED_BOUND else value // 2,
+        rng.choice(INTERESTING),
+    ))
+    return True
+
+
+def swap_operator(rng, program):
+    """Swap one operator for another in its class (arity-preserving)."""
+    nodes = [node for node in walk(program)
+             if isinstance(node, (ast.BinaryExpr, ast.UnaryExpr))]
+    if not nodes:
+        return False
+    node = rng.choice(nodes)
+    if isinstance(node, ast.UnaryExpr):
+        node.op = rng.choice([op for op in _UNARY if op != node.op])
+        return True
+    for family in (_ARITH, _COMPARE, _LOGIC):
+        if node.op in family:
+            node.op = rng.choice([op for op in family if op != node.op])
+            return True
+    return False
+
+
+def negate_condition(rng, program):
+    """Logically invert one if/while/for condition."""
+    nodes = [node for node in walk(program)
+             if isinstance(node, (ast.If, ast.While, ast.For))
+             and getattr(node, "cond", None) is not None]
+    if not nodes:
+        return False
+    node = rng.choice(nodes)
+    node.cond = ast.UnaryExpr(op="!", operand=node.cond)
+    return True
+
+
+def delete_statement(rng, program):
+    """Remove one non-declaration statement.
+
+    Declarations stay (deleting one almost always breaks name
+    resolution, and the sema re-check would just discard the mutant);
+    everything else — including a fuel decrement or a ``return`` —
+    is fair game.
+    """
+    sites = [(body, index) for body, index in stmt_sites(program)
+             if not isinstance(body[index], ast.VarDecl)]
+    if not sites:
+        return False
+    body, index = rng.choice(sites)
+    del body[index]
+    return True
+
+
+def duplicate_statement(rng, program):
+    """Insert a deep copy of one statement right after itself."""
+    sites = [(body, index) for body, index in stmt_sites(program)
+             if not isinstance(body[index], ast.VarDecl)]
+    if not sites:
+        return False
+    body, index = rng.choice(sites)
+    body.insert(index + 1, clone(body[index]))
+    return True
+
+
+def splice_expression(rng, program, donor=None):
+    """Replace one expression subtree with one from ``donor`` (or from
+    elsewhere in the same program when no donor is given).
+
+    Name resolution is not pre-checked — the sema re-check in
+    :func:`mutate_program` filters spliced references that don't exist
+    in the recipient scope, and a same-program splice usually resolves.
+    """
+    sites = expr_sites(program)
+    if not sites:
+        return False
+    pool = subexpressions(donor if donor is not None else program)
+    if not pool:
+        return False
+    site = rng.choice(sites)
+    set_site(site, clone(rng.choice(pool)))
+    return True
+
+
+def wrap_in_if(rng, program):
+    """Guard one statement with a fresh condition."""
+    sites = [(body, index) for body, index in stmt_sites(program)
+             if not isinstance(body[index], ast.VarDecl)]
+    if not sites:
+        return False
+    body, index = rng.choice(sites)
+    literals = _int_literals(program)
+    cond = (clone(rng.choice(literals)) if literals
+            else ast.IntLit(value=1))
+    body[index] = ast.If(cond=cond, then_body=[body[index]])
+    return True
+
+
+def swap_branches(rng, program):
+    """Exchange the then/else arms of one two-armed ``if``."""
+    nodes = [node for node in walk(program)
+             if isinstance(node, ast.If) and node.else_body]
+    if not nodes:
+        return False
+    node = rng.choice(nodes)
+    node.then_body, node.else_body = node.else_body, node.then_body
+    return True
+
+
+#: (weight, mutator) — weights bias toward the cheap, high-yield edits.
+MUTATORS = (
+    (4, twiddle_constant),
+    (3, swap_operator),
+    (2, negate_condition),
+    (2, delete_statement),
+    (2, duplicate_statement),
+    (3, splice_expression),
+    (1, wrap_in_if),
+    (1, swap_branches),
+)
+
+_WEIGHTED = tuple(mutator for weight, mutator in MUTATORS
+                  for _ in range(weight))
+
+
+def mutate_program(rng, program, donor=None, *, attempts=8):
+    """One validated mutant of ``program``, or ``None``.
+
+    Tries up to ``attempts`` (mutator, site) draws; the first edit that
+    still parses and type-checks after a print/parse round trip wins.
+    ``donor`` feeds :func:`splice_expression` with foreign subtrees.
+    """
+    for _ in range(attempts):
+        candidate = clone(program)
+        mutator = rng.choice(_WEIGHTED)
+        if mutator is splice_expression:
+            applied = mutator(rng, candidate, donor)
+        else:
+            applied = mutator(rng, candidate)
+        if not applied:
+            continue
+        text = pretty_print(candidate)
+        try:
+            reparsed = parse(text)
+            analyze(reparsed)
+        except ReproError:
+            continue  # ungrammatical/ill-typed mutant: discard
+        return reparsed
+    return None

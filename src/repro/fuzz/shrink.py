@@ -1,0 +1,144 @@
+"""Greedy AST-level reduction of diverging programs.
+
+A raw fuzz finding is noise: dozens of statements, most irrelevant to
+the divergence. :func:`shrink_source` repeatedly tries structural
+reductions — drop a helper function, drop a statement, flatten an
+``if`` into its taken arm, collapse an expression to a literal or one
+of its own operands — keeping any candidate that still parses, still
+type-checks, and still satisfies the caller's predicate ("the same kind
+of divergence still reproduces"). It runs to a fixpoint or an
+evaluation budget, whichever comes first, and every accepted reduction
+bumps the ``fuzz.shrink_steps`` counter.
+
+The predicate sees pretty-printed source text, not an AST — the same
+representation the corpus stores and replay consumes, so a shrunk
+reproducer is a corpus entry like any other.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.minc import ast_nodes as ast
+from repro.minc.astutil import clone, expr_sites, get_site, set_site, \
+    stmt_sites
+from repro.minc.parser import parse
+from repro.minc.pretty import pretty_print
+from repro.minc.sema import analyze
+from repro.obs import metrics
+
+#: Default cap on predicate evaluations. Each evaluation typically runs
+#: a full differential pipeline (~ms), so the cap bounds shrink time to
+#: a few seconds per finding.
+DEFAULT_MAX_EVALS = 300
+
+
+def _validated_text(program):
+    """Pretty-print and re-check a reduced AST; None when invalid."""
+    text = pretty_print(program)
+    try:
+        analyze(parse(text))
+    except ReproError:
+        return None
+    return text
+
+
+def _reduced_candidates(program):
+    """Every one-step reduction of ``program``, biggest-first.
+
+    Yields fresh ASTs; the input is never mutated. Order matters for
+    greed: removing a whole helper beats simplifying an expression
+    inside it, so function/statement drops come before the local
+    rewrites.
+    """
+    # Drop one non-main function entirely.
+    for index, func in enumerate(program.functions):
+        if func.name == "main":
+            continue
+        candidate = clone(program)
+        del candidate.functions[index]
+        yield candidate
+    # Drop one global declaration.
+    for index in range(len(program.globals)):
+        candidate = clone(program)
+        del candidate.globals[index]
+        yield candidate
+    # Drop one statement.
+    for position in range(len(stmt_sites(program))):
+        candidate = clone(program)
+        body, index = stmt_sites(candidate)[position]
+        del body[index]
+        yield candidate
+    # Flatten a branch/loop into its body (keeps the interesting
+    # statements, discards the control structure around them).
+    for position, (body, index) in enumerate(stmt_sites(program)):
+        statement = body[index]
+        arms = []
+        if isinstance(statement, ast.If):
+            arms = [statement.then_body, statement.else_body]
+        elif isinstance(statement, (ast.While, ast.For)):
+            arms = [statement.body]
+        for arm_index, arm in enumerate(arms):
+            if not arm:
+                continue
+            candidate = clone(program)
+            c_body, c_index = stmt_sites(candidate)[position]
+            c_statement = c_body[c_index]
+            if isinstance(c_statement, ast.If):
+                replacement = (c_statement.then_body, c_statement.else_body
+                               )[arm_index]
+            else:
+                replacement = c_statement.body
+            c_body[c_index:c_index + 1] = replacement
+            yield candidate
+    # Collapse an expression: to zero, or to one of its own operands.
+    for position, site in enumerate(expr_sites(program)):
+        node = get_site(site)
+        replacements = []
+        if not (isinstance(node, ast.IntLit) and node.value == 0):
+            replacements.append(ast.IntLit(value=0))
+        if isinstance(node, ast.BinaryExpr):
+            replacements += [node.lhs, node.rhs]
+        elif isinstance(node, ast.UnaryExpr):
+            replacements.append(node.operand)
+        elif isinstance(node, ast.IndexExpr):
+            replacements.append(node.index)
+        for replacement in replacements:
+            candidate = clone(program)
+            set_site(expr_sites(candidate)[position], clone(replacement))
+            yield candidate
+
+
+def shrink_source(source, predicate, *, max_evals=DEFAULT_MAX_EVALS):
+    """Greedily reduce ``source`` while ``predicate(text)`` holds.
+
+    Returns ``(reduced_source, steps)`` where ``steps`` counts accepted
+    reductions. The input itself must satisfy the predicate — shrinking
+    something that doesn't reproduce is a caller bug and raises.
+    """
+    if not predicate(source):
+        raise ReproError(
+            "shrink_source: the unreduced input does not satisfy the "
+            "predicate — nothing to shrink toward",
+            code="fuzz.shrink", context={"source_bytes": len(source)})
+    program = parse(source)
+    best_text = pretty_print(program)
+    steps = 0
+    evals = 0
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for candidate in _reduced_candidates(program):
+            if evals >= max_evals:
+                break
+            text = _validated_text(candidate)
+            if text is None or len(text) >= len(best_text):
+                continue
+            evals += 1
+            if predicate(text):
+                program = candidate
+                best_text = text
+                steps += 1
+                metrics.inc("fuzz.shrink_steps")
+                progress = True
+                break  # restart from the (now smaller) program
+    return best_text, steps

@@ -12,11 +12,18 @@ The front end is the classic three stages:
 - :mod:`repro.minc.parser` — tokens → AST (:mod:`repro.minc.ast_nodes`),
 - :mod:`repro.minc.sema` — name/arity/category checking,
 - :mod:`repro.minc.irgen` — AST → :class:`repro.ir.Module`.
+
+Two sideline modules serve the fuzzer and other AST-level tooling:
+:mod:`repro.minc.pretty` (round-tripping pretty-printer — the corpus
+stores programs as source text) and :mod:`repro.minc.astutil` (generic
+walk/site/clone helpers for AST mutation).
 """
 
 from repro.minc.lexer import Token, tokenize
 from repro.minc.parser import parse
+from repro.minc.pretty import ast_equal, pretty_print
 from repro.minc.sema import analyze
 from repro.minc.irgen import compile_to_ir
 
-__all__ = ["Token", "tokenize", "parse", "analyze", "compile_to_ir"]
+__all__ = ["Token", "tokenize", "parse", "analyze", "compile_to_ir",
+           "pretty_print", "ast_equal"]

@@ -1,0 +1,147 @@
+"""Generic traversal and editing helpers over MinC ASTs.
+
+The fuzzer's mutators (:mod:`repro.fuzz.mutate`) and shrinker
+(:mod:`repro.fuzz.shrink`) need three things the node classes don't
+provide directly: a uniform walk over every node, addressable *sites*
+(a parent slot a subtree can be swapped out of), and deep copies that
+are safe to edit in place. Sites come in two flavors:
+
+- **expression sites** — ``(owner, field, index)`` where
+  ``owner.field`` (or ``owner.field[index]`` for argument lists) holds
+  an expression node;
+- **statement sites** — ``(body, index)`` where ``body`` is one of the
+  statement lists bodies flatten to (function bodies, then/else arms,
+  loop bodies).
+
+Both enumerate deterministically (pre-order), so a seeded ``Random``
+picking an index yields reproducible mutations.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.minc import ast_nodes as ast
+
+#: owner-type -> fields that hold a single expression node (when not None).
+_EXPR_FIELDS = {
+    ast.IndexExpr: ("index",),
+    ast.UnaryExpr: ("operand",),
+    ast.BinaryExpr: ("lhs", "rhs"),
+    ast.VarDecl: ("init",),
+    ast.Assign: ("target", "value"),
+    ast.IncDec: ("target",),
+    ast.If: ("cond",),
+    ast.While: ("cond",),
+    ast.For: ("cond",),
+    ast.Return: ("value",),
+    ast.PrintStmt: ("value",),
+    ast.ExprStmt: ("expr",),
+}
+
+#: owner-type -> fields that hold statement lists.
+_BODY_FIELDS = {
+    ast.If: ("then_body", "else_body"),
+    ast.While: ("body",),
+    ast.For: ("body",),
+    ast.FuncDecl: ("body",),
+}
+
+#: statement fields holding one nested statement (the for clauses).
+_STMT_FIELDS = {
+    ast.For: ("init", "step"),
+}
+
+
+def clone(node):
+    """A deep copy safe to mutate without touching the original."""
+    return copy.deepcopy(node)
+
+
+def walk(node):
+    """Pre-order iteration over every AST node under ``node``."""
+    yield node
+    for kind, fields in _EXPR_FIELDS.items():
+        if isinstance(node, kind):
+            for field in fields:
+                child = getattr(node, field)
+                if child is not None:
+                    yield from walk(child)
+    if isinstance(node, ast.CallExpr):
+        for arg in node.args:
+            yield from walk(arg)
+    for kind, fields in _STMT_FIELDS.items():
+        if isinstance(node, kind):
+            for field in fields:
+                child = getattr(node, field)
+                if child is not None:
+                    yield from walk(child)
+    for kind, fields in _BODY_FIELDS.items():
+        if isinstance(node, kind):
+            for field in fields:
+                for child in getattr(node, field):
+                    yield from walk(child)
+    if isinstance(node, ast.Program):
+        for decl in node.globals:
+            yield decl
+        for func in node.functions:
+            yield from walk(func)
+
+
+def expr_sites(program, *, include_targets=False):
+    """Every replaceable expression slot, as ``(owner, field, index)``.
+
+    ``index`` is ``None`` for scalar fields and a list index for call
+    arguments. Assignment/inc-dec *targets* are excluded by default —
+    replacing one with an arbitrary expression is never grammatical.
+    """
+    sites = []
+    for node in walk(program):
+        for kind, fields in _EXPR_FIELDS.items():
+            if isinstance(node, kind):
+                for field in fields:
+                    if field == "target" and not include_targets:
+                        continue
+                    if getattr(node, field) is not None:
+                        sites.append((node, field, None))
+        if isinstance(node, ast.CallExpr):
+            for position in range(len(node.args)):
+                sites.append((node, "args", position))
+    return sites
+
+
+def get_site(site):
+    owner, field, index = site
+    value = getattr(owner, field)
+    return value[index] if index is not None else value
+
+
+def set_site(site, replacement):
+    owner, field, index = site
+    if index is not None:
+        getattr(owner, field)[index] = replacement
+    else:
+        setattr(owner, field, replacement)
+
+
+def stmt_sites(program):
+    """Every ``(body_list, index)`` statement slot, pre-order."""
+    sites = []
+    for node in walk(program):
+        for kind, fields in _BODY_FIELDS.items():
+            if isinstance(node, kind):
+                for field in fields:
+                    body = getattr(node, field)
+                    for position in range(len(body)):
+                        sites.append((body, position))
+    return sites
+
+
+def subexpressions(program):
+    """Every expression node in the program, pre-order."""
+    return [get_site(site) for site in expr_sites(program)]
+
+
+def node_count(program):
+    """Total AST nodes — the shrinker's size measure."""
+    return sum(1 for _ in walk(program))

@@ -17,6 +17,7 @@ from repro.errors import MincSemanticError
 from repro.ir import FunctionBuilder, Function, GlobalArray, Module
 from repro.ir.values import Const
 from repro.minc import ast_nodes as ast
+from repro.minc.astutil import walk
 from repro.minc.parser import parse
 from repro.minc.sema import analyze
 
@@ -49,6 +50,17 @@ class _FunctionEmitter:
     def emit(self):
         entry = self.builder.start_block("entry")
         assert entry is not None
+        # Zero every declared local up front. MinC's flat scope lets a
+        # statement read a variable whose declaration sits on a path
+        # that never executed (e.g. inside an untaken branch); the
+        # reference interpreter defines such reads as 0, and without
+        # this the machine code read whatever the register or stack
+        # slot last held — a reference-vs-baseline divergence found by
+        # the differential fuzzer.
+        for node in walk(self.func_ast):
+            if isinstance(node, ast.VarDecl):
+                self.builder.copy(self._declare_local(node.name),
+                                  Const(0))
         self.emit_body(self.func_ast.body)
         if not self.builder.is_terminated:
             if self.func_ast.returns_value:

@@ -1,0 +1,197 @@
+"""Pretty-printer for MinC ASTs, with a parse round-trip guarantee.
+
+The fuzzing corpus (:mod:`repro.fuzz.corpus`) stores programs as source
+*text* — content-addressed, diffable, replayable without pickling AST
+objects — so generated and mutated ASTs must print to text that parses
+back to the same program. The guarantee, tested over every workload
+source and every generated program:
+
+    ``ast_equal(parse(pretty_print(p)), p)``        (structure round-trip)
+    ``pretty_print(parse(t)) == t``  for ``t = pretty_print(p)``  (fixpoint)
+
+Printing is precedence-aware (minimal parentheses, left-associativity
+preserved), bodies are always braced (the parser flattens braced bodies
+to statement lists, so bracing is canonical), and a negative integer
+literal prints as ``-N`` — which re-parses as unary minus over ``N``;
+:func:`ast_equal` treats the two spellings as the same program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+
+from repro.minc import ast_nodes as ast
+from repro.minc.parser import _PRECEDENCE
+
+#: op -> binding level, lowest binding first (mirrors the parser).
+_LEVELS = {op: index
+           for index, ops in enumerate(_PRECEDENCE)
+           for op in ops}
+_UNARY_LEVEL = len(_PRECEDENCE)
+_PRIMARY_LEVEL = _UNARY_LEVEL + 1
+
+_INDENT = "  "
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+def _expr(node, min_level=0):
+    """Render ``node``, parenthesized if it binds looser than ``min_level``."""
+    text, level = _render_expr(node)
+    if level < min_level:
+        return f"({text})"
+    return text
+
+
+def _render_expr(node):
+    """(text, binding level) of one expression node."""
+    if isinstance(node, ast.IntLit):
+        # A negative literal prints like unary minus and re-parses as
+        # one; ast_equal() normalizes the two spellings.
+        level = _PRIMARY_LEVEL if node.value >= 0 else _UNARY_LEVEL
+        return str(node.value), level
+    if isinstance(node, ast.Name):
+        return node.ident, _PRIMARY_LEVEL
+    if isinstance(node, ast.IndexExpr):
+        return f"{node.array}[{_expr(node.index)}]", _PRIMARY_LEVEL
+    if isinstance(node, ast.CallExpr):
+        args = ", ".join(_expr(arg) for arg in node.args)
+        return f"{node.callee}({args})", _PRIMARY_LEVEL
+    if isinstance(node, ast.InputExpr):
+        return "input()", _PRIMARY_LEVEL
+    if isinstance(node, ast.UnaryExpr):
+        operand = _expr(node.operand, _UNARY_LEVEL)
+        if node.op == "-" and operand.startswith("-"):
+            # "--x" would lex as a decrement token; force "-(-x)".
+            operand = f"({_expr(node.operand)})"
+        return f"{node.op}{operand}", _UNARY_LEVEL
+    if isinstance(node, ast.BinaryExpr):
+        level = _LEVELS[node.op]
+        lhs = _expr(node.lhs, level)          # left-assoc: same level ok
+        rhs = _expr(node.rhs, level + 1)      # right side must bind tighter
+        return f"{lhs} {node.op} {rhs}", level
+    raise TypeError(f"not a MinC expression node: {type(node).__name__}")
+
+
+# -- statements ----------------------------------------------------------------
+
+
+def _simple(node):
+    """Render an assignment/inc-dec/decl/expression without a semicolon
+    (the ``for``-clause position)."""
+    if isinstance(node, ast.VarDecl):
+        if node.init is None:
+            return f"int {node.name}"
+        return f"int {node.name} = {_expr(node.init)}"
+    if isinstance(node, ast.Assign):
+        return f"{_expr(node.target)} {node.op} {_expr(node.value)}"
+    if isinstance(node, ast.IncDec):
+        return f"{_expr(node.target)}{node.op}"
+    if isinstance(node, ast.ExprStmt):
+        return _expr(node.expr)
+    raise TypeError(f"not a simple statement: {type(node).__name__}")
+
+
+def _block(body, indent, lines):
+    for statement in body:
+        _stmt(statement, indent, lines)
+
+
+def _stmt(node, indent, lines):
+    pad = _INDENT * indent
+    if isinstance(node, (ast.VarDecl, ast.Assign, ast.IncDec, ast.ExprStmt)):
+        lines.append(f"{pad}{_simple(node)};")
+    elif isinstance(node, ast.If):
+        lines.append(f"{pad}if ({_expr(node.cond)}) {{")
+        _block(node.then_body, indent + 1, lines)
+        if node.else_body:
+            lines.append(f"{pad}}} else {{")
+            _block(node.else_body, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(node, ast.While):
+        lines.append(f"{pad}while ({_expr(node.cond)}) {{")
+        _block(node.body, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(node, ast.For):
+        init = "" if node.init is None else _simple(node.init)
+        cond = "" if node.cond is None else _expr(node.cond)
+        step = "" if node.step is None else _simple(node.step)
+        lines.append(f"{pad}for ({init}; {cond}; {step}) {{")
+        _block(node.body, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(node, ast.Break):
+        lines.append(f"{pad}break;")
+    elif isinstance(node, ast.Continue):
+        lines.append(f"{pad}continue;")
+    elif isinstance(node, ast.Return):
+        if node.value is None:
+            lines.append(f"{pad}return;")
+        else:
+            lines.append(f"{pad}return {_expr(node.value)};")
+    elif isinstance(node, ast.PrintStmt):
+        lines.append(f"{pad}print({_expr(node.value)});")
+    else:
+        raise TypeError(f"not a MinC statement node: {type(node).__name__}")
+
+
+# -- declarations --------------------------------------------------------------
+
+
+def _global(decl):
+    text = f"int {decl.name}"
+    if decl.is_array:
+        text += f"[{decl.size}]"
+    if decl.init:
+        if decl.is_array:
+            text += " = {" + ", ".join(str(v) for v in decl.init) + "}"
+        else:
+            text += f" = {decl.init[0]}"
+    return text + ";"
+
+
+def pretty_print(program):
+    """Render a :class:`~repro.minc.ast_nodes.Program` as MinC source."""
+    lines = []
+    for decl in program.globals:
+        lines.append(_global(decl))
+    for func in program.functions:
+        if lines:
+            lines.append("")
+        kind = "int" if func.returns_value else "void"
+        params = ", ".join(f"int {name}" for name in func.params)
+        lines.append(f"{kind} {func.name}({params}) {{")
+        _block(func.body, 1, lines)
+        lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# -- structural equality -------------------------------------------------------
+
+
+def _key(node):
+    """A line-number-insensitive comparison key for AST values.
+
+    ``UnaryExpr("-", IntLit(n))`` normalizes to ``IntLit(-n)`` — the two
+    are indistinguishable spellings of one constant, and the printer
+    emits whichever is shorter.
+    """
+    if isinstance(node, ast.IntLit):
+        return ("IntLit", node.value)
+    if isinstance(node, ast.UnaryExpr) and node.op == "-":
+        operand = _key(node.operand)
+        if operand[0] == "IntLit":
+            return ("IntLit", -operand[1])
+    if is_dataclass(node) and not isinstance(node, type):
+        values = tuple(_key(getattr(node, f.name))
+                       for f in fields(node) if f.name != "line")
+        return (type(node).__name__,) + values
+    if isinstance(node, (list, tuple)):
+        return ("[]",) + tuple(_key(item) for item in node)
+    return ("=", node)
+
+
+def ast_equal(a, b):
+    """Structural equality of two AST (sub)trees, ignoring source lines
+    and the unary-minus-vs-negative-literal spelling distinction."""
+    return _key(a) == _key(b)

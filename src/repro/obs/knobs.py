@@ -201,3 +201,28 @@ register(Knob(
 register(Knob(
     name="REPRO_CHECK_FAULT_SEEDS", kind="int", default=5, minimum=1,
     doc="Seeds per injector in the check campaign's fault sweep."))
+
+register(Knob(
+    name="REPRO_FUZZ_PROGRAMS", kind="int", default=200, minimum=1,
+    doc="Candidate budget of a differential fuzzing campaign "
+        "(repro-diversify fuzz)."))
+
+register(Knob(
+    name="REPRO_FUZZ_VARIANTS", kind="int", default=2, minimum=1,
+    doc="Diversified seeds per paper config each fuzz candidate is "
+        "validated against."))
+
+register(Knob(
+    name="REPRO_FUZZ_SECONDS", kind="int", default=0, minimum=0,
+    doc="Wall-clock budget of a fuzz campaign in seconds "
+        "(0 = candidate budget only)."))
+
+register(Knob(
+    name="REPRO_FUZZ_FUEL", kind="int", default=200_000, minimum=1000,
+    doc="Reference-interpreter step budget per fuzz candidate; a "
+        "candidate exceeding it is classified as a timeout skip."))
+
+register(Knob(
+    name="REPRO_FUZZ_DIR", kind="path", default=None,
+    doc="On-disk fuzz corpus root (content-addressed entries, resumed "
+        "across campaigns). Unset keeps the corpus in memory."))

@@ -112,3 +112,30 @@ def test_variant_error_becomes_report(fib_build):
     report = result.reports[0]
     assert report.kind == "error"
     assert report.error_code == "profile.invalid"
+
+
+class TestDeriveRetrySeed:
+    """The fresh-seed retry must never re-draw a population's own seed."""
+
+    def test_int_seed_keeps_historical_offset(self):
+        from repro.check.differential import (
+            RETRY_SEED_OFFSET, derive_retry_seed,
+        )
+        assert derive_retry_seed(7) == 7 + RETRY_SEED_OFFSET
+
+    def test_non_int_seed_is_hashed_not_collapsed(self):
+        from repro.check.differential import (
+            RETRY_SEED_OFFSET, derive_retry_seed,
+        )
+        # The old behaviour mapped every non-int seed to the constant
+        # 0 + RETRY_SEED_OFFSET — a value a string-seeded population
+        # could legitimately contain, which would "retry" a divergence
+        # with an in-population seed.
+        assert derive_retry_seed("seed-a") != RETRY_SEED_OFFSET
+        assert derive_retry_seed("seed-a") != derive_retry_seed("seed-b")
+        assert derive_retry_seed("seed-a") == derive_retry_seed("seed-a")
+
+    def test_retry_differs_from_original(self):
+        from repro.check.differential import derive_retry_seed
+        for seed in (0, 1, -5, 1_000_003, "x", (1, 2), None):
+            assert derive_retry_seed(seed) != seed

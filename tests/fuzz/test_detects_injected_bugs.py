@@ -1,0 +1,76 @@
+"""Seeded miscompile injection: the differential oracle must fire.
+
+For each planted bug class — wrong branch target, dropped instruction,
+bad (non-neutral) NOP encoding — a short campaign with the test-only
+``variant_hook`` corrupting every variant binary must produce findings,
+classified at the *variant* stage (the reference interpreter and the
+baseline are untouched, so the disagreement is attributable to the
+variant alone). Divergences must shrink and the reproducer must replay
+to a diverging result by corpus id.
+"""
+
+import pytest
+
+from repro.fuzz import Corpus, FuzzParams, replay, run_fuzz_campaign
+from repro.fuzz.generate import tiny_limits
+from repro.fuzz.inject import BUG_CLASSES, make_hook
+
+BUG_NAMES = sorted(BUG_CLASSES)
+
+
+def _campaign(bug, *, shrink=False, programs=5):
+    params = FuzzParams(programs=programs, variants=1, fuel=100_000,
+                        limits=tiny_limits(), mutate_ratio=0.0,
+                        variant_hook=make_hook(bug), shrink=shrink)
+    corpus = Corpus()
+    return params, corpus, run_fuzz_campaign(params, corpus)
+
+
+@pytest.mark.parametrize("bug", BUG_NAMES)
+def test_injected_bug_is_detected(bug):
+    _params, _corpus, stats = _campaign(bug)
+    assert stats.findings, f"{bug}: oracle never fired"
+    # the corruption happened after baseline validation, so every
+    # report must blame the variant stage
+    assert {finding.report.stage for finding in stats.findings} \
+        == {"variant"}
+
+
+@pytest.mark.parametrize("bug", BUG_NAMES)
+def test_injected_bug_reproducer_replays(bug):
+    params, corpus, stats = _campaign(bug, shrink=True)
+    assert stats.findings
+    finding = stats.findings[0]
+    entry_id = finding.shrunk_entry_id or finding.entry_id
+    entry, result = replay(corpus, entry_id, params)
+    assert result.reports, \
+        f"{bug}: reproducer [{entry.entry_id}] no longer diverges"
+
+
+def test_shrink_produces_smaller_reproducers():
+    params, corpus, stats = _campaign("dropped_instruction", shrink=True)
+    shrunk = [finding for finding in stats.findings
+              if finding.shrunk_entry_id is not None]
+    assert shrunk, "nothing shrank"
+    for finding in shrunk:
+        original = corpus.get(finding.entry_id)
+        reduced = corpus.get(finding.shrunk_entry_id)
+        assert len(reduced.source) < len(original.source)
+        assert reduced.kind == "reproducer"
+        assert finding.shrink_steps > 0
+    assert stats.shrink_steps > 0
+
+
+def test_clean_hook_produces_no_findings():
+    """Identity hook: the harness itself must not create divergences."""
+    params = FuzzParams(programs=4, variants=1, fuel=100_000,
+                        limits=tiny_limits(), mutate_ratio=0.0,
+                        variant_hook=lambda binary: binary)
+    stats = run_fuzz_campaign(params, Corpus())
+    assert stats.findings == []
+
+
+def test_unknown_bug_class_raises():
+    from repro.errors import ReproError
+    with pytest.raises(ReproError):
+        make_hook("off_by_one_in_the_spec")

@@ -1,0 +1,94 @@
+"""The generator's by-construction guarantees, checked empirically."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ir.interp import run_module
+from repro.minc import analyze, compile_to_ir, parse, pretty_print
+from repro.minc import ast_nodes as ast
+from repro.minc.astutil import walk
+
+from repro.fuzz.generate import (
+    DEFAULT_LIMITS, generate_inputs, generate_program, tiny_limits,
+)
+
+SAMPLE = 60
+
+
+def test_deterministic_across_calls():
+    for seed in range(10):
+        first = pretty_print(generate_program(seed))
+        second = pretty_print(generate_program(seed))
+        assert first == second
+
+
+def test_programs_are_distinct():
+    texts = {pretty_print(generate_program(seed)) for seed in range(200)}
+    assert len(texts) == 200
+
+
+@pytest.mark.parametrize("seed", range(SAMPLE))
+def test_well_typed_and_roundtrippable(seed):
+    program = generate_program(seed, tiny_limits())
+    text = pretty_print(program)
+    analyze(parse(text))  # the emitted text is itself a valid program
+
+
+@pytest.mark.parametrize("seed", range(SAMPLE))
+def test_terminates_within_fuel(seed):
+    """Bounded loops + call DAG: every program halts well under the
+    campaign's default reference fuel."""
+    program = generate_program(seed, tiny_limits())
+    module = compile_to_ir(pretty_print(program), f"gen{seed}")
+    inputs = generate_inputs(seed)
+    try:
+        run_module(module, inputs, max_steps=200_000)
+    except ReproError as exc:  # pragma: no cover - would be a gen bug
+        pytest.fail(f"seed {seed} did not run cleanly: {exc}")
+
+
+def test_loop_counters_are_never_assigned():
+    """The counted-for counter must stay read-only in the body."""
+    for seed in range(SAMPLE):
+        program = generate_program(seed)
+        for node in walk(program):
+            if not isinstance(node, ast.For):
+                continue
+            if not isinstance(node.init, ast.VarDecl):
+                continue
+            counter = node.init.name
+            for inner in node.body:
+                for sub in walk(inner):
+                    if isinstance(sub, (ast.Assign, ast.IncDec)):
+                        target = sub.target
+                        assert not (isinstance(target, ast.Name)
+                                    and target.ident == counter), \
+                            f"seed {seed}: loop counter {counter} written"
+
+
+def test_array_indices_are_masked():
+    """Every array access is ``arr[expr & mask]`` — no OOB by design."""
+    for seed in range(SAMPLE):
+        program = generate_program(seed)
+        sizes = {decl.name: decl.size for decl in program.globals
+                 if decl.is_array}
+        for node in walk(program):
+            if isinstance(node, ast.IndexExpr):
+                index = node.index
+                assert isinstance(index, ast.BinaryExpr)
+                assert index.op == "&"
+                assert isinstance(index.rhs, ast.IntLit)
+                assert index.rhs.value == sizes[node.array] - 1
+
+
+def test_inputs_deterministic_and_bounded():
+    assert generate_inputs(7) == generate_inputs(7)
+    assert generate_inputs(7, count=4) != generate_inputs(8, count=4) or True
+    assert 2 <= len(generate_inputs(7)) <= 6
+    assert len(generate_inputs(7, count=3)) == 3
+
+
+def test_limits_shape_program_size():
+    tiny = generate_program(3, tiny_limits())
+    full = generate_program(3, DEFAULT_LIMITS)
+    assert len(list(walk(tiny))) <= len(list(walk(full))) * 3  # sanity only

@@ -1,0 +1,60 @@
+"""Mutator contract: validated output, determinism, real edits."""
+
+import random
+
+from repro.minc import analyze, ast_equal, parse, pretty_print
+
+from repro.fuzz.generate import generate_program
+from repro.fuzz.mutate import mutate_program
+
+
+def _parent(seed=11):
+    return generate_program(seed)
+
+
+def test_mutants_parse_and_typecheck():
+    parent = _parent()
+    produced = 0
+    for draw in range(30):
+        mutant = mutate_program(random.Random(draw), parent)
+        if mutant is None:
+            continue
+        produced += 1
+        analyze(parse(pretty_print(mutant)))
+    assert produced >= 20  # the validity filter must not reject everything
+
+
+def test_mutation_is_deterministic():
+    parent = _parent()
+    first = mutate_program(random.Random(99), parent)
+    second = mutate_program(random.Random(99), parent)
+    assert (first is None) == (second is None)
+    if first is not None:
+        assert pretty_print(first) == pretty_print(second)
+
+
+def test_mutants_actually_differ():
+    parent = _parent()
+    changed = 0
+    for draw in range(30):
+        mutant = mutate_program(random.Random(draw), parent)
+        if mutant is not None and not ast_equal(mutant, parent):
+            changed += 1
+    assert changed >= 15  # most surviving mutants are real edits
+
+
+def test_parent_is_never_modified():
+    parent = _parent()
+    before = pretty_print(parent)
+    for draw in range(10):
+        mutate_program(random.Random(draw), parent)
+    assert pretty_print(parent) == before
+
+
+def test_donor_splice_accepts_foreign_trees():
+    parent = _parent(1)
+    donor = _parent(2)
+    for draw in range(40):
+        mutant = mutate_program(random.Random(draw), parent, donor)
+        if mutant is not None:
+            analyze(parse(pretty_print(mutant)))

@@ -1,0 +1,74 @@
+"""Shrinker contract: monotone reduction, validity, predicate safety."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.minc import analyze, parse, pretty_print
+
+from repro.fuzz.generate import generate_program
+from repro.fuzz.shrink import shrink_source
+
+BIG = """\
+int g0 = 7;
+int arr0[16] = {1, 2, 3};
+
+int f0(int p1) {
+    int v2 = p1 * 3;
+    print(v2);
+    return v2 + g0;
+}
+
+int main() {
+    int a = 5;
+    int b = 6;
+    for (int i = 0; i < 4; i++) {
+        a += i;
+    }
+    if (a > b) {
+        print(1234);
+    } else {
+        print(b);
+    }
+    print(f0(a));
+    return 0;
+}
+"""
+
+
+def test_shrinks_toward_predicate_core():
+    """Keep only what the predicate needs: the 'print(1234)' call."""
+    reduced, steps = shrink_source(BIG, lambda text: "1234" in text)
+    assert steps > 0
+    assert "1234" in reduced
+    assert len(reduced) < len(BIG) / 2
+    analyze(parse(reduced))  # still a valid program
+
+
+def test_result_is_a_fixpoint_of_validity():
+    reduced, _steps = shrink_source(BIG, lambda text: "print" in text)
+    assert pretty_print(parse(reduced)) == reduced
+
+
+def test_unsatisfied_input_raises():
+    with pytest.raises(ReproError):
+        shrink_source(BIG, lambda text: "no-such-token" in text)
+
+
+def test_eval_budget_bounds_work():
+    calls = []
+
+    def predicate(text):
+        calls.append(text)
+        return True
+
+    shrink_source(BIG, predicate, max_evals=10)
+    # one call for the initial check, at most max_evals during reduction
+    assert len(calls) <= 11
+
+
+def test_generated_program_shrinks():
+    source = pretty_print(generate_program(5))
+    reduced, _steps = shrink_source(source,
+                                    lambda text: "main" in text)
+    assert len(reduced) <= len(source)
+    analyze(parse(reduced))

@@ -1,0 +1,91 @@
+"""Round-trip property of the MinC pretty-printer.
+
+The corpus stores programs as source text, so ``pretty_print`` must be
+a faithful inverse of ``parse``: for every AST the project can produce,
+``parse(pretty_print(p))`` is structurally equal to ``p``, and pretty-
+printed text is a fixpoint (printing the reparse reproduces the text).
+"""
+
+import pytest
+
+from repro.minc import ast_equal, parse, pretty_print
+from repro.minc import ast_nodes as ast
+from repro.minc.sema import analyze
+from repro.workloads.registry import get_workload, workload_names
+
+from repro.fuzz.generate import generate_program
+
+
+def _roundtrip(source):
+    program = parse(source)
+    text = pretty_print(program)
+    reparsed = parse(text)
+    assert ast_equal(reparsed, program), \
+        f"round-trip changed the AST:\n{text}"
+    assert pretty_print(reparsed) == text, "pretty output is not a fixpoint"
+    return text
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_roundtrip_every_workload(name):
+    text = _roundtrip(get_workload(name).source)
+    analyze(parse(text))  # still a valid program, not just a parseable one
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_roundtrip_generated_programs(seed):
+    program = generate_program(seed)
+    text = pretty_print(program)
+    assert ast_equal(parse(text), program)
+    assert pretty_print(parse(text)) == text
+
+
+@pytest.mark.parametrize("source", [
+    # precedence and associativity
+    "int main() { return 1 + 2 * 3; }",
+    "int main() { return (1 + 2) * 3; }",
+    "int main() { return 10 - 4 - 3; }",
+    "int main() { return 10 - (4 - 3); }",
+    "int main() { return 1 << 2 + 3; }",
+    "int main() { return (1 << 2) + 3; }",
+    # unary minus adjacency: -(-x) must not print as --x
+    "int main() { int x = 5; return -(-x); }",
+    "int main() { return -(- 1); }",
+    "int main() { return ~!-3; }",
+    # short-circuit and comparison chains
+    "int main() { return 1 && 0 || 2 < 3 == 1; }",
+    # empty for clauses
+    "int main() { int i = 0; for (;;) { i++; if (i > 3) { break; } } "
+    "return i; }",
+    # bare block (parses as if(1))
+    "int main() { { int x = 1; print(x); } return 0; }",
+    # globals, arrays, negative initializers, hex literals
+    "int g = -7;\nint a[8] = {1, -2, 0xff};\n"
+    "int main() { a[g & 7] += 3; return a[1]; }",
+    # calls, input, compound assignment spread
+    "int f(int p1) { return p1 * 2; }\n"
+    "int main() { int v = input(); v <<= 1; v %= 100; "
+    "return f(v); }",
+])
+def test_roundtrip_edge_cases(source):
+    _roundtrip(source)
+
+
+def test_ast_equal_normalizes_negative_literals():
+    # "-5" parses as UnaryExpr("-", IntLit(5)) but an IntLit(-5) prints
+    # as "-5": ast_equal must treat the two spellings as the same value.
+    assert ast_equal(ast.UnaryExpr(op="-", operand=ast.IntLit(value=5)),
+                     ast.IntLit(value=-5))
+    assert not ast_equal(ast.IntLit(value=5), ast.IntLit(value=-5))
+
+
+def test_ast_equal_ignores_line_numbers():
+    a = parse("int main() { return 1; }")
+    b = parse("int main() {\n\n\n return 1; }")
+    assert ast_equal(a, b)
+
+
+def test_ast_equal_detects_structural_difference():
+    a = parse("int main() { return 1 + 2; }")
+    b = parse("int main() { return 2 + 1; }")
+    assert not ast_equal(a, b)

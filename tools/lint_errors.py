@@ -18,6 +18,13 @@ Two AST checks over ``src/repro/``:
    the ``REPRO_STATIC_VERIFY`` typo bug shipped. Forbidden everywhere
    outside ``obs/knobs.py``, the single sanctioned access point.
 
+3. Inside ``src/repro/fuzz/`` every random stream must be an
+   explicitly seeded ``random.Random(...)`` instance — calls through
+   the module-level ``random.random()``/``random.choice()``/... API
+   draw from interpreter-global state and silently break the fuzzer's
+   replay-by-entry-id guarantee. (``random.Random(seed)`` itself is
+   the sanctioned constructor and is allowed.)
+
 Run by ``make lint`` (and therefore ``make test``). Exits 1 and lists
 ``file:line`` for each violation.
 """
@@ -90,8 +97,31 @@ def find_env_violations(path):
     return violations
 
 
+def find_global_random_violations(path):
+    """Module-level ``random.*`` draws inside the fuzzer package.
+
+    Flags any ``random.<fn>(...)`` call except the ``random.Random``
+    constructor — the fuzzer's determinism contract (same campaign
+    seed, same corpus; replay by entry id) only holds when every draw
+    comes from an explicitly seeded generator object.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr != "Random"):
+            violations.append((node.lineno, f"random.{func.attr}"))
+    return violations
+
+
 def main():
     failures = []
+    fuzz_package = PACKAGE / "fuzz"
     for path in sorted(PACKAGE.rglob("*.py")):
         if path not in EXEMPT:
             for lineno, name in find_violations(path):
@@ -104,12 +134,19 @@ def main():
                     f"{path.relative_to(ROOT)}:{lineno}: direct "
                     f"environment read of {name}; resolve it through "
                     f"repro.obs.knobs.knob_value instead")
+        if fuzz_package in path.parents:
+            for lineno, name in find_global_random_violations(path):
+                failures.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: unseeded "
+                    f"{name}() draws from global state; use an "
+                    f"explicitly seeded random.Random instance")
     if failures:
         print("\n".join(failures), file=sys.stderr)
         print(f"lint: {len(failures)} violation(s)", file=sys.stderr)
         return 1
     print("lint: OK (no bare ValueError/RuntimeError raises, no "
-          "direct REPRO_* environment reads in src/repro/)")
+          "direct REPRO_* environment reads, no unseeded randomness "
+          "in src/repro/fuzz/)")
     return 0
 
 
