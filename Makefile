@@ -4,7 +4,8 @@ export PYTHONPATH := src
 .PHONY: test lint verify-smoke fuzz-smoke bench bench-quick check
 
 # Tier-1: lint, the quick perf gates (mix speedup, population
-# incremental-link speedup, pool-vs-serial wall clock), a static-verify
+# incremental-link speedup, pool-vs-serial wall clock, batch-engine
+# population-sim speedup with its parity precheck), a static-verify
 # smoke over the representative workload trio, a bounded differential
 # fuzzing campaign, then the full pytest suite — so a taxonomy, perf,
 # verifier or semantics regression fails the default flow, not just the

@@ -32,6 +32,7 @@ from repro.core.config import PAPER_CONFIGS
 from repro.obs.knobs import knob_value
 from repro.pipeline import ProgramBuild, build_population
 from repro.security.population import population_signatures
+from repro.sim.batch import PopulationSimulator, population_cycles
 from repro.security.survivor import gadget_signatures
 from repro.workloads.registry import SPEC_ORDER, get_workload
 
@@ -126,16 +127,39 @@ def variant_overhead(name, config_label, seed):
     """
     key = (name, config_label, seed)
     if key not in _VARIANT_OVERHEADS:
-        build = build_for(name)
         counts = ref_counts(name)
-        baseline_cycles = build.cycles(baseline_binary(name), counts)
         seeds = range(max(PERF_SEEDS, seed + 1))
-        for built_seed, variant in zip(seeds,
-                                       _population(name, config_label,
-                                                   seeds)):
+        variants = _population(name, config_label, seeds)
+        baseline_cycles, variant_cycles = population_cycles(
+            baseline_binary(name), variants, counts)
+        for built_seed, cycles in zip(seeds, variant_cycles):
             _VARIANT_OVERHEADS[(name, config_label, built_seed)] = \
-                build.cycles(variant, counts) / baseline_cycles - 1.0
+                cycles / baseline_cycles - 1.0
     return _VARIANT_OVERHEADS[key]
+
+
+def population_dynamic_stats(name, config_label, n_variants=None):
+    """Batch-derived dynamic-instruction stats of one population.
+
+    Runs the baseline once on the train input and derives every
+    variant's dynamic instruction count through the lockstep batch
+    engine (:class:`repro.sim.batch.PopulationSimulator`) — a whole
+    population's dynamic overheads for the price of one simulation.
+    """
+    n_variants = POPULATION_SIZE if n_variants is None else n_variants
+    workload = workload_for(name)
+    variants = _population(name, config_label, range(n_variants))
+    sim = PopulationSimulator(baseline_binary(name), workload.train_input)
+    base_instrs = sim.baseline_result().instr_count
+    overheads = [sim.result_for(variant).instr_count / base_instrs - 1.0
+                 for variant in variants]
+    return {
+        "variants": n_variants,
+        "baseline_instrs": base_instrs,
+        "mean_instr_overhead": sum(overheads) / len(overheads),
+        "max_instr_overhead": max(overheads),
+        "fallbacks": len(sim.warnings),
+    }
 
 
 def spec_names():

@@ -22,6 +22,17 @@ Measures the two things PR 2 optimized:
    - artifact-cache effectiveness — a cold-then-warm cached build whose
      hit/miss/put counters land in the JSON.
 
+3. **Population-sim throughput** — the lockstep batch engine
+   (:mod:`repro.sim.batch`) vs one fast-path run per variant on the
+   25-variant population sweep, gated at ``MIN_BATCH_SPEEDUP``. A
+   parity precheck (every workload × both paper configs in ``check``
+   mode, plus exact analytic-cycle agreement) runs first; the speedup
+   gate only counts when parity holds.
+
+The JSON opens with an ``environment`` stamp (cpu count, known
+simulator engines, git SHA) so numbers can be compared across machines
+and revisions.
+
 Also records (non-gating) the static verifier's throughput — full
 ``verify_binary`` binaries/sec and ``prove_transparency`` proofs/sec
 over the same 25-variant population — so analysis-cost regressions are
@@ -45,14 +56,20 @@ import argparse
 import gc
 import json
 import os
+import subprocess
 import sys
 import tempfile
 import time
 
 from repro.artifacts import cache_stats, reset_cache_stats
 from repro.core.config import DiversificationConfig
+from repro.errors import ReproError
+from repro.obs.knobs import REGISTRY
 from repro.pipeline import ProgramBuild, build_population
-from repro.workloads.registry import get_workload
+from repro.sim.batch import PopulationSimulator, population_cycles, \
+    simulate_population
+from repro.sim.machine import run_binary
+from repro.workloads.registry import get_workload, workload_names
 
 #: Fixed throughput mix: one memory-bound, one branch-heavy, one
 #: arithmetic-heavy workload (same trio repro.check validates).
@@ -73,6 +90,21 @@ MIN_POPULATION_SPEEDUP = 3.0
 #: noise (the gate that keeps the workers=N regression dead — a 4x
 #: inversion when it was live, so noise headroom is safe).
 POOL_TOLERANCE = 1.25
+
+#: Regression gate: the lockstep batch engine must simulate a
+#: 25-variant population at least this many times faster than running
+#: the fast path once per variant (measured ~13x).
+MIN_BATCH_SPEEDUP = 10.0
+
+#: Configurations the batch-parity precheck sweeps (the two paper
+#: configs the differential tracker also validates).
+PARITY_CONFIGS = {
+    "50%": DiversificationConfig.uniform(0.50),
+    "0-30%": DiversificationConfig.profile_guided(0.00, 0.30),
+}
+
+#: Variant seeds per (workload, config) in the parity precheck.
+PARITY_SEEDS = 3
 
 #: Gate: with tracing disabled (no REPRO_TRACE), the observability
 #: instrumentation on the simulate path — knob lookup, span timing, the
@@ -240,6 +272,129 @@ def measure_static_verify(population_size):
     }
 
 
+def batch_parity_check(names):
+    """Exact batch-vs-per-variant parity across workloads and configs.
+
+    For every workload in ``names`` × both paper configs ×
+    ``PARITY_SEEDS`` seeds, runs the population through the batch
+    engine in ``check`` mode — every derived result (instr count,
+    output, exit code, per-address profile) is cross-checked against a
+    real per-variant simulation, and any fault asymmetry or mismatch
+    raises :class:`~repro.errors.BatchParityError`. Analytic population
+    cycles are additionally required to equal the per-variant cost-core
+    evaluation exactly. Returns ``{"ok": bool, ...}``; the ≥10x speedup
+    gate is only evaluated when this passes.
+    """
+    from repro.sim.analytic import estimate_cycles
+
+    checked = 0
+    mismatches = []
+    for name in names:
+        workload = get_workload(name)
+        build = ProgramBuild(workload.source, workload.name)
+        baseline = build.link_baseline()
+        counts = build.execution_counts(workload.train_input)
+        for label, config in PARITY_CONFIGS.items():
+            profile = (build.profile(workload.train_input)
+                       if config.requires_profile else None)
+            variants = [build.link_variant(config, seed, profile)
+                        for seed in range(PARITY_SEEDS)]
+            sim = PopulationSimulator(baseline, workload.train_input,
+                                      count_addresses=True, mode="check")
+            try:
+                for variant in variants:
+                    sim.result_for(variant)
+            except ReproError as error:
+                mismatches.append(f"{name} [{label}]: {error}")
+                continue
+            if sim.warnings:
+                mismatches.append(f"{name} [{label}]: unexpected "
+                                  f"fallback: {sim.warnings[0]}")
+            base_cycles, variant_cycles = population_cycles(
+                baseline, variants, counts)
+            expected = ([estimate_cycles(baseline, counts)]
+                        + [estimate_cycles(variant, counts)
+                           for variant in variants])
+            if [base_cycles] + variant_cycles != expected:
+                mismatches.append(f"{name} [{label}]: population_cycles "
+                                  f"diverged from per-variant estimates")
+            checked += len(variants)
+    return {
+        "workloads": len(names),
+        "configs": sorted(PARITY_CONFIGS),
+        "seeds_per_config": PARITY_SEEDS,
+        "variants_checked": checked,
+        "mismatches": mismatches,
+        "ok": not mismatches,
+    }
+
+
+def measure_population_sim(population_size, repeats, parity_names):
+    """Gated: batch engine vs per-variant fastpath on a population sweep.
+
+    Builds the paper's 25-variant population (mcf, 0-30%) once, then
+    times the full sweep both ways: (a) one ``run_binary`` for the
+    baseline plus one per variant — the pre-batch flow — and (b)
+    ``simulate_population``, which executes the baseline once and
+    derives every variant from its NOP-transparency records. Each timed
+    batch call constructs a fresh simulator, so the transparency proofs
+    and the counted baseline run are *inside* the timed region. The
+    parity sweep (:func:`batch_parity_check`) runs first; a parity
+    failure voids the speedup measurement.
+    """
+    parity = batch_parity_check(parity_names)
+
+    workload = get_workload(MIX[0])
+    build = ProgramBuild(workload.source, workload.name)
+    config = DiversificationConfig.profile_guided(0.00, 0.30)
+    profile = build.profile(workload.train_input)
+    baseline = build.link_baseline()
+    variants = [build.link_variant(config, seed, profile)
+                for seed in range(population_size)]
+    inputs = workload.ref_input
+
+    per_variant_seconds = _best_of(
+        repeats,
+        lambda: [run_binary(binary, inputs)
+                 for binary in [baseline] + variants])
+    batch_seconds = _best_of(
+        repeats,
+        lambda: simulate_population(baseline, variants, inputs, mode="on"))
+
+    speedup = per_variant_seconds / batch_seconds
+    return {
+        "workload": workload.name,
+        "config": POPULATION_CONFIG,
+        "population_size": population_size,
+        "parity": parity,
+        "per_variant_seconds": round(per_variant_seconds, 3),
+        "batch_seconds": round(batch_seconds, 3),
+        "variants_per_sec": round(population_size / batch_seconds, 1),
+        "speedup": round(speedup, 2),
+        "min_batch_speedup": MIN_BATCH_SPEEDUP,
+        "speedup_ok": speedup >= MIN_BATCH_SPEEDUP,
+        "ok": parity["ok"] and speedup >= MIN_BATCH_SPEEDUP,
+    }
+
+
+def environment_stamp():
+    """Host facts stamped into the JSON so diffs across machines and
+    revisions are interpretable: core count, the simulator engines this
+    build knows, and the git revision the numbers belong to."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            timeout=10).stdout.strip() or "unknown"
+    except OSError:
+        sha = "unknown"
+    return {
+        "cpu_count": os.cpu_count(),
+        "engines": REGISTRY["REPRO_SIM_ENGINE"].canonical_choices(),
+        "git_sha": sha,
+    }
+
+
 def measure_trace_overhead(repeats):
     """Tracing-disabled instrumentation cost on the sim mix (gated).
 
@@ -339,8 +494,20 @@ def main(argv=None):
     static_verify = measure_static_verify(8 if args.quick
                                           else population_size)
     trace_overhead = measure_trace_overhead(3 if args.quick else 5)
+    # The batch gate always measures the paper's full 25-variant sweep —
+    # the quantity the ≥10x claim is about — even in --quick.
+    population_sim = measure_population_sim(
+        POPULATION_SIZE, repeats=2,
+        parity_names=list(MIX) if args.quick else workload_names())
 
     failures = []
+    if not population_sim["parity"]["ok"]:
+        for mismatch in population_sim["parity"]["mismatches"]:
+            failures.append(f"batch parity: {mismatch}")
+    elif not population_sim["speedup_ok"]:
+        failures.append(
+            f"batch population-sim speedup {population_sim['speedup']}x "
+            f"below the {MIN_BATCH_SPEEDUP}x gate")
     if mix["speedup"] < MIN_SPEEDUP:
         failures.append(f"mix speedup {mix['speedup']}x below the "
                         f"{MIN_SPEEDUP}x gate")
@@ -361,9 +528,11 @@ def main(argv=None):
             + ", ".join(f"{k}: {v}s" for k, v in clocks.items()))
 
     payload = {
+        "environment": environment_stamp(),
         "mix": mix,
         "workloads": per_workload,
         "population_build": population,
+        "population_sim": population_sim,
         "artifact_cache": cache,
         "static_verify": static_verify,
         "trace_overhead": trace_overhead,
@@ -388,6 +557,15 @@ def main(argv=None):
           f"({population['incremental_speedup']}x, gate: >= "
           f"{MIN_POPULATION_SPEEDUP}x); "
           + ", ".join(f"{k}: {v}s" for k, v in clocks.items()))
+    parity = population_sim["parity"]
+    print(f"population sim ({population_sim['population_size']} variants, "
+          f"{population_sim['config']}): batch "
+          f"{population_sim['batch_seconds']}s vs per-variant "
+          f"{population_sim['per_variant_seconds']}s "
+          f"({population_sim['speedup']}x, gate: >= {MIN_BATCH_SPEEDUP}x); "
+          f"parity {'ok' if parity['ok'] else 'FAILED'} over "
+          f"{parity['variants_checked']} variants "
+          f"({parity['workloads']} workloads x {parity['configs']})")
     print(f"artifact cache: cold {cache['cold']}, warm {cache['warm']} "
           f"(warm rebuild: {cache['warm_seconds']}s)")
     print(f"static verify ({static_verify['population_size']} variants): "

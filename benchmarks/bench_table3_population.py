@@ -18,8 +18,8 @@ Expected shape (paper §5.2):
 import math
 
 from benchmarks._harness import (
-    CONFIG_ORDER, POPULATION_SIZE, baseline_signatures, spec_names,
-    variant_signatures,
+    CONFIG_ORDER, POPULATION_SIZE, baseline_signatures,
+    population_dynamic_stats, spec_names, variant_signatures,
 )
 from repro.reporting import format_table
 from repro.security.population import population_survival
@@ -90,3 +90,20 @@ def test_table3_population_survival(benchmark):
                 if rows[name]["0-30%"][low] > len(baseline_signatures(name))]
     print(f"benchmarks where >= {low}-of-{POPULATION_SIZE} exceeds the "
           f"baseline gadget count: {exceeded or 'none at this scale'}")
+
+    # Informational (non-asserting): dynamic instruction overhead of a
+    # representative slice of the populations above, derived in one pass
+    # per population by the lockstep batch engine.
+    display = []
+    for name in ("429.mcf", "462.libquantum", "470.lbm"):
+        for label in ("50%", "0-30%"):
+            stats = population_dynamic_stats(name, label)
+            display.append((name, label,
+                            f"{stats['mean_instr_overhead']:.2%}",
+                            f"{stats['max_instr_overhead']:.2%}",
+                            stats["fallbacks"]))
+    print(format_table(
+        ("Benchmark", "Config", "mean instr ovh", "max instr ovh",
+         "fallbacks"), display,
+        title=f"Batch-derived dynamic overhead ({POPULATION_SIZE} "
+              f"variants, train input)"))

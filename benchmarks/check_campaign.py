@@ -29,6 +29,7 @@ from repro.check import (
 from repro.core.config import DiversificationConfig
 from repro.fuzz import FuzzParams, run_fuzz_campaign
 from repro.fuzz.generate import tiny_limits
+from repro.obs import metrics
 from repro.obs.knobs import knob_value
 
 VARIANTS = knob_value("REPRO_CHECK_VARIANTS")
@@ -57,6 +58,7 @@ def main(argv=None):
         names = names[:1]
         variants, fault_seeds = 3, 2
 
+    counters_before = metrics.counters()
     differential = {}
     total_validated = 0
     total_divergences = 0
@@ -88,6 +90,19 @@ def main(argv=None):
     for finding in fuzz_stats.findings:
         print(f"!! fuzz: {finding.describe()}", file=sys.stderr)
 
+    # Batch-engine economics of the differential sweep: how many variant
+    # runs the lockstep engine derived analytically vs. simulated, and
+    # how often it had to fall back. A derived/simulated ratio collapse
+    # is a perf regression even when every check above still passes.
+    counters_after = metrics.counters()
+    batch = {name.split(".", 1)[1]:
+             counters_after.get(name, 0) - counters_before.get(name, 0)
+             for name in ("batch.populations", "batch.baseline_runs",
+                          "batch.proofs", "batch.proof_failures",
+                          "batch.variants_derived",
+                          "batch.variants_simulated", "batch.fallbacks",
+                          "batch.parity_checks")}
+
     payload = {
         "workloads": names,
         "configs": sorted(CHECK_CONFIGS),
@@ -99,6 +114,7 @@ def main(argv=None):
         "typed_error_coverage": campaign_summary["typed_error_coverage"],
         "campaign": campaign_summary,
         "fuzz": fuzz_summary,
+        "batch": batch,
         "ok": (total_divergences == 0 and campaign.ok
                and fuzz_summary["genuine_divergences"] == 0),
     }
@@ -114,6 +130,9 @@ def main(argv=None):
           f"{fuzz_summary['coverage_size']} coverage features, "
           f"{fuzz_summary['corpus_entries']} corpus entries, "
           f"{fuzz_summary['divergences']} divergences")
+    print(f"batch: {batch['variants_derived']} variant runs derived, "
+          f"{batch['variants_simulated']} simulated, "
+          f"{batch['fallbacks']} fallbacks")
     print(f"wrote {args.output}")
     return 0 if payload["ok"] else 1
 

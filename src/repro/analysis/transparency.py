@@ -29,6 +29,16 @@ cross-checks them:
 This is the static counterpart of :mod:`repro.check.differential`: it
 covers all paths with no simulation, and unlike the dynamic check it
 proves the *only* difference is the diversifying transformation.
+
+Population-scale use goes through :class:`TransparencyProver`, which
+computes everything that depends only on the baseline — the decoded
+baseline stream, the baseline record/image validation, the label index
+— once and reuses it for every variant of that baseline. Its
+``mode="records"`` proof replaces the byte-mode walk with a coverage
+check (the records must tile the text exactly); combined with the
+per-record image check this pins every byte of both images, so it is a
+complete proof at a fraction of the decode cost — the property the
+lockstep batch engine (:mod:`repro.sim.batch`) relies on.
 """
 
 from __future__ import annotations
@@ -36,8 +46,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.cfg import Finding
-from repro.errors import DecodingError, EncodingError, TransparencyError
-from repro.x86.decoder import decode
+from repro.errors import (
+    ConfigError, DecodingError, EncodingError, TransparencyError,
+)
+from repro.x86.decoder import decode, decode_cached
 from repro.x86.encoder import encode
 from repro.x86.instructions import Imm, Mem, Rel
 from repro.x86.nops import match_nop_candidate
@@ -94,29 +106,104 @@ def _slice_of(binary, record):
     return binary.text[offset:offset + record.size]
 
 
-def _check_records(baseline, variant, findings):
-    """Record mode: align via the linker's instruction records."""
+def _record_image_finding(binary, label):
+    """First record whose bytes disagree with the image, as a Finding.
+
+    The image must match the records byte for byte, or the records
+    prove nothing about the shipped text. Incremental-plan links leave
+    branch records' encodings lazy, so re-encode from the resolved
+    operands when needed.
+
+    Fast path: when the records tile the text contiguously (the common,
+    well-formed case), the whole image is one concatenation of record
+    encodings — a single C-level comparison instead of one slice per
+    record. Any irregularity falls back to the per-record walk, which
+    names the first offending record.
+    """
+    pieces = []
+    offset = binary.text_base
+    for record in binary.instr_records:
+        encoding = record.instr.encoding
+        if encoding is None:
+            try:
+                encoding = encode(record.instr)
+            except EncodingError:
+                break
+        if record.address != offset or len(encoding) != record.size:
+            break
+        pieces.append(encoding)
+        offset += record.size
+    else:
+        if b"".join(pieces) == binary.text:
+            return None
+    for record in binary.instr_records:
+        expected = record.instr.encoding
+        if expected is None:
+            try:
+                expected = encode(record.instr)
+            except EncodingError:
+                expected = None
+        if _slice_of(binary, record) != expected:
+            return Finding(
+                "verify.transparency.stream",
+                f"{label} text bytes disagree with the instruction "
+                f"record ({record.mnemonic})", address=record.address)
+    return None
+
+
+def _coverage_finding(binary, label):
+    """First gap/overlap in the records' tiling of the text, if any.
+
+    Record mode trusts nothing outside the records themselves; this
+    check closes the remaining hole — bytes *between* records — by
+    requiring that the records tile the text contiguously from
+    ``text_base`` to its end. Together with the per-record image check,
+    every byte of the image is then pinned by a validated record.
+    """
+    offset = binary.text_base
+    for record in binary.instr_records:
+        if record.address != offset:
+            return Finding(
+                "verify.transparency.stream",
+                f"{label} instruction records do not tile the text: "
+                f"expected a record at {offset:#x}, found one at "
+                f"{record.address:#x}", address=offset)
+        offset += record.size
+    if offset != binary.text_base + len(binary.text):
+        return Finding(
+            "verify.transparency.stream",
+            f"{label} text has {binary.text_base + len(binary.text) - offset} "
+            f"byte(s) past the last instruction record", address=offset)
+    return None
+
+
+def _label_index(baseline):
+    """address → [labels] over the baseline's code symbols."""
+    b_labels = {}
+    for label, address in baseline.code_symbols.items():
+        b_labels.setdefault(address, []).append(label)
+    return b_labels
+
+
+def _check_records(baseline, variant, findings, *, baseline_finding,
+                   b_labels):
+    """Record mode: align via the linker's instruction records.
+
+    ``baseline_finding`` and ``b_labels`` are the baseline-only halves
+    (record/image validation, label index), precomputed once per
+    baseline by :class:`TransparencyProver` and shared across every
+    variant's proof.
+    """
     delta = variant.data_base - baseline.data_base
     data_floor = baseline.data_base
 
-    # The image must match the records byte for byte, or the records
-    # prove nothing about the shipped text. Incremental-plan links leave
-    # branch records' encodings lazy, so re-encode from the resolved
-    # operands when needed.
-    for binary, label in ((baseline, "baseline"), (variant, "variant")):
-        for record in binary.instr_records:
-            expected = record.instr.encoding
-            if expected is None:
-                try:
-                    expected = encode(record.instr)
-                except EncodingError:
-                    expected = None
-            if _slice_of(binary, record) != expected:
-                findings.append(Finding(
-                    "verify.transparency.stream",
-                    f"{label} text bytes disagree with the instruction "
-                    f"record ({record.mnemonic})", address=record.address))
-                return 0
+    if baseline_finding is not None:
+        findings.append(baseline_finding)
+        return 0
+    variant_finding = _record_image_finding(variant, "variant")
+    if variant_finding is not None:
+        findings.append(variant_finding)
+        return 0
 
     inserted = [r for r in variant.instr_records if r.is_inserted_nop]
     carried = [r for r in variant.instr_records if not r.is_inserted_nop]
@@ -135,10 +222,6 @@ def _check_records(baseline, variant, findings):
             f"variant carries {len(carried)} non-NOP instructions, "
             f"baseline has {len(baseline.instr_records)}"))
         return len(inserted)
-
-    b_labels = {}
-    for label, address in baseline.code_symbols.items():
-        b_labels.setdefault(address, []).append(label)
 
     for b_record, v_record in zip(baseline.instr_records, carried):
         b_instr, v_instr = b_record.instr, v_record.instr
@@ -175,12 +258,40 @@ def _check_records(baseline, variant, findings):
     return len(inserted)
 
 
-def _check_bytes(baseline, variant, findings):
-    """Byte mode: align the raw texts with no linker metadata at all."""
+def _decode_stream(text, cache=None):
+    """Decode a whole text into ``([(offset, instr), ...], failure)``.
+
+    ``failure`` is ``(offset, message)`` when the walk hit undecodable
+    bytes (the stream then covers only the prefix before it). ``cache``
+    is an optional offset → Instr memo — byte mode distrusts linker
+    *metadata*, but memoized decoding of the same immutable bytes
+    returns the same instructions, so sharing the per-binary decode
+    cache with the simulator is sound.
+    """
+    stream = []
+    offset = 0
+    cache = {} if cache is None else cache
+    while offset < len(text):
+        try:
+            instr = decode_cached(text, offset, cache)
+        except DecodingError as exc:
+            return stream, (offset, str(exc))
+        stream.append((offset, instr))
+        offset += instr.size
+    return stream, None
+
+
+def _check_bytes(baseline, variant, findings, *, b_stream, b_failure):
+    """Byte mode: align the raw texts with no linker metadata at all.
+
+    ``b_stream``/``b_failure`` come from :func:`_decode_stream` over the
+    baseline text — the baseline is decoded once per
+    :class:`TransparencyProver`, not once per variant.
+    """
     delta = variant.data_base - baseline.data_base
     data_floor = baseline.data_base
     b_text, v_text = baseline.text, variant.text
-    b_off = v_off = 0
+    v_off = 0
     inserted = 0
     #: baseline offset -> variant offset of the NOP run preceding the
     #: corresponding instruction (= where the baseline location moved
@@ -188,16 +299,8 @@ def _check_bytes(baseline, variant, findings):
     moved_to = {}
     branch_pairs = []
 
-    while b_off < len(b_text):
+    for b_off, b_instr in b_stream:
         moved_to[b_off] = v_off
-        try:
-            b_instr = decode(b_text, b_off)
-        except DecodingError as exc:
-            findings.append(Finding(
-                "verify.transparency.stream",
-                f"baseline bytes do not decode: {exc}",
-                address=baseline.text_base + b_off))
-            return inserted
         while True:
             if v_off >= len(v_text):
                 findings.append(Finding(
@@ -233,8 +336,15 @@ def _check_bytes(baseline, variant, findings):
                 (b_off + b_instr.size + b_instr.operands[0].value,
                  v_off + v_instr.size + v_instr.operands[0].value,
                  variant.text_base + v_off))
-        b_off += b_instr.size
         v_off += v_instr.size
+
+    if b_failure is not None:
+        fail_off, message = b_failure
+        findings.append(Finding(
+            "verify.transparency.stream",
+            f"baseline bytes do not decode: {message}",
+            address=baseline.text_base + fail_off))
+        return inserted
 
     # Trailing variant bytes must all be insertions.
     moved_to[len(b_text)] = v_off
@@ -291,6 +401,100 @@ def _check_data(baseline, variant, findings):
             "baseline and variant define different code symbols"))
 
 
+#: Proof modes accepted by :meth:`TransparencyProver.prove`.
+PROOF_MODES = ("full", "records")
+
+
+class TransparencyProver:
+    """Prove many variants against one baseline, amortizing its cost.
+
+    Everything that depends only on the baseline is computed once at
+    construction: the decoded baseline instruction stream (byte mode
+    re-decoded it for every proof — the dominant cost of a population
+    sweep), the baseline record/image validation, the record/coverage
+    tiling check and the label index. ``decode_cache`` optionally shares
+    the per-binary offset → Instr memo with the simulator fast path
+    (:func:`repro.sim.fastpath.shared_decode_cache`), so a baseline that
+    has already executed costs no decoding at all.
+
+    ``prove(variant)`` reproduces :func:`prove_transparency` exactly.
+    ``prove(variant, mode="records")`` is the batch engine's fast path:
+    it drops the byte-mode walk and instead requires that the variant's
+    records *tile* its text (:func:`_coverage_finding`). Since record
+    mode already validates every record's bytes against the image, the
+    tiling check extends that validation to every byte of the image —
+    the proof stays complete, without per-variant decoding.
+    """
+
+    def __init__(self, baseline, *, baseline_name="baseline",
+                 decode_cache=None):
+        self.baseline = baseline
+        self.baseline_name = baseline_name
+        self._b_record_finding = _record_image_finding(baseline, "baseline")
+        self._b_coverage_finding = _coverage_finding(baseline, "baseline")
+        self._b_labels = _label_index(baseline)
+        self._b_stream = None
+        self._b_failure = None
+        self._decode_cache = decode_cache
+
+    def _baseline_stream(self):
+        """The decoded baseline stream, built on first byte-mode proof."""
+        if self._b_stream is None:
+            self._b_stream, self._b_failure = _decode_stream(
+                self.baseline.text, self._decode_cache)
+        return self._b_stream, self._b_failure
+
+    def prove(self, variant, *, variant_name="variant", mode="full"):
+        """One variant's transparency proof; see :func:`prove_transparency`."""
+        if mode not in PROOF_MODES:
+            raise ConfigError(
+                f"unknown transparency proof mode {mode!r}; choose one "
+                f"of {list(PROOF_MODES)}",
+                context={"value": mode, "choices": list(PROOF_MODES)})
+        baseline = self.baseline
+        report = TransparencyReport(baseline_name=self.baseline_name,
+                                    variant_name=variant_name)
+        if baseline.text_base != variant.text_base:
+            report.findings.append(Finding(
+                "verify.transparency.stream",
+                f"text bases differ: {baseline.text_base:#x} vs "
+                f"{variant.text_base:#x}"))
+            return report
+
+        nops_records = _check_records(
+            baseline, variant, report.findings,
+            baseline_finding=self._b_record_finding,
+            b_labels=self._b_labels)
+
+        if mode == "records":
+            for finding in (self._b_coverage_finding,
+                            _coverage_finding(variant, "variant")):
+                if finding is not None:
+                    report.findings.append(finding)
+            _check_data(baseline, variant, report.findings)
+            nops_bytes = nops_records
+        else:
+            b_stream, b_failure = self._baseline_stream()
+            nops_bytes = _check_bytes(baseline, variant, report.findings,
+                                      b_stream=b_stream,
+                                      b_failure=b_failure)
+            _check_data(baseline, variant, report.findings)
+            if not report.findings and nops_records != nops_bytes:
+                report.findings.append(Finding(
+                    "verify.transparency.stream",
+                    f"record mode sees {nops_records} inserted NOP(s) "
+                    f"but the byte alignment sees {nops_bytes}"))
+
+        report.stats = {
+            "inserted_nops": nops_bytes,
+            "inserted_nops_records": nops_records,
+            "baseline_instructions": len(baseline.instr_records),
+            "text_growth": len(variant.text) - len(baseline.text),
+            "mode": mode,
+        }
+        return report
+
+
 def prove_transparency(baseline, variant, *, baseline_name="baseline",
                        variant_name="variant"):
     """Prove ``variant`` is ``baseline`` + NOP insertions + recomputed
@@ -298,33 +502,12 @@ def prove_transparency(baseline, variant, *, baseline_name="baseline",
 
     Record mode and byte mode run independently and their insertion
     counts are cross-checked, so neither stale linker metadata nor a
-    byte-level corruption can slip through alone.
+    byte-level corruption can slip through alone. For many variants of
+    one baseline, build a :class:`TransparencyProver` instead — this
+    one-shot form re-derives the baseline side every call.
     """
-    report = TransparencyReport(baseline_name=baseline_name,
-                                variant_name=variant_name)
-    if baseline.text_base != variant.text_base:
-        report.findings.append(Finding(
-            "verify.transparency.stream",
-            f"text bases differ: {baseline.text_base:#x} vs "
-            f"{variant.text_base:#x}"))
-        return report
-
-    nops_records = _check_records(baseline, variant, report.findings)
-    nops_bytes = _check_bytes(baseline, variant, report.findings)
-    _check_data(baseline, variant, report.findings)
-
-    if not report.findings and nops_records != nops_bytes:
-        report.findings.append(Finding(
-            "verify.transparency.stream",
-            f"record mode sees {nops_records} inserted NOP(s) but the "
-            f"byte alignment sees {nops_bytes}"))
-    report.stats = {
-        "inserted_nops": nops_bytes,
-        "inserted_nops_records": nops_records,
-        "baseline_instructions": len(baseline.instr_records),
-        "text_growth": len(variant.text) - len(baseline.text),
-    }
-    return report
+    return TransparencyProver(baseline, baseline_name=baseline_name).prove(
+        variant, variant_name=variant_name)
 
 
 def require_transparent(baseline, variant, **names):

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import DivergenceError, ReproError
 from repro.pipeline import ProgramBuild, build_population
+from repro.sim.batch import PopulationSimulator
 from repro.workloads.registry import get_workload
 
 #: Seed offset used for the fresh-seed retry of a diverging variant;
@@ -233,6 +234,14 @@ def validate_population(build, config, seeds, *, inputs=(), profile=None,
     miscompile. Variant runs get a step budget derived from the
     baseline's dynamic instruction count, so a mis-resolved branch that
     loops forever surfaces as a bounded, typed error.
+
+    Variant observations come from the lockstep batch engine
+    (:class:`repro.sim.batch.PopulationSimulator`): a variant with a
+    proven NOP-transparency record is derived from the one shared
+    baseline run instead of simulated; an unprovable variant (a §6
+    config, a miscompile) is simulated individually and the fallback
+    reason recorded on ``build.warnings``. ``REPRO_SIM_BATCH=off``
+    restores one full simulation per variant.
     """
     seeds = tuple(seeds)
     name = program or build.name
@@ -241,7 +250,11 @@ def validate_population(build, config, seeds, *, inputs=(), profile=None,
 
     reference_obs = observe_reference(build, inputs)
     baseline = build.link_baseline()
-    baseline_obs = observe_binary(build, baseline, inputs)
+    population_sim = PopulationSimulator(baseline, inputs)
+    baseline_run = population_sim.baseline_result()
+    baseline_obs = Observation(tuple(baseline_run.output),
+                               baseline_run.exit_code,
+                               baseline_run.instr_count)
     divergence = reference_obs.first_divergence(baseline_obs)
     if divergence is not None:
         observable, want, got = divergence
@@ -271,7 +284,9 @@ def validate_population(build, config, seeds, *, inputs=(), profile=None,
         variant = prebuilt.get(seed)
         if variant is None:
             variant = build.link_variant(config, seed, profile)
-        variant_obs = observe_binary(build, variant, inputs, max_steps=fuel)
+        run = population_sim.result_for(variant, max_steps=fuel)
+        variant_obs = Observation(tuple(run.output), run.exit_code,
+                                  run.instr_count)
         return _compare_variant(result, baseline_obs, variant_obs,
                                 config, seed)
 
@@ -296,6 +311,8 @@ def validate_population(build, config, seeds, *, inputs=(), profile=None,
             retry_report = "error"
         report.genuine = retry_report is not None
         result.reports.append(report)
+    for warning in population_sim.warnings:
+        build._warn(f"{name}: {warning}")
     return result
 
 

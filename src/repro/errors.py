@@ -138,6 +138,21 @@ class SimulationLimitExceeded(SimulatorError):
     code = "sim.limit"
 
 
+class BatchParityError(SimulatorError):
+    """The batch engine's derived result disagreed with a real run.
+
+    Raised only in ``REPRO_SIM_BATCH=check`` mode, where every
+    analytically derived variant result is cross-checked against a full
+    per-variant simulation. A mismatch means the batch engine's
+    soundness argument was violated — a bug in the engine or the
+    transparency prover, never in the variant — so it surfaces as a
+    typed error, not a silent wrong number. ``context`` names the first
+    diverging observable and both values.
+    """
+
+    code = "sim.batch_parity"
+
+
 class ProfileError(ReproError):
     """Raised on malformed or mismatched profile data."""
 

@@ -124,6 +124,45 @@ def knob_value(name, environ=None):
     return knob.value(environ)
 
 
+def validate_knob_value(name, value):
+    """Validate an explicitly-passed value against a registered knob.
+
+    The parameter-form twin of :func:`knob_value`: callers that accept a
+    knob's value as a function argument (``Machine.run(engine=...)``,
+    ``simulate_population(mode=...)``) route it through here so an
+    unknown value raises the *same* typed
+    :class:`~repro.errors.ConfigError` — same context shape, same
+    choices listing — as a bad environment variable would. Canonical
+    parsed values pass through unchanged; strings are parsed exactly
+    like environment text (so alternate spellings normalize).
+    """
+    knob = REGISTRY.get(name)
+    if knob is None:
+        raise ConfigError(f"unregistered knob {name!r}",
+                          context={"knob": name,
+                                   "registered": sorted(REGISTRY)})
+    if isinstance(value, str):
+        return knob.parse(value)
+    if knob.kind in ("choice", "bool"):
+        if value in knob.canonical_choices():
+            return value
+        raise ConfigError(
+            f"{name}={value!r} is not a valid value; "
+            f"choose one of {sorted(knob.choices)}",
+            context={"knob": name, "value": value,
+                     "choices": sorted(knob.choices)})
+    if knob.kind == "int" and isinstance(value, int):
+        if knob.minimum is not None and value < knob.minimum:
+            raise ConfigError(
+                f"{name}={value!r} is below the minimum {knob.minimum}",
+                context={"knob": name, "value": value,
+                         "minimum": knob.minimum})
+        return value
+    raise ConfigError(
+        f"{name}={value!r} is not a valid value",
+        context={"knob": name, "value": value})
+
+
 def all_knobs():
     """Every registered knob, sorted by name."""
     return [REGISTRY[name] for name in sorted(REGISTRY)]
@@ -148,6 +187,17 @@ register(Knob(
     choices={"fast": "fast", "reference": "reference"},
     doc="Simulator execute path: 'fast' (threaded-code interpreter) or "
         "'reference' (the step loop). Default fast."))
+
+register(Knob(
+    name="REPRO_SIM_BATCH", kind="choice", default="on",
+    choices={"off": "off", "0": "off", "no": "off", "false": "off",
+             "on": "on", "1": "on", "yes": "on", "true": "on",
+             "check": "check"},
+    doc="Lockstep batch engine for population simulation: 'on' "
+        "(default — derive proven variants from one baseline run), "
+        "'check' (derive AND simulate each variant, raising "
+        "BatchParityError on any mismatch) or 'off' (simulate every "
+        "variant individually)."))
 
 register(Knob(
     name="REPRO_STATIC_VERIFY", kind="choice", default=None,

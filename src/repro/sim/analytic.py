@@ -13,7 +13,7 @@ seconds, not hours.
 from __future__ import annotations
 
 from repro.runtime.lib import runtime_call_counts
-from repro.sim.costs import DEFAULT_COST_MODEL, cycles_from_counts
+from repro.sim.costs import DEFAULT_COST_MODEL, evaluator_for
 
 
 def block_counts_from_sim(binary, addr_counts):
@@ -46,5 +46,12 @@ def block_counts_from_profile(module, profile):
 
 
 def estimate_cycles(binary, counts, model=DEFAULT_COST_MODEL):
-    """Cycles of ``binary`` under the given block execution counts."""
-    return cycles_from_counts(binary.instr_records, counts, model)
+    """Cycles of ``binary`` under the given block execution counts.
+
+    Evaluates through the shared per-binary cost-table memo
+    (:func:`repro.sim.costs.evaluator_for`), so repeated estimates of
+    the same binary — a population sweep over many seeds, or the same
+    baseline under several inputs — walk its records once. Bit-identical
+    to :func:`repro.sim.costs.cycles_from_counts` over the same records.
+    """
+    return evaluator_for(model).cycles(binary, counts)

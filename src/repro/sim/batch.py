@@ -1,0 +1,288 @@
+"""Lockstep batch engine: simulate a whole variant population in one pass.
+
+A population sweep — Figure 4's 25 variants per configuration, the
+differential validator's seed matrix — used to cost one full simulation
+per variant. But every NOP-inserted variant of a baseline executes the
+*same* dynamic instruction sequence plus its inserted NOPs, so all of
+those runs recompute information one baseline run already contains.
+
+This engine executes the baseline once (with per-address counting) and
+*derives* each variant's result analytically:
+
+- ``output`` and ``exit_code`` are the baseline's — NOP insertion never
+  changes them.
+- ``instr_count`` is the baseline's plus, for every inserted NOP, the
+  execution count of the instruction it precedes.
+- ``addr_counts`` is the baseline's map remapped through the 1:1
+  in-order pairing of carried instruction records, with each inserted
+  NOP counted as often as its following carried instruction.
+
+**Soundness.** The derivation is only valid when the variant really is
+"baseline + Table-1 NOPs + recomputed offsets", so each variant must
+first pass a NOP-transparency proof
+(:class:`repro.analysis.transparency.TransparencyProver`, records
+mode). The proof pins the record pairing the remap walks: every carried
+record matches its baseline partner, every insertion is a
+control-flow-neutral NOP, branch displacements and data references are
+recomputed exactly. NOPs are inserted *before* the instruction they
+ride with (after labels), so every branch, call and return target lands
+at the head of a NOP run and falls through it — each inserted NOP
+therefore executes exactly as many times as the carried instruction
+that follows it, and a trailing NOP run (none in practice) would
+execute zero times.
+
+A variant the proof rejects — a §6 configuration that rewrites
+encodings, a miscompiled build — falls back to an ordinary per-variant
+simulation, with a warning recorded on the simulator (and surfaced as a
+``batch.fallbacks`` counter), never a wrong answer.
+
+``REPRO_SIM_BATCH`` selects the mode: ``on`` (derive), ``off``
+(simulate every variant individually — the old behavior), or ``check``
+(derive AND simulate, raising
+:class:`~repro.errors.BatchParityError` on any disagreement). Cycle
+counts are *not* derived incrementally: the cost model's weights are
+non-dyadic floats, so per-variant cycles are evaluated from each
+variant's own records through the shared cost core
+(:func:`repro.sim.costs.evaluator_for`) to stay bit-identical with the
+per-variant path.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.analysis.transparency import TransparencyProver
+from repro.errors import BatchParityError, ReproError, SimulatorError
+from repro.obs import metrics
+from repro.obs.knobs import knob_value, validate_knob_value
+from repro.obs.trace import span
+from repro.sim import fastpath
+from repro.sim.costs import DEFAULT_COST_MODEL, evaluator_for
+from repro.sim.machine import SimResult, run_binary
+from repro.sim.memory import DEFAULT_STACK_SIZE
+
+#: ``run_binary``'s default step fuel, mirrored so the two paths agree.
+DEFAULT_MAX_STEPS = 500_000_000
+
+
+class PopulationSimulator:
+    """Derive many variants' run results from one baseline execution.
+
+    Construct one per (baseline, input vector); ``result_for(variant)``
+    then returns a :class:`~repro.sim.machine.SimResult` bit-identical
+    to ``run_binary(variant, ...)`` — same instruction count, output,
+    exit code, and (when ``count_addresses`` is set) the same
+    nonzero-only per-address profile.
+
+    The baseline runs lazily, once, with address counting (the remap
+    needs it); transparency proofs are memoized per variant. Variants
+    that cannot be derived — failed proof, faulting baseline, or a
+    derived instruction count past the step budget — are simulated
+    individually, with the reason recorded once in :attr:`warnings`.
+    """
+
+    def __init__(self, baseline, input_values=(), *,
+                 max_steps=DEFAULT_MAX_STEPS, count_addresses=False,
+                 stack_size=DEFAULT_STACK_SIZE, mode=None):
+        if mode is None:
+            mode = knob_value("REPRO_SIM_BATCH")
+        else:
+            mode = validate_knob_value("REPRO_SIM_BATCH", mode)
+        self.mode = mode
+        self.baseline = baseline
+        self.input_values = tuple(input_values)
+        self.max_steps = max_steps
+        self.count_addresses = count_addresses
+        self.stack_size = stack_size
+        #: Deduplicated fallback reasons, in first-occurrence order.
+        self.warnings = []
+        self._baseline_outcome = None  # (SimResult | None, error | None)
+        self._prover = None
+        self._proofs = weakref.WeakKeyDictionary()
+
+    # -- baseline ------------------------------------------------------------
+
+    def baseline_result(self):
+        """The counted baseline run (executed once, lazily).
+
+        Re-raises the baseline's own :class:`~repro.errors.SimulatorError`
+        (fault or step-limit) on every call if the run failed.
+        """
+        if self._baseline_outcome is None:
+            metrics.inc("batch.baseline_runs")
+            try:
+                result = run_binary(
+                    self.baseline, self.input_values,
+                    max_steps=self.max_steps, count_addresses=True,
+                    stack_size=self.stack_size)
+                self._baseline_outcome = (result, None)
+            except SimulatorError as error:
+                self._baseline_outcome = (None, error)
+        result, error = self._baseline_outcome
+        if error is not None:
+            raise error
+        return result
+
+    # -- proofs --------------------------------------------------------------
+
+    def _proof(self, variant):
+        report = self._proofs.get(variant)
+        if report is None:
+            if self._prover is None:
+                self._prover = TransparencyProver(
+                    self.baseline,
+                    decode_cache=fastpath.shared_decode_cache(self.baseline))
+            with span("batch_prove"):
+                report = self._prover.prove(variant, mode="records")
+            metrics.inc("batch.proofs")
+            if not report.ok:
+                metrics.inc("batch.proof_failures")
+            self._proofs[variant] = report
+        return report
+
+    # -- derivation ----------------------------------------------------------
+
+    def _derive(self, base, variant):
+        """The variant's SimResult, computed from the counted baseline.
+
+        Only called after the transparency proof succeeded, which
+        guarantees the carried records of ``variant`` pair 1:1 in order
+        with the baseline's records.
+        """
+        base_counts = base.addr_counts
+        b_records = self.baseline.instr_records
+        instr_count = base.instr_count
+        counting = self.count_addresses
+        counts = {}
+        b_index = 0
+        pending = []  # inserted NOPs awaiting their carried successor
+        for record in variant.instr_records:
+            if record.is_inserted_nop:
+                pending.append(record)
+                continue
+            count = base_counts.get(b_records[b_index].address, 0)
+            b_index += 1
+            if count:
+                instr_count += count * len(pending)
+                if counting:
+                    # The NOP run rides immediately before this carried
+                    # instruction: same count for every NOP in it.
+                    for nop in pending:
+                        counts[nop.address] = count
+                    counts[record.address] = count
+            if pending:
+                pending = []
+        # A trailing NOP run has no carried successor and never
+        # executes; like every zero-count address it stays out of the
+        # nonzero-only map.
+        return SimResult(list(base.output), base.exit_code, instr_count,
+                         counts)
+
+    # -- the public per-variant API ------------------------------------------
+
+    def result_for(self, variant, *, max_steps=None):
+        """Simulate-or-derive one variant; see the class docstring.
+
+        ``max_steps`` overrides the simulator's step budget for this
+        variant only (the differential validator's per-variant fuel);
+        a derived instruction count past the budget falls back to a
+        real run so :class:`~repro.errors.SimulationLimitExceeded`
+        surfaces exactly as it would without the batch engine.
+        """
+        limit = self.max_steps if max_steps is None else max_steps
+        if self.mode == "off":
+            metrics.inc("batch.variants_simulated")
+            return self._simulate(variant, limit)
+
+        proof = self._proof(variant)
+        if not proof.ok:
+            self._fallback(
+                "transparency proof failed; simulating variant(s) "
+                "individually: " + proof.findings[0].describe())
+            return self._simulate(variant, limit)
+        try:
+            base = self.baseline_result()
+        except SimulatorError:
+            self._fallback("baseline run failed; simulating variant(s) "
+                           "individually")
+            return self._simulate(variant, limit)
+
+        with span("batch_derive"):
+            derived = self._derive(base, variant)
+        if derived.instr_count > limit:
+            self._fallback("derived instruction count exceeds the step "
+                           "budget; simulating variant(s) individually")
+            return self._simulate(variant, limit)
+
+        metrics.inc("batch.variants_derived")
+        if self.mode == "check":
+            self._check_parity(variant, derived, limit)
+        return derived
+
+    # -- helpers -------------------------------------------------------------
+
+    def _simulate(self, variant, limit):
+        return run_binary(variant, self.input_values, max_steps=limit,
+                          count_addresses=self.count_addresses,
+                          stack_size=self.stack_size)
+
+    def _fallback(self, message):
+        metrics.inc("batch.fallbacks")
+        if message not in self.warnings:
+            self.warnings.append(message)
+
+    def _check_parity(self, variant, derived, limit):
+        """check mode: run the variant for real and compare observables."""
+        metrics.inc("batch.parity_checks")
+        try:
+            actual = self._simulate(variant, limit)
+        except ReproError as error:
+            raise BatchParityError(
+                "batch parity check: the real run failed where the "
+                f"derived one succeeded: {error}",
+                context={"observable": "error", "derived": "success",
+                         "actual": error.code}) from error
+        for observable, ours, real in (
+                ("instr_count", derived.instr_count, actual.instr_count),
+                ("output", list(derived.output), list(actual.output)),
+                ("exit_code", derived.exit_code, actual.exit_code),
+                ("addr_counts", derived.addr_counts, actual.addr_counts)):
+            if observable == "addr_counts" and not self.count_addresses:
+                continue
+            if ours != real:
+                raise BatchParityError(
+                    f"batch-derived {observable} diverged from the "
+                    f"per-variant simulation",
+                    context={"observable": observable, "derived": ours,
+                             "actual": real})
+
+
+def simulate_population(baseline, variants, input_values=(), *,
+                        max_steps=DEFAULT_MAX_STEPS, count_addresses=False,
+                        stack_size=DEFAULT_STACK_SIZE, mode=None):
+    """Run a whole population; returns one SimResult per variant, in order.
+
+    Each element is bit-identical to
+    ``run_binary(variant, input_values, ...)``; exceptions a per-variant
+    run would raise (faults, step-limit) surface identically from the
+    corresponding position. ``mode`` overrides ``REPRO_SIM_BATCH``.
+    """
+    sim = PopulationSimulator(
+        baseline, input_values, max_steps=max_steps,
+        count_addresses=count_addresses, stack_size=stack_size, mode=mode)
+    metrics.inc("batch.populations")
+    with span("population_sim", variants=len(variants), mode=sim.mode):
+        return [sim.result_for(variant) for variant in variants]
+
+
+def population_cycles(baseline, variants, counts, model=DEFAULT_COST_MODEL):
+    """Analytic cycles of a baseline and its variants under one profile.
+
+    Evaluates every binary through the shared per-binary cost-table memo
+    (:func:`repro.sim.costs.evaluator_for`) — bit-identical to calling
+    :func:`repro.sim.analytic.estimate_cycles` on each binary. Returns
+    ``(baseline_cycles, [variant_cycles, ...])``.
+    """
+    evaluator = evaluator_for(model)
+    return (evaluator.cycles(baseline, counts),
+            [evaluator.cycles(variant, counts) for variant in variants])

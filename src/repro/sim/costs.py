@@ -28,6 +28,7 @@ the default candidate set.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, replace
 
 from repro.x86.instructions import Mem, SETCC_MNEMONICS
@@ -141,14 +142,16 @@ def block_cost_table(records, model=DEFAULT_COST_MODEL):
     return table
 
 
-def cycles_from_counts(records, counts, model=DEFAULT_COST_MODEL):
-    """Total cycles: Σ_blocks count × (max(issue, mem) + κ·min(issue, mem)).
+def cycles_from_cost_table(table, counts, model=DEFAULT_COST_MODEL):
+    """Evaluate a block cost table under execution counts.
 
-    ``counts`` maps block_id → execution count; block_ids absent from
-    ``counts`` are treated as never executed (e.g. unused runtime library
-    routines).
+    This is the single cost-evaluation core: Σ_blocks count ×
+    (max(issue, mem) + κ·min(issue, mem)). Every cycle number in the
+    repo — the analytic engine, the Figure-4 sweep, the batch engine's
+    population evaluation — flows through this sum, in table iteration
+    order, so two evaluations of the same table and counts are
+    bit-identical.
     """
-    table = block_cost_table(records, model)
     total = 0.0
     kappa = model.overlap_factor
     for block_id, (issue, memory) in table.items():
@@ -157,3 +160,64 @@ def cycles_from_counts(records, counts, model=DEFAULT_COST_MODEL):
             total += count * (max(issue, memory)
                               + kappa * min(issue, memory))
     return total
+
+
+def cycles_from_counts(records, counts, model=DEFAULT_COST_MODEL):
+    """Total cycles of an instruction-record stream under block counts.
+
+    ``counts`` maps block_id → execution count; block_ids absent from
+    ``counts`` are treated as never executed (e.g. unused runtime library
+    routines).
+    """
+    return cycles_from_cost_table(block_cost_table(records, model),
+                                  counts, model)
+
+
+class CostEvaluator:
+    """Cost evaluation with per-binary block-table memoization.
+
+    The block cost table of a :class:`~repro.backend.linker.LinkedBinary`
+    depends only on its (immutable) instruction records and the model,
+    so it is computed once and shared — keyed weakly so dropping a
+    binary frees its table. Population sweeps that evaluate the same
+    baseline under many inputs, or the same variant under many count
+    maps, pay the per-record cost walk once.
+
+    Note the per-*variant* tables are still built from each variant's
+    own record stream rather than incrementally from the baseline's:
+    float addition is not associative, so "baseline block cost + n ×
+    nop_issue" is not bit-identical to accumulating the interleaved
+    stream — and bit-identity with :func:`cycles_from_counts` is the
+    contract the parity tests enforce.
+    """
+
+    def __init__(self, model=DEFAULT_COST_MODEL):
+        self.model = model
+        self._tables = weakref.WeakKeyDictionary()
+
+    def table(self, binary):
+        """The binary's memoized ``{block_id: (issue, memory)}`` table."""
+        table = self._tables.get(binary)
+        if table is None:
+            table = block_cost_table(binary.instr_records, self.model)
+            self._tables[binary] = table
+        return table
+
+    def cycles(self, binary, counts):
+        """Cycles of ``binary`` under block execution counts."""
+        return cycles_from_cost_table(self.table(binary), counts,
+                                      self.model)
+
+
+#: model → shared CostEvaluator (CostModel is frozen/hashable). Ablation
+#: models are few, so this stays small; the default model's evaluator is
+#: what the analytic engine and every benchmark share.
+_EVALUATORS = {}
+
+
+def evaluator_for(model=DEFAULT_COST_MODEL):
+    """The shared :class:`CostEvaluator` for a cost model."""
+    evaluator = _EVALUATORS.get(model)
+    if evaluator is None:
+        evaluator = _EVALUATORS[model] = CostEvaluator(model)
+    return evaluator

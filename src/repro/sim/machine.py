@@ -30,11 +30,10 @@ EAX   call                        effect
 from __future__ import annotations
 
 from repro.errors import (
-    ConfigError, DecodingError, MachineFault, SimulationLimitExceeded,
-    SimulatorError,
+    DecodingError, MachineFault, SimulationLimitExceeded, SimulatorError,
 )
 from repro.obs import metrics
-from repro.obs.knobs import knob_value
+from repro.obs.knobs import knob_value, validate_knob_value
 from repro.obs.trace import span
 from repro.sim import fastpath
 from repro.sim.memory import DEFAULT_STACK_SIZE, Memory, STACK_TOP
@@ -443,17 +442,15 @@ class Machine:
         ``engine`` selects ``"fast"`` (threaded-code interpreter) or
         ``"reference"`` (the :meth:`step` loop); ``None`` defers to the
         ``REPRO_SIM_ENGINE`` environment variable, defaulting to fast.
-        An unknown value — from either source — raises a typed
-        :class:`~repro.errors.ConfigError` naming the valid engines.
+        An unknown value — from either source — is rejected through the
+        knob registry's single validation path, so both forms raise the
+        same typed :class:`~repro.errors.ConfigError` naming the knob,
+        the offending value and the valid engines.
         """
         if engine is None:
             engine = knob_value("REPRO_SIM_ENGINE")
-        elif engine not in ("fast", "reference"):
-            raise ConfigError(
-                f"unknown simulator engine {engine!r}; choose one of "
-                f"['fast', 'reference']",
-                context={"engine": engine,
-                         "choices": ["fast", "reference"]})
+        else:
+            engine = validate_knob_value("REPRO_SIM_ENGINE", engine)
         with span("simulate", engine=engine) as timing:
             if engine == "fast":
                 fastpath.run_machine(self)

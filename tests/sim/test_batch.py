@@ -1,0 +1,254 @@
+"""Lockstep batch engine: derived results must be bit-identical to
+per-variant simulation.
+
+The core property under test: for any variant with a proven
+NOP-transparency record, ``PopulationSimulator.result_for`` returns the
+same instruction count, output, exit code and nonzero-only per-address
+profile as ``run_binary`` on that variant — on the fib fixture, on
+every registered workload under both paper configs, and on adversarial
+fuzz-generated programs. The remaining tests pin the engine's edges:
+knob validation, ``off``/``check`` modes, proof-failure and
+baseline-failure fallbacks, and step-budget parity.
+"""
+
+import pytest
+
+from repro.core.config import DiversificationConfig
+from repro.errors import (
+    BatchParityError, ConfigError, SimulationLimitExceeded,
+)
+from repro.fuzz.generate import generate_inputs, generate_program, \
+    tiny_limits
+from repro.minc.pretty import pretty_print
+from repro.obs import metrics
+from repro.pipeline import ProgramBuild, build_population
+from repro.sim.analytic import estimate_cycles
+from repro.sim.batch import (
+    PopulationSimulator, population_cycles, simulate_population,
+)
+from repro.sim.machine import run_binary
+from repro.workloads.registry import get_workload, workload_names
+
+UNIFORM = DiversificationConfig.uniform(0.50)
+GUIDED = DiversificationConfig.profile_guided(0.00, 0.30)
+SEEDS = (0, 1, 2)
+
+
+def _assert_same(expected, derived):
+    assert derived.instr_count == expected.instr_count
+    assert list(derived.output) == list(expected.output)
+    assert derived.exit_code == expected.exit_code
+    assert derived.addr_counts == expected.addr_counts
+
+
+def _population(build, config, inputs=None):
+    profile = (build.profile(inputs or ()) if config.requires_profile
+               else None)
+    return build_population(build, config, SEEDS, profile)
+
+
+class TestFixtureParity:
+    @pytest.mark.parametrize("config", [UNIFORM, GUIDED],
+                             ids=["50%", "0-30%"])
+    def test_derived_matches_per_variant_run(self, fib_build, config):
+        baseline = fib_build.link_baseline()
+        variants = _population(fib_build, config, inputs=(9,))
+        results = simulate_population(baseline, variants, (9,),
+                                      count_addresses=True, mode="on")
+        for variant, derived in zip(variants, results):
+            _assert_same(run_binary(variant, (9,), count_addresses=True),
+                         derived)
+
+    def test_uncounted_results_have_empty_addr_counts(self, fib_build):
+        baseline = fib_build.link_baseline()
+        variants = _population(fib_build, UNIFORM)
+        for derived in simulate_population(baseline, variants, (6,),
+                                           mode="on"):
+            assert derived.addr_counts == {}
+
+    def test_baseline_itself_derives(self, fib_build):
+        baseline = fib_build.link_baseline()
+        sim = PopulationSimulator(baseline, (7,), count_addresses=True,
+                                  mode="on")
+        _assert_same(run_binary(baseline, (7,), count_addresses=True),
+                     sim.result_for(baseline))
+
+    def test_results_do_not_alias_the_baseline_output(self, fib_build):
+        baseline = fib_build.link_baseline()
+        variants = _population(fib_build, UNIFORM)
+        sim = PopulationSimulator(baseline, (6,), mode="on")
+        first = sim.result_for(variants[0])
+        first.output.append(999)
+        assert 999 not in sim.result_for(variants[1]).output
+
+
+class TestWorkloadParity:
+    """The satellite property test: all 20 workloads x both paper
+    configs x 3 seeds, exact parity in check mode (instr counts,
+    outputs, exit codes, per-address profiles) plus exact analytic
+    cycle agreement through the shared cost core."""
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_parity_on_train_input(self, name):
+        workload = get_workload(name)
+        build = ProgramBuild(workload.source, workload.name)
+        baseline = build.link_baseline()
+        counts = build.execution_counts(workload.train_input)
+        for config in (UNIFORM, GUIDED):
+            profile = (build.profile(workload.train_input)
+                       if config.requires_profile else None)
+            variants = build_population(build, config, SEEDS, profile)
+            # check mode runs every variant for real and raises
+            # BatchParityError on the first diverging observable.
+            sim = PopulationSimulator(baseline, workload.train_input,
+                                      count_addresses=True, mode="check")
+            for variant in variants:
+                sim.result_for(variant)
+            assert not sim.warnings, sim.warnings
+            base_cycles, variant_cycles = population_cycles(
+                baseline, variants, counts)
+            assert base_cycles == estimate_cycles(baseline, counts)
+            assert variant_cycles == [estimate_cycles(variant, counts)
+                                      for variant in variants]
+
+
+class TestFuzzProgramParity:
+    """Adversarial inputs: generator-produced programs (the fuzz
+    corpus's population) must derive exactly, too."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generated_program_parity(self, seed):
+        source = pretty_print(generate_program(seed, tiny_limits()))
+        inputs = generate_inputs(seed)
+        build = ProgramBuild(source, f"fuzz-{seed}")
+        baseline = build.link_baseline()
+        variants = _population(build, UNIFORM)
+        sim = PopulationSimulator(baseline, inputs, count_addresses=True,
+                                  mode="check")
+        for variant in variants:
+            _assert_same(run_binary(variant, inputs, count_addresses=True),
+                         sim.result_for(variant))
+        assert not sim.warnings
+
+
+class TestModes:
+    def test_unknown_mode_raises_config_error(self, fib_build):
+        baseline = fib_build.link_baseline()
+        with pytest.raises(ConfigError) as info:
+            PopulationSimulator(baseline, mode="bogus")
+        assert info.value.context["knob"] == "REPRO_SIM_BATCH"
+        assert info.value.context["value"] == "bogus"
+
+    def test_mode_resolves_from_environment(self, fib_build, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BATCH", "check")
+        sim = PopulationSimulator(fib_build.link_baseline())
+        assert sim.mode == "check"
+
+    def test_off_mode_simulates_each_variant(self, fib_build):
+        baseline = fib_build.link_baseline()
+        variants = _population(fib_build, UNIFORM)
+        before = metrics.counters().get("batch.variants_simulated", 0)
+        sim = PopulationSimulator(baseline, (6,), mode="off")
+        for variant in variants:
+            expected = run_binary(variant, (6,))
+            got = sim.result_for(variant)
+            assert got.instr_count == expected.instr_count
+            assert list(got.output) == list(expected.output)
+        after = metrics.counters().get("batch.variants_simulated", 0)
+        assert after - before == len(variants)
+        # off mode never runs the baseline or proves anything.
+        assert sim._baseline_outcome is None
+
+    def test_check_mode_raises_on_engine_bug(self, fib_build, monkeypatch):
+        baseline = fib_build.link_baseline()
+        variant = _population(fib_build, UNIFORM)[0]
+        sim = PopulationSimulator(baseline, (6,), mode="check")
+        real_derive = PopulationSimulator._derive
+
+        def broken_derive(self, base, variant):
+            result = real_derive(self, base, variant)
+            result.instr_count += 1
+            return result
+
+        monkeypatch.setattr(PopulationSimulator, "_derive", broken_derive)
+        with pytest.raises(BatchParityError) as info:
+            sim.result_for(variant)
+        assert info.value.context["observable"] == "instr_count"
+        assert info.value.code == "sim.batch_parity"
+
+
+class TestFallbacks:
+    def test_unprovable_variant_falls_back_with_warning(self, fib_build):
+        # The §6 composed extensions rewrite encodings and reorder
+        # functions — no transparency proof exists, so every variant
+        # must be simulated individually, correctly, with the reason
+        # recorded once.
+        config = DiversificationConfig.uniform(
+            0.5, basic_block_shifting=True, encoding_substitution=True,
+            function_reordering=True)
+        baseline = fib_build.link_baseline()
+        variants = _population(fib_build, config)
+        before = metrics.counters().get("batch.fallbacks", 0)
+        sim = PopulationSimulator(baseline, (8,), count_addresses=True,
+                                  mode="on")
+        for variant in variants:
+            _assert_same(run_binary(variant, (8,), count_addresses=True),
+                         sim.result_for(variant))
+        after = metrics.counters().get("batch.fallbacks", 0)
+        assert after - before == len(variants)
+        assert len(sim.warnings) == 1  # deduplicated
+        assert "transparency proof failed" in sim.warnings[0]
+
+    def test_failing_baseline_falls_back(self, fib_build):
+        # A baseline that exhausts its budget cannot anchor derivation;
+        # each variant is simulated (and fails identically).
+        baseline = fib_build.link_baseline()
+        variant = _population(fib_build, UNIFORM)[0]
+        sim = PopulationSimulator(baseline, (9,), max_steps=50, mode="on")
+        with pytest.raises(SimulationLimitExceeded):
+            sim.result_for(variant)
+        assert any("baseline run failed" in w for w in sim.warnings)
+
+    def test_derived_count_past_budget_raises_limit_error(self, fib_build):
+        baseline = fib_build.link_baseline()
+        variant = _population(fib_build, UNIFORM)[0]
+        baseline_count = run_binary(baseline, (9,)).instr_count
+        sim = PopulationSimulator(baseline, (9,), mode="on")
+        # Fuel covers the baseline but not the variant's extra NOPs: the
+        # real run's limit error must surface, not a silently-derived
+        # over-budget result.
+        with pytest.raises(SimulationLimitExceeded):
+            sim.result_for(variant, max_steps=baseline_count)
+        # With ample fuel the same simulator derives normally.
+        derived = sim.result_for(variant)
+        assert derived.instr_count > baseline_count
+
+
+class TestMetrics:
+    def test_derivation_counters(self, fib_build):
+        baseline = fib_build.link_baseline()
+        variants = _population(fib_build, UNIFORM)
+        before = metrics.counters()
+        simulate_population(baseline, variants, (6,), mode="on")
+        after = metrics.counters()
+
+        def delta(name):
+            return after.get(name, 0) - before.get(name, 0)
+
+        assert delta("batch.populations") == 1
+        assert delta("batch.baseline_runs") == 1
+        assert delta("batch.variants_derived") == len(variants)
+        assert delta("batch.proofs") == len(variants)
+        assert delta("batch.fallbacks") == 0
+
+
+class TestPopulationCycles:
+    def test_matches_per_binary_estimates(self, fib_build):
+        baseline = fib_build.link_baseline()
+        variants = _population(fib_build, UNIFORM)
+        counts = fib_build.execution_counts((9,))
+        base_cycles, variant_cycles = population_cycles(
+            baseline, variants, counts)
+        assert base_cycles == estimate_cycles(baseline, counts)
+        assert variant_cycles == [estimate_cycles(variant, counts)
+                                  for variant in variants]

@@ -193,7 +193,10 @@ class TestEngineSelection:
         machine = Machine(binary, input_values=(3,))
         with pytest.raises(ConfigError) as info:
             machine.run(engine="bogus")
-        assert info.value.context["engine"] == "bogus"
+        # Param-form validation goes through the knob registry, so the
+        # error carries the same context shape as the env form.
+        assert info.value.context["knob"] == "REPRO_SIM_ENGINE"
+        assert info.value.context["value"] == "bogus"
         assert "fast" in str(info.value)
         assert "reference" in str(info.value)
 

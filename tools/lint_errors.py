@@ -25,6 +25,14 @@ Two AST checks over ``src/repro/``:
    replay-by-entry-id guarantee. (``random.Random(seed)`` itself is
    the sanctioned constructor and is allowed.)
 
+4. ``benchmarks/_harness.py`` must not simulate population members one
+   at a time — no ``run_binary``/``.run(``/``.simulate(`` call inside
+   a loop or comprehension. Population sweeps go through the lockstep
+   batch engine (``repro.sim.batch.simulate_population`` /
+   ``population_cycles``), which runs the shared baseline once and
+   derives every proven variant analytically; a per-variant loop
+   silently reverts the sweep to the pre-batch cost profile.
+
 Run by ``make lint`` (and therefore ``make test``). Exits 1 and lists
 ``file:line`` for each violation.
 """
@@ -119,9 +127,55 @@ def find_global_random_violations(path):
     return violations
 
 
+#: Call names that simulate one binary at a time; forbidden inside
+#: loops/comprehensions of the benchmark harness (check 4).
+_SIM_CALLS = {"run_binary", "run", "simulate"}
+_LOOP_NODES = (ast.For, ast.While, ast.ListComp, ast.SetComp,
+               ast.DictComp, ast.GeneratorExp)
+
+
+def find_per_variant_sim_violations(path):
+    """Per-variant simulation loops in the benchmark harness.
+
+    Flags any call to ``run_binary(...)``, ``<x>.run(...)`` or
+    ``<x>.simulate(...)`` lexically inside a loop or comprehension —
+    the shapes a hand-rolled population sweep takes. Batch-engine
+    methods (``simulate_population``, ``result_for``) are the
+    sanctioned replacements and do not match.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations = []
+
+    def called_name(node):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    def walk(node, in_loop):
+        for child in ast.iter_child_nodes(node):
+            child_in_loop = in_loop or isinstance(child, _LOOP_NODES)
+            if (in_loop and isinstance(child, ast.Call)
+                    and called_name(child) in _SIM_CALLS):
+                violations.append((child.lineno, called_name(child)))
+            walk(child, child_in_loop)
+
+    walk(tree, False)
+    return violations
+
+
 def main():
     failures = []
     fuzz_package = PACKAGE / "fuzz"
+    harness = ROOT / "benchmarks" / "_harness.py"
+    if harness.exists():
+        for lineno, name in find_per_variant_sim_violations(harness):
+            failures.append(
+                f"{harness.relative_to(ROOT)}:{lineno}: per-variant "
+                f"{name}() inside a population loop; route the sweep "
+                f"through repro.sim.batch.simulate_population")
     for path in sorted(PACKAGE.rglob("*.py")):
         if path not in EXEMPT:
             for lineno, name in find_violations(path):
@@ -146,7 +200,8 @@ def main():
         return 1
     print("lint: OK (no bare ValueError/RuntimeError raises, no "
           "direct REPRO_* environment reads, no unseeded randomness "
-          "in src/repro/fuzz/)")
+          "in src/repro/fuzz/, no per-variant simulation loops in "
+          "benchmarks/_harness.py)")
     return 0
 
 
