@@ -1,17 +1,30 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify-smoke fuzz-smoke bench bench-quick check
+.PHONY: test lint verify-smoke fuzz-smoke serve-smoke bench \
+	bench-serve bench-quick check
 
 # Tier-1: lint, the quick perf gates (mix speedup, population
 # incremental-link speedup, pool-vs-serial wall clock, batch-engine
 # population-sim speedup with its parity precheck), a static-verify
 # smoke over the representative workload trio, a bounded differential
-# fuzzing campaign, then the full pytest suite — so a taxonomy, perf,
-# verifier or semantics regression fails the default flow, not just the
-# full bench.
-test: lint bench-quick verify-smoke fuzz-smoke
+# fuzzing campaign, a serve-daemon load smoke (latency/backpressure
+# gates at reduced request counts), then the full pytest suite — so a
+# taxonomy, perf, verifier, semantics or serving regression fails the
+# default flow, not just the full bench.
+test: lint bench-quick verify-smoke fuzz-smoke serve-smoke
 	$(PYTHON) -m pytest -x -q
+
+# Serve-daemon load smoke: boots the daemon, exercises the memo-hit,
+# cold, artifact-cache and backpressure paths, and applies the same
+# gates as the full bench (hit p50 <= 5ms, cold >= 100 variants/s at
+# concurrency 10, >= 1 typed rejection under burst).
+serve-smoke:
+	$(PYTHON) benchmarks/bench_serve.py --smoke \
+		--output BENCH_serve_smoke.json
+
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve.py
 
 lint:
 	$(PYTHON) tools/lint_errors.py

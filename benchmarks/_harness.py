@@ -28,8 +28,11 @@ Environment knobs:
 
 from __future__ import annotations
 
+import os
+import subprocess
+
 from repro.core.config import PAPER_CONFIGS
-from repro.obs.knobs import knob_value
+from repro.obs.knobs import REGISTRY, knob_value
 from repro.pipeline import ProgramBuild, build_population
 from repro.security.population import population_signatures
 from repro.sim.batch import PopulationSimulator, population_cycles
@@ -38,6 +41,25 @@ from repro.workloads.registry import SPEC_ORDER, get_workload
 
 #: Config labels in the paper's column order (Table 2).
 CONFIG_ORDER = ("50%", "25-50%", "10-50%", "30%", "0-30%")
+
+
+def environment_stamp():
+    """Host facts stamped into every BENCH_*.json so diffs across
+    machines and revisions are interpretable: core count, the simulator
+    engines this build knows, and the git revision the numbers belong
+    to. Shared by bench_runtime, bench_serve and check_campaign."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            timeout=10).stdout.strip() or "unknown"
+    except OSError:
+        sha = "unknown"
+    return {
+        "cpu_count": os.cpu_count(),
+        "engines": REGISTRY["REPRO_SIM_ENGINE"].canonical_choices(),
+        "git_sha": sha,
+    }
 
 POPULATION_SIZE = knob_value("REPRO_POPULATION")
 PERF_SEEDS = knob_value("REPRO_PERF_SEEDS")

@@ -56,11 +56,11 @@ import argparse
 import gc
 import json
 import os
-import subprocess
 import sys
 import tempfile
 import time
 
+from _harness import environment_stamp
 from repro.artifacts import cache_stats, reset_cache_stats
 from repro.core.config import DiversificationConfig
 from repro.errors import ReproError
@@ -374,24 +374,6 @@ def measure_population_sim(population_size, repeats, parity_names):
         "min_batch_speedup": MIN_BATCH_SPEEDUP,
         "speedup_ok": speedup >= MIN_BATCH_SPEEDUP,
         "ok": parity["ok"] and speedup >= MIN_BATCH_SPEEDUP,
-    }
-
-
-def environment_stamp():
-    """Host facts stamped into the JSON so diffs across machines and
-    revisions are interpretable: core count, the simulator engines this
-    build knows, and the git revision the numbers belong to."""
-    try:
-        sha = subprocess.run(
-            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
-            cwd=os.path.dirname(os.path.abspath(__file__)),
-            timeout=10).stdout.strip() or "unknown"
-    except OSError:
-        sha = "unknown"
-    return {
-        "cpu_count": os.cpu_count(),
-        "engines": REGISTRY["REPRO_SIM_ENGINE"].canonical_choices(),
-        "git_sha": sha,
     }
 
 

@@ -1,0 +1,320 @@
+"""Load benchmark of the variant distribution daemon (repro.serve).
+
+Boots the daemon in-process (one shard — the reference host is
+single-core, so the gates are effectively serial numbers) and drives it
+with a threaded load generator over real TCP connections, measuring the
+serving paths separately:
+
+- **memo hit path** — repeat requests for an already-served user; this
+  is the daemon's ≤ 5 ms p50 contract (``MAX_HIT_P50_MS``).
+- **cold path** — every request a fresh user, so each one is a full
+  ``diversify + plan.apply + stream-verify`` on a shard worker, at
+  concurrency 1 / 10 / 100. Gated: sustained ≥
+  ``MIN_COLD_C10_VARIANTS_PER_SEC`` verified variants/sec at
+  concurrency 10 on 429.mcf.
+- **artifact-cache path** — a second daemon with the on-disk
+  :class:`~repro.artifacts.VariantCache` enabled and the memo disabled:
+  cold builds publish entries, re-requests hit them (skipping link
+  *and* verify); hit/miss/put counters land in the JSON.
+- **backpressure** — the queue depth is dropped to 2 and a 16-thread
+  burst fired; the daemon must answer with typed ``serve.overloaded``
+  rejections (gated: at least one) while still completing work, and a
+  ``stats`` probe must stay answerable during the burst.
+
+Emits ``BENCH_serve.json`` (opening with the shared ``environment``
+stamp) and exits nonzero if any gate fails. ``--smoke`` shrinks request
+counts for the ``make serve-smoke`` tier-1 ride-along; the gates still
+apply.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] \\
+        [--output BENCH_serve.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import sys
+import tempfile
+import threading
+import time
+
+from _harness import environment_stamp
+from repro.errors import ServeOverloadedError
+from repro.serve import ServeClient, VariantServer
+
+PROGRAM = "429.mcf"
+CONFIG = "0-30%"
+
+#: Gate: memo-hit p50 — the "cached variant costs nothing" contract.
+MAX_HIT_P50_MS = 5.0
+
+#: Gate: sustained cold-path throughput at concurrency 10. Measured
+#: ~135 verified variants/sec on the single-core reference host; the
+#: gate sits below the margin so timing noise doesn't flake it.
+MIN_COLD_C10_VARIANTS_PER_SEC = 100.0
+
+
+class DaemonThread:
+    """A VariantServer running on its own event loop thread."""
+
+    def __init__(self, **kwargs):
+        self.server = VariantServer(port=0, **kwargs)
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        serving = asyncio.create_task(self.server.serve_forever())
+        await self._stop.wait()
+        serving.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serving
+        await self.server.close()
+
+    def __enter__(self):
+        self._thread.start()
+        self._ready.wait()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+
+    @property
+    def port(self):
+        return self.server.port
+
+
+def percentile(sorted_ms, fraction):
+    return sorted_ms[min(len(sorted_ms) - 1,
+                         int(len(sorted_ms) * fraction))]
+
+
+def drive(port, concurrency, per_thread, user_prefix):
+    """Fire ``concurrency`` threads, each requesting fresh users.
+
+    Returns (variants_per_sec, latencies_ms, rejected_count). Rejected
+    requests (``serve.overloaded``) are counted, not retried — the
+    caller decides whether they are failure or the point.
+    """
+    latencies = []
+    rejected = [0]
+    lock = threading.Lock()
+
+    def worker(index):
+        with ServeClient(port=port) as client:
+            for request in range(per_thread):
+                began = time.monotonic()
+                try:
+                    client.variant(PROGRAM, CONFIG,
+                                   f"{user_prefix}-{index}-{request}")
+                except ServeOverloadedError:
+                    with lock:
+                        rejected[0] += 1
+                    continue
+                elapsed = time.monotonic() - began
+                with lock:
+                    latencies.append(elapsed * 1000.0)
+
+    threads = [threading.Thread(target=worker, args=(index,))
+               for index in range(concurrency)]
+    began = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - began
+    latencies.sort()
+    return len(latencies) / wall, latencies, rejected[0]
+
+
+def measure_hit_path(port, requests):
+    """Repeat requests for one user: every one a memo hit after the first."""
+    with ServeClient(port=port) as client:
+        client.variant(PROGRAM, CONFIG, "hit-user")  # populate
+        latencies = []
+        for _ in range(requests):
+            began = time.monotonic()
+            response = client.variant(PROGRAM, CONFIG, "hit-user")
+            latencies.append((time.monotonic() - began) * 1000.0)
+            assert response["source"] == "memo", response["source"]
+    latencies.sort()
+    return {
+        "requests": requests,
+        "p50_ms": round(percentile(latencies, 0.50), 3),
+        "p99_ms": round(percentile(latencies, 0.99), 3),
+        "gate_p50_ms": MAX_HIT_P50_MS,
+    }
+
+
+def measure_cold_path(port, smoke):
+    """Fresh-user sweeps at concurrency 1 / 10 / 100."""
+    plans = {1: 30 if smoke else 120,
+             10: 6 if smoke else 20,
+             100: 1 if smoke else 2}
+    results = {}
+    for concurrency, per_thread in plans.items():
+        per_sec, latencies, rejected = drive(
+            port, concurrency, per_thread, f"cold-{concurrency}")
+        assert rejected == 0, "cold sweep must not trip backpressure"
+        results[str(concurrency)] = {
+            "requests": len(latencies),
+            "variants_per_sec": round(per_sec, 1),
+            "p50_ms": round(percentile(latencies, 0.50), 3),
+            "p99_ms": round(percentile(latencies, 0.99), 3),
+        }
+    results["gate_c10_variants_per_sec"] = MIN_COLD_C10_VARIANTS_PER_SEC
+    return results
+
+
+def measure_backpressure(daemon, smoke):
+    """Drop the queue depth and burst past it.
+
+    The depth is a plain attribute read at admission time, so the bench
+    (which owns the in-process server) pinches it rather than paying a
+    second daemon boot. A stats probe runs mid-burst: overload must
+    reject, not wedge.
+    """
+    original_depth = daemon.server.queue_depth
+    daemon.server.queue_depth = 2
+    stats_alive = []
+
+    def probe():
+        with ServeClient(port=daemon.port) as client:
+            stats_alive.append(client.stats()["ok"])
+
+    try:
+        prober = threading.Timer(0.05, probe)
+        prober.start()
+        per_sec, latencies, rejected = drive(
+            daemon.port, 16, 3 if smoke else 5, "burst")
+        prober.join()
+    finally:
+        daemon.server.queue_depth = original_depth
+    return {
+        "queue_depth": 2,
+        "attempts": len(latencies) + rejected,
+        "completed": len(latencies),
+        "rejected": rejected,
+        "stats_alive_during_burst": bool(stats_alive and stats_alive[0]),
+    }
+
+
+def measure_artifact_cache(smoke):
+    """Disk-cache hit path: memo off, VariantCache on."""
+    users = 5 if smoke else 10
+    with tempfile.TemporaryDirectory() as cache_dir, DaemonThread(
+            shards=1, memo_size=0, cache_root=cache_dir,
+            programs=[(PROGRAM, CONFIG)]) as daemon:
+        with ServeClient(port=daemon.port) as client:
+            cold = []
+            for index in range(users):
+                began = time.monotonic()
+                response = client.variant(PROGRAM, CONFIG, f"disk-{index}")
+                cold.append((time.monotonic() - began) * 1000.0)
+                assert not response["cached"]
+            hits = []
+            for index in range(users):
+                began = time.monotonic()
+                response = client.variant(PROGRAM, CONFIG, f"disk-{index}")
+                hits.append((time.monotonic() - began) * 1000.0)
+                assert response["cached"], "expected an artifact-cache hit"
+                assert response["source"] == "artifact-cache"
+                assert response["variant"]["verified"] == "cached"
+            counters = client.stats()["counters"]
+        cold.sort()
+        hits.sort()
+        return {
+            "users": users,
+            "cold_p50_ms": round(percentile(cold, 0.50), 3),
+            "hit_p50_ms": round(percentile(hits, 0.50), 3),
+            "counters": {name: counters[name] for name in sorted(counters)
+                         if name.startswith("cache.")},
+        }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrink request counts (gates still apply)")
+    parser.add_argument("--output", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    payload = {"environment": environment_stamp(),
+               "program": PROGRAM, "config": CONFIG,
+               "smoke": args.smoke}
+    # Depth 128 so the concurrency-100 sweep measures latency, not
+    # rejection; the backpressure phase pinches the depth separately.
+    with DaemonThread(shards=1, queue_depth=128,
+                      programs=[(PROGRAM, CONFIG)]) as daemon:
+        payload["queue_depth"] = daemon.server.queue_depth
+        with ServeClient(port=daemon.port) as client:
+            response = client.variant(PROGRAM, CONFIG, "warmup")
+            payload["overhead_estimate"] = response["overhead"]
+            payload["verify_mode"] = client.stats()["verify_mode"]
+        payload["hit_path"] = measure_hit_path(
+            daemon.port, 50 if args.smoke else 200)
+        payload["cold_path"] = measure_cold_path(daemon.port, args.smoke)
+        payload["backpressure"] = measure_backpressure(daemon, args.smoke)
+        with ServeClient(port=daemon.port) as client:
+            stats = client.stats()
+        payload["daemon_stats"] = {"counters": stats["counters"],
+                                   "latency": stats["latency"]}
+    payload["artifact_cache"] = measure_artifact_cache(args.smoke)
+
+    gates = {
+        "hit_p50_ms": payload["hit_path"]["p50_ms"] <= MAX_HIT_P50_MS,
+        "cold_c10_variants_per_sec":
+            payload["cold_path"]["10"]["variants_per_sec"]
+            >= MIN_COLD_C10_VARIANTS_PER_SEC,
+        "backpressure_rejections":
+            payload["backpressure"]["rejected"] > 0,
+        "stats_alive_during_burst":
+            payload["backpressure"]["stats_alive_during_burst"],
+    }
+    payload["gates"] = gates
+
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+    hit = payload["hit_path"]
+    print(f"hit path: p50={hit['p50_ms']}ms p99={hit['p99_ms']}ms "
+          f"(gate: <= {MAX_HIT_P50_MS}ms)")
+    for concurrency in ("1", "10", "100"):
+        cold = payload["cold_path"][concurrency]
+        print(f"cold path c={concurrency}: "
+              f"{cold['variants_per_sec']} variants/s "
+              f"p50={cold['p50_ms']}ms p99={cold['p99_ms']}ms")
+    print(f"  (gate: c=10 >= {MIN_COLD_C10_VARIANTS_PER_SEC} "
+          f"verified variants/s)")
+    backpressure = payload["backpressure"]
+    print(f"backpressure: {backpressure['rejected']} rejected / "
+          f"{backpressure['attempts']} at depth "
+          f"{backpressure['queue_depth']} (gate: >= 1 rejection)")
+    disk = payload["artifact_cache"]
+    print(f"artifact cache: cold p50={disk['cold_p50_ms']}ms, "
+          f"hit p50={disk['hit_p50_ms']}ms {disk['counters']}")
+    print(f"wrote {args.output}")
+    failed = [name for name, passed in gates.items() if not passed]
+    if failed:
+        print(f"GATE FAILURES: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("all serve gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

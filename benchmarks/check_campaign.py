@@ -22,6 +22,7 @@ import argparse
 import json
 import sys
 
+from _harness import environment_stamp
 from repro.check import (
     DEFAULT_CHECK_WORKLOADS, run_campaign, target_from_workload,
     validate_workloads,
@@ -104,6 +105,7 @@ def main(argv=None):
                           "batch.parity_checks")}
 
     payload = {
+        "environment": environment_stamp(),
         "workloads": names,
         "configs": sorted(CHECK_CONFIGS),
         "variants_per_population": variants,

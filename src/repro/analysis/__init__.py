@@ -23,7 +23,8 @@ from repro.analysis.passes import (
     VerifyReport, require_verified, verify_binary, verify_population,
 )
 from repro.analysis.transparency import (
-    TransparencyReport, prove_transparency, require_transparent,
+    AddressMap, TransparencyProver, TransparencyReport, prove_transparency,
+    require_transparent,
 )
 
 __all__ = [
@@ -34,6 +35,8 @@ __all__ = [
     "require_verified",
     "verify_binary",
     "verify_population",
+    "AddressMap",
+    "TransparencyProver",
     "TransparencyReport",
     "prove_transparency",
     "require_transparent",

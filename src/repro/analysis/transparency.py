@@ -51,8 +51,8 @@ from repro.errors import (
 )
 from repro.x86.decoder import decode, decode_cached
 from repro.x86.encoder import encode
-from repro.x86.instructions import Imm, Mem, Rel
-from repro.x86.nops import match_nop_candidate
+from repro.x86.instructions import JCC_MNEMONICS, Imm, Instr, Mem, Rel
+from repro.x86.nops import NOP_CANDIDATES, match_nop_candidate
 from repro.x86.registers import Register
 
 
@@ -401,8 +401,224 @@ def _check_data(baseline, variant, findings):
             "baseline and variant define different code symbols"))
 
 
+# --------------------------------------------------------------------------
+# Stream mode: fused baseline-facts × variant-bytes proof.
+#
+# Records mode still materializes every variant's lazy instruction
+# records (`_LazyRecords`) and compares operands object by object — the
+# dominant cost of a per-request proof in the serving hot path. Stream
+# mode instead compiles the *baseline* records once into matching facts
+# (expected byte images, relocated-disp32 field offsets, branch opcode
+# classes) and proves a variant by a single walk over its raw text,
+# touching no variant metadata at all. Every variant byte is pinned:
+# each position either equals a precomputed baseline encoding (modulo
+# the disp32 segment shift / a recomputed branch displacement validated
+# against the alignment map) or is a Table-1 NOP encoding. The walk's
+# alignment map doubles as the ΔBreakpad symbolication table
+# (:class:`AddressMap`).
+
+#: Fact kinds, one per baseline instruction record.
+_F_PLAIN, _F_RELOC, _F_BRANCH, _F_SLOW = range(4)
+
+#: Two-byte Table-1 encodings (the 1-byte candidate is just ``0x90``).
+_NOP_TWO_BYTE = frozenset(
+    candidate.encoding for candidate in NOP_CANDIDATES if candidate.size == 2)
+
+_DISP_PROBE_A = 0x08000000
+_DISP_PROBE_B = 0x09000000
+
+
+def _with_disp(instr, mem, disp):
+    """Clone ``instr`` with ``mem``'s displacement replaced by ``disp``,
+    preserving the encoding-relevant flags."""
+    operands = tuple(
+        Mem(base=op.base, index=op.index, scale=op.scale, disp=disp,
+            symbol=op.symbol) if op is mem else op
+        for op in instr.operands)
+    return Instr(instr.mnemonic, *operands,
+                 alternate_encoding=instr.alternate_encoding)
+
+
+def _stream_disp_field(instr, chunk, mem):
+    """Byte offset of ``mem``'s disp32 field inside ``chunk``, if provable.
+
+    Same two-probe technique as the incremental linker: encode the
+    instruction with two distinct placeholder displacements and require a
+    unique offset carrying both little-endian probe values, with every
+    byte outside the field displacement-independent and the original
+    displacement present in the shipped bytes. Returns ``None`` when any
+    of that fails — the caller falls back to per-variant re-encoding.
+    """
+    try:
+        probe_a = encode(_with_disp(instr, mem, _DISP_PROBE_A))
+        probe_b = encode(_with_disp(instr, mem, _DISP_PROBE_B))
+    except EncodingError:
+        return None
+    if len(probe_a) != len(chunk) or len(probe_b) != len(chunk):
+        return None
+    from repro.backend.linkplan import probe_field_offset
+
+    offset = probe_field_offset(probe_a, probe_b,
+                                _DISP_PROBE_A.to_bytes(4, "little"),
+                                _DISP_PROBE_B.to_bytes(4, "little"))
+    if offset is None:
+        return None
+    if chunk[offset:offset + 4] != (mem.disp & 0xFFFFFFFF).to_bytes(
+            4, "little"):
+        return None
+    if (probe_a[:offset] != chunk[:offset]
+            or probe_a[offset + 4:] != chunk[offset + 4:]):
+        return None
+    return offset
+
+
+def _build_stream_facts(baseline):
+    """Compile the baseline records into per-record matching facts.
+
+    Each fact is ``(kind, baseline_offset, size, payload)``; the caller
+    must have validated the baseline's record/image agreement and tiling
+    first, so the text slices taken here are authoritative.
+    """
+    facts = []
+    base = baseline.text_base
+    floor = baseline.data_base
+    text = baseline.text
+    for record in baseline.instr_records:
+        offset = record.address - base
+        size = record.size
+        instr = record.instr
+        chunk = text[offset:offset + size]
+        if instr.is_relative_branch:
+            target = offset + size + instr.operands[0].value
+            facts.append((_F_BRANCH, offset, size,
+                          (instr.mnemonic,
+                           JCC_MNEMONICS.get(instr.mnemonic), target)))
+            continue
+        disp_ops = [op for op in instr.operands
+                    if isinstance(op, Mem) and op.disp >= floor]
+        if not disp_ops:
+            facts.append((_F_PLAIN, offset, size, chunk))
+            continue
+        field = (_stream_disp_field(instr, chunk, disp_ops[0])
+                 if len(disp_ops) == 1 else None)
+        if field is None:
+            facts.append((_F_SLOW, offset, size, instr))
+        else:
+            facts.append((_F_RELOC, offset, size,
+                          (chunk[:field], chunk[field + 4:],
+                           disp_ops[0].disp)))
+    return facts
+
+
+def _parse_branch(v_text, offset, mnemonic, cc):
+    """``(size, rel)`` of the branch at ``offset`` if it is ``mnemonic``.
+
+    Accepts any encoding form of the mnemonic (short or near) — NOP
+    insertion may relax or shrink a branch — and returns ``None`` when
+    the bytes are not that branch at all.
+    """
+    byte0 = v_text[offset]
+    limit = len(v_text)
+    if mnemonic == "call":
+        if byte0 == 0xE8 and offset + 5 <= limit:
+            return 5, int.from_bytes(v_text[offset + 1:offset + 5],
+                                     "little", signed=True)
+        return None
+    if mnemonic == "jmp":
+        if byte0 == 0xEB and offset + 2 <= limit:
+            disp = v_text[offset + 1]
+            return 2, (disp - 256 if disp >= 128 else disp)
+        if byte0 == 0xE9 and offset + 5 <= limit:
+            return 5, int.from_bytes(v_text[offset + 1:offset + 5],
+                                     "little", signed=True)
+        return None
+    if byte0 == 0x70 + cc and offset + 2 <= limit:
+        disp = v_text[offset + 1]
+        return 2, (disp - 256 if disp >= 128 else disp)
+    if (byte0 == 0x0F and offset + 6 <= limit
+            and v_text[offset + 1] == 0x80 + cc):
+        return 6, int.from_bytes(v_text[offset + 2:offset + 6],
+                                 "little", signed=True)
+    return None
+
+
+def _slow_expected(instr, delta, floor):
+    """Expected variant bytes for an ambiguous relocated instruction:
+    re-encode with every data displacement shifted by ``delta``."""
+    operands = tuple(
+        Mem(base=op.base, index=op.index, scale=op.scale,
+            disp=op.disp + delta, symbol=op.symbol)
+        if isinstance(op, Mem) and op.disp >= floor else op
+        for op in instr.operands)
+    clone = Instr(instr.mnemonic, *operands,
+                  alternate_encoding=instr.alternate_encoding)
+    try:
+        return encode(clone)
+    except EncodingError:
+        return None
+
+
+@dataclass
+class AddressMap:
+    """Variant ↔ baseline code-address correspondence.
+
+    Byproduct of a stream-mode proof (:meth:`TransparencyProver.
+    address_map`): exact by construction, never heuristic — every entry
+    comes from the byte alignment the proof validated. This is the
+    ΔBreakpad operation for diversified crash reports: a variant stack
+    trace resolves to baseline addresses, which the (single, shared)
+    baseline symbolization then explains.
+
+    ``v2b`` maps a variant text offset at an instruction boundary to
+    ``(baseline_record_index, is_inserted_nop)``; inserted NOPs carry
+    the index of the baseline instruction they precede (``None`` for a
+    trailing run). ``b2v`` maps every baseline instruction offset (plus
+    the end-of-text sentinel) to where it moved in the variant.
+    """
+
+    baseline: object
+    variant_text_base: int
+    variant_text_size: int
+    v2b: dict
+    b2v: dict
+
+    def to_baseline(self, variant_address):
+        """Resolve one variant code address to its baseline meaning.
+
+        Returns a dict with ``status`` one of ``"exact"`` (the address
+        starts a carried baseline instruction), ``"inserted_nop"`` (a
+        diversification NOP; ``baseline_address`` names the instruction
+        it precedes), or ``"unmapped"`` (not an instruction boundary —
+        e.g. mid-instruction or outside the text segment).
+        """
+        offset = variant_address - self.variant_text_base
+        entry = self.v2b.get(offset)
+        if entry is None:
+            return {"status": "unmapped", "variant_address": variant_address}
+        index, is_nop = entry
+        if index is None:
+            return {"status": "inserted_nop",
+                    "variant_address": variant_address,
+                    "baseline_address": None, "mnemonic": None,
+                    "block_id": None}
+        record = self.baseline.instr_records[index]
+        return {"status": "inserted_nop" if is_nop else "exact",
+                "variant_address": variant_address,
+                "baseline_address": record.address,
+                "mnemonic": record.mnemonic,
+                "block_id": record.block_id}
+
+    def to_variant(self, baseline_address):
+        """Where ``baseline_address`` (an instruction boundary) moved to
+        in the variant, or ``None`` if it is not a boundary."""
+        offset = self.b2v.get(baseline_address - self.baseline.text_base)
+        if offset is None:
+            return None
+        return self.variant_text_base + offset
+
+
 #: Proof modes accepted by :meth:`TransparencyProver.prove`.
-PROOF_MODES = ("full", "records")
+PROOF_MODES = ("full", "records", "stream")
 
 
 class TransparencyProver:
@@ -424,6 +640,18 @@ class TransparencyProver:
     mode already validates every record's bytes against the image, the
     tiling check extends that validation to every byte of the image —
     the proof stays complete, without per-variant decoding.
+
+    ``prove(variant, mode="stream")`` is the serving hot path: baseline
+    records are compiled once into matching facts and the variant is
+    proven by one walk over its raw text — no variant record
+    materialization, no per-variant decoding, no operand comparison.
+    Every variant byte, code symbol, the entry point, branch targets
+    (via the alignment map) and the data image are still pinned, so the
+    proof is complete over the *image*; unlike records mode it says
+    nothing about the variant's own ``instr_records``, so callers that
+    consume those (the batch engine) keep using ``mode="records"``.
+    :meth:`address_map` returns the alignment as an :class:`AddressMap`
+    for crash-report symbolication.
     """
 
     def __init__(self, baseline, *, baseline_name="baseline",
@@ -435,6 +663,7 @@ class TransparencyProver:
         self._b_labels = _label_index(baseline)
         self._b_stream = None
         self._b_failure = None
+        self._b_facts = None
         self._decode_cache = decode_cache
 
     def _baseline_stream(self):
@@ -443,6 +672,175 @@ class TransparencyProver:
             self._b_stream, self._b_failure = _decode_stream(
                 self.baseline.text, self._decode_cache)
         return self._b_stream, self._b_failure
+
+    def _stream_facts(self):
+        """Compiled baseline facts, built on first stream-mode proof."""
+        if self._b_facts is None:
+            self._b_facts = _build_stream_facts(self.baseline)
+        return self._b_facts
+
+    def _check_stream(self, variant, findings, *, v2b=None):
+        """The fused walk: returns ``(inserted_nops, moved_to)``.
+
+        ``v2b``, when a dict, is filled with the variant-side address
+        map (offset → ``(baseline_record_index, is_inserted_nop)``).
+        """
+        baseline = self.baseline
+        facts = self._stream_facts()
+        v_text = variant.text
+        vlen = len(v_text)
+        delta = variant.data_base - baseline.data_base
+        floor = baseline.data_base
+        nop2 = _NOP_TWO_BYTE
+        inserted = 0
+        moved_to = {}
+        branch_pairs = []
+        pending = [] if v2b is not None else None
+        v_off = 0
+        for index, fact in enumerate(facts):
+            kind, b_off, size, payload = fact
+            moved_to[b_off] = v_off
+            while True:
+                if v_off >= vlen:
+                    findings.append(Finding(
+                        "verify.transparency.stream",
+                        "variant text ends before the baseline stream is "
+                        "consumed", address=variant.text_base + v_off))
+                    return inserted, moved_to
+                matched = 0
+                if kind == _F_PLAIN:
+                    if v_text[v_off:v_off + size] == payload:
+                        matched = size
+                elif kind == _F_BRANCH:
+                    parsed = _parse_branch(v_text, v_off, payload[0],
+                                           payload[1])
+                    if parsed is not None:
+                        matched, rel = parsed
+                elif kind == _F_RELOC:
+                    prefix, suffix, disp = payload
+                    expected = (prefix + ((disp + delta) & 0xFFFFFFFF)
+                                .to_bytes(4, "little") + suffix)
+                    if v_text[v_off:v_off + size] == expected:
+                        matched = size
+                else:  # _F_SLOW: ambiguous disp32 field, re-encode
+                    expected = _slow_expected(payload, delta, floor)
+                    if (expected is not None
+                            and v_text[v_off:v_off + len(expected)]
+                            == expected):
+                        matched = len(expected)
+                if matched:
+                    break
+                if v_text[v_off:v_off + 2] in nop2:
+                    nop_size = 2
+                elif v_text[v_off] == 0x90:
+                    nop_size = 1
+                else:
+                    findings.append(Finding(
+                        "verify.transparency.stream",
+                        f"variant bytes at offset {v_off:#x} are neither "
+                        f"the next baseline instruction (record at "
+                        f"{baseline.text_base + b_off:#x}) nor a Table-1 "
+                        f"NOP", address=variant.text_base + v_off))
+                    return inserted, moved_to
+                if pending is not None:
+                    pending.append(v_off)
+                inserted += 1
+                v_off += nop_size
+            if kind == _F_BRANCH:
+                branch_pairs.append((payload[2], v_off + matched + rel,
+                                     variant.text_base + v_off))
+            if v2b is not None:
+                for nop_off in pending:
+                    v2b[nop_off] = (index, True)
+                pending.clear()
+                v2b[v_off] = (index, False)
+            v_off += matched
+
+        moved_to[len(baseline.text)] = v_off
+        while v_off < vlen:
+            if v_text[v_off:v_off + 2] in nop2:
+                nop_size = 2
+            elif v_text[v_off] == 0x90:
+                nop_size = 1
+            else:
+                findings.append(Finding(
+                    "verify.transparency.stream",
+                    "trailing variant bytes are not Table-1 NOP encodings",
+                    address=variant.text_base + v_off))
+                return inserted, moved_to
+            if v2b is not None:
+                v2b[v_off] = (None, True)
+            inserted += 1
+            v_off += nop_size
+
+        for b_target, v_target, site in branch_pairs:
+            if moved_to.get(b_target) != v_target:
+                expected = moved_to.get(b_target)
+                expected_text = ("no aligned location"
+                                 if expected is None else f"{expected:#x}")
+                findings.append(Finding(
+                    "verify.transparency.branch",
+                    f"branch target not recomputed: baseline offset "
+                    f"{b_target:#x} moved to {expected_text}, variant "
+                    f"branch goes to offset {v_target:#x}", address=site))
+        return inserted, moved_to
+
+    def _check_symbols(self, variant, moved_to, findings):
+        """Code symbols and the entry point must move with the stream."""
+        base = self.baseline.text_base
+        for label, b_address in self.baseline.code_symbols.items():
+            v_offset = moved_to.get(b_address - base)
+            if (v_offset is None
+                    or variant.code_symbols.get(label) != base + v_offset):
+                findings.append(Finding(
+                    "verify.transparency.stream",
+                    f"code symbol {label!r} did not move with its "
+                    f"instruction stream", address=b_address))
+        v_entry = moved_to.get(self.baseline.entry - base)
+        if v_entry is None or variant.entry != base + v_entry:
+            findings.append(Finding(
+                "verify.transparency.stream",
+                f"entry point did not move with its instruction stream "
+                f"({self.baseline.entry:#x} -> {variant.entry:#x})",
+                address=variant.entry))
+
+    def _stream_prove(self, variant, findings, *, v2b=None):
+        """Stream-mode body: returns ``(inserted_nops, moved_to)``."""
+        for finding in (self._b_record_finding, self._b_coverage_finding):
+            if finding is not None:
+                findings.append(finding)
+                return 0, {}
+        inserted, moved_to = self._check_stream(variant, findings, v2b=v2b)
+        if not findings:
+            self._check_symbols(variant, moved_to, findings)
+        _check_data(self.baseline, variant, findings)
+        return inserted, moved_to
+
+    def address_map(self, variant, *, variant_name="variant"):
+        """Stream-prove ``variant`` and return ``(report, AddressMap)``.
+
+        The map is ``None`` unless the proof is clean — symbolication
+        through an unproven alignment would be a guess, and the serving
+        layer must report "unsymbolicatable" instead (§6 configs, plan-
+        incompatible transforms, corrupted images).
+        """
+        report = TransparencyReport(baseline_name=self.baseline_name,
+                                    variant_name=variant_name)
+        if self.baseline.text_base != variant.text_base:
+            report.findings.append(Finding(
+                "verify.transparency.stream",
+                f"text bases differ: {self.baseline.text_base:#x} vs "
+                f"{variant.text_base:#x}"))
+            return report, None
+        v2b = {}
+        inserted, moved_to = self._stream_prove(variant, report.findings,
+                                                v2b=v2b)
+        report.stats = self._stats(variant, inserted, inserted, "stream")
+        if not report.ok:
+            return report, None
+        return report, AddressMap(
+            baseline=self.baseline, variant_text_base=variant.text_base,
+            variant_text_size=len(variant.text), v2b=v2b, b2v=moved_to)
 
     def prove(self, variant, *, variant_name="variant", mode="full"):
         """One variant's transparency proof; see :func:`prove_transparency`."""
@@ -459,6 +857,11 @@ class TransparencyProver:
                 "verify.transparency.stream",
                 f"text bases differ: {baseline.text_base:#x} vs "
                 f"{variant.text_base:#x}"))
+            return report
+
+        if mode == "stream":
+            inserted, _ = self._stream_prove(variant, report.findings)
+            report.stats = self._stats(variant, inserted, inserted, mode)
             return report
 
         nops_records = _check_records(
@@ -485,14 +888,17 @@ class TransparencyProver:
                     f"record mode sees {nops_records} inserted NOP(s) "
                     f"but the byte alignment sees {nops_bytes}"))
 
-        report.stats = {
+        report.stats = self._stats(variant, nops_bytes, nops_records, mode)
+        return report
+
+    def _stats(self, variant, nops_bytes, nops_records, mode):
+        return {
             "inserted_nops": nops_bytes,
             "inserted_nops_records": nops_records,
-            "baseline_instructions": len(baseline.instr_records),
-            "text_growth": len(variant.text) - len(baseline.text),
+            "baseline_instructions": len(self.baseline.instr_records),
+            "text_growth": len(variant.text) - len(self.baseline.text),
             "mode": mode,
         }
-        return report
 
 
 def prove_transparency(baseline, variant, *, baseline_name="baseline",

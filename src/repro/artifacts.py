@@ -10,9 +10,12 @@ disk keyed by their content hash and reused by any later process.
 Layout: ``<root>/<key[:2]>/<key>.pkl`` where ``key`` is the SHA-256 over
 (cache version, source text, program name, opt level, config description,
 seed, profile JSON). Payloads are pickled
-:class:`~repro.backend.linker.LinkedBinary` objects; writes go through a
-temp file + ``os.replace`` so concurrent workers never observe a torn
-entry, and any unreadable/corrupt entry is treated as a miss.
+:class:`~repro.backend.linker.LinkedBinary` objects framed by a magic +
+length + SHA-256 header; writes go through a temp file + ``os.replace``
+so concurrent workers never observe a torn entry, and any short,
+digest-failing or otherwise corrupt entry is detected by the frame,
+retried once (a racing writer may just have finished), then unlinked
+and counted as a miss — never returned half-unpickled.
 
 The cache is opt-in: pass ``cache_dir`` to the population builders or set
 ``REPRO_CACHE_DIR``.
@@ -30,7 +33,19 @@ from repro.obs.knobs import knob_value
 
 #: Bump when variant generation, linking, or the binary layout changes
 #: meaning: stale entries from older code must never be returned.
-CACHE_VERSION = 1
+#: v2: entries are framed (magic + length + payload digest) so torn or
+#: partially-written files are detected instead of unpickled.
+CACHE_VERSION = 2
+
+#: Entry frame: magic, 8-byte little-endian payload length, SHA-256 of
+#: the payload, then the pickled binary. ``os.replace`` already makes
+#: writes atomic on POSIX; the frame guards the remaining torn-read
+#: windows — a crashed writer's leftover temp promoted by an older
+#: code path, a truncating filesystem, or a reader racing a non-atomic
+#: copy of the cache directory — by making every short or corrupt file
+#: detectable before ``pickle`` sees it.
+_ENTRY_MAGIC = b"RPVC"
+_HEADER_SIZE = len(_ENTRY_MAGIC) + 8 + 32
 
 #: The process-wide hit/miss/put totals live in the shared metrics
 #: registry (:mod:`repro.obs.metrics`) under these counter names, so
@@ -91,17 +106,60 @@ class VariantCache:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.corrupt = 0
 
     def _path(self, key):
         return os.path.join(self.root, key[:2], key + ".pkl")
 
-    def get(self, key):
-        """The cached binary for ``key``, or ``None`` on any miss/error."""
+    def _read_entry(self, path):
+        """One framed read attempt: the payload bytes, or ``None`` when
+        the file is absent, short, or fails its digest."""
         try:
-            with open(self._path(key), "rb") as handle:
-                binary = pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError,
-                ImportError, IndexError):
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return None
+        if (len(blob) < _HEADER_SIZE
+                or not blob.startswith(_ENTRY_MAGIC)):
+            return None
+        length = int.from_bytes(blob[4:12], "little")
+        payload = blob[_HEADER_SIZE:]
+        if len(payload) != length:
+            return None
+        if hashlib.sha256(payload).digest() != blob[12:_HEADER_SIZE]:
+            return None
+        return payload
+
+    def get(self, key):
+        """The cached binary for ``key``, or ``None`` on any miss/error.
+
+        Concurrent-safe: entries are framed with a length + digest
+        header, so a torn or partially-visible file is detected, retried
+        once (a racing writer's ``os.replace`` may land in between), and
+        finally removed and counted as ``cache.corrupt`` rather than
+        returned as a half-unpickled binary.
+        """
+        path = self._path(key)
+        payload = self._read_entry(path)
+        exists = os.path.exists(path)
+        if payload is None and exists:
+            payload = self._read_entry(path)  # retry: writer may finish
+        if payload is not None:
+            try:
+                binary = pickle.loads(payload)
+            except (pickle.PickleError, EOFError, AttributeError,
+                    ImportError, IndexError):
+                payload = None
+        if payload is None:
+            if exists:
+                # Framed-but-broken (or unframed v1) entry: it can never
+                # become readable, so drop it for the next writer.
+                self.corrupt += 1
+                metrics.inc("cache.corrupt")
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
             self.misses += 1
             metrics.inc("cache.misses")
             return None
@@ -112,14 +170,17 @@ class VariantCache:
     def put(self, key, binary):
         """Store ``binary`` under ``key`` (atomic, best-effort)."""
         path = self._path(key)
+        payload = pickle.dumps(binary, protocol=pickle.HIGHEST_PROTOCOL)
+        header = (_ENTRY_MAGIC + len(payload).to_bytes(8, "little")
+                  + hashlib.sha256(payload).digest())
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path),
                                             suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(binary, handle,
-                                protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(header)
+                    handle.write(payload)
                 os.replace(tmp_path, path)
             except BaseException:
                 try:
@@ -133,9 +194,9 @@ class VariantCache:
         metrics.inc("cache.puts")
 
     def stats(self):
-        """This instance's ``{"hits": .., "misses": .., "puts": ..}``."""
+        """This instance's counter snapshot (hits/misses/puts/corrupt)."""
         return {"hits": self.hits, "misses": self.misses,
-                "puts": self.puts}
+                "puts": self.puts, "corrupt": self.corrupt}
 
     def __repr__(self):
         return (f"VariantCache({self.root!r}, hits={self.hits}, "

@@ -117,14 +117,32 @@ def plan_compatible(config):
                 or config.function_reordering)
 
 
+def probe_field_offset(probe_a, probe_b, field_a, field_b):
+    """The unique offset where two probe encodings carry their values.
+
+    The two-probe disp32-location primitive shared by the incremental
+    linker and the transparency stream prover: given the same
+    instruction encoded with two distinct placeholder addresses, the
+    disp32 field is the one offset where ``probe_a`` holds ``field_a``
+    *and* ``probe_b`` holds ``field_b`` (a value search, not a byte
+    diff — probe addresses sharing low bytes would make a diff find
+    only part of the field). Returns ``None`` when no offset — or more
+    than one — qualifies.
+    """
+    sites = [offset for offset in range(len(probe_a) - 3)
+             if probe_a[offset:offset + 4] == field_a
+             and probe_b[offset:offset + 4] == field_b]
+    if len(sites) != 1:
+        return None
+    return sites[0]
+
+
 def _locate_disp32(instr, symbol_operands, addend):
     """Byte offset of the resolved ``disp32`` field in the encoding.
 
     Encodes the instruction twice with two distinct placeholder
-    addresses and finds the unique offset holding both little-endian
-    probe values (a value search, not a byte diff — probe addresses
-    sharing low bytes would make a diff find only part of the field).
-    Returns (offset, encoding with probe A in place).
+    addresses; :func:`probe_field_offset` finds the field. Returns
+    (offset, encoding with probe A in place).
     """
     probe_a = _encode_probe(instr, symbol_operands, _RELOC_PROBE_A)
     probe_b = _encode_probe(instr, symbol_operands, _RELOC_PROBE_B)
@@ -133,14 +151,11 @@ def _locate_disp32(instr, symbol_operands, addend):
             f"relocated encoding of {instr!r} is not size-stable")
     field_a = ((_RELOC_PROBE_A + addend) & 0xFFFF_FFFF).to_bytes(4, "little")
     field_b = ((_RELOC_PROBE_B + addend) & 0xFFFF_FFFF).to_bytes(4, "little")
-    sites = [offset for offset in range(len(probe_a) - 3)
-             if probe_a[offset:offset + 4] == field_a
-             and probe_b[offset:offset + 4] == field_b]
-    if len(sites) != 1:
+    offset = probe_field_offset(probe_a, probe_b, field_a, field_b)
+    if offset is None:
         raise LinkError(
-            f"cannot locate disp32 field in {instr!r} encoding "
-            f"({len(sites)} candidate sites)")
-    return sites[0], probe_a
+            f"cannot locate disp32 field in {instr!r} encoding")
+    return offset, probe_a
 
 
 def _encode_probe(instr, symbol_operands, address):

@@ -496,6 +496,30 @@ def cmd_knobs(args):
     return 1 if invalid else 0
 
 
+def cmd_serve(args):
+    """Run the variant distribution daemon (diversification-as-a-service).
+
+    Binds a TCP port (ephemeral by default; ``--port-file`` publishes
+    the chosen one for scripts) and serves per-user verified variants
+    of the preloaded — or lazily loaded — (program, config) pairs until
+    interrupted. Tuning rides the ``REPRO_SERVE_*`` knobs.
+    """
+    from repro.serve import SERVE_CONFIGS, daemon
+
+    pairs = []
+    for program in args.programs:
+        get_workload(program)  # fail fast on a typo, before binding
+        for config in (args.configs or ["0-30%"]):
+            if config not in SERVE_CONFIGS:
+                print(f"unknown config {config!r}; choose from "
+                      f"{', '.join(sorted(SERVE_CONFIGS))}",
+                      file=sys.stderr)
+                return 1
+            pairs.append((program, config))
+    return daemon.main(host=args.host, port=args.port, programs=pairs,
+                       port_file=args.port_file)
+
+
 def cmd_bench(args):
     workload = get_workload(args.name)
     build = ProgramBuild(workload.source, workload.name)
@@ -619,6 +643,25 @@ def main(argv=None):
     p.add_argument("--json", dest="json_output",
                    help="write the registry as JSON here")
     p.set_defaults(handler=cmd_knobs)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the variant distribution daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port (default: REPRO_SERVE_PORT, "
+                        "0 = ephemeral)")
+    p.add_argument("--port-file", default=None,
+                   help="write the bound port number to this file")
+    p.add_argument("--programs", nargs="*", default=[],
+                   metavar="NAME",
+                   help="workloads to compile and adopt before "
+                        "accepting traffic (others load lazily)")
+    p.add_argument("--configs", nargs="*", default=[],
+                   metavar="LABEL",
+                   help="config labels to preload for each program "
+                        "(default: 0-30%%)")
+    p.set_defaults(handler=cmd_serve)
 
     args = parser.parse_args(argv)
     return args.handler(args)

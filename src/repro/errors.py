@@ -214,6 +214,27 @@ class TransparencyError(VerificationError):
     code = "verify.transparency"
 
 
+class ServeError(ReproError):
+    """A variant-serving request could not be satisfied.
+
+    Raised (and serialized onto the wire as ``{"error": {"code": ...}}``)
+    by :mod:`repro.serve` for malformed requests, unknown programs or
+    configs, and verification failures of a to-be-served variant.
+    """
+
+    code = "serve.error"
+
+
+class ServeOverloadedError(ServeError):
+    """The daemon's bounded request queue is full (HTTP-429 analogue).
+
+    Carries the queue depth and current in-flight count in ``context``;
+    clients should back off and retry.
+    """
+
+    code = "serve.overloaded"
+
+
 #: Every stable finding code the static verifier can emit
 #: (:class:`repro.analysis.cfg.Finding` instances carry one of these).
 #: Tooling that folds verifier output into reports should match on these

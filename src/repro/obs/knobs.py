@@ -276,3 +276,33 @@ register(Knob(
     name="REPRO_FUZZ_DIR", kind="path", default=None,
     doc="On-disk fuzz corpus root (content-addressed entries, resumed "
         "across campaigns). Unset keeps the corpus in memory."))
+
+register(Knob(
+    name="REPRO_SERVE_PORT", kind="int", default=0, minimum=0,
+    doc="TCP port of the variant distribution daemon "
+        "(repro-diversify serve). 0 (default) picks a free port."))
+
+register(Knob(
+    name="REPRO_SERVE_SHARDS", kind="int", default=0, minimum=0,
+    doc="Seed-space shard count of the serve daemon — each shard is a "
+        "single-process worker pool holding the lowered unit and "
+        "compiled LinkPlan. 0 (default) = cpu count."))
+
+register(Knob(
+    name="REPRO_SERVE_QUEUE_DEPTH", kind="int", default=64, minimum=1,
+    doc="Bound on in-flight serve requests; beyond it new requests get "
+        "a typed serve.overloaded rejection (HTTP-429 analogue)."))
+
+register(Knob(
+    name="REPRO_SERVE_VERIFY", kind="choice", default="stream",
+    choices={"stream": "stream", "full": "full", "off": None,
+             "no": None, "false": None, "0": None},
+    doc="Per-request verification of served variants: 'stream' "
+        "(default — the fused transparency stream proof), 'full' "
+        "(five-pass verify_binary + transparency, ~25x slower) or "
+        "off."))
+
+register(Knob(
+    name="REPRO_SERVE_MEMO", kind="int", default=4096, minimum=0,
+    doc="Capacity of the serve daemon's in-memory response memo (the "
+        "cache-hit fast path). 0 disables memoization."))

@@ -99,6 +99,7 @@ class ProgramBuild:
             with span("lowering", program=name):
                 self.unit = lower_module(self.module, name)
         self._link_plan = None
+        self._unit_blob = None
         self._profiles = {}
         self._verify_counter = 0
         self._verified_hashes = set()
@@ -148,6 +149,18 @@ class ProgramBuild:
                 self._link_plan = build_link_plan(
                     [runtime_unit(), self.unit])
         return self._link_plan
+
+    def unit_blob(self):
+        """The lowered unit pickled once, for shipping to worker pools.
+
+        The unit is immutable after lowering, so the bytes are memoized;
+        both the population pool and the serve daemon's shard adoption
+        reuse the same blob instead of re-pickling per fan-out.
+        """
+        if self._unit_blob is None:
+            self._unit_blob = pickle.dumps(self.unit,
+                                           protocol=pickle.HIGHEST_PROTOCOL)
+        return self._unit_blob
 
     # -- post-link static verification ------------------------------------------
 
@@ -446,8 +459,7 @@ def build_population(build, config, seeds, profile=None, *, fallback=False,
 
         profile_json = profile.to_json() if profile is not None else None
         cache_root = cache.root if cache is not None else None
-        unit_blob = pickle.dumps(build.unit,
-                                 protocol=pickle.HIGHEST_PROTOCOL)
+        unit_blob = build.unit_blob()
         jobs = [(seed, keys.get(seed)) for seed in seeds]
         chunks = [jobs[index::workers] for index in range(workers)]
         with population_span, ProcessPoolExecutor(

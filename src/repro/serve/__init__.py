@@ -1,0 +1,33 @@
+"""Diversification-as-a-service: the variant distribution daemon.
+
+The paper measures diversification as a compile-time cost; this package
+operationalizes it as the app-store-style service the paper's §7
+deployment discussion sketches. ``repro-diversify serve`` runs a
+long-lived asyncio daemon that hands each requesting user a unique,
+statically verified variant of a program, amortizing compilation and
+plan/prover construction across the whole population:
+
+- :mod:`repro.serve.protocol` — the ndjson wire format and the
+  deterministic user→seed mapping;
+- :mod:`repro.serve.daemon` — the event loop: bounded admission with
+  typed ``serve.overloaded`` rejections, in-memory response memo,
+  sticky seed-space sharding over single-process worker pools;
+- :mod:`repro.serve.workers` — shard-process handlers (adopt once,
+  then diversify + plan-apply + stream-verify per request);
+- :mod:`repro.serve.symbolicate` — ΔBreakpad frame resolution through
+  the transparency proof's address map;
+- :mod:`repro.serve.client` — the synchronous client the benchmark and
+  tests use.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.daemon import SERVE_CONFIGS, VariantServer, run_server
+from repro.serve.protocol import user_seed
+
+__all__ = [
+    "SERVE_CONFIGS",
+    "ServeClient",
+    "VariantServer",
+    "run_server",
+    "user_seed",
+]

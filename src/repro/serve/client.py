@@ -1,0 +1,74 @@
+"""Synchronous client for the variant distribution daemon.
+
+A thin persistent-socket wrapper over the ndjson protocol, used by the
+load-generating benchmark, the smoke target and the tests. Responses
+with ``ok: false`` are re-raised as the typed errors the daemon
+serialized — :class:`~repro.errors.ServeOverloadedError` for
+``serve.overloaded`` so callers can implement backoff with a plain
+``except``, :class:`~repro.errors.ServeError` for everything else.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ServeError, ServeOverloadedError
+from repro.serve.protocol import MAX_LINE, decode_message, encode_message
+
+
+class ServeClient:
+    """One connection to a running daemon; requests are synchronous."""
+
+    def __init__(self, host="127.0.0.1", port=0, timeout=30.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    def close(self):
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def request(self, payload, *, raise_on_error=True):
+        """Send one request, wait for its response dict."""
+        self._sock.sendall(encode_message(payload))
+        line = self._file.readline(MAX_LINE + 1)
+        if not line:
+            raise ServeError("daemon closed the connection",
+                             context={"host": self.host,
+                                      "port": self.port})
+        response = decode_message(line)
+        if raise_on_error and not response.get("ok", False):
+            error = response.get("error") or {}
+            code = error.get("code", "serve.error")
+            cls = (ServeOverloadedError if code == "serve.overloaded"
+                   else ServeError)
+            raise cls(error.get("message", "request failed"),
+                      context=error.get("context") or {}, code=code)
+        return response
+
+    # -- operation helpers ---------------------------------------------------
+
+    def ping(self):
+        return self.request({"op": "ping"})
+
+    def stats(self):
+        return self.request({"op": "stats"})
+
+    def variant(self, program, config, user, **kwargs):
+        return self.request({"op": "variant", "program": program,
+                             "config": config, "user": user}, **kwargs)
+
+    def symbolicate(self, program, config, user, addresses, **kwargs):
+        return self.request({"op": "symbolicate", "program": program,
+                             "config": config, "user": user,
+                             "addresses": list(addresses)}, **kwargs)

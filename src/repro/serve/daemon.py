@@ -1,0 +1,462 @@
+"""The variant distribution daemon (diversification-as-a-service).
+
+A long-running asyncio TCP server implementing the paper's
+"compile once, diversify many" model at serving scale: a request names
+(program, config, user) and receives a per-user unique, statically
+verified variant description. The expensive pipeline stages are paid
+exactly once per (program, config) pair —
+
+- the parent compiles/profiles the program once
+  (:class:`ProgramState`), predicts the config's overhead analytically
+  (:func:`repro.sim.costs.predict_overhead` — zero execution, attached
+  to every response), and ships the pickled lowered unit to shard
+  workers;
+- each shard (a single-process pool, sticky by ``seed % shards``)
+  compiles its LinkPlan + TransparencyProver once and then serves each
+  request with pure per-variant work: ``diversify + apply() +
+  stream-verify``, ~9 ms on the reference host;
+- repeat requests hit the in-memory response memo (micro-seconds) or
+  the on-disk artifact cache (skips link *and* verify).
+
+Flow control is a bounded in-flight count: past
+``REPRO_SERVE_QUEUE_DEPTH`` the daemon answers with a typed
+``serve.overloaded`` rejection (the HTTP-429 analogue) instead of
+queueing unboundedly — clients back off, the event loop stays live, and
+``stats`` stays answerable under overload.
+
+Asyncio discipline: the event loop never blocks. CPU work runs in shard
+pools via ``run_in_executor``; parent-side program builds run in the
+default thread executor under a lock (the trace-span stack is
+process-global, so builds are serialized). The lint (check 5 in
+``tools/lint_errors.py``) forbids ``time.sleep`` and sync pool reads
+inside this package's async functions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import os
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.artifacts import CACHE_VERSION
+from repro.core.config import PAPER_CONFIGS, DiversificationConfig
+from repro.errors import ServeError, ServeOverloadedError
+from repro.obs import metrics
+from repro.obs.knobs import knob_value, validate_knob_value
+from repro.pipeline import ProgramBuild
+from repro.serve import workers as shard_workers
+from repro.serve.protocol import (
+    MAX_LINE, decode_message, encode_message, error_payload, user_seed,
+)
+from repro.sim.costs import predict_overhead
+from repro.workloads.registry import get_workload
+
+#: Configurations the daemon serves by label: the paper's five NOP
+#: configs plus one §6 transform config — the latter is served and
+#: structurally verified but *not* NOP-transparent, so symbolication
+#: must refuse it (the typed-fallback path the tests pin down).
+SERVE_CONFIGS = dict(PAPER_CONFIGS)
+SERVE_CONFIGS["30%+sec6"] = DiversificationConfig.uniform(
+    0.3, basic_block_shifting=True)
+
+_UNSET = object()
+
+
+class ProgramState:
+    """Parent-side per-(program, config) state, built once.
+
+    Owns everything request handling needs without touching the
+    pipeline again: the overhead prediction, the pickled unit for shard
+    adoption, and a pre-hashed cache-key prefix so the per-request
+    :func:`repro.artifacts.variant_key` digest costs two hash updates
+    instead of re-serializing the profile every time.
+    """
+
+    def __init__(self, program, config_label):
+        workload = get_workload(program)
+        config = SERVE_CONFIGS[config_label]
+        build = ProgramBuild(workload.source, workload.name)
+        profile = (build.profile(workload.train_input)
+                   if config.requires_profile else None)
+        baseline = build.link_baseline()
+        counts = build.execution_counts(workload.ref_input)
+        self.program = program
+        self.config_label = config_label
+        self.config = config
+        self.build = build
+        self.baseline_identity = baseline.identity_hash()
+        self.overhead = predict_overhead(baseline, build.unit, counts,
+                                         config, profile)
+        self.unit_blob = build.unit_blob()
+        self.profile_json = (profile.to_json()
+                             if profile is not None else None)
+        # Identical construction to artifacts.variant_key: the digest
+        # prefix covers everything up to (not including) the seed, and
+        # the profile part is pre-encoded; per request we copy the
+        # prefix and feed the remaining two parts.
+        prefix = hashlib.sha256()
+        for part in (f"v{CACHE_VERSION}", workload.source, workload.name,
+                     str(build.opt_level), repr(config)):
+            encoded = part.encode("utf-8")
+            prefix.update(len(encoded).to_bytes(8, "little"))
+            prefix.update(encoded)
+        self._key_prefix = prefix
+        self._profile_part = (self.profile_json
+                              if self.profile_json is not None
+                              else "<no-profile>").encode("utf-8")
+
+    def cache_key(self, seed):
+        """``variant_key(...)`` for one seed, from the hashed prefix."""
+        digest = self._key_prefix.copy()
+        seed_part = str(seed).encode("utf-8")
+        digest.update(len(seed_part).to_bytes(8, "little"))
+        digest.update(seed_part)
+        digest.update(len(self._profile_part).to_bytes(8, "little"))
+        digest.update(self._profile_part)
+        return digest.hexdigest()
+
+
+class VariantServer:
+    """The serve daemon: request queue, shard pools, memo, endpoints."""
+
+    def __init__(self, *, host="127.0.0.1", port=None, shards=None,
+                 queue_depth=None, verify_mode=_UNSET, memo_size=None,
+                 cache_root=_UNSET, programs=()):
+        self.host = host
+        self.port = port if port is not None else knob_value(
+            "REPRO_SERVE_PORT")
+        requested = (shards if shards is not None
+                     else knob_value("REPRO_SERVE_SHARDS"))
+        self.shards = requested or (os.cpu_count() or 1)
+        self.queue_depth = (queue_depth if queue_depth is not None
+                            else knob_value("REPRO_SERVE_QUEUE_DEPTH"))
+        self.verify_mode = (knob_value("REPRO_SERVE_VERIFY")
+                            if verify_mode is _UNSET else
+                            validate_knob_value("REPRO_SERVE_VERIFY",
+                                                verify_mode))
+        self.memo_size = (memo_size if memo_size is not None
+                          else knob_value("REPRO_SERVE_MEMO"))
+        self.cache_root = (knob_value("REPRO_CACHE_DIR")
+                           if cache_root is _UNSET else cache_root)
+        self._preload = list(programs)
+        self._states = {}
+        self._adopted = set()
+        self._memo = OrderedDict()
+        self._inflight = 0
+        self._pools = []
+        self._server = None
+        self._build_lock = None
+        self._adopt_locks = {}
+        self._started = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self):
+        """Create shard pools, preload programs, bind the socket."""
+        self._build_lock = asyncio.Lock()
+        self._pools = [ProcessPoolExecutor(max_workers=1)
+                       for _ in range(self.shards)]
+        for program, config_label in self._preload:
+            state = await self._program_state(program, config_label)
+            for shard in range(self.shards):
+                await self._ensure_adopted(state, shard)
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port,
+            limit=MAX_LINE)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self):
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self):
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        for pool in self._pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._pools = []
+
+    # -- program/shard state -------------------------------------------------
+
+    async def _program_state(self, program, config_label):
+        """The (program, config) state, built on first use.
+
+        Builds run in the default thread executor so the loop keeps
+        answering pings/stats, serialized by one lock because the trace
+        span stack is process-global.
+        """
+        if config_label not in SERVE_CONFIGS:
+            raise ServeError(
+                f"unknown config {config_label!r}; choose one of "
+                f"{sorted(SERVE_CONFIGS)}",
+                context={"config": config_label,
+                         "choices": sorted(SERVE_CONFIGS)})
+        key = (program, config_label)
+        state = self._states.get(key)
+        if state is not None:
+            return state
+        loop = asyncio.get_running_loop()
+        async with self._build_lock:
+            state = self._states.get(key)
+            if state is None:
+                state = await loop.run_in_executor(
+                    None, ProgramState, program, config_label)
+                self._states[key] = state
+                metrics.inc("serve.programs_loaded")
+        return state
+
+    async def _ensure_adopted(self, state, shard):
+        """Ship ``state`` to one shard process exactly once."""
+        key = (state.program, state.config_label)
+        if (shard, key) in self._adopted:
+            return
+        lock = self._adopt_locks.setdefault((shard, key), asyncio.Lock())
+        async with lock:
+            if (shard, key) in self._adopted:
+                return
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                self._pools[shard], shard_workers.shard_adopt, key,
+                state.unit_blob, state.config, state.profile_json,
+                self.cache_root, state.baseline_identity)
+            self._adopted.add((shard, key))
+            metrics.inc("serve.shard_adoptions")
+
+    # -- connection handling -------------------------------------------------
+
+    async def _on_connection(self, reader, writer):
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode_message(error_payload(ServeError(
+                        "request line too long",
+                        context={"limit": MAX_LINE}))))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = await self._respond(line)
+                writer.write(encode_message(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _respond(self, line):
+        began = time.monotonic()
+        op = None
+        try:
+            request = decode_message(line)
+            op = request.get("op")
+            response = await self._dispatch(op, request)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # every failure leaves typed, not torn
+            if isinstance(exc, ServeOverloadedError):
+                metrics.inc("serve.rejected")
+            else:
+                metrics.inc("serve.errors")
+            response = error_payload(exc)
+        elapsed_ms = (time.monotonic() - began) * 1000.0
+        if op in ("variant", "symbolicate"):
+            metrics.observe(f"serve.{op}_ms", elapsed_ms)
+        if isinstance(response, dict):
+            response.setdefault("latency_ms", round(elapsed_ms, 3))
+        return response
+
+    async def _dispatch(self, op, request):
+        metrics.inc("serve.requests")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            return self._stats_payload()
+        if op == "variant":
+            return await self._op_variant(request)
+        if op == "symbolicate":
+            return await self._op_symbolicate(request)
+        raise ServeError(
+            f"unknown op {op!r}",
+            context={"op": op,
+                     "choices": ["variant", "symbolicate", "stats",
+                                 "ping"]})
+
+    def _require(self, request, field):
+        value = request.get(field)
+        if not isinstance(value, str) or not value:
+            raise ServeError(f"request field {field!r} must be a "
+                             f"non-empty string",
+                             context={"field": field})
+        return value
+
+    @contextlib.contextmanager
+    def _admitted(self):
+        """Bounded-queue admission: reject, never queue unboundedly."""
+        if self._inflight >= self.queue_depth:
+            raise ServeOverloadedError(
+                "request queue is full; back off and retry",
+                context={"queue_depth": self.queue_depth,
+                         "inflight": self._inflight})
+        self._inflight += 1
+        try:
+            yield
+        finally:
+            self._inflight -= 1
+
+    # -- endpoints -----------------------------------------------------------
+
+    async def _op_variant(self, request):
+        program = self._require(request, "program")
+        config_label = self._require(request, "config")
+        user = self._require(request, "user")
+        seed = user_seed(program, config_label, user)
+        memo_key = (program, config_label, seed)
+        memo_hit = self._memo.get(memo_key)
+        if memo_hit is not None:
+            # Memo hits bypass admission: they cost microseconds and
+            # must stay servable while the cold path is saturated.
+            self._memo.move_to_end(memo_key)
+            metrics.inc("serve.memo_hits")
+            response = dict(memo_hit)
+            response["cached"] = True
+            response["source"] = "memo"
+            return response
+        with self._admitted():
+            state = await self._program_state(program, config_label)
+            shard = seed % self.shards
+            await self._ensure_adopted(state, shard)
+            cache_key = state.cache_key(seed)
+            loop = asyncio.get_running_loop()
+            payload, delta = await loop.run_in_executor(
+                self._pools[shard], shard_workers.shard_variant,
+                (program, config_label), user, cache_key,
+                self.verify_mode)
+            metrics.merge_delta(delta)
+            metrics.inc("serve.variants_served")
+            response = {
+                "ok": True,
+                "op": "variant",
+                "program": program,
+                "config": config_label,
+                "user": user,
+                "seed": payload["seed"],
+                "variant": {
+                    "identity": payload["identity"],
+                    "cache_key": cache_key,
+                    "text_bytes": payload["text_bytes"],
+                    "inserted_nops": payload["inserted_nops"],
+                    "verified": payload["verified"],
+                },
+                "overhead": state.overhead,
+                "cached": payload["from_cache"],
+                "source": ("artifact-cache" if payload["from_cache"]
+                           else "built"),
+                "shard": shard,
+            }
+            if self.memo_size:
+                self._memo[memo_key] = {
+                    key: value for key, value in response.items()
+                    if key != "latency_ms"}
+                while len(self._memo) > self.memo_size:
+                    self._memo.popitem(last=False)
+            return response
+
+    async def _op_symbolicate(self, request):
+        program = self._require(request, "program")
+        config_label = self._require(request, "config")
+        user = self._require(request, "user")
+        addresses = request.get("addresses")
+        if (not isinstance(addresses, list)
+                or not all(isinstance(a, int) for a in addresses)):
+            raise ServeError(
+                "request field 'addresses' must be a list of integers",
+                context={"field": "addresses"})
+        with self._admitted():
+            state = await self._program_state(program, config_label)
+            seed = user_seed(program, config_label, user)
+            shard = seed % self.shards
+            await self._ensure_adopted(state, shard)
+            loop = asyncio.get_running_loop()
+            payload, delta = await loop.run_in_executor(
+                self._pools[shard], shard_workers.shard_symbolicate,
+                (program, config_label), user, addresses)
+            metrics.merge_delta(delta)
+            metrics.inc("serve.symbolications")
+            return {
+                "ok": True,
+                "op": "symbolicate",
+                "program": program,
+                "config": config_label,
+                "user": user,
+                "seed": payload["seed"],
+                "symbolicatable": payload["symbolicatable"],
+                "reason": payload.get("reason"),
+                "frames": payload["frames"],
+            }
+
+    def _stats_payload(self):
+        counters = metrics.counters()
+        histograms = metrics.histograms()
+        return {
+            "ok": True,
+            "op": "stats",
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "queue": {"depth": self.queue_depth,
+                      "inflight": self._inflight},
+            "shards": {"count": self.shards,
+                       "adoptions": sorted(
+                           f"{shard}:{key[0]}/{key[1]}"
+                           for shard, key in self._adopted)},
+            "memo": {"size": len(self._memo),
+                     "capacity": self.memo_size},
+            "verify_mode": self.verify_mode or "off",
+            "programs": sorted(f"{p}/{c}" for p, c in self._states),
+            "counters": {name: value for name, value in
+                         sorted(counters.items())
+                         if name.startswith(("serve.", "cache.",
+                                             "linkplan.", "nops."))},
+            "latency": {name: stats for name, stats in
+                        sorted(histograms.items())
+                        if name.startswith("serve.")},
+        }
+
+
+async def run_server(server, *, port_file=None, announce=print):
+    """Start ``server`` and run until cancelled (the CLI entry body)."""
+    await server.start()
+    if port_file:
+        with open(port_file, "w") as handle:
+            handle.write(str(server.port))
+    announce(f"repro.serve listening on {server.host}:{server.port} "
+             f"({server.shards} shard(s), queue depth "
+             f"{server.queue_depth}, verify "
+             f"{server.verify_mode or 'off'})")
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.close()
+
+
+def main(*, host="127.0.0.1", port=None, programs=(), port_file=None,
+         announce=print):
+    """Blocking daemon entry point (``repro-diversify serve``)."""
+    server = VariantServer(host=host, port=port, programs=programs)
+    try:
+        asyncio.run(run_server(server, port_file=port_file,
+                               announce=announce))
+    except KeyboardInterrupt:
+        pass
+    return 0

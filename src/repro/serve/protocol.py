@@ -1,0 +1,94 @@
+"""Wire protocol of the variant distribution daemon.
+
+Newline-delimited JSON over TCP: each request is one JSON object on one
+line, each response one JSON object on one line, strictly in request
+order per connection. The shape mirrors the repo's typed error taxonomy
+— every failure is ``{"ok": false, "error": {"code", "message",
+"context"}}`` with a stable :class:`~repro.errors.ReproError` code, so a
+client can match on ``serve.overloaded`` (the HTTP-429 analogue) versus
+``serve.error`` versus ``verify.transparency`` without parsing prose.
+
+Operations:
+
+``variant``
+    ``{"op": "variant", "program", "config", "user"}`` → a per-user
+    unique, statically verified variant description. The user id is
+    hashed into the seed space (:func:`user_seed`), so the same user
+    always receives the same variant of a given (program, config) and
+    distinct users receive distinct seeds.
+
+``symbolicate``
+    ``{"op": "symbolicate", "program", "config", "user",
+    "addresses": [..]}`` → the ΔBreakpad operation: map variant code
+    addresses (a crash stack) back to baseline addresses through the
+    transparency proof's address map. Exact or refused — never a guess.
+
+``stats``
+    Daemon counters, queue/shard occupancy, hit rates.
+
+``ping``
+    Liveness probe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.errors import ReproError, ServeError
+
+#: Longest accepted request line (bytes). A symbolicate request carries
+#: at most a stack trace; anything larger is malformed or hostile.
+MAX_LINE = 1 << 20
+
+#: Seeds are drawn from this space; 2**63 keeps them inside the range
+#: every downstream consumer (random.Random, the cache key) handles.
+SEED_SPACE = 1 << 63
+
+
+def user_seed(program, config_label, user):
+    """The deterministic per-user seed for one (program, config).
+
+    SHA-256 of the triple, reduced into the seed space: stable across
+    daemon restarts (the "same user, same variant" contract), uniformly
+    spread across shards, and collision-free for practical populations.
+    """
+    digest = hashlib.sha256(
+        f"{program}\x00{config_label}\x00{user}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") % SEED_SPACE
+
+
+def encode_message(payload):
+    """One wire frame: compact JSON + newline, as bytes."""
+    return (json.dumps(payload, separators=(",", ":"),
+                       sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_message(line):
+    """Parse one wire frame; raises :class:`ServeError` on bad input."""
+    try:
+        payload = json.loads(line)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(f"malformed request line: {exc}",
+                         context={"reason": "bad_json"})
+    if not isinstance(payload, dict):
+        raise ServeError("request must be a JSON object",
+                         context={"reason": "not_object"})
+    return payload
+
+
+def error_payload(exc):
+    """Serialize an exception as an ``{"ok": false, "error": ...}``
+    response, preserving the typed code/context of a ReproError."""
+    if isinstance(exc, ReproError):
+        context = getattr(exc, "context", None) or {}
+        safe = {key: value for key, value in context.items()
+                if isinstance(value, (str, int, float, bool, type(None),
+                                      list, tuple, dict))}
+        return {"ok": False,
+                "error": {"code": exc.code, "message": str(exc),
+                          "context": safe}}
+    return {"ok": False,
+            "error": {"code": "serve.internal",
+                      "message": f"{type(exc).__name__}: {exc}",
+                      "context": {}}}

@@ -1,0 +1,53 @@
+"""ΔBreakpad-style frame resolution over a proven address map.
+
+The serving daemon's crash-report companion: given the
+:class:`~repro.analysis.transparency.AddressMap` a stream proof
+produced, resolve each variant code address to its baseline meaning —
+the carried baseline instruction (exact), the baseline instruction an
+inserted NOP precedes (``inserted_nop``), or a typed refusal
+(``unmapped`` for mid-instruction / out-of-text addresses). Baseline
+attribution is enriched with the owning function from
+``function_ranges``, so a diversified stack trace reads like a baseline
+one. Everything here is a lookup into proof byproducts; nothing is
+heuristic.
+"""
+
+from __future__ import annotations
+
+
+def _function_at(baseline, address):
+    """Name of the baseline function owning ``address``, or ``None``."""
+    for name, (start, end) in baseline.function_ranges.items():
+        if start <= address < end:
+            return name
+    return None
+
+
+def resolve_frames(amap, baseline, addresses):
+    """Resolve a list of variant addresses into frame dicts.
+
+    Each frame carries ``status`` (``exact`` / ``inserted_nop`` /
+    ``unmapped``), the variant address, and — when resolvable — the
+    baseline address, mnemonic, owning function, and the source block id
+    (stringified: block ids are backend-internal tuples). An inserted
+    NOP resolves to the baseline instruction it was placed in front of,
+    which is the frame a baseline-side debugger would show.
+    """
+    frames = []
+    for address in addresses:
+        entry = amap.to_baseline(address)
+        frame = {
+            "status": entry["status"],
+            "variant_address": entry["variant_address"],
+        }
+        if entry["status"] != "unmapped":
+            baseline_address = entry["baseline_address"]
+            frame["baseline_address"] = baseline_address
+            frame["mnemonic"] = entry["mnemonic"]
+            frame["block_id"] = (None if entry["block_id"] is None
+                                 else str(entry["block_id"]))
+            frame["function"] = (None if baseline_address is None
+                                 else _function_at(baseline,
+                                                   baseline_address))
+        frames.append(frame)
+    return frames

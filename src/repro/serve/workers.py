@@ -1,0 +1,208 @@
+"""Shard-worker side of the serve daemon (runs in pool processes).
+
+Mirrors the population pool protocol of :mod:`repro.pipeline`: the
+parent ships the pickled lowered unit once per (program, config) pair
+(:func:`shard_adopt`), the worker compiles its own
+:class:`~repro.backend.linkplan.LinkPlan` and
+:class:`~repro.analysis.transparency.TransparencyProver` from it, and
+every subsequent request is pure per-variant work — ``diversify +
+plan.apply() + stream-verify`` — with no front end, no optimizer, no
+lowering and no baseline re-derivation on the request path.
+
+Every handler returns ``(payload, MetricsDelta)``; the parent folds the
+delta into its own registry so cache hit/miss/put counts, NOP-insertion
+counters and ``stage.*`` timings from shard processes appear in the
+daemon's ``stats`` endpoint exactly like pool-build metrics do.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.analysis.transparency import TransparencyProver
+from repro.artifacts import VariantCache
+from repro.backend.linker import link
+from repro.backend.linkplan import build_link_plan, plan_compatible
+from repro.core.variants import diversify_unit
+from repro.errors import PlanMismatchError, ServeError
+from repro.obs import metrics
+from repro.runtime.lib import runtime_unit
+from repro.serve.protocol import user_seed
+
+#: (program, config_label) → adopted state. One entry per pair this
+#: shard process has been handed; every request reuses it.
+_SHARD_STATE = {}
+
+
+def shard_adopt(key, unit_blob, config, profile_json, cache_root,
+                baseline_identity):
+    """Install one (program, config) pair's state in this shard process.
+
+    ``baseline_identity`` is the parent's baseline hash; the worker
+    re-derives its baseline from the shipped unit and cross-checks, so
+    a parent/worker code-version skew cannot silently serve variants of
+    a different program than the parent predicted overheads for.
+    """
+    from repro.profiling.profile_data import ProfileData
+
+    unit = pickle.loads(unit_blob)
+    profile = (ProfileData.from_json(profile_json)
+               if profile_json is not None else None)
+    plan = None
+    if plan_compatible(config):
+        plan = build_link_plan([runtime_unit(), unit])
+        baseline = plan.baseline()
+    else:
+        baseline = link([runtime_unit(), unit])
+    if baseline.identity_hash() != baseline_identity:
+        raise ServeError(
+            "shard baseline disagrees with the parent's",
+            context={"program": key[0], "config": key[1],
+                     "expected": baseline_identity,
+                     "got": baseline.identity_hash()})
+    _SHARD_STATE[key] = {
+        "unit": unit,
+        "config": config,
+        "profile": profile,
+        "plan": plan,
+        "baseline": baseline,
+        "prover": TransparencyProver(baseline),
+        "cache": VariantCache(cache_root) if cache_root else None,
+    }
+    return key
+
+
+def _state_for(key):
+    state = _SHARD_STATE.get(key)
+    if state is None:
+        raise ServeError("shard has not adopted this program/config",
+                         context={"program": key[0], "config": key[1]})
+    return state
+
+
+def _build_variant(state, seed):
+    """diversify + link one seed from adopted state (the hot path)."""
+    variant = diversify_unit(state["unit"], state["config"], seed,
+                             state["profile"])
+    plan = state["plan"]
+    if plan is not None:
+        try:
+            return plan.apply(variant)
+        except PlanMismatchError:
+            metrics.inc("linkplan.fallbacks")
+    return link([runtime_unit(), variant])
+
+
+def _verify_served(state, binary, verify_mode):
+    """Gate a to-be-served binary; returns ``(how, inserted_nops)``.
+
+    ``stream`` mode runs the fused transparency stream proof when the
+    config is NOP-transparent (plan-compatible); §6 transform configs
+    are not "baseline + NOPs" by construction, so they take the full
+    five-pass structural verifier instead — with ``verify.unreachable``
+    tolerated for basic-block shifting, whose jumped-over NOP sleds are
+    unreachable bytes *on purpose*. ``full`` always runs the structural
+    verifier plus, when provable, the transparency proof. Any other
+    finding raises :class:`ServeError` — an unverified variant must
+    never leave the daemon.
+    """
+    if verify_mode is None:
+        return "off", None
+    provable = state["plan"] is not None
+    if verify_mode == "stream" and provable:
+        report = state["prover"].prove(binary, mode="stream")
+        if not report.ok:
+            raise ServeError(
+                "served variant failed its transparency stream proof",
+                context={"findings": [f.describe()
+                                      for f in report.findings[:10]]})
+        return "stream", report.stats["inserted_nops"]
+    from repro.analysis.passes import verify_binary
+    report = verify_binary(binary, name="served-variant")
+    tolerated = ({"verify.unreachable"}
+                 if state["config"].basic_block_shifting else set())
+    findings = [f for f in report.findings if f.code not in tolerated]
+    if findings:
+        raise ServeError(
+            "served variant failed static verification",
+            context={"findings": [f.describe() for f in findings[:10]]})
+    if verify_mode == "full" and provable:
+        report = state["prover"].prove(binary, mode="full")
+        if not report.ok:
+            raise ServeError(
+                "served variant failed its transparency proof",
+                context={"findings": [f.describe()
+                                      for f in report.findings[:10]]})
+        return "full", report.stats["inserted_nops"]
+    return "structural", None
+
+
+def shard_variant(key, user, cache_key, verify_mode):
+    """Serve one variant request; returns ``(payload, delta)``.
+
+    The artifact cache is consulted first — a hit skips diversify, link
+    *and* verify (entries were verified before :func:`VariantCache.put`,
+    and the framed read guard rejects torn files), which is the on-disk
+    half of the cache-hit fast path. Misses build, verify, then publish
+    to the cache for every later process.
+    """
+    before = metrics.snapshot()
+    state = _state_for(key)
+    seed = user_seed(key[0], key[1], user)
+    cache = state["cache"]
+    binary = (cache.get(cache_key)
+              if cache is not None and cache_key else None)
+    from_cache = binary is not None
+    if binary is None:
+        binary = _build_variant(state, seed)
+        verified, inserted = _verify_served(state, binary, verify_mode)
+        if cache is not None and cache_key:
+            cache.put(cache_key, binary)
+    else:
+        verified, inserted = "cached", None
+    metrics.inc("serve.worker.variants")
+    payload = {
+        "seed": seed,
+        "identity": binary.identity_hash(),
+        "text_bytes": len(binary.text),
+        "inserted_nops": inserted,
+        "verified": verified,
+        "from_cache": from_cache,
+    }
+    return payload, metrics.delta_since(before)
+
+
+def shard_symbolicate(key, user, addresses, frame_limit=256):
+    """Symbolicate variant addresses; returns ``(payload, delta)``.
+
+    Stateless ΔBreakpad: the user's variant is rebuilt deterministically
+    from its seed and the stream proof's :class:`AddressMap` resolves
+    each address — so symbolication needs no per-served-variant storage,
+    only the determinism the cache key already relies on. A config that
+    is not NOP-transparent (§6 transforms) or a variant whose proof
+    fails reports ``symbolicatable: false`` with a typed reason rather
+    than guessing.
+    """
+    before = metrics.snapshot()
+    state = _state_for(key)
+    seed = user_seed(key[0], key[1], user)
+    if state["plan"] is None:
+        metrics.inc("serve.worker.unsymbolicatable")
+        payload = {"seed": seed, "symbolicatable": False,
+                   "reason": "config_not_nop_transparent", "frames": None}
+        return payload, metrics.delta_since(before)
+    binary = _build_variant(state, seed)
+    report, amap = state["prover"].address_map(binary)
+    if amap is None:
+        metrics.inc("serve.worker.unsymbolicatable")
+        payload = {"seed": seed, "symbolicatable": False,
+                   "reason": "transparency_proof_failed",
+                   "findings": [f.describe() for f in report.findings[:10]],
+                   "frames": None}
+        return payload, metrics.delta_since(before)
+    from repro.serve.symbolicate import resolve_frames
+    frames = resolve_frames(amap, state["baseline"],
+                            addresses[:frame_limit])
+    metrics.inc("serve.worker.symbolications")
+    payload = {"seed": seed, "symbolicatable": True, "frames": frames}
+    return payload, metrics.delta_since(before)

@@ -31,7 +31,8 @@ from __future__ import annotations
 import weakref
 from dataclasses import dataclass, replace
 
-from repro.x86.instructions import Mem, SETCC_MNEMONICS
+from repro.core.policies import block_probability_function
+from repro.x86.instructions import Instr, Mem, SETCC_MNEMONICS
 from repro.x86.nops import is_nop_candidate_instr
 
 
@@ -207,6 +208,76 @@ class CostEvaluator:
         """Cycles of ``binary`` under block execution counts."""
         return cycles_from_cost_table(self.table(binary), counts,
                                       self.model)
+
+
+def insertion_sites_per_block(unit):
+    """``{block_id: instruction count}`` over the diversifiable functions.
+
+    Every instruction of a diversifiable function is one potential NOP
+    insertion site (the pass rolls once per instruction and inserts
+    *before* it); runtime-library functions pass through the diversifier
+    untouched and contribute no sites.
+    """
+    sites = {}
+    for function_code in unit.functions:
+        if not function_code.diversifiable:
+            continue
+        for item in function_code.items:
+            if isinstance(item, Instr):
+                sites[item.block_id] = sites.get(item.block_id, 0) + 1
+    return sites
+
+
+def predict_overhead(baseline, unit, counts, config, profile=None,
+                     model=DEFAULT_COST_MODEL, sites=None):
+    """Zero-execution overhead prediction for an *unbuilt* config.
+
+    The expectation of the NOP-insertion transform under the cost model,
+    with no variant linked and nothing simulated: each instruction of a
+    diversifiable block is an insertion site that adds one NOP with
+    probability ``p(block)`` (from :func:`block_probability_function` —
+    the same policy the real pass rolls against), and an inserted NOP
+    costs the candidate-set mean issue bandwidth and no memory-port
+    time. So per block::
+
+        E[added issue] = sites × p(block) × mean_candidate_issue
+
+    and predicted cycles re-evaluate the two-resource block cost with
+    the extra issue folded in. This is the serving-time estimate: exact
+    in expectation over seeds for NOP insertion (individual seeds
+    deviate by the binomial spread), and a NOP-only approximation for
+    §6 transform configs. ``sites`` optionally passes a precomputed
+    :func:`insertion_sites_per_block` map.
+
+    Returns ``{"baseline_cycles", "predicted_cycles",
+    "predicted_overhead"}``.
+    """
+    policy = block_probability_function(config, profile)
+    candidates = config.nop_candidates
+    mean_issue = (sum(model.xchg_nop_issue if c.locks_bus else model.nop_issue
+                      for c in candidates) / len(candidates))
+    if sites is None:
+        sites = insertion_sites_per_block(unit)
+    table = evaluator_for(model).table(baseline)
+    kappa = model.overlap_factor
+    base = 0.0
+    predicted = 0.0
+    for block_id, (issue, memory) in table.items():
+        count = counts.get(block_id, 0)
+        if not count:
+            continue
+        base += count * (max(issue, memory) + kappa * min(issue, memory))
+        block_sites = sites.get(block_id)
+        if block_sites:
+            issue = issue + block_sites * policy(block_id) * mean_issue
+        predicted += count * (max(issue, memory)
+                              + kappa * min(issue, memory))
+    overhead = (predicted / base - 1.0) if base else 0.0
+    return {
+        "baseline_cycles": base,
+        "predicted_cycles": predicted,
+        "predicted_overhead": overhead,
+    }
 
 
 #: model → shared CostEvaluator (CostModel is frozen/hashable). Ablation

@@ -1,0 +1,155 @@
+"""Stream-mode transparency proofs and the AddressMap they produce.
+
+The stream proof is the serving daemon's per-request verifier: one walk
+over the variant's raw text against precompiled baseline facts, no
+variant record materialization. These tests pin down (a) verdict parity
+with the two existing modes on genuine variants, (b) rejection of
+corrupted ones, and (c) the exactness of the derived address map.
+"""
+
+import dataclasses
+from functools import lru_cache
+
+import pytest
+
+from repro.analysis import TransparencyProver
+from repro.core.config import DiversificationConfig
+from repro.pipeline import ProgramBuild
+from repro.workloads.registry import get_workload
+
+WORKLOADS = ("429.mcf", "462.libquantum", "470.lbm")
+
+CONFIGS = {
+    "uniform-50%": DiversificationConfig.uniform(0.50),
+    "0-30%": DiversificationConfig.profile_guided(0.00, 0.30),
+}
+
+
+@lru_cache(maxsize=None)
+def _state(name):
+    workload = get_workload(name)
+    build = ProgramBuild(workload.source, workload.name)
+    return workload, build, build.link_baseline()
+
+
+@lru_cache(maxsize=None)
+def _prover(name):
+    return TransparencyProver(_state(name)[2])
+
+
+@lru_cache(maxsize=None)
+def _variant(name, config_name, seed):
+    workload, build, _baseline = _state(name)
+    config = CONFIGS[config_name]
+    profile = (build.profile(workload.train_input)
+               if config.requires_profile else None)
+    return build.link_variant(config, seed, profile)
+
+
+def _retext(binary, offset, payload):
+    text = bytearray(binary.text)
+    text[offset:offset + len(payload)] = payload
+    return dataclasses.replace(binary, text=bytes(text))
+
+
+# -- parity with the records/full modes -------------------------------------
+
+@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_stream_matches_records_verdict(name, config_name):
+    prover = _prover(name)
+    for seed in (0, 1, 2):
+        variant = _variant(name, config_name, seed)
+        stream = prover.prove(variant, mode="stream")
+        records = prover.prove(variant, mode="records")
+        assert stream.ok and records.ok
+        assert (stream.stats["inserted_nops"]
+                == records.stats["inserted_nops"])
+        assert stream.stats["mode"] == "stream"
+
+
+def test_baseline_proves_against_itself_with_zero_nops():
+    _w, _b, baseline = _state("429.mcf")
+    report = _prover("429.mcf").prove(baseline, mode="stream")
+    assert report.ok
+    assert report.stats["inserted_nops"] == 0
+
+
+# -- corruption is rejected -------------------------------------------------
+
+def test_stream_rejects_corrupted_byte():
+    variant = _variant("429.mcf", "uniform-50%", 0)
+    corrupt = _retext(variant, len(variant.text) // 2,
+                      bytes([variant.text[len(variant.text) // 2] ^ 0x01]))
+    report = _prover("429.mcf").prove(corrupt, mode="stream")
+    assert not report.ok
+    assert any(f.code.startswith("verify.transparency")
+               for f in report.findings)
+
+
+def test_stream_rejects_cross_config_baseline():
+    # A §6-transformed variant is not "baseline + NOPs" and must fail.
+    workload, build, _baseline = _state("429.mcf")
+    shifted = build.link_variant(
+        DiversificationConfig.uniform(0.3, basic_block_shifting=True), 7)
+    report = _prover("429.mcf").prove(shifted, mode="stream")
+    assert not report.ok
+
+
+# -- the address map --------------------------------------------------------
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_address_map_round_trips_every_instruction(config_name):
+    _w, _b, baseline = _state("429.mcf")
+    prover = _prover("429.mcf")
+    variant = _variant("429.mcf", config_name, 1)
+    report, amap = prover.address_map(variant)
+    assert report.ok and amap is not None
+    # Every carried instruction appears exactly once as a non-NOP entry.
+    carried = {index: offset for offset, (index, is_nop)
+               in amap.v2b.items() if not is_nop}
+    assert sorted(carried) == list(range(len(baseline.instr_records)))
+    for index, record in enumerate(baseline.instr_records):
+        exact = amap.to_baseline(amap.variant_text_base + carried[index])
+        assert exact["status"] == "exact"
+        assert exact["baseline_address"] == record.address
+        assert exact["mnemonic"] == record.mnemonic
+        # b→v lands at the head of the instruction's slot: the carried
+        # instruction itself, or the inserted-NOP run in front of it —
+        # either way it resolves back to this same baseline address
+        # (the breakpoint/branch-target semantics the linker uses).
+        moved = amap.to_variant(record.address)
+        assert moved is not None
+        entry = amap.to_baseline(moved)
+        assert entry["baseline_address"] == record.address
+
+
+def test_address_map_classifies_inserted_nops():
+    prover = _prover("429.mcf")
+    variant = _variant("429.mcf", "uniform-50%", 2)
+    report, amap = prover.address_map(variant)
+    assert amap is not None
+    inserted = [offset for offset, (_idx, is_nop) in amap.v2b.items()
+                if is_nop]
+    assert len(inserted) == report.stats["inserted_nops"]
+    for offset in inserted[:50]:
+        entry = amap.to_baseline(amap.variant_text_base + offset)
+        assert entry["status"] == "inserted_nop"
+
+
+def test_address_map_refuses_unproven_variant():
+    variant = _variant("429.mcf", "uniform-50%", 3)
+    corrupt = _retext(variant, 32, b"\xcc")
+    report, amap = _prover("429.mcf").address_map(corrupt)
+    assert not report.ok
+    assert amap is None
+
+
+def test_address_map_unmapped_outside_boundaries():
+    _w, _b, baseline = _state("429.mcf")
+    _report, amap = _prover("429.mcf").address_map(
+        _variant("429.mcf", "uniform-50%", 1))
+    assert amap.to_baseline(0)["status"] == "unmapped"
+    assert amap.to_baseline(
+        amap.variant_text_base + amap.variant_text_size + 64
+    )["status"] == "unmapped"

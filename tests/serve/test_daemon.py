@@ -1,0 +1,210 @@
+"""End-to-end tests of the serve daemon over real TCP.
+
+One daemon boots per module (mcf preloaded, one shard) and every test
+drives it through :class:`~repro.serve.client.ServeClient` — the same
+path production traffic takes: ndjson framing, typed wire errors,
+per-user determinism, the memo fast path, symbolication, bounded-queue
+backpressure and the stats endpoint.
+"""
+
+import asyncio
+import contextlib
+import threading
+
+import pytest
+
+from repro.errors import ServeError, ServeOverloadedError
+from repro.serve import ServeClient, VariantServer
+from repro.serve.protocol import encode_message, user_seed
+
+PROGRAM = "429.mcf"
+CONFIG = "0-30%"
+
+
+class DaemonThread:
+    """A VariantServer running on its own event-loop thread."""
+
+    def __init__(self, **kwargs):
+        self.server = VariantServer(port=0, **kwargs)
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        serving = asyncio.create_task(self.server.serve_forever())
+        await self._stop.wait()
+        serving.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serving
+        await self.server.close()
+
+    def start(self):
+        self._thread.start()
+        self._ready.wait(timeout=120)
+        return self
+
+    def stop(self):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    runner = DaemonThread(shards=1,
+                          programs=[(PROGRAM, CONFIG)]).start()
+    yield runner
+    runner.stop()
+
+
+@pytest.fixture
+def client(daemon):
+    with ServeClient(port=daemon.server.port) as connection:
+        yield connection
+
+
+def test_ping(client):
+    assert client.ping()["ok"]
+
+
+def test_variant_is_deterministic_per_user(client):
+    first = client.variant(PROGRAM, CONFIG, "determinism")
+    second = client.variant(PROGRAM, CONFIG, "determinism")
+    assert first["seed"] == user_seed(PROGRAM, CONFIG, "determinism")
+    assert second["variant"]["identity"] == first["variant"]["identity"]
+    assert first["variant"]["verified"] == "stream"
+    assert first["variant"]["inserted_nops"] > 0
+
+
+def test_distinct_users_get_distinct_variants(client):
+    identities = {client.variant(PROGRAM, CONFIG,
+                                 f"distinct-{index}")["variant"]["identity"]
+                  for index in range(5)}
+    assert len(identities) == 5
+
+
+def test_response_carries_overhead_estimate(client):
+    response = client.variant(PROGRAM, CONFIG, "overhead")
+    overhead = response["overhead"]
+    assert overhead["predicted_cycles"] > overhead["baseline_cycles"] > 0
+    assert 0 < overhead["predicted_overhead"] < 1
+
+
+def test_repeat_request_hits_the_memo(client):
+    client.variant(PROGRAM, CONFIG, "memo-user")
+    repeat = client.variant(PROGRAM, CONFIG, "memo-user")
+    assert repeat["cached"] is True
+    assert repeat["source"] == "memo"
+
+
+def test_symbolicate_round_trips_the_entry_point(daemon, client):
+    state = daemon.server._states[(PROGRAM, CONFIG)]
+    entry = state.build.link_baseline().entry
+    response = client.symbolicate(PROGRAM, CONFIG, "sym-user", [entry, 2])
+    assert response["symbolicatable"]
+    exact, unmapped = response["frames"]
+    assert exact["status"] == "exact"
+    assert exact["baseline_address"] == entry
+    assert unmapped["status"] == "unmapped"
+
+
+def test_sec6_config_is_served_but_not_symbolicatable(client):
+    served = client.variant(PROGRAM, "30%+sec6", "sec6-user")
+    assert served["ok"]
+    assert served["variant"]["verified"] == "structural"
+    response = client.symbolicate(PROGRAM, "30%+sec6", "sec6-user", [4096])
+    assert response["symbolicatable"] is False
+    assert response["reason"] == "config_not_nop_transparent"
+
+
+def test_unknown_op_is_a_typed_error(client):
+    response = client.request({"op": "frobnicate"}, raise_on_error=False)
+    assert response["ok"] is False
+    assert response["error"]["code"] == "serve.error"
+    with pytest.raises(ServeError):
+        client.request({"op": "frobnicate"})
+
+
+def test_unknown_config_lists_choices(client):
+    response = client.request(
+        {"op": "variant", "program": PROGRAM, "config": "nope",
+         "user": "u"}, raise_on_error=False)
+    assert response["error"]["code"] == "serve.error"
+    assert "30%+sec6" in response["error"]["context"]["choices"]
+
+
+def test_missing_field_is_rejected(client):
+    response = client.request({"op": "variant", "program": PROGRAM},
+                              raise_on_error=False)
+    assert response["ok"] is False
+
+
+def test_malformed_json_line_is_rejected(daemon):
+    import socket
+
+    with socket.create_connection(("127.0.0.1", daemon.server.port),
+                                  timeout=30) as raw:
+        raw.sendall(b"this is not json\n")
+        line = raw.makefile("rb").readline()
+    import json
+    response = json.loads(line)
+    assert response["ok"] is False
+    assert response["error"]["context"]["reason"] == "bad_json"
+
+
+def test_backpressure_rejects_with_typed_code(daemon):
+    """Pinch the queue and burst: some requests must be rejected with
+    ``serve.overloaded`` while the daemon keeps serving the rest."""
+    original = daemon.server.queue_depth
+    daemon.server.queue_depth = 1
+    rejected = []
+    completed = []
+    lock = threading.Lock()
+
+    def worker(index):
+        with ServeClient(port=daemon.server.port) as connection:
+            for request in range(3):
+                try:
+                    connection.variant(PROGRAM, CONFIG,
+                                       f"burst-{index}-{request}")
+                except ServeOverloadedError as exc:
+                    with lock:
+                        rejected.append(exc.context["queue_depth"])
+                else:
+                    with lock:
+                        completed.append(request)
+
+    try:
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        daemon.server.queue_depth = original
+    assert rejected, "burst past queue depth 1 must trip backpressure"
+    assert completed, "admitted requests must still complete"
+    assert all(depth == 1 for depth in rejected)
+    # The daemon is healthy afterwards.
+    with ServeClient(port=daemon.server.port) as connection:
+        assert connection.ping()["ok"]
+
+
+def test_stats_reports_counters_and_occupancy(client):
+    client.variant(PROGRAM, CONFIG, "stats-user")
+    stats = client.stats()
+    assert stats["queue"]["depth"] >= 1
+    assert stats["shards"]["count"] == 1
+    assert f"{PROGRAM}/{CONFIG}" in stats["programs"]
+    assert stats["counters"]["serve.variants_served"] > 0
+    assert stats["counters"]["serve.worker.variants"] > 0
+    assert "serve.variant_ms" in stats["latency"]
+    assert stats["verify_mode"] == "stream"

@@ -1,0 +1,114 @@
+"""Symbolication round-trips through the serve worker layer.
+
+For every workload in the registry × both paper configs: adopt the
+(program, config) pair exactly as a shard process would, pick real
+baseline instructions, find where they live in the user's variant via
+the proof's address map, and ask :func:`shard_symbolicate` to map those
+variant addresses back — the answer must name the original baseline
+instruction exactly (address, mnemonic, owning function). A §6
+transform config must instead refuse with a typed
+"config_not_nop_transparent" reason: never a guess.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.core.config import DiversificationConfig
+from repro.pipeline import ProgramBuild
+from repro.serve import workers
+from repro.serve.protocol import user_seed
+from repro.workloads.registry import get_workload, workload_names
+
+CONFIGS = {
+    "uniform-50%": DiversificationConfig.uniform(0.50),
+    "0-30%": DiversificationConfig.profile_guided(0.00, 0.30),
+}
+
+
+@lru_cache(maxsize=None)
+def _build(name):
+    workload = get_workload(name)
+    build = ProgramBuild(workload.source, workload.name)
+    return workload, build, build.link_baseline()
+
+
+@lru_cache(maxsize=None)
+def _adopt(name, config_label):
+    """Adopt (name, config) in-process, exactly like a shard would."""
+    workload, build, baseline = _build(name)
+    config = CONFIGS[config_label]
+    profile = (build.profile(workload.train_input)
+               if config.requires_profile else None)
+    key = (name, config_label)
+    workers.shard_adopt(key, build.unit_blob(), config,
+                        profile.to_json() if profile is not None else None,
+                        None, baseline.identity_hash())
+    return key, baseline
+
+
+@pytest.mark.parametrize("name", workload_names())
+@pytest.mark.parametrize("config_label", sorted(CONFIGS))
+def test_round_trip(name, config_label):
+    key, baseline = _adopt(name, config_label)
+    user = f"rt-{name}"
+    seed = user_seed(name, config_label, user)
+    # The test derives the expected mapping independently from the
+    # worker's own proof byproducts, then round-trips through the
+    # public symbolication entry point.
+    state = workers._SHARD_STATE[key]
+    variant = workers._build_variant(state, seed)
+    report, amap = state["prover"].address_map(variant)
+    assert report.ok and amap is not None
+    carried = {index: offset for offset, (index, is_nop)
+               in amap.v2b.items() if not is_nop}
+    records = baseline.instr_records
+    probe_indices = list(range(0, len(records), max(1, len(records) // 40)))
+    addresses = [amap.variant_text_base + carried[index]
+                 for index in probe_indices]
+    payload, _delta = workers.shard_symbolicate(key, user, addresses)
+    assert payload["symbolicatable"]
+    assert payload["seed"] == seed
+    assert len(payload["frames"]) == len(addresses)
+    for index, frame in zip(probe_indices, payload["frames"]):
+        record = records[index]
+        assert frame["status"] == "exact"
+        assert frame["baseline_address"] == record.address
+        assert frame["mnemonic"] == record.mnemonic
+        expected_function = next(
+            (fn for fn, (start, end) in baseline.function_ranges.items()
+             if start <= record.address < end), None)
+        assert frame["function"] == expected_function
+
+
+def test_mid_instruction_and_out_of_text_are_unmapped():
+    key, baseline = _adopt("429.mcf", "uniform-50%")
+    payload, _delta = workers.shard_symbolicate(
+        key, "unmapped-user", [0, baseline.text_base - 1, 1 << 30])
+    assert payload["symbolicatable"]
+    assert all(frame["status"] == "unmapped"
+               for frame in payload["frames"])
+
+
+def test_sec6_config_reports_unsymbolicatable():
+    workload, build, baseline = _build("429.mcf")
+    key = ("429.mcf", "sec6-test")
+    workers.shard_adopt(
+        key, build.unit_blob(),
+        DiversificationConfig.uniform(0.3, basic_block_shifting=True),
+        None, None, baseline.identity_hash())
+    payload, _delta = workers.shard_symbolicate(
+        key, "sec6-user", [baseline.text_base])
+    assert payload["symbolicatable"] is False
+    assert payload["reason"] == "config_not_nop_transparent"
+    assert payload["frames"] is None
+
+
+def test_adopt_rejects_baseline_identity_skew():
+    from repro.errors import ServeError
+
+    workload, build, baseline = _build("429.mcf")
+    with pytest.raises(ServeError):
+        workers.shard_adopt(("429.mcf", "skew-test"), build.unit_blob(),
+                            CONFIGS["uniform-50%"], None, None,
+                            "not-the-real-identity")

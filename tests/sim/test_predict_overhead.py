@@ -1,0 +1,93 @@
+"""The analytic overhead predictor (zero-execution serving estimate).
+
+``predict_overhead`` folds insertion-site counts × per-block insertion
+probability × mean NOP issue cost into the memoized block-cost core —
+no variant is linked or simulated. Its contract: exact in expectation
+over seeds, so the prediction must land inside the measured per-seed
+overhead spread and close to the measured mean.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.core.config import DiversificationConfig
+from repro.pipeline import ProgramBuild
+from repro.sim.batch import population_cycles
+from repro.sim.costs import insertion_sites_per_block, predict_overhead
+from repro.workloads.registry import get_workload
+
+CONFIGS = {
+    "uniform-50%": DiversificationConfig.uniform(0.50),
+    "0-30%": DiversificationConfig.profile_guided(0.00, 0.30),
+}
+
+SEEDS = range(8)
+
+
+@lru_cache(maxsize=None)
+def _state(name):
+    workload = get_workload(name)
+    build = ProgramBuild(workload.source, workload.name)
+    return workload, build, build.link_baseline()
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_prediction_matches_measured_population_mean(config_name):
+    workload, build, baseline = _state("429.mcf")
+    config = CONFIGS[config_name]
+    profile = (build.profile(workload.train_input)
+               if config.requires_profile else None)
+    counts = build.execution_counts(workload.ref_input)
+
+    predicted = predict_overhead(baseline, build.unit, counts, config,
+                                 profile)
+    assert predicted["baseline_cycles"] > 0
+    assert predicted["predicted_cycles"] > predicted["baseline_cycles"]
+
+    variants = [build.link_variant(config, seed, profile)
+                for seed in SEEDS]
+    baseline_cycles, variant_cycles = population_cycles(
+        baseline, variants, counts)
+    overheads = [cycles / baseline_cycles - 1.0
+                 for cycles in variant_cycles]
+    mean = sum(overheads) / len(overheads)
+    # Exact in expectation: close to the seed mean, inside the spread
+    # (widened by a hair — 8 seeds is a small sample).
+    assert abs(predicted["predicted_overhead"] - mean) <= max(
+        0.25 * mean, 0.005)
+    assert (min(overheads) * 0.8
+            <= predicted["predicted_overhead"]
+            <= max(overheads) * 1.2)
+
+
+def test_zero_probability_predicts_zero_overhead():
+    workload, build, baseline = _state("429.mcf")
+    counts = build.execution_counts(workload.ref_input)
+    predicted = predict_overhead(baseline, build.unit, counts,
+                                 DiversificationConfig.uniform(0.0))
+    assert predicted["predicted_overhead"] == pytest.approx(0.0)
+    assert predicted["predicted_cycles"] == pytest.approx(
+        predicted["baseline_cycles"])
+
+
+def test_overhead_grows_with_probability():
+    workload, build, baseline = _state("429.mcf")
+    counts = build.execution_counts(workload.ref_input)
+    overheads = [
+        predict_overhead(baseline, build.unit, counts,
+                         DiversificationConfig.uniform(p))
+        ["predicted_overhead"]
+        for p in (0.1, 0.3, 0.5, 1.0)]
+    assert overheads == sorted(overheads)
+    assert overheads[0] > 0
+
+
+def test_insertion_sites_cover_diversifiable_blocks():
+    _workload, build, baseline = _state("429.mcf")
+    sites = insertion_sites_per_block(build.unit)
+    assert sites
+    assert all(count > 0 for count in sites.values())
+    # Site counts total the diversifiable instruction count — one
+    # potential insertion point per instruction, as in the paper.
+    assert sum(sites.values()) <= len(baseline.instr_records)

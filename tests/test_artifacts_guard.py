@@ -1,0 +1,139 @@
+"""VariantCache concurrent-reader/writer guard (the framed entry format).
+
+The serve daemon's shard workers and population-pool workers read and
+write the same cache directory concurrently; these tests pin the
+guarantees the framing gives them: torn/partial files are detected and
+quarantined (never returned as a half-unpickled binary), unframed v1
+entries are invalidated, a racing writer's completed ``os.replace`` is
+picked up by the read retry, and concurrent writers of the same key
+never produce a corrupt read.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.artifacts import VariantCache, _ENTRY_MAGIC, _HEADER_SIZE
+from repro.pipeline import compile_and_link
+
+SOURCE = """
+int main() {
+  int total = 0;
+  for (int index = 0; index < 10; index = index + 1) {
+    total = total + index;
+  }
+  return total;
+}
+"""
+
+
+@pytest.fixture
+def binary():
+    return compile_and_link(SOURCE, "guard")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return VariantCache(tmp_path)
+
+
+def _entry_path(cache, key):
+    return os.path.join(cache.root, key[:2], key + ".pkl")
+
+
+def test_round_trip(cache, binary):
+    cache.put("a" * 64, binary)
+    assert cache.get("a" * 64).identity_hash() == binary.identity_hash()
+    assert cache.stats() == {"hits": 1, "misses": 0, "puts": 1,
+                             "corrupt": 0}
+
+
+def test_truncated_entry_is_quarantined(cache, binary):
+    key = "b" * 64
+    cache.put(key, binary)
+    path = _entry_path(cache, key)
+    blob = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(blob[:len(blob) // 2])  # torn write / partial copy
+    assert cache.get(key) is None
+    assert cache.corrupt == 1
+    assert not os.path.exists(path), "corrupt entry must be unlinked"
+    # The slot is usable again.
+    cache.put(key, binary)
+    assert cache.get(key) is not None
+
+
+def test_unframed_v1_entry_is_invalidated(cache, binary):
+    import pickle
+
+    key = "c" * 64
+    path = _entry_path(cache, key)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "wb") as handle:
+        pickle.dump(binary, handle)  # pre-framing format: no header
+    assert cache.get(key) is None
+    assert cache.corrupt == 1
+    assert not os.path.exists(path)
+
+
+def test_flipped_payload_bit_fails_digest(cache, binary):
+    key = "d" * 64
+    cache.put(key, binary)
+    path = _entry_path(cache, key)
+    blob = bytearray(open(path, "rb").read())
+    blob[_HEADER_SIZE + 10] ^= 0x40
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+    assert cache.get(key) is None
+    assert cache.corrupt == 1
+
+
+def test_header_survives_format_assumptions(cache, binary):
+    key = "e" * 64
+    cache.put(key, binary)
+    blob = open(_entry_path(cache, key), "rb").read()
+    assert blob.startswith(_ENTRY_MAGIC)
+    length = int.from_bytes(blob[len(_ENTRY_MAGIC):len(_ENTRY_MAGIC) + 8],
+                            "little")
+    assert len(blob) == _HEADER_SIZE + length
+
+
+def test_concurrent_writers_and_readers_never_see_torn_data(tmp_path,
+                                                            binary):
+    """Hammer one key from writer and reader threads.
+
+    Readers through independent cache handles must only ever observe
+    ``None`` (entry not visible yet) or a binary whose identity matches
+    — never an exception or a wrong payload — and nothing may be
+    counted corrupt, since ``os.replace`` publishes entries atomically.
+    """
+    key = "f" * 64
+    expected = binary.identity_hash()
+    failures = []
+    stop = threading.Event()
+
+    def writer():
+        writer_cache = VariantCache(tmp_path)
+        for _ in range(30):
+            writer_cache.put(key, binary)
+
+    def reader():
+        reader_cache = VariantCache(tmp_path)
+        while not stop.is_set():
+            got = reader_cache.get(key)
+            if got is not None and got.identity_hash() != expected:
+                failures.append("wrong payload")
+        if reader_cache.corrupt:
+            failures.append(f"corrupt={reader_cache.corrupt}")
+
+    readers = [threading.Thread(target=reader) for _ in range(3)]
+    writers = [threading.Thread(target=writer) for _ in range(2)]
+    for thread in readers + writers:
+        thread.start()
+    for thread in writers:
+        thread.join()
+    stop.set()
+    for thread in readers:
+        thread.join()
+    assert not failures

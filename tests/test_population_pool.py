@@ -92,7 +92,8 @@ class TestCacheCounters:
         assert cache.get("00" * 32) is None
         cache.put("00" * 32, build.link_baseline())
         assert cache.get("00" * 32) is not None
-        assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1,
+                                 "corrupt": 0}
 
 
 def _double_chunk(items):

@@ -33,6 +33,13 @@ Two AST checks over ``src/repro/``:
    derives every proven variant analytically; a per-variant loop
    silently reverts the sweep to the pre-batch cost profile.
 
+5. Inside ``src/repro/serve/``, ``async def`` bodies must never block
+   the event loop: no ``time.sleep(...)`` and no synchronous
+   executor/future reads (``.result()``, pool ``.get()``,
+   ``.join()``, ``future.exception()``). One blocked handler stalls
+   every connection of the daemon; CPU-bound and waiting work belongs
+   behind ``run_in_executor`` / ``await``.
+
 Run by ``make lint`` (and therefore ``make test``). Exits 1 and lists
 ``file:line`` for each violation.
 """
@@ -166,9 +173,59 @@ def find_per_variant_sim_violations(path):
     return violations
 
 
+#: Method names whose call blocks the calling thread until a result is
+#: ready — poison inside an event-loop coroutine (check 5).
+_BLOCKING_ATTRS = {"result", "get", "join", "exception"}
+
+
+def find_async_blocking_violations(path):
+    """Blocking calls inside ``async def`` bodies of the serve package.
+
+    Flags, lexically inside any ``async def`` (but not inside a nested
+    synchronous ``def``, which runs on an executor thread by
+    convention): ``time.sleep(...)`` / bare ``sleep(...)``, and
+    argument-less future/pool reads spelled ``<x>.result()``,
+    ``<x>.get()``, ``<x>.join()`` or ``<x>.exception()`` — the
+    wait-until-ready shapes. The zero-argument requirement keeps
+    ``dict.get(key)``-style lookups (which always pass a key) out;
+    ``asyncio.sleep`` is spelled through its module and does not match.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations = []
+
+    def check_call(node):
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time" and func.attr == "sleep"):
+            violations.append((node.lineno, "time.sleep"))
+        elif isinstance(func, ast.Name) and func.id == "sleep":
+            violations.append((node.lineno, "sleep"))
+        elif (isinstance(func, ast.Attribute)
+                and func.attr in _BLOCKING_ATTRS
+                and not node.args and not node.keywords):
+            violations.append((node.lineno, f".{func.attr}()"))
+
+    def walk(node, in_async):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.AsyncFunctionDef):
+                child_async = True
+            elif isinstance(child, (ast.FunctionDef, ast.Lambda)):
+                child_async = False
+            else:
+                child_async = in_async
+            if in_async and isinstance(child, ast.Call):
+                check_call(child)
+            walk(child, child_async)
+
+    walk(tree, False)
+    return violations
+
+
 def main():
     failures = []
     fuzz_package = PACKAGE / "fuzz"
+    serve_package = PACKAGE / "serve"
     harness = ROOT / "benchmarks" / "_harness.py"
     if harness.exists():
         for lineno, name in find_per_variant_sim_violations(harness):
@@ -194,6 +251,12 @@ def main():
                     f"{path.relative_to(ROOT)}:{lineno}: unseeded "
                     f"{name}() draws from global state; use an "
                     f"explicitly seeded random.Random instance")
+        if serve_package in path.parents:
+            for lineno, name in find_async_blocking_violations(path):
+                failures.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: blocking "
+                    f"{name} inside an async handler; use "
+                    f"run_in_executor / await instead")
     if failures:
         print("\n".join(failures), file=sys.stderr)
         print(f"lint: {len(failures)} violation(s)", file=sys.stderr)
@@ -201,7 +264,8 @@ def main():
     print("lint: OK (no bare ValueError/RuntimeError raises, no "
           "direct REPRO_* environment reads, no unseeded randomness "
           "in src/repro/fuzz/, no per-variant simulation loops in "
-          "benchmarks/_harness.py)")
+          "benchmarks/_harness.py, no blocking calls in "
+          "src/repro/serve/ async handlers)")
     return 0
 
 
