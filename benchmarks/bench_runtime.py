@@ -34,9 +34,10 @@ simulator engines, git SHA) so numbers can be compared across machines
 and revisions.
 
 Also records (non-gating) the static verifier's throughput — full
-``verify_binary`` binaries/sec and ``prove_transparency`` proofs/sec
-over the same 25-variant population — so analysis-cost regressions are
-visible in the JSON diff.
+``verify_binary`` binaries/sec, ``prove_transparency`` proofs/sec
+over the same 25-variant population, and ``EquivalenceProver``
+proofs/sec over a composed-§6 population of the same size — so
+analysis-cost regressions are visible in the JSON diff.
 
 Emits ``BENCH_runtime.json`` so future PRs can diff performance the
 same way the table/figure benches diff the paper's numbers, and exits
@@ -238,22 +239,32 @@ def measure_static_verify(population_size):
     """Static-verifier + transparency-proof throughput (non-gating).
 
     Builds the paper's population once, then times (a) full
-    ``verify_binary`` over baseline + every variant and (b) a
-    ``prove_transparency`` proof per variant. Reported as binaries/sec
-    and proofs/sec so future decoder or absint changes show up as a
-    number, not a feeling; no gate because the verifier is new and its
-    cost envelope is still settling.
+    ``verify_binary`` over baseline + every variant, (b) a
+    ``prove_transparency`` proof per variant, and (c) an
+    ``EquivalenceProver`` proof per variant of an equal-size
+    composed-§6 population (substitution + bb-shift + reordering).
+    Reported as binaries/sec and proofs/sec so future decoder or
+    absint changes show up as a number, not a feeling; no gate because
+    the verifier is new and its cost envelope is still settling.
     """
-    from repro.analysis import prove_transparency, verify_population
+    import dataclasses
+
+    from repro.analysis import (EquivalenceProver, prove_transparency,
+                                verify_population)
 
     workload = get_workload(MIX[0])
     build = ProgramBuild(workload.source, workload.name)
     config = DiversificationConfig.profile_guided(0.00, 0.30)
+    sec6_config = dataclasses.replace(
+        config, encoding_substitution=True, basic_block_shifting=True,
+        function_reordering=True)
     profile = build.profile(workload.train_input)
     seeds = range(population_size)
     baseline = build.link_baseline()
     variants = [build.link_variant(config, seed, profile)
                 for seed in seeds]
+    sec6_variants = [build.link_variant(sec6_config, seed, profile)
+                     for seed in seeds]
     binaries = [baseline] + variants
 
     verify_seconds = _best_of(
@@ -261,6 +272,17 @@ def measure_static_verify(population_size):
     transparency_seconds = _best_of(
         1, lambda: [prove_transparency(baseline, variant)
                     for variant in variants])
+
+    # Equivalence proofs re-prove the composed-§6 population from a
+    # fresh prover each run, so the timing includes the per-baseline
+    # precomputation that real campaigns amortize.
+    def timed_equivalence():
+        prover = EquivalenceProver(baseline, baseline_name=workload.name)
+        for variant in sec6_variants:
+            proof = prover.prove(variant)
+            assert proof.ok, proof.findings
+
+    equivalence_seconds = _best_of(1, timed_equivalence)
     return {
         "workload": workload.name,
         "config": POPULATION_CONFIG,
@@ -269,6 +291,9 @@ def measure_static_verify(population_size):
         "binaries_per_sec": round(len(binaries) / verify_seconds, 2),
         "transparency_seconds": round(transparency_seconds, 3),
         "proofs_per_sec": round(len(variants) / transparency_seconds, 2),
+        "equivalence_seconds": round(equivalence_seconds, 3),
+        "equivalence_proofs_per_sec": round(
+            len(sec6_variants) / equivalence_seconds, 2),
     }
 
 
@@ -552,7 +577,9 @@ def main(argv=None):
           f"(warm rebuild: {cache['warm_seconds']}s)")
     print(f"static verify ({static_verify['population_size']} variants): "
           f"{static_verify['binaries_per_sec']} binaries/sec, "
-          f"transparency {static_verify['proofs_per_sec']} proofs/sec "
+          f"transparency {static_verify['proofs_per_sec']} proofs/sec, "
+          f"equivalence (composed §6) "
+          f"{static_verify['equivalence_proofs_per_sec']} proofs/sec "
           f"(non-gating)")
     print(f"trace-disabled overhead: "
           f"{trace_overhead['overhead']*100:.2f}% on the sim mix "

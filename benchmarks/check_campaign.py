@@ -2,9 +2,10 @@
 + a bounded differential fuzzing campaign.
 
 Emits a JSON summary (variants validated, divergences, faults injected,
-typed-error coverage %, fuzz execs/sec + coverage + corpus size) so
-future PRs can diff robustness numbers the same way the table/figure
-benches diff the paper's numbers.
+typed-error coverage %, fuzz execs/sec + coverage + corpus size, plus
+batch-engine and ``equivalence.*`` proof counters) so future PRs can
+diff robustness numbers the same way the table/figure benches diff the
+paper's numbers.
 
 Usage::
 
@@ -100,9 +101,17 @@ def main(argv=None):
              counters_after.get(name, 0) - counters_before.get(name, 0)
              for name in ("batch.populations", "batch.baseline_runs",
                           "batch.proofs", "batch.proof_failures",
+                          "batch.equivalence_proofs",
+                          "batch.equivalence_proof_failures",
                           "batch.variants_derived",
+                          "batch.variants_derived_equivalence",
                           "batch.variants_simulated", "batch.fallbacks",
                           "batch.parity_checks")}
+    equivalence = {name.split(".", 1)[1]:
+                   counters_after.get(name, 0)
+                   - counters_before.get(name, 0)
+                   for name in counters_after
+                   if name.startswith("equivalence.")}
 
     payload = {
         "environment": environment_stamp(),
@@ -117,6 +126,7 @@ def main(argv=None):
         "campaign": campaign_summary,
         "fuzz": fuzz_summary,
         "batch": batch,
+        "equivalence": equivalence,
         "ok": (total_divergences == 0 and campaign.ok
                and fuzz_summary["genuine_divergences"] == 0),
     }

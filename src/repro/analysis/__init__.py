@@ -13,12 +13,20 @@ happens to execute. Three layers:
 - :mod:`repro.analysis.transparency` — the NOP-transparency proof that a
   diversified variant is exactly "baseline + Table-1 NOP insertions +
   recomputed displacements" (the static counterpart of
-  :mod:`repro.check.differential`).
+  :mod:`repro.check.differential`);
+- :mod:`repro.analysis.equivalence` — the generalized §6 semantics-
+  preservation proof covering encoding substitution, basic-block
+  shifting and function reordering, with the generalized address map
+  that powers exact ΔBreakpad symbolication for those configs.
 
 See ``docs/ANALYSIS.md`` for the algorithms and knobs.
 """
 
 from repro.analysis.cfg import Finding, MachineCFG, recover_cfg
+from repro.analysis.equivalence import (
+    EquivalenceMap, EquivalenceProver, EquivalenceReport,
+    prove_equivalence, require_equivalent,
+)
 from repro.analysis.passes import (
     VerifyReport, require_verified, verify_binary, verify_population,
 )
@@ -40,4 +48,9 @@ __all__ = [
     "TransparencyReport",
     "prove_transparency",
     "require_transparent",
+    "EquivalenceMap",
+    "EquivalenceProver",
+    "EquivalenceReport",
+    "prove_equivalence",
+    "require_equivalent",
 ]

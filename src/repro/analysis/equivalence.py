@@ -1,0 +1,765 @@
+"""Machine-checked semantics-preservation proofs for the §6 transforms.
+
+:class:`~repro.analysis.transparency.TransparencyProver` proves the
+paper's core property — a variant is "baseline + Table-1 NOPs +
+recomputed offsets" — but the §6 extensions are *not* that: equivalent-
+encoding substitution rewrites bytes, basic-block shifting splices in a
+jumped-over sled and a new label, and function reordering permutes the
+whole layout. :class:`EquivalenceProver` closes that gap. Given a
+baseline and a variant built under **any** config (NOP insertion
+composed with any subset of the §6 transforms), it produces either
+
+- a machine-checked proof of semantic equivalence, plus a generalized
+  address map (:class:`EquivalenceMap`) and a per-record count-
+  derivation plan the lockstep batch engine consumes, or
+- a typed :class:`~repro.analysis.cfg.Finding` naming the first
+  unprovable site — never a guess.
+
+Three proof dimensions compose with the NOP alignment the transparency
+prover established:
+
+**Substitution** (``verify.equivalence.subst``). A carried instruction
+whose bytes changed must be provably the *same operation*: both byte
+chunks are independently re-decoded with the real decoder and their
+operands must agree modulo the data-segment shift (the simulator
+executes through this same decoder, so decode-equality implies
+semantic equality); then the variant bytes must be one of the two
+dual-ModRM encodings of the shifted baseline instruction, re-derived
+through the encoder — the same algebra the substitution pass used, but
+recomputed here from the baseline side rather than trusted.
+
+**Basic-block shifting** (``verify.equivalence.sled``). A function may
+open with one unconditional ``jmp`` over a run of Table-1 NOP bytes.
+The sled is accepted only with a dead-code proof: the jump targets
+exactly the sled's end inside the same function, every interior byte
+is a Table-1 NOP encoding, and *nothing* can enter the interior — no
+branch in the whole variant targets it, no code symbol other than the
+sled's own skip label lands in it, and the entry point is outside.
+Execution therefore always hops the sled, so "jmp + dead bytes" is
+equivalent to "nothing" (one eip move), and the serving layer no
+longer needs to tolerate ``verify.unreachable`` findings blindly.
+
+**Function reordering** (``verify.equivalence.layout`` /
+``verify.equivalence.branch`` / ``verify.equivalence.symbol``).
+Layouts are matched per function by symbol identity: both binaries'
+``function_ranges`` must name the same functions and tile their texts;
+when the order differs, every function must end in an instruction that
+cannot fall through (else adjacency was semantic and permuting it is
+unprovable). Every cross-function displacement is then validated
+label-by-label: a branch is correct iff its variant target is where
+one of the labels at its baseline target moved to, and every code
+symbol's new address is pinned by the record pairing (with the sled
+jump accepted as a function label's image, since entering at the jump
+and entering past the sled are the same state transition).
+
+The prover never trusts linker metadata it has not validated: both
+binaries' instruction records are checked against their images byte
+for byte and must tile their texts exactly (the same pinning argument
+records-mode transparency uses), so every claim below is a claim about
+the shipped bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import Finding
+from repro.analysis.transparency import (
+    _check_data_segments, _coverage_finding, _label_index,
+    _operands_match, _record_image_finding, _slice_of,
+)
+from repro.errors import DecodingError, EncodingError, EquivalenceError
+from repro.obs import metrics
+from repro.obs.trace import span
+from repro.x86.decoder import decode
+from repro.x86.encoder import encode
+from repro.x86.instructions import Instr, Mem
+from repro.x86.nops import match_nop_candidate
+
+#: Mnemonics that cannot fall through to the next address; a function
+#: ending in one of these may be moved freely by reordering.
+_NO_FALLTHROUGH = frozenset({"ret", "jmp", "hlt", "jmp_reg"})
+
+#: Count-plan entry kinds (see :attr:`EquivalenceReport.count_plan`).
+PLAN_CARRIED = "carried"
+PLAN_NOP = "nop"
+PLAN_SLED_JMP = "sled_jmp"
+PLAN_SLED_NOP = "sled_nop"
+
+
+@dataclass
+class EquivalenceReport:
+    """Findings, statistics and proof byproducts for one variant.
+
+    On a clean proof, :attr:`map` is the generalized
+    :class:`EquivalenceMap` and :attr:`count_plan` is a list with one
+    entry per variant instruction record, in record order:
+
+    - ``(PLAN_CARRIED, b_index)`` — executes exactly as often as
+      baseline record ``b_index``;
+    - ``(PLAN_NOP, b_index)`` — an inserted NOP riding immediately
+      before carried record ``b_index`` (same count);
+    - ``(PLAN_SLED_JMP, b_index, subtract)`` — a sled skip jump; its
+      count is baseline record ``b_index``'s count minus the counts of
+      the baseline records in ``subtract`` (direct branches proven to
+      enter the function past the sled), or underivable when
+      ``subtract`` is ``None``;
+    - ``(PLAN_SLED_NOP,)`` — proven-dead sled interior; count zero.
+
+    Both stay ``None`` when the proof failed.
+    """
+
+    baseline_name: str
+    variant_name: str
+    findings: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+    map: object = None
+    count_plan: list = None
+    #: Absolute ``(start, end)`` spans of proven-dead sled interiors;
+    #: only these bytes may be excused from ``verify.unreachable``.
+    sled_spans: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.findings
+
+    def describe(self):
+        status = ("equivalent"
+                  if self.ok else f"{len(self.findings)} finding(s)")
+        return (f"{self.variant_name} vs {self.baseline_name}: {status}, "
+                f"{self.stats.get('substituted', 0)} substitution(s), "
+                f"{self.stats.get('sled_functions', 0)} sled(s), "
+                f"{self.stats.get('inserted_nops', 0)} inserted NOP(s)")
+
+
+@dataclass
+class EquivalenceMap:
+    """Generalized variant ↔ baseline address correspondence.
+
+    The §6 superset of :class:`~repro.analysis.transparency.AddressMap`,
+    with the same ΔBreakpad interface (``to_baseline`` /
+    ``to_variant``), so :func:`repro.serve.symbolicate.resolve_frames`
+    consumes either. ``v2b`` maps a variant text offset at an
+    instruction boundary to ``(baseline_record_index, status)`` where
+    status is one of ``"exact"``, ``"substituted"``, ``"inserted_nop"``,
+    ``"sled_jump"`` or ``"sled_nop"``; sled entries attribute to the
+    function's first carried baseline instruction (the frame a
+    baseline-side debugger would show for the function entry). ``b2v``
+    maps every baseline instruction offset to the offset of its carried
+    (possibly re-encoded) partner in the variant.
+    """
+
+    baseline: object
+    variant_text_base: int
+    variant_text_size: int
+    v2b: dict
+    b2v: dict
+
+    def to_baseline(self, variant_address):
+        """Resolve one variant code address to its baseline meaning."""
+        offset = variant_address - self.variant_text_base
+        entry = self.v2b.get(offset)
+        if entry is None:
+            return {"status": "unmapped", "variant_address": variant_address}
+        index, status = entry
+        if index is None:
+            return {"status": status, "variant_address": variant_address,
+                    "baseline_address": None, "mnemonic": None,
+                    "block_id": None}
+        record = self.baseline.instr_records[index]
+        return {"status": status, "variant_address": variant_address,
+                "baseline_address": record.address,
+                "mnemonic": record.mnemonic, "block_id": record.block_id}
+
+    def to_variant(self, baseline_address):
+        """Where ``baseline_address`` (an instruction boundary) moved to
+        in the variant, or ``None`` if it is not a boundary."""
+        offset = self.b2v.get(baseline_address - self.baseline.text_base)
+        if offset is None:
+            return None
+        return self.variant_text_base + offset
+
+
+def _function_order(binary):
+    """Function names sorted by their range start (the layout order)."""
+    return [name for name, (start, _end) in
+            sorted(binary.function_ranges.items(), key=lambda kv: kv[1])]
+
+
+def _ranges_tile(binary, findings, label):
+    """Function ranges must partition the text contiguously."""
+    position = binary.text_base
+    for name, (start, end) in sorted(binary.function_ranges.items(),
+                                     key=lambda kv: kv[1]):
+        if start != position or end < start:
+            findings.append(Finding(
+                "verify.equivalence.layout",
+                f"{label} function ranges do not tile the text: "
+                f"{name!r} starts at {start:#x}, expected {position:#x}",
+                address=start, function=name))
+            return False
+        position = end
+    if position != binary.text_end:
+        findings.append(Finding(
+            "verify.equivalence.layout",
+            f"{label} function ranges end at {position:#x}, text ends "
+            f"at {binary.text_end:#x}", address=position))
+        return False
+    return True
+
+
+def _records_by_function(binary):
+    """``{name: [records]}`` in address order; assumes ranges tile."""
+    ordered = sorted(binary.function_ranges.items(), key=lambda kv: kv[1])
+    grouped = {name: [] for name, _range in ordered}
+    names = iter(ordered)
+    name, (start, end) = next(names)
+    for record in binary.instr_records:
+        while record.address >= end:
+            name, (start, end) = next(names)
+        grouped[name].append(record)
+    return grouped
+
+
+def _shifted_clone(instr, delta, floor, alternate):
+    """``instr`` with data disps shifted by ``delta`` and the requested
+    ModRM direction."""
+    operands = tuple(
+        Mem(base=op.base, index=op.index, scale=op.scale,
+            disp=op.disp + delta, symbol=op.symbol)
+        if isinstance(op, Mem) and op.disp >= floor else op
+        for op in instr.operands)
+    return Instr(instr.mnemonic, *operands, alternate_encoding=alternate)
+
+
+class EquivalenceProver:
+    """Prove many §6 variants against one baseline, amortizing its cost.
+
+    Everything baseline-only is computed once: record/image validation,
+    record tiling, per-function record grouping, the label index and
+    the per-record global index. ``prove(variant)`` returns an
+    :class:`EquivalenceReport`; on success its :attr:`~
+    EquivalenceReport.map` and :attr:`~EquivalenceReport.count_plan`
+    byproducts power exact ΔBreakpad symbolication and analytic batch
+    derivation for configs the NOP-transparency prover must refuse.
+    """
+
+    def __init__(self, baseline, *, baseline_name="baseline"):
+        self.baseline = baseline
+        self.baseline_name = baseline_name
+        self._b_record_finding = _record_image_finding(baseline, "baseline")
+        self._b_coverage_finding = _coverage_finding(baseline, "baseline")
+        self._b_labels = _label_index(baseline)
+        self._b_order = _function_order(baseline)
+        self._b_tiles = _ranges_tile(baseline, [], "baseline")
+        self._b_groups = (_records_by_function(baseline)
+                          if self._b_tiles else {})
+        self._b_index = {id(record): index for index, record
+                         in enumerate(baseline.instr_records)}
+
+    # -- the proof -----------------------------------------------------------
+
+    def prove(self, variant, *, variant_name="variant"):
+        """Prove ``variant`` semantically equivalent to the baseline."""
+        report = EquivalenceReport(baseline_name=self.baseline_name,
+                                   variant_name=variant_name)
+        findings = report.findings
+        with span("equivalence_prove", variant=variant_name):
+            state = self._prove(variant, findings)
+        metrics.inc("equivalence.proofs")
+        report.stats = state.pop("stats", {})
+        if findings:
+            metrics.inc("equivalence.proof_failures")
+            for finding in findings:
+                metrics.inc(f"equivalence.refusals.{finding.code}")
+            return report
+        report.map = EquivalenceMap(
+            baseline=self.baseline, variant_text_base=variant.text_base,
+            variant_text_size=len(variant.text),
+            v2b=state["v2b"], b2v=state["b2v"])
+        report.count_plan = state["count_plan"]
+        report.sled_spans = [
+            (variant.text_base + start, variant.text_base + end)
+            for start, end in sorted(state["sled_spans"])]
+        return report
+
+    def _prove(self, variant, findings):
+        baseline = self.baseline
+        state = {"stats": {}}
+        if baseline.text_base != variant.text_base:
+            findings.append(Finding(
+                "verify.equivalence.layout",
+                f"text bases differ: {baseline.text_base:#x} vs "
+                f"{variant.text_base:#x}"))
+            return state
+
+        # 1. Pin every byte of both images to a validated record.
+        for finding in (self._b_record_finding, self._b_coverage_finding,
+                        None if self._b_tiles else Finding(
+                            "verify.equivalence.layout",
+                            "baseline function ranges do not tile")):
+            if finding is not None:
+                findings.append(finding)
+                return state
+        for finding in (_record_image_finding(variant, "variant"),
+                        _coverage_finding(variant, "variant")):
+            if finding is not None:
+                findings.append(finding)
+                return state
+
+        # 2. Layouts: same function set, both tiled, reorder-safe ends.
+        if set(baseline.function_ranges) != set(variant.function_ranges):
+            only_b = sorted(set(baseline.function_ranges)
+                            - set(variant.function_ranges))
+            only_v = sorted(set(variant.function_ranges)
+                            - set(baseline.function_ranges))
+            findings.append(Finding(
+                "verify.equivalence.layout",
+                f"function sets differ: baseline-only {only_b[:4]}, "
+                f"variant-only {only_v[:4]}"))
+            return state
+        if not _ranges_tile(variant, findings, "variant"):
+            return state
+        v_order = _function_order(variant)
+        reordered = v_order != self._b_order
+        v_groups = _records_by_function(variant)
+        b_groups = self._b_groups
+        if reordered:
+            # A fallthrough boundary is only safe when the successor
+            # function is the same on both sides; identical orders
+            # guarantee that, permuted ones must prove no fallthrough.
+            for name in self._b_order:
+                group = b_groups[name]
+                if group and group[-1].mnemonic not in _NO_FALLTHROUGH:
+                    findings.append(Finding(
+                        "verify.equivalence.layout",
+                        f"function {name!r} ends in "
+                        f"{group[-1].mnemonic!r}, which can fall "
+                        f"through — its layout position is semantic and "
+                        f"cannot be permuted", address=group[-1].address,
+                        function=name))
+                    return state
+
+        # 3. Per-function record alignment.
+        delta = variant.data_base - baseline.data_base
+        floor = baseline.data_base
+        v2b = {}
+        b2v = {}
+        plan_by_id = {}
+        sled_spans = []  # (start_offset, end_offset) of proven interiors
+        sled_extra_symbols = {}  # skip-label address -> function
+        branch_pairs = []  # (b_target, v_target, v_record, function)
+        stats = {"substituted": 0, "inserted_nops": 0, "sled_functions": 0,
+                 "sled_bytes": 0, "carried": 0, "reordered": reordered}
+        for name in v_order:
+            ok = self._align_function(
+                name, b_groups[name], v_groups[name], variant, delta,
+                floor, findings, v2b, b2v, plan_by_id, sled_spans,
+                sled_extra_symbols, branch_pairs, stats)
+            if not ok:
+                state["stats"] = stats
+                return state
+
+        # 4. Sled dead-code proof, whole-binary half: nothing enters a
+        # sled interior. (Interior bytes/NOP-ness were proven during
+        # alignment; here every branch target, code symbol and the
+        # entry point are checked against every interior.)
+        if sled_spans:
+            self._check_sled_isolation(variant, sled_spans, branch_pairs,
+                                       findings)
+
+        # 5. Branch targets, label-mediated.
+        self._check_branches(variant, branch_pairs, findings)
+
+        # 6. Code symbols and entry point moved with their records.
+        self._check_symbols(variant, v2b, b2v, sled_extra_symbols,
+                            v_groups, findings)
+
+        # 7. Data segments modulo the base shift.
+        _check_data_segments(self.baseline, variant, findings)
+
+        state["stats"] = stats
+        if findings:
+            return state
+
+        # Assemble the count plan in variant record order.
+        state["count_plan"] = [plan_by_id[id(record)]
+                               for record in variant.instr_records]
+        state["v2b"] = v2b
+        state["b2v"] = b2v
+        state["sled_spans"] = sled_spans
+        return state
+
+    # -- per-function alignment ----------------------------------------------
+
+    def _align_function(self, name, b_records, v_records, variant, delta,
+                        floor, findings, v2b, b2v, plan_by_id, sled_spans,
+                        sled_extra_symbols, branch_pairs, stats):
+        """Two-pointer walk pairing one function's records.
+
+        Returns False when alignment failed hard enough that continuing
+        this function would only produce noise (a finding was recorded).
+        """
+        baseline = self.baseline
+        base = baseline.text_base
+        j = 0
+
+        # Optional sled: an unmatched leading jmp over inserted NOPs.
+        if v_records and self._is_sled_head(name, b_records, v_records,
+                                            variant):
+            jmp = v_records[0]
+            target = (jmp.address + jmp.size + jmp.instr.operands[0].value)
+            interior_start = jmp.address + jmp.size
+            j = 1
+            sled_nops = []
+            while (j < len(v_records)
+                   and v_records[j].address < target):
+                record = v_records[j]
+                chunk = _slice_of(variant, record)
+                candidate = match_nop_candidate(chunk)
+                if (not record.is_inserted_nop or candidate is None
+                        or candidate.size != len(chunk)):
+                    findings.append(Finding(
+                        "verify.equivalence.sled",
+                        f"sled interior of {name!r} holds non-NOP bytes "
+                        f"{bytes(chunk).hex()}", address=record.address,
+                        function=name))
+                    return False
+                sled_nops.append(record)
+                j += 1
+            if interior_start + sum(r.size for r in sled_nops) != target:
+                findings.append(Finding(
+                    "verify.equivalence.sled",
+                    f"sled jump in {name!r} does not land exactly past "
+                    f"its NOP run", address=jmp.address, function=name))
+                return False
+            first_carried = self._first_carried_index(b_records)
+            if first_carried is None:
+                findings.append(Finding(
+                    "verify.equivalence.sled",
+                    f"variant {name!r} opens with a sled but the "
+                    f"baseline function is empty", address=jmp.address,
+                    function=name))
+                return False
+            plan_by_id[id(jmp)] = (PLAN_SLED_JMP, first_carried, ())
+            v2b[jmp.address - base] = (first_carried, "sled_jump")
+            for record in sled_nops:
+                plan_by_id[id(record)] = (PLAN_SLED_NOP,)
+                v2b[record.address - base] = (first_carried, "sled_nop")
+            sled_spans.append((interior_start - base, target - base))
+            sled_extra_symbols[target] = (name, jmp)
+            stats["sled_functions"] += 1
+            stats["sled_bytes"] += target - interior_start
+
+        # Carried / inserted-NOP walk over the remainder.
+        i = 0
+        pending = []
+        while j < len(v_records):
+            record = v_records[j]
+            if record.is_inserted_nop:
+                chunk = _slice_of(variant, record)
+                candidate = match_nop_candidate(chunk)
+                if candidate is None or candidate.size != len(chunk):
+                    findings.append(Finding(
+                        "verify.transparency.nop",
+                        f"inserted instruction bytes "
+                        f"{bytes(chunk).hex()} are not a Table-1 NOP "
+                        f"encoding", address=record.address,
+                        function=name))
+                    return False
+                pending.append(record)
+                j += 1
+                continue
+            if i >= len(b_records):
+                findings.append(Finding(
+                    "verify.equivalence.stream",
+                    f"variant {name!r} carries "
+                    f"{record.instr!r} past the end of the baseline "
+                    f"stream", address=record.address, function=name))
+                return False
+            b_record = b_records[i]
+            status = self._match_carried(b_record, record, variant, delta,
+                                         floor, findings, branch_pairs,
+                                         name)
+            if status is None:
+                return False
+            b_index = self._b_index[id(b_record)]
+            for nop in pending:
+                plan_by_id[id(nop)] = (PLAN_NOP, b_index)
+                v2b[nop.address - base] = (b_index, "inserted_nop")
+                stats["inserted_nops"] += 1
+            # b→v uses slot-head semantics, as the linker does: labels
+            # (and therefore branch targets) land at the head of the
+            # inserted-NOP run riding in front of a carried instruction.
+            slot_head = pending[0] if pending else record
+            pending = []
+            plan_by_id[id(record)] = (PLAN_CARRIED, b_index)
+            v2b[record.address - base] = (b_index, status)
+            b2v[b_record.address - base] = slot_head.address - base
+            stats["carried"] += 1
+            if status == "substituted":
+                stats["substituted"] += 1
+            i += 1
+            j += 1
+        if pending:
+            findings.append(Finding(
+                "verify.equivalence.stream",
+                f"variant {name!r} ends with {len(pending)} inserted "
+                f"NOP(s) after its last carried instruction",
+                address=pending[0].address, function=name))
+            return False
+        if i < len(b_records):
+            findings.append(Finding(
+                "verify.equivalence.stream",
+                f"variant {name!r} is missing "
+                f"{len(b_records) - i} baseline instruction(s) "
+                f"starting with {b_records[i].instr!r}",
+                address=b_records[i].address, function=name))
+            return False
+        return True
+
+    def _first_carried_index(self, b_records):
+        """Global index of the function's first baseline record."""
+        if not b_records:
+            return None
+        return self._b_index[id(b_records[0])]
+
+    def _is_sled_head(self, name, b_records, v_records, variant):
+        """Would treating ``v_records[0]`` as a sled jump be *required*?
+
+        A leading non-inserted ``jmp`` opens a sled iff it cannot be the
+        function's first carried instruction — i.e. pairing it with
+        ``b_records[0]`` fails — and it jumps forward over at least one
+        record. The deeper sled obligations (NOP interior, exact
+        landing, isolation) are checked by the caller; this is only the
+        disambiguation between "carried jmp" and "sled jmp".
+        """
+        head = v_records[0]
+        if head.is_inserted_nop or head.mnemonic != "jmp":
+            return False
+        if not head.instr.is_relative_branch:
+            return False
+        target = head.address + head.size + head.instr.operands[0].value
+        if target <= head.address + head.size:
+            return False  # backward/empty: a sled has >= 1 NOP byte
+        f_start, f_end = variant.function_ranges[name]
+        if not (target <= f_end):
+            return False
+        if b_records and b_records[0].mnemonic == "jmp" \
+                and b_records[0].instr.is_relative_branch:
+            # Ambiguous: the baseline function also opens with a jmp.
+            # It is carried iff its target maps label-for-label; a sled
+            # jump targets its own fresh skip label instead.
+            b_head = b_records[0]
+            b_target = (b_head.address + b_head.size
+                        + b_head.instr.operands[0].value)
+            for label in self._b_labels.get(b_target, ()):
+                if variant.code_symbols.get(label) == target:
+                    return False  # valid carried jmp; not a sled
+        return True
+
+    def _match_carried(self, b_record, v_record, variant, delta, floor,
+                       findings, branch_pairs, name):
+        """Prove one carried pair equivalent; returns ``"exact"`` /
+        ``"substituted"`` or ``None`` after recording a finding."""
+        b_instr, v_instr = b_record.instr, v_record.instr
+        if (b_instr.mnemonic != v_instr.mnemonic
+                or b_record.block_id != v_record.block_id):
+            findings.append(Finding(
+                "verify.equivalence.stream",
+                f"stream mismatch in {name!r}: baseline {b_instr!r} at "
+                f"{b_record.address:#x} vs variant {v_instr!r}",
+                address=v_record.address, function=name))
+            return None
+        if b_instr.is_relative_branch:
+            b_target = (b_record.address + b_record.size
+                        + b_instr.operands[0].value)
+            v_target = (v_record.address + v_record.size
+                        + v_instr.operands[0].value)
+            branch_pairs.append((b_target, v_target, v_record, name))
+            return "exact"
+        b_chunk = _slice_of(self.baseline, b_record)
+        v_chunk = _slice_of(variant, v_record)
+        if bytes(b_chunk) == bytes(v_chunk) and delta == 0:
+            return "exact"
+        # Independent re-derivation: decode both chunks with the real
+        # decoder (the simulator executes through it, so decode-level
+        # agreement modulo the data shift is semantic agreement) ...
+        try:
+            b_decoded = decode(bytes(b_chunk), 0)
+            v_decoded = decode(bytes(v_chunk), 0)
+        except DecodingError as exc:
+            findings.append(Finding(
+                "verify.equivalence.stream",
+                f"carried bytes in {name!r} do not decode: {exc}",
+                address=v_record.address, function=name))
+            return None
+        if (b_decoded.mnemonic != v_decoded.mnemonic
+                or not _operands_match(b_decoded, v_decoded, delta, floor)):
+            findings.append(Finding(
+                "verify.equivalence.stream",
+                f"carried instruction changed operation in {name!r}: "
+                f"baseline bytes decode to {b_decoded!r}, variant bytes "
+                f"to {v_decoded!r}", address=v_record.address,
+                function=name))
+            return None
+        # ... then require the variant bytes to be one of the two dual-
+        # ModRM encodings of the shifted baseline instruction, via the
+        # encoder — the same algebra the substitution pass used.
+        encodings = {}
+        for alternate in (False, True):
+            try:
+                encodings[alternate] = encode(
+                    _shifted_clone(b_instr, delta, floor, alternate))
+            except EncodingError:
+                encodings[alternate] = None
+        v_bytes = bytes(v_chunk)
+        if v_bytes == encodings[b_instr.alternate_encoding]:
+            return "exact"  # pure relocation, same direction bit
+        if v_bytes == encodings[not b_instr.alternate_encoding]:
+            return "substituted"
+        findings.append(Finding(
+            "verify.equivalence.subst",
+            f"variant bytes {v_bytes.hex()} in {name!r} are neither "
+            f"dual-ModRM encoding of {b_instr!r} (expected "
+            f"{encodings[False].hex() if encodings[False] else '?'} or "
+            f"{encodings[True].hex() if encodings[True] else '?'})",
+            address=v_record.address, function=name))
+        return None
+
+    # -- whole-binary checks -------------------------------------------------
+
+    def _check_sled_isolation(self, variant, sled_spans, branch_pairs,
+                              findings):
+        """Nothing may enter a sled interior: the dead-code proof."""
+        base = variant.text_base
+
+        def interior(address):
+            offset = address - base
+            for start, end in sled_spans:
+                if start <= offset < end:
+                    return True
+            return False
+
+        for _b_target, v_target, v_record, name in branch_pairs:
+            if interior(v_target):
+                findings.append(Finding(
+                    "verify.equivalence.sled",
+                    f"branch from {name!r} targets a sled interior at "
+                    f"{v_target:#x}", address=v_record.address,
+                    function=name))
+        for label, address in variant.code_symbols.items():
+            if interior(address):
+                findings.append(Finding(
+                    "verify.equivalence.sled",
+                    f"code symbol {label!r} lands inside a sled "
+                    f"interior", address=address))
+        if interior(variant.entry):
+            findings.append(Finding(
+                "verify.equivalence.sled",
+                "the entry point lands inside a sled interior",
+                address=variant.entry))
+        # The sled jumps themselves must not target another interior
+        # (each was checked to land exactly past its own NOP run).
+
+    def _check_branches(self, variant, branch_pairs, findings):
+        """Label-mediated target validation, as in records mode.
+
+        Combined with the symbol check, this pins every displacement —
+        including cross-function calls under reordering: the variant
+        target must be where a label at the baseline target moved to.
+        """
+        for b_target, v_target, v_record, name in branch_pairs:
+            labels = self._b_labels.get(b_target, ())
+            if not any(variant.code_symbols.get(label) == v_target
+                       for label in labels):
+                findings.append(Finding(
+                    "verify.equivalence.branch",
+                    f"{v_record.mnemonic} in {name!r} targets "
+                    f"{b_target:#x} in the baseline but {v_target:#x} "
+                    f"in the variant, and no label maps one to the "
+                    f"other", address=v_record.address, function=name))
+
+    def _check_symbols(self, variant, v2b, b2v, sled_extra_symbols,
+                       v_groups, findings):
+        """Every code symbol (and the entry) moved to a proven location.
+
+        A baseline label at address ``A`` is correct at the carried
+        image of ``A``; a label at a sled function's start is *also*
+        correct at the sled jump (entering at the jump and entering
+        past the sled are the same state transition). The only extra
+        variant symbols allowed are the sleds' own skip labels, each at
+        its proven sled end.
+        """
+        baseline = self.baseline
+        base = baseline.text_base
+        for label, b_address in baseline.code_symbols.items():
+            v_address = variant.code_symbols.get(label)
+            accepted = set()
+            mapped = b2v.get(b_address - base)
+            if mapped is not None:
+                accepted.add(base + mapped)
+            for name, (start, _end) in variant.function_ranges.items():
+                b_start, _b_end = baseline.function_ranges[name]
+                if b_address == b_start:
+                    accepted.add(start)
+            if v_address not in accepted:
+                findings.append(Finding(
+                    "verify.equivalence.symbol",
+                    f"code symbol {label!r} moved to "
+                    f"{v_address if v_address is None else hex(v_address)}"
+                    f", not a proven image of {b_address:#x}",
+                    address=b_address))
+        extra = set(variant.code_symbols) - set(baseline.code_symbols)
+        for label in sorted(extra):
+            address = variant.code_symbols[label]
+            allowed = (
+                address in sled_extra_symbols
+                and label == sled_extra_symbols[address][0] + ".__shifted")
+            if not allowed:
+                findings.append(Finding(
+                    "verify.equivalence.symbol",
+                    f"variant defines unexpected code symbol {label!r}",
+                    address=address))
+        v_entry_ok = False
+        b_entry = baseline.entry
+        mapped = b2v.get(b_entry - base)
+        if mapped is not None and variant.entry == base + mapped:
+            v_entry_ok = True
+        for name, (b_start, _e) in baseline.function_ranges.items():
+            if b_entry == b_start \
+                    and variant.entry == variant.function_ranges[name][0]:
+                v_entry_ok = True
+        if not v_entry_ok:
+            findings.append(Finding(
+                "verify.equivalence.symbol",
+                f"entry point did not move with its instruction stream "
+                f"({b_entry:#x} -> {variant.entry:#x})",
+                address=variant.entry))
+
+
+def prove_equivalence(baseline, variant, *, baseline_name="baseline",
+                      variant_name="variant"):
+    """One-shot form of :meth:`EquivalenceProver.prove`.
+
+    For many variants of one baseline, build an
+    :class:`EquivalenceProver` instead — this re-derives the baseline
+    side every call.
+    """
+    return EquivalenceProver(
+        baseline, baseline_name=baseline_name).prove(
+            variant, variant_name=variant_name)
+
+
+def require_equivalent(baseline, variant, **names):
+    """Prove equivalence and raise
+    :class:`~repro.errors.EquivalenceError` on any finding."""
+    report = prove_equivalence(baseline, variant, **names)
+    if not report.ok:
+        raise EquivalenceError(
+            f"equivalence proof failed: {report.describe()}",
+            context={
+                "findings": [f.describe() for f in report.findings[:20]],
+                "stats": report.stats,
+            })
+    return report

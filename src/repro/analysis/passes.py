@@ -18,6 +18,13 @@ codes (see :data:`repro.errors.VERIFY_FINDING_CODES`):
                (:func:`repro.analysis.absint.analyze_stack`).
 ``defuse``     per-function def-before-use dataflow
                (:func:`repro.analysis.absint.analyze_defuse`).
+``equivalence`` — only when a ``baseline`` is supplied — the §6
+               semantics-preservation proof
+               (:class:`repro.analysis.equivalence.EquivalenceProver`).
+               A clean proof additionally *discharges*
+               ``verify.unreachable`` findings whose bytes lie entirely
+               inside proven-dead basic-block-shift sleds; unreachable
+               bytes outside a proven sled stay hard findings.
 
 :func:`verify_population` fans a batch of binaries out over the same
 worker pool the population builds use; :func:`require_verified` turns
@@ -37,8 +44,11 @@ from repro.obs.trace import span
 from repro.x86.encoder import encode
 from repro.x86.instructions import Instr, Mem
 
-#: Pass names in execution order.
-ALL_PASSES = ("cfg", "reloc", "roundtrip", "stack", "defuse")
+#: Pass names in execution order. ``equivalence`` is a member so
+#: ``passes=None`` selects it, but it only runs when the caller supplies
+#: a baseline to prove against.
+ALL_PASSES = ("cfg", "reloc", "roundtrip", "stack", "defuse",
+              "equivalence")
 
 
 @dataclass
@@ -115,31 +125,76 @@ def _check_roundtrip(cfg):
     return findings
 
 
-def verify_binary(binary, *, name=None, passes=None):
+def verify_binary(binary, *, name=None, passes=None, baseline=None):
     """Run the verifier passes; returns a :class:`VerifyReport`.
 
     ``passes`` selects a subset of :data:`ALL_PASSES` (default: all).
-    The report never references the binary, so it pickles cheaply
-    across the population worker pool.
+    ``baseline`` — a :class:`~repro.backend.linker.LinkedBinary` or a
+    prebuilt :class:`~repro.analysis.equivalence.EquivalenceProver` —
+    enables the ``equivalence`` pass: the binary must carry a machine-
+    checked semantics-preservation proof against it, and only proven-
+    dead sled bytes are excused from ``verify.unreachable``. The report
+    never references the binary, so it pickles cheaply across the
+    population worker pool.
     """
     selected = ALL_PASSES if passes is None else tuple(passes)
     report = VerifyReport(name=name or f"binary@{binary.text_base:#x}")
     with span("verify", binary=report.name):
-        return _verify(binary, report, selected)
+        return _verify(binary, report, selected, baseline)
 
 
-def _verify(binary, report, selected):
+def _subtract_spans(spans, excused):
+    """``spans`` minus ``excused`` (both sorted ``(start, end)`` lists of
+    absolute addresses); returns the remaining sub-spans."""
+    remaining = []
+    for start, end in spans:
+        pieces = [(start, end)]
+        for ex_start, ex_end in excused:
+            next_pieces = []
+            for p_start, p_end in pieces:
+                if ex_end <= p_start or ex_start >= p_end:
+                    next_pieces.append((p_start, p_end))
+                    continue
+                if p_start < ex_start:
+                    next_pieces.append((p_start, ex_start))
+                if ex_end < p_end:
+                    next_pieces.append((ex_end, p_end))
+            pieces = next_pieces
+        remaining.extend(pieces)
+    return remaining
+
+
+def _equivalence_pass(binary, baseline, report):
+    """Run the §6 proof; returns proven-dead sled spans (absolute)."""
+    from repro.analysis.equivalence import EquivalenceProver
+
+    prover = (baseline if isinstance(baseline, EquivalenceProver)
+              else EquivalenceProver(baseline))
+    proof = prover.prove(binary, variant_name=report.name)
+    report.findings.extend(proof.findings)
+    report.stats["equivalence"] = proof.stats
+    return proof.sled_spans if proof.ok else []
+
+
+def _verify(binary, report, selected, baseline=None):
     cfg = recover_cfg(binary)
+
+    sled_spans = []
+    if "equivalence" in selected and baseline is not None:
+        sled_spans = _equivalence_pass(binary, baseline, report)
 
     if "cfg" in selected:
         report.findings.extend(cfg.findings)
         if cfg.unreachable_bytes:
-            spans = ", ".join(f"[{start:#x}, {end:#x})"
-                              for start, end in cfg.unreachable_spans[:4])
-            report.findings.append(Finding(
-                "verify.unreachable",
-                f"{cfg.unreachable_bytes} .text byte(s) reached by no "
-                f"recovery root: {spans}"))
+            unexcused = _subtract_spans(cfg.unreachable_spans, sled_spans)
+            leftover = sum(end - start for start, end in unexcused)
+            if leftover:
+                spans = ", ".join(f"[{start:#x}, {end:#x})"
+                                  for start, end in unexcused[:4])
+                report.findings.append(Finding(
+                    "verify.unreachable",
+                    f"{leftover} .text byte(s) reached by no "
+                    f"recovery root: {spans}"))
     if "reloc" in selected:
         report.findings.extend(_check_reloc(cfg, binary))
     if "roundtrip" in selected:
@@ -151,6 +206,7 @@ def _verify(binary, report, selected):
             if "defuse" in selected:
                 report.findings.extend(analyze_defuse(cfg, function))
 
+    equivalence_stats = report.stats.get("equivalence")
     report.stats = {
         "instructions": len(cfg.instrs),
         "text_bytes": len(binary.text),
@@ -159,6 +215,8 @@ def _verify(binary, report, selected):
         "unreachable_bytes": cfg.unreachable_bytes,
         "findings_by_code": report.by_code(),
     }
+    if equivalence_stats is not None:
+        report.stats["equivalence"] = equivalence_stats
     metrics.inc("verify.binaries")
     if report.findings:
         metrics.inc("verify.findings", len(report.findings))
@@ -183,25 +241,31 @@ def require_verified(binary, *, name=None, passes=None):
 
 def _verify_chunk(items):
     """Worker-pool chunk function: ``items`` is a list of
-    ``(name, binary)`` pairs; returns one report per pair, in order."""
-    return [verify_binary(binary, name=name) for name, binary in items]
+    ``(name, binary, baseline)`` triples; returns one report per triple,
+    in order."""
+    return [verify_binary(binary, name=name, baseline=baseline)
+            for name, binary, baseline in items]
 
 
 def verify_population(binaries, *, names=None, workers=None,
-                      force_pool=False):
+                      force_pool=False, baseline=None):
     """Verify a batch of binaries, optionally over the worker pool.
 
     ``binaries`` is a sequence of :class:`LinkedBinary`; ``names`` an
-    optional parallel sequence of report names. ``workers`` resolves
-    exactly as in :func:`repro.pipeline.build_population` (default
-    ``REPRO_WORKERS``); the serial path never pickles anything.
-    Returns reports in input order.
+    optional parallel sequence of report names. ``baseline``, when
+    given, enables the ``equivalence`` pass for every binary (pass the
+    shared baseline ``LinkedBinary`` — provers are rebuilt per worker).
+    ``workers`` resolves exactly as in
+    :func:`repro.pipeline.build_population` (default ``REPRO_WORKERS``);
+    the serial path never pickles anything. Returns reports in input
+    order.
     """
     from repro.pipeline import map_chunked  # lazy: avoid an import cycle
 
     binaries = list(binaries)
     if names is None:
         names = [f"binary[{index}]" for index in range(len(binaries))]
-    items = list(zip(names, binaries))
+    items = [(name, binary, baseline)
+             for name, binary in zip(names, binaries)]
     return map_chunked(_verify_chunk, items, workers=workers,
                        force_pool=force_pool)

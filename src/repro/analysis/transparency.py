@@ -372,13 +372,19 @@ def _check_bytes(baseline, variant, findings, *, b_stream, b_failure):
     return inserted
 
 
-def _check_data(baseline, variant, findings):
-    """Data segments must be identical modulo the base shift."""
+def _check_data_segments(baseline, variant, findings):
+    """Data symbols/words must be identical modulo the base shift.
+
+    The data-only half of :func:`_check_data`, shared with the
+    equivalence prover (:mod:`repro.analysis.equivalence`), whose §6
+    variants legitimately add *code* symbols (sled skip labels) and so
+    run their own code-symbol check instead.
+    """
     if set(baseline.data_symbols) != set(variant.data_symbols):
         findings.append(Finding(
             "verify.transparency.data",
             "baseline and variant define different data symbols"))
-        return
+        return False
     for symbol, address in baseline.data_symbols.items():
         b_rel = address - baseline.data_base
         v_rel = variant.data_symbols[symbol] - variant.data_base
@@ -395,6 +401,13 @@ def _check_data(baseline, variant, findings):
         findings.append(Finding(
             "verify.transparency.data",
             "initialized data images differ beyond the segment shift"))
+    return True
+
+
+def _check_data(baseline, variant, findings):
+    """Data segments must be identical modulo the base shift."""
+    if not _check_data_segments(baseline, variant, findings):
+        return
     if set(baseline.code_symbols) != set(variant.code_symbols):
         findings.append(Finding(
             "verify.transparency.data",

@@ -65,11 +65,29 @@ def _paper_configs():
 def _verify_configs(args):
     if args.range is not None:
         low, high = args.range
-        return {f"{low:g}-{high:g}":
-                DiversificationConfig.profile_guided(low, high)}
-    if args.p is not None:
-        return {f"uniform-{args.p:g}": DiversificationConfig.uniform(args.p)}
-    return _paper_configs()
+        configs = {f"{low:g}-{high:g}":
+                   DiversificationConfig.profile_guided(low, high)}
+    elif args.p is not None:
+        configs = {f"uniform-{args.p:g}":
+                   DiversificationConfig.uniform(args.p)}
+    else:
+        configs = _paper_configs()
+    if getattr(args, "sec6", False):
+        # The §6 transform sweep: each transform alone and all three
+        # composed, derived from the last base config (the paper's
+        # profile-guided one when no explicit --p/--range was given).
+        import dataclasses
+        base_label, base = list(configs.items())[-1]
+        for suffix, flags in (
+                ("subst", {"encoding_substitution": True}),
+                ("bbshift", {"basic_block_shifting": True}),
+                ("reorder", {"function_reordering": True}),
+                ("sec6", {"encoding_substitution": True,
+                          "basic_block_shifting": True,
+                          "function_reordering": True})):
+            configs[f"{base_label}+{suffix}"] = dataclasses.replace(
+                base, **flags)
+    return configs
 
 
 def cmd_compile(args):
@@ -288,9 +306,13 @@ def _static_verify_section(names, config, variants):
 
 def cmd_verify(args):
     from repro.analysis import (
-        prove_transparency, verify_binary, verify_population,
+        EquivalenceProver, prove_transparency, verify_binary,
+        verify_population,
     )
+    from repro.backend.linkplan import plan_compatible
     from repro.check import DEFAULT_CHECK_WORKLOADS
+    from repro.security.ropgadget import boundary_scan, survivor_rates
+    from repro.security.survivor import gadget_signatures
     from repro.workloads.registry import workload_names
 
     names = tuple(args.names) or DEFAULT_CHECK_WORKLOADS
@@ -303,15 +325,21 @@ def cmd_verify(args):
           f"{len(configs)} config(s) x {len(seeds)} variant seed(s), "
           f"plus baselines")
     rows = []
+    gadget_rows = []
     payload = {}
     total_findings = 0
     for name in names:
         workload = get_workload(name)
         build = ProgramBuild(workload.source, workload.name)
         baseline = build.link_baseline()
+        eq_prover = EquivalenceProver(baseline, baseline_name=name)
+        partition = (boundary_scan(baseline) if args.gadgets else None)
+        signatures = (gadget_signatures(baseline.text)
+                      if args.gadgets else None)
         reports = [verify_binary(baseline, name=f"{name}/baseline")]
         findings = list(reports[0].findings)
         nops = 0
+        gadget_payload = {}
         for label, config in configs.items():
             profile = (build.profile(workload.train_input)
                        if config.requires_profile else None)
@@ -319,16 +347,45 @@ def cmd_verify(args):
                                              workers=args.workers)
             variant_names = [f"{name}/{label}/seed{seed}"
                              for seed in seeds]
-            for report in verify_population(binaries, names=variant_names,
-                                            workers=args.workers):
+            nop_transparent = plan_compatible(config)
+            for report in verify_population(
+                    binaries, names=variant_names, workers=args.workers,
+                    baseline=None if nop_transparent else baseline):
                 reports.append(report)
                 findings.extend(report.findings)
             for seed, variant in zip(seeds, binaries):
-                proof = prove_transparency(
-                    baseline, variant,
-                    variant_name=f"{name}/{label}/seed{seed}")
+                variant_name = f"{name}/{label}/seed{seed}"
+                if nop_transparent:
+                    proof = prove_transparency(baseline, variant,
+                                               variant_name=variant_name)
+                else:
+                    # §6 transforms: the generalized semantics-
+                    # preservation proof instead of the NOP-only one.
+                    proof = eq_prover.prove(variant,
+                                            variant_name=variant_name)
                 nops += proof.stats["inserted_nops"]
                 findings.extend(proof.findings)
+            if args.gadgets:
+                per_seed = [survivor_rates(baseline, variant,
+                                           baseline_partition=partition,
+                                           baseline_signatures=signatures)
+                            for variant in binaries]
+                mean = lambda values: (sum(values) / len(values)
+                                       if values else 0.0)
+                summary = {
+                    "baseline_gadgets": partition["total"],
+                    "survivor_rate": mean([r["rate"] for r in per_seed]),
+                    "intended_rate": mean([r["intended"]["rate"]
+                                           for r in per_seed]),
+                    "unintended_rate": mean([r["unintended"]["rate"]
+                                             for r in per_seed]),
+                }
+                gadget_payload[label] = summary
+                gadget_rows.append((
+                    name, label, partition["total"],
+                    f"{summary['survivor_rate']:.1%}",
+                    f"{summary['intended_rate']:.1%}",
+                    f"{summary['unintended_rate']:.1%}"))
         total_findings += len(findings)
         rows.append((name, len(reports), nops, len(findings),
                      "ok" if not findings else "FAIL"))
@@ -339,9 +396,16 @@ def cmd_verify(args):
             "inserted_nops": nops,
             "findings": [finding.describe() for finding in findings],
         }
+        if args.gadgets:
+            payload[name]["gadget_survivors"] = gadget_payload
     print(format_table(("workload", "binaries", "nops", "findings",
                         "status"), rows,
-                       title="static verification + transparency"))
+                       title="static verification + semantics proofs"))
+    if gadget_rows:
+        print(format_table(
+            ("workload", "config", "gadgets", "surviving", "intended",
+             "unintended"), gadget_rows,
+            title="surviving-gadget rates (mean over seeds)"))
 
     observability = _observability_section()
 
@@ -593,7 +657,7 @@ def main(argv=None):
 
     p = sub.add_parser(
         "verify",
-        help="static verification + NOP-transparency proofs")
+        help="static verification + semantics-preservation proofs")
     p.add_argument("names", nargs="*",
                    help="workloads to verify ('all' for every workload; "
                         "default: a representative three-benchmark set)")
@@ -604,6 +668,13 @@ def main(argv=None):
                         "paper configs)")
     p.add_argument("--range", nargs=2, type=float, metavar=("MIN", "MAX"),
                    help="profile-guided probability range")
+    p.add_argument("--sec6", action="store_true",
+                   help="also sweep the §6 transforms (substitution, "
+                        "bb-shift, reordering, and all three composed) "
+                        "with machine-checked equivalence proofs")
+    p.add_argument("--gadgets", action="store_true",
+                   help="report surviving-gadget rates per config over "
+                        "the boundary_scan partition (Table 2/3 framing)")
     p.add_argument("--workers", type=int, default=None,
                    help="worker-pool width (default REPRO_WORKERS)")
     p.add_argument("--json", dest="json_output",

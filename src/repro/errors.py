@@ -214,6 +214,20 @@ class TransparencyError(VerificationError):
     code = "verify.transparency"
 
 
+class EquivalenceError(VerificationError):
+    """A variant could not be proven semantically equivalent to its
+    baseline.
+
+    Raised when :mod:`repro.analysis.equivalence` is asked to *enforce*
+    (rather than report) semantics preservation under the full §6
+    transform set — NOP insertion composed with encoding substitution,
+    basic-block shifting and function reordering — and the proof fails.
+    ``context["findings"]`` names the first unprovable sites.
+    """
+
+    code = "verify.equivalence"
+
+
 class ServeError(ReproError):
     """A variant-serving request could not be satisfied.
 
@@ -257,4 +271,20 @@ VERIFY_FINDING_CODES = frozenset({
                                    # data-segment delta
     "verify.transparency.data",    # data image/symbols differ beyond the
                                    # segment shift
+    "verify.equivalence.layout",   # function set/ranges do not tile the
+                                   # text, or a fallthrough boundary
+                                   # breaks under reordering
+    "verify.equivalence.stream",   # a variant instruction matches no
+                                   # proof dimension (not carried, not a
+                                   # NOP, not a proven sled)
+    "verify.equivalence.subst",    # a flipped encoding is not the dual-
+                                   # ModRM byte-equivalent of its
+                                   # baseline instruction
+    "verify.equivalence.sled",     # an inserted sled is not provably
+                                   # dead (reachable interior, bad jump,
+                                   # non-NOP bytes)
+    "verify.equivalence.branch",   # a branch target does not map to the
+                                   # same label across the layouts
+    "verify.equivalence.symbol",   # a code symbol or the entry point did
+                                   # not move to its proven location
 })

@@ -222,6 +222,47 @@ def classify_gadget_boundaries(gadgets, boundaries, text_base=0):
     return intended, unintended
 
 
+def survivor_rates(baseline, variant, *, baseline_partition=None,
+                   baseline_signatures=None, **scan_kwargs):
+    """Surviving-gadget rates of one variant, split by the baseline's
+    intended/unintended :func:`boundary_scan` partition.
+
+    The paper's Table 2/3 evaluation: run the Survivor comparison
+    (:mod:`repro.security.survivor`) between baseline and variant texts
+    and report what fraction of the baseline's gadgets survive — overall
+    and per boundary class, since unintended (mid-instruction) gadgets
+    are exactly the ones diversification is supposed to destroy.
+    ``baseline_partition`` / ``baseline_signatures`` may carry the
+    precomputed baseline halves; population sweeps reuse them across
+    every variant.
+    """
+    from repro.security.survivor import gadget_signatures, surviving_gadgets
+
+    if baseline_partition is None:
+        baseline_partition = boundary_scan(baseline, **scan_kwargs)
+    if baseline_signatures is None:
+        baseline_signatures = gadget_signatures(baseline.text,
+                                                **scan_kwargs)
+    count, offsets = surviving_gadgets(
+        baseline.text, variant.text,
+        original_signatures=baseline_signatures, **scan_kwargs)
+    survivors = set(offsets)
+    total = baseline_partition["total"]
+
+    def bucket_rates(bucket):
+        alive = len(set(bucket) & survivors)
+        return {"total": len(bucket), "survivors": alive,
+                "rate": alive / len(bucket) if bucket else 0.0}
+
+    return {
+        "baseline_gadgets": total,
+        "survivors": count,
+        "rate": count / total if total else 0.0,
+        "intended": bucket_rates(baseline_partition["intended"]),
+        "unintended": bucket_rates(baseline_partition["unintended"]),
+    }
+
+
 def boundary_scan(binary, gadgets=None, **scan_kwargs):
     """Gadget scan of a linked binary classified against the recovered
     CFG's instruction boundaries.

@@ -56,9 +56,10 @@ from repro.sim.costs import predict_overhead
 from repro.workloads.registry import get_workload
 
 #: Configurations the daemon serves by label: the paper's five NOP
-#: configs plus one §6 transform config — the latter is served and
-#: structurally verified but *not* NOP-transparent, so symbolication
-#: must refuse it (the typed-fallback path the tests pin down).
+#: configs plus one §6 transform config — the latter is not
+#: NOP-transparent, so it is gated by the generalized equivalence proof
+#: (:mod:`repro.analysis.equivalence`) and symbolicated exactly through
+#: the proof's generalized address map.
 SERVE_CONFIGS = dict(PAPER_CONFIGS)
 SERVE_CONFIGS["30%+sec6"] = DiversificationConfig.uniform(
     0.3, basic_block_shifting=True)

@@ -2,14 +2,18 @@
 
 The serving daemon's crash-report companion: given the
 :class:`~repro.analysis.transparency.AddressMap` a stream proof
-produced, resolve each variant code address to its baseline meaning —
-the carried baseline instruction (exact), the baseline instruction an
-inserted NOP precedes (``inserted_nop``), or a typed refusal
-(``unmapped`` for mid-instruction / out-of-text addresses). Baseline
-attribution is enriched with the owning function from
-``function_ranges``, so a diversified stack trace reads like a baseline
-one. Everything here is a lookup into proof byproducts; nothing is
-heuristic.
+produced — or, for §6 transform configs, the generalized
+:class:`~repro.analysis.equivalence.EquivalenceMap` an equivalence
+proof produced — resolve each variant code address to its baseline
+meaning: the carried baseline instruction (``exact``, or
+``substituted`` when its encoding was dual-ModRM flipped), the baseline
+instruction an inserted NOP precedes (``inserted_nop``), the baseline
+function entry a bb-shift sled fronts (``sled_jump`` / ``sled_nop``),
+or a typed refusal (``unmapped`` for mid-instruction / out-of-text
+addresses). Baseline attribution is enriched with the owning function
+from ``function_ranges``, so a diversified stack trace reads like a
+baseline one. Everything here is a lookup into proof byproducts;
+nothing is heuristic.
 """
 
 from __future__ import annotations
@@ -26,8 +30,9 @@ def _function_at(baseline, address):
 def resolve_frames(amap, baseline, addresses):
     """Resolve a list of variant addresses into frame dicts.
 
-    Each frame carries ``status`` (``exact`` / ``inserted_nop`` /
-    ``unmapped``), the variant address, and — when resolvable — the
+    Each frame carries ``status`` (``exact`` / ``substituted`` /
+    ``inserted_nop`` / ``sled_jump`` / ``sled_nop`` / ``unmapped``),
+    the variant address, and — when resolvable — the
     baseline address, mnemonic, owning function, and the source block id
     (stringified: block ids are backend-internal tuples). An inserted
     NOP resolves to the baseline instruction it was placed in front of,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import pickle
 
+from repro.analysis.equivalence import EquivalenceProver
 from repro.analysis.transparency import TransparencyProver
 from repro.artifacts import VariantCache
 from repro.backend.linker import link
@@ -67,9 +68,17 @@ def shard_adopt(key, unit_blob, config, profile_json, cache_root,
         "plan": plan,
         "baseline": baseline,
         "prover": TransparencyProver(baseline),
+        "eq_prover": None,  # built lazily; only §6 configs need it
         "cache": VariantCache(cache_root) if cache_root else None,
     }
     return key
+
+
+def _eq_prover(state):
+    """The state's :class:`EquivalenceProver`, built on first use."""
+    if state["eq_prover"] is None:
+        state["eq_prover"] = EquivalenceProver(state["baseline"])
+    return state["eq_prover"]
 
 
 def _state_for(key):
@@ -98,34 +107,46 @@ def _verify_served(state, binary, verify_mode):
 
     ``stream`` mode runs the fused transparency stream proof when the
     config is NOP-transparent (plan-compatible); §6 transform configs
-    are not "baseline + NOPs" by construction, so they take the full
-    five-pass structural verifier instead — with ``verify.unreachable``
-    tolerated for basic-block shifting, whose jumped-over NOP sleds are
-    unreachable bytes *on purpose*. ``full`` always runs the structural
-    verifier plus, when provable, the transparency proof. Any other
-    finding raises :class:`ServeError` — an unverified variant must
-    never leave the daemon.
+    are not "baseline + NOPs" by construction, so they take the
+    generalized semantics-preservation proof instead
+    (:class:`~repro.analysis.equivalence.EquivalenceProver`) — which
+    proves every inserted sled dead rather than tolerating
+    ``verify.unreachable`` wholesale, so unreachable bytes outside a
+    proven sled are a hard failure again. ``full`` runs the structural
+    verifier (with the ``equivalence`` pass for §6 configs) plus, when
+    NOP-provable, the full transparency proof. Any finding raises
+    :class:`ServeError` — an unverified variant must never leave the
+    daemon.
     """
     if verify_mode is None:
         return "off", None
     provable = state["plan"] is not None
-    if verify_mode == "stream" and provable:
-        report = state["prover"].prove(binary, mode="stream")
+    if verify_mode == "stream":
+        if provable:
+            report = state["prover"].prove(binary, mode="stream")
+            if not report.ok:
+                raise ServeError(
+                    "served variant failed its transparency stream proof",
+                    context={"findings": [f.describe()
+                                          for f in report.findings[:10]]})
+            return "stream", report.stats["inserted_nops"]
+        report = _eq_prover(state).prove(binary,
+                                         variant_name="served-variant")
         if not report.ok:
             raise ServeError(
-                "served variant failed its transparency stream proof",
+                "served variant failed its equivalence proof",
                 context={"findings": [f.describe()
                                       for f in report.findings[:10]]})
-        return "stream", report.stats["inserted_nops"]
+        return "equivalence", report.stats["inserted_nops"]
     from repro.analysis.passes import verify_binary
-    report = verify_binary(binary, name="served-variant")
-    tolerated = ({"verify.unreachable"}
-                 if state["config"].basic_block_shifting else set())
-    findings = [f for f in report.findings if f.code not in tolerated]
-    if findings:
+    report = verify_binary(binary, name="served-variant",
+                           baseline=None if provable
+                           else _eq_prover(state))
+    if report.findings:
         raise ServeError(
             "served variant failed static verification",
-            context={"findings": [f.describe() for f in findings[:10]]})
+            context={"findings": [f.describe()
+                                  for f in report.findings[:10]]})
     if verify_mode == "full" and provable:
         report = state["prover"].prove(binary, mode="full")
         if not report.ok:
@@ -134,7 +155,9 @@ def _verify_served(state, binary, verify_mode):
                 context={"findings": [f.describe()
                                       for f in report.findings[:10]]})
         return "full", report.stats["inserted_nops"]
-    return "structural", None
+    if provable:
+        return "structural", None
+    return "equivalence", report.stats["equivalence"]["inserted_nops"]
 
 
 def shard_variant(key, user, cache_key, verify_mode):
@@ -176,27 +199,32 @@ def shard_symbolicate(key, user, addresses, frame_limit=256):
     """Symbolicate variant addresses; returns ``(payload, delta)``.
 
     Stateless ΔBreakpad: the user's variant is rebuilt deterministically
-    from its seed and the stream proof's :class:`AddressMap` resolves
-    each address — so symbolication needs no per-served-variant storage,
-    only the determinism the cache key already relies on. A config that
-    is not NOP-transparent (§6 transforms) or a variant whose proof
-    fails reports ``symbolicatable: false`` with a typed reason rather
-    than guessing.
+    from its seed and a proof-backed address map resolves each address —
+    so symbolication needs no per-served-variant storage, only the
+    determinism the cache key already relies on. NOP-transparent
+    configs use the stream proof's
+    :class:`~repro.analysis.transparency.AddressMap`; §6 configs use
+    the equivalence proof's generalized
+    :class:`~repro.analysis.equivalence.EquivalenceMap`, so
+    substitution, bb-shift and reordering get *exact* answers too. Only
+    a variant whose proof fails reports ``symbolicatable: false`` with
+    a typed reason — never a guess.
     """
     before = metrics.snapshot()
     state = _state_for(key)
     seed = user_seed(key[0], key[1], user)
-    if state["plan"] is None:
-        metrics.inc("serve.worker.unsymbolicatable")
-        payload = {"seed": seed, "symbolicatable": False,
-                   "reason": "config_not_nop_transparent", "frames": None}
-        return payload, metrics.delta_since(before)
     binary = _build_variant(state, seed)
-    report, amap = state["prover"].address_map(binary)
+    if state["plan"] is not None:
+        report, amap = state["prover"].address_map(binary)
+        reason = "transparency_proof_failed"
+    else:
+        proof = _eq_prover(state).prove(binary)
+        report, amap = proof, proof.map
+        reason = "equivalence_proof_failed"
     if amap is None:
         metrics.inc("serve.worker.unsymbolicatable")
         payload = {"seed": seed, "symbolicatable": False,
-                   "reason": "transparency_proof_failed",
+                   "reason": reason,
                    "findings": [f.describe() for f in report.findings[:10]],
                    "frames": None}
         return payload, metrics.delta_since(before)

@@ -31,10 +31,19 @@ therefore executes exactly as many times as the carried instruction
 that follows it, and a trailing NOP run (none in practice) would
 execute zero times.
 
-A variant the proof rejects — a §6 configuration that rewrites
-encodings, a miscompiled build — falls back to an ordinary per-variant
-simulation, with a warning recorded on the simulator (and surfaced as a
-``batch.fallbacks`` counter), never a wrong answer.
+A variant the NOP proof rejects gets a second chance: the generalized
+§6 equivalence proof (:class:`repro.analysis.equivalence.
+EquivalenceProver`). When it succeeds, its per-record count plan drives
+the same analytic derivation — substituted and relocated instructions
+inherit their baseline partner's count through the generalized map,
+sled skip jumps execute exactly as often as their function's first
+instruction, and proven-dead sled NOPs execute zero times — so whole
+§6 populations (substitution, bb-shift, reordering, composed with
+NOPs) derive without a single real run. Only a variant *both* proofs
+reject — a miscompiled build, a corrupted image — falls back to an
+ordinary per-variant simulation, with a warning recorded on the
+simulator (and surfaced as a ``batch.fallbacks`` counter), never a
+wrong answer.
 
 ``REPRO_SIM_BATCH`` selects the mode: ``on`` (derive), ``off``
 (simulate every variant individually — the old behavior), or ``check``
@@ -51,6 +60,10 @@ from __future__ import annotations
 
 import weakref
 
+from repro.analysis.equivalence import (
+    PLAN_CARRIED, PLAN_NOP, PLAN_SLED_JMP, PLAN_SLED_NOP,
+    EquivalenceProver,
+)
 from repro.analysis.transparency import TransparencyProver
 from repro.errors import BatchParityError, ReproError, SimulatorError
 from repro.obs import metrics
@@ -99,6 +112,8 @@ class PopulationSimulator:
         self._baseline_outcome = None  # (SimResult | None, error | None)
         self._prover = None
         self._proofs = weakref.WeakKeyDictionary()
+        self._eq_prover = None
+        self._eq_proofs = weakref.WeakKeyDictionary()
 
     # -- baseline ------------------------------------------------------------
 
@@ -140,6 +155,20 @@ class PopulationSimulator:
             self._proofs[variant] = report
         return report
 
+    def _equivalence_proof(self, variant):
+        """The memoized §6 equivalence proof for one variant."""
+        report = self._eq_proofs.get(variant)
+        if report is None:
+            if self._eq_prover is None:
+                self._eq_prover = EquivalenceProver(self.baseline)
+            with span("batch_prove_equivalence"):
+                report = self._eq_prover.prove(variant)
+            metrics.inc("batch.equivalence_proofs")
+            if not report.ok:
+                metrics.inc("batch.equivalence_proof_failures")
+            self._eq_proofs[variant] = report
+        return report
+
     # -- derivation ----------------------------------------------------------
 
     def _derive(self, base, variant):
@@ -178,6 +207,40 @@ class PopulationSimulator:
         return SimResult(list(base.output), base.exit_code, instr_count,
                          counts)
 
+    def _derive_from_plan(self, base, variant, plan):
+        """The §6 path: derive through an equivalence count plan.
+
+        ``plan`` has one entry per variant record (see
+        :class:`repro.analysis.equivalence.EquivalenceReport`); entries
+        carry explicit baseline record indices, so this walk is correct
+        under function reordering where the in-order pairing of
+        :meth:`_derive` is not.
+        """
+        base_counts = base.addr_counts
+        b_records = self.baseline.instr_records
+        instr_count = base.instr_count
+        counting = self.count_addresses
+        counts = {}
+        for record, entry in zip(variant.instr_records, plan):
+            kind = entry[0]
+            if kind == PLAN_CARRIED:
+                count = base_counts.get(b_records[entry[1]].address, 0)
+            elif kind == PLAN_NOP:
+                count = base_counts.get(b_records[entry[1]].address, 0)
+                instr_count += count
+            elif kind == PLAN_SLED_JMP:
+                count = base_counts.get(b_records[entry[1]].address, 0)
+                for subtracted in entry[2]:
+                    count -= base_counts.get(
+                        b_records[subtracted].address, 0)
+                instr_count += count
+            else:  # PLAN_SLED_NOP: proven dead, executes zero times
+                count = 0
+            if counting and count:
+                counts[record.address] = count
+        return SimResult(list(base.output), base.exit_code, instr_count,
+                         counts)
+
     # -- the public per-variant API ------------------------------------------
 
     def result_for(self, variant, *, max_steps=None):
@@ -194,12 +257,25 @@ class PopulationSimulator:
             metrics.inc("batch.variants_simulated")
             return self._simulate(variant, limit)
 
+        plan = None
         proof = self._proof(variant)
         if not proof.ok:
-            self._fallback(
-                "transparency proof failed; simulating variant(s) "
-                "individually: " + proof.findings[0].describe())
-            return self._simulate(variant, limit)
+            # Not "baseline + NOPs" — a §6 transform or a miscompile.
+            # The generalized equivalence proof decides which.
+            equivalence = self._equivalence_proof(variant)
+            if not equivalence.ok:
+                self._fallback(
+                    "transparency and equivalence proofs failed; "
+                    "simulating variant(s) individually: "
+                    + equivalence.findings[0].describe())
+                return self._simulate(variant, limit)
+            plan = equivalence.count_plan
+            if any(entry[0] == PLAN_SLED_JMP and entry[2] is None
+                   for entry in plan):
+                self._fallback(
+                    "equivalence proof holds but a sled jump count is "
+                    "underivable; simulating variant(s) individually")
+                return self._simulate(variant, limit)
         try:
             base = self.baseline_result()
         except SimulatorError:
@@ -208,7 +284,11 @@ class PopulationSimulator:
             return self._simulate(variant, limit)
 
         with span("batch_derive"):
-            derived = self._derive(base, variant)
+            if plan is None:
+                derived = self._derive(base, variant)
+            else:
+                metrics.inc("batch.variants_derived_equivalence")
+                derived = self._derive_from_plan(base, variant, plan)
         if derived.instr_count > limit:
             self._fallback("derived instruction count exceeds the step "
                            "budget; simulating variant(s) individually")

@@ -1,0 +1,310 @@
+"""EquivalenceProver: machine-checked §6 semantics-preservation proofs.
+
+Three groups of properties:
+
+- **Coverage**: every §6 transform (encoding substitution, basic-block
+  shifting, function reordering) alone and composed, on every
+  registered workload, proves equivalent — with a generalized address
+  map whose round-trips are exact and a count plan covering every
+  variant record.
+- **Miscompile rejection**: a seeded mutation harness rewrites variant
+  bytes *and* re-pins the covering instruction record by decoding the
+  new bytes — exactly what a genuinely miscompiling toolchain would
+  ship — and each §6-shaped miscompile must be refused with its stable
+  finding code, never proven.
+- **Integration**: ``verify_binary(..., baseline=...)`` discharges
+  ``verify.unreachable`` only for proven-dead sleds, and
+  ``require_equivalent`` raises the typed error.
+"""
+
+import dataclasses
+from functools import lru_cache
+
+import pytest
+
+from repro.analysis import (
+    EquivalenceProver, prove_equivalence, require_equivalent, verify_binary,
+)
+from repro.analysis import equivalence as equivalence_module
+from repro.core.config import DiversificationConfig
+from repro.errors import EquivalenceError
+from repro.pipeline import ProgramBuild
+from repro.workloads.registry import get_workload, workload_names
+from repro.x86.decoder import decode
+
+#: The §6 transforms alone and composed, on top of the paper's
+#: profile-guided NOP config.
+SEC6_FLAGS = {
+    "subst": {"encoding_substitution": True},
+    "bbshift": {"basic_block_shifting": True},
+    "reorder": {"function_reordering": True},
+    "sec6": {"encoding_substitution": True, "basic_block_shifting": True,
+             "function_reordering": True},
+}
+SEEDS = (0, 1)
+
+
+def _config(transform):
+    return DiversificationConfig.profile_guided(0.00, 0.30,
+                                                **SEC6_FLAGS[transform])
+
+
+@lru_cache(maxsize=None)
+def _state(name):
+    workload = get_workload(name)
+    build = ProgramBuild(workload.source, workload.name)
+    baseline = build.link_baseline()
+    profile = build.profile(workload.train_input)
+    return build, baseline, profile
+
+
+@lru_cache(maxsize=None)
+def _prover(name):
+    return EquivalenceProver(_state(name)[1], baseline_name=name)
+
+
+@lru_cache(maxsize=None)
+def _variant(name, transform, seed):
+    build, _baseline, profile = _state(name)
+    return build.link_variant(_config(transform), seed, profile)
+
+
+def _mutate(binary, offset, payload):
+    """Rewrite bytes at a text offset and re-pin the covering record.
+
+    The covering instruction record is replaced by decoding the new
+    bytes, so the record metadata vouches for the mutated image exactly
+    as a miscompiling toolchain's would — the prover must refuse the
+    *semantics*, not merely notice stale metadata.
+    """
+    text = bytearray(binary.text)
+    text[offset:offset + len(payload)] = payload
+    records = []
+    for record in binary.instr_records:
+        start = record.address - binary.text_base
+        if start < offset + len(payload) and offset < start + record.size:
+            chunk = bytes(text[start:start + record.size])
+            instr = decode(chunk, 0)
+            record = dataclasses.replace(record, instr=instr,
+                                         mnemonic=instr.mnemonic)
+        records.append(record)
+    return dataclasses.replace(binary, text=bytes(text),
+                               instr_records=list(records))
+
+
+def _codes(report):
+    return {finding.code for finding in report.findings}
+
+
+# -- coverage: every transform, every workload ------------------------------
+
+@pytest.mark.parametrize("name", workload_names())
+@pytest.mark.parametrize("transform", sorted(SEC6_FLAGS))
+def test_all_transforms_prove_on_all_workloads(name, transform):
+    prover = _prover(name)
+    for seed in SEEDS:
+        variant = _variant(name, transform, seed)
+        report = prover.prove(variant, variant_name=f"{transform}-{seed}")
+        assert report.ok, [f.describe() for f in report.findings]
+        assert report.map is not None
+        assert report.count_plan is not None
+        assert len(report.count_plan) == len(variant.instr_records)
+        if SEC6_FLAGS[transform].get("basic_block_shifting"):
+            assert report.stats["sled_functions"] > 0
+            assert report.sled_spans
+
+
+def test_substitutions_actually_occur():
+    # The subst coverage above must not pass vacuously: across the test
+    # seeds, at least one instruction really was re-encoded.
+    prover = _prover("429.mcf")
+    flipped = sum(
+        prover.prove(_variant("429.mcf", "subst", seed))
+        .stats["substituted"] for seed in SEEDS)
+    assert flipped > 0
+
+
+def test_map_round_trips_every_baseline_record():
+    _build, baseline, _profile = _state("429.mcf")
+    report = _prover("429.mcf").prove(_variant("429.mcf", "sec6", 0))
+    assert report.ok
+    for record in baseline.instr_records:
+        moved = report.map.to_variant(record.address)
+        assert moved is not None
+        back = report.map.to_baseline(moved)
+        assert back["baseline_address"] == record.address
+        assert back["status"] in ("exact", "substituted", "inserted_nop")
+        assert back["mnemonic"] == record.mnemonic
+
+
+def test_baseline_proves_against_itself():
+    report = _prover("429.mcf").prove(_state("429.mcf")[1])
+    assert report.ok
+    assert report.stats["inserted_nops"] == 0
+    assert report.stats["substituted"] == 0
+    assert report.stats["sled_functions"] == 0
+
+
+# -- the seeded miscompile harness ------------------------------------------
+
+def _find_flippable_mov(baseline, variant):
+    """A carried two-byte reg,reg MOV whose operands differ."""
+    for record in variant.instr_records:
+        if record.is_inserted_nop or record.size != 2:
+            continue
+        start = record.address - variant.text_base
+        opcode, modrm = variant.text[start], variant.text[start + 1]
+        if opcode in (0x89, 0x8B) and (modrm >> 6) == 3 \
+                and ((modrm >> 3) & 7) != (modrm & 7):
+            return start, opcode
+    raise AssertionError("no reg,reg mov to mutate")
+
+
+def test_bad_substitution_flip_is_refused():
+    # A flip that toggles the ModRM direction bit *without* swapping the
+    # register fields silently swaps the operands — the classic bad
+    # substitution miscompile. The prover re-decodes both sides, so it
+    # is caught as a changed operation, with the map withheld.
+    _build, baseline, _profile = _state("429.mcf")
+    variant = _variant("429.mcf", "subst", 0)
+    offset, opcode = _find_flippable_mov(baseline, variant)
+    mutated = _mutate(variant, offset, bytes([opcode ^ 0x02]))
+    report = _prover("429.mcf").prove(mutated, variant_name="bad-flip")
+    assert not report.ok
+    assert "verify.equivalence.stream" in _codes(report)
+    assert report.map is None and report.count_plan is None
+
+
+def test_subst_code_fires_when_reencoding_disagrees(monkeypatch):
+    # The deeper substitution defense: even when both byte chunks decode
+    # to the same operation, the variant bytes must be one of the two
+    # dual-ModRM encodings re-derived through the encoder. Simulate an
+    # encoder/decoder disagreement to pin the stable code on that path.
+    variant = _variant("429.mcf", "subst", 0)
+    clean = _prover("429.mcf").prove(variant)
+    assert clean.ok and clean.stats["substituted"] > 0
+    monkeypatch.setattr(equivalence_module, "encode",
+                        lambda instr: b"\x90")
+    report = _prover("429.mcf").prove(variant, variant_name="bad-encoder")
+    assert not report.ok
+    assert "verify.equivalence.subst" in _codes(report)
+
+
+def _find_sled(variant):
+    """(jmp_record, target, first_carried_record) of some variant sled."""
+    for name, (start, _end) in sorted(variant.function_ranges.items(),
+                                      key=lambda kv: kv[1]):
+        records = variant.records_in(name)
+        if len(records) < 3 or records[0].mnemonic != "jmp" \
+                or records[0].is_inserted_nop:
+            continue
+        if not records[1].is_inserted_nop:
+            continue
+        jmp = records[0]
+        target = jmp.address + jmp.size + jmp.instr.operands[0].value
+        landing = next((r for r in records if r.address == target
+                        and not r.is_inserted_nop), None)
+        if landing is not None:
+            return jmp, target, landing
+    raise AssertionError("no sled found to mutate")
+
+
+def test_live_sled_is_refused():
+    # Stretch the sled jump past the function's first real instruction:
+    # the "sled" now swallows live code. The interior is no longer all
+    # inserted NOPs, so the dead-code proof must fail.
+    variant = _variant("429.mcf", "bbshift", 0)
+    jmp, _target, landing = _find_sled(variant)
+    assert jmp.size == 2  # rel8 sled jump
+    offset = jmp.address - variant.text_base
+    disp = variant.text[offset + 1] + landing.size
+    assert disp < 0x80
+    mutated = _mutate(variant, offset + 1, bytes([disp]))
+    report = _prover("429.mcf").prove(mutated, variant_name="live-sled")
+    assert not report.ok
+    assert "verify.equivalence.sled" in _codes(report)
+
+
+def test_symbol_into_sled_interior_is_refused():
+    # A sled is dead only while nothing can enter it; a code symbol
+    # landing inside the interior makes it reachable.
+    variant = _variant("429.mcf", "bbshift", 0)
+    clean = _prover("429.mcf").prove(variant)
+    assert clean.ok and clean.sled_spans
+    interior = clean.sled_spans[0][0]
+    reachable = dataclasses.replace(
+        variant,
+        code_symbols={**variant.code_symbols, "injected": interior})
+    report = _prover("429.mcf").prove(reachable, variant_name="reachable")
+    assert not report.ok
+    assert "verify.equivalence.sled" in _codes(report)
+
+
+def _find_call(variant):
+    for record in variant.instr_records:
+        if record.mnemonic == "call" and not record.is_inserted_nop \
+                and record.instr.is_relative_branch:
+            return record
+    raise AssertionError("no relative call to mutate")
+
+
+def test_misrelocated_cross_function_call_is_refused():
+    # Function reordering recomputes every cross-function displacement;
+    # an off-by-one relocation targets the wrong byte of the moved
+    # callee. No label maps baseline target to variant target, so the
+    # label-mediated branch check must refuse it.
+    variant = _variant("429.mcf", "reorder", 0)
+    call = _find_call(variant)
+    offset = call.address - variant.text_base
+    mutated = _mutate(variant, offset + 1,
+                      bytes([variant.text[offset + 1] ^ 0x01]))
+    report = _prover("429.mcf").prove(mutated, variant_name="bad-call")
+    assert not report.ok
+    assert "verify.equivalence.branch" in _codes(report)
+
+
+def test_corrupted_byte_is_refused_by_record_pinning():
+    # Image/record disagreement (bit rot rather than a miscompile) is
+    # caught by the pinning stage before any equivalence reasoning.
+    variant = _variant("429.mcf", "sec6", 0)
+    text = bytearray(variant.text)
+    text[7] ^= 0xFF
+    corrupt = dataclasses.replace(variant, text=bytes(text))
+    report = _prover("429.mcf").prove(corrupt, variant_name="corrupt")
+    assert not report.ok
+    assert "verify.transparency.stream" in _codes(report)
+
+
+# -- integration ------------------------------------------------------------
+
+def test_verify_binary_discharges_only_proven_sleds():
+    variant = _variant("429.mcf", "sec6", 0)
+    plain = verify_binary(variant, name="sec6-no-baseline")
+    assert any(f.code == "verify.unreachable" for f in plain.findings)
+    anchored = verify_binary(variant, name="sec6-anchored",
+                             baseline=_prover("429.mcf"))
+    assert not anchored.findings, \
+        [f.describe() for f in anchored.findings]
+    assert anchored.stats["equivalence"]["sled_functions"] > 0
+
+
+def test_prove_equivalence_one_shot_matches_prover():
+    _build, baseline, _profile = _state("429.mcf")
+    variant = _variant("429.mcf", "sec6", 1)
+    report = prove_equivalence(baseline, variant,
+                               baseline_name="429.mcf",
+                               variant_name="sec6-1")
+    assert report.ok
+    assert report.stats == _prover("429.mcf").prove(variant).stats
+
+
+def test_require_equivalent_raises_typed_error():
+    _build, baseline, _profile = _state("429.mcf")
+    variant = _variant("429.mcf", "sec6", 0)
+    text = bytearray(variant.text)
+    text[3] ^= 0x01
+    corrupt = dataclasses.replace(variant, text=bytes(text))
+    with pytest.raises(EquivalenceError) as info:
+        require_equivalent(baseline, corrupt)
+    assert info.value.code == "verify.equivalence"
+    assert info.value.context["findings"]

@@ -115,13 +115,22 @@ def test_symbolicate_round_trips_the_entry_point(daemon, client):
     assert unmapped["status"] == "unmapped"
 
 
-def test_sec6_config_is_served_but_not_symbolicatable(client):
+def test_sec6_config_is_served_and_symbolicates_exactly(daemon, client):
     served = client.variant(PROGRAM, "30%+sec6", "sec6-user")
     assert served["ok"]
-    assert served["variant"]["verified"] == "structural"
-    response = client.symbolicate(PROGRAM, "30%+sec6", "sec6-user", [4096])
-    assert response["symbolicatable"] is False
-    assert response["reason"] == "config_not_nop_transparent"
+    assert served["variant"]["verified"] == "equivalence"
+    state = daemon.server._states[(PROGRAM, "30%+sec6")]
+    entry = state.build.link_baseline().entry
+    response = client.symbolicate(PROGRAM, "30%+sec6", "sec6-user",
+                                  [entry, 2])
+    assert response["symbolicatable"]
+    frame, unmapped = response["frames"]
+    # The variant's entry fronts the entry function's bb-shift sled
+    # (or the function itself when the seed drew a zero-byte sled);
+    # either way it attributes to the baseline entry.
+    assert frame["status"] in ("exact", "sled_jump")
+    assert frame["baseline_address"] == entry
+    assert unmapped["status"] == "unmapped"
 
 
 def test_unknown_op_is_a_typed_error(client):

@@ -5,15 +5,17 @@ For every workload in the registry × both paper configs: adopt the
 baseline instructions, find where they live in the user's variant via
 the proof's address map, and ask :func:`shard_symbolicate` to map those
 variant addresses back — the answer must name the original baseline
-instruction exactly (address, mnemonic, owning function). A §6
-transform config must instead refuse with a typed
-"config_not_nop_transparent" reason: never a guess.
+instruction exactly (address, mnemonic, owning function). §6 transform
+configs symbolicate exactly too, through the generalized equivalence
+map; only a variant whose proof fails refuses with a typed reason —
+never a guess.
 """
 
 from functools import lru_cache
 
 import pytest
 
+from repro.analysis import EquivalenceProver
 from repro.core.config import DiversificationConfig
 from repro.pipeline import ProgramBuild
 from repro.serve import workers
@@ -90,17 +92,69 @@ def test_mid_instruction_and_out_of_text_are_unmapped():
                for frame in payload["frames"])
 
 
-def test_sec6_config_reports_unsymbolicatable():
+def test_sec6_round_trip_is_exact():
+    # §6 configs answer exactly through the generalized equivalence
+    # map. The expected mapping is derived here with an independent
+    # prover instance, never the worker's own state.
     workload, build, baseline = _build("429.mcf")
     key = ("429.mcf", "sec6-test")
+    config = DiversificationConfig.uniform(
+        0.3, basic_block_shifting=True, encoding_substitution=True,
+        function_reordering=True)
+    workers.shard_adopt(key, build.unit_blob(), config, None, None,
+                        baseline.identity_hash())
+    user = "sec6-user"
+    seed = user_seed("429.mcf", "sec6-test", user)
+    variant = workers._build_variant(workers._SHARD_STATE[key], seed)
+    proof = EquivalenceProver(baseline, baseline_name="429.mcf") \
+        .prove(variant)
+    assert proof.ok
+    records = baseline.instr_records
+    probe_indices = list(range(0, len(records), max(1, len(records) // 40)))
+    addresses = [proof.map.to_variant(records[index].address)
+                 for index in probe_indices]
+    # Include one proven-dead sled byte: it must attribute to its
+    # function's entry, not refuse.
+    assert proof.sled_spans
+    addresses.append(proof.sled_spans[0][0])
+    payload, _delta = workers.shard_symbolicate(key, user, addresses)
+    assert payload["symbolicatable"]
+    assert payload["seed"] == seed
+    for index, frame in zip(probe_indices, payload["frames"]):
+        record = records[index]
+        assert frame["status"] in ("exact", "substituted", "inserted_nop")
+        assert frame["baseline_address"] == record.address
+        assert frame["mnemonic"] == record.mnemonic
+        expected_function = next(
+            (fn for fn, (start, end) in baseline.function_ranges.items()
+             if start <= record.address < end), None)
+        assert frame["function"] == expected_function
+    sled_frame = payload["frames"][-1]
+    assert sled_frame["status"] == "sled_nop"
+    assert sled_frame["function"] is not None
+
+
+def test_unprovable_variant_reports_unsymbolicatable():
+    # The refusal path survives: when the rebuilt variant's proof
+    # fails (identity skew injected at the baseline-hash level is
+    # caught earlier, so corrupt the prover's verdict source — a config
+    # adopted against a *different* program), answer a typed reason.
+    workload, build, baseline = _build("429.mcf")
+    other = _build("470.lbm")[1]
+    key = ("429.mcf", "skew-sym-test")
     workers.shard_adopt(
         key, build.unit_blob(),
         DiversificationConfig.uniform(0.3, basic_block_shifting=True),
         None, None, baseline.identity_hash())
+    # Swap the adopted baseline for a foreign one: every rebuilt
+    # variant now fails its equivalence proof.
+    state = workers._SHARD_STATE[key]
+    state["baseline"] = other.link_baseline()
+    state["eq_prover"] = None
     payload, _delta = workers.shard_symbolicate(
-        key, "sec6-user", [baseline.text_base])
+        key, "skew-user", [baseline.text_base])
     assert payload["symbolicatable"] is False
-    assert payload["reason"] == "config_not_nop_transparent"
+    assert payload["reason"] == "equivalence_proof_failed"
     assert payload["frames"] is None
 
 

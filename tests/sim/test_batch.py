@@ -111,6 +111,29 @@ class TestWorkloadParity:
             assert variant_cycles == [estimate_cycles(variant, counts)
                                       for variant in variants]
 
+    @pytest.mark.parametrize("name", workload_names())
+    def test_sec6_parity_on_train_input(self, name):
+        # §6 composed population (substitution + bb-shift + reordering
+        # on top of profile-guided NOPs): the equivalence proof's count
+        # plan must derive every variant with zero fallbacks, and check
+        # mode cross-checks each derivation against a real run.
+        workload = get_workload(name)
+        build = ProgramBuild(workload.source, workload.name)
+        baseline = build.link_baseline()
+        config = DiversificationConfig.profile_guided(
+            0.00, 0.30, encoding_substitution=True,
+            basic_block_shifting=True, function_reordering=True)
+        profile = build.profile(workload.train_input)
+        variants = build_population(build, config, SEEDS, profile)
+        before = metrics.counters().get("batch.fallbacks", 0)
+        sim = PopulationSimulator(baseline, workload.train_input,
+                                  count_addresses=True, mode="check")
+        for variant in variants:
+            sim.result_for(variant)
+        after = metrics.counters().get("batch.fallbacks", 0)
+        assert after - before == 0
+        assert not sim.warnings, sim.warnings
+
 
 class TestFuzzProgramParity:
     """Adversarial inputs: generator-produced programs (the fuzz
@@ -178,26 +201,47 @@ class TestModes:
 
 
 class TestFallbacks:
-    def test_unprovable_variant_falls_back_with_warning(self, fib_build):
-        # The §6 composed extensions rewrite encodings and reorder
-        # functions — no transparency proof exists, so every variant
-        # must be simulated individually, correctly, with the reason
-        # recorded once.
+    def test_sec6_population_derives_via_equivalence(self, fib_build):
+        # The §6 composed extensions rewrite encodings, shift blocks and
+        # reorder functions — no transparency proof exists, but the
+        # equivalence proof's count plan derives every variant
+        # analytically; check mode cross-checks every derivation against
+        # a real run, and nothing may fall back.
         config = DiversificationConfig.uniform(
             0.5, basic_block_shifting=True, encoding_substitution=True,
             function_reordering=True)
         baseline = fib_build.link_baseline()
         variants = _population(fib_build, config)
-        before = metrics.counters().get("batch.fallbacks", 0)
+        before = metrics.counters()
         sim = PopulationSimulator(baseline, (8,), count_addresses=True,
-                                  mode="on")
+                                  mode="check")
         for variant in variants:
             _assert_same(run_binary(variant, (8,), count_addresses=True),
                          sim.result_for(variant))
+        after = metrics.counters()
+        assert (after.get("batch.fallbacks", 0)
+                - before.get("batch.fallbacks", 0)) == 0
+        assert (after.get("batch.variants_derived_equivalence", 0)
+                - before.get("batch.variants_derived_equivalence", 0)
+                ) == len(variants)
+        assert not sim.warnings, sim.warnings
+
+    def test_unprovable_binary_falls_back_with_warning(self, fib_build,
+                                                       hotcold_build):
+        # A binary that is no variant of this baseline at all: both the
+        # transparency and the equivalence proof must refuse it, and the
+        # engine simulates it individually with the reason recorded once.
+        baseline = fib_build.link_baseline()
+        stranger = _population(hotcold_build, UNIFORM)[0]
+        before = metrics.counters().get("batch.fallbacks", 0)
+        sim = PopulationSimulator(baseline, (8,), count_addresses=True,
+                                  mode="on")
+        _assert_same(run_binary(stranger, (8,), count_addresses=True),
+                     sim.result_for(stranger))
         after = metrics.counters().get("batch.fallbacks", 0)
-        assert after - before == len(variants)
+        assert after - before == 1
         assert len(sim.warnings) == 1  # deduplicated
-        assert "transparency proof failed" in sim.warnings[0]
+        assert "equivalence proofs failed" in sim.warnings[0]
 
     def test_failing_baseline_falls_back(self, fib_build):
         # A baseline that exhausts its budget cannot anchor derivation;

@@ -40,6 +40,12 @@ Two AST checks over ``src/repro/``:
    every connection of the daemon; CPU-bound and waiting work belongs
    behind ``run_in_executor`` / ``await``.
 
+6. Every finding-code string literal emitted inside
+   ``src/repro/analysis/`` (``Finding("verify....", ...)``) must
+   appear in the "Stable finding codes" table of ``docs/ANALYSIS.md``
+   — the codes are a published interface tooling matches on, so an
+   undocumented code is either a typo or a silent API addition.
+
 Run by ``make lint`` (and therefore ``make test``). Exits 1 and lists
 ``file:line`` for each violation.
 """
@@ -47,6 +53,7 @@ Run by ``make lint`` (and therefore ``make test``). Exits 1 and lists
 from __future__ import annotations
 
 import ast
+import re
 import sys
 from pathlib import Path
 
@@ -222,10 +229,51 @@ def find_async_blocking_violations(path):
     return violations
 
 
+def find_finding_codes(path):
+    """``(lineno, code)`` for every ``Finding("<code>", ...)`` whose
+    first argument is a string literal (check 6)."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    codes = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None)
+        if (name == "Finding" and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            codes.append((node.lineno, node.args[0].value))
+    return codes
+
+
+def documented_finding_codes(doc_path):
+    """Codes listed in ANALYSIS.md's "Stable finding codes" table.
+
+    The table is the section under the heading containing "stable
+    finding codes" (case-insensitive), up to the next heading; codes
+    are the backticked ``verify.*`` tokens inside it.
+    """
+    if not doc_path.exists():
+        return set()
+    in_section = False
+    codes = set()
+    for line in doc_path.read_text().splitlines():
+        if line.startswith("#"):
+            in_section = "stable finding codes" in line.lower()
+            continue
+        if in_section:
+            codes.update(re.findall(r"`(verify\.[a-z_.]+)`", line))
+    return codes
+
+
 def main():
     failures = []
     fuzz_package = PACKAGE / "fuzz"
     serve_package = PACKAGE / "serve"
+    analysis_package = PACKAGE / "analysis"
+    documented = documented_finding_codes(ROOT / "docs" / "ANALYSIS.md")
     harness = ROOT / "benchmarks" / "_harness.py"
     if harness.exists():
         for lineno, name in find_per_variant_sim_violations(harness):
@@ -257,6 +305,13 @@ def main():
                     f"{path.relative_to(ROOT)}:{lineno}: blocking "
                     f"{name} inside an async handler; use "
                     f"run_in_executor / await instead")
+        if analysis_package in path.parents:
+            for lineno, code in find_finding_codes(path):
+                if code not in documented:
+                    failures.append(
+                        f"{path.relative_to(ROOT)}:{lineno}: finding "
+                        f"code {code!r} is not listed in the stable-"
+                        f"codes table of docs/ANALYSIS.md")
     if failures:
         print("\n".join(failures), file=sys.stderr)
         print(f"lint: {len(failures)} violation(s)", file=sys.stderr)
@@ -265,7 +320,8 @@ def main():
           "direct REPRO_* environment reads, no unseeded randomness "
           "in src/repro/fuzz/, no per-variant simulation loops in "
           "benchmarks/_harness.py, no blocking calls in "
-          "src/repro/serve/ async handlers)")
+          "src/repro/serve/ async handlers, every analysis finding "
+          "code documented in docs/ANALYSIS.md)")
     return 0
 
 
