@@ -62,6 +62,20 @@ class LinkedBinary:
     data_words: dict  # address -> initial 32-bit value
     instr_records: list = field(default_factory=list)
     function_ranges: dict = field(default_factory=dict)  # name -> (start, end)
+    #: Optional :class:`repro.backend.linkplan.PlanProvenance` attached by
+    #: ``LinkPlan.apply`` when the variant exercised a §6 feature.
+    #: In-process only: pickling (the artifact cache) drops it, so cached
+    #: binaries always re-prove.
+    provenance: object = field(default=None, repr=False)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["provenance"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__dict__.setdefault("provenance", None)
 
     @property
     def text_end(self):

@@ -1,44 +1,74 @@
 """Compile-once / diversify-many: the precomputed :class:`LinkPlan`.
 
-For one (runtime unit, program unit) pair, every NOP-diversified variant
+For one (runtime unit, program unit) pair, every diversified variant
 shares almost all of the linker's work: the non-NOP instruction
 encodings, the label/symbol skeleton, the data-section layout, the set of
 relocation sites, and the candidate branch widths are identical across
-the whole population — only the inserted NOP bytes and the branch
-displacements they push around differ. :func:`build_link_plan` pays that
-shared work exactly once; :meth:`LinkPlan.apply` then links one variant
-with only the per-seed work left:
+the whole population — only the per-seed deltas (inserted NOP bytes,
+flipped dual-ModRM encodings, basic-block-shift sleds, the function
+permutation) and the branch displacements they push around differ.
+:func:`build_link_plan` pays that shared work exactly once;
+:meth:`LinkPlan.apply` then links one variant with only the per-seed
+work left:
 
-1. **Stream merge** — walk the variant's items, matching every non-NOP
-   item *by object identity* against the planned stream (the
-   NOP-insertion pass re-emits the original item objects, so a single
-   ``is`` check proves the variant is "plan + inserted NOPs"). Anything
-   else — §6 encoding substitution, function reordering, basic-block
-   shift jumps — raises :class:`~repro.errors.PlanMismatchError` and the
+1. **Stream merge** — walk each variant function's items against its
+   planned span (functions are matched *by name*, so a reordered tiling
+   walks the same spans in a different order). Carried items match the
+   plan *by object identity*; the per-seed deltas each have a recognized
+   shape:
+
+   - an **inserted NOP** (pre-encoded Table-1 candidate) splices in as
+     dynamic bytes, exactly as before;
+   - an **encoding substitution** (same mnemonic/operands, flipped
+     ``alternate_encoding``) consumes its planned slot using the
+     alternate dual-ModRM bytes pre-encoded at plan time;
+   - a **basic-block-shift sled** is handled generically as dynamic
+     items: an unplanned ``LabelDef`` pins a fresh merged offset, and an
+     unplanned relative branch targeting such a label joins the
+     relaxation as a dynamic branch (initial width 8, like a full
+     ``link()``).
+
+   Anything else raises :class:`~repro.errors.PlanMismatchError` and the
    caller falls back to a full :func:`~repro.backend.linker.link`.
-2. **Incremental branch relaxation** — widths start from the plan's
-   no-NOP fixpoint instead of all-short. Inserting bytes can only grow
-   displacements, so the baseline fixpoint is a sound lower bound and
-   the monotone widening loop converges in very few passes.
-3. **Byte splicing** — pre-encoded instruction bytes are spliced with
-   the variant's NOP encodings; only branch displacements and the
-   ``disp32`` field of data-symbol relocations (the data section floats
-   behind the text) are re-materialized per variant.
+2. **Incremental branch relaxation** — planned branch widths start from
+   the plan's no-NOP fixpoint instead of all-short. Diversification only
+   *inserts* bytes within a function, so every intra-function
+   displacement can only grow and the baseline fixpoint stays a sound
+   lower bound — and it survives function reordering whenever every
+   non-``call`` branch is intra-function (``call`` is always rel32),
+   which :func:`build_link_plan` checks once; a permuted tiling of a
+   plan that fails that check is a :class:`PlanMismatchError`. Dynamic
+   sled branches start short and widen with everything else in the same
+   monotone loop.
+3. **Byte splicing** — pre-encoded instruction bytes (original or
+   alternate-ModRM) are spliced with the variant's NOP encodings; only
+   branch displacements and the ``disp32`` field of data-symbol
+   relocations (the data section floats behind the text) are
+   re-materialized per variant.
 
 The output is bit-identical to ``link([*fixed_units, variant])`` —
 same text bytes, symbols, data image, and ``identity_hash()`` — which
-``tests/backend/test_linkplan.py`` enforces across every registered
-workload. Instruction records are materialized lazily: population
-studies (gadget scans, differential validation) never touch them, so a
-variant build does not pay for them unless the analytic cost engine
-asks.
+``tests/backend/test_linkplan.py`` and ``test_linkplan_sec6.py`` enforce
+across every registered workload and every §6 config. Instruction
+records are materialized lazily: population studies (gadget scans,
+differential validation) never touch them, so a variant build does not
+pay for them unless the analytic cost engine asks.
+
+Variants that exercised a §6 feature additionally carry a lazy
+:class:`PlanProvenance` on ``LinkedBinary.provenance``: the merge walk
+already knows which emitted record is carried, a riding NOP, or
+proven-dead sled interior, so it can hand the lockstep batch engine
+(:mod:`repro.sim.batch`) a count plan in the equivalence-proof format
+without re-proving the variant. Provenance never survives pickling (the
+artifact cache stores plain binaries).
 """
 
 from __future__ import annotations
 
+import weakref
 from itertools import accumulate
 
-from repro.errors import LinkError, PlanMismatchError
+from repro.errors import EncodingError, LinkError, PlanMismatchError
 from repro.obs.trace import span
 from repro.backend.linker import (
     DEFAULT_TEXT_BASE, InstrRecord, LinkedBinary, _align, _branch_sizes,
@@ -54,10 +84,36 @@ _KIND_FIXED = 0    # non-branch instruction: pre-encoded bytes
 _KIND_LABEL = 1    # label definition: zero bytes, pins an offset
 _KIND_BRANCH = 2   # relative branch: bytes synthesized per variant
 
+#: Negative merged-stream codes for per-variant dynamic items. An
+#: inserted Table-1 NOP encodes its byte size into the code itself —
+#: ``-(2 + size)`` — so the sentinel-extended size lookup resolves
+#: dynamic NOPs in the same C-level map as every planned entry.
+_DYN_LABEL = -1    # unplanned LabelDef (sled skip label): zero bytes
+_DYN_BRANCH = -2   # unplanned branch to a dynamic label (sled skip jump)
+_DYN_NOP_TOP = -3  # NOP codes are -(2 + size): this value and below
+_DYN_NOP_MAX = 15  # longest NOP size a code can carry (max x86 length)
+
+#: Shared empty flip set for the (common) substitution-free delta.
+_EMPTY_SET = frozenset()
+
 #: Two distinct, always-disp32 placeholder addresses used to locate the
 #: ``disp32`` field inside a relocated instruction's encoding by diffing.
 _RELOC_PROBE_A = 0x08000000
 _RELOC_PROBE_B = 0x09000000
+
+#: The generalized plan's per-variant feature slots; `plan_features`
+#: returns the subset a config's variants may exercise.
+FEATURE_SUBSTITUTION = "substitution"
+FEATURE_BBSHIFT = "bbshift"
+FEATURE_REORDERING = "reordering"
+
+#: Count-plan entry kinds, value-identical to the constants in
+#: :mod:`repro.analysis.equivalence` (kept literal here so the backend
+#: does not import the analysis layer).
+_PLAN_CARRIED = "carried"
+_PLAN_NOP = "nop"
+_PLAN_SLED_JMP = "sled_jmp"
+_PLAN_SLED_NOP = "sled_nop"
 
 
 class _LazyRecords(list):
@@ -100,21 +156,71 @@ class _LazyRecords(list):
         return (list, (list(self._force()),))
 
 
-def plan_compatible(config):
-    """Whether variants of ``config`` are "the planned stream plus NOPs".
+def plan_features(config):
+    """Which generalized-plan feature slots ``config`` may exercise.
 
-    Pure NOP-insertion configs (any probability model, with or without
-    the XCHG candidates) re-emit the original item objects, so a
-    precomputed plan applies. The §6 extensions rewrite the stream —
-    encoding substitution creates flipped instructions, basic-block
-    shifting splices jumps, function reordering permutes layout — and
-    must take the full-``link()`` path. :meth:`LinkPlan.apply` would
-    also detect them (identity mismatch → PlanMismatchError), but
-    predicting it here avoids a doomed merge walk per variant.
+    Returns a frozenset drawn from :data:`FEATURE_SUBSTITUTION`,
+    :data:`FEATURE_BBSHIFT` and :data:`FEATURE_REORDERING`. Pure
+    NOP-insertion configs (any probability model, with or without the
+    XCHG candidates) need none — the empty set is exactly the
+    "NOP-transparent" predicate the provers key on: such variants are
+    the planned stream plus Table-1 NOPs and admit the cheap
+    transparency proof, while any §6 feature requires the generalized
+    equivalence proof. Every config routes through
+    :meth:`LinkPlan.apply` regardless; an unexpected stream shape is
+    detected there (:class:`~repro.errors.PlanMismatchError`) and the
+    caller falls back to a full ``link()``.
     """
-    return not (config.basic_block_shifting
-                or config.encoding_substitution
-                or config.function_reordering)
+    features = set()
+    if config.encoding_substitution:
+        features.add(FEATURE_SUBSTITUTION)
+    if config.basic_block_shifting:
+        features.add(FEATURE_BBSHIFT)
+    if config.function_reordering:
+        features.add(FEATURE_REORDERING)
+    return frozenset(features)
+
+
+class PlanProvenance:
+    """Link-time metadata tying one applied variant back to its plan.
+
+    ``features`` is the (nonempty) set of §6 feature slots the variant
+    actually exercised; ``plan`` is the :class:`LinkPlan` that applied
+    it. :attr:`count_plan` lazily materializes a per-record execution
+    count plan in the equivalence-proof format (``("carried", b_index)``
+    / ``("nop", b_index)`` / ``("sled_jmp", b_index, subtract)`` /
+    ``("sled_nop",)``) that :class:`repro.sim.batch.PopulationSimulator`
+    consumes to derive §6 population results without re-proving each
+    variant; it is ``None`` when the variant's shape has no derivable
+    count plan (the batch engine then falls back to a real proof).
+    Provenance is in-process only — pickling a ``LinkedBinary`` drops
+    it.
+    """
+
+    __slots__ = ("plan", "features", "_thunk", "_count_plan", "_built")
+
+    def __init__(self, plan, features, thunk):
+        self.plan = plan
+        self.features = features
+        self._thunk = thunk
+        self._count_plan = None
+        self._built = False
+
+    @property
+    def count_plan(self):
+        if not self._built:
+            thunk, self._thunk = self._thunk, None
+            self._count_plan = thunk()
+            self._built = True
+        return self._count_plan
+
+    def baseline_identity(self):
+        """Identity hash of the plan's baseline (memoized on the plan)."""
+        return self.plan.baseline_identity()
+
+    def __repr__(self):
+        return (f"PlanProvenance(features={sorted(self.features)}, "
+                f"plan={self.plan!r})")
 
 
 def probe_field_offset(probe_a, probe_b, field_a, field_b):
@@ -184,12 +290,18 @@ class LinkPlan:
     def __init__(self, units, text_base, data_alignment):
         self.text_base = text_base
         self.data_alignment = data_alignment
+        self._baseline_id = None
+        # id(flip object) -> (weakref, plan idx) for flips that already
+        # passed apply()'s substitution-slot validation: the diversifier
+        # shares one flip clone per original across a population's
+        # seeds, so each clone is fully checked once per plan.
+        self._flip_ok = {}
         self._build(list(units))
 
     # -- plan construction (once per program) --------------------------------
 
     def _build(self, units):
-        from repro.backend import linker
+        from repro.core.substitution import is_substitutable
 
         if not units:
             raise LinkError("no units to plan")
@@ -225,6 +337,17 @@ class LinkPlan:
         self._kinds = kinds
         self._spans = spans
 
+        static_count = self._static_count
+        self._fixed_spans = [entry for entry in spans
+                             if entry[1] < static_count]
+        # The permutation layer: program-unit spans matched by function
+        # name, and the planned layout order to detect reordered tilings.
+        self._span_by_name = {name: (start, end)
+                              for name, start, end in spans
+                              if start >= static_count}
+        self._program_order = tuple(name for name, start, _ in spans
+                                    if start >= static_count)
+
         label_index = {}
         for index, item in enumerate(items):
             if kinds[index] == _KIND_LABEL:
@@ -256,10 +379,15 @@ class LinkPlan:
         # Pre-encode every fixed instruction. Instructions that touch a
         # data symbol become relocation sites: their bytes carry a probe
         # address whose disp32 field is patched per variant.
+        # Substitutable instructions (dual-ModRM reg,reg forms) also get
+        # their *alternate* encoding pre-computed — the substitution
+        # slots apply() consumes for §6 encoding substitution.
         pre_bytes = [None] * len(items)
         relocs = {}      # plan idx -> (disp byte offset, symbol rel + addend)
         record_instrs = [None] * len(items)
         sizes = [0] * len(items)
+        alt_bytes = {}   # plan idx -> flipped dual-ModRM encoding
+        alt_instrs = {}  # plan idx -> shared record Instr for the flip
         for index, item in enumerate(items):
             if kinds[index] != _KIND_FIXED:
                 continue
@@ -297,6 +425,22 @@ class LinkPlan:
                 encoding = _encode_memoized(resolved)
                 resolved.encoding = encoding
                 resolved.size = len(encoding)
+                if is_substitutable(item):
+                    flipped = Instr(
+                        item.mnemonic, *item.operands,
+                        block_id=item.block_id,
+                        is_inserted_nop=item.is_inserted_nop,
+                        alternate_encoding=not item.alternate_encoding)
+                    try:
+                        alternate = _encode_memoized(flipped)
+                    except EncodingError:
+                        alternate = None
+                    if (alternate is not None
+                            and len(alternate) == len(encoding)):
+                        flipped.encoding = alternate
+                        flipped.size = len(alternate)
+                        alt_bytes[index] = alternate
+                        alt_instrs[index] = flipped
             expected = (item.size
                         if item.is_inserted_nop and item.encoding is not None
                         else _fixed_size(item))
@@ -310,6 +454,8 @@ class LinkPlan:
         self._relocs = relocs
         self._record_instrs = record_instrs
         self._fixed_sizes = sizes
+        self._alt_bytes = alt_bytes
+        self._alt_instrs = alt_instrs
 
         # Branch table. Widths start at link()'s initial assignment and
         # are widened to the no-NOP fixpoint, the sound starting point
@@ -330,13 +476,84 @@ class LinkPlan:
             b_widths.append(32 if item.mnemonic == "call" else 8)
         self._branch_plan = b_plan
         self._branch_target = b_target
+        self._branch_items = [items[index] for index in b_plan]
         self._plan_to_branch = {p: k for k, p in enumerate(b_plan)}
 
+        # Reorder safety: the baseline width fixpoint stays a sound
+        # lower bound under function permutation iff every short-capable
+        # (non-call) branch is intra-function — a permutation then never
+        # changes any displacement such a branch can see. Checked once
+        # here; apply() refuses permuted tilings of unsafe plans.
+        func_of = [None] * len(items)
+        for ordinal, (_name, start, end) in enumerate(spans):
+            for index in range(start, end):
+                func_of[index] = ordinal
+        self._reorder_safe = all(
+            items[p].mnemonic == "call" or func_of[p] == func_of[t]
+            for p, t in zip(b_plan, b_target))
+
+        # Baseline record ordinals (provenance): the plan's baseline
+        # emits one record per non-label item, in plan order.
+        record_ordinal = [-1] * len(items)
+        ordinal = 0
+        for index in range(len(items)):
+            if kinds[index] != _KIND_LABEL:
+                record_ordinal[index] = ordinal
+                ordinal += 1
+        self._record_ordinal = record_ordinal
+        first_ordinal = {}
+        for name, start, end in spans:
+            first_ordinal[name] = next(
+                (record_ordinal[index] for index in range(start, end)
+                 if kinds[index] != _KIND_LABEL), None)
+        self._first_record_ordinal = first_ordinal
+
         # No-NOP width fixpoint (identity mapping: merged == plan).
-        identity = list(range(len(items) + 1))
         self._baseline_widths = self._relax(
-            self._merged_sizes(b_widths), b_widths, identity,
-            [None] * len(b_plan))
+            self._merged_sizes(b_widths), b_widths, b_plan,
+            b_target, self._branch_items)
+
+        # Splice acceleration: the bytes of every fixed item
+        # concatenated in plan order with a cumulative offset per plan
+        # index, so a contiguous branch/label-free plan range splices
+        # as one bytes slice. Relocation sites contribute their probe
+        # bytes and substitution slots their planned encoding — both
+        # are patched in place afterwards (same size by construction),
+        # so neither breaks a stretch. ``_next_impure[p]`` is the first
+        # index >= p that is not fixed (a label or branch).
+        pure = [False] * len(items)
+        blob_offset = [0] * (len(items) + 1)
+        blob_parts = []
+        total = 0
+        for index in range(len(items)):
+            blob_offset[index] = total
+            if kinds[index] == _KIND_FIXED:
+                pure[index] = True
+                blob_parts.append(pre_bytes[index])
+                total += sizes[index]
+        blob_offset[len(items)] = total
+        self._pure_blob = b"".join(blob_parts)
+        self._blob_offset = blob_offset
+        next_impure = [len(items)] * (len(items) + 1)
+        for index in range(len(items) - 1, -1, -1):
+            next_impure[index] = (next_impure[index + 1] if pure[index]
+                                  else index)
+        self._next_impure = next_impure
+        # Size lookup with a sentinel tail: merged-stream codes index
+        # past the plan entries, so _DYN_LABEL/-1 and _DYN_BRANCH/-2
+        # land on zeros while a NOP code -(2 + size) lands on its own
+        # size — one C-level map resolves the whole stream, with no
+        # per-variant patching for dynamic NOPs. Branch entries carry
+        # their baseline-fixpoint size — the sound lower bound every
+        # variant's relaxation starts from — so apply() never
+        # re-derives them.
+        lookup = list(sizes)
+        for ordinal, index in enumerate(b_plan):
+            lookup[index] = _branch_sizes(
+                items[index], self._baseline_widths[ordinal])
+        self._sizes_lookup = (lookup
+                              + list(range(_DYN_NOP_MAX, 0, -1))
+                              + [0, 0])
 
     def _merged_sizes(self, widths):
         sizes = list(self._fixed_sizes)
@@ -344,33 +561,29 @@ class LinkPlan:
             sizes[index] = _branch_sizes(self._items[index], widths[ordinal])
         return sizes
 
-    def _relax(self, msizes, widths, plan_to_merged, branch_merged):
+    @staticmethod
+    def _relax(msizes, widths, b_merged, b_target_merged, b_instrs):
         """Monotone widening to fixpoint over one merged stream.
 
-        ``msizes`` is mutated in place; returns the final widths list.
-        ``branch_merged[k]`` is the merged index of branch ordinal ``k``
-        (``None`` means identical to its plan index).
+        All branch arrays are parallel over branch ordinals — the
+        planned branches first, any per-variant dynamic branches (sled
+        skip jumps) appended after them. ``msizes`` is mutated in
+        place; returns the final widths list.
         """
-        items = self._items
-        b_plan = self._branch_plan
-        b_target = self._branch_target
         short = [k for k, width in enumerate(widths) if width == 8]
         while True:
             offsets = list(accumulate(msizes, initial=0))
             changed = False
             still_short = []
             for k in short:
-                merged = branch_merged[k]
-                if merged is None:
-                    merged = b_plan[k]
-                target_offset = offsets[plan_to_merged[b_target[k]]]
-                displacement = target_offset - (offsets[merged]
-                                                + msizes[merged])
+                merged = b_merged[k]
+                displacement = (offsets[b_target_merged[k]]
+                                - (offsets[merged] + msizes[merged]))
                 if -128 <= displacement <= 127:
                     still_short.append(k)
                 else:
                     widths[k] = 32
-                    msizes[merged] = _branch_sizes(items[b_plan[k]], 32)
+                    msizes[merged] = _branch_sizes(b_instrs[k], 32)
                     changed = True
             if not changed:
                 return widths
@@ -381,15 +594,19 @@ class LinkPlan:
     def apply(self, unit, *, records="lazy"):
         """Link one diversified variant of the planned program unit.
 
-        ``unit`` must be the planned unit's stream plus inserted NOPs
-        (what :func:`repro.core.variants.diversify_unit` produces for
-        NOP-insertion configs); anything else raises
+        ``unit`` must be the planned unit's stream plus the recognized
+        per-seed deltas (inserted NOPs, flipped dual-ModRM encodings,
+        basic-block-shift sleds, a function permutation — what
+        :func:`repro.core.variants.diversify_unit` produces for every
+        supported config); anything else raises
         :class:`~repro.errors.PlanMismatchError`. ``records="eager"``
         materializes instruction records immediately (the default defers
         them until first access).
 
         Returns a :class:`~repro.backend.linker.LinkedBinary` that is
-        bit-identical to ``link([*fixed_units, unit])``.
+        bit-identical to ``link([*fixed_units, unit])``. When the
+        variant exercised a §6 feature, the binary carries a lazy
+        :class:`PlanProvenance` for the batch engine.
         """
         with span("link", mode="incremental"):
             return self._apply(unit, records=records)
@@ -402,56 +619,266 @@ class LinkPlan:
         kinds = self._kinds
         static_count = self._static_count
         plan_count = len(items)
+        span_by_name = self._span_by_name
+        alt_bytes = self._alt_bytes
 
-        # 1. Merge: static prefix verbatim, then the variant's items.
+        permuted = (tuple(fc.name for fc in unit.functions)
+                    != self._program_order)
+        if permuted and not self._reorder_safe:
+            raise PlanMismatchError(
+                "variant permutes functions but the plan has a "
+                "cross-function short-capable branch")
+
+        # 1. Merge: static prefix verbatim, then each variant function
+        # walked against its planned span (matched by name, so a
+        # reordered tiling reuses the same spans in permuted order).
+        # Carried items are batched into *runs* — the walk only counts
+        # while the variant tracks the plan, and flushes one
+        # extend/slice-assign per run when it deviates — so the
+        # per-item cost of the overwhelmingly common case is a single
+        # identity check.
         mitems = items[:static_count]
         mplan = list(range(static_count))
         plan_to_merged = [0] * (plan_count + 1)
         for index in range(static_count):
             plan_to_merged[index] = index
-        plan_cursor = static_count
         mitems_append = mitems.append
         mplan_append = mplan.append
+        subst = {}          # merged idx -> plan idx (substitution slots)
+        dyn_labels = {}     # unplanned label name -> merged idx
+        dyn_branches = []   # (merged idx, Instr) for unplanned branches
+        dyn_emit = []       # (merged idx, bytes|None): one row per
+                            # dynamic NOP (pre-encoded) or sled branch
+                            # (None: bytes synthesized post-relax), in
+                            # merged order; labels emit nothing
+        runs = ([(0, 0, static_count)] if static_count else [])
+        merged_spans = []   # (name, merged start, merged end), emit order
+        seen = set()
         for function_code in unit.functions:
+            name = function_code.name
+            plan_span = span_by_name.get(name)
+            if plan_span is None or name in seen:
+                raise PlanMismatchError(
+                    f"variant function {name!r} is not a planned "
+                    f"program function (or repeats)")
+            seen.add(name)
+            plan_cursor, span_end = plan_span
+            merged_start = len(mplan)
+            delta = getattr(function_code, "plan_delta", None)
+            if delta is not None:
+                # Fast path: the diversifier recorded which item indices
+                # it inserted and which it flipped, so the merge never
+                # identity-checks carried items one by one. The variant's
+                # item list IS the function's merged segment — same
+                # length, same order — so the plan slice is copied
+                # wholesale and sentinels are spliced in at the recorded
+                # positions. The record is validated as it is consumed —
+                # counts must close, insertions must be in-bounds and
+                # ascending, each carried segment's head must be the
+                # planned object (or a recorded flip), and every flip
+                # must match a pre-encoded substitution slot — so a
+                # stale or foreign record degrades to
+                # PlanMismatchError, never to wrong bytes.
+                fitems = function_code.items
+                fcount = len(fitems)
+                inserted, flipped = delta
+                if fcount - len(inserted) != span_end - plan_cursor:
+                    raise PlanMismatchError(
+                        f"variant function {name!r} diverges from its "
+                        f"recorded diversification delta")
+                mfn = list(range(plan_cursor, span_end))
+                mfn_insert = mfn.insert
+                dyn_emit_append = dyn_emit.append
+                runs_append = runs.append
+                flipped_set = set(flipped) if flipped else _EMPTY_SET
+                prev = 0
+                pc = plan_cursor
+                for idx in inserted:
+                    if idx < prev or idx >= fcount:
+                        raise PlanMismatchError(
+                            f"variant function {name!r} records an "
+                            f"out-of-order insertion")
+                    item = fitems[idx]
+                    if (isinstance(item, Instr) and item.is_inserted_nop
+                            and item.encoding is not None):
+                        size = item.size
+                        if (size.__class__ is not int
+                                or not 0 < size <= _DYN_NOP_MAX):
+                            raise PlanMismatchError(
+                                f"variant function {name!r} inserts a "
+                                f"NOP with unsized or oversized "
+                                f"encoding")
+                        dyn_emit_append(
+                            (merged_start + idx, item.encoding))
+                        mfn_insert(idx, -2 - size)
+                    elif isinstance(item, LabelDef):
+                        if (item.name in self._label_index
+                                or item.name in dyn_labels):
+                            raise PlanMismatchError(
+                                f"variant redefines label {item.name!r}")
+                        dyn_labels[item.name] = merged_start + idx
+                        mfn_insert(idx, _DYN_LABEL)
+                    elif (isinstance(item, Instr)
+                          and item.is_relative_branch
+                          and isinstance(item.operands[0], Label)
+                          and item.operands[0].name
+                          not in self._label_index):
+                        dyn_branches.append((merged_start + idx, item))
+                        dyn_emit_append((merged_start + idx, None))
+                        mfn_insert(idx, _DYN_BRANCH)
+                    else:
+                        raise PlanMismatchError(
+                            f"variant inserts unplanned item {item!r}")
+                    seg = idx - prev
+                    if seg:
+                        if (fitems[prev] is not items[pc]
+                                and prev not in flipped_set):
+                            raise PlanMismatchError(
+                                f"variant function {name!r} diverges "
+                                f"from its recorded diversification "
+                                f"delta")
+                        merged = merged_start + prev
+                        runs_append((merged, pc, pc + seg))
+                        plan_to_merged[pc:pc + seg] = range(
+                            merged, merged + seg)
+                        pc += seg
+                    prev = idx + 1
+                seg = fcount - prev
+                if seg:
+                    if (fitems[prev] is not items[pc]
+                            and prev not in flipped_set):
+                        raise PlanMismatchError(
+                            f"variant function {name!r} diverges from "
+                            f"its recorded diversification delta")
+                    merged = merged_start + prev
+                    runs_append((merged, pc, pc + seg))
+                    plan_to_merged[pc:pc + seg] = range(
+                        merged, merged + seg)
+                flip_ok = self._flip_ok
+                for f in flipped:
+                    item = fitems[f]
+                    plan_idx = mfn[f] if 0 <= f < fcount else -1
+                    entry = flip_ok.get(id(item))
+                    if (entry is not None and entry[1] == plan_idx
+                            and entry[0]() is item):
+                        subst[merged_start + f] = plan_idx
+                        continue
+                    alternate = (alt_bytes.get(plan_idx)
+                                 if plan_idx >= 0 else None)
+                    if alternate is None:
+                        raise PlanMismatchError(
+                            f"variant function {name!r} records a flip "
+                            f"with no matching substitution slot")
+                    planned = items[plan_idx]
+                    if (item.__class__ is not Instr
+                            or item.is_inserted_nop
+                            or item.alternate_encoding
+                            == planned.alternate_encoding
+                            or item.mnemonic != planned.mnemonic
+                            or item.operands != planned.operands
+                            or item.block_id != planned.block_id):
+                        raise PlanMismatchError(
+                            f"variant function {name!r} records a flip "
+                            f"with no matching substitution slot")
+                    key = id(item)
+                    flip_ok[key] = (weakref.ref(
+                        item, lambda _ref, _key=key, _m=flip_ok:
+                        _m.pop(_key, None)), plan_idx)
+                    subst[merged_start + f] = plan_idx
+                mplan.extend(mfn)
+                mitems.extend(fitems)
+                merged_spans.append((name, merged_start, len(mplan)))
+                continue
+            run_start = plan_cursor
             for item in function_code.items:
+                if plan_cursor < span_end:
+                    if item is items[plan_cursor]:
+                        plan_cursor += 1
+                        continue
+                    # A substitution slot stays *inside* the run: the
+                    # flipped encoding has the planned item's size, so
+                    # only its bytes are patched after splicing.
+                    alternate = alt_bytes.get(plan_cursor)
+                    if alternate is not None:
+                        planned = items[plan_cursor]
+                        if (item.__class__ is Instr
+                                and not item.is_inserted_nop
+                                and item.alternate_encoding
+                                != planned.alternate_encoding
+                                and item.mnemonic == planned.mnemonic
+                                and item.operands == planned.operands
+                                and item.block_id == planned.block_id):
+                            subst[len(mplan) + plan_cursor - run_start] = \
+                                plan_cursor
+                            plan_cursor += 1
+                            continue
+                if run_start != plan_cursor:
+                    merged = len(mplan)
+                    runs.append((merged, run_start, plan_cursor))
+                    mplan.extend(range(run_start, plan_cursor))
+                    mitems.extend(items[run_start:plan_cursor])
+                    plan_to_merged[run_start:plan_cursor] = range(
+                        merged, merged + plan_cursor - run_start)
                 if (isinstance(item, Instr) and item.is_inserted_nop
                         and item.encoding is not None
-                        and plan_cursor < plan_count
-                        and item is not items[plan_cursor]):
-                    mplan_append(-1)
+                        and item.size.__class__ is int
+                        and 0 < item.size <= _DYN_NOP_MAX):
+                    dyn_emit.append((len(mplan), item.encoding))
+                    mplan_append(-2 - item.size)
                     mitems_append(item)
-                    continue
-                if plan_cursor >= plan_count \
-                        or item is not items[plan_cursor]:
-                    raise PlanMismatchError(
-                        f"variant stream diverges from plan at "
-                        f"{item!r}")
-                plan_to_merged[plan_cursor] = len(mplan)
-                mplan_append(plan_cursor)
-                mitems_append(item)
-                plan_cursor += 1
-        if plan_cursor != plan_count:
+                else:
+                    self._merge_rare(item, mplan, mitems, dyn_labels,
+                                     dyn_branches, dyn_emit)
+                run_start = plan_cursor
+            if run_start != plan_cursor:
+                merged = len(mplan)
+                runs.append((merged, run_start, plan_cursor))
+                mplan.extend(range(run_start, plan_cursor))
+                mitems.extend(items[run_start:plan_cursor])
+                plan_to_merged[run_start:plan_cursor] = range(
+                    merged, merged + plan_cursor - run_start)
+            if plan_cursor != span_end:
+                raise PlanMismatchError(
+                    f"variant function {name!r} ends early: "
+                    f"{plan_cursor}/{span_end} planned items seen")
+            merged_spans.append((name, merged_start, len(mplan)))
+        if len(seen) != len(span_by_name):
+            missing = sorted(set(span_by_name) - seen)
             raise PlanMismatchError(
-                f"variant stream ends early: {plan_cursor}/{plan_count} "
-                f"planned items seen")
+                f"variant is missing planned function(s): {missing[:4]}")
         plan_to_merged[plan_count] = len(mplan)
 
-        # 2. Sizes + incremental relaxation from the baseline fixpoint.
-        fixed_sizes = self._fixed_sizes
+        # 2. Sizes + incremental relaxation from the baseline fixpoint;
+        # dynamic sled branches join at link()'s all-short start. The
+        # sentinel-extended lookup resolves every merged entry in one
+        # C-level map — planned indices read their baked size, NOP
+        # codes -(2 + size) read their own size off the tail, labels
+        # and dynamic branches read zero.
         widths = list(self._baseline_widths)
-        branch_merged = [None] * len(widths)
-        msizes = [0] * len(mplan)
-        for merged, plan_idx in enumerate(mplan):
-            if plan_idx < 0:
-                msizes[merged] = mitems[merged].size
-            else:
-                msizes[merged] = fixed_sizes[plan_idx]
+        msizes = list(map(self._sizes_lookup.__getitem__, mplan))
         plan_to_branch = self._plan_to_branch
-        for ordinal, plan_idx in enumerate(self._branch_plan):
-            merged = plan_to_merged[plan_idx]
-            branch_merged[ordinal] = merged
-            msizes[merged] = _branch_sizes(items[plan_idx], widths[ordinal])
-        widths = self._relax(msizes, widths, plan_to_merged, branch_merged)
+        p2m_get = plan_to_merged.__getitem__
+        b_merged = list(map(p2m_get, self._branch_plan))
+        b_target_merged = list(map(p2m_get, self._branch_target))
+        b_instrs = self._branch_items
+        dyn_ordinal = {}
+        if dyn_branches:
+            b_instrs = list(b_instrs)
+            for merged, instr in dyn_branches:
+                target = instr.operands[0].name
+                target_merged = dyn_labels.get(target)
+                if target_merged is None:
+                    raise PlanMismatchError(
+                        f"unplanned branch targets unknown label "
+                        f"{target!r}")
+                dyn_ordinal[merged] = len(b_merged)
+                b_merged.append(merged)
+                b_target_merged.append(target_merged)
+                b_instrs.append(instr)
+                widths.append(32 if instr.mnemonic == "call" else 8)
+                msizes[merged] = _branch_sizes(instr, widths[-1])
+        widths = self._relax(msizes, widths, b_merged, b_target_merged,
+                             b_instrs)
 
         offsets = list(accumulate(msizes, initial=0))
         text_size = offsets[-1]
@@ -463,97 +890,205 @@ class LinkPlan:
         code_symbols = {
             name: text_base + offsets[plan_to_merged[index]]
             for name, index in self._label_index.items()}
+        for name, merged in dyn_labels.items():
+            code_symbols[name] = text_base + offsets[merged]
         data_symbols = {name: data_base + rel
                         for name, rel in self._data_symbols_rel.items()}
         data_words = {data_delta + rel: value
                       for rel, value in self._data_words_rel}
         data_end = data_base + self._data_size
 
-        # 4. Byte splicing.
-        pre_bytes = self._pre_bytes
+        # 4. Byte splicing. Carried runs emit their branch/label-free
+        # stretches as single slices of the plan's pre-joined blob;
+        # only planned branches and the dynamic merged entries between
+        # runs (inserted NOPs, sled branches/labels) are synthesized
+        # one by one. Relocation disp32 fields and substitution slots
+        # are patched in place afterwards — both are size-preserving.
         relocs = self._relocs
-        branch_target = self._branch_target
+        blob = self._pure_blob
+        blob_offset = self._blob_offset
+        next_impure = self._next_impure
         chunks = []
         chunks_append = chunks.append
         jcc = JCC_MNEMONICS
-        for merged, plan_idx in enumerate(mplan):
-            if plan_idx < 0:
-                chunks_append(mitems[merged].encoding)
+        emit_index = 0
+        emit_total = len(dyn_emit)
+        for run_merged, run_a, run_b in runs + [(len(mplan), 0, 0)]:
+            # Dynamic merged entries before the next carried run; their
+            # bytes rode along from the merge walk (NOPs) or are
+            # synthesized now that offsets are final (sled branches).
+            while emit_index < emit_total:
+                pos, encoding = dyn_emit[emit_index]
+                if pos >= run_merged:
+                    break
+                chunks_append(encoding if encoding is not None
+                              else self._dynamic_branch_bytes(
+                                  mitems[pos], pos, dyn_ordinal, widths,
+                                  msizes, b_target_merged, offsets, jcc))
+                emit_index += 1
+            if run_a == run_b:
                 continue
-            kind = kinds[plan_idx]
-            if kind == _KIND_LABEL:
-                continue
-            if kind == _KIND_FIXED:
-                encoding = pre_bytes[plan_idx]
-                reloc = relocs.get(plan_idx)
-                if reloc is not None:
-                    disp_offset, rel_addend, _op = reloc
-                    resolved = (data_base + rel_addend) & 0xFFFF_FFFF
-                    encoding = (encoding[:disp_offset]
-                                + resolved.to_bytes(4, "little")
-                                + encoding[disp_offset + 4:])
-                chunks_append(encoding)
-                continue
-            # Branch: synthesize opcode + displacement.
-            ordinal = plan_to_branch[plan_idx]
-            width = widths[ordinal]
-            size = msizes[merged]
-            target_offset = offsets[plan_to_merged[branch_target[ordinal]]]
-            displacement = target_offset - (offsets[merged] + size)
-            mnemonic = items[plan_idx].mnemonic
-            if mnemonic == "call":
-                chunks_append(
-                    b"\xE8" + (displacement
-                               & 0xFFFF_FFFF).to_bytes(4, "little"))
-            elif mnemonic == "jmp":
-                if width == 8:
-                    chunks_append(bytes((0xEB, displacement & 0xFF)))
-                else:
-                    chunks_append(
-                        b"\xE9" + (displacement
+            p = run_a
+            while p < run_b:
+                q = next_impure[p]
+                if q >= run_b:
+                    chunks_append(blob[blob_offset[p]:blob_offset[run_b]])
+                    break
+                if q > p:
+                    chunks_append(blob[blob_offset[p]:blob_offset[q]])
+                kind = kinds[q]
+                if kind == _KIND_BRANCH:
+                    # Branch: synthesize opcode + displacement.
+                    merged = run_merged + (q - run_a)
+                    ordinal = plan_to_branch[q]
+                    width = widths[ordinal]
+                    size = msizes[merged]
+                    target_offset = offsets[b_target_merged[ordinal]]
+                    displacement = target_offset - (offsets[merged] + size)
+                    mnemonic = items[q].mnemonic
+                    if mnemonic == "call":
+                        chunks_append(
+                            b"\xE8" + (displacement
+                                       & 0xFFFF_FFFF).to_bytes(4, "little"))
+                    elif mnemonic == "jmp":
+                        if width == 8:
+                            chunks_append(bytes((0xEB, displacement & 0xFF)))
+                        else:
+                            chunks_append(
+                                b"\xE9"
+                                + (displacement
                                    & 0xFFFF_FFFF).to_bytes(4, "little"))
-            else:
-                condition = jcc[mnemonic]
-                if width == 8:
-                    chunks_append(bytes((0x70 + condition,
-                                         displacement & 0xFF)))
-                else:
-                    chunks_append(
-                        bytes((0x0F, 0x80 + condition))
-                        + (displacement & 0xFFFF_FFFF).to_bytes(4, "little"))
+                    else:
+                        condition = jcc[mnemonic]
+                        if width == 8:
+                            chunks_append(bytes((0x70 + condition,
+                                                 displacement & 0xFF)))
+                        else:
+                            chunks_append(
+                                bytes((0x0F, 0x80 + condition))
+                                + (displacement
+                                   & 0xFFFF_FFFF).to_bytes(4, "little"))
+                # _KIND_LABEL: zero bytes.
+                p = q + 1
         text = b"".join(chunks)
         if len(text) != text_size:
             raise LinkError(f"plan layout drift: {len(text)} bytes "
                             f"emitted, {text_size} laid out")
+        if relocs or subst:
+            patched = bytearray(text)
+            for plan_idx, (disp_offset, rel_addend, _op) in relocs.items():
+                start = offsets[plan_to_merged[plan_idx]] + disp_offset
+                patched[start:start + 4] = (
+                    (data_base + rel_addend) & 0xFFFF_FFFF).to_bytes(
+                        4, "little")
+            for merged, plan_idx in subst.items():
+                alternate = alt_bytes[plan_idx]
+                start = offsets[merged]
+                patched[start:start + len(alternate)] = alternate
+            text = bytes(patched)
 
+        # Function ranges in link()'s emit order: fixed units first,
+        # then the variant's (possibly permuted) function order, each
+        # bounded by its own merged span — a permuted tiling makes the
+        # planned "next function starts here" end index wrong, so the
+        # merge walk's explicit boundaries are used instead.
         function_ranges = {
-            name: (text_base + offsets[plan_to_merged[start]],
-                   text_base + offsets[plan_to_merged[end]])
-            for name, start, end in self._spans}
+            name: (text_base + offsets[start], text_base + offsets[end])
+            for name, start, end in self._fixed_spans}
+        for name, merged_start, merged_end in merged_spans:
+            function_ranges[name] = (text_base + offsets[merged_start],
+                                     text_base + offsets[merged_end])
 
         def materialize_records():
             return self._materialize_records(
-                mitems, mplan, msizes, offsets, widths, branch_merged,
-                plan_to_merged, text_base, data_base)
+                mitems, mplan, msizes, offsets, widths, subst,
+                dyn_ordinal, b_target_merged, text_base, data_base)
 
         record_list = (materialize_records() if records == "eager"
                        else _LazyRecords(materialize_records))
-        return LinkedBinary(
+        binary = LinkedBinary(
             text=text, text_base=text_base,
             entry=code_symbols["_start"], code_symbols=code_symbols,
             data_symbols=data_symbols, data_base=data_base,
             data_end=data_end, data_words=data_words,
             instr_records=record_list, function_ranges=function_ranges)
 
+        features = set()
+        if subst:
+            features.add(FEATURE_SUBSTITUTION)
+        if dyn_branches or dyn_labels:
+            features.add(FEATURE_BBSHIFT)
+        if permuted:
+            features.add(FEATURE_REORDERING)
+        if features:
+            def build_count_plan():
+                return self._build_count_plan(mplan, merged_spans,
+                                              dyn_branches, dyn_labels)
+            binary.provenance = PlanProvenance(
+                self, frozenset(features), build_count_plan)
+        return binary
+
+    def _merge_rare(self, item, mplan, mitems, dyn_labels, dyn_branches,
+                    dyn_emit):
+        """Classify one dynamic (unplanned) variant item — the slow
+        path for basic-block-shift sleds: a fresh skip label or a fresh
+        forward branch. Substitution slots and inserted NOPs never
+        reach here; anything else raises
+        :class:`~repro.errors.PlanMismatchError`.
+        """
+        if isinstance(item, LabelDef):
+            if item.name in self._label_index or item.name in dyn_labels:
+                raise PlanMismatchError(
+                    f"variant redefines planned label {item.name!r}")
+            dyn_labels[item.name] = len(mplan)
+            mplan.append(_DYN_LABEL)
+            mitems.append(item)
+            return
+        if isinstance(item, Instr) and item.is_relative_branch:
+            target = item.operands[0]
+            if (isinstance(target, Label)
+                    and target.name not in self._label_index):
+                dyn_branches.append((len(mplan), item))
+                dyn_emit.append((len(mplan), None))
+                mplan.append(_DYN_BRANCH)
+                mitems.append(item)
+                return
+        raise PlanMismatchError(
+            f"variant stream diverges from plan at {item!r}")
+
+    @staticmethod
+    def _dynamic_branch_bytes(instr, merged, dyn_ordinal, widths, msizes,
+                              b_target_merged, offsets, jcc):
+        """Synthesize one dynamic (sled skip) branch's bytes."""
+        ordinal = dyn_ordinal[merged]
+        width = widths[ordinal]
+        size = msizes[merged]
+        displacement = (offsets[b_target_merged[ordinal]]
+                        - (offsets[merged] + size))
+        mnemonic = instr.mnemonic
+        if mnemonic == "call":
+            return b"\xE8" + (displacement
+                              & 0xFFFF_FFFF).to_bytes(4, "little")
+        if mnemonic == "jmp":
+            if width == 8:
+                return bytes((0xEB, displacement & 0xFF))
+            return b"\xE9" + (displacement
+                              & 0xFFFF_FFFF).to_bytes(4, "little")
+        condition = jcc[mnemonic]
+        if width == 8:
+            return bytes((0x70 + condition, displacement & 0xFF))
+        return (bytes((0x0F, 0x80 + condition))
+                + (displacement & 0xFFFF_FFFF).to_bytes(4, "little"))
+
     def _materialize_records(self, mitems, mplan, msizes, offsets, widths,
-                             branch_merged, plan_to_merged, text_base,
-                             data_base):
+                             subst, dyn_ordinal, b_target_merged,
+                             text_base, data_base):
         """Instruction records for one applied variant (deferred work)."""
         items = self._items
         kinds = self._kinds
         record_instrs = self._record_instrs
+        alt_instrs = self._alt_instrs
         relocs = self._relocs
-        branch_target = self._branch_target
         plan_to_branch = self._plan_to_branch
         records = []
         records_append = records.append
@@ -561,15 +1096,35 @@ class LinkPlan:
             address = text_base + offsets[merged]
             size = msizes[merged]
             if plan_idx < 0:
-                nop = mitems[merged]
-                records_append(InstrRecord(address, size, nop.mnemonic,
-                                           nop.block_id, True, nop))
+                if plan_idx <= _DYN_NOP_TOP:
+                    nop = mitems[merged]
+                    records_append(InstrRecord(address, size, nop.mnemonic,
+                                               nop.block_id, True, nop))
+                elif plan_idx == _DYN_BRANCH:
+                    item = mitems[merged]
+                    ordinal = dyn_ordinal[merged]
+                    target_offset = offsets[b_target_merged[ordinal]]
+                    displacement = target_offset - (offsets[merged] + size)
+                    instr = Instr(item.mnemonic,
+                                  Rel(displacement, widths[ordinal]),
+                                  block_id=item.block_id,
+                                  is_inserted_nop=item.is_inserted_nop)
+                    instr.size = size
+                    records_append(InstrRecord(
+                        address, size, item.mnemonic, item.block_id,
+                        item.is_inserted_nop, instr))
                 continue
             kind = kinds[plan_idx]
             if kind == _KIND_LABEL:
                 continue
             item = items[plan_idx]
             if kind == _KIND_FIXED:
+                if merged in subst:
+                    instr = alt_instrs[plan_idx]
+                    records_append(InstrRecord(address, size, item.mnemonic,
+                                               item.block_id,
+                                               item.is_inserted_nop, instr))
+                    continue
                 instr = record_instrs[plan_idx]
                 if instr is None:  # relocation site: per-variant operand
                     disp_offset, rel_addend, op_index = relocs[plan_idx]
@@ -591,7 +1146,7 @@ class LinkPlan:
                 continue
             ordinal = plan_to_branch[plan_idx]
             width = widths[ordinal]
-            target_offset = offsets[plan_to_merged[branch_target[ordinal]]]
+            target_offset = offsets[b_target_merged[ordinal]]
             displacement = target_offset - (offsets[merged] + size)
             instr = Instr(item.mnemonic, Rel(displacement, width),
                           block_id=item.block_id,
@@ -602,15 +1157,87 @@ class LinkPlan:
                                        instr))
         return records
 
+    def _build_count_plan(self, mplan, merged_spans, dyn_branches,
+                          dyn_labels):
+        """The equivalence-format count plan for one applied variant.
+
+        One entry per emitted record, in record order, mirroring what
+        :meth:`repro.analysis.equivalence.EquivalenceProver.prove`
+        derives — but read off the merge walk instead of re-proven.
+        Returns ``None`` for shapes without a derivable plan (the batch
+        engine then runs the real proof).
+        """
+        kinds = self._kinds
+        record_ordinal = self._record_ordinal
+        first_ordinal = self._first_record_ordinal
+
+        # Sled interiors: every dynamic branch must jump forward over a
+        # run of inserted NOPs to its (dynamic) label; the interior
+        # executes zero times, the jump rides the function's first
+        # carried instruction.
+        label_merged = {merged: name for name, merged in dyn_labels.items()}
+        sled_nops = set()
+        for merged, instr in dyn_branches:
+            target_merged = dyn_labels.get(instr.operands[0].name)
+            if target_merged is None or target_merged <= merged:
+                return None
+            for index in range(merged + 1, target_merged):
+                if mplan[index] > _DYN_NOP_TOP:
+                    return None
+                sled_nops.add(index)
+
+        entries = []
+        segments = [(None, 0, self._static_count)] + merged_spans
+        for name, start, end in segments:
+            pending = []
+            function_first = (first_ordinal.get(name)
+                              if name is not None else None)
+            for merged in range(start, end):
+                plan_idx = mplan[merged]
+                if plan_idx >= 0:
+                    if kinds[plan_idx] == _KIND_LABEL:
+                        continue
+                    b_index = record_ordinal[plan_idx]
+                    for position in pending:
+                        entries[position] = (_PLAN_NOP, b_index)
+                    pending.clear()
+                    entries.append((_PLAN_CARRIED, b_index))
+                elif plan_idx <= _DYN_NOP_TOP:
+                    if merged in sled_nops:
+                        entries.append((_PLAN_SLED_NOP,))
+                    else:
+                        pending.append(len(entries))
+                        entries.append(None)
+                elif plan_idx == _DYN_BRANCH:
+                    if function_first is None:
+                        return None
+                    entries.append((_PLAN_SLED_JMP, function_first, ()))
+                # _DYN_LABEL: no record
+            if pending:
+                return None  # trailing NOPs: no carried successor
+        return entries
+
     def baseline(self):
         """The undiversified link (the planned unit with zero NOPs)."""
         return self.apply(self._unit)
+
+    def baseline_identity(self):
+        """The baseline's ``identity_hash()``, linked once and memoized.
+
+        Lets a :class:`PlanProvenance` consumer check that a variant's
+        plan really is the plan of the baseline it holds without
+        re-linking per variant.
+        """
+        if self._baseline_id is None:
+            self._baseline_id = self.baseline().identity_hash()
+        return self._baseline_id
 
     def __repr__(self):
         return (f"LinkPlan({len(self._items)} items, "
                 f"{len(self._branch_plan)} branches, "
                 f"{len(self._relocs)} relocs, "
-                f"{len(self._label_index)} labels)")
+                f"{len(self._label_index)} labels, "
+                f"{len(self._alt_bytes)} substitution slots)")
 
 
 def build_link_plan(units, text_base=DEFAULT_TEXT_BASE, data_alignment=16):

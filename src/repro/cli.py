@@ -306,11 +306,11 @@ def _static_verify_section(names, config, variants):
 
 def cmd_verify(args):
     from repro.analysis import (
-        EquivalenceProver, prove_transparency, verify_binary,
-        verify_population,
+        prove_transparency, verify_binary, verify_population,
     )
-    from repro.backend.linkplan import plan_compatible
+    from repro.backend.linkplan import plan_features
     from repro.check import DEFAULT_CHECK_WORKLOADS
+    from repro.security.gadgets import find_gadgets
     from repro.security.ropgadget import boundary_scan, survivor_rates
     from repro.security.survivor import gadget_signatures
     from repro.workloads.registry import workload_names
@@ -332,9 +332,15 @@ def cmd_verify(args):
         workload = get_workload(name)
         build = ProgramBuild(workload.source, workload.name)
         baseline = build.link_baseline()
-        eq_prover = EquivalenceProver(baseline, baseline_name=name)
-        partition = (boundary_scan(baseline) if args.gadgets else None)
-        signatures = (gadget_signatures(baseline.text)
+        # One gadget scan per workload: boundary classification and
+        # Survivor signatures both derive from the same find_gadgets()
+        # result, and none of it depends on the config label.
+        baseline_gadgets = (find_gadgets(baseline.text)
+                            if args.gadgets else None)
+        partition = (boundary_scan(baseline, baseline_gadgets)
+                     if args.gadgets else None)
+        signatures = (gadget_signatures(baseline.text,
+                                        gadgets=baseline_gadgets)
                       if args.gadgets else None)
         reports = [verify_binary(baseline, name=f"{name}/baseline")]
         findings = list(reports[0].findings)
@@ -347,24 +353,25 @@ def cmd_verify(args):
                                              workers=args.workers)
             variant_names = [f"{name}/{label}/seed{seed}"
                              for seed in seeds]
-            nop_transparent = plan_compatible(config)
+            nop_transparent = not plan_features(config)
             for report in verify_population(
                     binaries, names=variant_names, workers=args.workers,
                     baseline=None if nop_transparent else baseline):
                 reports.append(report)
                 findings.extend(report.findings)
-            for seed, variant in zip(seeds, binaries):
-                variant_name = f"{name}/{label}/seed{seed}"
-                if nop_transparent:
+                if not nop_transparent:
+                    # §6 transforms: verify_population's equivalence
+                    # pass already proved this variant once; reuse its
+                    # stats and findings instead of proving again.
+                    nops += report.stats.get("equivalence",
+                                             {}).get("inserted_nops", 0)
+            if nop_transparent:
+                for seed, variant in zip(seeds, binaries):
+                    variant_name = f"{name}/{label}/seed{seed}"
                     proof = prove_transparency(baseline, variant,
                                                variant_name=variant_name)
-                else:
-                    # §6 transforms: the generalized semantics-
-                    # preservation proof instead of the NOP-only one.
-                    proof = eq_prover.prove(variant,
-                                            variant_name=variant_name)
-                nops += proof.stats["inserted_nops"]
-                findings.extend(proof.findings)
+                    nops += proof.stats["inserted_nops"]
+                    findings.extend(proof.findings)
             if args.gadgets:
                 per_seed = [survivor_rates(baseline, variant,
                                            baseline_partition=partition,
@@ -402,6 +409,9 @@ def cmd_verify(args):
                         "status"), rows,
                        title="static verification + semantics proofs"))
     if gadget_rows:
+        # Pin row order to (workload, config label) so the table is
+        # byte-stable across runs regardless of traversal order.
+        gadget_rows.sort(key=lambda row: (row[0], row[1]))
         print(format_table(
             ("workload", "config", "gadgets", "surviving", "intended",
              "unintended"), gadget_rows,

@@ -15,6 +15,23 @@ from __future__ import annotations
 
 from repro.backend.objfile import FunctionCode, LabelDef
 from repro.x86.instructions import Instr, Label
+from repro.x86.nops import site_instr
+
+#: Candidates usable at a given remaining byte budget, keyed by
+#: id(candidate table) — entries hold the table itself, so the id can
+#: never be recycled while the entry lives. The filtered lists preserve
+#: table order, so the rng draws are identical to filtering inline.
+_USABLE_MEMO = {}
+
+
+def _usable_table(candidates):
+    key = id(candidates)
+    entry = _USABLE_MEMO.get(key)
+    if entry is not None and entry[0] is candidates:
+        return entry[1]
+    table = {}
+    _USABLE_MEMO[key] = (candidates, table)
+    return table
 
 
 def shift_basic_blocks(function_code, candidates, rng, max_shift_bytes=16):
@@ -22,24 +39,40 @@ def shift_basic_blocks(function_code, candidates, rng, max_shift_bytes=16):
     if not function_code.diversifiable or max_shift_bytes <= 0:
         return function_code
 
-    sled_bytes = rng.randrange(max_shift_bytes + 1)
+    # Inlined ``rng.randrange(n)`` (here and for the candidate picks
+    # below): the same getrandbits(k) rejection loop CPython's
+    # ``Random._randbelow`` runs — it must consume the identical draws
+    # or every seeded variant changes.
+    getrandbits = rng.getrandbits
+    span = max_shift_bytes + 1
+    span_bits = span.bit_length()
+    sled_bytes = getrandbits(span_bits)
+    while sled_bytes >= span:
+        sled_bytes = getrandbits(span_bits)
     if sled_bytes == 0:
         return function_code
 
+    usable_table = _usable_table(candidates)
     skip_label = f"{function_code.name}.__shifted"
     sled = []
     remaining = sled_bytes
     while remaining > 0:
-        usable = [c for c in candidates if c.size <= remaining]
+        usable = usable_table.get(remaining)
+        if usable is None:
+            usable = usable_table[remaining] = \
+                [c for c in candidates if c.size <= remaining]
         if not usable:
             break
-        candidate = usable[rng.randrange(len(usable))]
-        nop = candidate.to_instr()
-        nop.block_id = None  # never executed: the jump skips the sled
-        sled.append(nop)
+        usable_count = len(usable)
+        pick = getrandbits(usable_count.bit_length())
+        while pick >= usable_count:
+            pick = getrandbits(usable_count.bit_length())
+        candidate = usable[pick]
+        # block id None: never executed, the jump skips the sled.
+        sled.append(site_instr(candidate, None))
         remaining -= candidate.size
 
-    items = list(function_code.items)
+    items = function_code.items
     # items[0] is the function's entry LabelDef; the sled goes right after
     # it, behind a skip jump, so calls land on the jump and hop the sled.
     entry_block = None
@@ -49,6 +82,21 @@ def shift_basic_blocks(function_code, candidates, rng, max_shift_bytes=16):
             break
     jump = Instr("jmp", Label(skip_label), block_id=entry_block)
     insertion = [jump] + sled + [LabelDef(skip_label)]
-    new_items = items[:1] + insertion + items[1:]
-    return FunctionCode(function_code.name, new_items,
-                        diversifiable=function_code.diversifiable)
+    new_items = items[:1]
+    new_items += insertion
+    new_items += items[1:]
+    shifted = FunctionCode(function_code.name, new_items,
+                           diversifiable=function_code.diversifiable)
+    delta = getattr(function_code, "plan_delta", None)
+    if delta is not None:
+        # Shift the recorded insertion/flip indices past the sled and
+        # claim the sled's own items, keeping LinkPlan.apply()'s merge
+        # record accurate through this pass.
+        inserted, flipped = delta
+        sled_len = len(insertion)
+        shifted.plan_delta = (
+            tuple(i for i in inserted if i < 1)
+            + tuple(range(1, 1 + sled_len))
+            + tuple(i + sled_len for i in inserted if i >= 1),
+            tuple(f if f < 1 else f + sled_len for f in flipped))
+    return shifted

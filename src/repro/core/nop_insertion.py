@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.backend.objfile import FunctionCode, ObjectUnit
 from repro.obs import metrics
 from repro.x86.instructions import Instr
+from repro.x86.nops import site_instr
 
 #: Sentinel distinct from any block id (including ``None``).
 _UNSET = object()
@@ -44,12 +45,44 @@ def _heat_class(p):
     return "cold"
 
 
-def insert_nops(function_code, candidates, rng, probability_for_block):
+def roll_table(function_code, probability_for_block, candidates):
+    """Precompute one (position, p, heat, site instrs) row per
+    instruction.
+
+    The policy is a pure function of the block id, so the per-item
+    decisions of :func:`insert_nops` depend on the seed only through the
+    rng rolls — everything else is the same for every variant of a
+    population. The table hands ``insert_nops`` exactly the loop its
+    rolls need, in item order, so the consumed rng stream is identical
+    to the untabled walk. Each row's last field is the block's tuple of
+    shared pre-encoded NOP instances (one per candidate, see
+    :func:`~repro.x86.nops.site_instr`), so an insertion is a plain
+    index into the row.
+    """
+    cache = {}
+    table = []
+    for position, item in enumerate(function_code.items):
+        if isinstance(item, Instr):
+            block_id = item.block_id
+            entry = cache.get(block_id)
+            if entry is None:
+                p = probability_for_block(block_id)
+                entry = cache[block_id] = (
+                    p, _heat_class(p),
+                    tuple(site_instr(c, block_id) for c in candidates))
+            table.append((position, entry[0], entry[1], entry[2]))
+    return tuple(table)
+
+
+def insert_nops(function_code, candidates, rng, probability_for_block,
+                table=None):
     """Diversify one function; returns a new :class:`FunctionCode`.
 
     ``candidates`` is the NOP table (sequence of
     :class:`~repro.x86.nops.NopCandidate`), ``rng`` a seeded
-    ``random.Random``, ``probability_for_block`` the per-block policy.
+    ``random.Random``, ``probability_for_block`` the per-block policy,
+    ``table`` an optional precomputed :func:`roll_table` for this
+    function and policy (populations reuse one table across all seeds).
     Non-diversifiable functions (runtime objects) pass through untouched.
     """
     if not function_code.diversifiable:
@@ -57,16 +90,43 @@ def insert_nops(function_code, candidates, rng, probability_for_block):
 
     candidate_count = len(candidates)
     new_items = []
+    inserted = []
     append = new_items.append
     roll_once = rng.random
-    pick_index = rng.randrange
+    # Inlined ``rng.randrange(candidate_count)``: the same
+    # getrandbits(k) rejection loop CPython's ``Random._randbelow``
+    # runs, minus the argument-checking wrapper — it must consume the
+    # identical draws or every seeded variant changes.
+    getrandbits = rng.getrandbits
+    index_bits = candidate_count.bit_length()
+    inserted_by_heat = {}
+    if table is not None:
+        # Tabled walk: one roll per precomputed row; untouched
+        # stretches copy over as whole slices.
+        items = function_code.items
+        extend = new_items.extend
+        inserted_append = inserted.append
+        previous = 0
+        for position, p_nop, heat, sites in table:
+            if roll_once() < p_nop:
+                nop_index = getrandbits(index_bits)
+                while nop_index >= candidate_count:
+                    nop_index = getrandbits(index_bits)
+                extend(items[previous:position])
+                inserted_append(len(new_items))
+                append(sites[nop_index])
+                previous = position
+                inserted_by_heat[heat] = \
+                    inserted_by_heat.get(heat, 0) + 1
+        extend(items[previous:])
+        return _finish(function_code, new_items, inserted,
+                       inserted_by_heat)
     # Consecutive instructions almost always share a block, so the
     # policy (and its heat class) is consulted once per block run, not
     # once per instruction. Per-heat insertion counts accumulate in a
     # local dict and fold into the shared metrics once per function.
     last_block = last_p = _UNSET
     last_heat = "cold"
-    inserted_by_heat = {}
     for item in function_code.items:
         if isinstance(item, Instr):
             block_id = item.block_id
@@ -77,21 +137,36 @@ def insert_nops(function_code, candidates, rng, probability_for_block):
             p_nop = last_p
             roll = roll_once()
             if roll < p_nop:
-                nop_index = pick_index(candidate_count)
+                nop_index = getrandbits(index_bits)
+                while nop_index >= candidate_count:
+                    nop_index = getrandbits(index_bits)
                 nop = candidates[nop_index].to_instr()
                 nop.block_id = block_id
+                inserted.append(len(new_items))
                 append(nop)
                 inserted_by_heat[last_heat] = \
                     inserted_by_heat.get(last_heat, 0) + 1
         append(item)
+    return _finish(function_code, new_items, inserted, inserted_by_heat)
+
+
+def _finish(function_code, new_items, inserted, inserted_by_heat):
+    """Fold metrics and stamp the merge record on the diversified
+    function."""
     if inserted_by_heat:
         total = 0
         for heat, count in inserted_by_heat.items():
             metrics.inc(f"nops.inserted.{heat}", count)
             total += count
         metrics.inc("nops.inserted", total)
-    return FunctionCode(function_code.name, new_items,
-                        diversifiable=function_code.diversifiable)
+    result = FunctionCode(function_code.name, new_items,
+                          diversifiable=function_code.diversifiable)
+    # Record which output indices the pass inserted, so LinkPlan.apply()
+    # can merge against its plan without re-diffing the whole stream.
+    # Downstream passes keep the record consistent or drop it; apply()
+    # validates it and falls back to a full diff if it ever disagrees.
+    result.plan_delta = (tuple(inserted), ())
+    return result
 
 
 def insert_nops_in_unit(unit, candidates, rng, probability_for_block):

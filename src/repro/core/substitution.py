@@ -17,6 +17,8 @@ The pass flips each substitutable instruction with probability 1/2.
 
 from __future__ import annotations
 
+import weakref
+
 from repro.backend.objfile import FunctionCode, ObjectUnit
 from repro.x86.instructions import Instr
 from repro.x86.nops import is_nop_candidate_instr
@@ -43,24 +45,128 @@ def is_substitutable(instr):
     return not is_nop_candidate_instr(instr)
 
 
-def substitute_encodings(function_code, rng, probability=0.5):
+#: Substitutable (item index, flipped clone) pairs, keyed by
+#: id(function), each entry holding a weakref whose death callback
+#: evicts it — so a recycled id can never resolve to stale pairs.
+_SUBSTITUTION_TABLES = {}
+
+
+def substitution_table(function_code):
+    """The (item index, flipped clone) pairs of a lowered function's
+    substitutable instructions, in stream order.
+
+    The predicate is pure per instruction and a given original always
+    flips to the same clone, so one scan of the pre-diversification
+    function answers the question for every seed of a population: an
+    inserted NOP or sled item is a fresh object that is never
+    substitutable anyway, and the carried originals keep their relative
+    order through every pass.
+    """
+    key = id(function_code)
+    entry = _SUBSTITUTION_TABLES.get(key)
+    if entry is not None and entry[0]() is function_code:
+        return entry[1]
+    table = tuple(
+        (index, _flip(item))
+        for index, item in enumerate(function_code.items)
+        if isinstance(item, Instr) and is_substitutable(item))
+
+    def _evict(_ref, _key=key):
+        _SUBSTITUTION_TABLES.pop(_key, None)
+
+    _SUBSTITUTION_TABLES[key] = (
+        weakref.ref(function_code, _evict), table)
+    return table
+
+
+def substitutable_positions(function_code):
+    """The sorted item indices of a lowered function's substitutable
+    instructions."""
+    return tuple(index for index, _clone in
+                 substitution_table(function_code))
+
+
+#: Flipped clone per id(source item), weakref-evicted like the position
+#: memo. A given original always flips to the same clone, and every
+#: consumer treats instructions as immutable (the linker clones before
+#: resolving), so all seeds of a population share one flip object.
+_FLIP_CACHE = {}
+
+
+def _flip(item):
+    """Clone with the opposite ModRM direction; the stale size/encoding
+    are dropped so the linker re-encodes the flipped form."""
+    key = id(item)
+    entry = _FLIP_CACHE.get(key)
+    if entry is not None and entry[0]() is item:
+        return entry[1]
+    clone = Instr.__new__(Instr)
+    state = dict(item.__dict__)
+    state["size"] = None
+    state["encoding"] = None
+    state["alternate_encoding"] = not item.alternate_encoding
+    clone.__dict__ = state
+
+    def _evict(_ref, _key=key):
+        _FLIP_CACHE.pop(_key, None)
+
+    _FLIP_CACHE[key] = (weakref.ref(item, _evict), clone)
+    return clone
+
+
+def substitute_encodings(function_code, rng, probability=0.5,
+                         table=None):
     """Flip encoding directions through one function; returns a new
-    FunctionCode."""
+    FunctionCode.
+
+    ``table`` is an optional :func:`substitution_table` result for the
+    *pre-diversification* function; when the diversifier's
+    ``plan_delta`` record is present it locates each substitutable
+    original directly (the record says how far insertions displaced it),
+    so only substitutable items are visited — with their flip clones in
+    hand — instead of the whole stream. Both paths roll for the same
+    items in the same order, so the rng stream — and therefore the
+    variant — is identical.
+    """
     if not function_code.diversifiable:
         return function_code
+    roll = rng.random
+    delta = getattr(function_code, "plan_delta", None)
+    if table is not None and delta is not None:
+        inserted = delta[0]
+        inserted_total = len(inserted)
+        new_items = list(function_code.items)
+        flipped_at = []
+        flipped_append = flipped_at.append
+        shift = 0
+        for original, clone in table:
+            while (shift < inserted_total
+                   and inserted[shift] <= original + shift):
+                shift += 1
+            if roll() < probability:
+                index = original + shift
+                flipped_append(index)
+                new_items[index] = clone
+        result = FunctionCode(function_code.name, new_items,
+                              diversifiable=function_code.diversifiable)
+        result.plan_delta = (inserted, tuple(flipped_at))
+        return result
     new_items = []
+    flipped_at = []
+    append = new_items.append
     for item in function_code.items:
         if (isinstance(item, Instr) and is_substitutable(item)
-                and rng.random() < probability):
-            flipped = Instr(item.mnemonic, *item.operands,
-                            block_id=item.block_id,
-                            is_inserted_nop=item.is_inserted_nop,
-                            alternate_encoding=not item.alternate_encoding)
-            new_items.append(flipped)
+                and roll() < probability):
+            flipped_at.append(len(new_items))
+            append(_flip(item))
         else:
-            new_items.append(item)
-    return FunctionCode(function_code.name, new_items,
-                        diversifiable=function_code.diversifiable)
+            append(item)
+    result = FunctionCode(function_code.name, new_items,
+                          diversifiable=function_code.diversifiable)
+    if delta is not None:
+        # Indices are 1:1 through this pass; only the flip set changes.
+        result.plan_delta = (delta[0], tuple(flipped_at))
+    return result
 
 
 def substitute_unit(unit, rng, probability=0.5):

@@ -11,14 +11,43 @@ benchmark.
 from __future__ import annotations
 
 import random
+import weakref
 
 from repro.errors import ProfileError
 from repro.core.bbshift import shift_basic_blocks
-from repro.core.nop_insertion import insert_nops
+from repro.core.nop_insertion import insert_nops, roll_table
 from repro.core.policies import block_probability_function
-from repro.core.substitution import substitute_encodings
+from repro.core.substitution import (
+    substitution_table, substitute_encodings,
+)
 from repro.backend.objfile import ObjectUnit
 from repro.obs.trace import span
+
+#: Per-unit NOP roll tables, keyed by id(unit). Each entry pins the
+#: (config, profile) pair it was computed for — the policy is a pure
+#: function of those — plus a weakref whose death callback evicts it.
+_ROLL_TABLES = {}
+
+
+def _unit_roll_tables(unit, config, profile, policy):
+    """One :func:`~repro.core.nop_insertion.roll_table` per function,
+    shared by every seed of a population."""
+    key = id(unit)
+    entry = _ROLL_TABLES.get(key)
+    if (entry is not None and entry[0]() is unit
+            and entry[1] is config and entry[2] is profile):
+        return entry[3]
+    candidates = config.nop_candidates
+    tables = tuple(
+        roll_table(fc, policy, candidates) if fc.diversifiable else None
+        for fc in unit.functions)
+
+    def _evict(_ref, _key=key):
+        _ROLL_TABLES.pop(_key, None)
+
+    _ROLL_TABLES[key] = (weakref.ref(unit, _evict), config, profile,
+                         tables)
+    return tables
 
 
 def diversify_unit(unit, config, seed, profile=None):
@@ -35,17 +64,24 @@ def diversify_unit(unit, config, seed, profile=None):
         _check_profile_matches(unit, profile)
     policy = block_probability_function(config, profile)
     candidates = config.nop_candidates
+    tables = _unit_roll_tables(unit, config, profile, policy)
     variant = ObjectUnit(unit.name, data_symbols=dict(unit.data_symbols))
     with span("nop_insert", unit=unit.name, seed=seed):
-        for function_code in unit.functions:
+        for function_code, table in zip(unit.functions, tables):
             diversified = insert_nops(function_code, candidates, rng,
-                                      policy)
+                                      policy, table=table)
             if config.basic_block_shifting:
                 diversified = shift_basic_blocks(
                     diversified, candidates, rng,
                     max_shift_bytes=config.max_shift_bytes)
             if config.encoding_substitution:
-                diversified = substitute_encodings(diversified, rng)
+                # The table comes from the *original* function —
+                # memoized across the whole population's seeds — and
+                # selects the same items in the same order as the
+                # per-item predicate.
+                diversified = substitute_encodings(
+                    diversified, rng,
+                    table=substitution_table(function_code))
             variant.add_function(diversified)
         if config.function_reordering:
             reorderable = [fc for fc in variant.functions

@@ -45,7 +45,7 @@ from repro.obs import metrics
 from repro.obs.knobs import knob_value
 from repro.obs.trace import span
 from repro.backend.linker import link
-from repro.backend.linkplan import build_link_plan, plan_compatible
+from repro.backend.linkplan import build_link_plan
 from repro.backend.lowering import lower_module
 from repro.core.variants import diversify_unit
 from repro.minc.irgen import compile_to_ir
@@ -206,8 +206,14 @@ class ProgramBuild:
         return self._maybe_verify(binary, "baseline")
 
     def _link_diversified(self, variant, config):
-        """Link one diversified unit, preferring the incremental plan."""
-        if _plan_enabled() and plan_compatible(config):
+        """Link one diversified unit, preferring the incremental plan.
+
+        Every config routes through the generalized plan — including the
+        §6 transforms (substitution slots, sled insertion as dynamic
+        items, the function-permutation layer). An unrecognized stream
+        shape falls back to the full linker.
+        """
+        if _plan_enabled():
             try:
                 return self.link_plan().apply(variant)
             except PlanMismatchError:
@@ -358,7 +364,7 @@ def _population_worker_init(unit_blob, config, profile_json, cache_root,
     profile = (ProfileData.from_json(profile_json)
                if profile_json is not None else None)
     plan = None
-    if plan_enabled and plan_compatible(config):
+    if plan_enabled:
         plan = build_link_plan([runtime_unit(), unit])
     _WORKER_STATE.clear()
     _WORKER_STATE.update(

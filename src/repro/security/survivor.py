@@ -28,10 +28,18 @@ def normalized_bytes(gadget):
     return strip_nop_candidates(gadget.raw)
 
 
-def gadget_signatures(text, **kwargs):
-    """``{offset: normalized_bytes}`` for every gadget of a section."""
+def gadget_signatures(text, gadgets=None, **kwargs):
+    """``{offset: normalized_bytes}`` for every gadget of a section.
+
+    ``gadgets`` may carry a precomputed :func:`find_gadgets` result for
+    the same ``text`` — callers that also need the raw gadget set (the
+    boundary classification in ``repro-diversify verify --gadgets``)
+    scan once and share it.
+    """
+    if gadgets is None:
+        gadgets = find_gadgets(text, **kwargs)
     return {offset: normalized_bytes(gadget)
-            for offset, gadget in find_gadgets(text, **kwargs).items()}
+            for offset, gadget in gadgets.items()}
 
 
 def surviving_gadgets(original_text, diversified_text, *,

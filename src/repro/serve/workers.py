@@ -23,7 +23,7 @@ from repro.analysis.equivalence import EquivalenceProver
 from repro.analysis.transparency import TransparencyProver
 from repro.artifacts import VariantCache
 from repro.backend.linker import link
-from repro.backend.linkplan import build_link_plan, plan_compatible
+from repro.backend.linkplan import build_link_plan, plan_features
 from repro.core.variants import diversify_unit
 from repro.errors import PlanMismatchError, ServeError
 from repro.obs import metrics
@@ -49,12 +49,8 @@ def shard_adopt(key, unit_blob, config, profile_json, cache_root,
     unit = pickle.loads(unit_blob)
     profile = (ProfileData.from_json(profile_json)
                if profile_json is not None else None)
-    plan = None
-    if plan_compatible(config):
-        plan = build_link_plan([runtime_unit(), unit])
-        baseline = plan.baseline()
-    else:
-        baseline = link([runtime_unit(), unit])
+    plan = build_link_plan([runtime_unit(), unit])
+    baseline = plan.baseline()
     if baseline.identity_hash() != baseline_identity:
         raise ServeError(
             "shard baseline disagrees with the parent's",
@@ -66,6 +62,7 @@ def shard_adopt(key, unit_blob, config, profile_json, cache_root,
         "config": config,
         "profile": profile,
         "plan": plan,
+        "nop_transparent": not plan_features(config),
         "baseline": baseline,
         "prover": TransparencyProver(baseline),
         "eq_prover": None,  # built lazily; only §6 configs need it
@@ -90,15 +87,17 @@ def _state_for(key):
 
 
 def _build_variant(state, seed):
-    """diversify + link one seed from adopted state (the hot path)."""
+    """diversify + plan.apply one seed from adopted state (the hot path).
+
+    Every config — NOP-only and §6 alike — takes the generalized plan's
+    apply; an unrecognized stream shape falls back to a full link.
+    """
     variant = diversify_unit(state["unit"], state["config"], seed,
                              state["profile"])
-    plan = state["plan"]
-    if plan is not None:
-        try:
-            return plan.apply(variant)
-        except PlanMismatchError:
-            metrics.inc("linkplan.fallbacks")
+    try:
+        return state["plan"].apply(variant)
+    except PlanMismatchError:
+        metrics.inc("linkplan.fallbacks")
     return link([runtime_unit(), variant])
 
 
@@ -106,8 +105,8 @@ def _verify_served(state, binary, verify_mode):
     """Gate a to-be-served binary; returns ``(how, inserted_nops)``.
 
     ``stream`` mode runs the fused transparency stream proof when the
-    config is NOP-transparent (plan-compatible); §6 transform configs
-    are not "baseline + NOPs" by construction, so they take the
+    config is NOP-transparent (no §6 feature slots); §6 transform
+    configs are not "baseline + NOPs" by construction, so they take the
     generalized semantics-preservation proof instead
     (:class:`~repro.analysis.equivalence.EquivalenceProver`) — which
     proves every inserted sled dead rather than tolerating
@@ -120,7 +119,7 @@ def _verify_served(state, binary, verify_mode):
     """
     if verify_mode is None:
         return "off", None
-    provable = state["plan"] is not None
+    provable = state["nop_transparent"]
     if verify_mode == "stream":
         if provable:
             report = state["prover"].prove(binary, mode="stream")
@@ -214,7 +213,7 @@ def shard_symbolicate(key, user, addresses, frame_limit=256):
     state = _state_for(key)
     seed = user_seed(key[0], key[1], user)
     binary = _build_variant(state, seed)
-    if state["plan"] is not None:
+    if state["nop_transparent"]:
         report, amap = state["prover"].address_map(binary)
         reason = "transparency_proof_failed"
     else:

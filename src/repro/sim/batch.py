@@ -31,8 +31,14 @@ therefore executes exactly as many times as the carried instruction
 that follows it, and a trailing NOP run (none in practice) would
 execute zero times.
 
-A variant the NOP proof rejects gets a second chance: the generalized
-§6 equivalence proof (:class:`repro.analysis.equivalence.
+A §6 variant built through the generalized link plan arrives with its
+count plan already attached: ``LinkedBinary.provenance`` carries the
+merge walk's record classification in the equivalence-proof format, and
+after a baseline-identity cross-check the engine derives from it
+directly (``batch.variants_derived_plan``) — zero proof work for whole
+plan-built §6 populations. A §6 variant *without* provenance (cache
+restore, external build) gets the second chance instead: the
+generalized equivalence proof (:class:`repro.analysis.equivalence.
 EquivalenceProver`). When it succeeds, its per-record count plan drives
 the same analytic derivation — substituted and relocated instructions
 inherit their baseline partner's count through the generalized map,
@@ -110,6 +116,7 @@ class PopulationSimulator:
         #: Deduplicated fallback reasons, in first-occurrence order.
         self.warnings = []
         self._baseline_outcome = None  # (SimResult | None, error | None)
+        self._baseline_identity = None
         self._prover = None
         self._proofs = weakref.WeakKeyDictionary()
         self._eq_prover = None
@@ -139,6 +146,27 @@ class PopulationSimulator:
         return result
 
     # -- proofs --------------------------------------------------------------
+
+    def _plan_from_provenance(self, variant):
+        """A §6 variant's link-time count plan, if it can stand in for a
+        proof.
+
+        ``LinkPlan.apply`` attaches :class:`~repro.backend.linkplan.
+        PlanProvenance` to every variant that exercised a §6 feature;
+        its count plan classifies each record exactly as the
+        equivalence proof would. It is trusted only after the plan's
+        baseline identity matches this simulator's baseline — the same
+        cross-check the serve daemon's shard adoption performs — so a
+        provenance from some *other* program's plan can never misderive.
+        """
+        provenance = getattr(variant, "provenance", None)
+        if provenance is None or not provenance.features:
+            return None
+        if self._baseline_identity is None:
+            self._baseline_identity = self.baseline.identity_hash()
+        if provenance.baseline_identity() != self._baseline_identity:
+            return None
+        return provenance.count_plan
 
     def _proof(self, variant):
         report = self._proofs.get(variant)
@@ -257,25 +285,28 @@ class PopulationSimulator:
             metrics.inc("batch.variants_simulated")
             return self._simulate(variant, limit)
 
-        plan = None
-        proof = self._proof(variant)
-        if not proof.ok:
-            # Not "baseline + NOPs" — a §6 transform or a miscompile.
-            # The generalized equivalence proof decides which.
-            equivalence = self._equivalence_proof(variant)
-            if not equivalence.ok:
-                self._fallback(
-                    "transparency and equivalence proofs failed; "
-                    "simulating variant(s) individually: "
-                    + equivalence.findings[0].describe())
-                return self._simulate(variant, limit)
-            plan = equivalence.count_plan
-            if any(entry[0] == PLAN_SLED_JMP and entry[2] is None
-                   for entry in plan):
-                self._fallback(
-                    "equivalence proof holds but a sled jump count is "
-                    "underivable; simulating variant(s) individually")
-                return self._simulate(variant, limit)
+        plan = self._plan_from_provenance(variant)
+        from_provenance = plan is not None
+        if plan is None:
+            proof = self._proof(variant)
+            if not proof.ok:
+                # Not "baseline + NOPs" — a §6 transform or a miscompile.
+                # The generalized equivalence proof decides which.
+                equivalence = self._equivalence_proof(variant)
+                if not equivalence.ok:
+                    self._fallback(
+                        "transparency and equivalence proofs failed; "
+                        "simulating variant(s) individually: "
+                        + equivalence.findings[0].describe())
+                    return self._simulate(variant, limit)
+                plan = equivalence.count_plan
+                if any(entry[0] == PLAN_SLED_JMP and entry[2] is None
+                       for entry in plan):
+                    self._fallback(
+                        "equivalence proof holds but a sled jump count "
+                        "is underivable; simulating variant(s) "
+                        "individually")
+                    return self._simulate(variant, limit)
         try:
             base = self.baseline_result()
         except SimulatorError:
@@ -287,7 +318,9 @@ class PopulationSimulator:
             if plan is None:
                 derived = self._derive(base, variant)
             else:
-                metrics.inc("batch.variants_derived_equivalence")
+                metrics.inc("batch.variants_derived_plan"
+                            if from_provenance
+                            else "batch.variants_derived_equivalence")
                 derived = self._derive_from_plan(base, variant, plan)
         if derived.instr_count > limit:
             self._fallback("derived instruction count exceeds the step "

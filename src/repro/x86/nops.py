@@ -53,12 +53,35 @@ class NopCandidate:
             template.encoding = self.encoding
             _TEMPLATE_INSTRS[self.name] = template
         instr = Instr.__new__(Instr)
-        instr.__dict__.update(template.__dict__)
+        instr.__dict__ = dict(template.__dict__)
         return instr
 
 
 #: Pre-built, pre-encoded Instr per candidate name; cloned by to_instr().
 _TEMPLATE_INSTRS = {}
+
+#: Shared pre-encoded Instr per (candidate, block id) insertion site.
+_SITE_INSTRS = {}
+
+
+def site_instr(candidate, block_id):
+    """The shared :class:`Instr` for inserting ``candidate`` in block
+    ``block_id``.
+
+    An inserted NOP is immutable once its block id is set — the linker
+    clones before resolving, the link plan and every analysis only read
+    it — so all insertion sites of a given (candidate, block) pair, in
+    every variant of every population, can carry one object instead of
+    a fresh clone each. Callers must not mutate the result; use
+    :meth:`NopCandidate.to_instr` for an owned copy.
+    """
+    key = (candidate.name, block_id)
+    instr = _SITE_INSTRS.get(key)
+    if instr is None:
+        instr = candidate.to_instr()
+        instr.block_id = block_id
+        _SITE_INSTRS[key] = instr
+    return instr
 
 _CANDIDATE_INSTRS = {
     "nop": ("nop", ()),

@@ -98,6 +98,25 @@ def test_cli_verify_passes(capsys):
     assert "470.lbm" in out
 
 
+def test_cli_verify_sec6_single_proof_per_variant(capsys):
+    """Each §6 variant is equivalence-proven exactly once.
+
+    Regression: the per-seed loop used to re-run ``eq_prover.prove()``
+    on variants ``verify_population(..., baseline=...)`` had already
+    proven, doubling proof cost and duplicating findings/NOP counts.
+    """
+    from repro.obs import metrics
+    before = metrics.counters().get("equivalence.proofs", 0)
+    rc = main(["verify", "470.lbm", "--variants", "2", "--p", "0.25",
+               "--sec6", "--workers", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "verify: PASS" in out
+    after = metrics.counters().get("equivalence.proofs", 0)
+    # 4 §6 configs x 2 variant seeds, one proof each — not two.
+    assert after - before == 8
+
+
 def test_cli_verify_json_payload(tmp_path, capsys):
     out_path = tmp_path / "verify.json"
     rc = main(["verify", "470.lbm", "--variants", "1", "--p", "0.25",

@@ -5,9 +5,12 @@ workload, both paper config families (uniform and 0-30% profile-guided)
 and several seeds, a variant linked through the precomputed
 :class:`LinkPlan` is byte-identical to the full :func:`link` output —
 text, symbols, data image, ``identity_hash()`` and instruction records.
-Also covers the §6 fallback (plan-incompatible configs), the
+Also covers the feature-slot predicate (``plan_features``), detected
+mismatch fallback for genuinely foreign streams, the
 ``REPRO_LINK_PLAN=0`` kill switch, plan memoization, and the pickle
-round trip of the lowered unit shipped to pool workers.
+round trip of the lowered unit shipped to pool workers. The dedicated
+§6 parity sweep (every workload x every §6 config) lives in
+``test_linkplan_sec6.py``.
 """
 
 import pickle
@@ -16,7 +19,10 @@ from functools import lru_cache
 import pytest
 
 from repro.backend.linker import link
-from repro.backend.linkplan import build_link_plan, plan_compatible
+from repro.backend.linkplan import (
+    FEATURE_BBSHIFT, FEATURE_REORDERING, FEATURE_SUBSTITUTION,
+    build_link_plan, plan_features,
+)
 from repro.core.config import DiversificationConfig
 from repro.core.variants import diversify_unit
 from repro.errors import PlanMismatchError
@@ -90,39 +96,49 @@ def test_variant_parity(name, label):
                               link([runtime_unit(), variant]))
 
 
-def test_xchg_nops_stay_plan_compatible():
+def test_xchg_nops_are_nop_transparent():
     config = DiversificationConfig.uniform(0.5, include_xchg_nops=True)
-    assert plan_compatible(config)
+    assert not plan_features(config)
     _workload, build, plan = _state("429.mcf")
     variant = diversify_unit(build.unit, config, seed=3)
     _assert_bit_identical(plan.apply(variant),
                           link([runtime_unit(), variant]))
 
 
-class TestSection6Fallback:
-    """§6 configs rewrite the stream: predicted and detected."""
+class TestPlanFeatures:
+    """§6 configs are planned feature slots now, not a cliff."""
 
-    @pytest.mark.parametrize("knob", ["basic_block_shifting",
-                                      "encoding_substitution",
-                                      "function_reordering"])
-    def test_plan_incompatible(self, knob):
+    @pytest.mark.parametrize("knob,feature", [
+        ("basic_block_shifting", FEATURE_BBSHIFT),
+        ("encoding_substitution", FEATURE_SUBSTITUTION),
+        ("function_reordering", FEATURE_REORDERING),
+    ])
+    def test_feature_slots(self, knob, feature):
         config = DiversificationConfig.uniform(0.5, **{knob: True})
-        assert not plan_compatible(config)
+        assert plan_features(config) == frozenset({feature})
 
-    def test_apply_detects_rewritten_stream(self):
+    def test_nop_only_configs_need_no_features(self):
+        for config in CONFIGS.values():
+            assert plan_features(config) == frozenset()
+
+    def test_sec6_variants_apply_through_the_plan(self):
         _workload, build, plan = _state("429.mcf")
         config = DiversificationConfig.uniform(
             0.5, encoding_substitution=True)
-        raised = 0
         for seed in range(5):
             variant = diversify_unit(build.unit, config, seed)
-            try:
-                plan.apply(variant)
-            except PlanMismatchError:
-                raised += 1
-        assert raised == 5
+            _assert_bit_identical(plan.apply(variant),
+                                  link([runtime_unit(), variant]))
 
-    def test_pipeline_falls_back_to_full_link(self, monkeypatch):
+    def test_apply_detects_foreign_stream(self):
+        """A stream the plan never saw is detected, not mislinked."""
+        _workload, build, plan = _state("429.mcf")
+        other = get_workload("470.lbm")
+        other_build = ProgramBuild(other.source, other.name)
+        with pytest.raises(PlanMismatchError):
+            plan.apply(other_build.unit)
+
+    def test_pipeline_matches_full_link(self, monkeypatch):
         workload = get_workload("429.mcf")
         config = DiversificationConfig.uniform(
             0.5, function_reordering=True)

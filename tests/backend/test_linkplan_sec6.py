@@ -1,0 +1,255 @@
+"""§6 plan-apply parity: the generalized fast path is bit-exact.
+
+The tentpole contract of the generalized :class:`LinkPlan`: for every
+registered workload, every §6 transform config (each transform alone
+and all three composed, with NOP insertion riding along) and several
+seeds, ``plan.apply(variant)`` is byte-identical to the full
+``link([runtime_unit(), variant])`` — text, symbols, data image,
+``identity_hash()``, function ranges and instruction records. Also
+pins the :class:`PlanProvenance` §6 variants carry for the batch
+engine, the ``REPRO_LINK_PLAN=0`` kill switch on §6 configs, and the
+``PlanMismatchError`` fallback accounting in the pipeline.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.backend.linker import link
+from repro.backend.linkplan import (
+    FEATURE_BBSHIFT, FEATURE_REORDERING, FEATURE_SUBSTITUTION,
+    build_link_plan, plan_features,
+)
+from repro.core.config import DiversificationConfig
+from repro.core.variants import diversify_unit
+from repro.pipeline import ProgramBuild
+from repro.runtime.lib import runtime_unit
+from repro.workloads.registry import get_workload, workload_names
+
+SEEDS = (0, 1, 2)
+
+#: The four §6 configs of the verify sweep: each transform alone, then
+#: all three composed — every one on top of 50% uniform NOP insertion,
+#: so the plan's dynamic-NOP path is exercised simultaneously.
+SEC6_CONFIGS = {
+    "subst": DiversificationConfig.uniform(
+        0.50, encoding_substitution=True),
+    "bbshift": DiversificationConfig.uniform(
+        0.50, basic_block_shifting=True),
+    "reorder": DiversificationConfig.uniform(
+        0.50, function_reordering=True),
+    "sec6": DiversificationConfig.uniform(
+        0.50, encoding_substitution=True, basic_block_shifting=True,
+        function_reordering=True),
+}
+
+EXPECTED_FEATURES = {
+    "subst": frozenset({FEATURE_SUBSTITUTION}),
+    "bbshift": frozenset({FEATURE_BBSHIFT}),
+    "reorder": frozenset({FEATURE_REORDERING}),
+    "sec6": frozenset({FEATURE_SUBSTITUTION, FEATURE_BBSHIFT,
+                       FEATURE_REORDERING}),
+}
+
+
+@lru_cache(maxsize=None)
+def _state(name):
+    workload = get_workload(name)
+    build = ProgramBuild(workload.source, workload.name)
+    plan = build_link_plan([runtime_unit(), build.unit])
+    return workload, build, plan
+
+
+def _assert_bit_identical(planned, full):
+    assert planned.text == full.text
+    assert planned.identity_hash() == full.identity_hash()
+    assert planned.text_base == full.text_base
+    assert planned.entry == full.entry
+    assert planned.code_symbols == full.code_symbols
+    assert planned.data_symbols == full.data_symbols
+    assert planned.data_base == full.data_base
+    assert planned.data_end == full.data_end
+    assert planned.data_words == full.data_words
+    assert planned.function_ranges == full.function_ranges
+    planned_records = list(planned.instr_records)
+    full_records = list(full.instr_records)
+    assert len(planned_records) == len(full_records)
+    for ours, theirs in zip(planned_records, full_records):
+        assert ours.address == theirs.address
+        assert ours.size == theirs.size
+        assert ours.mnemonic == theirs.mnemonic
+        assert ours.block_id == theirs.block_id
+        assert ours.is_inserted_nop == theirs.is_inserted_nop
+        assert ours.instr.mnemonic == theirs.instr.mnemonic
+
+
+@pytest.mark.parametrize("name", workload_names())
+@pytest.mark.parametrize("label", sorted(SEC6_CONFIGS))
+def test_sec6_parity(name, label):
+    """apply() == link() for every workload x §6 config x seed."""
+    _workload, build, plan = _state(name)
+    config = SEC6_CONFIGS[label]
+    for seed in SEEDS:
+        variant = diversify_unit(build.unit, config, seed)
+        _assert_bit_identical(plan.apply(variant),
+                              link([runtime_unit(), variant]))
+
+
+@pytest.mark.parametrize("label", sorted(SEC6_CONFIGS))
+def test_walk_fallback_parity(label):
+    """A delta-less variant takes the identity-check walk, bit-exact.
+
+    The diversifier stamps a ``plan_delta`` merge record on every
+    function it touches; a consumer that rebuilds or copies the item
+    lists loses it. apply() must then degrade to the original per-item
+    walk — same bytes, just slower — not misbehave.
+    """
+    _workload, build, plan = _state("429.mcf")
+    config = SEC6_CONFIGS[label]
+    for seed in SEEDS:
+        variant = diversify_unit(build.unit, config, seed)
+        for function_code in variant.functions:
+            if hasattr(function_code, "plan_delta"):
+                del function_code.plan_delta
+        _assert_bit_identical(plan.apply(variant),
+                              link([runtime_unit(), variant]))
+
+
+def test_corrupt_delta_degrades_to_mismatch():
+    """A lying merge record raises PlanMismatchError, never wrong
+    bytes."""
+    from repro.errors import PlanMismatchError
+    _workload, build, plan = _state("429.mcf")
+    config = SEC6_CONFIGS["sec6"]
+    corruptions = (
+        lambda ins, fl: (ins[1:], fl),             # dropped insertion
+        lambda ins, fl: (tuple(reversed(ins)), fl),  # out of order
+        lambda ins, fl: (ins, fl + (0,)),          # flip with no slot
+    )
+    for corrupt in corruptions:
+        variant = diversify_unit(build.unit, config, seed=2)
+        for function_code in variant.functions:
+            delta = getattr(function_code, "plan_delta", None)
+            if delta is not None and len(delta[0]) > 1:
+                function_code.plan_delta = corrupt(*delta)
+                break
+        with pytest.raises(PlanMismatchError):
+            plan.apply(variant)
+
+
+class TestProvenance:
+    """§6 variants carry a link-time count plan for the batch engine."""
+
+    def test_features_reflect_what_the_variant_exercised(self):
+        _workload, build, plan = _state("429.mcf")
+        for label, config in SEC6_CONFIGS.items():
+            seen = set()
+            for seed in range(8):
+                variant = diversify_unit(build.unit, config, seed)
+                binary = plan.apply(variant)
+                if binary.provenance is not None:
+                    assert binary.provenance.features <= \
+                        EXPECTED_FEATURES[label]
+                    seen |= binary.provenance.features
+            # Over a handful of seeds every enabled transform fires at
+            # least once (bb-shift draws sled size 0 sometimes, never
+            # always).
+            assert seen == EXPECTED_FEATURES[label]
+
+    def test_nop_only_variants_carry_no_provenance(self):
+        _workload, build, plan = _state("429.mcf")
+        config = DiversificationConfig.uniform(0.5)
+        binary = plan.apply(diversify_unit(build.unit, config, seed=1))
+        assert binary.provenance is None
+
+    def test_count_plan_matches_the_equivalence_proof(self):
+        from repro.analysis.equivalence import EquivalenceProver
+        _workload, build, plan = _state("429.mcf")
+        baseline = plan.baseline()
+        prover = EquivalenceProver(baseline)
+        config = SEC6_CONFIGS["sec6"]
+        checked = 0
+        for seed in SEEDS:
+            variant = diversify_unit(build.unit, config, seed)
+            binary = plan.apply(variant)
+            if binary.provenance is None:
+                continue
+            derived = binary.provenance.count_plan
+            if derived is None:
+                continue
+            proof = prover.prove(binary)
+            assert proof.ok
+            assert derived == proof.count_plan
+            checked += 1
+        assert checked  # the sweep must actually compare something
+
+    def test_provenance_never_survives_pickling(self):
+        import pickle
+        _workload, build, plan = _state("429.mcf")
+        variant = diversify_unit(build.unit, SEC6_CONFIGS["subst"],
+                                 seed=0)
+        binary = plan.apply(variant)
+        assert binary.provenance is not None
+        restored = pickle.loads(pickle.dumps(binary))
+        assert restored.provenance is None
+        assert restored.identity_hash() == binary.identity_hash()
+
+    def test_batch_engine_derives_from_provenance(self):
+        from repro.obs import metrics
+        from repro.sim.batch import PopulationSimulator
+        workload, build, plan = _state("429.mcf")
+        baseline = build.link_baseline()
+        config = SEC6_CONFIGS["sec6"]
+        variants = [build.link_variant(config, seed) for seed in SEEDS]
+        assert any(v.provenance is not None for v in variants)
+        before = metrics.snapshot()
+        sim = PopulationSimulator(baseline, workload.ref_input,
+                                  mode="check")
+        for variant in variants:
+            sim.result_for(variant)
+        delta = metrics.delta_since(before)
+        assert delta.counters.get("batch.variants_derived_plan", 0) > 0
+        assert not sim.warnings
+
+
+class TestFallbacks:
+    """Kill switch and detected-mismatch escape hatches stay wired."""
+
+    @pytest.mark.parametrize("label", sorted(SEC6_CONFIGS))
+    def test_kill_switch_matches_plan_path(self, label, monkeypatch):
+        workload = get_workload("470.lbm")
+        config = SEC6_CONFIGS[label]
+        build = ProgramBuild(workload.source, workload.name)
+        via_plan = build.link_variant(config, seed=1)
+        monkeypatch.setenv("REPRO_LINK_PLAN", "0")
+        full_build = ProgramBuild(workload.source, workload.name)
+        full = full_build.link_variant(config, seed=1)
+        assert full_build._link_plan is None
+        assert via_plan.text == full.text
+        assert via_plan.identity_hash() == full.identity_hash()
+        assert full.provenance is None  # full link never attaches one
+
+    def test_mismatch_falls_back_to_full_link(self, monkeypatch):
+        """A plan that rejects the stream still yields a correct link."""
+        from repro.backend import linkplan
+        from repro.errors import PlanMismatchError
+        from repro.obs import metrics
+        workload = get_workload("429.mcf")
+        config = SEC6_CONFIGS["subst"]
+        build = ProgramBuild(workload.source, workload.name)
+        expected = link([runtime_unit(),
+                         diversify_unit(build.unit, config, seed=4)])
+
+        def always_mismatch(self, unit, **kwargs):
+            raise PlanMismatchError("forced for the fallback test")
+
+        monkeypatch.setattr(linkplan.LinkPlan, "apply", always_mismatch)
+        before = metrics.snapshot()
+        binary = build.link_variant(config, seed=4)
+        delta = metrics.delta_since(before)
+        assert binary.identity_hash() == expected.identity_hash()
+        assert delta.counters.get("linkplan.fallbacks", 0) == 1
+
+    def test_sec6_config_features(self):
+        for label, config in SEC6_CONFIGS.items():
+            assert plan_features(config) == EXPECTED_FEATURES[label]

@@ -201,17 +201,19 @@ class TestModes:
 
 
 class TestFallbacks:
-    def test_sec6_population_derives_via_equivalence(self, fib_build):
+    def test_sec6_population_derives_without_fallback(self, fib_build):
         # The §6 composed extensions rewrite encodings, shift blocks and
-        # reorder functions — no transparency proof exists, but the
-        # equivalence proof's count plan derives every variant
-        # analytically; check mode cross-checks every derivation against
-        # a real run, and nothing may fall back.
+        # reorder functions — no transparency proof exists, but every
+        # variant still derives analytically: plan-built binaries hand
+        # over their link-time count plan (provenance), and check mode
+        # cross-checks every derivation against a real run. Nothing may
+        # fall back.
         config = DiversificationConfig.uniform(
             0.5, basic_block_shifting=True, encoding_substitution=True,
             function_reordering=True)
         baseline = fib_build.link_baseline()
         variants = _population(fib_build, config)
+        assert any(v.provenance is not None for v in variants)
         before = metrics.counters()
         sim = PopulationSimulator(baseline, (8,), count_addresses=True,
                                   mode="check")
@@ -221,9 +223,40 @@ class TestFallbacks:
         after = metrics.counters()
         assert (after.get("batch.fallbacks", 0)
                 - before.get("batch.fallbacks", 0)) == 0
+        assert (after.get("batch.variants_derived", 0)
+                - before.get("batch.variants_derived", 0)
+                ) == len(variants)
+        assert (after.get("batch.variants_derived_plan", 0)
+                - before.get("batch.variants_derived_plan", 0)
+                ) == sum(1 for v in variants if v.provenance is not None)
+        assert not sim.warnings, sim.warnings
+
+    def test_sec6_without_provenance_derives_via_equivalence(self,
+                                                             fib_build):
+        # A §6 variant that arrives without provenance (an artifact-cache
+        # restore, an externally linked binary) takes the equivalence
+        # proof's count plan instead — same derivation, proof paid once.
+        config = DiversificationConfig.uniform(
+            0.5, basic_block_shifting=True, encoding_substitution=True,
+            function_reordering=True)
+        baseline = fib_build.link_baseline()
+        variants = [v for v in _population(fib_build, config)
+                    if v.provenance is not None]
+        assert variants
+        for variant in variants:
+            variant.provenance = None  # simulate a cache round trip
+        before = metrics.counters()
+        sim = PopulationSimulator(baseline, (8,), count_addresses=True,
+                                  mode="check")
+        for variant in variants:
+            _assert_same(run_binary(variant, (8,), count_addresses=True),
+                         sim.result_for(variant))
+        after = metrics.counters()
         assert (after.get("batch.variants_derived_equivalence", 0)
                 - before.get("batch.variants_derived_equivalence", 0)
                 ) == len(variants)
+        assert (after.get("batch.fallbacks", 0)
+                - before.get("batch.fallbacks", 0)) == 0
         assert not sim.warnings, sim.warnings
 
     def test_unprovable_binary_falls_back_with_warning(self, fib_build,

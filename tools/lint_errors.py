@@ -46,6 +46,14 @@ Two AST checks over ``src/repro/``:
    — the codes are a published interface tooling matches on, so an
    undocumented code is either a typo or a silent API addition.
 
+7. Inside ``src/repro/serve/`` and ``benchmarks/``, no direct
+   ``link(...)`` call inside a loop or comprehension: those contexts
+   always hold a compiled :class:`LinkPlan`, and a per-variant full
+   link silently reinstates the fast-path cliff the generalized plan
+   removed. The ``PlanMismatchError`` fallback (a handler, not a loop)
+   doesn't match; a deliberate full-link reference (parity prechecks)
+   is annotated ``# lint: full-link-ok`` on the call line.
+
 Run by ``make lint`` (and therefore ``make test``). Exits 1 and lists
 ``file:line`` for each violation.
 """
@@ -180,6 +188,34 @@ def find_per_variant_sim_violations(path):
     return violations
 
 
+def find_per_variant_link_violations(path):
+    """Full ``link()`` calls inside per-variant loops (check 7).
+
+    Flags a ``link(...)`` call lexically inside a loop or comprehension
+    — the shape of a population sweep bypassing the compiled plan.
+    Call lines carrying the ``# lint: full-link-ok`` annotation are the
+    sanctioned exceptions (deliberate full-link parity references).
+    """
+    source = path.read_text()
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    violations = []
+
+    def walk(node, in_loop):
+        for child in ast.iter_child_nodes(node):
+            child_in_loop = in_loop or isinstance(child, _LOOP_NODES)
+            if (in_loop and isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Name)
+                    and child.func.id == "link"
+                    and "lint: full-link-ok"
+                    not in lines[child.lineno - 1]):
+                violations.append((child.lineno, "link"))
+            walk(child, child_in_loop)
+
+    walk(tree, False)
+    return violations
+
+
 #: Method names whose call blocks the calling thread until a result is
 #: ready — poison inside an event-loop coroutine (check 5).
 _BLOCKING_ATTRS = {"result", "get", "join", "exception"}
@@ -281,6 +317,15 @@ def main():
                 f"{harness.relative_to(ROOT)}:{lineno}: per-variant "
                 f"{name}() inside a population loop; route the sweep "
                 f"through repro.sim.batch.simulate_population")
+    benchmarks = ROOT / "benchmarks"
+    if benchmarks.exists():
+        for path in sorted(benchmarks.rglob("*.py")):
+            for lineno, name in find_per_variant_link_violations(path):
+                failures.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: full {name}() "
+                    f"inside a per-variant loop; route builds through "
+                    f"LinkPlan.apply (or annotate a deliberate parity "
+                    f"reference with '# lint: full-link-ok')")
     for path in sorted(PACKAGE.rglob("*.py")):
         if path not in EXEMPT:
             for lineno, name in find_violations(path):
@@ -305,6 +350,11 @@ def main():
                     f"{path.relative_to(ROOT)}:{lineno}: blocking "
                     f"{name} inside an async handler; use "
                     f"run_in_executor / await instead")
+            for lineno, name in find_per_variant_link_violations(path):
+                failures.append(
+                    f"{path.relative_to(ROOT)}:{lineno}: full {name}() "
+                    f"inside a per-variant loop; route builds through "
+                    f"the adopted LinkPlan's apply")
         if analysis_package in path.parents:
             for lineno, code in find_finding_codes(path):
                 if code not in documented:
@@ -321,7 +371,8 @@ def main():
           "in src/repro/fuzz/, no per-variant simulation loops in "
           "benchmarks/_harness.py, no blocking calls in "
           "src/repro/serve/ async handlers, every analysis finding "
-          "code documented in docs/ANALYSIS.md)")
+          "code documented in docs/ANALYSIS.md, no per-variant full "
+          "link() loops in src/repro/serve/ or benchmarks/)")
     return 0
 
 
